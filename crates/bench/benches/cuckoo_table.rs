@@ -1,0 +1,44 @@
+//! Microbenchmarks of the cuckoo hash table: build cost vs load factor and
+//! lookup throughput (the ablation DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuckoo::CuckooTable;
+use std::hint::black_box;
+
+fn items(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 1, i)).collect()
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo");
+    for &load in &[0.3f64, 0.5, 0.7, 0.85] {
+        group.bench_with_input(BenchmarkId::new("build_20k", load.to_string()), &load, |b, &l| {
+            b.iter(|| CuckooTable::build_with_load(black_box(items(20_000)), l, 7).unwrap())
+        });
+    }
+    let table = CuckooTable::build(items(100_000), 9).unwrap();
+    let keys: Vec<u64> = items(100_000).iter().map(|&(k, _)| k).collect();
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("lookup_100k_hits", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc ^= table.get(black_box(k)).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("lookup_100k_misses", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc ^= table.get(black_box(k | (1 << 63))).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuckoo);
+criterion_main!(benches);

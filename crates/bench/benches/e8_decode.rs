@@ -1,0 +1,23 @@
+//! Microbenchmarks of the E8 lattice: block decode, multi-block decode,
+//! ancestor computation, and root enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lattice::{decode_e8_block, decode_e8_raw, e8_ancestor, e8_roots};
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8");
+    let x = [0.3f64, -1.2, 4.7, 0.01, -3.3, 2.2, 0.9, -0.4];
+    group.bench_function("decode_block", |b| b.iter(|| black_box(decode_e8_block(black_box(&x)))));
+    let raw: Vec<f32> = (0..16).map(|i| (i as f32) * 0.7 - 4.0).collect();
+    group.bench_function("decode_two_blocks", |b| {
+        b.iter(|| black_box(decode_e8_raw(black_box(&raw))))
+    });
+    let code = decode_e8_raw(&raw);
+    group.bench_function("ancestor", |b| b.iter(|| black_box(e8_ancestor(black_box(&code)))));
+    group.bench_function("roots_240", |b| b.iter(|| black_box(e8_roots())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

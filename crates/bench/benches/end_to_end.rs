@@ -1,0 +1,41 @@
+//! End-to-end index benchmarks: build and batch-query cost for the method
+//! variants, table vs flat storage.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Probe};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vecstore::synth::{self, ClusteredSpec};
+
+fn bench_index(c: &mut Criterion) {
+    let corpus = synth::clustered(&ClusteredSpec::benchmark(64, 5_200), 21);
+    let (data, queries) = corpus.split_at(5_000);
+    let w = 60.0;
+    let mut group = c.benchmark_group("index");
+    group.sample_size(10);
+    group.bench_function("build_standard", |b| {
+        b.iter(|| black_box(BiLevelIndex::build(&data, &BiLevelConfig::standard(w))))
+    });
+    group.bench_function("build_bilevel_16g", |b| {
+        b.iter(|| black_box(BiLevelIndex::build(&data, &BiLevelConfig::paper_default(w))))
+    });
+    group.bench_function("build_flat", |b| {
+        b.iter(|| black_box(FlatIndex::build(&data, &BiLevelConfig::paper_default(w))))
+    });
+    let standard = BiLevelIndex::build(&data, &BiLevelConfig::standard(w));
+    let bilevel = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(w));
+    let multi =
+        BiLevelIndex::build(&data, &BiLevelConfig::paper_default(w).probe(Probe::Multi(64)));
+    group.bench_function("query200_standard", |b| {
+        b.iter(|| black_box(standard.query_batch(&queries, 50)))
+    });
+    group.bench_function("query200_bilevel", |b| {
+        b.iter(|| black_box(bilevel.query_batch(&queries, 50)))
+    });
+    group.bench_function("query200_multiprobe", |b| {
+        b.iter(|| black_box(multi.query_batch(&queries, 50)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Microbenchmarks of the p-stable hash family: raw projection, Z^M
+//! quantization, and the multi-probe sequence generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsh::{probe_codes, HashFamily};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_hash");
+    for dim in [64usize, 256, 512] {
+        let family = HashFamily::sample(dim, 8, 4.0, 7);
+        let v: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("hash_zm_m8", dim), &dim, |b, _| {
+            b.iter(|| black_box(family.hash_zm(black_box(&v))))
+        });
+    }
+    let family = HashFamily::sample(64, 8, 4.0, 7);
+    let v: Vec<f32> = (0..64).map(|i| (i as f32).cos()).collect();
+    let raw = family.project(&v);
+    let home = family.hash_zm(&v);
+    for probes in [16usize, 64, 240] {
+        group.bench_with_input(
+            BenchmarkId::new("multiprobe_sequence", probes),
+            &probes,
+            |b, &t| b.iter(|| black_box(probe_codes(black_box(&raw), black_box(&home), t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

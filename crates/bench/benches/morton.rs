@@ -1,0 +1,33 @@
+//! Microbenchmarks of Morton codes and the Z^M bucket hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lattice::{MortonCode, ZmHierarchy};
+use std::hint::black_box;
+
+fn bench_morton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("morton");
+    for m in [4usize, 8, 16] {
+        let coords: Vec<i32> = (0..m as i32).map(|i| i * 37 - 100).collect();
+        group.bench_with_input(BenchmarkId::new("encode", m), &m, |b, _| {
+            b.iter(|| black_box(MortonCode::encode(black_box(&coords))))
+        });
+        let code = MortonCode::encode(&coords);
+        group.bench_with_input(BenchmarkId::new("decode", m), &m, |b, _| {
+            b.iter(|| black_box(code.decode()))
+        });
+    }
+    // Hierarchy probe over 10k buckets.
+    let codes: Vec<Vec<i32>> =
+        (0..10_000).map(|i| vec![i % 101 - 50, (i * 17) % 89 - 44, i / 100]).collect();
+    let h = ZmHierarchy::build(codes.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)));
+    group.bench_function("probe_expanding_10k", |b| {
+        b.iter(|| black_box(h.probe_expanding(black_box(&[3, -7, 11]), 32)))
+    });
+    group.bench_function("nearest_buckets_10k", |b| {
+        b.iter(|| black_box(h.nearest_buckets(black_box(&[3, -7, 11]), 16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_morton);
+criterion_main!(benches);

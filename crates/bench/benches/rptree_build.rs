@@ -1,0 +1,32 @@
+//! Microbenchmarks of level-1 construction: RP-tree (both rules), K-means,
+//! and the approximate-diameter subroutine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rptree::{approx_diameter, KMeans, RpTree, RpTreeConfig, SplitRule};
+use std::hint::black_box;
+use vecstore::synth::{self, ClusteredSpec};
+
+fn bench_level1(c: &mut Criterion) {
+    let data = synth::clustered(&ClusteredSpec::benchmark(64, 5_000), 11);
+    let mut group = c.benchmark_group("level1");
+    group.sample_size(10);
+    for rule in [SplitRule::Mean, SplitRule::Max] {
+        group.bench_with_input(
+            BenchmarkId::new("rptree_fit_16", format!("{rule:?}")),
+            &rule,
+            |b, &r| {
+                let cfg = RpTreeConfig::with_leaves(16).rule(r);
+                b.iter(|| black_box(RpTree::fit(&data, &cfg)))
+            },
+        );
+    }
+    group.bench_function("kmeans_fit_16", |b| b.iter(|| black_box(KMeans::fit(&data, 16, 50, 5))));
+    let ids: Vec<usize> = (0..data.len()).collect();
+    group.bench_function("approx_diameter_m40", |b| {
+        b.iter(|| black_box(approx_diameter(&data, &ids, 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_level1);
+criterion_main!(benches);

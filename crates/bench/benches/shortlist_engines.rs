@@ -1,0 +1,39 @@
+//! Microbenchmarks of the three short-list engines over an imbalanced
+//! candidate workload (the organization comparison behind Figure 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shortlist::{shortlist_per_query, shortlist_serial, shortlist_workqueue};
+use std::hint::black_box;
+use vecstore::{synth, SquaredL2};
+
+fn bench_engines(c: &mut Criterion) {
+    let data = synth::gaussian(64, 5_000, 1.0, 1);
+    let queries = synth::gaussian(64, 100, 1.0, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    // Heavy-tailed candidate counts: most queries small, a few huge.
+    let candidates: Vec<Vec<u32>> = (0..queries.len())
+        .map(|q| {
+            let len = if q % 10 == 0 { 2_000 } else { 50 };
+            (0..len).map(|_| rng.gen_range(0..data.len()) as u32).collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("shortlist");
+    group.sample_size(20);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(shortlist_serial(&data, &queries, &candidates, 50, &SquaredL2)))
+    });
+    group.bench_function("per_query_2t", |b| {
+        b.iter(|| black_box(shortlist_per_query(&data, &queries, &candidates, 50, &SquaredL2, 2)))
+    });
+    group.bench_function("workqueue_2t", |b| {
+        b.iter(|| {
+            black_box(shortlist_workqueue(&data, &queries, &candidates, 50, &SquaredL2, 2, 65_536))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Minimal command-line parsing for the harness binaries (flag pairs only,
+//! no external dependency).
+
+/// Common knobs shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Training-set size.
+    pub n: usize,
+    /// Query-set size.
+    pub queries: usize,
+    /// Neighborhood size `k` (the paper uses 500; default scaled to 50).
+    pub k: usize,
+    /// Repetitions with fresh random projections.
+    pub reps: usize,
+    /// Ambient dimension of the synthetic GIST substitute.
+    pub dim: usize,
+    /// Level-1 group count for bi-level methods.
+    pub groups: usize,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Synthetic corpus profile: "labelme" (default) or "tiny".
+    pub profile: String,
+    /// Optional CSV output path.
+    pub out: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            n: 10_000,
+            queries: 1_000,
+            k: 50,
+            reps: 3,
+            dim: 64,
+            groups: 16,
+            seed: 0xda7a,
+            profile: "labelme".to_string(),
+            out: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--flag value` pairs from the process arguments, starting from
+    /// defaults. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--n" => out.n = parse_num(&value(), &flag),
+                "--queries" => out.queries = parse_num(&value(), &flag),
+                "--k" => out.k = parse_num(&value(), &flag),
+                "--reps" => out.reps = parse_num(&value(), &flag),
+                "--dim" => out.dim = parse_num(&value(), &flag),
+                "--groups" => out.groups = parse_num(&value(), &flag),
+                "--seed" => out.seed = parse_num(&value(), &flag) as u64,
+                "--profile" => {
+                    let v = value();
+                    if v != "labelme" && v != "tiny" {
+                        eprintln!("unknown profile {v:?} (labelme|tiny)");
+                        std::process::exit(2);
+                    }
+                    out.profile = v;
+                }
+                "--out" => out.out = Some(value()),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: <bin> [--n N] [--queries Q] [--k K] [--reps R] \
+                         [--dim D] [--groups G] [--seed S] [--profile labelme|tiny] [--out FILE.csv]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number {s:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = HarnessArgs::parse_from(strs(&[]));
+        assert_eq!(a.n, 10_000);
+        assert_eq!(a.k, 50);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        let a = HarnessArgs::parse_from(strs(&["--profile", "tiny"]));
+        assert_eq!(a.profile, "tiny");
+        assert_eq!(HarnessArgs::default().profile, "labelme");
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let a = HarnessArgs::parse_from(strs(&[
+            "--n",
+            "500",
+            "--queries",
+            "20",
+            "--k",
+            "7",
+            "--reps",
+            "2",
+            "--dim",
+            "16",
+            "--groups",
+            "4",
+            "--seed",
+            "9",
+            "--out",
+            "x.csv",
+        ]));
+        assert_eq!(a.n, 500);
+        assert_eq!(a.queries, 20);
+        assert_eq!(a.k, 7);
+        assert_eq!(a.reps, 2);
+        assert_eq!(a.dim, 16);
+        assert_eq!(a.groups, 4);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out.as_deref(), Some("x.csv"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Ablation: work-queue capacity — how the batched short-list engine's
+//! throughput depends on the queue budget (the GPU global-memory analog).
+
+fn main() {
+    use bench::data::prepare;
+    use bilevel_lsh::{BiLevelConfig, BiLevelIndex};
+    use shortlist::shortlist_workqueue;
+    use std::time::Instant;
+    use vecstore::SquaredL2;
+    let args = bench::HarnessArgs::parse();
+    let p = prepare(&args);
+    let index = BiLevelIndex::build(&p.train, &BiLevelConfig::standard(64.0));
+    let candidates = index.candidates_batch(&p.queries);
+    let total: usize = candidates.iter().map(Vec::len).sum();
+    println!("\n## Ablation: work-queue capacity (total candidates = {total})\n");
+    println!("| queue capacity | ms |");
+    println!("|---|---|");
+    for cap in [256usize, 1024, 4096, 16384, 65536, 262144] {
+        if cap <= args.k {
+            continue;
+        }
+        let t = Instant::now();
+        let _ = shortlist_workqueue(&p.train, &p.queries, &candidates, args.k, &SquaredL2, 2, cap);
+        println!("| {cap} | {:.1} |", t.elapsed().as_secs_f64() * 1e3);
+    }
+}

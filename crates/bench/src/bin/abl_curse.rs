@@ -1,0 +1,39 @@
+//! Ablation: the curse of dimensionality for exact tree search — the
+//! paper's introductory claim that space-partitioning exact methods fall
+//! back to (or below) brute-force cost beyond ~10 dimensions, which is what
+//! justifies approximate LSH in the first place.
+
+fn main() {
+    use rptree::KdKnn;
+    use std::time::Instant;
+    use vecstore::synth;
+    use vecstore::{knn, SquaredL2};
+    let args = bench::HarnessArgs::parse();
+    let n = args.n.min(20_000);
+    let nq = args.queries.min(100);
+    println!("\n## Ablation: exact Kd-tree vs brute force across dimensions (n = {n})\n");
+    println!("| dim | distance evals/query | fraction of n | kd ms/query | brute ms/query |");
+    println!("|---|---|---|---|---|");
+    for dim in [2usize, 4, 8, 16, 32, 64, 128] {
+        let data = synth::gaussian(dim, n, 1.0, args.seed);
+        let queries = synth::gaussian(dim, nq, 1.0, args.seed + 1);
+        let tree = KdKnn::build(&data);
+        let mut evals = 0usize;
+        let t0 = Instant::now();
+        for q in queries.iter() {
+            let (_, stats) = tree.knn_with_stats(q, args.k);
+            evals += stats.distance_evals;
+        }
+        let kd_ms = t0.elapsed().as_secs_f64() * 1e3 / nq as f64;
+        let t1 = Instant::now();
+        for q in queries.iter() {
+            let _ = knn(&data, q, args.k, &SquaredL2);
+        }
+        let brute_ms = t1.elapsed().as_secs_f64() * 1e3 / nq as f64;
+        let per_query = evals as f64 / nq as f64;
+        println!(
+            "| {dim} | {per_query:.0} | {:.3} | {kd_ms:.2} | {brute_ms:.2} |",
+            per_query / n as f64
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation: Egecioglu–Kalantari diameter approximation — estimate accuracy
+//! and cost as a function of the iteration budget `m` (the paper uses
+//! m ≈ 40; Section IV-A2).
+
+fn main() {
+    use rptree::approx_diameter;
+    use std::time::Instant;
+    use vecstore::stats::exact_diameter;
+    use vecstore::synth::{self, ClusteredSpec};
+    let args = bench::HarnessArgs::parse();
+    let n = args.n.min(4000); // exact diameter is O(n²)
+    let ds = synth::clustered(&ClusteredSpec::benchmark(args.dim, n), args.seed);
+    let ids: Vec<usize> = (0..ds.len()).collect();
+    let t0 = Instant::now();
+    let truth = exact_diameter(&ds, &ids);
+    let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("\n## Ablation: approximate diameter vs iteration budget (n = {n})\n");
+    println!("exact diameter = {truth:.3} ({exact_ms:.1} ms, O(n²) scan)\n");
+    println!("| rounds m | estimate | relative error | upper bound | ms |");
+    println!("|---|---|---|---|---|");
+    for m in [1usize, 2, 5, 10, 20, 40, 80] {
+        let t1 = Instant::now();
+        let est = approx_diameter(&ds, &ids, m);
+        let ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "| {m} | {:.3} | {:.4} | {:.3} | {ms:.2} |",
+            est.estimate(),
+            (truth - est.estimate()).abs() / truth,
+            est.upper
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Ablation: RP-tree split rule (mean vs max) — recall ceiling imposed by
+//! level-1 leaf boundaries, per group count.
+//!
+//! The ceiling is the fraction of each query's exact k-NN that share the
+//! query's leaf: no bi-level method can exceed it. On the synthetic GIST
+//! substitute the max rule preserves neighborhoods better than the mean rule
+//! (the opposite of the paper's ranking on real GIST; see EXPERIMENTS.md).
+
+fn main() {
+    use bench::{data::prepare, HarnessArgs};
+    use rptree::{Partitioner, RpTree, RpTreeConfig, SplitRule};
+    let args = HarnessArgs::parse();
+    let p = prepare(&args);
+    println!("\n## Ablation: split rule vs recall ceiling (n = {}, k = {})\n", args.n, args.k);
+    println!("| groups | rule | recall ceiling |");
+    println!("|---|---|---|");
+    for groups in [8usize, 16, 32, 64] {
+        for rule in [SplitRule::Mean, SplitRule::Max] {
+            let cfg = RpTreeConfig::with_leaves(groups).rule(rule);
+            let (tree, assign) = RpTree::fit(&p.train, &cfg);
+            let mut total = 0.0f64;
+            for (q, truth) in p.truth.iter().enumerate() {
+                let qg = tree.assign(p.queries.row(q));
+                let inside = truth.iter().filter(|n| assign[n.id] == qg).count();
+                total += inside as f64 / truth.len() as f64;
+            }
+            println!("| {groups} | {rule:?} | {:.4} |", total / p.truth.len() as f64);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: bucket-width modes — fixed global `W` vs per-group scaled `W`
+//! (the paper's Section IV-B per-cluster tuning), crossed with the RP-tree
+//! split rule. Prints the raw selectivity/recall pairs per swept width so
+//! the equal-selectivity comparison of DESIGN.md's headline claim can be
+//! read off directly.
+fn main() {
+    use bench::{data::prepare, HarnessArgs};
+    use bilevel_lsh::*;
+    use rptree::SplitRule;
+    let args = HarnessArgs::parse();
+    let p = prepare(&args);
+    let grid = bench::w_grid(&p, args.k);
+    for (name, partition, scaled, rule) in [
+        ("standard", false, false, SplitRule::Mean),
+        ("bilevel-mean-fixed", true, false, SplitRule::Mean),
+        ("bilevel-max-fixed", true, false, SplitRule::Max),
+        ("bilevel-max-scaled", true, true, SplitRule::Max),
+        ("bilevel-mean-scaled", true, true, SplitRule::Mean),
+    ] {
+        for &w in &grid {
+            let cfg = BiLevelConfig {
+                l: 10,
+                m: 8,
+                width: if scaled {
+                    WidthMode::Scaled { base: w, k: args.k }
+                } else {
+                    WidthMode::Fixed(w)
+                },
+                partition: if partition {
+                    Partition::RpTree { groups: args.groups, rule }
+                } else {
+                    Partition::None
+                },
+                quantizer: Quantizer::Zm,
+                probe: Probe::Home,
+                table_pool: None,
+                seed: 0xF16,
+            };
+            let index = BiLevelIndex::build(&p.train, &cfg);
+            let evals = evaluate_index(&index, &p.queries, &p.truth, args.k);
+            let n = evals.len() as f64;
+            let rho: f64 = evals.iter().map(|e| e.recall).sum::<f64>() / n;
+            let tau: f64 = evals.iter().map(|e| e.selectivity).sum::<f64>() / n;
+            println!("{name} w={w:.1} tau={tau:.4} rho={rho:.4}");
+        }
+        println!();
+    }
+}

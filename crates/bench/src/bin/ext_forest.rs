@@ -1,0 +1,52 @@
+//! Extension experiment (beyond the paper): LSH-Forest (Bawa et al., the
+//! self-tuning related work of §II-B) against standard and Bi-level LSH on
+//! the same corpus, quality at matched candidate budgets.
+
+fn main() {
+    use bench::{data::prepare, HarnessArgs};
+    use bilevel_lsh::{evaluate_index, BiLevelConfig, BiLevelIndex};
+    use knn_metrics::recall;
+    use lsh::{DistanceProfile, ForestConfig, LshForest};
+    let args = HarnessArgs::parse();
+    let p = prepare(&args);
+    let base_w = DistanceProfile::fit(&p.train, args.k, 200).d_knn as f32;
+
+    println!("\n## Extension: LSH-Forest vs fixed-M LSH (n = {}, k = {})\n", args.n, args.k);
+    println!("| method | recall | mean candidates | selectivity |");
+    println!("|---|---|---|---|");
+
+    // LSH-Forest at a sweep of candidate budgets.
+    let forest = LshForest::build(&p.train, &ForestConfig::new(base_w));
+    for budget in [50usize, 200, 800] {
+        let mut total_recall = 0.0f64;
+        let mut total_cands = 0usize;
+        for (q, truth) in p.truth.iter().enumerate() {
+            let cands = forest.candidates(p.queries.row(q), budget);
+            total_cands += cands.len();
+            let got = forest.query(p.queries.row(q), args.k, budget);
+            total_recall += recall(truth, &got);
+        }
+        let nq = p.queries.len() as f64;
+        println!(
+            "| lsh-forest (budget {budget}) | {:.3} | {:.0} | {:.4} |",
+            total_recall / nq,
+            total_cands as f64 / nq,
+            total_cands as f64 / (nq * p.train.len() as f64),
+        );
+    }
+
+    // Standard and Bi-level at a couple of widths for context.
+    for (label, cfg) in [
+        ("standard W=4d", BiLevelConfig::standard(base_w * 4.0)),
+        ("standard W=8d", BiLevelConfig::standard(base_w * 8.0)),
+        ("bilevel W=4d", BiLevelConfig::paper_default(base_w * 4.0)),
+        ("bilevel W=8d", BiLevelConfig::paper_default(base_w * 8.0)),
+    ] {
+        let index = BiLevelIndex::build(&p.train, &cfg);
+        let evals = evaluate_index(&index, &p.queries, &p.truth, args.k);
+        let n = evals.len() as f64;
+        let rho: f64 = evals.iter().map(|e| e.recall).sum::<f64>() / n;
+        let tau: f64 = evals.iter().map(|e| e.selectivity).sum::<f64>() / n;
+        println!("| {label} | {rho:.3} | {:.0} | {tau:.4} |", tau * p.train.len() as f64);
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure 4: short-list search timing — per-query hash maps + serial heap
+//! ("CPU-lshkit") vs flat cuckoo storage + serial heap vs flat storage +
+//! work-queue engine, over a candidate-count sweep.
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::shortlist_figure(&args);
+}

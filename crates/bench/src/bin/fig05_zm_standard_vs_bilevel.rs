@@ -1,0 +1,16 @@
+//! Figure 5: standard vs Bi-level LSH on the Z^M lattice, L ∈ {10, 20, 30},
+//! selectivity→recall and selectivity→error with projection-deviation stats.
+
+use bench::methods::MethodKind;
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::pairwise_figure(
+        "Figure 5: standard vs Bi-level LSH (Z^M lattice)",
+        Quantizer::Zm,
+        MethodKind::Standard,
+        MethodKind::BiLevel,
+        &args,
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 6: standard vs Bi-level LSH on the E8 lattice.
+
+use bench::methods::MethodKind;
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::pairwise_figure(
+        "Figure 6: standard vs Bi-level LSH (E8 lattice)",
+        Quantizer::E8,
+        MethodKind::Standard,
+        MethodKind::BiLevel,
+        &args,
+    );
+}

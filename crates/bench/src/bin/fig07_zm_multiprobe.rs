@@ -1,0 +1,15 @@
+//! Figure 7: multi-probed standard vs multi-probed Bi-level LSH, Z^M, 240 probes.
+
+use bench::methods::MethodKind;
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::pairwise_figure(
+        "Figure 7: multi-probed standard vs multi-probed Bi-level (Z^M lattice, 240 probes)",
+        Quantizer::Zm,
+        MethodKind::MultiStandard,
+        MethodKind::MultiBiLevel,
+        &args,
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 8: multi-probed standard vs multi-probed Bi-level LSH, E8 lattice
+//! (probes = the 240 lattice roots).
+
+use bench::methods::MethodKind;
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::pairwise_figure(
+        "Figure 8: multi-probed standard vs multi-probed Bi-level (E8 lattice, 240 roots)",
+        Quantizer::E8,
+        MethodKind::MultiStandard,
+        MethodKind::MultiBiLevel,
+        &args,
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 9: hierarchical standard vs hierarchical Bi-level LSH, Z^M lattice
+//! (Morton-curve hierarchy, median-threshold escalation).
+
+use bench::methods::MethodKind;
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::pairwise_figure(
+        "Figure 9: hierarchical standard vs hierarchical Bi-level (Z^M Morton hierarchy)",
+        Quantizer::Zm,
+        MethodKind::HierStandard,
+        MethodKind::HierBiLevel,
+        &args,
+    );
+}

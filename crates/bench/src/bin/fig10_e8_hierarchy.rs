@@ -1,0 +1,16 @@
+//! Figure 10: hierarchical standard vs hierarchical Bi-level LSH, E8 lattice
+//! (scaled-decode hierarchy).
+
+use bench::methods::MethodKind;
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::pairwise_figure(
+        "Figure 10: hierarchical standard vs hierarchical Bi-level (E8 hierarchy)",
+        Quantizer::E8,
+        MethodKind::HierStandard,
+        MethodKind::HierBiLevel,
+        &args,
+    );
+}

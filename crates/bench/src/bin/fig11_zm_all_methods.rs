@@ -1,0 +1,13 @@
+//! Figure 11: all six methods on the Z^M lattice, including the deviation
+//! caused by different queries.
+
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::all_methods_figure(
+        "Figure 11: all six methods, query-deviation comparison (Z^M lattice)",
+        Quantizer::Zm,
+        &args,
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 12: all six methods on the E8 lattice, including the deviation
+//! caused by different queries.
+
+use bilevel_lsh::Quantizer;
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::all_methods_figure(
+        "Figure 12: all six methods, query-deviation comparison (E8 lattice)",
+        Quantizer::E8,
+        &args,
+    );
+}

@@ -1,0 +1,7 @@
+//! Figure 13(a): Bi-level quality as a function of the number of level-1
+//! partitions (1, 8, 16, 32, 64), L = 20.
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::groups_figure(&args);
+}

@@ -1,0 +1,7 @@
+//! Figure 13(b): Bi-level vs standard LSH across hash dimensions M, L = 20 —
+//! showing the improvement comes from better (not longer) codes.
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::m_figure(&args);
+}

@@ -1,0 +1,7 @@
+//! Figure 13(c): RP-tree (mean and max rules) vs K-means as the level-1
+//! partitioner, L = 20.
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    bench::figures::partitioner_figure(&args);
+}

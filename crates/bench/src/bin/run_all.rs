@@ -1,0 +1,72 @@
+//! Runs every figure and ablation binary in sequence, writing results to a
+//! directory — the one-command reproduction of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin run_all -- --n 6000 --queries 500 --k 25 --reps 3
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig04_shortlist",
+    "fig05_zm_standard_vs_bilevel",
+    "fig06_e8_standard_vs_bilevel",
+    "fig07_zm_multiprobe",
+    "fig08_e8_multiprobe",
+    "fig09_zm_hierarchy",
+    "fig10_e8_hierarchy",
+    "fig11_zm_all_methods",
+    "fig12_e8_all_methods",
+    "fig13a_groups",
+    "fig13b_dims",
+    "fig13c_partitioner",
+    "abl_split_rule",
+    "abl_width_mode",
+    "abl_diameter",
+    "abl_batch",
+    "abl_curse",
+    "abl_lattice_density",
+    "ext_forest",
+    "ext_adaptive",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let self_exe = std::env::current_exe().expect("own path");
+    let bin_dir = self_exe.parent().expect("bin dir");
+
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        eprintln!("=== {bin} ===");
+        let md = out_dir.join(format!("{bin}.md"));
+        let csv = out_dir.join(format!("{bin}.csv"));
+        let mut args = passthrough.clone();
+        if bin.starts_with("fig") {
+            args.push("--out".into());
+            args.push(csv.to_string_lossy().into_owned());
+        }
+        let output = Command::new(bin_dir.join(bin)).args(&args).output();
+        match output {
+            Ok(out) if out.status.success() => {
+                std::fs::write(&md, &out.stdout).expect("write md");
+            }
+            Ok(out) => {
+                failures.push(*bin);
+                eprintln!("{bin} exited with {:?}", out.status.code());
+                std::fs::write(&md, &out.stderr).ok();
+            }
+            Err(e) => {
+                failures.push(*bin);
+                eprintln!("{bin} failed to launch: {e} (build with `cargo build --release -p bench` first)");
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("all {} experiments written to {}", BINARIES.len(), out_dir.display());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Dataset preparation for the harnesses: synthetic GIST-substitute corpus
+//! plus exact ground truth (the expensive part, hence the in-process cache
+//! of prepared scenarios keyed by the argument tuple).
+
+use crate::args::HarnessArgs;
+use bilevel_lsh::ground_truth;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{Dataset, Neighbor};
+
+/// A ready-to-run scenario: train set, query set, and exact k-NN truth.
+pub struct Prepared {
+    /// Training vectors the index is built over.
+    pub train: Dataset,
+    /// Held-out query vectors.
+    pub queries: Dataset,
+    /// Exact k-nearest neighbors of every query (L2 distances).
+    pub truth: Vec<Vec<Neighbor>>,
+}
+
+/// Generates the synthetic corpus and computes ground truth.
+///
+/// The generator mimics GIST descriptors of image corpora: high ambient
+/// dimension, low intrinsic dimension, anisotropic multi-modal clusters
+/// (see DESIGN.md §3 for the substitution argument).
+pub fn prepare(args: &HarnessArgs) -> Prepared {
+    let total = args.n + args.queries;
+    let spec = match args.profile.as_str() {
+        "tiny" => ClusteredSpec::benchmark_tiny(args.dim, total),
+        _ => ClusteredSpec::benchmark(args.dim, total),
+    };
+    let corpus = synth::clustered(&spec, args.seed);
+    let (train, queries) = corpus.split_at(args.n);
+    let truth = ground_truth(&train, &queries, args.k, 1);
+    Prepared { train, queries, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_profile_differs_from_labelme() {
+        let base = HarnessArgs { n: 150, queries: 10, k: 3, dim: 16, ..HarnessArgs::default() };
+        let tiny = HarnessArgs { profile: "tiny".into(), ..base.clone() };
+        let a = prepare(&base);
+        let b = prepare(&tiny);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_ne!(a.train, b.train, "profiles must generate different corpora");
+    }
+
+    #[test]
+    fn prepare_shapes_match_args() {
+        let args = HarnessArgs { n: 200, queries: 30, k: 5, dim: 16, ..HarnessArgs::default() };
+        let p = prepare(&args);
+        assert_eq!(p.train.len(), 200);
+        assert_eq!(p.queries.len(), 30);
+        assert_eq!(p.truth.len(), 30);
+        assert!(p.truth.iter().all(|t| t.len() == 5));
+        assert_eq!(p.train.dim(), 16);
+    }
+}

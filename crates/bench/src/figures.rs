@@ -1,0 +1,282 @@
+//! Per-figure experiment drivers. Each figure binary is a thin wrapper over
+//! one of these functions; keeping the logic here makes it unit-testable at
+//! tiny scale.
+
+use crate::args::HarnessArgs;
+use crate::data::prepare;
+use crate::methods::{method_config, MethodKind};
+use crate::report::emit;
+use crate::sweep::{sweep_one, sweep_widths, w_grid, MethodCurve};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Partition, Quantizer, WidthMode};
+use rptree::SplitRule;
+use shortlist::{shortlist_serial, shortlist_workqueue};
+use std::time::Instant;
+use vecstore::SquaredL2;
+
+/// The paper's three table counts (Figures 5–10 panels a, b, c).
+pub const PAPER_LS: [usize; 3] = [10, 20, 30];
+
+/// Figures 5–10: one standard-vs-bilevel comparison per `L`, for a given
+/// quantizer and method pair (plain / multiprobe / hierarchical).
+pub fn pairwise_figure(
+    title: &str,
+    quantizer: Quantizer,
+    standard: MethodKind,
+    bilevel: MethodKind,
+    args: &HarnessArgs,
+) {
+    let prepared = prepare(args);
+    let widths = w_grid(&prepared, args.k);
+    let mut curves = Vec::new();
+    for l in PAPER_LS {
+        for kind in [standard, bilevel] {
+            let mut curve = sweep_widths(
+                &prepared,
+                kind,
+                quantizer,
+                &widths,
+                args.groups,
+                l,
+                8,
+                args.k,
+                args.reps,
+            );
+            curve.label = format!("{}-L{l}", curve.label);
+            curves.push(curve);
+        }
+    }
+    emit(title, &args.out, &curves);
+}
+
+/// Figures 11–12: all six methods at `L = 10`, with query-deviation columns.
+pub fn all_methods_figure(title: &str, quantizer: Quantizer, args: &HarnessArgs) {
+    let prepared = prepare(args);
+    let widths = w_grid(&prepared, args.k);
+    let curves: Vec<MethodCurve> = MethodKind::ALL
+        .iter()
+        .map(|&kind| {
+            sweep_widths(&prepared, kind, quantizer, &widths, args.groups, 10, 8, args.k, args.reps)
+        })
+        .collect();
+    emit(title, &args.out, &curves);
+}
+
+/// Figure 13(a): group-count sweep `g ∈ {1, 8, 16, 32, 64}` at `L = 20`.
+pub fn groups_figure(args: &HarnessArgs) {
+    let prepared = prepare(args);
+    let widths = w_grid(&prepared, args.k);
+    let curves: Vec<MethodCurve> = [1usize, 8, 16, 32, 64]
+        .iter()
+        .map(|&g| {
+            let points = widths
+                .iter()
+                .map(|&w| {
+                    sweep_one(
+                        &prepared,
+                        |run| {
+                            let mut cfg =
+                                method_config(MethodKind::BiLevel, Quantizer::Zm, w, g, 20, 8, run);
+                            if g == 1 {
+                                cfg.partition = Partition::None;
+                            }
+                            cfg
+                        },
+                        args.k,
+                        args.reps,
+                        w,
+                    )
+                })
+                .collect();
+            MethodCurve { label: format!("groups-{g}"), points }
+        })
+        .collect();
+    emit("Figure 13(a): quality vs number of level-1 groups (L = 20)", &args.out, &curves);
+}
+
+/// Figure 13(b): `M` sweep for Bi-level vs standard at `L = 20`.
+pub fn m_figure(args: &HarnessArgs) {
+    let prepared = prepare(args);
+    let widths = w_grid(&prepared, args.k);
+    let mut curves = Vec::new();
+    for m in [6usize, 8, 10] {
+        for kind in [MethodKind::Standard, MethodKind::BiLevel] {
+            let mut curve = sweep_widths(
+                &prepared,
+                kind,
+                Quantizer::Zm,
+                &widths,
+                args.groups,
+                20,
+                m,
+                args.k,
+                args.reps,
+            );
+            curve.label = format!("{}-M{m}", curve.label);
+            curves.push(curve);
+        }
+    }
+    emit(
+        "Figure 13(b): Bi-level vs standard across hash dimensions M (L = 20)",
+        &args.out,
+        &curves,
+    );
+}
+
+/// Figure 13(c): RP-tree vs K-means as the level-1 partitioner, `L = 20`.
+pub fn partitioner_figure(args: &HarnessArgs) {
+    let prepared = prepare(args);
+    let widths = w_grid(&prepared, args.k);
+    let variants: [(&str, Partition); 3] = [
+        ("rptree-mean", Partition::RpTree { groups: args.groups, rule: SplitRule::Mean }),
+        ("rptree-max", Partition::RpTree { groups: args.groups, rule: SplitRule::Max }),
+        ("kmeans", Partition::KMeans { groups: args.groups }),
+    ];
+    let curves: Vec<MethodCurve> = variants
+        .iter()
+        .map(|(label, partition)| {
+            let points = widths
+                .iter()
+                .map(|&w| {
+                    sweep_one(
+                        &prepared,
+                        |run| {
+                            let mut cfg = method_config(
+                                MethodKind::BiLevel,
+                                Quantizer::Zm,
+                                w,
+                                args.groups,
+                                20,
+                                8,
+                                run,
+                            );
+                            cfg.partition = *partition;
+                            cfg
+                        },
+                        args.k,
+                        args.reps,
+                        w,
+                    )
+                })
+                .collect();
+            MethodCurve { label: label.to_string(), points }
+        })
+        .collect();
+    emit("Figure 13(c): RP-tree vs K-means level-1 partitioning (L = 20)", &args.out, &curves);
+}
+
+/// One row of Figure 4's timing comparison.
+#[derive(Debug, Clone)]
+pub struct ShortlistTiming {
+    /// Mean short-list candidates per query at this width.
+    pub mean_candidates: f64,
+    /// Per-query hash-map storage + serial heap ranking ("CPU-lshkit").
+    pub cpu_ms: f64,
+    /// Cuckoo/flat storage lookup + serial heap ranking
+    /// ("GPU hash table + CPU short-list").
+    pub hash_ms: f64,
+    /// Cuckoo/flat storage + batched work-queue ranking ("pure GPU").
+    pub gpu_ms: f64,
+}
+
+/// Figure 4: short-list search organization comparison over a candidate-
+/// count sweep (driven by `W`).
+pub fn shortlist_figure(args: &HarnessArgs) -> Vec<ShortlistTiming> {
+    let prepared = prepare(args);
+    let mut rows = Vec::new();
+    println!("\n## Figure 4: short-list search timing (k = {}, L = 10, M = 8)\n", args.k);
+    println!("| mean candidates | CPU ms | hash+CPU ms | work-queue ms |");
+    println!("|---|---|---|---|");
+    for &w in &w_grid(&prepared, args.k) {
+        let cfg = BiLevelConfig {
+            l: 10,
+            m: 8,
+            width: WidthMode::Fixed(w),
+            partition: Partition::None,
+            quantizer: Quantizer::Zm,
+            probe: bilevel_lsh::Probe::Home,
+            table_pool: None,
+            seed: 0xF16,
+        };
+        let table_index = BiLevelIndex::build(&prepared.train, &cfg);
+        let flat_index = FlatIndex::build(&prepared.train, &cfg);
+
+        // Method 1: per-table hash maps + serial short-list.
+        let t0 = Instant::now();
+        let cands_table = table_index.candidates_batch(&prepared.queries);
+        let _ =
+            shortlist_serial(&prepared.train, &prepared.queries, &cands_table, args.k, &SquaredL2);
+        let cpu_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Method 2: flat cuckoo storage + serial short-list.
+        let t1 = Instant::now();
+        let cands_flat = flat_index.candidates_batch(&prepared.queries);
+        let _ =
+            shortlist_serial(&prepared.train, &prepared.queries, &cands_flat, args.k, &SquaredL2);
+        let hash_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Method 3: flat cuckoo storage + work-queue short-list.
+        let t2 = Instant::now();
+        let cands_wq = flat_index.candidates_batch(&prepared.queries);
+        let _ = shortlist_workqueue(
+            &prepared.train,
+            &prepared.queries,
+            &cands_wq,
+            args.k,
+            &SquaredL2,
+            2,
+            1 << 16,
+        );
+        let gpu_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        let mean_candidates =
+            cands_flat.iter().map(Vec::len).sum::<usize>() as f64 / cands_flat.len().max(1) as f64;
+        println!("| {mean_candidates:.1} | {cpu_ms:.1} | {hash_ms:.1} | {gpu_ms:.1} |");
+        rows.push(ShortlistTiming { mean_candidates, cpu_ms, hash_ms, gpu_ms });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> HarnessArgs {
+        HarnessArgs {
+            n: 250,
+            queries: 25,
+            k: 5,
+            reps: 1,
+            dim: 16,
+            groups: 4,
+            ..HarnessArgs::default()
+        }
+    }
+
+    #[test]
+    fn shortlist_figure_produces_rows() {
+        let rows = shortlist_figure(&tiny_args());
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.cpu_ms >= 0.0 && r.gpu_ms >= 0.0));
+        // Candidate counts grow with W.
+        assert!(rows.last().unwrap().mean_candidates >= rows[0].mean_candidates);
+    }
+
+    #[test]
+    fn groups_figure_runs_at_tiny_scale() {
+        // Smoke test: must not panic with g=1 (Partition::None path).
+        groups_figure(&tiny_args());
+    }
+
+    #[test]
+    fn m_and_partitioner_figures_run_at_tiny_scale() {
+        m_figure(&tiny_args());
+        partitioner_figure(&tiny_args());
+    }
+
+    #[test]
+    fn pairwise_figure_runs_for_both_quantizers() {
+        let args = tiny_args();
+        pairwise_figure("t", Quantizer::Zm, MethodKind::Standard, MethodKind::BiLevel, &args);
+        pairwise_figure("t", Quantizer::E8, MethodKind::Standard, MethodKind::BiLevel, &args);
+    }
+}

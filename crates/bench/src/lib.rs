@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure-reproduction binaries.
+//!
+//! Every `figNN_*` binary follows the same shape: parse [`args::HarnessArgs`]
+//! from the command line, prepare a dataset + ground truth via [`data`],
+//! pick method configurations from [`methods`], run the bucket-width sweep
+//! in [`sweep`], and emit CSV plus a markdown summary via [`report`].
+//!
+//! Scale defaults are container-sized (10k train / 1k query / k = 50 /
+//! 3 repetitions); pass `--n 100000 --queries 100000 --k 500 --reps 10` to
+//! run at the paper's scale.
+
+pub mod args;
+pub mod data;
+pub mod figures;
+pub mod methods;
+pub mod report;
+pub mod sweep;
+
+pub use args::HarnessArgs;
+pub use data::Prepared;
+pub use methods::{method_config, MethodKind};
+pub use report::{print_markdown_table, write_csv};
+pub use sweep::{sweep_widths, w_grid, MethodCurve};

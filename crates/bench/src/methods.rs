@@ -1,0 +1,142 @@
+//! The six method variants of Figures 11–12 as named configurations.
+
+use bilevel_lsh::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+use rptree::SplitRule;
+
+/// Neighborhood size the per-group width profiles are fitted with.
+const PROFILE_K: usize = 20;
+
+/// Multi-probe budget used throughout the paper's evaluation.
+pub const PAPER_PROBES: usize = 240;
+
+/// One of the six compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Standard (single-level) LSH, home-bucket probing.
+    Standard,
+    /// Standard LSH + 240-probe multi-probe.
+    MultiStandard,
+    /// Standard LSH + bucket hierarchy.
+    HierStandard,
+    /// Bi-level LSH (RP-tree level 1), home-bucket probing.
+    BiLevel,
+    /// Bi-level + multi-probe.
+    MultiBiLevel,
+    /// Bi-level + hierarchy.
+    HierBiLevel,
+}
+
+impl MethodKind {
+    /// All six methods, in the ordering the paper's figures use.
+    pub const ALL: [MethodKind; 6] = [
+        MethodKind::Standard,
+        MethodKind::MultiStandard,
+        MethodKind::HierStandard,
+        MethodKind::BiLevel,
+        MethodKind::MultiBiLevel,
+        MethodKind::HierBiLevel,
+    ];
+
+    /// Short label used in CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::Standard => "standard",
+            MethodKind::MultiStandard => "multiprobe-standard",
+            MethodKind::HierStandard => "hierarchical-standard",
+            MethodKind::BiLevel => "bilevel",
+            MethodKind::MultiBiLevel => "multiprobe-bilevel",
+            MethodKind::HierBiLevel => "hierarchical-bilevel",
+        }
+    }
+
+    /// Whether level 1 uses the RP-tree.
+    pub fn is_bilevel(self) -> bool {
+        matches!(self, MethodKind::BiLevel | MethodKind::MultiBiLevel | MethodKind::HierBiLevel)
+    }
+}
+
+/// Builds the configuration for one method at bucket width `w`.
+///
+/// `groups` is the level-1 leaf count used by the bi-level variants; `l` the
+/// table count; `m` the code dimension; `run` perturbs the seed so each
+/// repetition draws fresh projections.
+pub fn method_config(
+    kind: MethodKind,
+    quantizer: Quantizer,
+    w: f32,
+    groups: usize,
+    l: usize,
+    m: usize,
+    run: usize,
+) -> BiLevelConfig {
+    // The bi-level variants use the *max* split rule and per-group scaled
+    // widths: the max rule's diameter-bounded jitter preserves neighborhoods
+    // markedly better on the synthetic GIST substitute (EXPERIMENTS.md §
+    // "split-rule deviation"), and per-group width scaling is the paper's
+    // Section IV-B per-cluster parameter tuning in sweepable form.
+    let partition = if kind.is_bilevel() {
+        Partition::RpTree { groups, rule: SplitRule::Max }
+    } else {
+        Partition::None
+    };
+    let probe = match kind {
+        MethodKind::Standard | MethodKind::BiLevel => Probe::Home,
+        MethodKind::MultiStandard | MethodKind::MultiBiLevel => Probe::Multi(PAPER_PROBES),
+        MethodKind::HierStandard | MethodKind::HierBiLevel => {
+            Probe::Hierarchical { min_candidates: 1 }
+        }
+    };
+    let width = if kind.is_bilevel() {
+        WidthMode::Scaled { base: w, k: PROFILE_K }
+    } else {
+        WidthMode::Fixed(w)
+    };
+    BiLevelConfig {
+        l,
+        m,
+        width,
+        partition,
+        quantizer,
+        probe,
+        table_pool: None,
+        seed: 0xF16 ^ ((run as u64) << 32) ^ (run as u64).wrapping_mul(0x9E3779B97F4A7C15),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_labels() {
+        let mut labels: Vec<&str> = MethodKind::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn bilevel_methods_use_rptree() {
+        for kind in MethodKind::ALL {
+            let cfg = method_config(kind, Quantizer::Zm, 1.0, 16, 10, 8, 0);
+            let expect_groups = if kind.is_bilevel() { 16 } else { 1 };
+            assert_eq!(cfg.partition.groups(), expect_groups, "{kind:?}");
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn runs_perturb_seed() {
+        let a = method_config(MethodKind::Standard, Quantizer::Zm, 1.0, 16, 10, 8, 0);
+        let b = method_config(MethodKind::Standard, Quantizer::Zm, 1.0, 16, 10, 8, 1);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn probe_matches_kind() {
+        let multi = method_config(MethodKind::MultiBiLevel, Quantizer::E8, 1.0, 8, 10, 8, 0);
+        assert_eq!(multi.probe, Probe::Multi(PAPER_PROBES));
+        let hier = method_config(MethodKind::HierStandard, Quantizer::Zm, 1.0, 8, 10, 8, 0);
+        assert!(matches!(hier.probe, Probe::Hierarchical { .. }));
+    }
+}

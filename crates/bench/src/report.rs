@@ -1,0 +1,111 @@
+//! CSV and markdown emitters for the figure harnesses.
+
+use crate::sweep::MethodCurve;
+use std::io::Write;
+
+/// CSV header matching [`write_csv`]'s row layout.
+pub const CSV_HEADER: &str = "method,w,selectivity,selectivity_std_proj,selectivity_std_query,\
+recall,recall_std_proj,recall_std_query,error_ratio,error_std_proj,error_std_query";
+
+/// Writes every curve as CSV rows (one file per figure).
+pub fn write_csv(path: &str, curves: &[MethodCurve]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{CSV_HEADER}")?;
+    for curve in curves {
+        for p in &curve.points {
+            writeln!(
+                f,
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                curve.label,
+                p.w,
+                p.selectivity,
+                p.selectivity_std_proj,
+                p.selectivity_std_query,
+                p.recall,
+                p.recall_std_proj,
+                p.recall_std_query,
+                p.error_ratio,
+                p.error_std_proj,
+                p.error_std_query,
+            )?;
+        }
+    }
+    f.flush()
+}
+
+/// Prints the curves as a markdown table to stdout — the "figure" the
+/// harness reproduces, in series form.
+pub fn print_markdown_table(title: &str, curves: &[MethodCurve]) {
+    println!("\n## {title}\n");
+    println!(
+        "| method | W | selectivity τ | recall ρ (±proj / ±query) | error κ (±proj / ±query) |"
+    );
+    println!("|---|---|---|---|---|");
+    for curve in curves {
+        for p in &curve.points {
+            println!(
+                "| {} | {:.2} | {:.4} | {:.4} (±{:.4} / ±{:.4}) | {:.4} (±{:.4} / ±{:.4}) |",
+                curve.label,
+                p.w,
+                p.selectivity,
+                p.recall,
+                p.recall_std_proj,
+                p.recall_std_query,
+                p.error_ratio,
+                p.error_std_proj,
+                p.error_std_query,
+            );
+        }
+    }
+}
+
+/// Writes the CSV when the caller provided `--out`, always prints markdown.
+pub fn emit(title: &str, out: &Option<String>, curves: &[MethodCurve]) {
+    print_markdown_table(title, curves);
+    if let Some(path) = out {
+        match write_csv(path, curves) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_metrics::SeriesPoint;
+
+    fn point(w: f64) -> SeriesPoint {
+        SeriesPoint {
+            w,
+            selectivity: 0.1,
+            selectivity_std_proj: 0.01,
+            selectivity_std_query: 0.02,
+            recall: 0.9,
+            recall_std_proj: 0.03,
+            recall_std_query: 0.04,
+            error_ratio: 0.95,
+            error_std_proj: 0.05,
+            error_std_query: 0.06,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_row_count() {
+        let curves = vec![
+            MethodCurve { label: "a".into(), points: vec![point(1.0), point(2.0)] },
+            MethodCurve { label: "b".into(), points: vec![point(1.0)] },
+        ];
+        let dir = std::env::temp_dir().join("bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(path.to_str().unwrap(), &curves).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert!(lines[0].starts_with("method,w,"));
+        assert!(lines[1].starts_with("a,1,"));
+        assert!(lines[3].starts_with("b,1,"));
+    }
+}

@@ -1,0 +1,113 @@
+//! The bucket-width sweep: the inner loop of Figures 5–13.
+//!
+//! For each `W` in an ascending grid, the sweep builds `reps` indexes with
+//! fresh projections, evaluates all queries against ground truth, and
+//! reduces the `reps × queries` evaluation matrix to one
+//! [`SeriesPoint`] carrying means and both deviation sources.
+
+use crate::data::Prepared;
+use crate::methods::{method_config, MethodKind};
+use bilevel_lsh::{evaluate_index, BiLevelConfig, BiLevelIndex, Quantizer, SeriesPoint};
+use knn_metrics::RunAggregate;
+use lsh::DistanceProfile;
+
+/// One method's full selectivity/quality curve.
+#[derive(Debug, Clone)]
+pub struct MethodCurve {
+    /// Method label for reporting.
+    pub label: String,
+    /// One point per swept `W`, ascending.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Data-driven `W` grid: geometric multiples of the sampled k-NN distance.
+///
+/// The p-stable collision probability depends only on the ratio `W / c`, so
+/// anchoring the grid at the dataset's own neighbor distance makes the sweep
+/// span tiny buckets (selectivity ≈ 0) through buckets wide enough to push
+/// recall toward 1, at any data scale.
+pub fn w_grid(prepared: &Prepared, k: usize) -> Vec<f32> {
+    let profile = DistanceProfile::fit(&prepared.train, k, 200);
+    let base = profile.d_knn as f32;
+    [1.0f32, 2.0, 4.0, 8.0, 16.0, 32.0].iter().map(|m| m * base).collect()
+}
+
+/// Sweeps one method over the width grid.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_widths(
+    prepared: &Prepared,
+    kind: MethodKind,
+    quantizer: Quantizer,
+    widths: &[f32],
+    groups: usize,
+    l: usize,
+    m: usize,
+    k: usize,
+    reps: usize,
+) -> MethodCurve {
+    let points = widths
+        .iter()
+        .map(|&w| {
+            sweep_one(
+                prepared,
+                |run| method_config(kind, quantizer, w, groups, l, m, run),
+                k,
+                reps,
+                w,
+            )
+        })
+        .collect();
+    MethodCurve { label: kind.label().to_string(), points }
+}
+
+/// Evaluates `reps` runs of an arbitrary config generator at one width.
+pub fn sweep_one<F>(
+    prepared: &Prepared,
+    config_for_run: F,
+    k: usize,
+    reps: usize,
+    w: f32,
+) -> SeriesPoint
+where
+    F: Fn(usize) -> BiLevelConfig,
+{
+    let evals: Vec<_> = (0..reps)
+        .map(|run| {
+            let index = BiLevelIndex::build(&prepared.train, &config_for_run(run));
+            evaluate_index(&index, &prepared.queries, &prepared.truth, k)
+        })
+        .collect();
+    RunAggregate::new(evals).series_point(w as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::HarnessArgs;
+    use crate::data::prepare;
+
+    fn tiny() -> Prepared {
+        prepare(&HarnessArgs { n: 300, queries: 40, k: 5, dim: 16, ..HarnessArgs::default() })
+    }
+
+    #[test]
+    fn selectivity_increases_with_w() {
+        let p = tiny();
+        let curve =
+            sweep_widths(&p, MethodKind::Standard, Quantizer::Zm, &[0.5, 4.0, 32.0], 1, 5, 8, 5, 2);
+        assert_eq!(curve.points.len(), 3);
+        for pair in curve.points.windows(2) {
+            assert!(
+                pair[0].selectivity <= pair[1].selectivity + 1e-9,
+                "selectivity must grow with W"
+            );
+        }
+    }
+
+    #[test]
+    fn recall_reaches_one_for_huge_w() {
+        let p = tiny();
+        let curve = sweep_widths(&p, MethodKind::Standard, Quantizer::Zm, &[1e5], 1, 5, 8, 5, 1);
+        assert!(curve.points[0].recall > 0.99);
+    }
+}

@@ -1,0 +1,195 @@
+//! `bilevel` — command-line front end for indexing and querying `.fvecs`
+//! corpora with Bi-level LSH.
+//!
+//! ```text
+//! bilevel build  <corpus.fvecs> <index.json> [--w W | --target-recall R] [--groups G] [--tables L] [--e8]
+//! bilevel query  <corpus.fvecs> <index.json> <queries.fvecs> [--k K]
+//! bilevel stats  <corpus.fvecs> <index.json>
+//! bilevel exact  <corpus.fvecs> <queries.fvecs> [--k K]   (brute-force reference)
+//! ```
+//!
+//! Hand-rolled flag parsing keeps the binary dependency-free beyond the
+//! workspace crates.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Partition, Quantizer, WidthMode};
+use rptree::SplitRule;
+use std::path::Path;
+use std::process::ExitCode;
+use vecstore::io::read_fvecs;
+use vecstore::{knn_batch, SquaredL2};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         bilevel build  <corpus.fvecs> <index.json> [--w W | --target-recall R] [--groups G] [--tables L] [--m M] [--e8] [--seed S]\n  \
+         bilevel query  <corpus.fvecs> <index.json> <queries.fvecs> [--k K]\n  \
+         bilevel stats  <corpus.fvecs> <index.json>\n  \
+         bilevel exact  <corpus.fvecs> <queries.fvecs> [--k K]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` pairs out of the free arguments.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(|s| s.as_str())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let result = match cmd.as_str() {
+        "build" => cmd_build(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "exact" => cmd_exact(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn config_from_flags(flags: &Flags) -> BiLevelConfig {
+    let groups: usize = flags.num("--groups", 16);
+    let width = match flags.get("--target-recall") {
+        Some(r) => WidthMode::Tuned {
+            target_recall: r.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --target-recall");
+                std::process::exit(2);
+            }),
+            k: flags.num("--k", 10),
+        },
+        None => WidthMode::Scaled { base: flags.num("--w", 1.0f32), k: flags.num("--k", 10) },
+    };
+    BiLevelConfig {
+        l: flags.num("--tables", 10),
+        m: flags.num("--m", 8),
+        width,
+        partition: if groups <= 1 {
+            Partition::None
+        } else {
+            Partition::RpTree { groups, rule: SplitRule::Max }
+        },
+        quantizer: if flags.has("--e8") { Quantizer::E8 } else { Quantizer::Zm },
+        probe: bilevel_lsh::Probe::Home,
+        table_pool: flags.get("--pool").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --pool");
+                std::process::exit(2);
+            })
+        }),
+        seed: flags.num("--seed", 0x0b11_e7e1u64),
+    }
+}
+
+fn cmd_build(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [corpus_path, index_path, flags @ ..] = rest else {
+        return Err("build needs <corpus.fvecs> <index.json>".into());
+    };
+    let flags = Flags(flags.to_vec());
+    let data = read_fvecs(Path::new(corpus_path))?;
+    eprintln!("corpus: {} vectors, dim {}", data.len(), data.dim());
+    let config = config_from_flags(&flags);
+    let t = std::time::Instant::now();
+    let index = BiLevelIndex::build(&data, &config);
+    eprintln!(
+        "built in {:.1}s: {} groups, widths {:?}",
+        t.elapsed().as_secs_f64(),
+        index.num_groups(),
+        &index.group_widths()[..index.group_widths().len().min(4)]
+    );
+    index.save(Path::new(index_path))?;
+    eprintln!("saved {index_path}");
+    Ok(())
+}
+
+fn cmd_query(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [corpus_path, index_path, queries_path, flags @ ..] = rest else {
+        return Err("query needs <corpus.fvecs> <index.json> <queries.fvecs>".into());
+    };
+    let flags = Flags(flags.to_vec());
+    let k: usize = flags.num("--k", 10);
+    let data = read_fvecs(Path::new(corpus_path))?;
+    let queries = read_fvecs(Path::new(queries_path))?;
+    let index = BiLevelIndex::load(&data, Path::new(index_path))?;
+    let t = std::time::Instant::now();
+    let result = index.query_batch(&queries, k);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    // One line per query: id:distance pairs.
+    let mut out = String::new();
+    for hits in &result.neighbors {
+        for (i, n) in hits.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}:{:.6}", n.id, n.dist));
+        }
+        out.push('\n');
+    }
+    print!("{out}");
+    eprintln!(
+        "{} queries in {ms:.1} ms ({:.3} ms/query), mean candidates {:.1}",
+        queries.len(),
+        ms / queries.len() as f64,
+        result.candidates.iter().sum::<usize>() as f64 / queries.len() as f64,
+    );
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [corpus_path, index_path, ..] = rest else {
+        return Err("stats needs <corpus.fvecs> <index.json>".into());
+    };
+    let data = read_fvecs(Path::new(corpus_path))?;
+    let index = BiLevelIndex::load(&data, Path::new(index_path))?;
+    let stats = index.stats();
+    println!("{}", serde_json::to_string_pretty(&stats)?);
+    eprintln!("group imbalance: {:.2}", stats.group_imbalance());
+    Ok(())
+}
+
+fn cmd_exact(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [corpus_path, queries_path, flags @ ..] = rest else {
+        return Err("exact needs <corpus.fvecs> <queries.fvecs>".into());
+    };
+    let flags = Flags(flags.to_vec());
+    let k: usize = flags.num("--k", 10);
+    let data = read_fvecs(Path::new(corpus_path))?;
+    let queries = read_fvecs(Path::new(queries_path))?;
+    let t = std::time::Instant::now();
+    let truth = knn_batch(&data, &queries, k, &SquaredL2, 1);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut out = String::new();
+    for hits in &truth {
+        for (i, n) in hits.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}:{:.6}", n.id, (n.dist).sqrt()));
+        }
+        out.push('\n');
+    }
+    print!("{out}");
+    eprintln!("{} exact queries in {ms:.1} ms", queries.len());
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Bi-level hash codes and their compressed `u64` keys.
+//!
+//! A Bi-level code is the pair `(RP-tree(v), H(v))` — the level-1 group
+//! index concatenated with the level-2 lattice code (Section III). The flat
+//! GPU-style storage compresses this variable-length code to a single `u64`
+//! key "by using another hash function" (Section V-A); collisions merely
+//! merge buckets (adding a few extra short-list candidates), never lose
+//! items.
+
+use serde::{Deserialize, Serialize};
+
+/// A full Bi-level code: group index plus lattice coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BiLevelCode {
+    /// Level-1 group (RP-tree leaf / cluster id).
+    pub group: u32,
+    /// Level-2 lattice code (`Z^M` coords, or doubled E8 coords).
+    pub code: Vec<i32>,
+}
+
+impl BiLevelCode {
+    /// Compressed `u64` key over `(table, group, code)`.
+    ///
+    /// The table index is folded in so one flat array can host all `L`
+    /// tables — same-code buckets of different tables must not merge.
+    pub fn compress(&self, table: usize) -> u64 {
+        compress_code(table, self.group, &self.code)
+    }
+}
+
+/// FNV-1a–style fold of a bi-level code into a `u64` key, avoiding the
+/// cuckoo table's reserved `u64::MAX`.
+pub fn compress_code(table: usize, group: u32, code: &[i32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for shift in [0, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (v >> shift) & 0xff;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(table as u64);
+    eat(group as u64);
+    for &c in code {
+        eat(c as u32 as u64);
+    }
+    // Final avalanche so sequential codes spread over the key space.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    if h == u64::MAX {
+        h = 0;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_codes_compress_equal() {
+        let a = BiLevelCode { group: 3, code: vec![1, -2, 5] };
+        let b = BiLevelCode { group: 3, code: vec![1, -2, 5] };
+        assert_eq!(a.compress(0), b.compress(0));
+    }
+
+    #[test]
+    fn table_group_and_code_all_matter() {
+        let base = BiLevelCode { group: 1, code: vec![0, 0] };
+        let other_group = BiLevelCode { group: 2, code: vec![0, 0] };
+        let other_code = BiLevelCode { group: 1, code: vec![0, 1] };
+        assert_ne!(base.compress(0), base.compress(1));
+        assert_ne!(base.compress(0), other_group.compress(0));
+        assert_ne!(base.compress(0), other_code.compress(0));
+    }
+
+    #[test]
+    fn never_produces_reserved_sentinel() {
+        for t in 0..4usize {
+            for g in 0..64u32 {
+                for c in -64i32..64 {
+                    assert_ne!(compress_code(t, g, &[c, -c, c ^ 3]), u64::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collision_rate_is_low_on_dense_grid() {
+        // 20k distinct small codes: expect no collisions at u64 width.
+        let mut keys: Vec<u64> = Vec::new();
+        for g in 0..20u32 {
+            for a in -16i32..16 {
+                for b in -16i32..16 {
+                    keys.push(compress_code(0, g, &[a, b]));
+                }
+            }
+        }
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "hash collision on a small grid");
+    }
+}

@@ -1,0 +1,277 @@
+//! Configuration of a Bi-level LSH index.
+//!
+//! Every method variant the paper evaluates (Figures 5–13) is one point in
+//! this configuration space:
+//!
+//! * standard LSH            = `Partition::None` + `Probe::Home`
+//! * multi-probed LSH        = `Partition::None` + `Probe::Multi(t)`
+//! * hierarchical LSH        = `Partition::None` + `Probe::Hierarchical`
+//! * Bi-level LSH            = `Partition::RpTree` + `Probe::Home`
+//! * multi-probed Bi-level   = `Partition::RpTree` + `Probe::Multi(t)`
+//! * hierarchical Bi-level   = `Partition::RpTree` + `Probe::Hierarchical`
+//!
+//! each with either the `Z^M` or the E8 quantizer.
+
+use rptree::SplitRule;
+use serde::{Deserialize, Serialize};
+
+/// Level-1 partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// No partitioning — degenerates to standard (single-level) LSH.
+    None,
+    /// Random projection tree with `groups` leaves.
+    RpTree {
+        /// Number of leaf groups.
+        groups: usize,
+        /// Split rule (the paper prefers `Mean`).
+        rule: SplitRule,
+    },
+    /// K-means baseline (Figure 13c).
+    KMeans {
+        /// Number of clusters.
+        groups: usize,
+    },
+    /// Kd-style axis-median baseline.
+    Kd {
+        /// Number of cells.
+        groups: usize,
+    },
+}
+
+impl Partition {
+    /// Requested group count (1 for `None`).
+    pub fn groups(&self) -> usize {
+        match *self {
+            Partition::None => 1,
+            Partition::RpTree { groups, .. }
+            | Partition::KMeans { groups }
+            | Partition::Kd { groups } => groups,
+        }
+    }
+}
+
+/// Level-2 space quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantizer {
+    /// Integer lattice `Z^M` (floor quantization).
+    Zm,
+    /// E8 lattice blocks (`⌈M/8⌉` concatenated decoders).
+    E8,
+}
+
+/// Bucket-probing strategy at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Probe {
+    /// Only the bucket containing the query (standard LSH).
+    Home,
+    /// Query-directed multi-probe with `t` extra probes per table
+    /// (perturbation sets for `Z^M`, nearest lattice roots for E8).
+    Multi(usize),
+    /// Hierarchical escalation: queries whose candidate sets fall below a
+    /// threshold re-probe coarser hierarchy levels. In batch queries the
+    /// threshold defaults to the batch median (the paper's rule); a fixed
+    /// floor is used for single queries.
+    Hierarchical {
+        /// Fixed candidate floor used when no batch median is available.
+        min_candidates: usize,
+    },
+}
+
+/// How the bucket width `W` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WidthMode {
+    /// One fixed `W` for every group (what the harness sweeps).
+    Fixed(f32),
+    /// `base` scaled per group by the ratio of the group's k-NN distance to
+    /// the global one — the per-cluster adaptation of Section IV-B run in a
+    /// sweepable form.
+    Scaled {
+        /// Baseline width, scaled per group.
+        base: f32,
+        /// Neighborhood size the distance profiles are fitted for.
+        k: usize,
+    },
+    /// Fully automatic per-group tuning to a recall target (Dong et al.).
+    Tuned {
+        /// Modeled recall target in `(0, 1)`.
+        target_recall: f64,
+        /// Neighborhood size the distance profiles are fitted for.
+        k: usize,
+    },
+}
+
+/// Full index configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiLevelConfig {
+    /// Number of hash tables `L`.
+    pub l: usize,
+    /// Hash code dimension `M`.
+    pub m: usize,
+    /// Bucket width selection.
+    pub width: WidthMode,
+    /// Level-1 partitioning.
+    pub partition: Partition,
+    /// Level-2 quantizer.
+    pub quantizer: Quantizer,
+    /// Probing strategy.
+    pub probe: Probe,
+    /// Query-adaptive table pool (Jégou et al., the paper's reference
+    /// \[12\]): when `Some(pool)` with `pool > l`, each group builds `pool`
+    /// hash tables and every query probes only the `l` tables in which it
+    /// sits most centrally. `None` (default) probes a fixed set of `l`.
+    #[serde(default)]
+    pub table_pool: Option<usize>,
+    /// Master RNG seed (projections, tree directions, table seeds).
+    pub seed: u64,
+}
+
+impl BiLevelConfig {
+    /// The paper's defaults: `L = 10`, `M = 8`, 16 RP-tree (mean rule)
+    /// groups, `Z^M` quantizer, home-bucket probing.
+    pub fn paper_default(w: f32) -> Self {
+        Self {
+            l: 10,
+            m: 8,
+            width: WidthMode::Fixed(w),
+            partition: Partition::RpTree { groups: 16, rule: SplitRule::Mean },
+            quantizer: Quantizer::Zm,
+            probe: Probe::Home,
+            table_pool: None,
+            seed: 0x0b11_e7e1,
+        }
+    }
+
+    /// Standard-LSH baseline with the same `L`, `M`, `W`.
+    pub fn standard(w: f32) -> Self {
+        Self { partition: Partition::None, ..Self::paper_default(w) }
+    }
+
+    /// Builder-style seed override.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style table-count override.
+    pub fn tables(mut self, l: usize) -> Self {
+        self.l = l;
+        self
+    }
+
+    /// Builder-style probe override.
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Builder-style quantizer override.
+    pub fn quantizer(mut self, quantizer: Quantizer) -> Self {
+        self.quantizer = quantizer;
+        self
+    }
+
+    /// Builder-style query-adaptive pool override (see
+    /// [`BiLevelConfig::table_pool`]).
+    pub fn table_pool(mut self, pool: usize) -> Self {
+        self.table_pool = Some(pool);
+        self
+    }
+
+    /// Validates invariants; called by the index builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `l == 0`, `m == 0`, non-positive fixed width, a zero group
+    /// count, or an out-of-range recall target.
+    pub fn validate(&self) {
+        assert!(self.l > 0, "need at least one hash table");
+        assert!(self.m > 0, "hash dimension must be positive");
+        assert!(self.partition.groups() > 0, "need at least one group");
+        if let Some(pool) = self.table_pool {
+            assert!(pool > self.l, "table pool must exceed l to be adaptive");
+        }
+        match self.width {
+            WidthMode::Fixed(w) => assert!(w > 0.0 && w.is_finite(), "fixed W must be positive"),
+            WidthMode::Scaled { base, k } => {
+                assert!(base > 0.0 && base.is_finite(), "base W must be positive");
+                assert!(k > 0, "profile k must be positive");
+            }
+            WidthMode::Tuned { target_recall, k } => {
+                assert!(
+                    target_recall > 0.0 && target_recall < 1.0,
+                    "recall target must be in (0, 1)"
+                );
+                assert!(k > 0, "profile k must be positive");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let c = BiLevelConfig::paper_default(4.0);
+        assert_eq!(c.l, 10);
+        assert_eq!(c.m, 8);
+        assert_eq!(c.partition.groups(), 16);
+        assert_eq!(c.quantizer, Quantizer::Zm);
+        c.validate();
+    }
+
+    #[test]
+    fn standard_is_single_group() {
+        let c = BiLevelConfig::standard(2.0);
+        assert_eq!(c.partition, Partition::None);
+        assert_eq!(c.partition.groups(), 1);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = BiLevelConfig::paper_default(1.0)
+            .seed(9)
+            .tables(30)
+            .probe(Probe::Multi(240))
+            .quantizer(Quantizer::E8);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.l, 30);
+        assert_eq!(c.probe, Probe::Multi(240));
+        assert_eq!(c.quantizer, Quantizer::E8);
+    }
+
+    #[test]
+    fn table_pool_builder_sets_pool() {
+        let c = BiLevelConfig::paper_default(1.0).table_pool(30);
+        assert_eq!(c.table_pool, Some(30));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "table pool must exceed")]
+    fn pool_not_exceeding_l_invalid() {
+        BiLevelConfig::paper_default(1.0).table_pool(10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash table")]
+    fn zero_tables_invalid() {
+        BiLevelConfig::paper_default(1.0).tables(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed W must be positive")]
+    fn negative_width_invalid() {
+        BiLevelConfig::paper_default(-1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "recall target")]
+    fn bad_recall_target_invalid() {
+        let mut c = BiLevelConfig::paper_default(1.0);
+        c.width = WidthMode::Tuned { target_recall: 1.5, k: 10 };
+        c.validate();
+    }
+}

@@ -1,0 +1,116 @@
+//! Evaluation harness glue: run an index over a query set against ground
+//! truth and produce per-query [`QueryEval`] records — the inner loop of
+//! every figure-reproduction binary.
+
+use crate::index::BiLevelIndex;
+use knn_metrics::{QueryEval, RunAggregate, SeriesPoint};
+use vecstore::{knn_batch, Dataset, Neighbor, SquaredL2};
+
+/// Exact ground truth for a query set (squared-L2 ranking, distances
+/// reported as true L2 to match index output).
+pub fn ground_truth(
+    data: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    let mut truth = knn_batch(data, queries, k, &SquaredL2, threads);
+    for hits in &mut truth {
+        for n in hits.iter_mut() {
+            n.dist = n.dist.sqrt();
+        }
+    }
+    truth
+}
+
+/// Evaluates one built index against precomputed ground truth.
+pub fn evaluate_index(
+    index: &BiLevelIndex,
+    queries: &Dataset,
+    truth: &[Vec<Neighbor>],
+    k: usize,
+) -> Vec<QueryEval> {
+    assert_eq!(queries.len(), truth.len(), "one ground-truth row per query");
+    let result = index.query_batch(queries, k);
+    result
+        .neighbors
+        .iter()
+        .zip(&result.candidates)
+        .zip(truth)
+        .map(|((approx, &cands), exact)| {
+            QueryEval::compute(exact, approx, cands, index.data().len())
+        })
+        .collect()
+}
+
+/// Runs `runs` independent evaluations (fresh projection seeds) of one
+/// configuration and reduces them to a curve point for width `w`.
+///
+/// `build` receives the run index and must return an index built with a
+/// run-specific seed; this is how the harness models the paper's
+/// "10 executions with different random projections".
+pub fn evaluate_runs<'a, F>(
+    build: F,
+    queries: &Dataset,
+    truth: &[Vec<Neighbor>],
+    k: usize,
+    runs: usize,
+    w: f64,
+) -> SeriesPoint
+where
+    F: Fn(usize) -> BiLevelIndex<'a>,
+{
+    assert!(runs > 0, "need at least one run");
+    let evals: Vec<Vec<QueryEval>> =
+        (0..runs).map(|r| evaluate_index(&build(r), queries, truth, k)).collect();
+    RunAggregate::new(evals).series_point(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BiLevelConfig;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn small_data() -> (Dataset, Dataset) {
+        synth::clustered(&ClusteredSpec::small(300), 23).split_at(250)
+    }
+
+    #[test]
+    fn exact_truth_scores_perfectly_against_itself() {
+        let (data, queries) = small_data();
+        let truth = ground_truth(&data, &queries, 5, 1);
+        // A maximally wide index returns the exact neighbors.
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(1e6));
+        let evals = evaluate_index(&index, &queries, &truth, 5);
+        let mean: f64 = evals.iter().map(|e| e.recall).sum::<f64>() / evals.len() as f64;
+        assert!(mean > 0.999, "recall {mean}");
+        assert!(evals.iter().all(|e| e.error_ratio > 0.999));
+    }
+
+    #[test]
+    fn evaluate_runs_aggregates_variance() {
+        let (data, queries) = small_data();
+        let truth = ground_truth(&data, &queries, 5, 1);
+        let point = evaluate_runs(
+            |r| BiLevelIndex::build(&data, &BiLevelConfig::standard(1.0).seed(100 + r as u64)),
+            &queries,
+            &truth,
+            5,
+            3,
+            1.0,
+        );
+        assert!(point.recall >= 0.0 && point.recall <= 1.0);
+        assert!(point.selectivity >= 0.0 && point.selectivity <= 1.0);
+        assert!(point.recall_std_proj >= 0.0);
+        assert_eq!(point.w, 1.0);
+    }
+
+    #[test]
+    fn ground_truth_distances_are_l2() {
+        let data = Dataset::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        let queries = Dataset::from_rows(&[vec![0.0, 0.0]]);
+        let truth = ground_truth(&data, &queries, 2, 1);
+        assert_eq!(truth[0][1].dist, 5.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Flat GPU-style index storage (Section V-A).
+//!
+//! Instead of one hash map per `(group, table)` pair, the GPU layout keeps
+//! *one* sorted linear array of all item ids, ordered by their compressed
+//! Bi-level code across all `L` tables, plus a cuckoo hash table mapping
+//! each compressed code to its `(start, end)` interval — "we store all the
+//! Bi-level LSH codes in one hash table, because the group index can
+//! distinguish codes from different groups". This module is that layout on
+//! CPU, built on the `cuckoo` crate.
+
+use crate::code::compress_code;
+use crate::config::{BiLevelConfig, Partition, Probe};
+use crate::index::{probe_sequence, quantize};
+use cuckoo::CuckooTable;
+use lsh::HashFamily;
+use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
+use vecstore::Dataset;
+
+/// Flat-array Bi-level index: sorted id array + cuckoo interval table.
+///
+/// Supports `Probe::Home` and `Probe::Multi`; hierarchical probing needs
+/// the per-table structures of [`crate::BiLevelIndex`].
+pub struct FlatIndex<'a> {
+    data: &'a Dataset,
+    config: BiLevelConfig,
+    partitioner: Box<dyn Partitioner + 'a>,
+    /// Per-table projections, shared by every group (flat layout folds the
+    /// group into the key instead of the width — widths here are global).
+    families: Vec<HashFamily>,
+    /// All item ids sorted by (table, compressed code).
+    linear: Vec<u32>,
+    /// Compressed code → packed `(start << 32) | end` interval.
+    intervals: CuckooTable,
+}
+
+impl<'a> FlatIndex<'a> {
+    /// Builds the flat index. `width` must be `WidthMode::Fixed` (the GPU
+    /// layout in the paper uses a single table; per-group widths would
+    /// change code semantics per group, which the compressed key cannot
+    /// express).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data, invalid config, non-fixed width mode, or
+    /// hierarchical probing.
+    pub fn build(data: &'a Dataset, config: &BiLevelConfig) -> Self {
+        config.validate();
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let crate::config::WidthMode::Fixed(w) = config.width else {
+            panic!("FlatIndex requires WidthMode::Fixed");
+        };
+        assert!(
+            !matches!(config.probe, Probe::Hierarchical { .. }),
+            "FlatIndex does not support hierarchical probing"
+        );
+        let config = config.clone();
+
+        let partitioner: Box<dyn Partitioner> = match config.partition {
+            Partition::None => Box::new(SinglePartition),
+            Partition::RpTree { groups, rule } => {
+                let cfg = RpTreeConfig::with_leaves(groups).rule(rule).seed(config.seed ^ 0xA11);
+                Box::new(RpTree::fit(data, &cfg).0)
+            }
+            Partition::KMeans { groups } => {
+                Box::new(KMeans::fit(data, groups, 50, config.seed ^ 0xB22).0)
+            }
+            Partition::Kd { groups } => Box::new(KdPartitioner::fit(data, groups).0),
+        };
+
+        let families: Vec<HashFamily> = (0..config.l)
+            .map(|l| {
+                HashFamily::sample(data.dim(), config.m, 1.0, config.seed ^ (0x1000 + l as u64))
+                    .with_w(w)
+            })
+            .collect();
+
+        // Compressed key of every (item, table) pair.
+        let mut raw = vec![0.0f32; config.m];
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(data.len() * config.l);
+        for (i, row) in data.iter().enumerate() {
+            let g = partitioner.assign(row) as u32;
+            for (l, family) in families.iter().enumerate() {
+                family.project_into(row, &mut raw);
+                let code = quantize(&raw, config.quantizer);
+                keyed.push((compress_code(l, g, &code), i as u32));
+            }
+        }
+        // Sort by key: buckets become contiguous intervals.
+        keyed.sort_unstable();
+        let linear: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
+        // Interval per distinct key, packed into the cuckoo payload.
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        let mut i = 0usize;
+        while i < keyed.len() {
+            let key = keyed[i].0;
+            let mut j = i;
+            while j < keyed.len() && keyed[j].0 == key {
+                j += 1;
+            }
+            items.push((key, ((i as u64) << 32) | j as u64));
+            i = j;
+        }
+        let intervals = CuckooTable::build_parallel(items, 0.5, config.seed ^ 0xC0C0, 1)
+            .expect("cuckoo build failed");
+
+        Self { data, config, partitioner, families, linear, intervals }
+    }
+
+    /// Length of the linear array (`n · L`).
+    pub fn linear_len(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Number of distinct buckets across all tables.
+    pub fn num_buckets(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Deduplicated short-list candidates for one query.
+    pub fn candidates(&self, v: &[f32]) -> Vec<u32> {
+        assert_eq!(v.len(), self.data.dim(), "query dimension mismatch");
+        let g = self.partitioner.assign(v) as u32;
+        let mut raw = vec![0.0f32; self.config.m];
+        let mut out = Vec::new();
+        for (l, family) in self.families.iter().enumerate() {
+            family.project_into(v, &mut raw);
+            let home = quantize(&raw, self.config.quantizer);
+            let probes = match self.config.probe {
+                Probe::Home => vec![home],
+                Probe::Multi(t) => probe_sequence(&raw, &home, t, self.config.quantizer),
+                Probe::Hierarchical { .. } => unreachable!("rejected at build"),
+            };
+            for code in probes {
+                if let Some(packed) = self.intervals.get(compress_code(l, g, &code)) {
+                    let (start, end) = ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize);
+                    out.extend_from_slice(&self.linear[start..end]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate sets for a batch of queries.
+    pub fn candidates_batch(&self, queries: &Dataset) -> Vec<Vec<u32>> {
+        queries.iter().map(|q| self.candidates(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Quantizer;
+    use crate::index::BiLevelIndex;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn small_data() -> (Dataset, Dataset) {
+        let all = synth::clustered(&ClusteredSpec::small(400), 17);
+        all.split_at(350)
+    }
+
+    #[test]
+    fn flat_matches_table_index_candidates() {
+        let (data, queries) = small_data();
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            let cfg = BiLevelConfig::paper_default(2.0).quantizer(quantizer);
+            let table = BiLevelIndex::build(&data, &cfg);
+            let flat = FlatIndex::build(&data, &cfg);
+            let a = table.candidates_batch(&queries);
+            let b = flat.candidates_batch(&queries);
+            assert_eq!(a, b, "quantizer {quantizer:?}");
+        }
+    }
+
+    #[test]
+    fn flat_matches_table_index_with_multiprobe() {
+        let (data, queries) = small_data();
+        let cfg = BiLevelConfig::standard(1.0).probe(Probe::Multi(16));
+        let table = BiLevelIndex::build(&data, &cfg);
+        let flat = FlatIndex::build(&data, &cfg);
+        assert_eq!(table.candidates_batch(&queries), flat.candidates_batch(&queries));
+    }
+
+    #[test]
+    fn linear_array_has_n_times_l_entries() {
+        let (data, _) = small_data();
+        let cfg = BiLevelConfig::paper_default(2.0);
+        let flat = FlatIndex::build(&data, &cfg);
+        assert_eq!(flat.linear_len(), data.len() * cfg.l);
+        assert!(flat.num_buckets() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hierarchical")]
+    fn hierarchical_probe_rejected() {
+        let (data, _) = small_data();
+        let cfg =
+            BiLevelConfig::paper_default(2.0).probe(Probe::Hierarchical { min_candidates: 4 });
+        let _ = FlatIndex::build(&data, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "WidthMode::Fixed")]
+    fn non_fixed_width_rejected() {
+        let (data, _) = small_data();
+        let mut cfg = BiLevelConfig::paper_default(2.0);
+        cfg.width = crate::config::WidthMode::Scaled { base: 1.0, k: 5 };
+        let _ = FlatIndex::build(&data, &cfg);
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # Bi-level LSH
+//!
+//! A from-scratch Rust implementation of *Bi-level Locality Sensitive
+//! Hashing for k-Nearest Neighbor Computation* (Pan & Manocha, ICDE 2012).
+//!
+//! The index is a two-level scheme:
+//!
+//! 1. **Level 1** partitions the dataset into clusters with bounded aspect
+//!    ratio using a random projection tree (or a K-means / Kd baseline).
+//! 2. **Level 2** hashes each cluster into `L` locality-sensitive hash
+//!    tables with per-cluster-tuned bucket widths, quantizing with either
+//!    the `Z^M` integer lattice or the densest-packing E8 lattice, and
+//!    optionally probing through a bucket hierarchy (Morton curve for
+//!    `Z^M`, scaled-decode tree for E8) or a query-directed multi-probe
+//!    sequence.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bilevel_lsh::{BiLevelConfig, BiLevelIndex};
+//! use vecstore::synth::{self, ClusteredSpec};
+//!
+//! // A synthetic "image descriptor" corpus.
+//! let corpus = synth::clustered(&ClusteredSpec::small(500), 7);
+//! let (data, queries) = corpus.split_at(450);
+//!
+//! // Build the paper-default index (RP-tree + Z^M, L = 10, M = 8).
+//! let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(2.0));
+//!
+//! // 10-NN for the first held-out query.
+//! let hits = index.query(queries.row(0), 10);
+//! assert!(hits.len() <= 10);
+//! assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+//! ```
+
+pub mod code;
+pub mod config;
+pub mod evaluate;
+pub mod flat;
+pub mod index;
+pub mod ooc;
+pub mod persist;
+pub mod stats;
+
+pub use code::{compress_code, BiLevelCode};
+pub use config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+pub use evaluate::{evaluate_index, evaluate_runs, ground_truth};
+pub use flat::FlatIndex;
+pub use index::{BatchResult, BiLevelIndex, Engine};
+pub use ooc::OocFlatIndex;
+pub use persist::PersistError;
+pub use stats::IndexStats;
+
+// Re-export the pieces user code needs to interpret results.
+pub use knn_metrics::{QueryEval, SeriesPoint};
+pub use vecstore::{Dataset, Neighbor};

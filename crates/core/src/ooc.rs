@@ -1,0 +1,324 @@
+//! Out-of-core Bi-level LSH: the index structure in memory, the vectors on
+//! disk (the paper's Section VII future-work item).
+//!
+//! Construction follows the sample-fit / stream-encode pattern:
+//!
+//! 1. a strided in-memory **sample** fits the level-1 partitioner and the
+//!    per-group widths (partition quality degrades gracefully with the
+//!    sample rate, never correctness);
+//! 2. the full file is **streamed** in chunks, each row hashed into its
+//!    compressed bi-level key — only `(key, id)` pairs are retained;
+//! 3. queries probe the cuckoo-indexed flat bucket layout exactly like
+//!    [`crate::FlatIndex`], but the short-list search fetches candidate
+//!    rows from disk with positioned reads.
+
+use crate::code::compress_code;
+use crate::config::{BiLevelConfig, Partition, Probe, WidthMode};
+use crate::index::{probe_sequence, quantize};
+use cuckoo::CuckooTable;
+use lsh::{tune_w, DistanceProfile, HashFamily, TuningGoal};
+use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
+use vecstore::metric::squared_l2;
+use vecstore::ooc::OocDataset;
+use vecstore::{Dataset, Neighbor, TopK};
+
+/// Rows per streaming chunk during construction.
+const CHUNK_ROWS: usize = 4_096;
+
+/// Disk-resident Bi-level LSH index over an [`OocDataset`].
+///
+/// Supports `Probe::Home` and `Probe::Multi`; hierarchical probing needs the
+/// in-memory per-table structures.
+pub struct OocFlatIndex<'a> {
+    source: &'a OocDataset,
+    config: BiLevelConfig,
+    partitioner: Box<dyn Partitioner>,
+    /// Per-table families; group widths are folded in per query/row via
+    /// `group_widths` (families are sampled at `W = 1`).
+    base_families: Vec<HashFamily>,
+    group_widths: Vec<f32>,
+    /// All item ids sorted by (table, compressed code).
+    linear: Vec<u32>,
+    /// Compressed code → packed `(start << 32) | end` interval.
+    intervals: CuckooTable,
+}
+
+impl<'a> OocFlatIndex<'a> {
+    /// Builds the index by sampling `sample_size` rows for fitting and then
+    /// streaming the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or hierarchical probing.
+    pub fn build(
+        source: &'a OocDataset,
+        config: &BiLevelConfig,
+        sample_size: usize,
+    ) -> std::io::Result<Self> {
+        config.validate();
+        assert!(
+            !matches!(config.probe, Probe::Hierarchical { .. }),
+            "OocFlatIndex does not support hierarchical probing"
+        );
+        assert!(!source.is_empty(), "cannot index an empty file");
+        let config = config.clone();
+
+        // ---- Fit phase: everything model-like comes from the sample. ----
+        let sample = source.sample(sample_size)?;
+        let partitioner: Box<dyn Partitioner> = match config.partition {
+            Partition::None => Box::new(SinglePartition),
+            Partition::RpTree { groups, rule } => {
+                let cfg = RpTreeConfig::with_leaves(groups).rule(rule).seed(config.seed ^ 0xA11);
+                Box::new(RpTree::fit(&sample, &cfg).0)
+            }
+            Partition::KMeans { groups } => {
+                Box::new(KMeans::fit(&sample, groups, 50, config.seed ^ 0xB22).0)
+            }
+            Partition::Kd { groups } => Box::new(KdPartitioner::fit(&sample, groups).0),
+        };
+        let num_groups = partitioner.num_groups();
+        let group_widths = sample_group_widths(&sample, partitioner.as_ref(), num_groups, &config);
+        let base_families: Vec<HashFamily> = (0..config.l)
+            .map(|l| {
+                HashFamily::sample(source.dim(), config.m, 1.0, config.seed ^ (0x1000 + l as u64))
+            })
+            .collect();
+
+        // ---- Stream phase: encode every row, keep only (key, id). ----
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(source.len() * config.l);
+        let mut raw = vec![0.0f32; config.m];
+        for chunk in source.chunks(CHUNK_ROWS) {
+            let (start, block) = chunk?;
+            for (j, row) in block.iter().enumerate() {
+                let id = (start + j) as u32;
+                let g = partitioner.assign(row);
+                for (l, base) in base_families.iter().enumerate() {
+                    let family = base.with_w(group_widths[g]);
+                    family.project_into(row, &mut raw);
+                    let code = quantize(&raw, config.quantizer);
+                    keyed.push((compress_code(l, g as u32, &code), id));
+                }
+            }
+        }
+        keyed.sort_unstable();
+        let linear: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        let mut i = 0usize;
+        while i < keyed.len() {
+            let key = keyed[i].0;
+            let mut j = i;
+            while j < keyed.len() && keyed[j].0 == key {
+                j += 1;
+            }
+            items.push((key, ((i as u64) << 32) | j as u64));
+            i = j;
+        }
+        let intervals =
+            CuckooTable::build(items, config.seed ^ 0xC0C0).expect("cuckoo build failed");
+
+        Ok(Self { source, config, partitioner, base_families, group_widths, linear, intervals })
+    }
+
+    /// Number of level-1 groups in effect.
+    pub fn num_groups(&self) -> usize {
+        self.partitioner.num_groups()
+    }
+
+    /// Deduplicated candidate ids for one query (no disk reads — pure
+    /// bucket lookup).
+    pub fn candidates(&self, v: &[f32]) -> Vec<u32> {
+        assert_eq!(v.len(), self.source.dim(), "query dimension mismatch");
+        let g = self.partitioner.assign(v);
+        let mut raw = vec![0.0f32; self.config.m];
+        let mut out = Vec::new();
+        for (l, base) in self.base_families.iter().enumerate() {
+            let family = base.with_w(self.group_widths[g]);
+            family.project_into(v, &mut raw);
+            let home = quantize(&raw, self.config.quantizer);
+            let probes = match self.config.probe {
+                Probe::Home => vec![home],
+                Probe::Multi(t) => probe_sequence(&raw, &home, t, self.config.quantizer),
+                Probe::Hierarchical { .. } => unreachable!("rejected at build"),
+            };
+            for code in probes {
+                if let Some(packed) = self.intervals.get(compress_code(l, g as u32, &code)) {
+                    let (start, end) = ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize);
+                    out.extend_from_slice(&self.linear[start..end]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Full k-NN query: probes buckets, then ranks candidates by reading
+    /// their rows from disk. Returns L2 distances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from candidate row reads.
+    pub fn query(&self, v: &[f32], k: usize) -> std::io::Result<Vec<Neighbor>> {
+        let candidates = self.candidates(v);
+        let mut top = TopK::new(k);
+        let mut buf = vec![0.0f32; self.source.dim()];
+        for &id in &candidates {
+            self.source.read_row_into(id as usize, &mut buf)?;
+            top.push(id as usize, squared_l2(v, &buf));
+        }
+        let mut hits = top.into_sorted();
+        for n in &mut hits {
+            n.dist = n.dist.sqrt();
+        }
+        Ok(hits)
+    }
+
+    /// Batch query over an in-memory query set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from candidate row reads.
+    pub fn query_batch(&self, queries: &Dataset, k: usize) -> std::io::Result<Vec<Vec<Neighbor>>> {
+        queries.iter().map(|q| self.query(q, k)).collect()
+    }
+}
+
+/// Per-group widths estimated on the fitting sample.
+fn sample_group_widths(
+    sample: &Dataset,
+    partitioner: &dyn Partitioner,
+    num_groups: usize,
+    config: &BiLevelConfig,
+) -> Vec<f32> {
+    match config.width {
+        WidthMode::Fixed(w) => vec![w; num_groups],
+        WidthMode::Scaled { base, k } => {
+            let assignments = partitioner.assign_all(sample);
+            let global = DistanceProfile::fit(sample, k, 200);
+            per_group(sample, &assignments, num_groups, |subset| {
+                if subset.len() < 2 {
+                    return base;
+                }
+                let p = DistanceProfile::fit(subset, k, 200);
+                base * (p.d_knn / global.d_knn.max(1e-12)).clamp(0.1, 10.0) as f32
+            })
+        }
+        WidthMode::Tuned { target_recall, k } => {
+            let assignments = partitioner.assign_all(sample);
+            per_group(sample, &assignments, num_groups, |subset| {
+                if subset.len() < 2 {
+                    return 1.0;
+                }
+                let p = DistanceProfile::fit(subset, k, 200);
+                tune_w(&p, config.m, config.l, TuningGoal::Recall(target_recall)) as f32
+            })
+        }
+    }
+}
+
+fn per_group<F: Fn(&Dataset) -> f32>(
+    sample: &Dataset,
+    assignments: &[usize],
+    num_groups: usize,
+    f: F,
+) -> Vec<f32> {
+    (0..num_groups)
+        .map(|g| {
+            let ids: Vec<usize> =
+                assignments.iter().enumerate().filter(|&(_, &a)| a == g).map(|(i, _)| i).collect();
+            if ids.is_empty() {
+                1.0
+            } else {
+                f(&sample.gather(&ids))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use vecstore::io::write_fvecs;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn on_disk(name: &str, n: usize) -> (std::path::PathBuf, Dataset, Dataset) {
+        let all = synth::clustered(&ClusteredSpec::small(n + 50), 61);
+        let (data, queries) = all.split_at(n);
+        let dir = std::env::temp_dir().join("bilevel_ooc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        write_fvecs(&path, &data).unwrap();
+        (path, data, queries)
+    }
+
+    #[test]
+    fn full_sample_matches_in_memory_flat_index() {
+        let (path, data, queries) = on_disk("match.fvecs", 600);
+        let source = OocDataset::open(&path).unwrap();
+        let cfg = BiLevelConfig::paper_default(5.0);
+        // Sample >= n: the fit sees the whole dataset, so candidates must be
+        // identical to the in-memory flat index built with the same seed.
+        let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+        let mem = FlatIndex::build(&data, &cfg);
+        for q in queries.iter() {
+            assert_eq!(ooc.candidates(q), mem.candidates(q));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn small_sample_still_answers_sanely() {
+        let (path, data, queries) = on_disk("sampled.fvecs", 600);
+        let source = OocDataset::open(&path).unwrap();
+        let cfg = BiLevelConfig::paper_default(8.0);
+        let ooc = OocFlatIndex::build(&source, &cfg, 100).unwrap();
+        assert!(ooc.num_groups() >= 1);
+        let hits = ooc.query(queries.row(0), 5).unwrap();
+        assert!(hits.len() <= 5);
+        assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert!(hits.iter().all(|n| n.id < data.len()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_distances_match_disk_rows() {
+        let (path, data, queries) = on_disk("dist.fvecs", 400);
+        let source = OocDataset::open(&path).unwrap();
+        let cfg = BiLevelConfig::standard(10.0);
+        let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+        let hits = ooc.query(queries.row(1), 3).unwrap();
+        for n in hits {
+            let want = squared_l2(queries.row(1), data.row(n.id)).sqrt();
+            assert!((n.dist - want).abs() < 1e-4);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multiprobe_supported() {
+        let (path, _, queries) = on_disk("multi.fvecs", 300);
+        let source = OocDataset::open(&path).unwrap();
+        let home_cfg = BiLevelConfig::standard(4.0);
+        let multi_cfg = BiLevelConfig::standard(4.0).probe(Probe::Multi(16));
+        let home = OocFlatIndex::build(&source, &home_cfg, usize::MAX).unwrap();
+        let multi = OocFlatIndex::build(&source, &multi_cfg, usize::MAX).unwrap();
+        let ch: usize = queries.iter().map(|q| home.candidates(q).len()).sum();
+        let cm: usize = queries.iter().map(|q| multi.candidates(q).len()).sum();
+        assert!(cm >= ch);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "hierarchical")]
+    fn hierarchical_rejected() {
+        let (path, _, _) = on_disk("hier.fvecs", 100);
+        let source = OocDataset::open(&path).unwrap();
+        let cfg = BiLevelConfig::standard(4.0).probe(Probe::Hierarchical { min_candidates: 4 });
+        let _ = OocFlatIndex::build(&source, &cfg, 50);
+    }
+}

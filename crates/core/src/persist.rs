@@ -1,0 +1,322 @@
+//! Index persistence: save a built [`BiLevelIndex`] to disk and load it
+//! back without re-hashing the dataset.
+//!
+//! The snapshot contains the *index structure only* — level-1 partitioner,
+//! per-group widths, hash families, and bucket contents — not the vectors,
+//! which the index borrows. Loading therefore takes the same dataset again
+//! and verifies a fingerprint (length, dimension, and a content checksum) so
+//! a snapshot can never be silently attached to different data.
+//!
+//! Bucket hierarchies are *not* stored: they are deterministic functions of
+//! the bucket codes and are rebuilt on load when the configuration demands
+//! them. The on-disk format is versioned JSON (`serde_json`); see DESIGN.md
+//! for the dependency justification.
+
+use crate::config::{BiLevelConfig, Probe};
+use crate::index::{build_table_hierarchy, BiLevelIndex, GroupTable, Level1};
+use lsh::{HashFamily, LshTable};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use vecstore::Dataset;
+
+/// Current snapshot format version.
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors arising while saving or loading a snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or wrong-version snapshot.
+    Format(String),
+    /// The dataset supplied at load time does not match the snapshot's
+    /// fingerprint.
+    DataMismatch(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "snapshot format error: {m}"),
+            PersistError::DataMismatch(m) => write!(f, "dataset mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Fingerprint binding a snapshot to the dataset it was built over.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct DataFingerprint {
+    len: usize,
+    dim: usize,
+    /// FNV-1a over the raw little-endian bytes of the flat buffer.
+    checksum: u64,
+}
+
+impl DataFingerprint {
+    fn of(data: &Dataset) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for v in data.as_flat() {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        Self { len: data.len(), dim: data.dim(), checksum: h }
+    }
+}
+
+/// One serialized `(group, table)` pair: the hash family plus the bucket
+/// contents as parallel `(code, ids)` lists.
+#[derive(Serialize, Deserialize)]
+struct TableSnapshot {
+    family: HashFamily,
+    codes: Vec<Vec<i32>>,
+    buckets: Vec<Vec<u32>>,
+}
+
+/// The complete on-disk snapshot.
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    fingerprint: DataFingerprint,
+    config: BiLevelConfig,
+    level1: Level1,
+    group_widths: Vec<f32>,
+    /// `tables[group][l]`.
+    tables: Vec<Vec<TableSnapshot>>,
+}
+
+impl<'a> BiLevelIndex<'a> {
+    /// Serializes the index structure to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn save_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        let tables = self
+            .tables
+            .iter()
+            .map(|per_group| {
+                per_group
+                    .iter()
+                    .map(|gt| {
+                        // Emit buckets in the deterministic sorted-code order
+                        // so snapshots of the same index are byte-identical.
+                        let codes: Vec<Vec<i32>> =
+                            gt.bucket_codes.iter().map(|c| c.to_vec()).collect();
+                        let buckets: Vec<Vec<u32>> =
+                            codes.iter().map(|c| gt.table.bucket(c).to_vec()).collect();
+                        TableSnapshot { family: gt.family.clone(), codes, buckets }
+                    })
+                    .collect()
+            })
+            .collect();
+        let snapshot = Snapshot {
+            version: FORMAT_VERSION,
+            fingerprint: DataFingerprint::of(&self.data),
+            config: self.config.clone(),
+            level1: clone_level1(&self.level1),
+            group_widths: self.group_widths.clone(),
+            tables,
+        };
+        serde_json::to_writer(writer, &snapshot).map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// Saves the index to a file (see [`BiLevelIndex::save_to`]).
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        self.save_to(std::io::BufWriter::new(file))
+    }
+
+    /// Reconstructs an index from a snapshot and the dataset it was built
+    /// over.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PersistError::DataMismatch`] when `data` does not match
+    /// the snapshot's fingerprint, or [`PersistError::Format`] on version or
+    /// decoding problems.
+    pub fn load_from<R: Read>(data: &'a Dataset, reader: R) -> Result<Self, PersistError> {
+        let snapshot: Snapshot =
+            serde_json::from_reader(reader).map_err(|e| PersistError::Format(e.to_string()))?;
+        if snapshot.version != FORMAT_VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported snapshot version {} (expected {FORMAT_VERSION})",
+                snapshot.version
+            )));
+        }
+        let fp = DataFingerprint::of(data);
+        if fp != snapshot.fingerprint {
+            return Err(PersistError::DataMismatch(format!(
+                "snapshot was built over {} × dim {} (checksum {:#x}), \
+                 got {} × dim {} (checksum {:#x})",
+                snapshot.fingerprint.len,
+                snapshot.fingerprint.dim,
+                snapshot.fingerprint.checksum,
+                fp.len,
+                fp.dim,
+                fp.checksum,
+            )));
+        }
+        let build_hierarchy = matches!(snapshot.config.probe, Probe::Hierarchical { .. });
+        let tables = snapshot
+            .tables
+            .into_iter()
+            .map(|per_group| {
+                per_group
+                    .into_iter()
+                    .map(|ts| {
+                        if ts.codes.len() != ts.buckets.len() {
+                            return Err(PersistError::Format(
+                                "codes/buckets length mismatch".into(),
+                            ));
+                        }
+                        let mut table = LshTable::new();
+                        for (code, ids) in ts.codes.iter().zip(&ts.buckets) {
+                            for &id in ids {
+                                if id as usize >= data.len() {
+                                    return Err(PersistError::Format(format!(
+                                        "bucket id {id} out of range"
+                                    )));
+                                }
+                                table.insert(code, id);
+                            }
+                        }
+                        let bucket_codes: Vec<Box<[i32]>> =
+                            ts.codes.into_iter().map(|c| c.into_boxed_slice()).collect();
+                        let hierarchy = if build_hierarchy && !bucket_codes.is_empty() {
+                            Some(build_table_hierarchy(&bucket_codes, snapshot.config.quantizer))
+                        } else {
+                            None
+                        };
+                        Ok(GroupTable { family: ts.family, table, bucket_codes, hierarchy })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BiLevelIndex {
+            data: std::borrow::Cow::Borrowed(data),
+            config: snapshot.config,
+            level1: snapshot.level1,
+            tables,
+            group_widths: snapshot.group_widths,
+        })
+    }
+
+    /// Loads an index from a file (see [`BiLevelIndex::load_from`]).
+    pub fn load(data: &'a Dataset, path: &std::path::Path) -> Result<Self, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Self::load_from(data, std::io::BufReader::new(file))
+    }
+}
+
+/// `Level1` holds no shared state, but some variants don't implement
+/// `Clone`; round-trip through serde to copy it for the snapshot.
+fn clone_level1(level1: &Level1) -> Level1 {
+    let json = serde_json::to_string(level1).expect("level1 serializes");
+    serde_json::from_str(&json).expect("level1 deserializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Probe, Quantizer};
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn corpus() -> (Dataset, Dataset) {
+        synth::clustered(&ClusteredSpec::small(400), 55).split_at(350)
+    }
+
+    fn roundtrip(cfg: &BiLevelConfig) {
+        let (data, queries) = corpus();
+        let index = BiLevelIndex::build(&data, cfg);
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        let loaded = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
+        let a = index.query_batch(&queries, 7);
+        let b = loaded.query_batch(&queries, 7);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn roundtrip_zm_home() {
+        roundtrip(&BiLevelConfig::paper_default(5.0));
+    }
+
+    #[test]
+    fn roundtrip_e8_multiprobe() {
+        roundtrip(
+            &BiLevelConfig::paper_default(5.0).quantizer(Quantizer::E8).probe(Probe::Multi(16)),
+        );
+    }
+
+    #[test]
+    fn roundtrip_hierarchical_rebuilds_hierarchy() {
+        roundtrip(
+            &BiLevelConfig::paper_default(3.0).probe(Probe::Hierarchical { min_candidates: 8 }),
+        );
+    }
+
+    #[test]
+    fn load_rejects_different_dataset() {
+        let (data, _) = corpus();
+        let other = synth::clustered(&ClusteredSpec::small(350), 56);
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        let err = match BiLevelIndex::load_from(&other, buf.as_slice()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched dataset accepted"),
+        };
+        assert!(matches!(err, PersistError::DataMismatch(_)), "got {err}");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let (data, _) = corpus();
+        let err = match BiLevelIndex::load_from(&data, &b"not a snapshot"[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage snapshot accepted"),
+        };
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let (data, _) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(5.0));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        index.save_to(&mut a).unwrap();
+        index.save_to(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (data, queries) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let dir = std::env::temp_dir().join("bilevel_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.json");
+        index.save(&path).unwrap();
+        let loaded = BiLevelIndex::load(&data, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            index.query_batch(&queries, 3).neighbors,
+            loaded.query_batch(&queries, 3).neighbors
+        );
+    }
+}

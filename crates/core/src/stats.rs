@@ -1,0 +1,139 @@
+//! Index diagnostics: structural statistics of a built [`BiLevelIndex`],
+//! for capacity planning and for debugging partition/bucket balance.
+
+use crate::index::BiLevelIndex;
+use serde::Serialize;
+
+/// Structural statistics of a built index.
+#[derive(Debug, Clone, Serialize)]
+pub struct IndexStats {
+    /// Number of indexed vectors.
+    pub num_vectors: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Level-1 group count.
+    pub num_groups: usize,
+    /// Vectors per group (from table 0 of each group).
+    pub group_sizes: Vec<usize>,
+    /// Bucket width per group.
+    pub group_widths: Vec<f32>,
+    /// Hash tables per group (`L`).
+    pub tables_per_group: usize,
+    /// Total non-empty buckets across all groups and tables.
+    pub total_buckets: usize,
+    /// Largest single bucket.
+    pub max_bucket: usize,
+    /// Mean bucket occupancy.
+    pub mean_bucket: f64,
+    /// Whether per-table hierarchies are present.
+    pub has_hierarchies: bool,
+}
+
+impl IndexStats {
+    /// Ratio of the largest to the smallest group — the level-1 balance
+    /// indicator (1.0 is perfectly balanced).
+    pub fn group_imbalance(&self) -> f64 {
+        let max = self.group_sizes.iter().copied().max().unwrap_or(0);
+        let min = self.group_sizes.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+impl BiLevelIndex<'_> {
+    /// Computes structural statistics of the index.
+    pub fn stats(&self) -> IndexStats {
+        let mut group_sizes = Vec::with_capacity(self.tables.len());
+        let mut total_buckets = 0usize;
+        let mut max_bucket = 0usize;
+        let mut total_entries = 0usize;
+        let mut has_hierarchies = false;
+        for per_group in &self.tables {
+            if let Some(first) = per_group.first() {
+                group_sizes.push(first.table.len());
+            } else {
+                group_sizes.push(0);
+            }
+            for gt in per_group {
+                total_buckets += gt.table.num_buckets();
+                max_bucket = max_bucket.max(gt.table.max_bucket_len());
+                total_entries += gt.table.len();
+                has_hierarchies |= gt.hierarchy.is_some();
+            }
+        }
+        IndexStats {
+            num_vectors: self.data().len(),
+            dim: self.data().dim(),
+            num_groups: self.tables.len(),
+            group_sizes,
+            group_widths: self.group_widths.clone(),
+            tables_per_group: self.config().l,
+            total_buckets,
+            max_bucket,
+            mean_bucket: if total_buckets == 0 {
+                0.0
+            } else {
+                total_entries as f64 / total_buckets as f64
+            },
+            has_hierarchies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BiLevelConfig, Probe};
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn data() -> vecstore::Dataset {
+        synth::clustered(&ClusteredSpec::small(500), 13)
+    }
+
+    #[test]
+    fn stats_account_for_every_vector() {
+        let data = data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(4.0));
+        let stats = index.stats();
+        assert_eq!(stats.num_vectors, 500);
+        assert_eq!(stats.dim, 32);
+        assert_eq!(stats.num_groups, 16);
+        assert_eq!(stats.tables_per_group, 10);
+        // Group sizes partition the dataset.
+        assert_eq!(stats.group_sizes.iter().sum::<usize>(), 500);
+        assert!(stats.total_buckets > 0);
+        assert!(stats.max_bucket >= 1);
+        assert!(stats.mean_bucket >= 1.0);
+        assert!(!stats.has_hierarchies);
+    }
+
+    #[test]
+    fn hierarchies_flagged_when_configured() {
+        let data = data();
+        let cfg =
+            BiLevelConfig::paper_default(4.0).probe(Probe::Hierarchical { min_candidates: 4 });
+        let index = BiLevelIndex::build(&data, &cfg);
+        assert!(index.stats().has_hierarchies);
+    }
+
+    #[test]
+    fn imbalance_of_single_group_is_one() {
+        let data = data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(4.0));
+        let stats = index.stats();
+        assert_eq!(stats.num_groups, 1);
+        assert!((stats.group_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_buckets_mean_fewer_buckets() {
+        let data = data();
+        let narrow = BiLevelIndex::build(&data, &BiLevelConfig::standard(0.5)).stats();
+        let wide = BiLevelIndex::build(&data, &BiLevelConfig::standard(500.0)).stats();
+        assert!(wide.total_buckets < narrow.total_buckets);
+        assert!(wide.max_bucket > narrow.max_bucket);
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `bilevel` command-line binary: build → stats →
+//! query → exact, over a temporary `.fvecs` corpus.
+
+use std::path::PathBuf;
+use std::process::Command;
+use vecstore::io::write_fvecs;
+use vecstore::synth::{self, ClusteredSpec};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bilevel")
+}
+
+struct Fixture {
+    dir: PathBuf,
+    corpus: PathBuf,
+    queries: PathBuf,
+    index: PathBuf,
+}
+
+fn fixture(name: &str) -> Fixture {
+    let all = synth::clustered(&ClusteredSpec::small(550), 83);
+    let (data, queries) = all.split_at(500);
+    let dir = std::env::temp_dir().join("bilevel_cli_test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.fvecs");
+    let qpath = dir.join("queries.fvecs");
+    write_fvecs(&corpus, &data).unwrap();
+    write_fvecs(&qpath, &queries).unwrap();
+    Fixture { index: dir.join("index.json"), dir, corpus, queries: qpath }
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn build_query_stats_roundtrip() {
+    let f = fixture("roundtrip");
+    let corpus = f.corpus.to_str().unwrap();
+    let index = f.index.to_str().unwrap();
+    let queries = f.queries.to_str().unwrap();
+
+    let (_, err, ok) = run(&["build", corpus, index, "--w", "8", "--groups", "4", "--tables", "8"]);
+    assert!(ok, "build failed: {err}");
+    assert!(f.index.exists());
+
+    let (out, err, ok) = run(&["query", corpus, index, queries, "--k", "5"]);
+    assert!(ok, "query failed: {err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 50, "one line per query");
+    // Each line: up to 5 id:distance pairs, ids within range, distances sorted.
+    for line in &lines {
+        let pairs: Vec<(usize, f32)> = line
+            .split_whitespace()
+            .map(|p| {
+                let (id, d) = p.split_once(':').expect("id:dist");
+                (id.parse().unwrap(), d.parse().unwrap())
+            })
+            .collect();
+        assert!(pairs.len() <= 5);
+        assert!(pairs.iter().all(|&(id, _)| id < 500));
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    let (out, err, ok) = run(&["stats", corpus, index]);
+    assert!(ok, "stats failed: {err}");
+    assert!(out.contains("\"num_vectors\": 500"), "stats json: {out}");
+    assert!(out.contains("\"num_groups\": 4"));
+
+    std::fs::remove_dir_all(&f.dir).ok();
+}
+
+#[test]
+fn exact_subcommand_is_reference_quality() {
+    let f = fixture("exact");
+    let corpus = f.corpus.to_str().unwrap();
+    let queries = f.queries.to_str().unwrap();
+    let (out, err, ok) = run(&["exact", corpus, queries, "--k", "3"]);
+    assert!(ok, "exact failed: {err}");
+    assert_eq!(out.lines().count(), 50);
+    std::fs::remove_dir_all(&f.dir).ok();
+}
+
+#[test]
+fn wide_build_makes_cli_query_exact() {
+    let f = fixture("wide");
+    let corpus = f.corpus.to_str().unwrap();
+    let index = f.index.to_str().unwrap();
+    let queries = f.queries.to_str().unwrap();
+    // Groups 1 + enormous W: the approximate query must equal exact search.
+    let (_, err, ok) =
+        run(&["build", corpus, index, "--w", "1000000", "--groups", "1", "--tables", "4"]);
+    assert!(ok, "build failed: {err}");
+    let (approx, _, ok1) = run(&["query", corpus, index, queries, "--k", "4"]);
+    let (exact, _, ok2) = run(&["exact", corpus, queries, "--k", "4"]);
+    assert!(ok1 && ok2);
+    // Compare ids line by line (distances formatted identically).
+    for (a, e) in approx.lines().zip(exact.lines()) {
+        let ids = |s: &str| -> Vec<String> {
+            s.split_whitespace().map(|p| p.split_once(':').unwrap().0.to_string()).collect()
+        };
+        assert_eq!(ids(a), ids(e));
+    }
+    std::fs::remove_dir_all(&f.dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, _, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    let (_, _, ok) = run(&["build", "/nonexistent.fvecs", "/tmp/x.json"]);
+    assert!(!ok);
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the assembled index: results are valid, bounded
+//! and deterministic on arbitrary datasets and configurations, and the flat
+//! storage stays equivalent to the table storage.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Partition, Probe, Quantizer};
+use proptest::prelude::*;
+use rptree::SplitRule;
+use vecstore::Dataset;
+
+fn dataset() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 6), 8..80)
+}
+
+fn config() -> impl Strategy<Value = BiLevelConfig> {
+    (
+        1usize..4,     // l
+        2usize..10,    // m
+        0.5f32..80.0,  // w
+        0usize..3,     // partition selector
+        0usize..3,     // probe selector
+        any::<bool>(), // quantizer
+        any::<u64>(),  // seed
+    )
+        .prop_map(|(l, m, w, part, probe, e8, seed)| BiLevelConfig {
+            l,
+            m,
+            width: bilevel_lsh::WidthMode::Fixed(w),
+            partition: match part {
+                0 => Partition::None,
+                1 => Partition::RpTree { groups: 4, rule: SplitRule::Max },
+                _ => Partition::KMeans { groups: 3 },
+            },
+            quantizer: if e8 { Quantizer::E8 } else { Quantizer::Zm },
+            probe: match probe {
+                0 => Probe::Home,
+                1 => Probe::Multi(8),
+                _ => Probe::Hierarchical { min_candidates: 4 },
+            },
+            table_pool: None,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn query_results_are_valid(rows in dataset(), cfg in config(), k in 1usize..8) {
+        let data = Dataset::from_rows(&rows);
+        let index = BiLevelIndex::build(&data, &cfg);
+        let queries = data.gather(&[0, rows.len() / 2]);
+        let result = index.query_batch(&queries, k);
+        prop_assert_eq!(result.neighbors.len(), 2);
+        for (hits, &cands) in result.neighbors.iter().zip(&result.candidates) {
+            prop_assert!(hits.len() <= k);
+            prop_assert!(hits.len() <= cands);
+            prop_assert!(cands <= data.len());
+            prop_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+            let mut ids: Vec<usize> = hits.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), hits.len(), "duplicate result ids");
+            prop_assert!(ids.iter().all(|&id| id < data.len()));
+        }
+    }
+
+    #[test]
+    fn querying_an_indexed_point_finds_itself(rows in dataset(), cfg in config()) {
+        // A dataset point always collides with itself in every table, so it
+        // must appear in its own result (distance 0, rank 1 modulo exact
+        // duplicates).
+        let data = Dataset::from_rows(&rows);
+        let index = BiLevelIndex::build(&data, &cfg);
+        let hits = index.query(data.row(3 % rows.len()), 1);
+        prop_assert_eq!(hits.len(), 1);
+        prop_assert!(hits[0].dist == 0.0, "self-query distance {}", hits[0].dist);
+    }
+
+    #[test]
+    fn index_is_deterministic(rows in dataset(), cfg in config()) {
+        let data = Dataset::from_rows(&rows);
+        let queries = data.gather(&[1]);
+        let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 4);
+        let b = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 4);
+        prop_assert_eq!(a.neighbors, b.neighbors);
+        prop_assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn flat_equals_table_for_supported_probes(rows in dataset(), cfg in config()) {
+        // FlatIndex supports Home and Multi only.
+        let cfg = BiLevelConfig {
+            probe: match cfg.probe {
+                Probe::Hierarchical { .. } => Probe::Home,
+                p => p,
+            },
+            ..cfg
+        };
+        let data = Dataset::from_rows(&rows);
+        let queries = data.gather(&[0, rows.len() - 1]);
+        let table = BiLevelIndex::build(&data, &cfg);
+        let flat = FlatIndex::build(&data, &cfg);
+        prop_assert_eq!(table.candidates_batch(&queries), flat.candidates_batch(&queries));
+    }
+
+    #[test]
+    fn hierarchical_candidates_superset_of_home(rows in dataset(), seed in any::<u64>(), w in 1.0f32..40.0) {
+        let data = Dataset::from_rows(&rows);
+        let base = BiLevelConfig {
+            probe: Probe::Home,
+            ..BiLevelConfig::standard(w).seed(seed)
+        };
+        let hier = BiLevelConfig {
+            probe: Probe::Hierarchical { min_candidates: data.len() },
+            ..base.clone()
+        };
+        let queries = data.gather(&[0]);
+        let home = BiLevelIndex::build(&data, &base).candidates_batch(&queries);
+        let esc = BiLevelIndex::build(&data, &hier).candidates_batch(&queries);
+        // Forcing the threshold to n makes escalation return every bucket
+        // span — at least as many candidates as the home bucket.
+        prop_assert!(esc[0].len() >= home[0].len());
+    }
+}

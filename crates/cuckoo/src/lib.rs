@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! A GPU-style cuckoo hash table, ported to CPU threads.
+//!
+//! The paper's GPU pipeline (Section V-A) indexes LSH buckets with the
+//! real-time parallel cuckoo table of Alcantara et al.: `d` sub-hash
+//! functions address one slot array; inserting claims any of the item's `d`
+//! slots, evicting the previous occupant, which then re-inserts itself —
+//! bounded eviction chains, a small stash for stragglers, and full-table
+//! reseeding when construction fails. Lookups probe at most `d` slots plus
+//! the stash and are wait-free.
+//!
+//! This port keeps the same algorithm and memory layout (a flat slot array
+//! of item indices manipulated with atomic exchange) so the relative costs
+//! the paper measures — build vs. probe, load factor vs. chain length —
+//! carry over to the CPU substrate.
+
+pub mod table;
+
+pub use table::{CuckooError, CuckooTable};

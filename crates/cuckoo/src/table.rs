@@ -1,0 +1,367 @@
+//! The cuckoo table implementation: slots of atomic item indices, bounded
+//! eviction chains, a stash, and reseed-on-failure construction.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for an unoccupied slot.
+const EMPTY: u64 = u64::MAX;
+
+/// Number of sub-hash functions (Alcantara et al. use 4).
+const NUM_HASHES: usize = 4;
+
+/// Construction failure: the table could not place every item even after
+/// reseeding and stash overflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CuckooError {
+    /// Number of items that could not be placed on the final attempt.
+    pub unplaced: usize,
+}
+
+impl std::fmt::Display for CuckooError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cuckoo construction failed: {} items unplaced", self.unplaced)
+    }
+}
+
+impl std::error::Error for CuckooError {}
+
+/// Multiply-xor-shift sub-hash family over `u64` keys.
+#[derive(Debug, Clone)]
+struct HashSeeds {
+    mul: [u64; NUM_HASHES],
+    add: [u64; NUM_HASHES],
+}
+
+impl HashSeeds {
+    fn sample(rng: &mut StdRng) -> Self {
+        let mut mul = [0u64; NUM_HASHES];
+        let mut add = [0u64; NUM_HASHES];
+        for i in 0..NUM_HASHES {
+            mul[i] = rng.gen::<u64>() | 1; // odd multiplier
+            add[i] = rng.gen::<u64>();
+        }
+        Self { mul, add }
+    }
+
+    #[inline]
+    fn slot(&self, which: usize, key: u64, num_slots: usize) -> usize {
+        let mut x = key.wrapping_add(self.add[which]);
+        x ^= x >> 33;
+        x = x.wrapping_mul(self.mul[which]);
+        x ^= x >> 29;
+        (x % num_slots as u64) as usize
+    }
+}
+
+/// An immutable-after-build cuckoo hash map from `u64` keys to `u64` values.
+///
+/// Keys must be distinct; `u64::MAX` is reserved as the empty sentinel and
+/// may not be used as a key.
+#[derive(Debug)]
+pub struct CuckooTable {
+    /// `slots[s]` holds an index into `items`, or `EMPTY`.
+    slots: Vec<AtomicU64>,
+    /// The stored `(key, value)` pairs.
+    items: Vec<(u64, u64)>,
+    /// Overflow items that lost their eviction chains.
+    stash: Vec<(u64, u64)>,
+    seeds: HashSeeds,
+    max_chain: usize,
+}
+
+impl CuckooTable {
+    /// Builds a table over `items` serially with the default load factor
+    /// (slots = 2 × items, as in the GPU paper's robust configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuckooError`] if construction fails even after reseeding
+    /// (practically impossible below load factor ~0.9 with 4 hashes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key equals `u64::MAX` or keys are duplicated.
+    pub fn build(items: Vec<(u64, u64)>, seed: u64) -> Result<Self, CuckooError> {
+        Self::build_with_load(items, 0.5, seed)
+    }
+
+    /// Builds with an explicit load factor `items / slots`.
+    pub fn build_with_load(
+        items: Vec<(u64, u64)>,
+        load: f64,
+        seed: u64,
+    ) -> Result<Self, CuckooError> {
+        assert!(load > 0.0 && load <= 1.0, "load factor must be in (0, 1]");
+        Self::build_inner(items, load, seed, 1)
+    }
+
+    /// Builds using `threads` worker threads racing CAS/exchange insertions —
+    /// the CPU port of the GPU construction kernel. Agrees with the serial
+    /// build on membership (slot placement may differ).
+    pub fn build_parallel(
+        items: Vec<(u64, u64)>,
+        load: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, CuckooError> {
+        assert!(load > 0.0 && load <= 1.0, "load factor must be in (0, 1]");
+        Self::build_inner(items, load, seed, threads.max(1))
+    }
+
+    fn build_inner(
+        items: Vec<(u64, u64)>,
+        load: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, CuckooError> {
+        assert!(items.iter().all(|&(k, _)| k != EMPTY), "u64::MAX is a reserved key");
+        {
+            let mut keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+            keys.sort_unstable();
+            assert!(keys.windows(2).all(|w| w[0] != w[1]), "duplicate keys");
+        }
+        let num_slots = ((items.len() as f64 / load).ceil() as usize).max(NUM_HASHES).max(1);
+        // Chain bound from the GPU paper: a small multiple of log n.
+        let max_chain = 4 * (usize::BITS - num_slots.leading_zeros()) as usize + 16;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        const MAX_REBUILDS: usize = 16;
+        let mut last_unplaced = 0usize;
+        for _attempt in 0..MAX_REBUILDS {
+            let seeds = HashSeeds::sample(&mut rng);
+            let slots: Vec<AtomicU64> = (0..num_slots).map(|_| AtomicU64::new(EMPTY)).collect();
+            let stash: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+            let stash_cap = (items.len() / 100).max(8);
+
+            let insert_range = |range: std::ops::Range<usize>| -> usize {
+                let mut failures = 0usize;
+                for idx in range {
+                    // On chain failure the displaced survivor (not
+                    // necessarily the item we started with) overflows.
+                    if let Some(orphan) = insert_one(&slots, &items, &seeds, idx as u64, max_chain)
+                    {
+                        let mut s = stash.lock();
+                        if s.len() < stash_cap {
+                            s.push(items[orphan as usize]);
+                        } else {
+                            failures += 1;
+                        }
+                    }
+                }
+                failures
+            };
+
+            let failures: usize = if threads <= 1 || items.len() < 2 {
+                insert_range(0..items.len())
+            } else {
+                let chunk = items.len().div_ceil(threads);
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let lo = t * chunk;
+                            let hi = ((t + 1) * chunk).min(items.len());
+                            let insert_range = &insert_range;
+                            scope.spawn(move |_| insert_range(lo..hi))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("builder panicked")).sum()
+                })
+                .expect("cuckoo build scope panicked")
+            };
+
+            if failures == 0 {
+                return Ok(Self { slots, items, stash: stash.into_inner(), seeds, max_chain });
+            }
+            last_unplaced = failures;
+        }
+        Err(CuckooError { unplaced: last_unplaced })
+    }
+
+    /// Looks up `key`, probing at most `NUM_HASHES` (4) slots and the stash.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        for which in 0..NUM_HASHES {
+            let s = self.seeds.slot(which, key, self.slots.len());
+            let idx = self.slots[s].load(Ordering::Acquire);
+            if idx != EMPTY {
+                let (k, v) = self.items[idx as usize];
+                if k == key {
+                    return Some(v);
+                }
+            }
+        }
+        self.stash.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the table stores no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of items that overflowed into the stash.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Number of slots in the main array.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The eviction-chain bound used during construction.
+    pub fn max_chain(&self) -> usize {
+        self.max_chain
+    }
+}
+
+/// Inserts item `idx` by walking an eviction chain; `None` on success,
+/// `Some(orphan)` with the finally displaced item index on failure.
+///
+/// Each step atomically swaps the item into one of its candidate slots; a
+/// displaced occupant continues the chain (the GPU kernel's `atomicExch`
+/// loop). Eviction targets are chosen by a random walk, which is what keeps
+/// long chains rare even near load factor 0.9.
+fn insert_one(
+    slots: &[AtomicU64],
+    items: &[(u64, u64)],
+    seeds: &HashSeeds,
+    mut idx: u64,
+    max_chain: usize,
+) -> Option<u64> {
+    // Cheap xorshift for the random walk, seeded per chain.
+    let mut walk = idx.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..max_chain {
+        let key = items[idx as usize].0;
+        // Fast path: claim the first empty candidate slot.
+        for w in 0..NUM_HASHES {
+            let s = seeds.slot(w, key, slots.len());
+            if slots[s].compare_exchange(EMPTY, idx, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return None;
+            }
+        }
+        // All candidates occupied: evict from a randomly chosen candidate.
+        walk ^= walk << 13;
+        walk ^= walk >> 7;
+        walk ^= walk << 17;
+        let s = seeds.slot((walk % NUM_HASHES as u64) as usize, key, slots.len());
+        let evicted = slots[s].swap(idx, Ordering::AcqRel);
+        if evicted == EMPTY {
+            return None;
+        }
+        idx = evicted;
+    }
+    Some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 2654435761 % (1 << 40), i)).collect()
+    }
+
+    #[test]
+    fn all_inserted_keys_are_found() {
+        let items = pairs(1000);
+        let t = CuckooTable::build(items.clone(), 7).unwrap();
+        for (k, v) in items {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_miss() {
+        let t = CuckooTable::build(pairs(500), 3).unwrap();
+        for k in [u64::MAX - 1, 999_999_999_999, 12345678901234] {
+            assert_eq!(t.get(k), None);
+        }
+    }
+
+    #[test]
+    fn empty_table_works() {
+        let t = CuckooTable::build(Vec::new(), 1).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(42), None);
+    }
+
+    #[test]
+    fn single_item() {
+        let t = CuckooTable::build(vec![(7, 99)], 1).unwrap();
+        assert_eq!(t.get(7), Some(99));
+        assert_eq!(t.get(8), None);
+    }
+
+    #[test]
+    fn parallel_build_agrees_with_serial() {
+        let items = pairs(2000);
+        let serial = CuckooTable::build(items.clone(), 11).unwrap();
+        let parallel = CuckooTable::build_parallel(items.clone(), 0.5, 11, 4).unwrap();
+        for (k, v) in items {
+            assert_eq!(serial.get(k), Some(v));
+            assert_eq!(parallel.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn high_load_factor_still_builds() {
+        let items = pairs(4000);
+        let t = CuckooTable::build_with_load(items.clone(), 0.85, 5).unwrap();
+        assert!(t.num_slots() < items.len() * 2);
+        for (k, v) in items {
+            assert_eq!(t.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn stash_is_bounded() {
+        let t = CuckooTable::build_with_load(pairs(3000), 0.9, 13).unwrap();
+        assert!(t.stash_len() <= 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate keys")]
+    fn duplicate_keys_panic() {
+        let _ = CuckooTable::build(vec![(1, 0), (1, 1)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved key")]
+    fn sentinel_key_panics() {
+        let _ = CuckooTable::build(vec![(u64::MAX, 0)], 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_are_safe() {
+        let items = pairs(5000);
+        let t = CuckooTable::build(items.clone(), 21).unwrap();
+        crossbeam::thread::scope(|s| {
+            for chunk in items.chunks(1250) {
+                let t = &t;
+                s.spawn(move |_| {
+                    for &(k, v) in chunk {
+                        assert_eq!(t.get(k), Some(v));
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deterministic_lookup_after_build() {
+        // Same seed, same items: identical tables (serial build).
+        let a = CuckooTable::build(pairs(100), 9).unwrap();
+        let b = CuckooTable::build(pairs(100), 9).unwrap();
+        for (k, _) in pairs(100) {
+            assert_eq!(a.get(k), b.get(k));
+        }
+    }
+}

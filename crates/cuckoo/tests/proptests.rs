@@ -1,0 +1,52 @@
+//! Property-based tests: arbitrary key/value sets roundtrip through the
+//! cuckoo table, absent keys miss, serial and parallel builds agree.
+
+use cuckoo::CuckooTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn distinct_items() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::hash_map(0u64..u64::MAX - 1, any::<u64>(), 0..400)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_inserted_key_is_found(items in distinct_items(), seed in any::<u64>()) {
+        let table = CuckooTable::build(items.clone(), seed).unwrap();
+        prop_assert_eq!(table.len(), items.len());
+        for (k, v) in &items {
+            prop_assert_eq!(table.get(*k), Some(*v), "key {}", k);
+        }
+    }
+
+    #[test]
+    fn absent_keys_miss(items in distinct_items(), probes in prop::collection::vec(0u64..u64::MAX - 1, 32)) {
+        let map: HashMap<u64, u64> = items.iter().copied().collect();
+        let table = CuckooTable::build(items, 1).unwrap();
+        for k in probes {
+            prop_assert_eq!(table.get(k), map.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn parallel_build_agrees(items in distinct_items(), threads in 1usize..5) {
+        let serial = CuckooTable::build(items.clone(), 3).unwrap();
+        let parallel = CuckooTable::build_parallel(items.clone(), 0.5, 3, threads).unwrap();
+        for (k, v) in items {
+            prop_assert_eq!(serial.get(k), Some(v));
+            prop_assert_eq!(parallel.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn high_load_builds_stay_complete(items in distinct_items(), load in 1u32..=9) {
+        let load = load as f64 / 10.0;
+        let table = CuckooTable::build_with_load(items.clone(), load, 5).unwrap();
+        for (k, v) in items {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+    }
+}

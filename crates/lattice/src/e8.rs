@@ -1,0 +1,334 @@
+//! The E8 lattice: decoder, roots, and scaling hierarchy.
+//!
+//! E8 is the set of points in `R^8` whose coordinates are all integers or
+//! all half-integers and whose coordinate sum is an even integer. It is the
+//! densest lattice packing in dimension 8, which is why the paper uses it
+//! (via Jégou et al.) as a space quantizer: its Voronoi cell is far closer
+//! to a ball than the `Z^8` cube, so a bucket's occupants are genuinely
+//! near the query.
+//!
+//! # Representation
+//!
+//! Lattice points are stored with **doubled integer coordinates** (`i32`):
+//! the point `(½)^8` becomes `(1)^8`. In doubled form a vector `y` is in E8
+//! iff all eight coordinates share one parity and `Σy ≡ 0 (mod 4)`.
+//! This keeps every code exactly representable and hashable.
+//!
+//! # Decoding
+//!
+//! Decoding uses the coset structure `E8 = D8 ∪ (D8 + ½)` where `D8` is the
+//! even-sum integer lattice: decode into both cosets (round, then fix parity
+//! by flipping the coordinate with the largest rounding error) and keep the
+//! closer candidate — the classic ~104-operation decoder the paper cites.
+
+/// An E8 (or block-concatenated E8) code in doubled integer coordinates.
+pub type E8Code = Vec<i32>;
+
+/// Rounds `x` to the nearest integer, breaking .5 ties upward.
+///
+/// A fixed tie rule keeps the decoder deterministic across platforms.
+#[inline]
+fn round_half_up(x: f64) -> f64 {
+    (x + 0.5).floor()
+}
+
+/// Nearest `D8` point (even coordinate sum) to `x`, in plain (not doubled)
+/// coordinates. Second return is the squared distance.
+fn decode_d8(x: &[f64; 8]) -> ([f64; 8], f64) {
+    let mut rounded = [0.0f64; 8];
+    let mut sum = 0i64;
+    // Track the coordinate where flipping the rounding direction costs the
+    // least extra error — equivalently, where |err| is largest.
+    let mut worst = 0usize;
+    let mut worst_abs = -1.0f64;
+    for i in 0..8 {
+        rounded[i] = round_half_up(x[i]);
+        sum += rounded[i] as i64;
+        let err = x[i] - rounded[i];
+        if err.abs() > worst_abs {
+            worst_abs = err.abs();
+            worst = i;
+        }
+    }
+    if sum.rem_euclid(2) != 0 {
+        // Flip the worst coordinate toward the other side.
+        let err = x[worst] - rounded[worst];
+        rounded[worst] += if err >= 0.0 { 1.0 } else { -1.0 };
+    }
+    let mut d2 = 0.0;
+    for i in 0..8 {
+        let d = x[i] - rounded[i];
+        d2 += d * d;
+    }
+    (rounded, d2)
+}
+
+/// Decodes one block of 8 raw values to the nearest E8 point, returned in
+/// doubled integer coordinates.
+pub fn decode_e8_block(x: &[f64; 8]) -> [i32; 8] {
+    // Integer coset.
+    let (p_int, d_int) = decode_d8(x);
+    // Half-integer coset: decode x - ½ in D8, then shift back.
+    let mut shifted = [0.0f64; 8];
+    for i in 0..8 {
+        shifted[i] = x[i] - 0.5;
+    }
+    let (p_half, d_half) = decode_d8(&shifted);
+    let mut out = [0i32; 8];
+    if d_int <= d_half {
+        for i in 0..8 {
+            out[i] = (2.0 * p_int[i]) as i32;
+        }
+    } else {
+        for i in 0..8 {
+            out[i] = (2.0 * (p_half[i] + 0.5)) as i32;
+        }
+    }
+    out
+}
+
+/// Decodes an arbitrary-length raw projection by concatenating
+/// `⌈len/8⌉` E8 blocks (the paper's `M > 8` strategy); the final partial
+/// block is zero-padded.
+pub fn decode_e8_raw(raw: &[f32]) -> E8Code {
+    assert!(!raw.is_empty(), "cannot decode empty projection");
+    let blocks = raw.len().div_ceil(8);
+    let mut out = Vec::with_capacity(blocks * 8);
+    let mut buf = [0.0f64; 8];
+    for b in 0..blocks {
+        buf.fill(0.0);
+        for (i, slot) in buf.iter_mut().enumerate() {
+            if let Some(&v) = raw.get(b * 8 + i) {
+                *slot = v as f64;
+            }
+        }
+        out.extend_from_slice(&decode_e8_block(&buf));
+    }
+    out
+}
+
+/// Whether a doubled-coordinate vector is a valid E8 point.
+pub fn is_e8_point(y: &[i32; 8]) -> bool {
+    let parity = y[0].rem_euclid(2);
+    if y.iter().any(|&c| c.rem_euclid(2) != parity) {
+        return false;
+    }
+    y.iter().map(|&c| c as i64).sum::<i64>().rem_euclid(4) == 0
+}
+
+/// The 240 minimal vectors (roots) of E8 in doubled coordinates, each with
+/// doubled squared norm 8 (true norm `√2`). These are the equidistant
+/// nearest lattice neighbors every bucket has, and they drive the E8
+/// multi-probe sequence.
+pub fn e8_roots() -> Vec<[i32; 8]> {
+    let mut roots = Vec::with_capacity(240);
+    // Type 1: (±2, ±2, 0^6) in doubled coords — all pairs of positions,
+    // all four sign combinations. 28 · 4 = 112.
+    for i in 0..8 {
+        for j in i + 1..8 {
+            for &si in &[2i32, -2] {
+                for &sj in &[2i32, -2] {
+                    let mut r = [0i32; 8];
+                    r[i] = si;
+                    r[j] = sj;
+                    roots.push(r);
+                }
+            }
+        }
+    }
+    // Type 2: (±1)^8 with an even number of minus signs. 2^7 = 128.
+    for mask in 0u32..256 {
+        if mask.count_ones() % 2 == 0 {
+            let mut r = [1i32; 8];
+            for (i, slot) in r.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *slot = -1;
+                }
+            }
+            roots.push(r);
+        }
+    }
+    debug_assert_eq!(roots.len(), 240);
+    roots
+}
+
+/// Squared distance between a raw block (plain coordinates) and a doubled-
+/// coordinate lattice point.
+pub fn dist_sq_to_point(x: &[f64; 8], doubled: &[i32; 8]) -> f64 {
+    let mut d2 = 0.0;
+    for i in 0..8 {
+        let d = x[i] - doubled[i] as f64 / 2.0;
+        d2 += d * d;
+    }
+    d2
+}
+
+/// The parent of an E8 code in the scaling hierarchy (Equation 10).
+///
+/// The paper's k-th ancestor is `H^k = 2^k · u_k` with the *reduced* codes
+/// `u_0 = c`, `u_k = DECODE(u_{k−1} / 2)`; two buckets share a level-k
+/// ancestor iff their `u_k` agree, so the hierarchy stores and compares the
+/// reduced codes and the `2^k` factor is pure denormalization. This function
+/// maps `u_{k−1} → u_k` block-wise. Reduced codes roughly halve in magnitude
+/// per level, so every chain converges to the origin.
+pub fn e8_ancestor(code: &[i32]) -> E8Code {
+    assert_eq!(code.len() % 8, 0, "E8 codes are multiples of 8 long");
+    assert!(!code.is_empty(), "E8 codes are non-empty");
+    let mut out = Vec::with_capacity(code.len());
+    let mut buf = [0.0f64; 8];
+    for block in code.chunks_exact(8) {
+        for i in 0..8 {
+            // Halving the true point halves its doubled coordinates too;
+            // doubled/2 expressed in real coordinates is doubled/4.
+            buf[i] = block[i] as f64 / 4.0;
+        }
+        out.extend_from_slice(&decode_e8_block(&buf));
+    }
+    out
+}
+
+/// The 240 sibling codes of `code` (code + root, block-wise for
+/// concatenated codes the roots are applied to every block of the first
+/// block only — see [`block_neighbors`] for per-block control).
+///
+/// For a single 8-dim block this is exactly the paper's probe set.
+pub fn block_neighbors(code: &[i32; 8]) -> Vec<[i32; 8]> {
+    e8_roots()
+        .into_iter()
+        .map(|r| {
+            let mut n = *code;
+            for i in 0..8 {
+                n[i] += r[i];
+            }
+            n
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_block(code: &[i32]) -> [i32; 8] {
+        code.try_into().expect("8-long")
+    }
+
+    #[test]
+    fn decode_returns_valid_e8_points() {
+        let cases: Vec<[f64; 8]> = vec![
+            [0.0; 8],
+            [0.3, -0.2, 0.9, 1.4, -2.3, 0.1, 0.6, -0.5],
+            [10.2, -7.7, 3.3, 0.01, 5.55, -9.9, 2.2, 1.1],
+            [0.49, 0.51, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+        ];
+        for x in cases {
+            let code = decode_e8_block(&x);
+            assert!(is_e8_point(&code), "decode({x:?}) = {code:?} not in E8");
+        }
+    }
+
+    #[test]
+    fn decode_is_idempotent_on_lattice_points() {
+        // Decoding an exact lattice point returns that point.
+        for point in [[0i32; 8], [1; 8], [2, 2, 0, 0, 0, 0, 0, 0], [-1, -1, -1, -1, 1, 1, 1, 1]] {
+            assert!(is_e8_point(&point));
+            let mut real = [0.0f64; 8];
+            for i in 0..8 {
+                real[i] = point[i] as f64 / 2.0;
+            }
+            assert_eq!(decode_e8_block(&real), point);
+        }
+    }
+
+    #[test]
+    fn decode_picks_nearest_among_roots() {
+        // A point very close to the root (½)^8 must decode to it, not to 0.
+        let x = [0.45f64; 8];
+        assert_eq!(decode_e8_block(&x), [1i32; 8]);
+        // And a point near the origin decodes to the origin.
+        let y = [0.1f64, -0.1, 0.05, 0.0, 0.08, -0.03, 0.02, 0.0];
+        assert_eq!(decode_e8_block(&y), [0i32; 8]);
+    }
+
+    #[test]
+    fn exactly_240_roots_all_valid_and_minimal() {
+        let roots = e8_roots();
+        assert_eq!(roots.len(), 240);
+        let mut seen = std::collections::HashSet::new();
+        for r in &roots {
+            assert!(is_e8_point(r), "{r:?} not in E8");
+            let norm_sq: i64 = r.iter().map(|&c| (c as i64) * (c as i64)).sum();
+            assert_eq!(norm_sq, 8, "doubled norm² of a root must be 8, got {r:?}");
+            assert!(seen.insert(*r), "duplicate root {r:?}");
+        }
+    }
+
+    #[test]
+    fn decode_never_farther_than_both_cosets() {
+        // The decoder must pick the closer of the two coset decodings.
+        let x = [0.26f64, 0.24, 0.3, 0.2, 0.25, 0.27, 0.23, 0.22];
+        let code = decode_e8_block(&x);
+        let d_chosen = dist_sq_to_point(&x, &code);
+        // Any root neighbor must be at least as far (local optimality check).
+        for n in block_neighbors(&code) {
+            assert!(
+                dist_sq_to_point(&x, &n) >= d_chosen - 1e-9,
+                "neighbor {n:?} closer than decoded {code:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_block_decode_pads_with_zeros() {
+        let raw: Vec<f32> = (0..12).map(|i| i as f32 * 0.3).collect();
+        let code = decode_e8_raw(&raw);
+        assert_eq!(code.len(), 16);
+        // Last 4 raw entries are implicit zeros -> decoded coordinates of the
+        // pad region must belong to the decode of the padded block.
+        let mut block2 = [0.0f64; 8];
+        for i in 0..4 {
+            block2[i] = raw[8 + i] as f64;
+        }
+        assert_eq!(&code[8..], &decode_e8_block(&block2));
+    }
+
+    #[test]
+    fn ancestor_is_valid_and_coarser() {
+        let x = [3.7f64, -2.1, 0.4, 5.5, -1.2, 2.8, -0.6, 1.9];
+        let code = decode_e8_block(&x).to_vec();
+        let parent = e8_ancestor(&code);
+        assert!(is_e8_point(&as_block(&parent)));
+        // Reduced codes shrink: the parent's norm is about half the child's.
+        let norm = |c: &[i32]| c.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        assert!(norm(&parent) <= 0.5 * norm(&code) + 4.0, "parent did not shrink");
+    }
+
+    #[test]
+    fn repeated_ancestors_stabilize_near_origin() {
+        let x = [100.0f64, -50.0, 30.0, 7.0, -90.0, 12.0, 44.0, -3.0];
+        let mut code = decode_e8_block(&x).to_vec();
+        for _ in 0..40 {
+            code = e8_ancestor(&code);
+        }
+        // Chains reach a fixed point: either the origin or a minimal-norm
+        // cell-boundary point (tie rounding), never anything larger.
+        assert_eq!(code, e8_ancestor(&code), "chain did not stabilize: {code:?}");
+        let norm_sq: i64 = code.iter().map(|&c| (c as i64) * (c as i64)).sum();
+        assert!(norm_sq <= 16, "fixed point too large: {code:?}");
+    }
+
+    #[test]
+    fn nearby_points_share_codes_far_points_do_not() {
+        let a = [0.1f64, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
+        let b = [0.12f64, 0.09, 0.11, 0.1, 0.08, 0.1, 0.12, 0.1];
+        let c = [5.0f64, -5.0, 5.0, -5.0, 5.0, -5.0, 5.0, -5.0];
+        assert_eq!(decode_e8_block(&a), decode_e8_block(&b));
+        assert_ne!(decode_e8_block(&a), decode_e8_block(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn ancestor_rejects_partial_blocks() {
+        let _ = e8_ancestor(&[0i32; 7]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Scaled-decode hierarchy over the occupied buckets of an E8 LSH table.
+//!
+//! E8 has no compact Morton representation (its cells are not axis-aligned
+//! boxes), but it *is* closed under doubling, so Equation 10's repeated
+//! `2 · DECODE(c/2)` gives every bucket a chain of coarser ancestors. The
+//! paper's construction — a linear array of buckets sorted by their ancestor
+//! chains plus an index tree of `(start, end, code)` spans — is exactly what
+//! this module builds.
+
+use crate::e8::{e8_ancestor, E8Code};
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on hierarchy height; reaching it means codes did not converge to
+/// a common root (numerically impossible for finite inputs, but we fail safe
+/// by attaching a virtual root).
+const MAX_LEVELS: usize = 64;
+
+/// One index-tree node spanning `order[start..end]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// Common ancestor code of every bucket in the span (`None` only for a
+    /// virtual root over a non-converged forest).
+    code: Option<E8Code>,
+    /// Height above the leaves (0 = leaf bucket nodes).
+    level: usize,
+    start: usize,
+    end: usize,
+    children: Vec<usize>,
+}
+
+/// The E8 bucket hierarchy: linear bucket array + ancestor index tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E8Hierarchy {
+    /// Bucket indices (caller-assigned) in linear-array order.
+    order: Vec<u32>,
+    nodes: Vec<Node>,
+    root: usize,
+    /// Height of the tree: ancestor chains have `height + 1` entries
+    /// (levels `0..=height`).
+    height: usize,
+}
+
+/// Ancestor chain of a code: `chain[0]` is the code itself, `chain[i]` its
+/// i-th ancestor. Stops when the chain stabilizes (ancestor == code) or the
+/// level cap is hit.
+fn ancestor_chain(code: &[i32], max_levels: usize) -> Vec<E8Code> {
+    let mut chain = vec![code.to_vec()];
+    for _ in 0..max_levels {
+        let parent = e8_ancestor(chain.last().expect("non-empty"));
+        if &parent == chain.last().expect("non-empty") {
+            break;
+        }
+        chain.push(parent);
+    }
+    chain
+}
+
+impl E8Hierarchy {
+    /// Builds the hierarchy from `(code, bucket-index)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty or code lengths are not equal multiples
+    /// of 8.
+    pub fn build<'a, I>(codes: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a [i32], u32)>,
+    {
+        let input: Vec<(&[i32], u32)> = codes.into_iter().collect();
+        assert!(!input.is_empty(), "hierarchy needs at least one bucket");
+        let len = input[0].0.len();
+        assert!(len.is_multiple_of(8) && len > 0, "E8 codes are non-empty multiples of 8 long");
+        assert!(input.iter().all(|(c, _)| c.len() == len), "mixed code lengths");
+
+        // Grow every chain until all buckets share a common top code.
+        let mut chains: Vec<Vec<E8Code>> =
+            input.iter().map(|(c, _)| ancestor_chain(c, MAX_LEVELS)).collect();
+        let height = chains.iter().map(Vec::len).max().expect("non-empty") - 1;
+        // Pad shorter chains by repeating their fixed point.
+        for chain in &mut chains {
+            while chain.len() <= height {
+                chain.push(chain.last().expect("non-empty").clone());
+            }
+        }
+        let converged = {
+            let top = &chains[0][height];
+            chains.iter().all(|c| &c[height] == top)
+        };
+
+        // Sort buckets by their chain read root-first; buckets sharing an
+        // ancestor become contiguous at every level.
+        let mut perm: Vec<usize> = (0..input.len()).collect();
+        perm.sort_by(|&a, &b| {
+            for lvl in (0..=height).rev() {
+                match chains[a][lvl].cmp(&chains[b][lvl]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let order: Vec<u32> = perm.iter().map(|&i| input[i].1).collect();
+
+        // Build the index tree top-down over contiguous same-code runs.
+        let mut nodes = Vec::new();
+        let root = build_node(
+            &mut nodes,
+            &perm,
+            &chains,
+            if converged { Some(height) } else { None },
+            height,
+            0,
+            perm.len(),
+        );
+        Self { order, nodes, root, height }
+    }
+
+    /// Number of buckets in the hierarchy.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the hierarchy is empty (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Tree height (number of ancestor levels above the leaf codes).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Descends the tree along the query's ancestor chain, returning the
+    /// node path (root first) — the deepest entry is the last node whose
+    /// code matches the query's ancestor at that node's level.
+    fn descend(&self, code: &[i32]) -> Vec<usize> {
+        let mut chain = ancestor_chain(code, MAX_LEVELS);
+        while chain.len() <= self.height {
+            chain.push(chain.last().expect("non-empty").clone());
+        }
+        let mut path = vec![self.root];
+        // The virtual root always matches; a real root must share the top
+        // ancestor with the query or we stop there (paper: "the traversal
+        // stops until such a child node does not exist").
+        if let Some(root_code) = &self.nodes[self.root].code {
+            if root_code != &chain[self.nodes[self.root].level] {
+                return path;
+            }
+        }
+        let mut cur = self.root;
+        'down: loop {
+            let node = &self.nodes[cur];
+            if node.level == 0 {
+                break;
+            }
+            for &child in &node.children {
+                let c = &self.nodes[child];
+                if c.code.as_deref() == Some(chain[c.level].as_slice()) {
+                    path.push(child);
+                    cur = child;
+                    continue 'down;
+                }
+            }
+            break;
+        }
+        path
+    }
+
+    /// All buckets under the deepest hierarchy node matching the query's
+    /// ancestor chain — the paper's base hierarchical probe ("all the
+    /// buckets rooted from the current node").
+    pub fn probe(&self, code: &[i32]) -> Vec<u32> {
+        let path = self.descend(code);
+        let node = &self.nodes[*path.last().expect("path contains root")];
+        self.order[node.start..node.end].to_vec()
+    }
+
+    /// Expanding probe: walk back up from the deepest matching node until
+    /// the span holds at least `min_buckets` buckets (or the root's span is
+    /// returned).
+    pub fn probe_expanding(&self, code: &[i32], min_buckets: usize) -> Vec<u32> {
+        let path = self.descend(code);
+        for &node_idx in path.iter().rev() {
+            let node = &self.nodes[node_idx];
+            if node.end - node.start >= min_buckets {
+                return self.order[node.start..node.end].to_vec();
+            }
+        }
+        let root = &self.nodes[self.root];
+        self.order[root.start..root.end].to_vec()
+    }
+}
+
+/// Recursively materializes the node covering `perm[start..end]` at `level`.
+fn build_node(
+    nodes: &mut Vec<Node>,
+    perm: &[usize],
+    chains: &[Vec<E8Code>],
+    code_level: Option<usize>, // None => virtual root without a code
+    level: usize,
+    start: usize,
+    end: usize,
+) -> usize {
+    let idx = nodes.len();
+    let code = code_level.map(|lvl| chains[perm[start]][lvl].clone());
+    nodes.push(Node { code, level, start, end, children: Vec::new() });
+    if level == 0 {
+        return idx;
+    }
+    // Split [start, end) into runs sharing the child-level code.
+    let child_level = level - 1;
+    let mut children = Vec::new();
+    let mut run_start = start;
+    while run_start < end {
+        let run_code = &chains[perm[run_start]][child_level];
+        let mut run_end = run_start + 1;
+        while run_end < end && &chains[perm[run_end]][child_level] == run_code {
+            run_end += 1;
+        }
+        let child =
+            build_node(nodes, perm, chains, Some(child_level), child_level, run_start, run_end);
+        children.push(child);
+        run_start = run_end;
+    }
+    nodes[idx].children = children;
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e8::decode_e8_raw;
+
+    /// Distinct E8 codes decoded from a spread of raw points.
+    fn sample_codes(n: usize) -> Vec<E8Code> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut t = 0.0f32;
+        while out.len() < n {
+            let raw: Vec<f32> =
+                (0..8).map(|i| ((t + i as f32) * 0.7).sin() * (4.0 + t * 0.35) + t * 0.2).collect();
+            let code = decode_e8_raw(&raw);
+            if seen.insert(code.clone()) {
+                out.push(code);
+            }
+            t += 1.0;
+        }
+        out
+    }
+
+    fn build(codes: &[E8Code]) -> E8Hierarchy {
+        E8Hierarchy::build(codes.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)))
+    }
+
+    #[test]
+    fn single_bucket_probe_returns_it() {
+        let codes = sample_codes(1);
+        let h = build(&codes);
+        assert_eq!(h.probe(&codes[0]), vec![0]);
+    }
+
+    #[test]
+    fn probing_own_code_returns_bucket_containing_it() {
+        let codes = sample_codes(25);
+        let h = build(&codes);
+        for (i, code) in codes.iter().enumerate() {
+            let got = h.probe(code);
+            assert!(got.contains(&(i as u32)), "bucket {i} missing from its own probe");
+        }
+    }
+
+    #[test]
+    fn linear_array_is_a_permutation() {
+        let codes = sample_codes(30);
+        let h = build(&codes);
+        let mut order: Vec<u32> = h.order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn expanding_probe_meets_minimum() {
+        let codes = sample_codes(20);
+        let h = build(&codes);
+        let got = h.probe_expanding(&codes[3], 10);
+        assert!(got.len() >= 10, "got only {} buckets", got.len());
+        // Asking for everything returns everything.
+        assert_eq!(h.probe_expanding(&codes[3], 10_000).len(), 20);
+    }
+
+    #[test]
+    fn unknown_query_code_still_probes_nonempty() {
+        let codes = sample_codes(12);
+        let h = build(&codes);
+        // A code from a far away region: descend stops early, returning a
+        // coarse (possibly root) span — never empty.
+        let far = decode_e8_raw(&[250.0f32; 8]);
+        let got = h.probe_expanding(&far, 1);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn siblings_group_before_strangers() {
+        // Two near-identical codes and one far code: probing near either of
+        // the close pair at low min_buckets should not pull in the far one
+        // before its sibling.
+        let near1 = decode_e8_raw(&[0.1f32; 8]);
+        let near2 = decode_e8_raw(&[1.1f32, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let far = decode_e8_raw(&[400.0f32; 8]);
+        assert_ne!(near1, near2);
+        let codes = vec![near1.clone(), near2, far];
+        let h = build(&codes);
+        let got = h.probe_expanding(&near1, 2);
+        assert!(got.contains(&0));
+        if got.len() == 2 {
+            assert!(got.contains(&1), "expansion should reach the sibling first: {got:?}");
+        }
+    }
+
+    #[test]
+    fn height_is_bounded_and_positive_for_spread_codes() {
+        let codes = sample_codes(15);
+        let h = build(&codes);
+        assert!(h.height() >= 1);
+        assert!(h.height() <= MAX_LEVELS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_build_panics() {
+        let _ = E8Hierarchy::build(std::iter::empty::<(&[i32], u32)>());
+    }
+
+    #[test]
+    fn multi_block_codes_supported() {
+        let raws: Vec<Vec<f32>> =
+            (0..10).map(|i| (0..16).map(|j| ((i * 16 + j) as f32).sin() * 6.0).collect()).collect();
+        let mut codes: Vec<E8Code> = raws.iter().map(|r| decode_e8_raw(r)).collect();
+        codes.dedup();
+        let h = E8Hierarchy::build(codes.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)));
+        assert_eq!(h.len(), codes.len());
+        let got = h.probe_expanding(&codes[0], 3);
+        assert!(got.len() >= 3.min(codes.len()));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Lattice quantizers and bucket hierarchies for LSH tables.
+//!
+//! Two space quantizers back the paper's level-2 hash tables:
+//!
+//! * the integer lattice `Z^M` (plain floor quantization, done in the `lsh`
+//!   crate) with a **Morton-curve hierarchy** ([`zm_hierarchy`]) built over
+//!   the occupied buckets, and
+//! * the **E8 lattice** ([`e8`]) — the densest packing in 8 dimensions —
+//!   decoded via its `D8 ∪ (D8 + ½)` coset structure, with a scaled-decode
+//!   hierarchy ([`e8_hierarchy`]) exploiting E8's closure under doubling.
+//!
+//! Everything here is pure integer/float math with no I/O; the `core` crate
+//! wires these quantizers behind the `lsh` projections.
+
+pub mod density;
+pub mod e8;
+pub mod e8_hierarchy;
+pub mod morton;
+pub mod zm_hierarchy;
+
+pub use e8::{decode_e8_block, decode_e8_raw, e8_ancestor, e8_roots, E8Code};
+pub use e8_hierarchy::E8Hierarchy;
+pub use morton::MortonCode;
+pub use zm_hierarchy::ZmHierarchy;

@@ -1,0 +1,228 @@
+//! Morton (Z-order / Lebesgue) codes for signed multi-dimensional lattice
+//! coordinates.
+//!
+//! The Morton code interleaves the bits of the `M` coordinates so that
+//! lexicographic order on the code corresponds to a recursive `2^M`-ary
+//! subdivision of space (Section IV-B2a). Signed `i32` coordinates are first
+//! mapped order-preservingly to `u32` by flipping the sign bit; all 32 bits
+//! of every coordinate are interleaved, so a code is `32 · M` bits stored
+//! MSB-first in `u64` words and compared lexicographically.
+
+use serde::{Deserialize, Serialize};
+
+/// A Morton code over `M` coordinates: `32·M` bits, MSB-first.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MortonCode {
+    words: Vec<u64>,
+    /// Number of interleaved coordinates.
+    m: usize,
+}
+
+/// Order-preserving signed→unsigned map (flip the sign bit).
+#[inline]
+fn zigzag(c: i32) -> u32 {
+    (c as u32) ^ 0x8000_0000
+}
+
+impl MortonCode {
+    /// Encodes `coords` by bit interleaving (coordinate 0 contributes the
+    /// most significant bit of each group of `M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is empty.
+    pub fn encode(coords: &[i32]) -> Self {
+        assert!(!coords.is_empty(), "cannot encode empty coordinates");
+        let m = coords.len();
+        let total_bits = 32 * m;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        let unsigned: Vec<u32> = coords.iter().map(|&c| zigzag(c)).collect();
+        let mut bit_pos = 0usize; // position from the MSB side
+        for level in (0..32).rev() {
+            for &u in &unsigned {
+                if (u >> level) & 1 == 1 {
+                    let word = bit_pos / 64;
+                    let offset = 63 - (bit_pos % 64);
+                    words[word] |= 1u64 << offset;
+                }
+                bit_pos += 1;
+            }
+        }
+        Self { words, m }
+    }
+
+    /// Recovers the original coordinates.
+    pub fn decode(&self) -> Vec<i32> {
+        let mut unsigned = vec![0u32; self.m];
+        let mut bit_pos = 0usize;
+        for level in (0..32).rev() {
+            for u in unsigned.iter_mut() {
+                let word = bit_pos / 64;
+                let offset = 63 - (bit_pos % 64);
+                if (self.words[word] >> offset) & 1 == 1 {
+                    *u |= 1 << level;
+                }
+                bit_pos += 1;
+            }
+        }
+        unsigned.into_iter().map(|u| (u ^ 0x8000_0000) as i32).collect()
+    }
+
+    /// Number of interleaved coordinates `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total number of bits in the code.
+    pub fn bits(&self) -> usize {
+        32 * self.m
+    }
+
+    /// Number of leading bits shared with `other`.
+    ///
+    /// Because one subdivision level consumes `M` bits,
+    /// `shared_prefix_bits / M` is the number of octree levels on which the
+    /// two codes agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codes have different `M`.
+    pub fn shared_prefix_bits(&self, other: &Self) -> usize {
+        assert_eq!(self.m, other.m, "cannot compare codes of different dimension");
+        let mut shared = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            let diff = a ^ b;
+            if diff == 0 {
+                shared += 64;
+            } else {
+                shared += diff.leading_zeros() as usize;
+                break;
+            }
+        }
+        shared.min(self.bits())
+    }
+
+    /// Whether the first `bits` bits of `self` and `other` agree.
+    pub fn shares_prefix(&self, other: &Self, bits: usize) -> bool {
+        self.shared_prefix_bits(other) >= bits
+    }
+
+    /// Flips bit `i` (0 = most significant). Used by the bit-perturbation
+    /// repeats of the Morton probing scheme (Liao et al.).
+    pub fn with_flipped_bit(&self, i: usize) -> Self {
+        assert!(i < self.bits(), "bit index out of range");
+        let mut out = self.clone();
+        out.words[i / 64] ^= 1u64 << (63 - (i % 64));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases: Vec<Vec<i32>> = vec![
+            vec![0],
+            vec![1, -1],
+            vec![5, 0, -3, 7],
+            vec![i32::MAX, i32::MIN, 0, 1, -1, 123456, -654321, 42],
+        ];
+        for c in cases {
+            assert_eq!(MortonCode::encode(&c).decode(), c);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let m = rng.gen_range(1..=12);
+            let coords: Vec<i32> = (0..m).map(|_| rng.gen()).collect();
+            assert_eq!(MortonCode::encode(&coords).decode(), coords);
+        }
+    }
+
+    #[test]
+    fn order_matches_1d_integer_order() {
+        // With M = 1 Morton order is just integer order.
+        let mut vals: Vec<i32> = vec![-100, -1, 0, 1, 99, i32::MIN, i32::MAX];
+        vals.sort_unstable();
+        let codes: Vec<MortonCode> = vals.iter().map(|&v| MortonCode::encode(&[v])).collect();
+        for w in codes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn same_cell_shares_full_prefix() {
+        let a = MortonCode::encode(&[3, -7, 11]);
+        let b = MortonCode::encode(&[3, -7, 11]);
+        assert_eq!(a.shared_prefix_bits(&b), a.bits());
+    }
+
+    #[test]
+    fn nearby_cells_share_longer_prefixes_than_distant_cells() {
+        let base = MortonCode::encode(&[4, 4]);
+        let near = MortonCode::encode(&[5, 4]);
+        let far = MortonCode::encode(&[4096, -4096]);
+        assert!(base.shared_prefix_bits(&near) > base.shared_prefix_bits(&far));
+    }
+
+    #[test]
+    fn prefix_property_matches_octree_ancestry() {
+        // Two codes agree on ⌊shared/M⌋ subdivision levels; verify against
+        // explicit coordinate-prefix comparison for random pairs.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let m = rng.gen_range(2..=6);
+            let a: Vec<i32> = (0..m).map(|_| rng.gen_range(-1000..1000)).collect();
+            let b: Vec<i32> = (0..m).map(|_| rng.gen_range(-1000..1000)).collect();
+            let ca = MortonCode::encode(&a);
+            let cb = MortonCode::encode(&b);
+            let levels = ca.shared_prefix_bits(&cb) / m;
+            // On every shared level, the top `levels` bits of each unsigned
+            // coordinate must agree.
+            if levels > 0 {
+                let shift = 32 - levels.min(32);
+                for i in 0..m {
+                    let ua = (a[i] as u32) ^ 0x8000_0000;
+                    let ub = (b[i] as u32) ^ 0x8000_0000;
+                    assert_eq!(
+                        ua.checked_shr(shift as u32).unwrap_or(0),
+                        ub.checked_shr(shift as u32).unwrap_or(0),
+                        "coords {a:?} vs {b:?} at level {levels}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bit_changes_then_restores() {
+        let c = MortonCode::encode(&[17, -17]);
+        let f = c.with_flipped_bit(10);
+        assert_ne!(c, f);
+        assert_eq!(f.with_flipped_bit(10), c);
+    }
+
+    #[test]
+    fn shares_prefix_thresholds() {
+        let a = MortonCode::encode(&[0, 0]);
+        let b = MortonCode::encode(&[0, 1]);
+        let shared = a.shared_prefix_bits(&b);
+        assert!(a.shares_prefix(&b, shared));
+        assert!(!a.shares_prefix(&b, shared + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimension")]
+    fn prefix_across_dims_panics() {
+        let a = MortonCode::encode(&[0]);
+        let b = MortonCode::encode(&[0, 0]);
+        let _ = a.shared_prefix_bits(&b);
+    }
+}

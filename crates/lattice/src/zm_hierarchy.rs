@@ -1,0 +1,315 @@
+//! Morton-curve hierarchy over the occupied buckets of a `Z^M` LSH table.
+//!
+//! All distinct bucket codes are Morton-encoded and sorted; the sorted curve
+//! is the paper's hierarchical LSH table for `Z^M` (Section IV-B2a). Query
+//! operations are (a) *nearest buckets along the curve* — the codes before
+//! and after the query's insert position, optionally with bit-perturbation
+//! repeats — and (b) *expanding prefix probes*: grow the shared-MSB window
+//! (one subdivision level at a time) until enough buckets are gathered.
+
+use crate::morton::MortonCode;
+use serde::{Deserialize, Serialize};
+
+/// A sorted Morton curve over bucket codes.
+///
+/// `u32` payloads are bucket indices assigned by the caller (positions into
+/// whatever bucket storage the caller keeps).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZmHierarchy {
+    entries: Vec<(MortonCode, u32)>,
+    m: usize,
+}
+
+impl ZmHierarchy {
+    /// Builds the hierarchy from `(code, bucket-index)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty or codes disagree on dimension.
+    pub fn build<'a, I>(codes: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a [i32], u32)>,
+    {
+        let mut entries: Vec<(MortonCode, u32)> =
+            codes.into_iter().map(|(c, id)| (MortonCode::encode(c), id)).collect();
+        assert!(!entries.is_empty(), "hierarchy needs at least one bucket");
+        let m = entries[0].0.m();
+        assert!(entries.iter().all(|(c, _)| c.m() == m), "mixed code dimensions");
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Self { entries, m }
+    }
+
+    /// Number of buckets on the curve.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the curve is empty (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Coordinate dimension `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Position at which `code`'s Morton code would insert while keeping the
+    /// curve sorted.
+    fn insert_position(&self, code: &MortonCode) -> usize {
+        self.entries.partition_point(|(c, _)| c < code)
+    }
+
+    /// The `count` bucket indices nearest to `code` along the curve
+    /// (alternating after/before the insert position), nearest first.
+    ///
+    /// This is the paper's base Morton probe: "use the Morton codes before
+    /// and after the insert position".
+    pub fn nearest_buckets(&self, code: &[i32], count: usize) -> Vec<u32> {
+        self.nearest_in_order(&MortonCode::encode(code), count)
+    }
+
+    /// Bit-perturbed probing (Liao et al.; paper §IV-B2a: "we need to
+    /// perturb some bits of the query Morton code and repeat this process
+    /// several times"): gathers the `per_probe` nearest buckets around the
+    /// insert positions of the query code *and* of `flips` variants of it
+    /// with one high-order coordinate bit flipped each, deduplicated,
+    /// nearest-first per probe.
+    ///
+    /// The single-curve search misses neighbors that straddle high-order
+    /// cube boundaries; re-searching from flipped-bit positions recovers
+    /// them.
+    pub fn nearest_buckets_perturbed(
+        &self,
+        code: &[i32],
+        per_probe: usize,
+        flips: usize,
+    ) -> Vec<u32> {
+        let target = MortonCode::encode(code);
+        let mut out = self.nearest_in_order(&target, per_probe);
+        // Flip the most significant per-coordinate bits that still vary
+        // across the dataset: bits 0..flips of the interleaved code.
+        for bit in 0..flips.min(target.bits()) {
+            let variant = target.with_flipped_bit(bit);
+            out.extend(self.nearest_in_order(&variant, per_probe));
+        }
+        // Dedup preserving first-seen (nearest) order.
+        let mut seen = vec![false; self.entries.len()];
+        out.retain(|&b| {
+            let fresh = !seen[b as usize];
+            seen[b as usize] = true;
+            fresh
+        });
+        out
+    }
+
+    /// `nearest_buckets` against a precomputed Morton code.
+    fn nearest_in_order(&self, target: &MortonCode, count: usize) -> Vec<u32> {
+        let pos = self.insert_position(target);
+        let mut out = Vec::with_capacity(count.min(self.entries.len()));
+        let (mut lo, mut hi) = (pos, pos);
+        while out.len() < count && (lo > 0 || hi < self.entries.len()) {
+            let take_hi = match (lo > 0, hi < self.entries.len()) {
+                (true, true) => {
+                    self.entries[hi].0.shared_prefix_bits(target)
+                        >= self.entries[lo - 1].0.shared_prefix_bits(target)
+                }
+                (false, true) => true,
+                (true, false) => false,
+                (false, false) => unreachable!("loop condition"),
+            };
+            if take_hi {
+                out.push(self.entries[hi].1);
+                hi += 1;
+            } else {
+                lo -= 1;
+                out.push(self.entries[lo].1);
+            }
+        }
+        out
+    }
+
+    /// Buckets whose Morton codes share at least `levels` full subdivision
+    /// levels (`levels · M` leading bits) with `code`.
+    pub fn buckets_at_level(&self, code: &[i32], levels: usize) -> Vec<u32> {
+        let target = MortonCode::encode(code);
+        let bits = (levels * self.m).min(target.bits());
+        let pos = self.insert_position(&target);
+        let mut out = Vec::new();
+        // Scan left then right while the prefix holds; contiguity follows
+        // from the curve being sorted.
+        let mut i = pos;
+        while i > 0 && self.entries[i - 1].0.shares_prefix(&target, bits) {
+            i -= 1;
+            out.push(self.entries[i].1);
+        }
+        out.reverse();
+        let mut j = pos;
+        while j < self.entries.len() && self.entries[j].0.shares_prefix(&target, bits) {
+            out.push(self.entries[j].1);
+            j += 1;
+        }
+        out
+    }
+
+    /// Expanding probe: starting from the deepest level on which any bucket
+    /// agrees with `code`, coarsen one level at a time until at least
+    /// `min_buckets` buckets are collected (or the whole curve is returned).
+    ///
+    /// This is the paper's escalation rule for queries in sparse regions:
+    /// "when the shared MSB number is small, traverse to a higher level in
+    /// the hierarchy and use a larger bucket".
+    pub fn probe_expanding(&self, code: &[i32], min_buckets: usize) -> Vec<u32> {
+        let target = MortonCode::encode(code);
+        let pos = self.insert_position(&target);
+        // Deepest meaningful level = max shared bits with either neighbor.
+        let mut best_bits = 0usize;
+        if pos > 0 {
+            best_bits = best_bits.max(self.entries[pos - 1].0.shared_prefix_bits(&target));
+        }
+        if pos < self.entries.len() {
+            best_bits = best_bits.max(self.entries[pos].0.shared_prefix_bits(&target));
+        }
+        let mut level = best_bits / self.m;
+        loop {
+            let buckets = self.buckets_at_level(code, level);
+            if buckets.len() >= min_buckets || level == 0 {
+                return buckets;
+            }
+            level -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(codes: &[Vec<i32>]) -> ZmHierarchy {
+        ZmHierarchy::build(codes.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)))
+    }
+
+    #[test]
+    fn exact_bucket_is_first_nearest() {
+        let h = build(&[vec![0, 0], vec![0, 1], vec![8, 8], vec![-5, 2]]);
+        let near = h.nearest_buckets(&[0, 1], 1);
+        assert_eq!(near, vec![1]);
+    }
+
+    #[test]
+    fn nearest_buckets_returns_requested_count() {
+        let h = build(&[vec![0], vec![1], vec![2], vec![3], vec![10]]);
+        assert_eq!(h.nearest_buckets(&[2], 3).len(), 3);
+        // Asking for more than exists returns everything.
+        assert_eq!(h.nearest_buckets(&[2], 99).len(), 5);
+    }
+
+    #[test]
+    fn nearest_in_1d_matches_numeric_adjacency() {
+        // M=1 Morton order is integer order, so the nearest buckets to 5 are
+        // 4 and 6 before 0 and 100.
+        let h = build(&[vec![0], vec![4], vec![6], vec![100]]);
+        let near = h.nearest_buckets(&[5], 2);
+        assert_eq!(
+            {
+                let mut v = near.clone();
+                v.sort_unstable();
+                v
+            },
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn buckets_at_level_zero_is_everything() {
+        let h = build(&[vec![1, 1], vec![-1, 3], vec![7, -2]]);
+        assert_eq!(h.buckets_at_level(&[0, 0], 0).len(), 3);
+    }
+
+    #[test]
+    fn buckets_at_full_level_is_exact_match_only() {
+        let h = build(&[vec![3, 4], vec![3, 5], vec![9, 9]]);
+        let exact = h.buckets_at_level(&[3, 4], 32);
+        assert_eq!(exact, vec![0]);
+        // A code not in the table matches nothing at full depth.
+        assert!(h.buckets_at_level(&[2, 2], 32).is_empty());
+    }
+
+    #[test]
+    fn deeper_levels_are_subsets_of_shallower() {
+        let codes: Vec<Vec<i32>> =
+            (0..40).map(|i| vec![i % 7 - 3, (i * 13) % 11 - 5, i / 4]).collect();
+        let h = build(&codes);
+        let q = [1, -2, 3];
+        let mut prev: Option<Vec<u32>> = None;
+        for level in (0..=32).rev() {
+            let mut cur = h.buckets_at_level(&q, level);
+            cur.sort_unstable();
+            if let Some(p) = &prev {
+                assert!(p.iter().all(|b| cur.contains(b)), "level {level} lost buckets");
+            }
+            prev = Some(cur);
+        }
+    }
+
+    #[test]
+    fn probe_expanding_meets_minimum_or_exhausts() {
+        let codes: Vec<Vec<i32>> = (0..20).map(|i| vec![i, -i]).collect();
+        let h = build(&codes);
+        let got = h.probe_expanding(&[3, -3], 5);
+        assert!(got.len() >= 5);
+        // Impossible minimum returns the full curve.
+        let all = h.probe_expanding(&[3, -3], 1000);
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn probe_expanding_in_sparse_region_escalates() {
+        // Query far from the two tight groups: expansion must still find
+        // buckets rather than returning empty.
+        let h = build(&[vec![0, 0], vec![0, 1], vec![1000, 1000]]);
+        let got = h.probe_expanding(&[500, 500], 1);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn perturbed_probe_supersets_plain_probe() {
+        let codes: Vec<Vec<i32>> = (0..30).map(|i| vec![i - 15, (i * 7) % 11 - 5]).collect();
+        let h = build(&codes);
+        let q = [2, -3];
+        let plain = h.nearest_buckets(&q, 4);
+        let perturbed = h.nearest_buckets_perturbed(&q, 4, 8);
+        for b in &plain {
+            assert!(perturbed.contains(b), "perturbed probe lost bucket {b}");
+        }
+        assert!(perturbed.len() >= plain.len());
+    }
+
+    #[test]
+    fn perturbed_probe_has_no_duplicates() {
+        let codes: Vec<Vec<i32>> = (0..20).map(|i| vec![i, i % 5]).collect();
+        let h = build(&codes);
+        let got = h.nearest_buckets_perturbed(&[3, 2], 6, 16);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), got.len());
+    }
+
+    #[test]
+    fn perturbed_probe_recovers_boundary_neighbors() {
+        // -1 and 0 differ in every Morton bit (sign flip): the plain curve
+        // search from one side can miss the other at small budgets, while a
+        // high-bit flip recovers it.
+        let h = build(&[vec![-1], vec![0], vec![1000], vec![-1000]]);
+        let got = h.nearest_buckets_perturbed(&[0], 2, 4);
+        assert!(got.contains(&0), "bucket of -1 missing: {got:?}");
+        assert!(got.contains(&1), "bucket of 0 missing: {got:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_build_panics() {
+        let _ = ZmHierarchy::build(std::iter::empty::<(&[i32], u32)>());
+    }
+}

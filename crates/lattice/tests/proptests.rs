@@ -1,0 +1,166 @@
+//! Property-based tests of the lattice invariants DESIGN.md calls out:
+//! E8 decode validity/idempotence/local optimality, Morton roundtrips and
+//! the prefix⇔ancestry property, and hierarchy probe containment.
+
+use lattice::e8::{block_neighbors, decode_e8_block, dist_sq_to_point, is_e8_point};
+use lattice::{decode_e8_raw, e8_ancestor, E8Hierarchy, MortonCode, ZmHierarchy};
+use proptest::prelude::*;
+
+fn block() -> impl Strategy<Value = [f64; 8]> {
+    prop::array::uniform8(-50.0f64..50.0)
+}
+
+proptest! {
+    #[test]
+    fn decode_always_yields_e8_point(x in block()) {
+        let code = decode_e8_block(&x);
+        prop_assert!(is_e8_point(&code), "{x:?} -> {code:?}");
+    }
+
+    #[test]
+    fn decode_is_idempotent(x in block()) {
+        let code = decode_e8_block(&x);
+        let mut real = [0.0f64; 8];
+        for i in 0..8 {
+            real[i] = code[i] as f64 / 2.0;
+        }
+        prop_assert_eq!(decode_e8_block(&real), code);
+    }
+
+    #[test]
+    fn decode_is_locally_optimal(x in block()) {
+        // No root neighbor of the decoded point is strictly closer: the
+        // decoder found (at least) a local minimum over the lattice, which
+        // for E8's coset decoder is the global one.
+        let code = decode_e8_block(&x);
+        let d = dist_sq_to_point(&x, &code);
+        for n in block_neighbors(&code) {
+            prop_assert!(dist_sq_to_point(&x, &n) >= d - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ancestor_stays_in_lattice_and_shrinks(x in block()) {
+        let code = decode_e8_block(&x).to_vec();
+        let parent = e8_ancestor(&code);
+        let pb: [i32; 8] = parent.as_slice().try_into().unwrap();
+        prop_assert!(is_e8_point(&pb));
+        let norm = |c: &[i32]| {
+            c.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        };
+        // The parent is the decode of the halved point, so its norm is at
+        // most half the child's plus E8's covering radius (doubled units:
+        // 2 per coordinate, √32 ≈ 5.7 overall).
+        prop_assert!(norm(&parent) <= norm(&code) / 2.0 + 6.0,
+            "parent {parent:?} did not shrink from {code:?}");
+    }
+
+    #[test]
+    fn ancestor_chains_stabilize(x in block()) {
+        let mut code = decode_e8_block(&x).to_vec();
+        for _ in 0..64 {
+            let parent = e8_ancestor(&code);
+            if parent == code {
+                break;
+            }
+            code = parent;
+        }
+        prop_assert_eq!(e8_ancestor(&code), code, "chain failed to reach a fixed point");
+    }
+
+    #[test]
+    fn multiblock_decode_blockwise(raw in prop::collection::vec(-30.0f32..30.0, 1..40)) {
+        let code = decode_e8_raw(&raw);
+        prop_assert_eq!(code.len(), raw.len().div_ceil(8) * 8);
+        for chunk in code.chunks_exact(8) {
+            let cb: [i32; 8] = chunk.try_into().unwrap();
+            prop_assert!(is_e8_point(&cb));
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip(coords in prop::collection::vec(any::<i32>(), 1..12)) {
+        let code = MortonCode::encode(&coords);
+        prop_assert_eq!(code.decode(), coords);
+    }
+
+    #[test]
+    fn morton_prefix_matches_coordinate_prefix(
+        a in prop::collection::vec(-10_000i32..10_000, 2..6),
+        deltas in prop::collection::vec(-4i32..=4, 2..6),
+    ) {
+        let m = a.len().min(deltas.len());
+        let a = &a[..m];
+        let b: Vec<i32> = a.iter().zip(&deltas[..m]).map(|(x, d)| x + d).collect();
+        let ca = MortonCode::encode(a);
+        let cb = MortonCode::encode(&b);
+        let levels = ca.shared_prefix_bits(&cb) / m;
+        let shift = 32usize.saturating_sub(levels.min(32)) as u32;
+        for i in 0..m {
+            let ua = (a[i] as u32) ^ 0x8000_0000;
+            let ub = (b[i] as u32) ^ 0x8000_0000;
+            prop_assert_eq!(
+                ua.checked_shr(shift).unwrap_or(0),
+                ub.checked_shr(shift).unwrap_or(0),
+            );
+        }
+    }
+
+    #[test]
+    fn zm_hierarchy_probe_contains_exact_bucket(
+        codes in prop::collection::vec(prop::collection::vec(-40i32..40, 3), 1..50),
+    ) {
+        let mut distinct = codes;
+        distinct.sort_unstable();
+        distinct.dedup();
+        let h = ZmHierarchy::build(
+            distinct.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)),
+        );
+        for (i, code) in distinct.iter().enumerate() {
+            let got = h.probe_expanding(code, 1);
+            prop_assert!(got.contains(&(i as u32)), "bucket {i} missing");
+        }
+        // Asking for everything returns everything.
+        prop_assert_eq!(h.probe_expanding(&distinct[0], usize::MAX).len(), distinct.len());
+    }
+
+    #[test]
+    fn e8_hierarchy_probe_contains_exact_bucket(
+        raws in prop::collection::vec(prop::array::uniform8(-20.0f32..20.0), 1..30),
+    ) {
+        let mut codes: Vec<Vec<i32>> = raws.iter().map(|r| decode_e8_raw(r)).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let h = E8Hierarchy::build(
+            codes.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)),
+        );
+        for (i, code) in codes.iter().enumerate() {
+            let got = h.probe_expanding(code, 1);
+            prop_assert!(got.contains(&(i as u32)), "bucket {i} missing");
+        }
+    }
+
+    #[test]
+    fn zm_hierarchy_levels_nest(
+        codes in prop::collection::vec(prop::collection::vec(-40i32..40, 2), 2..40),
+        q in prop::collection::vec(-40i32..40, 2),
+    ) {
+        let mut distinct = codes;
+        distinct.sort_unstable();
+        distinct.dedup();
+        let h = ZmHierarchy::build(
+            distinct.iter().enumerate().map(|(i, c)| (c.as_slice(), i as u32)),
+        );
+        let mut prev: Option<Vec<u32>> = None;
+        for level in (0..=32usize).rev().step_by(8) {
+            let mut cur = h.buckets_at_level(&q, level);
+            cur.sort_unstable();
+            if let Some(p) = &prev {
+                for b in p {
+                    prop_assert!(cur.contains(b), "level {level} lost bucket {b}");
+                }
+            }
+            prev = Some(cur);
+        }
+    }
+}

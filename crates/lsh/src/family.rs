@@ -1,0 +1,205 @@
+//! The p-stable (`l_2`) hash family of Datar et al.
+//!
+//! Each of the `M` component functions is `h_i(v) = ⌊(a_i · v + b_i) / W⌋`
+//! with `a_i` i.i.d. standard Gaussian and `b_i ~ U[0, W)` (Equation 2 of
+//! the paper). `M` and `W` trade off cell dimension and size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vecstore::synth::StdNormal;
+
+/// A `Z^M` LSH code: one lattice coordinate per component hash.
+pub type LshCode = Vec<i32>;
+
+/// One `M`-dimensional hash function `H(v) = <h_1(v), …, h_M(v)>`.
+///
+/// The family keeps its projection matrix in row-major order (`m × dim`) so
+/// hashing a vector is `m` dot products over contiguous memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashFamily {
+    /// Row-major `m × dim` Gaussian projection matrix.
+    a: Vec<f32>,
+    /// Per-component offsets, *normalized* to cell units: `b_norm ∈ [0, 1)`
+    /// with the true offset being `b_norm · w`. Storing the normalized form
+    /// keeps the offset uniform over the cell for every width `with_w`
+    /// produces.
+    b: Vec<f32>,
+    w: f32,
+    m: usize,
+    dim: usize,
+}
+
+impl HashFamily {
+    /// Samples a fresh family of `m` hash functions over `dim`-dimensional
+    /// input with bucket width `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `dim == 0`, or `w <= 0`.
+    pub fn sample(dim: usize, m: usize, w: f32, seed: u64) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert!(dim > 0, "dim must be positive");
+        assert!(w > 0.0 && w.is_finite(), "w must be positive and finite");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..m * dim).map(|_| rng.sample(StdNormal)).collect();
+        let b = (0..m).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        Self { a, b, w, m, dim }
+    }
+
+    /// Number of component hashes `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Input dimensionality `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bucket width `W`.
+    #[inline]
+    pub fn w(&self) -> f32 {
+        self.w
+    }
+
+    /// Returns a copy of this family with a different bucket width but the
+    /// *same* projections and (rescaled) offsets.
+    ///
+    /// Keeping projections fixed while sweeping `W` is exactly what the
+    /// paper's experiments do ("for each L, we increase the bucket size W
+    /// gradually"), and it isolates the variance contribution of `W` from
+    /// that of the random directions.
+    pub fn with_w(&self, w: f32) -> Self {
+        assert!(w > 0.0 && w.is_finite(), "w must be positive and finite");
+        // `a` and the normalized `b` are kept verbatim: the true offset
+        // `b · w` rescales with the width, staying uniform over the cell.
+        Self { a: self.a.clone(), b: self.b.clone(), w, m: self.m, dim: self.dim }
+    }
+
+    /// Raw (unquantized) per-component values `(a_i · v + b_i) / W`, written
+    /// into `out` (`out.len() == m`).
+    ///
+    /// Quantizers build on this: `Z^M` floors each entry; the E8 decoder
+    /// snaps blocks of 8 entries to the nearest E8 lattice point.
+    pub fn project_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        assert_eq!(out.len(), self.m, "output length must equal m");
+        for (i, slot) in out.iter_mut().enumerate() {
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            *slot = vecstore::metric::dot(row, v) / self.w + self.b[i];
+        }
+    }
+
+    /// Raw projection, allocating variant of [`Self::project_into`].
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.m];
+        self.project_into(v, &mut out);
+        out
+    }
+
+    /// The `Z^M` LSH code `H(v)` (Equation 1): floor of each raw projection.
+    pub fn hash_zm(&self, v: &[f32]) -> LshCode {
+        self.project(v).into_iter().map(|x| x.floor() as i32).collect()
+    }
+}
+
+/// Floors a raw projection vector to a `Z^M` code.
+pub fn quantize_zm(raw: &[f32]) -> LshCode {
+    raw.iter().map(|x| x.floor() as i32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        let f = HashFamily::sample(16, 8, 4.0, 1);
+        let v: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(f.hash_zm(&v), f.hash_zm(&v));
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let v: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let f1 = HashFamily::sample(16, 8, 4.0, 1);
+        let f2 = HashFamily::sample(16, 8, 4.0, 2);
+        assert_ne!(f1.hash_zm(&v), f2.hash_zm(&v));
+    }
+
+    #[test]
+    fn code_has_m_components() {
+        let f = HashFamily::sample(10, 6, 2.0, 3);
+        assert_eq!(f.hash_zm(&[0.5; 10]).len(), 6);
+    }
+
+    #[test]
+    fn nearby_points_collide_more_than_distant_ones() {
+        let f = HashFamily::sample(8, 4, 8.0, 7);
+        let base = vec![0.0f32; 8];
+        let near = vec![0.05f32; 8];
+        let far = vec![30.0f32; 8];
+        let hb = f.hash_zm(&base);
+        let matches = |h: &LshCode| h.iter().zip(&hb).filter(|(a, b)| a == b).count();
+        assert!(matches(&f.hash_zm(&near)) > matches(&f.hash_zm(&far)));
+    }
+
+    #[test]
+    fn larger_w_means_coarser_buckets() {
+        // With a huge W every point in a small ball shares one bucket.
+        let f = HashFamily::sample(4, 4, 1e6, 5);
+        let h0 = f.hash_zm(&[0.0; 4]);
+        let h1 = f.hash_zm(&[1.0, -1.0, 0.5, 2.0]);
+        assert_eq!(h0, h1);
+    }
+
+    #[test]
+    fn with_w_preserves_projection_directions() {
+        let f = HashFamily::sample(8, 4, 2.0, 11);
+        let g = f.with_w(4.0);
+        let v = vec![1.0f32; 8];
+        // The data-dependent part of the raw projection scales exactly by
+        // the width ratio; the normalized offset is width-invariant.
+        let zero = vec![0.0f32; 8];
+        let (pf, pg) = (f.project(&v), g.project(&v));
+        let (of, og) = (f.project(&zero), g.project(&zero));
+        for ((x, y), (bx, by)) in pf.iter().zip(&pg).zip(of.iter().zip(&og)) {
+            assert!((bx - by).abs() < 1e-6, "offset must be width-invariant");
+            assert!(((x - bx) / (y - by) - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn huge_w_collapses_everything_into_one_bucket() {
+        // With W far above the data scale, every point of a bounded set must
+        // share a single cell — this is what makes exhaustive-width search
+        // exact. Requires the offset to stay interior to the cell.
+        let f = HashFamily::sample(8, 8, 1.0, 3).with_w(1e7);
+        let a = f.hash_zm(&[5.0f32, -5.0, 3.0, 0.0, -2.0, 7.0, 1.0, -9.0]);
+        let b = f.hash_zm(&[-100.0f32, 50.0, 0.0, 30.0, -80.0, 10.0, 60.0, -40.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn raw_projection_floor_equals_code() {
+        let f = HashFamily::sample(12, 8, 3.0, 13);
+        let v: Vec<f32> = (0..12).map(|i| (i as f32).cos() * 5.0).collect();
+        assert_eq!(quantize_zm(&f.project(&v)), f.hash_zm(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_dim_panics() {
+        let f = HashFamily::sample(8, 4, 2.0, 1);
+        let _ = f.hash_zm(&[0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "w must be positive")]
+    fn zero_w_panics() {
+        let _ = HashFamily::sample(8, 4, 0.0, 1);
+    }
+}

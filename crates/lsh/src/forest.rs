@@ -1,0 +1,352 @@
+//! LSH-Forest (Bawa, Condie & Ganesan, WWW 2005) — the self-tuning related
+//! work of the paper's Section II-B.
+//!
+//! Instead of fixing the code dimension `M`, each of the `L` tables is a
+//! *prefix tree* over the sequence of per-level hash values: a point's
+//! effective code length is the depth of the leaf it lands in, which adapts
+//! locally to data density (dense regions grow deeper, sparse regions stay
+//! shallow). Queries descend each tree as far as their own hash sequence
+//! matches, then collect candidates by walking back up ("synchronous
+//! ascent") until the candidate budget is met.
+//!
+//! Implemented here as an additional baseline for extension experiments —
+//! the paper compares against fixed-`M` LSH only.
+
+use crate::family::HashFamily;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vecstore::synth::StdNormal;
+use vecstore::Dataset;
+
+/// Maximum code length (tree depth); Bawa et al. use a fixed cap.
+const DEFAULT_MAX_DEPTH: usize = 24;
+
+/// Leaf capacity before a split is attempted.
+const LEAF_CAPACITY: usize = 16;
+
+/// Construction parameters for an [`LshForest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of prefix trees `L`.
+    pub trees: usize,
+    /// Bucket width of the underlying p-stable hashes.
+    pub w: f32,
+    /// Depth cap `k_max`.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// Defaults: 10 trees, depth cap 24.
+    pub fn new(w: f32) -> Self {
+        Self { trees: 10, w, max_depth: DEFAULT_MAX_DEPTH, seed: 0xf0_e57 }
+    }
+}
+
+/// One prefix-tree node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    /// Points whose hash prefixes collide down to this depth.
+    Leaf { ids: Vec<u32> },
+    /// Children keyed by the next hash value in the sequence.
+    Inner { children: std::collections::HashMap<i32, usize> },
+}
+
+/// One tree: its own hash function per level plus the trie.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tree {
+    /// `levels[d]` hashes with the level-`d` function (each level is an
+    /// independent 1-dim p-stable hash).
+    levels: HashFamily,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+/// A fitted LSH-Forest over a borrowed dataset.
+#[derive(Debug)]
+pub struct LshForest<'a> {
+    data: &'a Dataset,
+    trees: Vec<Tree>,
+    max_depth: usize,
+}
+
+impl<'a> LshForest<'a> {
+    /// Builds the forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the config is degenerate.
+    pub fn build(data: &'a Dataset, config: &ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot build over empty dataset");
+        assert!(config.trees > 0, "need at least one tree");
+        assert!(config.max_depth > 0, "depth cap must be positive");
+        assert!(config.w > 0.0, "bucket width must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let trees = (0..config.trees)
+            .map(|_| {
+                // An `max_depth`-dim family: component d is the level-d hash.
+                let seed = rng.sample::<f32, _>(StdNormal).to_bits() as u64 ^ rng.gen::<u64>();
+                let levels = HashFamily::sample(data.dim(), config.max_depth, config.w, seed);
+                build_tree(data, levels, config.max_depth)
+            })
+            .collect();
+        Self { data, trees, max_depth: config.max_depth }
+    }
+
+    /// Candidate ids for `query`: every tree is descended to its deepest
+    /// matching node, then all trees ascend synchronously one level at a
+    /// time until at least `min_candidates` distinct ids are gathered (or
+    /// the roots are reached).
+    pub fn candidates(&self, query: &[f32], min_candidates: usize) -> Vec<u32> {
+        assert_eq!(query.len(), self.data.dim(), "query dimension mismatch");
+        // Per-tree root-to-deepest path.
+        let paths: Vec<Vec<usize>> = self
+            .trees
+            .iter()
+            .map(|tree| {
+                let labels = tree.levels.hash_zm(query);
+                let mut path = vec![tree.root];
+                let mut cur = tree.root;
+                for label in labels.iter().take(self.max_depth) {
+                    match &tree.nodes[cur] {
+                        Node::Inner { children } => match children.get(label) {
+                            Some(&next) => {
+                                path.push(next);
+                                cur = next;
+                            }
+                            None => break,
+                        },
+                        Node::Leaf { .. } => break,
+                    }
+                }
+                path
+            })
+            .collect();
+
+        let mut out: Vec<u32> = Vec::new();
+        let deepest = paths.iter().map(Vec::len).max().unwrap_or(1);
+        // Ascend: depth index from the bottom.
+        for up in 0..deepest {
+            for (tree, path) in self.trees.iter().zip(&paths) {
+                if up >= path.len() {
+                    continue;
+                }
+                let node = path[path.len() - 1 - up];
+                // At ascent step 0 collect the deepest node's subtree; at
+                // later steps the parent subtrees subsume earlier ones, and
+                // dedup keeps the set consistent.
+                collect_subtree(tree, node, &mut out);
+            }
+            out.sort_unstable();
+            out.dedup();
+            if out.len() >= min_candidates {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Approximate k-NN: rank the candidate set by exact distance.
+    pub fn query(&self, query: &[f32], k: usize, min_candidates: usize) -> Vec<vecstore::Neighbor> {
+        let cands = self.candidates(query, min_candidates.max(k));
+        let mut top = vecstore::TopK::new(k);
+        for &id in &cands {
+            top.push(id as usize, vecstore::metric::squared_l2(query, self.data.row(id as usize)));
+        }
+        let mut hits = top.into_sorted();
+        for n in &mut hits {
+            n.dist = n.dist.sqrt();
+        }
+        hits
+    }
+
+    /// Distribution of leaf depths across all trees — the "self-tuned M".
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_depth + 1];
+        for tree in &self.trees {
+            depth_walk(tree, tree.root, 0, &mut hist);
+        }
+        hist
+    }
+}
+
+fn depth_walk(tree: &Tree, node: usize, depth: usize, hist: &mut [usize]) {
+    match &tree.nodes[node] {
+        Node::Leaf { ids } => {
+            if !ids.is_empty() {
+                hist[depth.min(hist.len() - 1)] += 1;
+            }
+        }
+        Node::Inner { children } => {
+            for &c in children.values() {
+                depth_walk(tree, c, depth + 1, hist);
+            }
+        }
+    }
+}
+
+fn collect_subtree(tree: &Tree, node: usize, out: &mut Vec<u32>) {
+    match &tree.nodes[node] {
+        Node::Leaf { ids } => out.extend_from_slice(ids),
+        Node::Inner { children } => {
+            for &c in children.values() {
+                collect_subtree(tree, c, out);
+            }
+        }
+    }
+}
+
+/// Builds one prefix tree by inserting every point, splitting leaves that
+/// exceed [`LEAF_CAPACITY`] until the depth cap.
+fn build_tree(data: &Dataset, levels: HashFamily, max_depth: usize) -> Tree {
+    let mut nodes = vec![Node::Leaf { ids: Vec::new() }];
+    let root = 0usize;
+    // Precompute every point's full label sequence (max_depth ints).
+    let labels: Vec<Vec<i32>> = data.iter().map(|row| levels.hash_zm(row)).collect();
+    for (id, seq) in labels.iter().enumerate() {
+        insert_point(&mut nodes, root, 0, id as u32, seq, &labels, max_depth);
+    }
+    Tree { levels, nodes, root }
+}
+
+fn insert_point(
+    nodes: &mut Vec<Node>,
+    node: usize,
+    depth: usize,
+    id: u32,
+    seq: &[i32],
+    all_labels: &[Vec<i32>],
+    max_depth: usize,
+) {
+    match &mut nodes[node] {
+        Node::Inner { children } => {
+            let label = seq[depth];
+            let child = match children.get(&label) {
+                Some(&c) => c,
+                None => {
+                    let c = nodes.len();
+                    // Re-borrow after push: take the child index first.
+                    nodes.push(Node::Leaf { ids: Vec::new() });
+                    let Node::Inner { children } = &mut nodes[node] else { unreachable!() };
+                    children.insert(label, c);
+                    c
+                }
+            };
+            insert_point(nodes, child, depth + 1, id, seq, all_labels, max_depth);
+        }
+        Node::Leaf { ids } => {
+            ids.push(id);
+            if ids.len() > LEAF_CAPACITY && depth < max_depth {
+                // Split: push every resident one level down. Points with
+                // identical full prefixes re-collide and stop splitting at
+                // the depth cap.
+                let residents = std::mem::take(ids);
+                nodes[node] = Node::Inner { children: std::collections::HashMap::new() };
+                for r in residents {
+                    let rseq = &all_labels[r as usize];
+                    insert_point(nodes, node, depth, r, rseq, all_labels, max_depth);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_metrics_free::recall;
+    use vecstore::synth::{self, ClusteredSpec};
+    use vecstore::{knn, SquaredL2};
+
+    /// Local recall helper (avoids a dev-dependency cycle on knn-metrics).
+    mod knn_metrics_free {
+        use vecstore::Neighbor;
+        pub fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+            if exact.is_empty() {
+                return 1.0;
+            }
+            let ids: std::collections::HashSet<usize> = approx.iter().map(|n| n.id).collect();
+            exact.iter().filter(|n| ids.contains(&n.id)).count() as f64 / exact.len() as f64
+        }
+    }
+
+    fn corpus() -> (Dataset, Dataset) {
+        synth::clustered(&ClusteredSpec::small(700), 41).split_at(600)
+    }
+
+    #[test]
+    fn every_point_is_its_own_candidate() {
+        let (data, _) = corpus();
+        let forest = LshForest::build(&data, &ForestConfig::new(4.0));
+        for i in (0..data.len()).step_by(37) {
+            let cands = forest.candidates(data.row(i), 1);
+            assert!(cands.contains(&(i as u32)), "point {i} missing from own candidates");
+        }
+    }
+
+    #[test]
+    fn candidate_budget_is_met_or_everything_returned() {
+        let (data, queries) = corpus();
+        let forest = LshForest::build(&data, &ForestConfig::new(4.0));
+        for q in queries.iter().take(20) {
+            let cands = forest.candidates(q, 50);
+            assert!(cands.len() >= 50.min(data.len()) || cands.len() == data.len());
+        }
+    }
+
+    #[test]
+    fn reasonable_recall_at_moderate_budget() {
+        let (data, queries) = corpus();
+        let forest = LshForest::build(&data, &ForestConfig::new(4.0));
+        let mut total = 0.0;
+        for q in queries.iter() {
+            let got = forest.query(q, 10, 100);
+            let want = {
+                let mut w = knn(&data, q, 10, &SquaredL2);
+                for n in &mut w {
+                    n.dist = n.dist.sqrt();
+                }
+                w
+            };
+            total += recall(&want, &got);
+        }
+        let mean = total / queries.len() as f64;
+        assert!(mean > 0.5, "forest recall {mean} too low at budget 100");
+    }
+
+    #[test]
+    fn deeper_leaves_in_dense_regions() {
+        // The self-tuning property: a corpus with a dense clump produces
+        // deeper leaves than a sparse uniform one at the same settings.
+        let dense = synth::gaussian(8, 600, 0.05, 3);
+        let sparse = synth::uniform(8, 600, -100.0, 100.0, 4);
+        let cfg = ForestConfig::new(4.0);
+        let depth_mass = |d: &Dataset| -> f64 {
+            let f = LshForest::build(d, &cfg);
+            let hist = f.depth_histogram();
+            let total: usize = hist.iter().sum();
+            hist.iter().enumerate().map(|(d, &c)| d as f64 * c as f64).sum::<f64>() / total as f64
+        };
+        assert!(
+            depth_mass(&dense) > depth_mass(&sparse),
+            "dense data should grow deeper prefix trees"
+        );
+    }
+
+    #[test]
+    fn duplicate_points_do_not_blow_the_depth_cap() {
+        let data = Dataset::from_rows(&vec![vec![1.0f32; 8]; 200]);
+        let forest = LshForest::build(&data, &ForestConfig::new(2.0));
+        let cands = forest.candidates(&vec![1.0f32; 8], 10);
+        assert_eq!(cands.len(), 200, "all duplicates share one capped leaf");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = Dataset::new(4);
+        let _ = LshForest::build(&data, &ForestConfig::new(1.0));
+    }
+}

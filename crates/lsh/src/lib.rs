@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Level 2 substrate: p-stable locality sensitive hashing.
+//!
+//! Implements the Datar–Immorlica–Indyk–Mirrokni `l_2` hash family
+//! (Equation 2 of the paper), hash tables over the `Z^M` integer lattice,
+//! the Lv et al. query-directed multi-probe sequence, and the Dong et al.
+//! statistical parameter tuner used to pick per-cluster bucket widths `W`.
+//!
+//! The [`family::HashFamily`] exposes *raw* (pre-quantization) projections so
+//! that alternative quantizers — the E8 lattice decoder in the `lattice`
+//! crate — can be swapped in behind the same projections.
+
+pub mod adaptive;
+pub mod family;
+pub mod forest;
+pub mod multiprobe;
+pub mod table;
+pub mod tuning;
+
+pub use adaptive::{centrality_score, select_tables};
+pub use family::{HashFamily, LshCode};
+pub use forest::{ForestConfig, LshForest};
+pub use multiprobe::{perturbation_sets, probe_codes};
+pub use table::LshTable;
+pub use tuning::{collision_probability, recall_model, tune_w, DistanceProfile, TuningGoal};

@@ -1,0 +1,251 @@
+//! Query-directed multi-probe sequences (Lv et al., VLDB 2007).
+//!
+//! Instead of probing only the cell containing the query, multi-probe LSH
+//! also visits the neighboring cells most likely to hold near neighbors. For
+//! each hash component `i`, the query's fractional position inside its cell
+//! determines the cost `x_i(δ)` of perturbing that component by `δ ∈ {−1,+1}`
+//! (the squared distance to the corresponding cell boundary). A *perturbation
+//! set* applies δs to a subset of components with distinct `i`; its score is
+//! the sum of its members' `x²`. Sets are enumerated in increasing score
+//! order with the classic min-heap over `shift`/`expand` transitions.
+
+use crate::family::LshCode;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One perturbation candidate: component index and direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perturbation {
+    /// Hash component to perturb (`0..M`).
+    pub dim: usize,
+    /// `+1` or `−1` lattice step.
+    pub delta: i32,
+}
+
+/// A scored perturbation set, as indices into the sorted candidate list.
+#[derive(Debug, Clone)]
+struct SetState {
+    /// Indices into the sorted-by-score candidate array; the last element is
+    /// the maximum (the only one `shift`/`expand` touch).
+    members: Vec<usize>,
+    score: f32,
+}
+
+impl PartialEq for SetState {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for SetState {}
+impl Ord for SetState {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need min-score first.
+        other.score.partial_cmp(&self.score).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for SetState {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Generates up to `t` perturbation sets for a query with raw projections
+/// `raw` (the `(a·v+b)/W` values), in increasing score order.
+///
+/// The empty set (the query's own cell) is *not* included; callers probe the
+/// home bucket first and then apply these sets in order.
+pub fn perturbation_sets(raw: &[f32], t: usize) -> Vec<Vec<Perturbation>> {
+    let m = raw.len();
+    if m == 0 || t == 0 {
+        return Vec::new();
+    }
+    // Candidate costs: for component i, stepping +1 costs the squared
+    // distance from the query to the upper cell boundary; −1 to the lower.
+    // frac ∈ [0,1) is the position inside the cell.
+    let mut cands: Vec<(f32, Perturbation)> = Vec::with_capacity(2 * m);
+    for (i, &r) in raw.iter().enumerate() {
+        let frac = r - r.floor();
+        let lower = frac; // distance to the floor boundary (step −1)
+        let upper = 1.0 - frac; // distance to the ceiling boundary (step +1)
+        cands.push((lower * lower, Perturbation { dim: i, delta: -1 }));
+        cands.push((upper * upper, Perturbation { dim: i, delta: 1 }));
+    }
+    cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    let scores: Vec<f32> = cands.iter().map(|c| c.0).collect();
+
+    // A set is valid if it doesn't use both directions of one component.
+    let valid = |members: &[usize]| -> bool {
+        let mut seen = vec![false; m];
+        for &idx in members {
+            let d = cands[idx].1.dim;
+            if seen[d] {
+                return false;
+            }
+            seen[d] = true;
+        }
+        true
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(SetState { members: vec![0], score: scores[0] });
+    let mut out = Vec::with_capacity(t);
+    while out.len() < t {
+        let Some(top) = heap.pop() else { break };
+        let last = *top.members.last().expect("sets are non-empty");
+        // Shift: replace the max element with its successor.
+        if last + 1 < scores.len() {
+            let mut shifted = top.members.clone();
+            *shifted.last_mut().expect("non-empty") = last + 1;
+            let score = top.score - scores[last] + scores[last + 1];
+            heap.push(SetState { members: shifted, score });
+            // Expand: append the successor.
+            let mut expanded = top.members.clone();
+            expanded.push(last + 1);
+            let score = top.score + scores[last + 1];
+            heap.push(SetState { members: expanded, score });
+        }
+        if valid(&top.members) {
+            out.push(top.members.iter().map(|&i| cands[i].1).collect());
+        }
+    }
+    out
+}
+
+/// Applies `t` perturbation sets to the query's home code, returning the
+/// probe codes in visit order (home bucket first).
+pub fn probe_codes(raw: &[f32], home: &LshCode, t: usize) -> Vec<LshCode> {
+    let mut out = Vec::with_capacity(t + 1);
+    out.push(home.clone());
+    for set in perturbation_sets(raw, t) {
+        let mut code = home.clone();
+        for p in set {
+            code[p.dim] += p.delta;
+        }
+        out.push(code);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score_of(raw: &[f32], set: &[Perturbation]) -> f32 {
+        set.iter()
+            .map(|p| {
+                let frac = raw[p.dim] - raw[p.dim].floor();
+                let x = if p.delta == -1 { frac } else { 1.0 - frac };
+                x * x
+            })
+            .sum()
+    }
+
+    #[test]
+    fn sets_come_out_in_nondecreasing_score_order() {
+        let raw = [0.1, 0.8, 0.45, 0.3];
+        let sets = perturbation_sets(&raw, 20);
+        let scores: Vec<f32> = sets.iter().map(|s| score_of(&raw, s)).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6, "scores not sorted: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn no_set_perturbs_one_dim_twice() {
+        let raw = [0.5, 0.5, 0.5];
+        for set in perturbation_sets(&raw, 30) {
+            let mut dims: Vec<usize> = set.iter().map(|p| p.dim).collect();
+            dims.sort_unstable();
+            dims.dedup();
+            assert_eq!(dims.len(), set.len(), "duplicate dim in {set:?}");
+        }
+    }
+
+    #[test]
+    fn first_set_is_single_cheapest_step() {
+        // Component 1 sits at 0.95 inside its cell: stepping it +1 costs
+        // 0.05² — by far the cheapest single perturbation.
+        let raw = [0.5, 1.95, 0.5];
+        let sets = perturbation_sets(&raw, 1);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0], vec![Perturbation { dim: 1, delta: 1 }]);
+    }
+
+    #[test]
+    fn sets_are_distinct() {
+        let raw = [0.3, 0.6, 0.2, 0.85];
+        let sets = perturbation_sets(&raw, 40);
+        let mut keys: Vec<Vec<(usize, i32)>> = sets
+            .iter()
+            .map(|s| {
+                let mut v: Vec<(usize, i32)> = s.iter().map(|p| (p.dim, p.delta)).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate perturbation sets generated");
+    }
+
+    #[test]
+    fn probe_codes_start_with_home_bucket() {
+        let raw = [0.2, 0.7];
+        let home = vec![0, 0];
+        let probes = probe_codes(&raw, &home, 4);
+        assert_eq!(probes[0], home);
+        assert_eq!(probes.len(), 5);
+        // Every probe differs from home by ±1 steps in distinct dims.
+        for p in &probes[1..] {
+            assert!(p.iter().zip(&home).all(|(a, b)| (a - b).abs() <= 1));
+            assert_ne!(p, &home);
+        }
+    }
+
+    #[test]
+    fn requesting_more_sets_than_exist_terminates() {
+        // M=1 has only 2 valid sets ({-1}, {+1}).
+        let raw = [0.4];
+        let sets = perturbation_sets(&raw, 100);
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert!(perturbation_sets(&[], 5).is_empty());
+        assert!(perturbation_sets(&[0.5], 0).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_check_against_brute_force_m2() {
+        // For M=2 enumerate all 8 valid non-empty sets by brute force and
+        // compare the full ordering.
+        let raw = [0.37, 0.81];
+        let got = perturbation_sets(&raw, 100);
+        assert_eq!(got.len(), 8);
+        let mut brute: Vec<(f32, Vec<(usize, i32)>)> = Vec::new();
+        let opts: [Option<i32>; 3] = [None, Some(-1), Some(1)];
+        for &d0 in &opts {
+            for &d1 in &opts {
+                let mut set = Vec::new();
+                if let Some(d) = d0 {
+                    set.push((0usize, d));
+                }
+                if let Some(d) = d1 {
+                    set.push((1usize, d));
+                }
+                if set.is_empty() {
+                    continue;
+                }
+                let ps: Vec<Perturbation> =
+                    set.iter().map(|&(dim, delta)| Perturbation { dim, delta }).collect();
+                brute.push((score_of(&raw, &ps), set));
+            }
+        }
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (g, (want_score, _)) in got.iter().zip(&brute) {
+            assert!((score_of(&raw, g) - want_score).abs() < 1e-6);
+        }
+    }
+}

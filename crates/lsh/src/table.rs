@@ -1,0 +1,140 @@
+//! LSH hash tables over `Z^M` codes.
+//!
+//! Unlike ordinary hash tables, an LSH table *wants* collisions: every bucket
+//! collects the dataset items sharing one lattice cell (Section IV-B1). The
+//! table keeps the full `M`-dimensional code as the key (the Morton hierarchy
+//! needs it) and the item ids as the value.
+
+use crate::family::LshCode;
+use std::collections::HashMap;
+
+/// A single LSH hash table: code → ids of the items hashing to that cell.
+#[derive(Debug, Clone, Default)]
+pub struct LshTable {
+    buckets: HashMap<Box<[i32]>, Vec<u32>>,
+}
+
+impl LshTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from parallel slices of codes and item ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn build(codes: &[LshCode], ids: &[u32]) -> Self {
+        assert_eq!(codes.len(), ids.len(), "codes and ids must be parallel");
+        let mut table = Self::new();
+        for (code, &id) in codes.iter().zip(ids) {
+            table.insert(code, id);
+        }
+        table
+    }
+
+    /// Inserts one item into its bucket.
+    pub fn insert(&mut self, code: &[i32], id: u32) {
+        self.buckets.entry(code.into()).or_default().push(id);
+    }
+
+    /// The ids of the bucket exactly matching `code`, or an empty slice.
+    pub fn bucket(&self, code: &[i32]) -> &[u32] {
+        self.buckets.get(code).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of non-empty buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total number of stored items.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterates over `(code, ids)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i32], &[u32])> {
+        self.buckets.iter().map(|(k, v)| (k.as_ref(), v.as_slice()))
+    }
+
+    /// All distinct codes, sorted lexicographically (deterministic order for
+    /// hierarchy construction).
+    pub fn sorted_codes(&self) -> Vec<Box<[i32]>> {
+        let mut codes: Vec<Box<[i32]>> = self.buckets.keys().cloned().collect();
+        codes.sort_unstable();
+        codes
+    }
+
+    /// Size of the largest bucket (0 for an empty table).
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::HashFamily;
+    use vecstore::synth;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = LshTable::new();
+        t.insert(&[1, 2], 10);
+        t.insert(&[1, 2], 11);
+        t.insert(&[3, 4], 12);
+        assert_eq!(t.bucket(&[1, 2]), &[10, 11]);
+        assert_eq!(t.bucket(&[3, 4]), &[12]);
+        assert_eq!(t.bucket(&[9, 9]), &[] as &[u32]);
+        assert_eq!(t.num_buckets(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn build_from_dataset_covers_every_item() {
+        let ds = synth::gaussian(8, 100, 1.0, 3);
+        let f = HashFamily::sample(8, 4, 2.0, 5);
+        let codes: Vec<_> = ds.iter().map(|r| f.hash_zm(r)).collect();
+        let ids: Vec<u32> = (0..100).collect();
+        let t = LshTable::build(&codes, &ids);
+        assert_eq!(t.len(), 100);
+        // Every item is findable in the bucket of its own code.
+        for (i, code) in codes.iter().enumerate() {
+            assert!(t.bucket(code).contains(&(i as u32)), "item {i}");
+        }
+    }
+
+    #[test]
+    fn sorted_codes_are_sorted_and_unique() {
+        let mut t = LshTable::new();
+        t.insert(&[2, 0], 0);
+        t.insert(&[1, 5], 1);
+        t.insert(&[2, 0], 2);
+        let codes = t.sorted_codes();
+        assert_eq!(codes.len(), 2);
+        assert!(codes[0].as_ref() < codes[1].as_ref());
+    }
+
+    #[test]
+    fn max_bucket_len_tracks_biggest() {
+        let mut t = LshTable::new();
+        assert_eq!(t.max_bucket_len(), 0);
+        t.insert(&[0], 0);
+        t.insert(&[0], 1);
+        t.insert(&[1], 2);
+        assert_eq!(t.max_bucket_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn build_length_mismatch_panics() {
+        let _ = LshTable::build(&[vec![0]], &[1, 2]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Statistical parameter tuning after Dong et al. (CIKM 2008).
+//!
+//! The tuner fits a small distance model on a sample of the data — the
+//! typical distance from a point to its k-th nearest neighbor, and the
+//! typical distance between two random points — and uses the closed-form
+//! p-stable collision probability to choose the bucket width `W` that meets
+//! a recall target at minimal expected selectivity. The Bi-level scheme runs
+//! this per RP-tree leaf so each cluster gets parameters matched to its own
+//! density (Section IV-B).
+
+use serde::{Deserialize, Serialize};
+use vecstore::{knn, Dataset, SquaredL2};
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (max absolute error ≈ 1.5e-7, ample for tuning decisions).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+#[inline]
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Probability that one p-stable (`l_2`) hash component collides for two
+/// points at distance `c`, with bucket width `w` (Datar et al.):
+///
+/// `p(c) = 1 − 2Φ(−w/c) − (2c / (√(2π) w)) · (1 − exp(−w²/2c²))`.
+pub fn collision_probability(c: f64, w: f64) -> f64 {
+    assert!(w > 0.0, "w must be positive");
+    if c <= 0.0 {
+        return 1.0;
+    }
+    let r = w / c;
+    let p = 1.0
+        - 2.0 * phi(-r)
+        - (2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r)) * (1.0 - (-r * r / 2.0).exp());
+    p.clamp(0.0, 1.0)
+}
+
+/// Probability that two points at distance `c` land in the same bucket of at
+/// least one of `l` tables with `m`-component codes:
+/// `1 − (1 − p(c)^m)^l`.
+pub fn recall_model(c: f64, w: f64, m: usize, l: usize) -> f64 {
+    let p = collision_probability(c, w).powi(m as i32);
+    1.0 - (1.0 - p).powi(l as i32)
+}
+
+/// Sampled distance structure of a dataset (or of one RP-tree leaf).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceProfile {
+    /// Mean distance from a sampled point to its k-th nearest neighbor.
+    pub d_knn: f64,
+    /// Mean distance between two random sampled points.
+    pub d_any: f64,
+    /// Number of points the profile was fitted on.
+    pub sample_size: usize,
+}
+
+impl DistanceProfile {
+    /// Fits the profile on up to `sample` points of `data`, for neighborhood
+    /// size `k`. Sampling is strided for determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than 2 points.
+    pub fn fit(data: &Dataset, k: usize, sample: usize) -> Self {
+        assert!(data.len() >= 2, "need at least two points to profile");
+        let n = data.len();
+        let sample = sample.clamp(2, n);
+        let stride = (n / sample).max(1);
+        let picked: Vec<usize> = (0..n).step_by(stride).take(sample).collect();
+
+        let mut knn_sum = 0.0f64;
+        let mut any_sum = 0.0f64;
+        let mut any_count = 0u64;
+        let k_eff = k.min(n - 1).max(1);
+        for (j, &i) in picked.iter().enumerate() {
+            let hits = knn(data, data.row(i), k_eff + 1, &SquaredL2);
+            // Skip the self-match at distance 0 (hits[0] is the point itself
+            // unless duplicates exist, in which case any zero hit works).
+            let kth = hits.last().expect("non-empty dataset");
+            knn_sum += (kth.dist as f64).sqrt();
+            // Pair each sampled point with another sampled point.
+            let other = picked[(j + picked.len() / 2) % picked.len()];
+            if other != i {
+                any_sum +=
+                    (vecstore::metric::squared_l2(data.row(i), data.row(other)) as f64).sqrt();
+                any_count += 1;
+            }
+        }
+        let d_knn = knn_sum / picked.len() as f64;
+        let d_any = if any_count > 0 { any_sum / any_count as f64 } else { d_knn };
+        Self { d_knn, d_any: d_any.max(d_knn), sample_size: picked.len() }
+    }
+}
+
+/// What the tuner optimizes for.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum TuningGoal {
+    /// Smallest `W` whose modeled recall at the k-NN distance meets the
+    /// target (selectivity grows with `W`, so smallest-W = cheapest).
+    Recall(f64),
+    /// Largest `W` whose modeled collision rate at the random-pair distance
+    /// (a selectivity proxy) stays at or below the budget.
+    Selectivity(f64),
+}
+
+/// Chooses a bucket width `W` for an `m`-component, `l`-table index over
+/// data with the given distance profile.
+///
+/// The search sweeps `W` over a geometric grid spanning
+/// `[d_knn/8, 8·d_any]`, which brackets every regime the model can express.
+pub fn tune_w(profile: &DistanceProfile, m: usize, l: usize, goal: TuningGoal) -> f64 {
+    assert!(m > 0 && l > 0, "m and l must be positive");
+    let lo = (profile.d_knn / 8.0).max(1e-9);
+    let hi = (profile.d_any * 8.0).max(lo * 2.0);
+    let steps = 200;
+    let ratio = (hi / lo).powf(1.0 / steps as f64);
+    let mut w = lo;
+    let mut best = hi; // fall back to the coarsest candidate
+    match goal {
+        TuningGoal::Recall(target) => {
+            for _ in 0..=steps {
+                if recall_model(profile.d_knn, w, m, l) >= target {
+                    best = w;
+                    break;
+                }
+                w *= ratio;
+            }
+        }
+        TuningGoal::Selectivity(budget) => {
+            best = lo;
+            for _ in 0..=steps {
+                if recall_model(profile.d_any, w, m, l) <= budget {
+                    best = w; // keep growing W while the proxy stays in budget
+                } else {
+                    break;
+                }
+                w *= ratio;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!(erf(0.0).abs() < 1e-9);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_is_a_cdf() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!(phi(5.0) > 0.999999);
+        assert!(phi(-5.0) < 1e-6);
+    }
+
+    #[test]
+    fn collision_probability_limits() {
+        assert_eq!(collision_probability(0.0, 1.0), 1.0);
+        // Distance much smaller than W: near-certain collision.
+        assert!(collision_probability(0.001, 10.0) > 0.99);
+        // Distance much larger than W: near-certain separation.
+        assert!(collision_probability(1000.0, 1.0) < 0.01);
+    }
+
+    #[test]
+    fn collision_probability_monotone_in_c() {
+        let w = 4.0;
+        let mut last = 1.0;
+        for c in [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let p = collision_probability(c, w);
+            assert!(p <= last + 1e-12, "p not decreasing at c={c}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn collision_probability_matches_monte_carlo() {
+        // Empirical check of the closed form: hash many Gaussian projections
+        // of two points at distance c and count collisions.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (c, w) = (2.0f64, 3.0f64);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 200_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let a: f64 = {
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            };
+            let b: f64 = rng.gen::<f64>() * w;
+            // Points 0 and c on a line; projection values a*0+b and a*c+b.
+            let h1 = (b / w).floor();
+            let h2 = ((a * c + b) / w).floor();
+            if h1 == h2 {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        let model = collision_probability(c, w);
+        assert!((emp - model).abs() < 0.01, "empirical {emp} vs model {model}");
+    }
+
+    #[test]
+    fn recall_model_increases_with_l() {
+        let r10 = recall_model(1.0, 2.0, 8, 10);
+        let r30 = recall_model(1.0, 2.0, 8, 30);
+        assert!(r30 > r10);
+    }
+
+    #[test]
+    fn profile_orders_knn_below_any() {
+        let ds = synth::clustered(&ClusteredSpec::small(500), 4);
+        let p = DistanceProfile::fit(&ds, 10, 100);
+        assert!(p.d_knn > 0.0);
+        assert!(
+            p.d_any >= p.d_knn,
+            "knn dist {} should not exceed random-pair {}",
+            p.d_knn,
+            p.d_any
+        );
+    }
+
+    #[test]
+    fn tuned_w_meets_recall_target() {
+        let ds = synth::clustered(&ClusteredSpec::small(400), 5);
+        let p = DistanceProfile::fit(&ds, 10, 80);
+        let w = tune_w(&p, 8, 10, TuningGoal::Recall(0.9));
+        assert!(recall_model(p.d_knn, w, 8, 10) >= 0.9);
+    }
+
+    #[test]
+    fn selectivity_goal_respects_budget() {
+        let ds = synth::clustered(&ClusteredSpec::small(400), 6);
+        let p = DistanceProfile::fit(&ds, 10, 80);
+        let w = tune_w(&p, 8, 10, TuningGoal::Selectivity(0.05));
+        assert!(recall_model(p.d_any, w, 8, 10) <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn denser_cluster_gets_smaller_w() {
+        // Per-cluster tuning intuition: a tight cluster needs smaller W for
+        // the same recall target than a diffuse one.
+        let tight = synth::gaussian(16, 300, 0.5, 7);
+        let wide = synth::gaussian(16, 300, 5.0, 8);
+        let pt = DistanceProfile::fit(&tight, 10, 80);
+        let pw = DistanceProfile::fit(&wide, 10, 80);
+        let wt = tune_w(&pt, 8, 10, TuningGoal::Recall(0.9));
+        let ww = tune_w(&pw, 8, 10, TuningGoal::Recall(0.9));
+        assert!(wt < ww, "tight {wt} should tune below wide {ww}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Curve utilities for comparing methods "given the same selectivity
+//! budget" — the comparison every quality figure in the paper makes.
+//!
+//! Method sweeps produce sampled `(selectivity, recall)` points at different
+//! widths, so comparing two methods at a *common* selectivity needs
+//! interpolation; summarizing a whole curve into one number uses the area
+//! under the selectivity→recall curve over a fixed selectivity window.
+
+use crate::stats::SeriesPoint;
+
+/// A monotone selectivity→quality curve assembled from sweep points.
+#[derive(Debug, Clone)]
+pub struct QualityCurve {
+    /// `(selectivity, quality)` pairs, sorted by ascending selectivity.
+    points: Vec<(f64, f64)>,
+}
+
+impl QualityCurve {
+    /// Builds a selectivity→recall curve from sweep points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn recall_curve(points: &[SeriesPoint]) -> Self {
+        Self::new(points.iter().map(|p| (p.selectivity, p.recall)).collect())
+    }
+
+    /// Builds a selectivity→error-ratio curve from sweep points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn error_curve(points: &[SeriesPoint]) -> Self {
+        Self::new(points.iter().map(|p| (p.selectivity, p.error_ratio)).collect())
+    }
+
+    /// Builds a curve from raw `(selectivity, quality)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty.
+    pub fn new(mut pairs: Vec<(f64, f64)>) -> Self {
+        assert!(!pairs.is_empty(), "curve needs at least one point");
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Collapse duplicate selectivities by keeping the best quality —
+        // sweeps can produce repeated τ at saturation.
+        let mut dedup: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
+        for (s, q) in pairs {
+            match dedup.last_mut() {
+                Some((ls, lq)) if (*ls - s).abs() < 1e-12 => *lq = lq.max(q),
+                _ => dedup.push((s, q)),
+            }
+        }
+        Self { points: dedup }
+    }
+
+    /// Quality at selectivity `tau` by linear interpolation; clamped to the
+    /// curve's endpoints outside the sampled range.
+    pub fn at(&self, tau: f64) -> f64 {
+        let pts = &self.points;
+        if tau <= pts[0].0 {
+            return pts[0].1;
+        }
+        if tau >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let hi = pts.partition_point(|&(s, _)| s < tau);
+        let (s0, q0) = pts[hi - 1];
+        let (s1, q1) = pts[hi];
+        if s1 - s0 <= 0.0 {
+            return q0.max(q1);
+        }
+        q0 + (q1 - q0) * (tau - s0) / (s1 - s0)
+    }
+
+    /// Area under the curve over `[lo, hi]`, normalized by the window width
+    /// — the mean quality over that selectivity window (1.0 is perfect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn auc(&self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty integration window");
+        const STEPS: usize = 256;
+        let mut sum = 0.0;
+        // Trapezoid rule over a uniform grid; the curve is piecewise linear,
+        // so a fine grid is exact up to the grid resolution.
+        let h = (hi - lo) / STEPS as f64;
+        for i in 0..=STEPS {
+            let w = if i == 0 || i == STEPS { 0.5 } else { 1.0 };
+            sum += w * self.at(lo + h * i as f64);
+        }
+        sum * h / (hi - lo)
+    }
+
+    /// The sampled points (sorted, deduplicated).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Compares two methods over a selectivity window: positive means `a`
+/// dominates (higher mean quality at equal selectivity).
+pub fn auc_advantage(a: &QualityCurve, b: &QualityCurve, lo: f64, hi: f64) -> f64 {
+    a.auc(lo, hi) - b.auc(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> QualityCurve {
+        QualityCurve::new(vec![(0.0, 0.0), (1.0, 1.0)])
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let c = line();
+        assert!((c.at(0.25) - 0.25).abs() < 1e-12);
+        assert!((c.at(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = QualityCurve::new(vec![(0.1, 0.3), (0.5, 0.9)]);
+        assert_eq!(c.at(0.0), 0.3);
+        assert_eq!(c.at(1.0), 0.9);
+    }
+
+    #[test]
+    fn auc_of_identity_is_half() {
+        let auc = line().auc(0.0, 1.0);
+        assert!((auc - 0.5).abs() < 1e-3, "auc {auc}");
+    }
+
+    #[test]
+    fn auc_of_constant_is_the_constant() {
+        let c = QualityCurve::new(vec![(0.0, 0.7), (1.0, 0.7)]);
+        assert!((c.auc(0.2, 0.8) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_selectivities_keep_best_quality() {
+        let c = QualityCurve::new(vec![(0.5, 0.2), (0.5, 0.6), (1.0, 1.0)]);
+        assert_eq!(c.at(0.5), 0.6);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = QualityCurve::new(vec![(0.9, 0.9), (0.1, 0.1)]);
+        assert!((c.at(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advantage_sign_reflects_dominance() {
+        let strong = QualityCurve::new(vec![(0.0, 0.5), (1.0, 1.0)]);
+        let weak = QualityCurve::new(vec![(0.0, 0.0), (1.0, 0.5)]);
+        assert!(auc_advantage(&strong, &weak, 0.0, 1.0) > 0.0);
+        assert!(auc_advantage(&weak, &strong, 0.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_curve_panics() {
+        let _ = QualityCurve::new(Vec::new());
+    }
+}

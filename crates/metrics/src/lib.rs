@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Quality and cost metrics for approximate KNN search.
+//!
+//! Implements the three measurements of the paper's Section II-A — recall
+//! ratio (Eq. 3), error ratio (Eq. 4), and selectivity (Eq. 5) — plus the
+//! aggregation machinery Section VI-B uses: means and standard deviations
+//! taken over queries (`r_2`) and over repeated runs with fresh random
+//! projections (`r_1`), which become the deviation "ellipses" in the
+//! figures.
+
+pub mod curve;
+pub mod quality;
+pub mod significance;
+pub mod stats;
+
+pub use curve::{auc_advantage, QualityCurve};
+pub use quality::{error_ratio, recall, selectivity, QueryEval};
+pub use significance::{paired_bootstrap, BootstrapResult};
+pub use stats::{MeanStd, RunAggregate, SeriesPoint};

@@ -1,0 +1,167 @@
+//! Per-query quality measurements: recall, error ratio, selectivity.
+
+use vecstore::Neighbor;
+
+/// Recall ratio (Equation 3): the fraction of the exact k-nearest neighbors
+/// present in the approximate result, `|N(v) ∩ I(v)| / |N(v)|`.
+///
+/// Membership is by item id. Returns 1.0 for an empty ground truth (nothing
+/// was missed).
+pub fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let mut approx_ids: Vec<usize> = approx.iter().map(|n| n.id).collect();
+    approx_ids.sort_unstable();
+    let hits = exact.iter().filter(|n| approx_ids.binary_search(&n.id).is_ok()).count();
+    hits as f64 / exact.len() as f64
+}
+
+/// Error ratio (Equation 4): `1/k · Σ_i ‖v − N_i‖ / ‖v − I_i‖`, comparing
+/// the i-th exact and i-th approximate neighbor distances.
+///
+/// Both inputs must be sorted ascending by distance (as every engine in this
+/// workspace returns them). A perfect result scores 1.0; misses score below
+/// 1.0 because the approximate i-th distance is then larger. When the
+/// approximate result has fewer than `k` entries the missing positions score
+/// 0 (infinite approximate distance), matching the paper's convention that
+/// insufficient candidates hurt quality. Distance ratios with zero
+/// denominators (exact duplicates of the query) count as 1.
+pub fn error_ratio(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let k = exact.len();
+    let mut sum = 0.0f64;
+    for (i, n) in exact.iter().enumerate() {
+        // Positions past the approximate tail score 0 (missing neighbor).
+        if let Some(a) = approx.get(i) {
+            if a.dist <= 0.0 {
+                sum += 1.0; // query duplicated in the dataset
+            } else {
+                sum += (n.dist as f64 / a.dist as f64).min(1.0);
+            }
+        }
+    }
+    sum / k as f64
+}
+
+/// Selectivity (Equation 5): candidate-set size over dataset size — the cost
+/// proxy for short-list search.
+///
+/// # Panics
+///
+/// Panics if `dataset_size == 0`.
+pub fn selectivity(candidates: usize, dataset_size: usize) -> f64 {
+    assert!(dataset_size > 0, "selectivity of empty dataset");
+    candidates as f64 / dataset_size as f64
+}
+
+/// One query's full evaluation record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEval {
+    /// Recall ratio ρ.
+    pub recall: f64,
+    /// Error ratio κ.
+    pub error_ratio: f64,
+    /// Selectivity τ.
+    pub selectivity: f64,
+}
+
+impl QueryEval {
+    /// Evaluates one query given ground truth, the approximate result, and
+    /// the number of short-list candidates inspected.
+    pub fn compute(
+        exact: &[Neighbor],
+        approx: &[Neighbor],
+        candidates: usize,
+        dataset_size: usize,
+    ) -> Self {
+        Self {
+            recall: recall(exact, approx),
+            error_ratio: error_ratio(exact, approx),
+            selectivity: selectivity(candidates, dataset_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize, dist: f32) -> Neighbor {
+        Neighbor { id, dist }
+    }
+
+    #[test]
+    fn perfect_result_scores_one() {
+        let exact = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
+        assert_eq!(recall(&exact, &exact), 1.0);
+        assert_eq!(error_ratio(&exact, &exact), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_membership_not_order() {
+        let exact = vec![n(1, 1.0), n(2, 2.0)];
+        let approx = vec![n(2, 2.0), n(1, 1.0)];
+        assert_eq!(recall(&exact, &approx), 1.0);
+    }
+
+    #[test]
+    fn recall_half_when_one_of_two_found() {
+        let exact = vec![n(1, 1.0), n(2, 2.0)];
+        let approx = vec![n(1, 1.0), n(9, 5.0)];
+        assert_eq!(recall(&exact, &approx), 0.5);
+    }
+
+    #[test]
+    fn recall_of_empty_approx_is_zero() {
+        let exact = vec![n(1, 1.0)];
+        assert_eq!(recall(&exact, &[]), 0.0);
+    }
+
+    #[test]
+    fn error_ratio_penalizes_farther_substitutes() {
+        let exact = vec![n(1, 1.0), n(2, 2.0)];
+        // Second neighbor replaced by one at distance 4: ratio (1 + 0.5)/2.
+        let approx = vec![n(1, 1.0), n(9, 4.0)];
+        assert!((error_ratio(&exact, &approx) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_ratio_caps_at_one() {
+        // An approximate list can't score above 1 even with odd inputs.
+        let exact = vec![n(1, 2.0)];
+        let approx = vec![n(3, 1.0)];
+        assert!(error_ratio(&exact, &approx) <= 1.0);
+    }
+
+    #[test]
+    fn error_ratio_with_missing_tail() {
+        let exact = vec![n(1, 1.0), n(2, 1.0)];
+        let approx = vec![n(1, 1.0)];
+        assert!((error_ratio(&exact, &approx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_ratio_zero_distance_duplicate() {
+        let exact = vec![n(1, 0.0)];
+        let approx = vec![n(1, 0.0)];
+        assert_eq!(error_ratio(&exact, &approx), 1.0);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        assert_eq!(selectivity(50, 200), 0.25);
+        assert_eq!(selectivity(0, 10), 0.0);
+    }
+
+    #[test]
+    fn query_eval_bundles_all_three() {
+        let exact = vec![n(1, 1.0)];
+        let e = QueryEval::compute(&exact, &exact, 10, 100);
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.error_ratio, 1.0);
+        assert!((e.selectivity - 0.1).abs() < 1e-12);
+    }
+}

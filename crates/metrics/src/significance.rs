@@ -1,0 +1,124 @@
+//! Paired bootstrap significance testing for method comparisons.
+//!
+//! "Method A has recall 0.83 and method B 0.80" is only meaningful if the
+//! difference survives the query-sampling noise. The paired bootstrap
+//! resamples queries with replacement and measures how often the sign of
+//! the mean difference flips — a distribution-free test that matches how
+//! the harness collects per-query metrics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a paired bootstrap comparison of per-query scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapResult {
+    /// Mean per-query difference `a − b` on the full sample.
+    pub mean_diff: f64,
+    /// Fraction of bootstrap resamples in which the mean difference had the
+    /// opposite sign (or was zero): a one-sided achieved significance
+    /// level. Small values (< 0.05) mean the observed sign is stable.
+    pub p_value: f64,
+    /// 95% percentile confidence interval of the mean difference.
+    pub ci95: (f64, f64),
+}
+
+impl BootstrapResult {
+    /// Whether the difference is significant at the given level (e.g.
+    /// `0.05`).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a paired bootstrap over per-query score vectors `a` and `b`
+/// (`a[i]` and `b[i]` must be the same query under two methods).
+///
+/// # Panics
+///
+/// Panics if the vectors are empty, have different lengths, or
+/// `resamples == 0`.
+pub fn paired_bootstrap(a: &[f64], b: &[f64], resamples: usize, seed: u64) -> BootstrapResult {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    assert!(!a.is_empty(), "need at least one query");
+    assert!(resamples > 0, "need at least one resample");
+    let n = a.len();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean_diff = diffs.iter().sum::<f64>() / n as f64;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    let mut flips = 0usize;
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += diffs[rng.gen_range(0..n)];
+        }
+        let m = sum / n as f64;
+        means.push(m);
+        // Sign flip relative to the observed direction (zero observed
+        // difference counts every resample as a flip — maximally unsure).
+        if mean_diff == 0.0 || m.signum() != mean_diff.signum() || m == 0.0 {
+            flips += 1;
+        }
+    }
+    means.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let lo = means[(resamples as f64 * 0.025) as usize];
+    let hi = means[((resamples as f64 * 0.975) as usize).min(resamples - 1)];
+    BootstrapResult { mean_diff, p_value: flips as f64 / resamples as f64, ci95: (lo, hi) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a: Vec<f64> = (0..200).map(|i| 0.8 + 0.01 * ((i % 7) as f64 - 3.0)).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.6 + 0.01 * ((i % 5) as f64 - 2.0)).collect();
+        let r = paired_bootstrap(&a, &b, 1000, 1);
+        assert!(r.mean_diff > 0.15);
+        assert!(r.significant(0.05), "p = {}", r.p_value);
+        assert!(r.ci95.0 > 0.0, "CI {:?} should exclude zero", r.ci95);
+    }
+
+    #[test]
+    fn identical_methods_are_not_significant() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        let r = paired_bootstrap(&a, &a, 500, 2);
+        assert_eq!(r.mean_diff, 0.0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn noisy_tiny_difference_is_not_significant() {
+        // Difference far below the per-query noise floor.
+        let a: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let r = paired_bootstrap(&a, &b, 1000, 3);
+        assert!(!r.significant(0.01), "p = {} for pure noise", r.p_value);
+        assert!(r.ci95.0 < 0.0 && r.ci95.1 > 0.0, "CI {:?} should straddle zero", r.ci95);
+    }
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let a: Vec<f64> = (0..80).map(|i| 0.5 + (i as f64 % 13.0) / 40.0).collect();
+        let b: Vec<f64> = (0..80).map(|i| 0.45 + (i as f64 % 11.0) / 40.0).collect();
+        let r = paired_bootstrap(&a, &b, 800, 4);
+        assert!(r.ci95.0 <= r.mean_diff && r.mean_diff <= r.ci95.1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = vec![0.9, 0.8, 0.7, 0.95];
+        let b = vec![0.6, 0.7, 0.65, 0.8];
+        let r1 = paired_bootstrap(&a, &b, 200, 42);
+        let r2 = paired_bootstrap(&a, &b, 200, 42);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Aggregation over queries and over repeated runs.
+//!
+//! The paper's Section VI-B2 treats every measurement as a random variable
+//! of two sources of randomness: the projection draw (`r_1`) and the query
+//! draw (`r_2`). For each bucket width `W` it reports
+//! `E[·]` plus `Std_{r_1}(E_{r_2}[·])` (deviation over projections) and
+//! `Std_{r_2}(E_{r_1}[·])` (deviation over queries). [`RunAggregate`]
+//! implements exactly those reductions from a `runs × queries` matrix.
+
+use crate::quality::QueryEval;
+use serde::{Deserialize, Serialize};
+
+/// A mean with its standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean and population standard deviation of `xs`.
+    ///
+    /// Returns zeros for an empty slice (harness convenience).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Self { mean, std: var.sqrt() }
+    }
+}
+
+/// One point of a selectivity-vs-quality curve, with both deviation sources
+/// — the data behind one ellipse in Figures 5–12.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The bucket width that produced this point.
+    pub w: f64,
+    /// Mean selectivity over all (run, query) cells.
+    pub selectivity: f64,
+    /// Selectivity deviation over projections, `Std_{r1}(E_{r2}[τ])`.
+    pub selectivity_std_proj: f64,
+    /// Selectivity deviation over queries, `Std_{r2}(E_{r1}[τ])`.
+    pub selectivity_std_query: f64,
+    /// Mean recall over all (run, query) cells.
+    pub recall: f64,
+    /// Recall deviation over projections.
+    pub recall_std_proj: f64,
+    /// Recall deviation over queries.
+    pub recall_std_query: f64,
+    /// Mean error ratio over all (run, query) cells.
+    pub error_ratio: f64,
+    /// Error-ratio deviation over projections.
+    pub error_std_proj: f64,
+    /// Error-ratio deviation over queries.
+    pub error_std_query: f64,
+}
+
+/// A `runs × queries` matrix of per-query evaluations (one run per random
+/// projection draw).
+#[derive(Debug, Clone)]
+pub struct RunAggregate {
+    runs: Vec<Vec<QueryEval>>,
+}
+
+impl RunAggregate {
+    /// Wraps per-run evaluation vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if runs are empty or disagree on query count.
+    pub fn new(runs: Vec<Vec<QueryEval>>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let nq = runs[0].len();
+        assert!(nq > 0, "need at least one query");
+        assert!(runs.iter().all(|r| r.len() == nq), "runs disagree on query count");
+        Self { runs }
+    }
+
+    fn field(&self, f: impl Fn(&QueryEval) -> f64 + Copy) -> (f64, f64, f64) {
+        // Grand mean over all (run, query) cells.
+        let all: Vec<f64> = self.runs.iter().flat_map(|r| r.iter().map(f)).collect();
+        let grand = MeanStd::of(&all).mean;
+        // Std over runs of the per-run query means: Std_{r1}(E_{r2}).
+        let run_means: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| MeanStd::of(&r.iter().map(f).collect::<Vec<_>>()).mean)
+            .collect();
+        let std_proj = MeanStd::of(&run_means).std;
+        // Std over queries of the per-query run means: Std_{r2}(E_{r1}).
+        let nq = self.runs[0].len();
+        let query_means: Vec<f64> = (0..nq)
+            .map(|q| {
+                let xs: Vec<f64> = self.runs.iter().map(|r| f(&r[q])).collect();
+                MeanStd::of(&xs).mean
+            })
+            .collect();
+        let std_query = MeanStd::of(&query_means).std;
+        (grand, std_proj, std_query)
+    }
+
+    /// Reduces the matrix to one curve point for bucket width `w`.
+    pub fn series_point(&self, w: f64) -> SeriesPoint {
+        let (selectivity, selectivity_std_proj, selectivity_std_query) =
+            self.field(|e| e.selectivity);
+        let (recall, recall_std_proj, recall_std_query) = self.field(|e| e.recall);
+        let (error_ratio, error_std_proj, error_std_query) = self.field(|e| e.error_ratio);
+        SeriesPoint {
+            w,
+            selectivity,
+            selectivity_std_proj,
+            selectivity_std_query,
+            recall,
+            recall_std_proj,
+            recall_std_query,
+            error_ratio,
+            error_std_proj,
+            error_std_query,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(recall: f64, error_ratio: f64, selectivity: f64) -> QueryEval {
+        QueryEval { recall, error_ratio, selectivity }
+    }
+
+    #[test]
+    fn mean_std_hand_computed() {
+        let m = MeanStd::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        assert!((m.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_of_constant_is_zero_std() {
+        let m = MeanStd::of(&[7.0; 10]);
+        assert_eq!(m.mean, 7.0);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn mean_std_empty_is_zeroes() {
+        let m = MeanStd::of(&[]);
+        assert_eq!(m, MeanStd { mean: 0.0, std: 0.0 });
+    }
+
+    #[test]
+    fn identical_runs_have_zero_projection_std() {
+        let run = vec![eval(0.5, 0.9, 0.1), eval(0.7, 0.95, 0.2)];
+        let agg = RunAggregate::new(vec![run.clone(), run]);
+        let p = agg.series_point(1.0);
+        assert_eq!(p.recall_std_proj, 0.0);
+        // Queries differ, so query std is positive.
+        assert!(p.recall_std_query > 0.0);
+        assert!((p.recall - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_queries_have_zero_query_std() {
+        let r1 = vec![eval(0.4, 0.8, 0.1), eval(0.4, 0.8, 0.1)];
+        let r2 = vec![eval(0.8, 0.9, 0.3), eval(0.8, 0.9, 0.3)];
+        let agg = RunAggregate::new(vec![r1, r2]);
+        let p = agg.series_point(2.0);
+        assert_eq!(p.recall_std_query, 0.0);
+        assert!(p.recall_std_proj > 0.0);
+        assert!((p.recall - 0.6).abs() < 1e-12);
+        assert_eq!(p.w, 2.0);
+    }
+
+    #[test]
+    fn grand_mean_over_all_cells() {
+        let agg = RunAggregate::new(vec![
+            vec![eval(0.0, 1.0, 0.0), eval(1.0, 1.0, 0.2)],
+            vec![eval(0.5, 1.0, 0.4), eval(0.5, 1.0, 0.6)],
+        ]);
+        let p = agg.series_point(0.5);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+        assert!((p.selectivity - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on query count")]
+    fn ragged_runs_panic() {
+        let _ = RunAggregate::new(vec![vec![eval(1.0, 1.0, 0.1)], vec![]]);
+    }
+}

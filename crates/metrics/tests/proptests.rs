@@ -1,0 +1,89 @@
+//! Property-based tests: quality metrics stay in range, exactness scores
+//! perfectly, and aggregation is consistent with hand reductions.
+
+use knn_metrics::{error_ratio, recall, MeanStd, QueryEval, RunAggregate};
+use proptest::prelude::*;
+use vecstore::Neighbor;
+
+fn neighbor_list() -> impl Strategy<Value = Vec<Neighbor>> {
+    prop::collection::vec((0usize..1000, 0u32..10_000), 0..40).prop_map(|mut v| {
+        // Sorted ascending by distance, unique ids.
+        v.sort_by_key(|&(_, d)| d);
+        let mut seen = std::collections::HashSet::new();
+        v.into_iter()
+            .filter(|&(id, _)| seen.insert(id))
+            .map(|(id, d)| Neighbor { id, dist: d as f32 / 16.0 })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn recall_is_in_unit_interval(a in neighbor_list(), b in neighbor_list()) {
+        let r = recall(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn error_ratio_is_in_unit_interval(a in neighbor_list(), b in neighbor_list()) {
+        let e = error_ratio(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&e), "error ratio {e}");
+    }
+
+    #[test]
+    fn perfect_answer_scores_one(a in neighbor_list()) {
+        prop_assert_eq!(recall(&a, &a), 1.0);
+        let e = error_ratio(&a, &a);
+        prop_assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_counts_intersection(a in neighbor_list(), b in neighbor_list()) {
+        if a.is_empty() {
+            prop_assert_eq!(recall(&a, &b), 1.0);
+        } else {
+            let ids: std::collections::HashSet<usize> = b.iter().map(|n| n.id).collect();
+            let want = a.iter().filter(|n| ids.contains(&n.id)).count() as f64 / a.len() as f64;
+            prop_assert_eq!(recall(&a, &b), want);
+        }
+    }
+
+    #[test]
+    fn superset_never_lowers_recall(a in neighbor_list(), b in neighbor_list(), extra in neighbor_list()) {
+        let mut bigger = b.clone();
+        bigger.extend(extra);
+        prop_assert!(recall(&a, &bigger) + 1e-12 >= recall(&a, &b));
+    }
+
+    #[test]
+    fn mean_std_matches_naive(xs in prop::collection::vec(-100.0f64..100.0, 1..60)) {
+        let m = MeanStd::of(&xs);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((m.mean - mean).abs() < 1e-9);
+        prop_assert!((m.std - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_grand_mean_matches_flat_mean(
+        cells in prop::collection::vec(prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..10), 1..6),
+    ) {
+        let nq = cells[0].len();
+        let runs: Vec<Vec<QueryEval>> = cells
+            .iter()
+            .map(|run| {
+                run.iter()
+                    .cycle()
+                    .take(nq)
+                    .map(|&(r, e, s)| QueryEval { recall: r, error_ratio: e, selectivity: s })
+                    .collect()
+            })
+            .collect();
+        let flat_mean: f64 = runs.iter().flatten().map(|e| e.recall).sum::<f64>()
+            / (runs.len() * nq) as f64;
+        let point = RunAggregate::new(runs).series_point(1.0);
+        prop_assert!((point.recall - flat_mean).abs() < 1e-9);
+        prop_assert!(point.recall_std_proj >= 0.0);
+        prop_assert!(point.recall_std_query >= 0.0);
+    }
+}

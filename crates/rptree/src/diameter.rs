@@ -1,0 +1,163 @@
+//! Approximate set diameter after Egecioglu & Kalantari (IPL 1989).
+//!
+//! Computing the exact diameter of a point set is as hard as exact KNN, so
+//! the RP-tree *mean* rule (which needs `Δ(S)`) uses this iterative
+//! `O(m · |S|)` scheme instead: each round produces a realized pairwise
+//! distance `r_i` with `r_1 < r_2 < … < r_m ≤ Δ(S)`, and the true diameter is
+//! bounded above by `min(√3 · r_1, √(5 − 2√3) · r_m)`. The paper observes
+//! `r_m` is already a good estimate for small `m` (≈40).
+
+use vecstore::metric::squared_l2;
+use vecstore::Dataset;
+
+/// Result of the iterative diameter approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiameterEstimate {
+    /// Best realized pairwise distance `r_m` (a lower bound on `Δ`).
+    pub lower: f32,
+    /// Certified upper bound `min(√3 · r_1, √(5 − 2√3) · r_m)`.
+    pub upper: f32,
+    /// Number of refinement rounds actually performed (early exit when a
+    /// round stops improving).
+    pub rounds: usize,
+}
+
+impl DiameterEstimate {
+    /// The point estimate used by callers: the lower bound `r_m`, per the
+    /// paper's observation that it is accurate in practice.
+    #[inline]
+    pub fn estimate(&self) -> f32 {
+        self.lower
+    }
+}
+
+/// Index of the row in `ids` farthest from `from` (squared-L2 scan).
+fn farthest(data: &Dataset, ids: &[usize], from: &[f32]) -> (usize, f32) {
+    let mut best = (0, -1.0f32);
+    for (pos, &i) in ids.iter().enumerate() {
+        let d = squared_l2(data.row(i), from);
+        if d > best.1 {
+            best = (pos, d);
+        }
+    }
+    best
+}
+
+/// Approximates the diameter of the subset `ids` of `data` with at most
+/// `max_rounds` refinement rounds.
+///
+/// Each round: take the midpoint of the current farthest pair, find the point
+/// farthest from that midpoint, and re-derive a pair from it. Every `r_i` is
+/// a real interpoint distance, so the sequence never overshoots `Δ`.
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or `max_rounds == 0`.
+pub fn approx_diameter(data: &Dataset, ids: &[usize], max_rounds: usize) -> DiameterEstimate {
+    assert!(!ids.is_empty(), "diameter of empty subset");
+    assert!(max_rounds > 0, "need at least one round");
+    if ids.len() == 1 {
+        return DiameterEstimate { lower: 0.0, upper: 0.0, rounds: 1 };
+    }
+
+    // Round 1: double sweep from an arbitrary point.
+    let (q_pos, _) = farthest(data, ids, data.row(ids[0]));
+    let mut q = ids[q_pos];
+    let (p_pos, mut r_sq) = farthest(data, ids, data.row(q));
+    let mut p = ids[p_pos];
+    let r1 = r_sq.sqrt();
+
+    let dim = data.dim();
+    let mut mid = vec![0.0f32; dim];
+    let mut rounds = 1;
+    for _ in 1..max_rounds {
+        // Midpoint of the current best pair.
+        for (m, (a, b)) in mid.iter_mut().zip(data.row(p).iter().zip(data.row(q))) {
+            *m = 0.5 * (a + b);
+        }
+        let (t_pos, _) = farthest(data, ids, &mid);
+        let t = ids[t_pos];
+        // Re-anchor: farthest point from t forms the candidate pair.
+        let (s_pos, cand_sq) = farthest(data, ids, data.row(t));
+        let s = ids[s_pos];
+        rounds += 1;
+        if cand_sq > r_sq {
+            r_sq = cand_sq;
+            p = t;
+            q = s;
+        } else {
+            break; // converged — further rounds revisit the same pair
+        }
+    }
+
+    let lower = r_sq.sqrt();
+    // √(5 − 2√3) ≈ 1.2393; √3 ≈ 1.7321.
+    let c_m = (5.0f32 - 2.0 * 3.0f32.sqrt()).sqrt();
+    let upper = (3.0f32.sqrt() * r1).min(c_m * lower);
+    DiameterEstimate { lower, upper, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecstore::stats::exact_diameter;
+    use vecstore::synth;
+
+    fn all_ids(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn singleton_has_zero_diameter() {
+        let ds = Dataset::from_rows(&[vec![3.0, 4.0]]);
+        let est = approx_diameter(&ds, &[0], 10);
+        assert_eq!(est.lower, 0.0);
+        assert_eq!(est.upper, 0.0);
+    }
+
+    #[test]
+    fn pair_is_exact() {
+        let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        let est = approx_diameter(&ds, &all_ids(2), 5);
+        assert!((est.estimate() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_bracket_true_diameter_on_random_sets() {
+        for seed in 0..5 {
+            let ds = synth::gaussian(8, 200, 1.0, seed);
+            let ids = all_ids(200);
+            let truth = exact_diameter(&ds, &ids);
+            let est = approx_diameter(&ds, &ids, 40);
+            assert!(est.lower <= truth + 1e-4, "lower {} > truth {}", est.lower, truth);
+            assert!(est.upper >= truth - 1e-4, "upper {} < truth {}", est.upper, truth);
+        }
+    }
+
+    #[test]
+    fn estimate_is_close_in_practice() {
+        let ds = synth::clustered(&synth::ClusteredSpec::small(500), 2);
+        let ids = all_ids(500);
+        let truth = exact_diameter(&ds, &ids);
+        let est = approx_diameter(&ds, &ids, 40).estimate();
+        // The paper relies on r_m ≈ Δ; allow 15% slack.
+        assert!(est >= 0.85 * truth, "estimate {est} too far below true diameter {truth}");
+    }
+
+    #[test]
+    fn more_rounds_never_hurt() {
+        let ds = synth::gaussian(16, 300, 1.0, 9);
+        let ids = all_ids(300);
+        let a = approx_diameter(&ds, &ids, 1).lower;
+        let b = approx_diameter(&ds, &ids, 40).lower;
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn subset_restriction_is_respected() {
+        // Far-away point 2 is outside the subset and must not influence it.
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]);
+        let est = approx_diameter(&ds, &[0, 1], 10);
+        assert!((est.estimate() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Kd-style axis-aligned median partitioner.
+//!
+//! The paper's Section IV-A3 argues Kd-trees need `O(D)` levels to halve cell
+//! radii when the intrinsic dimension is low; this baseline exists so the
+//! ablation benches can demonstrate that claim against RP-trees.
+
+use crate::partition::Partitioner;
+use serde::{Deserialize, Serialize};
+use vecstore::Dataset;
+
+/// One arena node of the Kd partitioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf { leaf_id: usize },
+    Split { axis: usize, threshold: f32, left: usize, right: usize },
+}
+
+/// Axis-aligned median splits, always on the coordinate with the largest
+/// spread — the classical Kd construction referenced in Section IV-A1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KdPartitioner {
+    nodes: Vec<Node>,
+    num_leaves: usize,
+    dim: usize,
+}
+
+impl KdPartitioner {
+    /// Fits a partition of roughly `target_leaves` cells by repeatedly
+    /// splitting the largest cell at the median of its widest axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `target_leaves == 0`.
+    pub fn fit(data: &Dataset, target_leaves: usize) -> (Self, Vec<usize>) {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        assert!(target_leaves >= 1, "need at least one leaf");
+        let mut nodes = vec![Node::Leaf { leaf_id: usize::MAX }];
+        let mut open = vec![(0usize, (0..data.len()).collect::<Vec<usize>>())];
+        let mut closed: Vec<(usize, Vec<usize>)> = Vec::new();
+
+        while open.len() + closed.len() < target_leaves && !open.is_empty() {
+            let (largest, _) =
+                open.iter().enumerate().max_by_key(|(_, l)| l.1.len()).expect("non-empty");
+            let (node, ids) = open.swap_remove(largest);
+            match split_widest(data, &ids) {
+                Some((axis, threshold, l_ids, r_ids)) => {
+                    let left = nodes.len();
+                    let right = nodes.len() + 1;
+                    nodes.push(Node::Leaf { leaf_id: usize::MAX });
+                    nodes.push(Node::Leaf { leaf_id: usize::MAX });
+                    nodes[node] = Node::Split { axis, threshold, left, right };
+                    open.push((left, l_ids));
+                    open.push((right, r_ids));
+                }
+                None => closed.push((node, ids)),
+            }
+        }
+        closed.extend(open);
+        closed.sort_by_key(|(node, _)| *node);
+
+        let mut assignments = vec![0usize; data.len()];
+        for (leaf_id, (node, ids)) in closed.iter().enumerate() {
+            nodes[*node] = Node::Leaf { leaf_id };
+            for &i in ids {
+                assignments[i] = leaf_id;
+            }
+        }
+        (Self { nodes, num_leaves: closed.len(), dim: data.dim() }, assignments)
+    }
+
+    /// Number of leaf cells produced.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+}
+
+impl Partitioner for KdPartitioner {
+    fn assign(&self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "query dimension mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { leaf_id } => return *leaf_id,
+                Node::Split { axis, threshold, left, right } => {
+                    node = if v[*axis] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn num_groups(&self) -> usize {
+        self.num_leaves
+    }
+}
+
+/// Median split of `ids` on the axis with the widest min-max spread; `None`
+/// when every axis is constant or a side would be empty.
+fn split_widest(data: &Dataset, ids: &[usize]) -> Option<(usize, f32, Vec<usize>, Vec<usize>)> {
+    if ids.len() < 2 {
+        return None;
+    }
+    let dim = data.dim();
+    let mut best_axis = 0usize;
+    let mut best_spread = -1.0f32;
+    for axis in 0..dim {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &i in ids {
+            let v = data.row(i)[axis];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo > best_spread {
+            best_spread = hi - lo;
+            best_axis = axis;
+        }
+    }
+    if best_spread <= 0.0 {
+        return None;
+    }
+    let mut vals: Vec<f32> = ids.iter().map(|&i| data.row(i)[best_axis]).collect();
+    let mid = vals.len() / 2;
+    let threshold = *vals.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite")).1;
+    let mut l = Vec::new();
+    let mut r = Vec::new();
+    for &i in ids {
+        if data.row(i)[best_axis] <= threshold {
+            l.push(i);
+        } else {
+            r.push(i);
+        }
+    }
+    if l.is_empty() || r.is_empty() {
+        // Median equals the max: retry splitting strictly below it.
+        l.clear();
+        r.clear();
+        for &i in ids {
+            if data.row(i)[best_axis] < threshold {
+                l.push(i);
+            } else {
+                r.push(i);
+            }
+        }
+        if l.is_empty() || r.is_empty() {
+            return None;
+        }
+        // Shift the stored threshold just below the median so `assign`
+        // reproduces this strict split.
+        let max_left = l.iter().map(|&i| data.row(i)[best_axis]).fold(f32::NEG_INFINITY, f32::max);
+        return Some((best_axis, max_left, l, r));
+    }
+    Some((best_axis, threshold, l, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    #[test]
+    fn produces_requested_leaves() {
+        let ds = synth::clustered(&ClusteredSpec::small(300), 1);
+        let (kd, _) = KdPartitioner::fit(&ds, 8);
+        assert_eq!(kd.num_leaves(), 8);
+    }
+
+    #[test]
+    fn assign_agrees_with_construction() {
+        let ds = synth::clustered(&ClusteredSpec::small(300), 2);
+        let (kd, assign) = KdPartitioner::fit(&ds, 16);
+        for (i, a) in assign.iter().enumerate() {
+            assert_eq!(kd.assign(ds.row(i)), *a, "row {i}");
+        }
+    }
+
+    #[test]
+    fn identical_points_stay_in_one_leaf() {
+        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 10]);
+        let (kd, assign) = KdPartitioner::fit(&ds, 4);
+        assert_eq!(kd.num_leaves(), 1);
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn splits_on_widest_axis() {
+        // Axis 1 has all the spread; the first split must separate by it.
+        let ds = Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 100.0],
+            vec![0.2, 0.0],
+            vec![0.3, 100.0],
+        ]);
+        let (_, assign) = KdPartitioner::fit(&ds, 2);
+        assert_eq!(assign[0], assign[2]);
+        assert_eq!(assign[1], assign[3]);
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn handles_skewed_duplicate_medians() {
+        // 9 copies of 0 and one 1: median==0 puts everything left under <=,
+        // so the strict-split fallback must engage.
+        let mut rows = vec![vec![0.0]; 9];
+        rows.push(vec![1.0]);
+        let ds = Dataset::from_rows(&rows);
+        let (kd, assign) = KdPartitioner::fit(&ds, 2);
+        assert_eq!(kd.num_leaves(), 2);
+        assert_ne!(assign[0], assign[9]);
+        for (i, a) in assign.iter().enumerate() {
+            assert_eq!(kd.assign(ds.row(i)), *a);
+        }
+    }
+}

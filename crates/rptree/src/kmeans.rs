@@ -1,0 +1,219 @@
+//! Lloyd's K-means with k-means++ seeding — the partitioning baseline the
+//! paper compares RP-trees against in Figure 13(c).
+
+use crate::partition::Partitioner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vecstore::metric::squared_l2;
+use vecstore::Dataset;
+
+/// A fitted K-means model; assignment is nearest-centroid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Dataset,
+}
+
+impl KMeans {
+    /// Fits `k` clusters with k-means++ initialization and at most
+    /// `max_iters` Lloyd iterations; returns the model and per-row
+    /// assignments.
+    ///
+    /// Fewer than `k` centroids can result when the data has fewer than `k`
+    /// distinct points; empty clusters are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `k == 0`.
+    pub fn fit(data: &Dataset, k: usize, max_iters: usize, seed: u64) -> (Self, Vec<usize>) {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        assert!(k >= 1, "k must be positive");
+        let k = k.min(data.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = plus_plus_init(data, k, &mut rng);
+
+        let mut assign = vec![0usize; data.len()];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (i, row) in data.iter().enumerate() {
+                let c = nearest(&centroids, row).0;
+                if c != assign[i] {
+                    assign[i] = c;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; keep a centroid in place if its cluster
+            // emptied (it will be pruned at the end if still empty).
+            let mut sums = vec![vec![0.0f64; data.dim()]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, row) in data.iter().enumerate() {
+                counts[assign[i]] += 1;
+                for (s, &v) in sums[assign[i]].iter_mut().zip(row) {
+                    *s += v as f64;
+                }
+            }
+            for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+                if count > 0 {
+                    let row = centroids.row_mut(c);
+                    for (dst, &s) in row.iter_mut().zip(sum) {
+                        *dst = (s / count as f64) as f32;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Drop empty clusters and re-densify ids.
+        let mut counts = vec![0usize; centroids.len()];
+        for &a in &assign {
+            counts[a] += 1;
+        }
+        let mut remap = vec![usize::MAX; centroids.len()];
+        let mut kept = Dataset::new(data.dim());
+        let mut next = 0usize;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                remap[c] = next;
+                kept.push(centroids.row(c));
+                next += 1;
+            }
+        }
+        for a in &mut assign {
+            *a = remap[*a];
+        }
+        (Self { centroids: kept }, assign)
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &Dataset {
+        &self.centroids
+    }
+}
+
+impl Partitioner for KMeans {
+    fn assign(&self, v: &[f32]) -> usize {
+        nearest(&self.centroids, v).0
+    }
+
+    fn num_groups(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Index and squared distance of the centroid nearest to `v`.
+fn nearest(centroids: &Dataset, v: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (c, row) in centroids.iter().enumerate() {
+        let d = squared_l2(v, row);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, each next centroid sampled
+/// with probability proportional to squared distance from the nearest
+/// already-chosen centroid.
+fn plus_plus_init(data: &Dataset, k: usize, rng: &mut StdRng) -> Dataset {
+    let mut centroids = Dataset::with_capacity(data.dim(), k);
+    centroids.push(data.row(rng.gen_range(0..data.len())));
+    let mut d2: Vec<f32> = data.iter().map(|row| squared_l2(row, centroids.row(0))).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with chosen centroids.
+            break;
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(data.row(next));
+        let c = centroids.len() - 1;
+        for (i, row) in data.iter().enumerate() {
+            let d = squared_l2(row, centroids.row(c));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![(i % 5) as f32 * 0.01, 0.0]);
+        }
+        for i in 0..30 {
+            rows.push(vec![50.0 + (i % 5) as f32 * 0.01, 0.0]);
+        }
+        let ds = Dataset::from_rows(&rows);
+        let (km, assign) = KMeans::fit(&ds, 2, 50, 1);
+        assert_eq!(km.num_groups(), 2);
+        let first = assign[0];
+        assert!(assign[..30].iter().all(|&a| a == first));
+        assert!(assign[30..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn assign_agrees_with_fit_assignments() {
+        let ds = synth::clustered(&ClusteredSpec::small(300), 3);
+        let (km, assign) = KMeans::fit(&ds, 8, 50, 3);
+        for (i, a) in assign.iter().enumerate() {
+            assert_eq!(km.assign(ds.row(i)), *a, "row {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_yield_fewer_clusters() {
+        let ds = Dataset::from_rows(&vec![vec![1.0, 1.0]; 20]);
+        let (km, assign) = KMeans::fit(&ds, 5, 10, 0);
+        assert_eq!(km.num_groups(), 1);
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![10.0]]);
+        let (km, _) = KMeans::fit(&ds, 10, 10, 0);
+        assert!(km.num_groups() <= 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = synth::clustered(&ClusteredSpec::small(200), 9);
+        let (_, a1) = KMeans::fit(&ds, 6, 30, 42);
+        let (_, a2) = KMeans::fit(&ds, 6, 30, 42);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn all_group_ids_dense() {
+        let ds = synth::clustered(&ClusteredSpec::small(200), 11);
+        let (km, assign) = KMeans::fit(&ds, 7, 30, 5);
+        let g = km.num_groups();
+        assert!(assign.iter().all(|&a| a < g));
+        let mut seen = vec![false; g];
+        for &a in &assign {
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "dropped empty clusters must leave dense ids");
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Level 1 of the Bi-level LSH scheme: dataset partitioning.
+//!
+//! The main structure is the random projection tree ([`tree::RpTree`]) with
+//! the *max* and *mean* split rules of Dasgupta & Freund, backed by the
+//! Egecioglu–Kalantari approximate diameter ([`diameter`]). Baseline
+//! partitioners the paper compares against (K-means, Kd-style median splits)
+//! live in [`kmeans`] and [`kdpart`]; everything implements [`Partitioner`]
+//! so level 2 can be composed with any of them.
+
+pub mod diameter;
+pub mod kdknn;
+pub mod kdpart;
+pub mod kmeans;
+pub mod partition;
+pub mod tree;
+
+pub use diameter::{approx_diameter, DiameterEstimate};
+pub use kdknn::KdKnn;
+pub use kdpart::KdPartitioner;
+pub use kmeans::KMeans;
+pub use partition::{Partitioner, SinglePartition};
+pub use tree::{RpTree, RpTreeConfig, SplitRule};

@@ -1,0 +1,76 @@
+//! The [`Partitioner`] abstraction shared by level-1 strategies.
+
+use serde::{Deserialize, Serialize};
+use vecstore::Dataset;
+
+/// A fitted level-1 partition of a dataset into `g` groups.
+///
+/// Implementations must be deterministic after construction: `assign` for
+/// the same vector always returns the same group, and construction-time
+/// assignments agree with post-hoc `assign` calls (property-tested per
+/// strategy).
+pub trait Partitioner: Sync + Send {
+    /// Group index (`0..num_groups`) the vector belongs to.
+    fn assign(&self, v: &[f32]) -> usize;
+
+    /// Number of groups the dataset was partitioned into.
+    fn num_groups(&self) -> usize;
+
+    /// Assigns every row of a dataset.
+    fn assign_all(&self, data: &Dataset) -> Vec<usize> {
+        data.iter().map(|row| self.assign(row)).collect()
+    }
+}
+
+/// The trivial one-group partitioner: with it, Bi-level LSH degenerates to
+/// standard single-level LSH, which is exactly how the paper's baseline is
+/// configured.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SinglePartition;
+
+impl Partitioner for SinglePartition {
+    fn assign(&self, _v: &[f32]) -> usize {
+        0
+    }
+
+    fn num_groups(&self) -> usize {
+        1
+    }
+}
+
+/// Groups row ids by their assigned partition: `out[g]` lists the rows of
+/// group `g` in ascending order.
+pub fn group_ids(assignments: &[usize], num_groups: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); num_groups];
+    for (i, &g) in assignments.iter().enumerate() {
+        assert!(g < num_groups, "assignment {g} out of range for {num_groups} groups");
+        out[g].push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_maps_everything_to_zero() {
+        let p = SinglePartition;
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.assign(&[1.0, 2.0]), 0);
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]);
+        assert_eq!(p.assign_all(&ds), vec![0, 0]);
+    }
+
+    #[test]
+    fn group_ids_buckets_by_assignment() {
+        let groups = group_ids(&[1, 0, 1, 2], 3);
+        assert_eq!(groups, vec![vec![1], vec![0, 2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_ids_rejects_bad_assignment() {
+        let _ = group_ids(&[5], 3);
+    }
+}

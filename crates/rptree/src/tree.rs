@@ -1,0 +1,408 @@
+//! Random projection trees (Dasgupta & Freund) with the *max* and *mean*
+//! split rules.
+//!
+//! Construction repeatedly splits the largest leaf until the requested number
+//! of groups is reached, so any `g >= 1` is attainable (not just powers of
+//! two). Each split projects the leaf's points onto a fresh random unit
+//! direction and cuts at the median — with a bounded random jitter for the
+//! *max* rule, or, for the *mean* rule, switches to a distance-from-mean
+//! split whenever the leaf's diameter is large relative to its average
+//! interpoint distance (the signature of a far-flung outlier cluster).
+
+use crate::diameter::approx_diameter;
+use crate::partition::Partitioner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vecstore::metric::squared_l2;
+use vecstore::stats::{centroid_of, mean_sq_dist_to_centroid};
+use vecstore::synth::StdNormal;
+use vecstore::Dataset;
+
+/// Which Dasgupta–Freund split rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitRule {
+    /// Median split along a random direction, with jitter proportional to
+    /// `Δ(S)/√D`. Guarantees bounded aspect ratio of the resulting cells.
+    Max,
+    /// Like `Max` at the median without jitter, but when
+    /// `Δ²(S) > c · Δ_A²(S)` splits by distance to the mean instead. The
+    /// paper reports this rule gives the best bi-level recall.
+    Mean,
+}
+
+/// RP-tree construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RpTreeConfig {
+    /// Number of leaf groups to produce.
+    pub target_leaves: usize,
+    /// Split rule.
+    pub rule: SplitRule,
+    /// Leaves smaller than `2 * min_leaf` are never split.
+    pub min_leaf: usize,
+    /// Constant `c` in the mean-rule test `Δ² > c · Δ_A²`.
+    pub mean_rule_c: f32,
+    /// Rounds for the approximate-diameter subroutine.
+    pub diameter_rounds: usize,
+    /// RNG seed (projections and jitter).
+    pub seed: u64,
+}
+
+impl RpTreeConfig {
+    /// Sensible defaults for `g` leaves with the *mean* rule.
+    pub fn with_leaves(g: usize) -> Self {
+        Self {
+            target_leaves: g,
+            rule: SplitRule::Mean,
+            min_leaf: 8,
+            mean_rule_c: 10.0,
+            diameter_rounds: 40,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Overrides the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the split rule (builder style).
+    pub fn rule(mut self, rule: SplitRule) -> Self {
+        self.rule = rule;
+        self
+    }
+}
+
+/// One node of the fitted tree, stored in an arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    /// Terminal node carrying its dense leaf index.
+    Leaf { leaf_id: usize },
+    /// `v · dir <= threshold` goes left.
+    ProjSplit { dir: Vec<f32>, threshold: f32, left: usize, right: usize },
+    /// `‖v − mean‖² <= threshold_sq` goes left.
+    DistSplit { mean: Vec<f32>, threshold_sq: f32, left: usize, right: usize },
+}
+
+/// A fitted random projection tree.
+///
+/// `RP-tree(v)` of the paper is [`RpTree::assign`]; leaf ids are dense in
+/// `0..num_leaves()`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RpTree {
+    nodes: Vec<Node>,
+    num_leaves: usize,
+    dim: usize,
+}
+
+/// A leaf pending a split attempt, ordered by size.
+struct PendingLeaf {
+    node: usize,
+    ids: Vec<usize>,
+}
+
+impl RpTree {
+    /// Fits a tree on `data`, returning the tree and the leaf assignment of
+    /// every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `target_leaves == 0`.
+    pub fn fit(data: &Dataset, config: &RpTreeConfig) -> (Self, Vec<usize>) {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        assert!(config.target_leaves >= 1, "need at least one leaf");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut nodes = vec![Node::Leaf { leaf_id: usize::MAX }];
+        let mut open = vec![PendingLeaf { node: 0, ids: (0..data.len()).collect() }];
+        let mut closed: Vec<PendingLeaf> = Vec::new();
+
+        while open.len() + closed.len() < config.target_leaves && !open.is_empty() {
+            // Split the largest open leaf.
+            let (largest, _) = open
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.ids.len())
+                .expect("open is non-empty");
+            let leaf = open.swap_remove(largest);
+            if leaf.ids.len() < 2 * config.min_leaf.max(1) {
+                closed.push(leaf);
+                continue;
+            }
+            match try_split(data, &leaf.ids, config, &mut rng) {
+                Some((split, left_ids, right_ids)) => {
+                    let left = nodes.len();
+                    let right = nodes.len() + 1;
+                    nodes.push(Node::Leaf { leaf_id: usize::MAX });
+                    nodes.push(Node::Leaf { leaf_id: usize::MAX });
+                    nodes[leaf.node] = match split {
+                        Split::Proj { dir, threshold } => {
+                            Node::ProjSplit { dir, threshold, left, right }
+                        }
+                        Split::Dist { mean, threshold_sq } => {
+                            Node::DistSplit { mean, threshold_sq, left, right }
+                        }
+                    };
+                    open.push(PendingLeaf { node: left, ids: left_ids });
+                    open.push(PendingLeaf { node: right, ids: right_ids });
+                }
+                None => closed.push(leaf), // degenerate (all points identical)
+            }
+        }
+        closed.extend(open);
+
+        // Assign dense leaf ids in node order for determinism.
+        closed.sort_by_key(|l| l.node);
+        let mut assignments = vec![0usize; data.len()];
+        for (leaf_id, leaf) in closed.iter().enumerate() {
+            nodes[leaf.node] = Node::Leaf { leaf_id };
+            for &i in &leaf.ids {
+                assignments[i] = leaf_id;
+            }
+        }
+        let tree = Self { nodes, num_leaves: closed.len(), dim: data.dim() };
+        (tree, assignments)
+    }
+
+    /// Number of leaves actually produced (may be below the target when the
+    /// data cannot be split further).
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Dimensionality the tree was fitted on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Partitioner for RpTree {
+    fn assign(&self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "query dimension mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { leaf_id } => return *leaf_id,
+                Node::ProjSplit { dir, threshold, left, right } => {
+                    node = if vecstore::metric::dot(v, dir) <= *threshold { *left } else { *right };
+                }
+                Node::DistSplit { mean, threshold_sq, left, right } => {
+                    node = if squared_l2(v, mean) <= *threshold_sq { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn num_groups(&self) -> usize {
+        self.num_leaves
+    }
+}
+
+enum Split {
+    Proj { dir: Vec<f32>, threshold: f32 },
+    Dist { mean: Vec<f32>, threshold_sq: f32 },
+}
+
+/// Random unit direction in `R^dim`.
+fn random_unit(dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    loop {
+        let v: Vec<f32> = (0..dim).map(|_| rng.sample(StdNormal)).collect();
+        let n = vecstore::metric::norm(&v);
+        if n > 1e-12 {
+            return v.into_iter().map(|x| x / n).collect();
+        }
+    }
+}
+
+/// Lower median of a scratch slice (mutates the slice): the value `m` such
+/// that at least half the elements are `<= m` and, for even lengths, the
+/// `<=`-split is exactly balanced.
+fn median(xs: &mut [f32]) -> f32 {
+    let mid = (xs.len() - 1) / 2;
+    *xs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite")).1
+}
+
+/// Attempts to split `ids`; returns `None` when every candidate threshold
+/// degenerates (e.g. all points identical). Retries a few random directions
+/// before giving up.
+fn try_split(
+    data: &Dataset,
+    ids: &[usize],
+    config: &RpTreeConfig,
+    rng: &mut StdRng,
+) -> Option<(Split, Vec<usize>, Vec<usize>)> {
+    // Mean rule: test Δ² > c · Δ_A² first; that branch needs no direction.
+    if config.rule == SplitRule::Mean {
+        let diam = approx_diameter(data, ids, config.diameter_rounds).estimate();
+        // Δ_A²(S) = 2 · mean squared distance to the mean.
+        let avg_sq = 2.0 * mean_sq_dist_to_centroid(data, ids);
+        if diam * diam > config.mean_rule_c * avg_sq && avg_sq > 0.0 {
+            let mean = centroid_of(data, ids);
+            let mut dists: Vec<f32> = ids.iter().map(|&i| squared_l2(data.row(i), &mean)).collect();
+            let thr = median(&mut dists);
+            let (l, r) = partition_by(ids, |i| squared_l2(data.row(i), &mean) <= thr);
+            if !l.is_empty() && !r.is_empty() {
+                return Some((Split::Dist { mean, threshold_sq: thr }, l, r));
+            }
+            // Fall through to a projection split when the distance split
+            // degenerates (many points exactly at the median radius).
+        }
+    }
+
+    for _attempt in 0..8 {
+        let dir = random_unit(data.dim(), rng);
+        let mut projs: Vec<f32> =
+            ids.iter().map(|&i| vecstore::metric::dot(data.row(i), &dir)).collect();
+        let lo = projs.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = projs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if hi - lo <= 0.0 {
+            continue; // no spread along this direction
+        }
+        let med = median(&mut projs);
+        let threshold = match config.rule {
+            SplitRule::Max => {
+                // Jitter ∝ Δ(S)/√D keeps the guaranteed aspect-ratio bound.
+                let diam = approx_diameter(data, ids, config.diameter_rounds).estimate();
+                let jitter_scale = 6.0 * diam / (data.dim() as f32).sqrt();
+                let jitter = rng.gen_range(-1.0f32..=1.0) * jitter_scale;
+                // Clamp inside the projection range so the split is proper.
+                (med + jitter).clamp(lo, hi)
+            }
+            SplitRule::Mean => med,
+        };
+        let (l, r) = partition_by(ids, |i| vecstore::metric::dot(data.row(i), &dir) <= threshold);
+        if !l.is_empty() && !r.is_empty() {
+            return Some((Split::Proj { dir, threshold }, l, r));
+        }
+    }
+    None
+}
+
+fn partition_by<F: Fn(usize) -> bool>(ids: &[usize], pred: F) -> (Vec<usize>, Vec<usize>) {
+    let mut l = Vec::new();
+    let mut r = Vec::new();
+    for &i in ids {
+        if pred(i) {
+            l.push(i);
+        } else {
+            r.push(i);
+        }
+    }
+    (l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn fit(rule: SplitRule, g: usize, seed: u64) -> (RpTree, Vec<usize>, Dataset) {
+        let ds = synth::clustered(&ClusteredSpec::small(400), seed);
+        let cfg = RpTreeConfig { rule, ..RpTreeConfig::with_leaves(g) }.seed(seed);
+        let (tree, assign) = RpTree::fit(&ds, &cfg);
+        (tree, assign, ds)
+    }
+
+    #[test]
+    fn produces_requested_leaf_count() {
+        for rule in [SplitRule::Max, SplitRule::Mean] {
+            let (tree, _, _) = fit(rule, 8, 1);
+            assert_eq!(tree.num_leaves(), 8, "rule {rule:?}");
+        }
+    }
+
+    #[test]
+    fn assignments_cover_all_leaves() {
+        let (tree, assign, _) = fit(SplitRule::Mean, 8, 2);
+        let mut seen = vec![false; tree.num_leaves()];
+        for &a in &assign {
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every leaf holds at least one point");
+    }
+
+    #[test]
+    fn assign_agrees_with_construction() {
+        for rule in [SplitRule::Max, SplitRule::Mean] {
+            let (tree, assign, ds) = fit(rule, 16, 3);
+            for (i, a) in assign.iter().enumerate() {
+                assert_eq!(tree.assign(ds.row(i)), *a, "row {i} rule {rule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_is_identity_partition() {
+        let (tree, assign, _) = fit(SplitRule::Mean, 1, 4);
+        assert_eq!(tree.num_leaves(), 1);
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn identical_points_cannot_be_split() {
+        let ds = Dataset::from_rows(&vec![vec![1.0, 2.0]; 50]);
+        let (tree, assign) = RpTree::fit(&ds, &RpTreeConfig::with_leaves(4));
+        assert_eq!(tree.num_leaves(), 1);
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn min_leaf_limits_splitting() {
+        let ds = synth::gaussian(4, 40, 1.0, 7);
+        let mut cfg = RpTreeConfig::with_leaves(64);
+        cfg.min_leaf = 10;
+        let (tree, assign) = RpTree::fit(&ds, &cfg);
+        // 40 points with min_leaf 10 allows at most 2 splits of 40 -> leaves >= 20 ... sizes.
+        assert!(tree.num_leaves() <= 4, "got {} leaves", tree.num_leaves());
+        let groups = crate::partition::group_ids(&assign, tree.num_leaves());
+        // No leaf that was produced by a split may be smaller than... splits only
+        // happen on leaves of >= 2*min_leaf, so resulting leaves can be small,
+        // but every leaf must be non-empty.
+        assert!(groups.iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = synth::clustered(&ClusteredSpec::small(200), 5);
+        let cfg = RpTreeConfig::with_leaves(8).seed(77);
+        let (_, a1) = RpTree::fit(&ds, &cfg);
+        let (_, a2) = RpTree::fit(&ds, &cfg);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn splits_are_roughly_balanced_with_mean_rule() {
+        let (tree, assign, _) = fit(SplitRule::Mean, 4, 8);
+        let groups = crate::partition::group_ids(&assign, tree.num_leaves());
+        let max = groups.iter().map(Vec::len).max().unwrap();
+        let min = groups.iter().map(Vec::len).min().unwrap();
+        // Median splits keep groups within a small factor of each other.
+        assert!(max <= 8 * min.max(1), "imbalanced: max={max} min={min}");
+    }
+
+    #[test]
+    fn mean_rule_separates_well_separated_clusters() {
+        // Two tight clusters far apart: the very first split should separate
+        // them (either rule variant), giving pure leaves.
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push(vec![0.0 + (i as f32) * 1e-3, 0.0]);
+        }
+        for i in 0..50 {
+            rows.push(vec![100.0 + (i as f32) * 1e-3, 0.0]);
+        }
+        let ds = Dataset::from_rows(&rows);
+        let (_, assign) = RpTree::fit(&ds, &RpTreeConfig::with_leaves(2));
+        let first = assign[0];
+        assert!(assign[..50].iter().all(|&a| a == first));
+        assert!(assign[50..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn assign_rejects_wrong_dim() {
+        let (tree, _, _) = fit(SplitRule::Mean, 2, 1);
+        let _ = tree.assign(&[0.0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the level-1 invariants: every partitioner's
+//! `assign` agrees with construction, leaves are non-empty and dense, and
+//! the diameter approximation brackets the truth.
+
+use proptest::prelude::*;
+use rptree::partition::group_ids;
+use rptree::{
+    approx_diameter, KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SplitRule,
+};
+use vecstore::stats::exact_diameter;
+use vecstore::Dataset;
+
+fn dataset() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, 3), 2..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rptree_assign_agrees_with_fit(
+        rows in dataset(),
+        g in 1usize..9,
+        seed in any::<u64>(),
+        max_rule in any::<bool>(),
+    ) {
+        let ds = Dataset::from_rows(&rows);
+        let rule = if max_rule { SplitRule::Max } else { SplitRule::Mean };
+        let cfg = RpTreeConfig::with_leaves(g).rule(rule).seed(seed);
+        let (tree, assign) = RpTree::fit(&ds, &cfg);
+        prop_assert!(tree.num_leaves() >= 1);
+        prop_assert!(tree.num_leaves() <= g);
+        for (i, &a) in assign.iter().enumerate() {
+            prop_assert!(a < tree.num_leaves());
+            prop_assert_eq!(tree.assign(ds.row(i)), a, "row {}", i);
+        }
+        // Every leaf id is used.
+        let groups = group_ids(&assign, tree.num_leaves());
+        prop_assert!(groups.iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn kd_assign_agrees_with_fit(rows in dataset(), g in 1usize..9) {
+        let ds = Dataset::from_rows(&rows);
+        let (kd, assign) = KdPartitioner::fit(&ds, g);
+        for (i, &a) in assign.iter().enumerate() {
+            prop_assert_eq!(kd.assign(ds.row(i)), a, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn kmeans_assign_agrees_with_fit(rows in dataset(), k in 1usize..6, seed in any::<u64>()) {
+        let ds = Dataset::from_rows(&rows);
+        let (km, assign) = KMeans::fit(&ds, k, 20, seed);
+        for (i, &a) in assign.iter().enumerate() {
+            prop_assert_eq!(km.assign(ds.row(i)), a, "row {}", i);
+        }
+        // Dense cluster ids.
+        let groups = group_ids(&assign, km.num_groups());
+        prop_assert!(groups.iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn diameter_bounds_bracket_truth(rows in dataset(), rounds in 1usize..40) {
+        let ds = Dataset::from_rows(&rows);
+        let ids: Vec<usize> = (0..ds.len()).collect();
+        let est = approx_diameter(&ds, &ids, rounds);
+        let truth = exact_diameter(&ds, &ids);
+        prop_assert!(est.lower <= truth * 1.0001 + 1e-3, "lower {} > truth {}", est.lower, truth);
+        prop_assert!(est.upper >= truth * 0.9999 - 1e-3, "upper {} < truth {}", est.upper, truth);
+        prop_assert!(est.lower <= est.upper * 1.0001 + 1e-3);
+    }
+}

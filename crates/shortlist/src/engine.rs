@@ -1,0 +1,352 @@
+//! The three short-list engines (serial heap, per-query parallel, work
+//! queue). All three are exact over their candidate sets: they return the
+//! same k-best results, differing only in execution organization — which is
+//! precisely the comparison the paper's Figure 4 runs.
+
+use crate::primitives::{clustered_sort, parallel_for_each, QueueEntry};
+use vecstore::{Dataset, Metric, Neighbor, TopK};
+
+/// Serial baseline: one size-k max-heap per query (the paper's single-core
+/// CPU reference).
+pub fn shortlist_serial(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(q, cands)| rank_one(data, queries.row(q), cands, k, metric))
+        .collect()
+}
+
+/// Quickselect organization: one `O(c + k log k)` selection per query
+/// instead of a heap — the `O(|A(v)| + k)` k-selection the paper cites via
+/// Knuth in Section II-A. Faster than the heap when `k` is a large fraction
+/// of the candidate count (e.g. the paper's `k = 500`), since the heap pays
+/// `O(c log k)`.
+pub fn shortlist_select(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(q, cands)| {
+            let mut unique = cands.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            let scored: Vec<Neighbor> = unique
+                .into_iter()
+                .map(|id| Neighbor {
+                    id: id as usize,
+                    dist: metric.distance(queries.row(q), data.row(id as usize)),
+                })
+                .collect();
+            vecstore::topk::select_k_smallest(scored, k)
+        })
+        .collect()
+}
+
+/// Per-thread-per-query organization: queries are block-partitioned over
+/// `threads` workers. Mirrors the naive GPU kernel; with imbalanced
+/// candidate counts some workers idle while the largest query finishes.
+pub fn shortlist_per_query(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
+    let nq = queries.len();
+    if threads <= 1 || nq < 2 {
+        return shortlist_serial(data, queries, candidates, k, metric);
+    }
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (tid, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = tid * chunk;
+            s.spawn(move |_| {
+                for (j, slot) in out_chunk.iter_mut().enumerate() {
+                    let q = start + j;
+                    *slot = rank_one(data, queries.row(q), &candidates[q], k, metric);
+                }
+            });
+        }
+    })
+    .expect("per-query worker panicked");
+    results
+}
+
+/// Work-queue engine (Figure 3).
+///
+/// Candidates from all queries are drained into a bounded global queue in
+/// rounds. Each round: (1) distances of queued `(query, candidate)` pairs
+/// are evaluated with a parallel map; (2) the queue — which also carries
+/// each query's current k-best from prior rounds — is *clustered-sorted* by
+/// `(query, distance)`; (3) a compact pass keeps the first `k` entries of
+/// every query run as the new running k-best. `queue_capacity` plays the
+/// role of the GPU global-memory budget.
+pub fn shortlist_workqueue(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+    threads: usize,
+    queue_capacity: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
+    assert!(queue_capacity > k, "queue must hold more than one query's k-best");
+    let nq = queries.len();
+    // Running k-best per query, kept sorted ascending.
+    let mut best: Vec<Vec<QueueEntry>> = vec![Vec::new(); nq];
+    // Per-query cursor into its candidate list.
+    let mut cursor = vec![0usize; nq];
+    let mut pending: Vec<u32> = (0..nq as u32).collect();
+
+    let mut queue: Vec<QueueEntry> = Vec::with_capacity(queue_capacity);
+    while !pending.is_empty() {
+        queue.clear();
+        let mut scheduled: Vec<u32> = Vec::new();
+        let mut still_pending: Vec<u32> = Vec::new();
+        // Fill phase: copy each scheduled query's current k-best and as many
+        // fresh candidates as fit.
+        for &q in &pending {
+            let qi = q as usize;
+            let have = best[qi].len();
+            let remaining = candidates[qi].len() - cursor[qi];
+            let need = have + remaining.min(k.max(remaining));
+            // Admit the query if at least its k-best plus one new candidate
+            // fits (or it has no remaining candidates at all).
+            if queue.len() + have + 1 > queue_capacity && !queue.is_empty() {
+                still_pending.push(q);
+                continue;
+            }
+            let _ = need;
+            queue.extend(best[qi].iter().copied());
+            let space = queue_capacity.saturating_sub(queue.len());
+            let take = remaining.min(space);
+            for &id in &candidates[qi][cursor[qi]..cursor[qi] + take] {
+                queue.push(QueueEntry { query: q, id, dist: f32::NAN });
+            }
+            cursor[qi] += take;
+            if cursor[qi] < candidates[qi].len() {
+                still_pending.push(q); // more rounds needed for this query
+            }
+            scheduled.push(q);
+            if queue.len() >= queue_capacity {
+                // Queue full: defer the rest of the pending list untouched.
+                let pos = pending.iter().position(|&x| x == q).expect("q in pending");
+                still_pending.extend(pending[pos + 1..].iter().copied().filter(|x| *x != q));
+                break;
+            }
+        }
+
+        // Map phase: evaluate the distances of fresh entries in parallel.
+        parallel_for_each(&mut queue, threads, |e| {
+            if e.dist.is_nan() {
+                e.dist = metric.distance(queries.row(e.query as usize), data.row(e.id as usize));
+            }
+        });
+
+        // Clustered sort + compact phase.
+        clustered_sort(&mut queue, threads);
+        for &q in &scheduled {
+            best[q as usize].clear();
+        }
+        let mut i = 0usize;
+        while i < queue.len() {
+            let q = queue[i].query;
+            let mut j = i;
+            while j < queue.len() && queue[j].query == q {
+                j += 1;
+            }
+            // Walk the ascending run keeping the first k *unique* ids
+            // (duplicates are adjacent: same id implies same distance).
+            let b = &mut best[q as usize];
+            let mut pos = i;
+            while pos < j && b.len() < k {
+                if b.last().map(|e| e.id) != Some(queue[pos].id) {
+                    b.push(queue[pos]);
+                }
+                pos += 1;
+            }
+            i = j;
+        }
+        pending = still_pending;
+    }
+
+    best.into_iter()
+        .map(|entries| {
+            entries.into_iter().map(|e| Neighbor { id: e.id as usize, dist: e.dist }).collect()
+        })
+        .collect()
+}
+
+/// Ranks one query's candidates with a size-k heap; duplicates in the
+/// candidate list are tolerated (deduplicated by keeping ids unique in the
+/// output).
+fn rank_one(
+    data: &Dataset,
+    query: &[f32],
+    candidates: &[u32],
+    k: usize,
+    metric: &dyn Metric,
+) -> Vec<Neighbor> {
+    // Candidate lists from multiple tables repeat ids; duplicates must not
+    // enter the heap or they crowd out legitimate candidates.
+    let mut unique = candidates.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    let mut top = TopK::new(k);
+    for &id in &unique {
+        top.push(id as usize, metric.distance(query, data.row(id as usize)));
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vecstore::{synth, SquaredL2};
+
+    /// Random scenario: dataset, queries, and per-query candidate lists of
+    /// wildly differing sizes (the imbalance the work queue targets).
+    fn scenario(seed: u64) -> (Dataset, Dataset, Vec<Vec<u32>>) {
+        let data = synth::gaussian(8, 300, 1.0, seed);
+        let queries = synth::gaussian(8, 20, 1.0, seed + 1);
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let candidates = (0..queries.len())
+            .map(|_| {
+                let len = rng.gen_range(0..150);
+                (0..len).map(|_| rng.gen_range(0..data.len()) as u32).collect()
+            })
+            .collect();
+        (data, queries, candidates)
+    }
+
+    /// Reference result: sort + dedup + truncate.
+    fn reference(
+        data: &Dataset,
+        queries: &Dataset,
+        candidates: &[Vec<u32>],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(q, cands)| {
+                let mut unique: Vec<u32> = cands.clone();
+                unique.sort_unstable();
+                unique.dedup();
+                let mut hits: Vec<Neighbor> = unique
+                    .into_iter()
+                    .map(|id| Neighbor {
+                        id: id as usize,
+                        dist: SquaredL2.distance(queries.row(q), data.row(id as usize)),
+                    })
+                    .collect();
+                hits.sort_unstable();
+                hits.truncate(k);
+                hits
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        let (data, queries, candidates) = scenario(1);
+        let got = shortlist_serial(&data, &queries, &candidates, 10, &SquaredL2);
+        assert_eq!(got, reference(&data, &queries, &candidates, 10));
+    }
+
+    #[test]
+    fn select_matches_reference() {
+        let (data, queries, candidates) = scenario(9);
+        let got = shortlist_select(&data, &queries, &candidates, 10, &SquaredL2);
+        assert_eq!(got, reference(&data, &queries, &candidates, 10));
+    }
+
+    #[test]
+    fn per_query_matches_reference() {
+        let (data, queries, candidates) = scenario(2);
+        let got = shortlist_per_query(&data, &queries, &candidates, 10, &SquaredL2, 4);
+        assert_eq!(got, reference(&data, &queries, &candidates, 10));
+    }
+
+    #[test]
+    fn workqueue_matches_reference() {
+        let (data, queries, candidates) = scenario(3);
+        for capacity in [64, 256, 4096] {
+            let got =
+                shortlist_workqueue(&data, &queries, &candidates, 10, &SquaredL2, 2, capacity);
+            assert_eq!(got, reference(&data, &queries, &candidates, 10), "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let (data, queries, candidates) = scenario(4);
+        let a = shortlist_serial(&data, &queries, &candidates, 7, &SquaredL2);
+        let b = shortlist_per_query(&data, &queries, &candidates, 7, &SquaredL2, 3);
+        let c = shortlist_workqueue(&data, &queries, &candidates, 7, &SquaredL2, 3, 128);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_candidate_sets_give_empty_results() {
+        let data = synth::gaussian(4, 10, 1.0, 5);
+        let queries = synth::gaussian(4, 3, 1.0, 6);
+        let candidates = vec![Vec::new(), vec![0, 1], Vec::new()];
+        for engine_result in [
+            shortlist_serial(&data, &queries, &candidates, 5, &SquaredL2),
+            shortlist_workqueue(&data, &queries, &candidates, 5, &SquaredL2, 2, 64),
+        ] {
+            assert!(engine_result[0].is_empty());
+            assert_eq!(engine_result[1].len(), 2);
+            assert!(engine_result[2].is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_candidates_are_deduplicated() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let queries = Dataset::from_rows(&[vec![0.1]]);
+        let candidates = vec![vec![1, 1, 0, 0, 1, 2, 0]];
+        let got = shortlist_serial(&data, &queries, &candidates, 3, &SquaredL2);
+        assert_eq!(got[0].iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let wq = shortlist_workqueue(&data, &queries, &candidates, 3, &SquaredL2, 1, 16);
+        assert_eq!(wq, got);
+    }
+
+    #[test]
+    fn tiny_queue_capacity_still_exact() {
+        let (data, queries, candidates) = scenario(7);
+        // Capacity barely above k forces many rounds; results must not drift.
+        let got = shortlist_workqueue(&data, &queries, &candidates, 5, &SquaredL2, 2, 6);
+        assert_eq!(got, reference(&data, &queries, &candidates, 5));
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_all() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![3.0]]);
+        let queries = Dataset::from_rows(&[vec![1.0]]);
+        let candidates = vec![vec![0, 1]];
+        let got = shortlist_workqueue(&data, &queries, &candidates, 10, &SquaredL2, 1, 32);
+        assert_eq!(got[0].len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Short-list search engines.
+//!
+//! Short-list search — ranking each query's candidate set by exact distance
+//! and keeping the k best — dominates LSH query time (95%+ per the paper,
+//! Section V-B). Three engines implement it:
+//!
+//! * [`engine::shortlist_serial`]: the per-query size-k max-heap baseline
+//!   (the paper's single-core CPU reference, "CPU-lshkit");
+//! * [`engine::shortlist_per_query`]: one worker per query batch — the
+//!   paper's "naive" per-thread-per-query GPU kernel, which suffers load
+//!   imbalance when candidate counts differ across queries;
+//! * [`engine::shortlist_workqueue`]: the paper's contribution (Figure 3) —
+//!   a bounded global work queue of `(query, candidate)` pairs processed in
+//!   rounds of *parallel distance evaluation → clustered sort → compact*,
+//!   carrying each query's current k-best into the next round.
+//!
+//! The GPU primitives the work-queue pipeline relies on (parallel map,
+//! prefix scan, stream compaction, clustered sort) are implemented as
+//! standalone CPU analogs in [`primitives`].
+
+pub mod engine;
+pub mod primitives;
+
+pub use engine::{shortlist_per_query, shortlist_select, shortlist_serial, shortlist_workqueue};
+pub use primitives::{clustered_sort, compact, exclusive_scan, parallel_map};

@@ -1,0 +1,219 @@
+//! CPU analogs of the GPU data-parallel primitives the work-queue engine
+//! uses: parallel map, exclusive prefix scan, stream compaction, and the
+//! clustered sort of Figure 3 (sort candidates by distance *within* each
+//! query's cluster while keeping clusters grouped).
+
+/// One work-queue entry: a candidate for a specific query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueEntry {
+    /// Query (cluster) index.
+    pub query: u32,
+    /// Candidate item id.
+    pub id: u32,
+    /// Distance of the candidate to the query (filled by the map phase).
+    pub dist: f32,
+}
+
+/// Applies `f` to every element on `threads` workers, preserving order.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send + Default + Clone,
+    F: Fn(&T) -> U + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out = vec![U::default(); items.len()];
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ins, outs) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (i, o) in ins.iter().zip(outs.iter_mut()) {
+                    *o = f(i);
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    out
+}
+
+/// In-place variant of [`parallel_map`]: applies `f` to every element.
+pub fn parallel_for_each<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for part in items.chunks_mut(chunk) {
+            let f = &f;
+            s.spawn(move |_| part.iter_mut().for_each(f));
+        }
+    })
+    .expect("parallel_for_each worker panicked");
+}
+
+/// Exclusive prefix sum: `out[i] = Σ_{j<i} xs[j]`, plus the grand total.
+pub fn exclusive_scan(xs: &[usize]) -> (Vec<usize>, usize) {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0usize;
+    for &x in xs {
+        out.push(acc);
+        acc += x;
+    }
+    (out, acc)
+}
+
+/// Stream compaction: the elements satisfying `keep`, order preserved.
+pub fn compact<T: Clone, F: Fn(&T) -> bool>(items: &[T], keep: F) -> Vec<T> {
+    items.iter().filter(|x| keep(x)).cloned().collect()
+}
+
+/// Clustered sort (Figure 3): orders entries by `(query, dist, id)` so each
+/// query's candidates become a contiguous ascending-distance run, using a
+/// parallel chunk-sort + k-way merge (the CPU analog of a GPU segmented
+/// radix sort).
+pub fn clustered_sort(entries: &mut Vec<QueueEntry>, threads: usize) {
+    let cmp = |a: &QueueEntry, b: &QueueEntry| {
+        a.query
+            .cmp(&b.query)
+            .then_with(|| a.dist.partial_cmp(&b.dist).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| a.id.cmp(&b.id))
+    };
+    if threads <= 1 || entries.len() < 1024 {
+        entries.sort_unstable_by(cmp);
+        return;
+    }
+    // Sort chunks in parallel…
+    let chunk = entries.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for part in entries.chunks_mut(chunk) {
+            s.spawn(move |_| part.sort_unstable_by(cmp));
+        }
+    })
+    .expect("clustered_sort worker panicked");
+    // …then merge pairwise until one run remains.
+    let mut runs: Vec<Vec<QueueEntry>> = entries.chunks(chunk).map(|c| c.to_vec()).collect();
+    while runs.len() > 1 {
+        let mut merged = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => merged.push(merge_two(a, b, cmp)),
+                None => merged.push(a),
+            }
+        }
+        runs = merged;
+    }
+    *entries = runs.pop().expect("at least one run");
+}
+
+fn merge_two<F: Fn(&QueueEntry, &QueueEntry) -> std::cmp::Ordering>(
+    a: Vec<QueueEntry>,
+    b: Vec<QueueEntry>,
+    cmp: F,
+) -> Vec<QueueEntry> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(query: u32, id: u32, dist: f32) -> QueueEntry {
+        QueueEntry { query, id, dist }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<i64> = (0..1000).collect();
+        let serial = parallel_map(&xs, 1, |x| x * 2);
+        let threaded = parallel_map(&xs, 4, |x| x * 2);
+        assert_eq!(serial, threaded);
+        assert_eq!(serial[7], 14);
+    }
+
+    #[test]
+    fn parallel_for_each_touches_everything() {
+        let mut xs = vec![1i32; 500];
+        parallel_for_each(&mut xs, 3, |x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn exclusive_scan_basics() {
+        let (scan, total) = exclusive_scan(&[3, 0, 2, 5]);
+        assert_eq!(scan, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+        let (empty, zero) = exclusive_scan(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn compact_keeps_order() {
+        let xs = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(compact(&xs, |x| x % 2 == 0), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn clustered_sort_groups_and_orders() {
+        let mut entries = vec![
+            entry(1, 10, 3.0),
+            entry(0, 11, 2.0),
+            entry(1, 12, 1.0),
+            entry(0, 13, 5.0),
+            entry(1, 14, 2.0),
+        ];
+        clustered_sort(&mut entries, 1);
+        // Clusters contiguous, ascending distance within each.
+        assert_eq!(
+            entries,
+            vec![
+                entry(0, 11, 2.0),
+                entry(0, 13, 5.0),
+                entry(1, 12, 1.0),
+                entry(1, 14, 2.0),
+                entry(1, 10, 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn clustered_sort_parallel_matches_serial() {
+        let mut a: Vec<QueueEntry> = (0..5000)
+            .map(|i| entry((i * 7 % 13) as u32, i as u32, ((i * 31 % 997) as f32) * 0.1))
+            .collect();
+        let mut b = a.clone();
+        clustered_sort(&mut a, 1);
+        clustered_sort(&mut b, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_sort_handles_ties_deterministically() {
+        let mut entries = vec![entry(0, 9, 1.0), entry(0, 3, 1.0), entry(0, 6, 1.0)];
+        clustered_sort(&mut entries, 1);
+        assert_eq!(entries.iter().map(|e| e.id).collect::<Vec<_>>(), vec![3, 6, 9]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: the three short-list engines are exact over
+//! arbitrary candidate multisets and agree with a sort-based reference.
+
+use proptest::prelude::*;
+use shortlist::{
+    clustered_sort, compact, exclusive_scan, shortlist_per_query, shortlist_select,
+    shortlist_serial, shortlist_workqueue,
+};
+use vecstore::{Dataset, Metric, Neighbor, SquaredL2};
+
+type Scenario = (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<Vec<u32>>);
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..40, 1usize..8).prop_flat_map(|(n, nq)| {
+        let data = prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 4), n..=n);
+        let queries = prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 4), nq..=nq);
+        let candidates =
+            prop::collection::vec(prop::collection::vec(0u32..n as u32, 0..3 * n), nq..=nq);
+        (data, queries, candidates)
+    })
+}
+
+fn reference(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(q, cands)| {
+            let mut unique = cands.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            let mut hits: Vec<Neighbor> = unique
+                .into_iter()
+                .map(|id| Neighbor {
+                    id: id as usize,
+                    dist: SquaredL2.distance(queries.row(q), data.row(id as usize)),
+                })
+                .collect();
+            hits.sort_unstable();
+            hits.truncate(k);
+            hits
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_engines_match_reference((rows, qrows, candidates) in scenario(), k in 1usize..12) {
+        let data = Dataset::from_rows(&rows);
+        let queries = Dataset::from_rows(&qrows);
+        let want = reference(&data, &queries, &candidates, k);
+        let serial = shortlist_serial(&data, &queries, &candidates, k, &SquaredL2);
+        prop_assert_eq!(&serial, &want);
+        let per_query = shortlist_per_query(&data, &queries, &candidates, k, &SquaredL2, 3);
+        prop_assert_eq!(&per_query, &want);
+        let select = shortlist_select(&data, &queries, &candidates, k, &SquaredL2);
+        prop_assert_eq!(&select, &want);
+        for capacity in [k + 1, 64, 1024] {
+            let wq = shortlist_workqueue(&data, &queries, &candidates, k, &SquaredL2, 2, capacity);
+            prop_assert_eq!(&wq, &want, "capacity {}", capacity);
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_invariants(xs in prop::collection::vec(0usize..1000, 0..50)) {
+        let (scan, total) = exclusive_scan(&xs);
+        prop_assert_eq!(scan.len(), xs.len());
+        prop_assert_eq!(total, xs.iter().sum::<usize>());
+        for i in 0..xs.len() {
+            let expect: usize = xs[..i].iter().sum();
+            prop_assert_eq!(scan[i], expect);
+        }
+    }
+
+    #[test]
+    fn compact_equals_filter(xs in prop::collection::vec(any::<i32>(), 0..100)) {
+        let got = compact(&xs, |x| x % 3 == 0);
+        let want: Vec<i32> = xs.iter().copied().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clustered_sort_is_a_sorted_permutation(
+        entries in prop::collection::vec((0u32..8, 0u32..100, 0u32..1000), 0..2000),
+        threads in 1usize..5,
+    ) {
+        let mut v: Vec<shortlist::primitives::QueueEntry> = entries
+            .iter()
+            .map(|&(query, id, d)| shortlist::primitives::QueueEntry {
+                query,
+                id,
+                dist: d as f32 / 7.0,
+            })
+            .collect();
+        let mut expected = v.clone();
+        clustered_sort(&mut v, threads);
+        // Sorted by (query, dist, id)…
+        for w in v.windows(2) {
+            let a = (w[0].query, w[0].dist, w[0].id);
+            let b = (w[1].query, w[1].dist, w[1].id);
+            prop_assert!(a <= b, "order violated: {a:?} > {b:?}");
+        }
+        // …and a permutation of the input.
+        clustered_sort(&mut expected, 1);
+        prop_assert_eq!(v, expected);
+    }
+}

@@ -1,0 +1,207 @@
+//! Contiguous row-major storage for fixed-dimension `f32` vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense collection of `D`-dimensional `f32` vectors stored row-major in a
+/// single contiguous allocation.
+///
+/// Row-major flat storage keeps sequential scans (the short-list search hot
+/// loop) cache friendly and lets every consumer borrow rows as `&[f32]`
+/// without per-row allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dataset dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty dataset with capacity reserved for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dataset dimension must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Builds a dataset from an iterator of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows disagree on length or the input is empty.
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Self {
+        assert!(!rows.is_empty(), "cannot infer dimension from empty input");
+        let dim = rows[0].as_ref().len();
+        let mut ds = Self::with_capacity(dim, rows.len());
+        for r in rows {
+            ds.push(r.as_ref());
+        }
+        ds
+    }
+
+    /// Wraps an existing flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dataset dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer length must be a multiple of dim");
+        Self { dim, data }
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row dimension mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Vector dimensionality `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the dataset holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Mutably borrows row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterates over rows in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Copies the rows selected by `ids` (in order) into a new dataset.
+    ///
+    /// Used to materialize RP-tree leaf clusters.
+    pub fn gather(&self, ids: &[usize]) -> Self {
+        let mut out = Self::with_capacity(self.dim, ids.len());
+        for &i in ids {
+            out.push(self.row(i));
+        }
+        out
+    }
+
+    /// Splits the dataset into a `(head, tail)` pair at row `n`.
+    ///
+    /// Handy for carving a query set off the end of a generated corpus.
+    pub fn split_at(&self, n: usize) -> (Self, Self) {
+        assert!(n <= self.len(), "split index out of range");
+        let at = n * self.dim;
+        (
+            Self { dim: self.dim, data: self.data[..at].to_vec() },
+            Self { dim: self.dim, data: self.data[at..].to_vec() },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access_roundtrip() {
+        let mut ds = Dataset::new(3);
+        ds.push(&[1.0, 2.0, 3.0]);
+        ds.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 3);
+        assert_eq!(ds.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_rows_infers_dim() {
+        let ds = Dataset::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimension mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut ds = Dataset::new(2);
+        ds.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn from_flat_bad_length_panics() {
+        let _ = Dataset::from_flat(3, vec![1.0; 7]);
+    }
+
+    #[test]
+    fn gather_selects_rows_in_order() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let g = ds.gather(&[3, 1]);
+        assert_eq!(g.row(0), &[3.0]);
+        assert_eq!(g.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn split_at_partitions_rows() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let (a, b) = ds.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[2.0]);
+    }
+
+    #[test]
+    fn iter_matches_rows() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let rows: Vec<&[f32]> = ds.iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], ds.row(1));
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut ds = Dataset::from_rows(&[vec![1.0, 2.0]]);
+        ds.row_mut(0)[1] = 9.0;
+        assert_eq!(ds.row(0), &[1.0, 9.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Exact (brute-force) k-nearest-neighbor search.
+//!
+//! This is the `O(n)`-per-query linear scan the paper uses as ground truth
+//! (the `N(v)` of Equations 3 and 4). A threaded batch variant spreads
+//! queries over worker threads for the large ground-truth computations the
+//! benchmark harnesses need.
+
+use crate::dataset::Dataset;
+use crate::metric::Metric;
+use crate::topk::TopK;
+use std::cmp::Ordering;
+
+/// One search result: a dataset row id and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the searched dataset.
+    pub id: usize,
+    /// Distance under the metric the search ran with.
+    pub dist: f32,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    /// Orders by distance descending is NOT what we want globally; `Neighbor`
+    /// implements max-heap-friendly ordering: larger distance compares
+    /// greater, ties broken by larger id, so a `BinaryHeap<Neighbor>` keeps
+    /// the *worst* candidate at the root. Distances are never NaN by
+    /// construction (metrics return finite values on finite input).
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact k-nearest neighbors of `query` in `data`, sorted by ascending
+/// distance (ties by ascending id). Returns fewer than `k` results only when
+/// the dataset is smaller than `k`.
+pub fn knn(data: &Dataset, query: &[f32], k: usize, metric: &dyn Metric) -> Vec<Neighbor> {
+    assert_eq!(query.len(), data.dim(), "query dimension mismatch");
+    let mut top = TopK::new(k);
+    for (id, row) in data.iter().enumerate() {
+        top.push(id, metric.distance(query, row));
+    }
+    top.into_sorted()
+}
+
+/// Exact KNN for every row of `queries`, computed on `threads` worker
+/// threads. Results are in query order.
+///
+/// With `threads == 1` this degenerates to a serial loop (no spawn overhead
+/// paths differ only in scheduling, not arithmetic).
+pub fn knn_batch(
+    data: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    metric: &dyn Metric,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.dim(), data.dim(), "query dimension mismatch");
+    let nq = queries.len();
+    if threads <= 1 || nq < 2 {
+        return queries.iter().map(|q| knn(data, q, k, metric)).collect();
+    }
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (tid, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = tid * chunk;
+            s.spawn(move |_| {
+                for (j, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = knn(data, queries.row(start + j), k, metric);
+                }
+            });
+        }
+    })
+    .expect("ground-truth worker panicked");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::SquaredL2;
+
+    fn grid() -> Dataset {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        Dataset::from_rows(&(0..10).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn knn_finds_nearest_on_line() {
+        let ds = grid();
+        let hits = knn(&ds, &[3.4, 0.0], 3, &SquaredL2);
+        assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn knn_results_sorted_ascending() {
+        let ds = grid();
+        let hits = knn(&ds, &[7.0, 3.0], 5, &SquaredL2);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_dataset() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]);
+        let hits = knn(&ds, &[0.0], 5, &SquaredL2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let ds = grid();
+        let queries = Dataset::from_rows(&[vec![1.2, 0.0], vec![8.7, 0.0], vec![4.5, 1.0]]);
+        let serial = knn_batch(&ds, &queries, 4, &SquaredL2, 1);
+        let parallel = knn_batch(&ds, &queries, 4, &SquaredL2, 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0][0].id, 1);
+        assert_eq!(serial[1][0].id, 9);
+    }
+
+    #[test]
+    fn neighbor_ordering_is_max_heap_friendly() {
+        let a = Neighbor { id: 0, dist: 1.0 };
+        let b = Neighbor { id: 1, dist: 2.0 };
+        assert!(b > a);
+        let c = Neighbor { id: 2, dist: 1.0 };
+        assert!(c > a); // tie on distance falls back to id
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn knn_dim_mismatch_panics() {
+        let ds = grid();
+        let _ = knn(&ds, &[1.0], 1, &SquaredL2);
+    }
+}

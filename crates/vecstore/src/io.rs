@@ -1,0 +1,185 @@
+//! Binary vector-file I/O in the `fvecs`/`ivecs` formats.
+//!
+//! These are the de-facto interchange formats for ANN benchmark corpora
+//! (TEXMEX, GIST descriptors): each record is a little-endian `u32`
+//! dimension followed by `dim` values (`f32` for fvecs, `i32` for ivecs).
+//! Supporting them means real GIST files can be dropped into the harness in
+//! place of the synthetic substitute.
+
+use crate::dataset::Dataset;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an entire `.fvecs` file into a [`Dataset`].
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, inconsistent per-record dimensions, or a
+/// truncated record.
+pub fn read_fvecs(path: &Path) -> io::Result<Dataset> {
+    let mut reader = BufReader::new(File::open(path)?);
+    read_fvecs_from(&mut reader)
+}
+
+/// Reads `.fvecs` records from an arbitrary reader until EOF.
+pub fn read_fvecs_from<R: Read>(reader: &mut R) -> io::Result<Dataset> {
+    let mut dim: Option<usize> = None;
+    let mut flat: Vec<f32> = Vec::new();
+    let mut head = [0u8; 4];
+    loop {
+        if !read_exact_or_eof(reader, &mut head)? {
+            break;
+        }
+        let d = u32::from_le_bytes(head) as usize;
+        if d == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-dimension record"));
+        }
+        match dim {
+            None => dim = Some(d),
+            Some(expected) if expected != d => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("inconsistent dimensions: {expected} vs {d}"),
+                ));
+            }
+            Some(_) => {}
+        }
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf)?;
+        flat.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+    }
+    let dim = dim.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty fvecs file"))?;
+    Ok(Dataset::from_flat(dim, flat))
+}
+
+/// Writes a [`Dataset`] as `.fvecs`.
+pub fn write_fvecs(path: &Path, data: &Dataset) -> io::Result<()> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    write_fvecs_to(&mut writer, data)
+}
+
+/// Writes `.fvecs` records to an arbitrary writer.
+pub fn write_fvecs_to<W: Write>(writer: &mut W, data: &Dataset) -> io::Result<()> {
+    let dim_le = (data.dim() as u32).to_le_bytes();
+    for row in data.iter() {
+        writer.write_all(&dim_le)?;
+        for v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Reads an `.ivecs` file (e.g. precomputed ground-truth neighbor ids).
+pub fn read_ivecs(path: &Path) -> io::Result<Vec<Vec<i32>>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    read_ivecs_from(&mut reader)
+}
+
+/// Reads `.ivecs` records from an arbitrary reader until EOF.
+pub fn read_ivecs_from<R: Read>(reader: &mut R) -> io::Result<Vec<Vec<i32>>> {
+    let mut out = Vec::new();
+    let mut head = [0u8; 4];
+    while read_exact_or_eof(reader, &mut head)? {
+        let d = u32::from_le_bytes(head) as usize;
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf)?;
+        out.push(
+            buf.chunks_exact(4).map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Writes `.ivecs` records (each row may have its own length).
+pub fn write_ivecs_to<W: Write>(writer: &mut W, rows: &[Vec<i32>]) -> io::Result<()> {
+    for row in rows {
+        writer.write_all(&(row.len() as u32).to_le_bytes())?;
+        for v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Reads exactly `buf.len()` bytes, or returns `Ok(false)` on clean EOF at a
+/// record boundary. EOF mid-record is an error.
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(false)
+            } else {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated record"))
+            };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip_in_memory() {
+        let ds = Dataset::from_rows(&[vec![1.0, -2.5, 3.25], vec![0.0, 7.0, -0.125]]);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &ds).unwrap();
+        let back = read_fvecs_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn ivecs_roundtrip_in_memory() {
+        let rows = vec![vec![1, 2, 3], vec![-4, 5]];
+        let mut buf = Vec::new();
+        write_ivecs_to(&mut buf, &rows).unwrap();
+        let back = read_ivecs_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn empty_fvecs_is_invalid() {
+        let err = read_fvecs_from(&mut [].as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0]]);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &ds).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_fvecs_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let mut buf = Vec::new();
+        buf.extend(1u32.to_le_bytes());
+        buf.extend(1.0f32.to_le_bytes());
+        buf.extend(2u32.to_le_bytes());
+        buf.extend(1.0f32.to_le_bytes());
+        buf.extend(2.0f32.to_le_bytes());
+        let err = read_fvecs_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fvecs_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("vecstore_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fvecs");
+        let ds = Dataset::from_rows(&[vec![9.0, 8.0], vec![7.0, 6.0]]);
+        write_fvecs(&path, &ds).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, ds);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Flat `f32` vector datasets, distance metrics, exact k-nearest-neighbor
+//! search, and synthetic high-dimensional feature generators.
+//!
+//! This crate is the data substrate for the Bi-level LSH reproduction: every
+//! other crate consumes [`Dataset`] views and the [`Metric`] implementations
+//! defined here. The exact search in [`exact`] doubles as the ground-truth
+//! oracle against which all approximate indexes are scored.
+//!
+//! # Example
+//!
+//! ```
+//! use vecstore::{Dataset, SquaredL2, exact::knn};
+//!
+//! let data = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![5.0, 5.0]]);
+//! let hits = knn(&data, &[0.9, 0.1], 2, &SquaredL2);
+//! assert_eq!(hits[0].id, 1);
+//! assert_eq!(hits[1].id, 0);
+//! ```
+
+pub mod dataset;
+pub mod exact;
+pub mod io;
+pub mod metric;
+pub mod ooc;
+pub mod preprocess;
+pub mod stats;
+pub mod synth;
+pub mod topk;
+
+pub use dataset::Dataset;
+pub use exact::{knn, knn_batch, Neighbor};
+pub use metric::{Cosine, InnerProduct, Metric, SquaredL2, L1, L2};
+pub use topk::TopK;

@@ -1,0 +1,205 @@
+//! Distance metrics over `f32` slices.
+//!
+//! All LSH theory in the reproduced paper is stated for `l_p` spaces; the
+//! experiments use Euclidean distance. [`SquaredL2`] is the workhorse: it
+//! induces the same ranking as [`L2`] without the square root, so every
+//! internal top-k structure uses it and only user-facing results take roots.
+
+/// A distance function between two equal-length vectors.
+///
+/// Implementations must be non-negative and symmetric; they need not satisfy
+/// the triangle inequality (e.g. [`SquaredL2`], [`InnerProduct`]).
+pub trait Metric: Sync + Send {
+    /// Distance between `a` and `b`.
+    ///
+    /// Callers guarantee `a.len() == b.len()`.
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Short stable name used in benchmark reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean (`l_2`) distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L2;
+
+/// Squared Euclidean distance — same ordering as [`L2`], cheaper to compute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SquaredL2;
+
+/// Manhattan (`l_1`) distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L1;
+
+/// Cosine distance, `1 - cos(a, b)`. Zero vectors are at distance 1 from
+/// everything (their angle is undefined; this choice keeps the metric total).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cosine;
+
+/// Negative inner product, `-(a · b)`. Not a metric in the mathematical sense
+/// but a common similarity-search objective; smaller is more similar.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InnerProduct;
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Chunked accumulation gives the autovectorizer independent lanes.
+    let mut acc = [0.0f32; 4];
+    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
+    for (ca, cb) in &mut chunks {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let rem = a.len() - a.len() % 4;
+    let mut tail = 0.0;
+    for i in rem..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
+    for (ca, cb) in &mut chunks {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let rem = a.len() - a.len() % 4;
+    let mut tail = 0.0;
+    for i in rem..a.len() {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+impl Metric for L2 {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        squared_l2(a, b).sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "l2"
+    }
+}
+
+impl Metric for SquaredL2 {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        squared_l2(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "sql2"
+    }
+}
+
+impl Metric for L1 {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+    fn name(&self) -> &'static str {
+        "l1"
+    }
+}
+
+impl Metric for Cosine {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        let na = norm(a);
+        let nb = norm(b);
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        1.0 - dot(a, b) / (na * nb)
+    }
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+impl Metric for InnerProduct {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        -dot(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "ip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(L2.distance(&a, &b), 5.0);
+        assert_eq!(SquaredL2.distance(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn l1_matches_hand_computation() {
+        assert_eq!(L1.distance(&[1.0, -2.0], &[-1.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let d = Cosine.distance(&[1.0, 0.0], &[0.0, 2.0]);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_parallel_is_zero() {
+        let d = Cosine.distance(&[1.0, 2.0], &[2.0, 4.0]);
+        assert!(d.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_one() {
+        assert_eq!(Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn inner_product_negates_dot() {
+        assert_eq!(InnerProduct.distance(&[1.0, 2.0], &[3.0, 4.0]), -11.0);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four_lengths() {
+        for len in 1..10usize {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let naive: f32 = a.iter().map(|x| x * x).sum();
+            assert_eq!(dot(&a, &a), naive, "len={len}");
+        }
+    }
+
+    #[test]
+    fn squared_l2_symmetry() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(squared_l2(&a, &b), squared_l2(&b, &a));
+    }
+}

@@ -1,0 +1,274 @@
+//! Out-of-core datasets: vectors that live on disk in `.fvecs` format and
+//! are read on demand.
+//!
+//! The paper's future work calls for "efficient out-of-core algorithms to
+//! handle very large datasets (e.g. > 100GB)". The enabler is a dataset
+//! whose rows are fetched by offset instead of held in memory:
+//! [`OocDataset`] wraps an `.fvecs` file with fixed-size records, giving
+//! `O(1)` positioned reads (`pread`), sequential chunk streaming for index
+//! construction, and strided sampling for fitting partitioners and tuning
+//! parameters in memory.
+
+use crate::dataset::Dataset;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// A read-only, disk-resident `.fvecs` dataset with uniform dimension.
+///
+/// Positioned reads (`read_row_into`) are thread-safe: the file handle is
+/// never seeked, all access goes through `pread`-style offsets.
+#[derive(Debug)]
+pub struct OocDataset {
+    file: File,
+    dim: usize,
+    len: usize,
+}
+
+/// Bytes per record: 4-byte dimension header plus `dim` little-endian f32s.
+#[inline]
+fn record_bytes(dim: usize) -> u64 {
+    4 + 4 * dim as u64
+}
+
+impl OocDataset {
+    /// Opens an `.fvecs` file for out-of-core access.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file is empty, its size is not a whole number of
+    /// records, or spot-checked record headers disagree on the dimension.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let total = file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut head = [0u8; 4];
+        file.read_exact(&mut head)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "empty fvecs file"))?;
+        let dim = u32::from_le_bytes(head) as usize;
+        if dim == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-dimension record"));
+        }
+        let rec = record_bytes(dim);
+        if total % rec != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file size {total} is not a multiple of the record size {rec}"),
+            ));
+        }
+        let len = (total / rec) as usize;
+        let ds = Self { file, dim, len };
+        // Spot-check a few headers across the file (cheap O(1) validation
+        // instead of a full scan — the full scan is what we're avoiding).
+        for probe in [0, len / 2, len.saturating_sub(1)] {
+            if probe < len {
+                let mut h = [0u8; 4];
+                ds.file.read_exact_at(&mut h, probe as u64 * rec)?;
+                let d = u32::from_le_bytes(h) as usize;
+                if d != dim {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("record {probe} has dimension {d}, expected {dim}"),
+                    ));
+                }
+            }
+        }
+        Ok(ds)
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors in the file.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file holds no vectors (never true after `open`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads row `i` into `buf` with one positioned read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or `buf.len() != dim`.
+    pub fn read_row_into(&self, i: usize, buf: &mut [f32]) -> io::Result<()> {
+        assert!(i < self.len, "row index out of range");
+        assert_eq!(buf.len(), self.dim, "buffer dimension mismatch");
+        let mut bytes = vec![0u8; 4 * self.dim];
+        let offset = i as u64 * record_bytes(self.dim) + 4;
+        self.file.read_exact_at(&mut bytes, offset)?;
+        for (v, c) in buf.iter_mut().zip(bytes.chunks_exact(4)) {
+            *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        Ok(())
+    }
+
+    /// Reads a contiguous block `[start, start + rows)` into an in-memory
+    /// [`Dataset`] with one positioned read.
+    pub fn read_block(&self, start: usize, rows: usize) -> io::Result<Dataset> {
+        assert!(start + rows <= self.len, "block out of range");
+        let rec = record_bytes(self.dim) as usize;
+        let mut bytes = vec![0u8; rec * rows];
+        self.file.read_exact_at(&mut bytes, start as u64 * rec as u64)?;
+        let mut flat = Vec::with_capacity(rows * self.dim);
+        for r in bytes.chunks_exact(rec) {
+            let d = u32::from_le_bytes([r[0], r[1], r[2], r[3]]) as usize;
+            if d != self.dim {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("record in block has dimension {d}, expected {}", self.dim),
+                ));
+            }
+            flat.extend(
+                r[4..].chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            );
+        }
+        Ok(Dataset::from_flat(self.dim, flat))
+    }
+
+    /// Iterates the file as in-memory chunks of at most `rows` vectors —
+    /// the streaming pattern out-of-core index construction uses.
+    pub fn chunks(&self, rows: usize) -> Chunks<'_> {
+        assert!(rows > 0, "chunk size must be positive");
+        Chunks { ds: self, next: 0, rows }
+    }
+
+    /// Strided deterministic sample of up to `n` rows, materialized in
+    /// memory. Used to fit partitioners and tune widths without loading the
+    /// full file.
+    pub fn sample(&self, n: usize) -> io::Result<Dataset> {
+        let n = n.clamp(1, self.len);
+        let stride = (self.len / n).max(1);
+        let mut out = Dataset::with_capacity(self.dim, n);
+        let mut buf = vec![0.0f32; self.dim];
+        let mut taken = 0;
+        let mut i = 0;
+        while taken < n && i < self.len {
+            self.read_row_into(i, &mut buf)?;
+            out.push(&buf);
+            taken += 1;
+            i += stride;
+        }
+        Ok(out)
+    }
+}
+
+/// Iterator over sequential in-memory chunks of an [`OocDataset`].
+pub struct Chunks<'a> {
+    ds: &'a OocDataset,
+    next: usize,
+    rows: usize,
+}
+
+impl Iterator for Chunks<'_> {
+    /// `(start_row, chunk)` — the start offset names the global row ids.
+    type Item = io::Result<(usize, Dataset)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.ds.len() {
+            return None;
+        }
+        let start = self.next;
+        let rows = self.rows.min(self.ds.len() - start);
+        self.next += rows;
+        Some(self.ds.read_block(start, rows).map(|d| (start, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_fvecs;
+    use crate::synth;
+
+    fn write_temp(ds: &Dataset, name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vecstore_ooc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        write_fvecs(&path, ds).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_reports_shape() {
+        let ds = synth::gaussian(8, 57, 1.0, 1);
+        let path = write_temp(&ds, "shape.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        assert_eq!(ooc.dim(), 8);
+        assert_eq!(ooc.len(), 57);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn random_access_matches_memory() {
+        let ds = synth::gaussian(6, 40, 2.0, 3);
+        let path = write_temp(&ds, "rows.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut buf = vec![0.0f32; 6];
+        for i in [0usize, 7, 19, 39] {
+            ooc.read_row_into(i, &mut buf).unwrap();
+            assert_eq!(&buf[..], ds.row(i), "row {i}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunks_reassemble_the_whole_file() {
+        let ds = synth::gaussian(4, 33, 1.0, 5);
+        let path = write_temp(&ds, "chunks.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut rebuilt = Dataset::new(4);
+        let mut starts = Vec::new();
+        for chunk in ooc.chunks(10) {
+            let (start, block) = chunk.unwrap();
+            starts.push(start);
+            for row in block.iter() {
+                rebuilt.push(row);
+            }
+        }
+        assert_eq!(starts, vec![0, 10, 20, 30]);
+        assert_eq!(rebuilt, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sample_is_strided_subset() {
+        let ds = synth::gaussian(3, 100, 1.0, 7);
+        let path = write_temp(&ds, "sample.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        let s = ooc.sample(10).unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.row(0), ds.row(0));
+        assert_eq!(s.row(1), ds.row(10));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let ds = synth::gaussian(5, 10, 1.0, 9);
+        let path = write_temp(&ds, "trunc.fvecs");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(OocDataset::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row index out of range")]
+    fn out_of_range_read_panics() {
+        let ds = synth::gaussian(2, 5, 1.0, 11);
+        let path = write_temp(&ds, "oob.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut buf = vec![0.0f32; 2];
+        let _ = ooc.read_row_into(5, &mut buf);
+    }
+}

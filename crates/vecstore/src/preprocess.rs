@@ -1,0 +1,173 @@
+//! Dataset preprocessing: the conditioning steps real descriptor pipelines
+//! apply before indexing (GIST vectors are conventionally L2-normalized;
+//! centering stabilizes projection-based methods on datasets with a large
+//! common offset).
+
+use crate::dataset::Dataset;
+use crate::metric::norm;
+
+/// L2-normalizes every row in place; zero rows are left untouched.
+pub fn l2_normalize(data: &mut Dataset) {
+    for i in 0..data.len() {
+        let row = data.row_mut(i);
+        let n = norm(row);
+        if n > 0.0 {
+            for v in row {
+                *v /= n;
+            }
+        }
+    }
+}
+
+/// Subtracts the dataset centroid from every row in place; returns the
+/// centroid so queries can be shifted identically.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn center(data: &mut Dataset) -> Vec<f32> {
+    let mean = crate::stats::centroid(data);
+    for i in 0..data.len() {
+        for (v, &m) in data.row_mut(i).iter_mut().zip(&mean) {
+            *v -= m;
+        }
+    }
+    mean
+}
+
+/// Applies a previously computed centering shift to one vector in place
+/// (use on queries after [`center`]ing the corpus).
+pub fn apply_center(v: &mut [f32], mean: &[f32]) {
+    assert_eq!(v.len(), mean.len(), "dimension mismatch");
+    for (x, &m) in v.iter_mut().zip(mean) {
+        *x -= m;
+    }
+}
+
+/// Per-axis standardization to zero mean and unit variance (axes with zero
+/// variance are only centered). Returns `(mean, std)` for applying the same
+/// transform to queries.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn standardize(data: &mut Dataset) -> (Vec<f32>, Vec<f32>) {
+    let mean = crate::stats::centroid(data);
+    let dim = data.dim();
+    let mut var = vec![0.0f64; dim];
+    for row in data.iter() {
+        for (s, (&v, &m)) in var.iter_mut().zip(row.iter().zip(&mean)) {
+            let d = (v - m) as f64;
+            *s += d * d;
+        }
+    }
+    let n = data.len() as f64;
+    let std: Vec<f32> = var.into_iter().map(|s| ((s / n).sqrt()) as f32).collect();
+    for i in 0..data.len() {
+        for ((v, &m), &s) in data.row_mut(i).iter_mut().zip(&mean).zip(&std) {
+            *v -= m;
+            if s > 0.0 {
+                *v /= s;
+            }
+        }
+    }
+    (mean, std)
+}
+
+/// Applies a previously computed standardization to one vector in place.
+pub fn apply_standardize(v: &mut [f32], mean: &[f32], std: &[f32]) {
+    assert_eq!(v.len(), mean.len(), "dimension mismatch");
+    for ((x, &m), &s) in v.iter_mut().zip(mean).zip(std) {
+        *x -= m;
+        if s > 0.0 {
+            *x /= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn normalize_gives_unit_rows() {
+        let mut ds = synth::gaussian(8, 50, 3.0, 1);
+        l2_normalize(&mut ds);
+        for row in ds.iter() {
+            assert!((norm(row) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn normalize_skips_zero_rows() {
+        let mut ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        l2_normalize(&mut ds);
+        assert_eq!(ds.row(0), &[0.0, 0.0]);
+        assert_eq!(ds.row(1), &[0.6, 0.8]);
+    }
+
+    #[test]
+    fn center_zeroes_the_mean_and_shifts_queries_consistently() {
+        let mut ds = synth::gaussian(4, 200, 1.0, 2);
+        // Add a large offset.
+        for i in 0..ds.len() {
+            for v in ds.row_mut(i) {
+                *v += 100.0;
+            }
+        }
+        let original_first = ds.row(0).to_vec();
+        let mean = center(&mut ds);
+        let centroid = crate::stats::centroid(&ds);
+        assert!(centroid.iter().all(|&m| m.abs() < 1e-3), "{centroid:?}");
+        // A query shifted with the returned mean matches the shifted row.
+        let mut q = original_first;
+        apply_center(&mut q, &mean);
+        assert_eq!(&q[..], ds.row(0));
+    }
+
+    #[test]
+    fn standardize_unit_variance() {
+        let mut ds = synth::gaussian(3, 5_000, 7.0, 3);
+        let (_, std) = standardize(&mut ds);
+        assert!(std.iter().all(|&s| s > 0.0));
+        // Re-measure: each axis variance ≈ 1.
+        let mean = crate::stats::centroid(&ds);
+        let mut var = vec![0.0f64; 3];
+        for row in ds.iter() {
+            for (s, (&v, &m)) in var.iter_mut().zip(row.iter().zip(&mean)) {
+                let d = (v - m) as f64;
+                *s += d * d;
+            }
+        }
+        for s in var {
+            let v = s / ds.len() as f64;
+            assert!((v - 1.0).abs() < 0.05, "axis variance {v}");
+        }
+    }
+
+    #[test]
+    fn standardize_constant_axis_centered_not_scaled() {
+        let mut ds = Dataset::from_rows(&[vec![5.0, 1.0], vec![5.0, 3.0]]);
+        let (mean, std) = standardize(&mut ds);
+        assert_eq!(mean[0], 5.0);
+        assert_eq!(std[0], 0.0);
+        assert_eq!(ds.row(0)[0], 0.0);
+        assert_eq!(ds.row(1)[0], 0.0);
+        // The varying axis is standardized.
+        assert!((ds.row(0)[1] + 1.0).abs() < 1e-5);
+        assert!((ds.row(1)[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn apply_standardize_matches_bulk() {
+        let mut ds = synth::gaussian(4, 100, 2.0, 9);
+        let raw_first = ds.row(7).to_vec();
+        let (mean, std) = standardize(&mut ds);
+        let mut q = raw_first;
+        apply_standardize(&mut q, &mean, &std);
+        for (a, b) in q.iter().zip(ds.row(7)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

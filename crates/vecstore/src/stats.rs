@@ -1,0 +1,143 @@
+//! Per-dataset summary statistics used by partitioners and the parameter
+//! tuner: centroid, per-axis spread, average radius, and pairwise-distance
+//! sampling.
+
+use crate::dataset::Dataset;
+use crate::metric::squared_l2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Centroid (component-wise mean) of a dataset.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn centroid(data: &Dataset) -> Vec<f32> {
+    assert!(!data.is_empty(), "centroid of empty dataset");
+    let mut mean = vec![0.0f64; data.dim()];
+    for row in data.iter() {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v as f64;
+        }
+    }
+    let n = data.len() as f64;
+    mean.into_iter().map(|m| (m / n) as f32).collect()
+}
+
+/// Centroid of a subset of rows.
+pub fn centroid_of(data: &Dataset, ids: &[usize]) -> Vec<f32> {
+    assert!(!ids.is_empty(), "centroid of empty subset");
+    let mut mean = vec![0.0f64; data.dim()];
+    for &i in ids {
+        for (m, &v) in mean.iter_mut().zip(data.row(i)) {
+            *m += v as f64;
+        }
+    }
+    let n = ids.len() as f64;
+    mean.into_iter().map(|m| (m / n) as f32).collect()
+}
+
+/// Mean squared distance of the rows `ids` to their centroid — the "average
+/// diameter" quantity `Δ_A²(S)` used by the RP-tree *mean* rule (up to the
+/// conventional factor of 2: `Δ_A²(S) = 2 · mean squared distance to mean`).
+pub fn mean_sq_dist_to_centroid(data: &Dataset, ids: &[usize]) -> f32 {
+    let c = centroid_of(data, ids);
+    let sum: f64 = ids.iter().map(|&i| squared_l2(data.row(i), &c) as f64).sum();
+    (sum / ids.len() as f64) as f32
+}
+
+/// Per-axis min/max bounding box.
+pub fn bounding_box(data: &Dataset) -> (Vec<f32>, Vec<f32>) {
+    assert!(!data.is_empty(), "bounding box of empty dataset");
+    let mut lo = data.row(0).to_vec();
+    let mut hi = data.row(0).to_vec();
+    for row in data.iter().skip(1) {
+        for ((l, h), &v) in lo.iter_mut().zip(hi.iter_mut()).zip(row) {
+            if v < *l {
+                *l = v;
+            }
+            if v > *h {
+                *h = v;
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// Samples `pairs` random point pairs and returns their L2 distances.
+/// Used by the LSH parameter tuner to estimate the distance distribution.
+pub fn sample_pairwise_distances(data: &Dataset, pairs: usize, seed: u64) -> Vec<f32> {
+    assert!(data.len() >= 2, "need at least two points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..pairs)
+        .map(|_| {
+            let i = rng.gen_range(0..data.len());
+            let mut j = rng.gen_range(0..data.len());
+            while j == i {
+                j = rng.gen_range(0..data.len());
+            }
+            squared_l2(data.row(i), data.row(j)).sqrt()
+        })
+        .collect()
+}
+
+/// Exact diameter by the `O(n^2)` scan. Only for tests and tiny sets; the
+/// production path is `rptree::diameter::approx_diameter`.
+pub fn exact_diameter(data: &Dataset, ids: &[usize]) -> f32 {
+    let mut best = 0.0f32;
+    for (a, &i) in ids.iter().enumerate() {
+        for &j in &ids[a + 1..] {
+            best = best.max(squared_l2(data.row(i), data.row(j)));
+        }
+    }
+    best.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Dataset {
+        Dataset::from_rows(&[vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]])
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        assert_eq!(centroid(&square()), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn centroid_of_subset() {
+        let c = centroid_of(&square(), &[0, 1]);
+        assert_eq!(c, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_sq_dist_on_square() {
+        let ids: Vec<usize> = (0..4).collect();
+        // Every corner is at squared distance 2 from the center.
+        assert!((mean_sq_dist_to_centroid(&square(), &ids) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_on_square() {
+        let (lo, hi) = bounding_box(&square());
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn exact_diameter_of_square_is_diagonal() {
+        let ids: Vec<usize> = (0..4).collect();
+        assert!((exact_diameter(&square(), &ids) - (8.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pairwise_samples_positive_and_bounded() {
+        let ds = square();
+        let d = sample_pairwise_distances(&ds, 100, 5);
+        assert_eq!(d.len(), 100);
+        let diag = (8.0f32).sqrt();
+        assert!(d.iter().all(|&x| x > 0.0 && x <= diag + 1e-6));
+    }
+}

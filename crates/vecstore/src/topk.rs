@@ -1,0 +1,173 @@
+//! Bounded top-k accumulators.
+//!
+//! The paper's short-list search keeps the k best candidates seen so far in a
+//! size-k max-heap (Section V-B). [`TopK`] is that structure; it is also used
+//! by the exact brute-force oracle. [`select_k_smallest`] is the
+//! quickselect-based `O(n + k)` alternative referenced via Knuth in
+//! Section II-A, used by the batched work-queue engine.
+
+use crate::exact::Neighbor;
+use std::collections::BinaryHeap;
+
+/// A max-heap holding the `k` smallest-distance [`Neighbor`]s pushed so far.
+///
+/// Pushing is `O(log k)`; the heap root is the current worst kept candidate,
+/// so a new candidate farther than the root is rejected in `O(1)`.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Creates an accumulator for the `k` nearest candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate; keeps it only if it is among the best `k` so far.
+    #[inline]
+    pub fn push(&mut self, id: usize, dist: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor { id, dist });
+        } else if let Some(worst) = self.heap.peek() {
+            // Strict ordering including the id tiebreak keeps results
+            // deterministic regardless of candidate arrival order.
+            if (Neighbor { id, dist }) < *worst {
+                let mut root = self.heap.peek_mut().expect("non-empty");
+                *root = Neighbor { id, dist };
+            }
+        }
+    }
+
+    /// The current worst kept distance, or `f32::INFINITY` while fewer than
+    /// `k` candidates have been kept.
+    ///
+    /// Useful as a pruning bound: candidates at or beyond this distance
+    /// cannot enter the result.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.dist)
+        }
+    }
+
+    /// Number of candidates currently kept (`<= k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate has been kept yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the accumulator, returning kept neighbors sorted by ascending
+    /// distance (ties broken by ascending id, per [`Neighbor`]'s ordering).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Returns the `k` smallest elements of `items` sorted ascending, using
+/// quickselect for an expected `O(n + k log k)` cost.
+///
+/// If `items.len() <= k` the whole input is returned sorted.
+pub fn select_k_smallest(mut items: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    if items.len() > k {
+        // select_nth_unstable partitions so that elements [0, k) are the k
+        // smallest (in arbitrary order) — expected linear time.
+        items.select_nth_unstable_by(k, |a, b| a.cmp(b));
+        items.truncate(k);
+    }
+    items.sort_unstable();
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize, dist: f32) -> Neighbor {
+        Neighbor { id, dist }
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(2);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 0.5)] {
+            t.push(id, d);
+        }
+        let out = t.into_sorted();
+        assert_eq!(out, vec![n(3, 0.5), n(1, 1.0)]);
+    }
+
+    #[test]
+    fn threshold_is_infinite_until_full() {
+        let mut t = TopK::new(3);
+        t.push(0, 1.0);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(1, 2.0);
+        t.push(2, 3.0);
+        assert_eq!(t.threshold(), 3.0);
+        t.push(3, 0.1);
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn rejects_worse_than_threshold() {
+        let mut t = TopK::new(1);
+        t.push(0, 1.0);
+        t.push(1, 2.0);
+        let out = t.into_sorted();
+        assert_eq!(out, vec![n(0, 1.0)]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut t = TopK::new(10);
+        t.push(7, 2.0);
+        t.push(3, 1.0);
+        let out = t.into_sorted();
+        assert_eq!(out, vec![n(3, 1.0), n(7, 2.0)]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut t = TopK::new(2);
+        t.push(9, 1.0);
+        t.push(4, 1.0);
+        t.push(6, 1.0);
+        let out = t.into_sorted();
+        assert_eq!(out, vec![n(4, 1.0), n(6, 1.0)]);
+    }
+
+    #[test]
+    fn select_k_smallest_matches_sort() {
+        let items: Vec<Neighbor> =
+            [(0, 4.0), (1, 2.0), (2, 9.0), (3, 1.0), (4, 7.0)].map(|(i, d)| n(i, d)).to_vec();
+        let got = select_k_smallest(items.clone(), 3);
+        let mut want = items;
+        want.sort_unstable();
+        want.truncate(3);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_k_smallest_short_input() {
+        let items = vec![n(1, 2.0), n(0, 1.0)];
+        let got = select_k_smallest(items, 5);
+        assert_eq!(got, vec![n(0, 1.0), n(1, 2.0)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the data substrate: metric identities, top-k
+//! correctness against sorting, and I/O roundtrips on arbitrary inputs.
+
+use proptest::prelude::*;
+use vecstore::io::{read_fvecs_from, write_fvecs_to};
+use vecstore::metric::{dot, squared_l2};
+use vecstore::topk::select_k_smallest;
+use vecstore::{Dataset, Neighbor, SquaredL2, TopK};
+
+/// Finite, moderately sized floats keep the arithmetic comparisons exact
+/// enough to check against naive implementations.
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-1000i32..1000).prop_map(|x| x as f32 / 8.0)
+}
+
+fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1..=max_len).prop_flat_map(|len| {
+        (prop::collection::vec(small_f32(), len), prop::collection::vec(small_f32(), len))
+    })
+}
+
+proptest! {
+    #[test]
+    fn dot_matches_naive((a, b) in vec_pair(64)) {
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let got = dot(&a, &b);
+        prop_assert!((got - naive).abs() <= naive.abs() * 1e-4 + 1e-3,
+            "dot {got} vs naive {naive}");
+    }
+
+    #[test]
+    fn squared_l2_matches_naive((a, b) in vec_pair(64)) {
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let got = squared_l2(&a, &b);
+        prop_assert!((got - naive).abs() <= naive.abs() * 1e-4 + 1e-3);
+    }
+
+    #[test]
+    fn squared_l2_axioms((a, b) in vec_pair(32)) {
+        prop_assert!(squared_l2(&a, &b) >= 0.0);
+        prop_assert_eq!(squared_l2(&a, &b), squared_l2(&b, &a));
+        prop_assert_eq!(squared_l2(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn topk_equals_sorted_prefix(
+        dists in prop::collection::vec(small_f32().prop_map(|x| x.abs()), 1..200),
+        k in 1usize..20,
+    ) {
+        let mut top = TopK::new(k);
+        for (id, &d) in dists.iter().enumerate() {
+            top.push(id, d);
+        }
+        let got = top.into_sorted();
+        let mut want: Vec<Neighbor> = dists
+            .iter()
+            .enumerate()
+            .map(|(id, &dist)| Neighbor { id, dist })
+            .collect();
+        want.sort_unstable();
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_k_equals_sorted_prefix(
+        dists in prop::collection::vec(small_f32().prop_map(|x| x.abs()), 0..200),
+        k in 0usize..30,
+    ) {
+        let items: Vec<Neighbor> = dists
+            .iter()
+            .enumerate()
+            .map(|(id, &dist)| Neighbor { id, dist })
+            .collect();
+        let got = select_k_smallest(items.clone(), k.max(1));
+        let mut want = items;
+        want.sort_unstable();
+        want.truncate(k.max(1));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_is_sorted_and_unique(
+        rows in prop::collection::vec(prop::collection::vec(small_f32(), 4), 1..60),
+        k in 1usize..10,
+    ) {
+        let ds = Dataset::from_rows(&rows);
+        let hits = vecstore::knn(&ds, ds.row(0), k, &SquaredL2);
+        prop_assert!(hits.len() <= k);
+        prop_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let mut ids: Vec<usize> = hits.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len());
+        // The query is its own nearest neighbor (distance 0 to row 0).
+        prop_assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn fvecs_roundtrip(
+        rows in prop::collection::vec(prop::collection::vec(small_f32(), 3), 1..40),
+    ) {
+        let ds = Dataset::from_rows(&rows);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &ds).unwrap();
+        let back = read_fvecs_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn dataset_gather_then_rows_match(
+        rows in prop::collection::vec(prop::collection::vec(small_f32(), 2), 1..30),
+        picks in prop::collection::vec(0usize..30, 0..30),
+    ) {
+        let ds = Dataset::from_rows(&rows);
+        let valid: Vec<usize> = picks.into_iter().filter(|&i| i < ds.len()).collect();
+        let g = ds.gather(&valid);
+        prop_assert_eq!(g.len(), valid.len());
+        for (out_idx, &src) in valid.iter().enumerate() {
+            prop_assert_eq!(g.row(out_idx), ds.row(src));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Content-based image retrieval, the paper's motivating workload.
+//!
+//! Simulates a photo-library "find similar images" feature: every image is a
+//! GIST-like global descriptor; near-identical photos (re-encodes, small
+//! edits) form tight clumps inside broader scene-category clusters. The
+//! example compares the six method variants of the paper's Figures 11–12 on
+//! the same retrieval task and prints a quality/cost table.
+//!
+//! ```sh
+//! cargo run --release -p bilevel-lsh --example image_search
+//! ```
+
+use bilevel_lsh::{
+    evaluate_index, ground_truth, BiLevelConfig, BiLevelIndex, Partition, Probe, WidthMode,
+};
+use rptree::SplitRule;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+/// "Photo library": scene clusters plus per-photo jitter.
+fn photo_library(n: usize, seed: u64) -> Dataset {
+    let spec = ClusteredSpec {
+        dim: 128,          // GIST-like global descriptor
+        intrinsic_dim: 10, // scenes vary along few latent axes
+        clusters: 20,      // scene categories
+        n,
+        center_spread: 28.0,
+        within_std: 1.0,
+        aspect: 3.0,
+        noise_std: 0.05,
+        size_skew: 1.5,  // popular categories have more photos
+        scale_skew: 3.0, // some categories are visually tighter than others
+    };
+    synth::clustered(&spec, seed)
+}
+
+fn main() {
+    let corpus = photo_library(6_000, 7);
+    let (library, queries) = corpus.split_at(5_500);
+    let k = 20;
+    println!("library: {} images, descriptor dim {}", library.len(), library.dim());
+    println!("computing exact ground truth for {} queries…", queries.len());
+    let truth = ground_truth(&library, &queries, k, 1);
+
+    let base = BiLevelConfig::paper_default(1.0);
+    let w = 70.0;
+    let bilevel_part = Partition::RpTree { groups: 16, rule: SplitRule::Max };
+    let variants: Vec<(&str, BiLevelConfig)> = vec![
+        ("standard LSH", BiLevelConfig { partition: Partition::None, ..base.clone() }),
+        (
+            "multiprobe standard",
+            BiLevelConfig { partition: Partition::None, probe: Probe::Multi(64), ..base.clone() },
+        ),
+        (
+            "hierarchical standard",
+            BiLevelConfig {
+                partition: Partition::None,
+                probe: Probe::Hierarchical { min_candidates: k },
+                ..base.clone()
+            },
+        ),
+        (
+            "Bi-level LSH",
+            BiLevelConfig {
+                partition: bilevel_part,
+                width: WidthMode::Scaled { base: w, k },
+                ..base.clone()
+            },
+        ),
+        (
+            "multiprobe Bi-level",
+            BiLevelConfig {
+                partition: bilevel_part,
+                width: WidthMode::Scaled { base: w, k },
+                probe: Probe::Multi(64),
+                ..base.clone()
+            },
+        ),
+        (
+            "hierarchical Bi-level",
+            BiLevelConfig {
+                partition: bilevel_part,
+                width: WidthMode::Scaled { base: w, k },
+                probe: Probe::Hierarchical { min_candidates: k },
+                ..base.clone()
+            },
+        ),
+    ];
+
+    println!("\n| method | recall | error ratio | selectivity |");
+    println!("|---|---|---|---|");
+    for (name, mut cfg) in variants {
+        if let WidthMode::Fixed(ref mut fw) = cfg.width {
+            *fw = w;
+        }
+        let index = BiLevelIndex::build(&library, &cfg);
+        let evals = evaluate_index(&index, &queries, &truth, k);
+        let n = evals.len() as f64;
+        println!(
+            "| {name} | {:.3} | {:.3} | {:.4} |",
+            evals.iter().map(|e| e.recall).sum::<f64>() / n,
+            evals.iter().map(|e| e.error_ratio).sum::<f64>() / n,
+            evals.iter().map(|e| e.selectivity).sum::<f64>() / n,
+        );
+    }
+
+    // Show one concrete retrieval.
+    let index = BiLevelIndex::build(
+        &library,
+        &BiLevelConfig { partition: bilevel_part, width: WidthMode::Scaled { base: w, k }, ..base },
+    );
+    let hits = index.query(queries.row(0), 5);
+    println!("\n\"find similar\" for query image 0 → library images:");
+    for n in hits {
+        println!("  image #{:<6} distance {:.3}", n.id, n.dist);
+    }
+}

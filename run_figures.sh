@@ -1,0 +1,16 @@
+#!/bin/bash
+# Reproduces every figure of the paper at container scale.
+# Paper scale would be: --n 100000 --queries 100000 --k 500 --reps 10
+set -u
+cd /root/repo
+ARGS="--n 6000 --queries 500 --k 25 --reps 3"
+for fig in fig04_shortlist fig05_zm_standard_vs_bilevel fig06_e8_standard_vs_bilevel \
+           fig07_zm_multiprobe fig08_e8_multiprobe fig09_zm_hierarchy fig10_e8_hierarchy \
+           fig11_zm_all_methods fig12_e8_all_methods fig13a_groups fig13b_dims fig13c_partitioner \
+           abl_split_rule abl_width_mode abl_diameter abl_batch abl_curse abl_lattice_density; do
+  echo "=== $fig ==="
+  timeout 1500 cargo run -q --release -p bench --bin $fig -- $ARGS --out results/$fig.csv \
+    > results/$fig.md 2>&1 || echo "$fig FAILED/TIMEOUT"
+  echo "done $fig"
+done
+echo ALL_FIGURES_DONE

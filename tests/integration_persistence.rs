@@ -1,0 +1,100 @@
+//! Persistence and out-of-core integration: snapshot round-trips across
+//! method variants, and the disk-resident index agreeing with the in-memory
+//! one over the same corpus file.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, OocFlatIndex, Probe, Quantizer};
+use vecstore::io::write_fvecs;
+use vecstore::ooc::OocDataset;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+fn corpus() -> (Dataset, Dataset) {
+    synth::clustered(&ClusteredSpec::benchmark(32, 1_100), 71).split_at(1_000)
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("bilevel_integration_persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_answers_across_variants() {
+    let (data, queries) = corpus();
+    let variants = [
+        BiLevelConfig::standard(40.0),
+        BiLevelConfig::paper_default(40.0),
+        BiLevelConfig::paper_default(40.0).quantizer(Quantizer::E8),
+        BiLevelConfig::paper_default(40.0).probe(Probe::Multi(16)),
+        BiLevelConfig::paper_default(40.0).probe(Probe::Hierarchical { min_candidates: 8 }),
+    ];
+    for (i, cfg) in variants.iter().enumerate() {
+        let index = BiLevelIndex::build(&data, cfg);
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        let loaded = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
+        let a = index.query_batch(&queries, 10);
+        let b = loaded.query_batch(&queries, 10);
+        assert_eq!(a.neighbors, b.neighbors, "variant {i}");
+        assert_eq!(a.candidates, b.candidates, "variant {i}");
+    }
+}
+
+#[test]
+fn snapshot_survives_disk_roundtrip_and_reload_can_insert() {
+    let (data, queries) = corpus();
+    let cfg = BiLevelConfig::standard(40.0);
+    let index = BiLevelIndex::build(&data, &cfg);
+    let path = temp_path("idx.json");
+    index.save(&path).unwrap();
+    let mut loaded = BiLevelIndex::load(&data, &path).unwrap();
+    std::fs::remove_file(&path).ok();
+    // The reloaded index accepts inserts (cloning the borrowed data).
+    let novel = vec![55.5f32; 32];
+    let id = loaded.insert(&novel);
+    assert_eq!(id, data.len());
+    let hit = loaded.query(&novel, 1);
+    assert_eq!(hit[0].id, id);
+    // Old queries still answer.
+    assert_eq!(loaded.query_batch(&queries, 3).neighbors.len(), queries.len());
+}
+
+#[test]
+fn ooc_index_agrees_with_memory_index_over_same_file() {
+    let (data, queries) = corpus();
+    let path = temp_path("corpus.fvecs");
+    write_fvecs(&path, &data).unwrap();
+    let source = OocDataset::open(&path).unwrap();
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        let cfg = BiLevelConfig::paper_default(40.0).quantizer(quantizer);
+        let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+        let mem = FlatIndex::build(&data, &cfg);
+        for q in queries.iter().take(50) {
+            assert_eq!(ooc.candidates(q), mem.candidates(q), "quantizer {quantizer:?}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ooc_query_results_match_in_memory_distances() {
+    let (data, queries) = corpus();
+    let path = temp_path("corpus2.fvecs");
+    write_fvecs(&path, &data).unwrap();
+    let source = OocDataset::open(&path).unwrap();
+    let cfg = BiLevelConfig::standard(40.0);
+    let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+    let mem = BiLevelIndex::build(&data, &cfg);
+    for q in queries.iter().take(25) {
+        let a = ooc.query(q, 5).unwrap();
+        let b = mem.query(q, 5);
+        assert_eq!(
+            a.iter().map(|n| n.id).collect::<Vec<_>>(),
+            b.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.dist - y.dist).abs() < 1e-4);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}

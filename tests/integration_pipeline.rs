@@ -1,0 +1,81 @@
+//! End-to-end pipeline integration: synthetic corpus → level-1 partition →
+//! level-2 tables → probing → short-list engines → metrics, spanning every
+//! crate in the workspace.
+
+use bilevel_lsh::{ground_truth, BiLevelConfig, BiLevelIndex, FlatIndex};
+use knn_metrics::{error_ratio, recall};
+use shortlist::{shortlist_per_query, shortlist_serial, shortlist_workqueue};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{Dataset, SquaredL2};
+
+fn corpus() -> (Dataset, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::benchmark(32, 1_200), 99);
+    all.split_at(1_000)
+}
+
+#[test]
+fn full_pipeline_beats_random_guessing() {
+    let (data, queries) = corpus();
+    let truth = ground_truth(&data, &queries, 10, 1);
+    let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(40.0));
+    let result = index.query_batch(&queries, 10);
+    let mean_recall: f64 =
+        truth.iter().zip(&result.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>()
+            / truth.len() as f64;
+    // A working LSH index at moderate W must vastly outperform chance
+    // (chance recall here would be ~ candidates/n ≈ a few percent).
+    assert!(mean_recall > 0.3, "pipeline recall {mean_recall} too low");
+    let mean_err: f64 =
+        truth.iter().zip(&result.neighbors).map(|(t, a)| error_ratio(t, a)).sum::<f64>()
+            / truth.len() as f64;
+    assert!(mean_err > 0.3, "pipeline error ratio {mean_err} too low");
+}
+
+#[test]
+fn candidate_sets_feed_all_three_engines_identically() {
+    let (data, queries) = corpus();
+    let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(40.0));
+    let candidates = index.candidates_batch(&queries);
+    let serial = shortlist_serial(&data, &queries, &candidates, 10, &SquaredL2);
+    let per_query = shortlist_per_query(&data, &queries, &candidates, 10, &SquaredL2, 3);
+    let workqueue = shortlist_workqueue(&data, &queries, &candidates, 10, &SquaredL2, 2, 4_096);
+    assert_eq!(serial, per_query);
+    assert_eq!(serial, workqueue);
+}
+
+#[test]
+fn flat_storage_is_equivalent_to_table_storage_end_to_end() {
+    let (data, queries) = corpus();
+    let cfg = BiLevelConfig::paper_default(40.0);
+    let table = BiLevelIndex::build(&data, &cfg);
+    let flat = FlatIndex::build(&data, &cfg);
+    let a = table.candidates_batch(&queries);
+    let b = flat.candidates_batch(&queries);
+    assert_eq!(a, b, "flat (cuckoo) storage must reproduce table candidates");
+}
+
+#[test]
+fn exhaustive_width_recovers_exact_knn() {
+    let (data, queries) = corpus();
+    let truth = ground_truth(&data, &queries, 5, 1);
+    // W large enough that every point shares one bucket per table.
+    let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(1e7));
+    let result = index.query_batch(&queries, 5);
+    for (q, (t, a)) in truth.iter().zip(&result.neighbors).enumerate() {
+        assert_eq!(
+            t.iter().map(|n| n.id).collect::<Vec<_>>(),
+            a.iter().map(|n| n.id).collect::<Vec<_>>(),
+            "query {q} differs from exact search"
+        );
+    }
+}
+
+#[test]
+fn selectivity_counts_match_candidate_sets() {
+    let (data, queries) = corpus();
+    let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(40.0));
+    let candidates = index.candidates_batch(&queries);
+    let result = index.query_batch(&queries, 10);
+    let sizes: Vec<usize> = candidates.iter().map(Vec::len).collect();
+    assert_eq!(result.candidates, sizes);
+}

@@ -1,0 +1,111 @@
+//! Quality-trend integration tests: the monotonicity and comparative
+//! properties the paper's evaluation rests on, checked at test scale.
+
+use bilevel_lsh::{
+    evaluate_index, ground_truth, BiLevelConfig, BiLevelIndex, Partition, Quantizer, WidthMode,
+};
+use lsh::DistanceProfile;
+use rptree::SplitRule;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{Dataset, Neighbor};
+
+struct Scenario {
+    data: Dataset,
+    queries: Dataset,
+    truth: Vec<Vec<Neighbor>>,
+    base_w: f32,
+}
+
+fn scenario() -> Scenario {
+    let all = synth::clustered(&ClusteredSpec::benchmark(32, 2_200), 77);
+    let (data, queries) = all.split_at(2_000);
+    let truth = ground_truth(&data, &queries, 10, 1);
+    let base_w = DistanceProfile::fit(&data, 10, 200).d_knn as f32;
+    Scenario { data, queries, truth, base_w }
+}
+
+fn mean_metrics(s: &Scenario, cfg: &BiLevelConfig) -> (f64, f64) {
+    let index = BiLevelIndex::build(&s.data, cfg);
+    let evals = evaluate_index(&index, &s.queries, &s.truth, 10);
+    let n = evals.len() as f64;
+    (
+        evals.iter().map(|e| e.recall).sum::<f64>() / n,
+        evals.iter().map(|e| e.selectivity).sum::<f64>() / n,
+    )
+}
+
+#[test]
+fn recall_and_selectivity_grow_with_w() {
+    let s = scenario();
+    let mut last = (0.0, 0.0);
+    for mult in [1.0f32, 4.0, 16.0] {
+        let (recall, selectivity) = mean_metrics(&s, &BiLevelConfig::standard(s.base_w * mult));
+        assert!(recall + 1e-9 >= last.0, "recall must grow with W");
+        assert!(selectivity + 1e-9 >= last.1, "selectivity must grow with W");
+        last = (recall, selectivity);
+    }
+    assert!(last.0 > 0.8, "widest setting should recall most neighbors, got {}", last.0);
+}
+
+#[test]
+fn more_tables_increase_recall_at_fixed_w() {
+    let s = scenario();
+    let w = s.base_w * 3.0;
+    let (r10, _) = mean_metrics(&s, &BiLevelConfig::standard(w).tables(5));
+    let (r30, _) = mean_metrics(&s, &BiLevelConfig::standard(w).tables(20));
+    assert!(r30 > r10, "L=20 recall {r30} should beat L=5 recall {r10}");
+}
+
+#[test]
+fn bilevel_beats_standard_at_matched_low_selectivity() {
+    // The headline claim (Figure 5) in its honest form: in the
+    // low-selectivity regime, the bi-level index extracts more recall per
+    // candidate than standard LSH on heterogeneous clustered data.
+    let s = scenario();
+    let w = s.base_w * 3.0;
+    let (std_recall, std_sel) = mean_metrics(&s, &BiLevelConfig::standard(w));
+    let bilevel = BiLevelConfig {
+        width: WidthMode::Scaled { base: w, k: 10 },
+        partition: Partition::RpTree { groups: 16, rule: SplitRule::Max },
+        ..BiLevelConfig::standard(w)
+    };
+    let (bi_recall, bi_sel) = mean_metrics(&s, &bilevel);
+    let std_eff = std_recall / std_sel.max(1e-12);
+    let bi_eff = bi_recall / bi_sel.max(1e-12);
+    assert!(
+        bi_eff > std_eff,
+        "bi-level recall-per-selectivity {bi_eff:.1} (ρ={bi_recall:.3}, τ={bi_sel:.4}) \
+         should beat standard {std_eff:.1} (ρ={std_recall:.3}, τ={std_sel:.4})"
+    );
+}
+
+#[test]
+fn partitioning_reduces_selectivity_at_same_w() {
+    let s = scenario();
+    let w = s.base_w * 8.0;
+    let (_, std_sel) = mean_metrics(&s, &BiLevelConfig::standard(w));
+    let bilevel = BiLevelConfig {
+        partition: Partition::RpTree { groups: 16, rule: SplitRule::Max },
+        ..BiLevelConfig::standard(w)
+    };
+    let (_, bi_sel) = mean_metrics(&s, &bilevel);
+    assert!(
+        bi_sel <= std_sel,
+        "restricting candidates to the query's group must not raise selectivity \
+         (standard {std_sel:.4}, bi-level {bi_sel:.4})"
+    );
+}
+
+#[test]
+fn e8_quantizer_is_competitive_with_zm() {
+    // Section VI-B4a: E8 "offers better performance at times"; at minimum it
+    // must be in the same quality league at comparable selectivity.
+    let s = scenario();
+    let w = s.base_w * 4.0;
+    let (zm_recall, zm_sel) = mean_metrics(&s, &BiLevelConfig::standard(w));
+    let (e8_recall, e8_sel) =
+        mean_metrics(&s, &BiLevelConfig::standard(w).quantizer(Quantizer::E8));
+    let zm_eff = zm_recall / zm_sel.max(1e-12);
+    let e8_eff = e8_recall / e8_sel.max(1e-12);
+    assert!(e8_eff > 0.5 * zm_eff, "E8 efficiency {e8_eff:.1} collapsed vs Z^M {zm_eff:.1}");
+}

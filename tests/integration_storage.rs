@@ -1,0 +1,94 @@
+//! Storage-layer integration: fvecs interchange, config serialization, and
+//! the cuckoo-backed flat layout under stress.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Probe, Quantizer};
+use vecstore::io::{read_fvecs_from, write_fvecs_to};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+fn corpus() -> (Dataset, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::benchmark(32, 1_100), 31);
+    all.split_at(1_000)
+}
+
+#[test]
+fn index_built_from_fvecs_roundtrip_matches_original() {
+    let (data, queries) = corpus();
+    // Serialize the corpus to the fvecs interchange format and back; the
+    // rebuilt index must answer identically (f32 values are preserved
+    // exactly by the format).
+    let mut buf = Vec::new();
+    write_fvecs_to(&mut buf, &data).unwrap();
+    let reloaded = read_fvecs_from(&mut buf.as_slice()).unwrap();
+    assert_eq!(reloaded, data);
+    let cfg = BiLevelConfig::paper_default(40.0);
+    let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 10);
+    let b = BiLevelIndex::build(&reloaded, &cfg).query_batch(&queries, 10);
+    assert_eq!(a.neighbors, b.neighbors);
+}
+
+#[test]
+fn config_serializes_and_deserializes() {
+    let cfg = BiLevelConfig::paper_default(2.5)
+        .tables(30)
+        .probe(Probe::Multi(240))
+        .quantizer(Quantizer::E8);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: BiLevelConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.l, cfg.l);
+    assert_eq!(back.m, cfg.m);
+    assert_eq!(back.probe, cfg.probe);
+    assert_eq!(back.quantizer, cfg.quantizer);
+    assert_eq!(back.partition, cfg.partition);
+    // The deserialized config must drive an identical index.
+    let (data, queries) = corpus();
+    let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 5);
+    let b = BiLevelIndex::build(&data, &back).query_batch(&queries, 5);
+    assert_eq!(a.neighbors, b.neighbors);
+}
+
+#[test]
+fn flat_index_bucket_accounting() {
+    let (data, _) = corpus();
+    let cfg = BiLevelConfig::paper_default(40.0);
+    let flat = FlatIndex::build(&data, &cfg);
+    // Every (item, table) pair appears exactly once in the linear array.
+    assert_eq!(flat.linear_len(), data.len() * cfg.l);
+    // There is at least one bucket per table and at most one per pair.
+    assert!(flat.num_buckets() >= cfg.l);
+    assert!(flat.num_buckets() <= flat.linear_len());
+}
+
+#[test]
+fn flat_index_handles_narrow_and_wide_widths() {
+    let (data, queries) = corpus();
+    // Narrow: almost every pair is its own bucket (stress for the cuckoo
+    // table: ~n·L distinct keys).
+    let narrow = FlatIndex::build(&data, &BiLevelConfig::standard(0.5));
+    // Wide: one giant bucket per table.
+    let wide = FlatIndex::build(&data, &BiLevelConfig::standard(1e7));
+    let cn = narrow.candidates_batch(&queries);
+    let cw = wide.candidates_batch(&queries);
+    for (n, w) in cn.iter().zip(&cw) {
+        assert!(n.len() <= w.len());
+        assert_eq!(w.len(), data.len(), "wide buckets must cover the whole dataset");
+    }
+}
+
+#[test]
+fn dataset_gather_preserves_index_semantics() {
+    // Building over a gathered (copied) subset answers the same as building
+    // over an equal dataset constructed row by row.
+    let (data, queries) = corpus();
+    let ids: Vec<usize> = (0..500).collect();
+    let subset_a = data.gather(&ids);
+    let mut subset_b = Dataset::new(data.dim());
+    for &i in &ids {
+        subset_b.push(data.row(i));
+    }
+    assert_eq!(subset_a, subset_b);
+    let cfg = BiLevelConfig::standard(40.0);
+    let a = BiLevelIndex::build(&subset_a, &cfg).query_batch(&queries, 5);
+    let b = BiLevelIndex::build(&subset_b, &cfg).query_batch(&queries, 5);
+    assert_eq!(a.neighbors, b.neighbors);
+}

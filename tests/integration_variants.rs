@@ -1,0 +1,120 @@
+//! Every method variant the paper evaluates — six probing/partitioning
+//! combinations × two lattices — must build, query, and produce sane
+//! metrics on one shared scenario.
+
+use bilevel_lsh::{
+    ground_truth, BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, WidthMode,
+};
+use knn_metrics::recall;
+use rptree::SplitRule;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+fn corpus() -> (Dataset, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::benchmark(32, 1_100), 5);
+    all.split_at(1_000)
+}
+
+fn variant(partition: bool, probe: Probe, quantizer: Quantizer, w: f32) -> BiLevelConfig {
+    BiLevelConfig {
+        l: 8,
+        m: 8,
+        width: WidthMode::Fixed(w),
+        partition: if partition {
+            Partition::RpTree { groups: 8, rule: SplitRule::Max }
+        } else {
+            Partition::None
+        },
+        quantizer,
+        probe,
+        table_pool: None,
+        seed: 0x7e57,
+    }
+}
+
+#[test]
+fn all_twelve_variants_build_and_answer() {
+    let (data, queries) = corpus();
+    let truth = ground_truth(&data, &queries, 10, 1);
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        for partition in [false, true] {
+            for probe in [Probe::Home, Probe::Multi(32), Probe::Hierarchical { min_candidates: 8 }]
+            {
+                let cfg = variant(partition, probe, quantizer, 40.0);
+                let index = BiLevelIndex::build(&data, &cfg);
+                let result = index.query_batch(&queries, 10);
+                assert_eq!(result.neighbors.len(), queries.len());
+                let mean: f64 =
+                    truth.iter().zip(&result.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>()
+                        / truth.len() as f64;
+                assert!(
+                    mean > 0.05,
+                    "variant ({quantizer:?}, partition={partition}, {probe:?}) recall {mean}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multiprobe_never_probes_fewer_candidates_than_home() {
+    let (data, queries) = corpus();
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        let home = BiLevelIndex::build(&data, &variant(false, Probe::Home, quantizer, 30.0));
+        let multi = BiLevelIndex::build(&data, &variant(false, Probe::Multi(64), quantizer, 30.0));
+        let ch = home.candidates_batch(&queries);
+        let cm = multi.candidates_batch(&queries);
+        for (q, (h, m)) in ch.iter().zip(&cm).enumerate() {
+            assert!(m.len() >= h.len(), "query {q}: multiprobe shrank the candidate set");
+            // Home candidates are a subset of multiprobe candidates.
+            for id in h {
+                assert!(m.binary_search(id).is_ok(), "query {q} lost home candidate {id}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_probe_reduces_candidate_count_variance() {
+    let (data, queries) = corpus();
+    // Narrow W: many queries starve without escalation.
+    let home = BiLevelIndex::build(&data, &variant(true, Probe::Home, Quantizer::Zm, 10.0));
+    let hier = BiLevelIndex::build(
+        &data,
+        &variant(true, Probe::Hierarchical { min_candidates: 4 }, Quantizer::Zm, 10.0),
+    );
+    let starved = |cands: &[Vec<u32>]| cands.iter().filter(|c| c.len() < 4).count();
+    let sh = starved(&home.candidates_batch(&queries));
+    let se = starved(&hier.candidates_batch(&queries));
+    assert!(se <= sh, "escalation should not increase starved queries (home {sh}, hier {se})");
+}
+
+#[test]
+fn e8_and_zm_quantizers_give_different_but_working_indexes() {
+    let (data, queries) = corpus();
+    let truth = ground_truth(&data, &queries, 10, 1);
+    let zm = BiLevelIndex::build(&data, &variant(false, Probe::Home, Quantizer::Zm, 40.0));
+    let e8 = BiLevelIndex::build(&data, &variant(false, Probe::Home, Quantizer::E8, 40.0));
+    let rz = zm.query_batch(&queries, 10);
+    let re = e8.query_batch(&queries, 10);
+    let mean = |r: &bilevel_lsh::BatchResult| {
+        truth.iter().zip(&r.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>() / truth.len() as f64
+    };
+    assert!(mean(&rz) > 0.1);
+    assert!(mean(&re) > 0.1);
+    // Different quantizers should not produce byte-identical candidates.
+    assert_ne!(rz.candidates, re.candidates);
+}
+
+#[test]
+fn kmeans_and_kd_level1_work_in_full_variants() {
+    let (data, queries) = corpus();
+    for partition in [Partition::KMeans { groups: 8 }, Partition::Kd { groups: 8 }] {
+        let mut cfg = variant(false, Probe::Home, Quantizer::Zm, 40.0);
+        cfg.partition = partition;
+        let index = BiLevelIndex::build(&data, &cfg);
+        assert!(index.num_groups() > 1);
+        let result = index.query_batch(&queries, 5);
+        assert_eq!(result.neighbors.len(), queries.len());
+    }
+}
