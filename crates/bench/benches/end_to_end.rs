@@ -1,10 +1,14 @@
 //! End-to-end index benchmarks: build and batch-query cost for the method
-//! variants, table vs flat storage.
+//! variants, table vs flat storage, plus the query pipeline split into its
+//! probe (candidate generation) and rank (short-list) phases so the
+//! parallel probe speedup is visible on its own.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Probe};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Engine, FlatIndex, Probe};
 use criterion::{criterion_group, criterion_main, Criterion};
+use shortlist::{shortlist_serial, shortlist_workqueue};
 use std::hint::black_box;
 use vecstore::synth::{self, ClusteredSpec};
+use vecstore::SquaredL2;
 
 fn bench_index(c: &mut Criterion) {
     let corpus = synth::clustered(&ClusteredSpec::benchmark(64, 5_200), 21);
@@ -37,5 +41,48 @@ fn bench_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index);
+/// Probe vs rank phase timings. `probe_*` rows isolate candidate
+/// generation at 1 and 4 workers (the tentpole speedup measurement);
+/// `rank_*` rows take pre-generated candidates; `pipeline_*` rows run both
+/// phases under one engine selection.
+fn bench_pipeline_phases(c: &mut Criterion) {
+    let corpus = synth::clustered(&ClusteredSpec::benchmark(64, 5_200), 23);
+    let (data, queries) = corpus.split_at(5_000);
+    let k = 50;
+    let index = BiLevelIndex::build(
+        &data,
+        &BiLevelConfig::paper_default(60.0).probe(Probe::Hierarchical { min_candidates: 100 }),
+    );
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("probe_{threads}t"), |b| {
+            b.iter(|| black_box(index.candidates_batch_with(&queries, threads)))
+        });
+    }
+    let candidates = index.candidates_batch_with(&queries, 1);
+    group.bench_function("rank_serial", |b| {
+        b.iter(|| black_box(shortlist_serial(&data, &queries, &candidates, k, &SquaredL2)))
+    });
+    group.bench_function("rank_workqueue_4t", |b| {
+        b.iter(|| {
+            black_box(shortlist_workqueue(&data, &queries, &candidates, k, &SquaredL2, 4, 1 << 16))
+        })
+    });
+    group.bench_function("pipeline_serial", |b| {
+        b.iter(|| black_box(index.query_batch_with(&queries, k, Engine::Serial)))
+    });
+    group.bench_function("pipeline_workqueue_4t", |b| {
+        b.iter(|| {
+            black_box(index.query_batch_with(
+                &queries,
+                k,
+                Engine::WorkQueue { threads: 4, capacity: 1 << 16 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index, bench_pipeline_phases);
 criterion_main!(benches);

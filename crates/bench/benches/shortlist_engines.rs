@@ -1,12 +1,15 @@
 //! Microbenchmarks of the three short-list engines over an imbalanced
-//! candidate workload (the organization comparison behind Figure 4).
+//! candidate workload (the organization comparison behind Figure 4), plus
+//! the probe phase that feeds them, timed separately per worker count.
 
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shortlist::{shortlist_per_query, shortlist_serial, shortlist_workqueue};
 use std::hint::black_box;
-use vecstore::{synth, SquaredL2};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::SquaredL2;
 
 fn bench_engines(c: &mut Criterion) {
     let data = synth::gaussian(64, 5_000, 1.0, 1);
@@ -24,16 +27,51 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("serial", |b| {
         b.iter(|| black_box(shortlist_serial(&data, &queries, &candidates, 50, &SquaredL2)))
     });
-    group.bench_function("per_query_2t", |b| {
-        b.iter(|| black_box(shortlist_per_query(&data, &queries, &candidates, 50, &SquaredL2, 2)))
-    });
-    group.bench_function("workqueue_2t", |b| {
-        b.iter(|| {
-            black_box(shortlist_workqueue(&data, &queries, &candidates, 50, &SquaredL2, 2, 65_536))
-        })
-    });
+    for threads in [2usize, 4] {
+        group.bench_function(format!("per_query_{threads}t"), |b| {
+            b.iter(|| {
+                black_box(shortlist_per_query(
+                    &data,
+                    &queries,
+                    &candidates,
+                    50,
+                    &SquaredL2,
+                    threads,
+                ))
+            })
+        });
+        group.bench_function(format!("workqueue_{threads}t"), |b| {
+            b.iter(|| {
+                black_box(shortlist_workqueue(
+                    &data,
+                    &queries,
+                    &candidates,
+                    50,
+                    &SquaredL2,
+                    threads,
+                    65_536,
+                ))
+            })
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// The probe phase that produces the engines' candidate sets, isolated per
+/// worker count (1 = the former serial hot path).
+fn bench_probe(c: &mut Criterion) {
+    let corpus = synth::clustered(&ClusteredSpec::benchmark(64, 5_100), 5);
+    let (data, queries) = corpus.split_at(5_000);
+    let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(60.0));
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("candidates_{threads}t"), |b| {
+            b.iter(|| black_box(index.candidates_batch_with(&queries, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_probe);
 criterion_main!(benches);

@@ -164,28 +164,42 @@ pub fn partitioner_figure(args: &HarnessArgs) {
     emit("Figure 13(c): RP-tree vs K-means level-1 partitioning (L = 20)", &args.out, &curves);
 }
 
-/// One row of Figure 4's timing comparison.
+/// One row of Figure 4's timing comparison. Probe (candidate generation)
+/// and rank (short-list) phases are timed separately, so organization
+/// effects on each phase are visible instead of folded into one number.
 #[derive(Debug, Clone)]
 pub struct ShortlistTiming {
     /// Mean short-list candidates per query at this width.
     pub mean_candidates: f64,
-    /// Per-query hash-map storage + serial heap ranking ("CPU-lshkit").
-    pub cpu_ms: f64,
+    /// Table-storage probe phase on one worker (the serial baseline).
+    pub probe_serial_ms: f64,
+    /// Table-storage probe phase on [`PROBE_THREADS`] workers.
+    pub probe_parallel_ms: f64,
+    /// Serial heap ranking of the table candidates ("CPU-lshkit" rank).
+    pub cpu_rank_ms: f64,
     /// Cuckoo/flat storage lookup + serial heap ranking
     /// ("GPU hash table + CPU short-list").
     pub hash_ms: f64,
-    /// Cuckoo/flat storage + batched work-queue ranking ("pure GPU").
-    pub gpu_ms: f64,
+    /// Batched work-queue ranking of the flat candidates ("pure GPU").
+    pub wq_rank_ms: f64,
 }
 
+/// Worker count of the parallel probe column (the ≥4-thread configuration
+/// the pipeline speedup is reported at).
+pub const PROBE_THREADS: usize = 4;
+
 /// Figure 4: short-list search organization comparison over a candidate-
-/// count sweep (driven by `W`).
+/// count sweep (driven by `W`), with the probe phase timed separately from
+/// ranking.
 pub fn shortlist_figure(args: &HarnessArgs) -> Vec<ShortlistTiming> {
     let prepared = prepare(args);
     let mut rows = Vec::new();
     println!("\n## Figure 4: short-list search timing (k = {}, L = 10, M = 8)\n", args.k);
-    println!("| mean candidates | CPU ms | hash+CPU ms | work-queue ms |");
-    println!("|---|---|---|---|");
+    println!(
+        "| mean candidates | probe 1t ms | probe {PROBE_THREADS}t ms | CPU rank ms \
+         | hash+CPU ms | WQ rank ms |"
+    );
+    println!("|---|---|---|---|---|---|");
     for &w in &w_grid(&prepared, args.k) {
         let cfg = BiLevelConfig {
             l: 10,
@@ -200,38 +214,54 @@ pub fn shortlist_figure(args: &HarnessArgs) -> Vec<ShortlistTiming> {
         let table_index = BiLevelIndex::build(&prepared.train, &cfg);
         let flat_index = FlatIndex::build(&prepared.train, &cfg);
 
-        // Method 1: per-table hash maps + serial short-list.
+        // Probe phase, table storage: serial vs worker pool.
         let t0 = Instant::now();
-        let cands_table = table_index.candidates_batch(&prepared.queries);
+        let cands_table = table_index.candidates_batch_with(&prepared.queries, 1);
+        let probe_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let _ = table_index.candidates_batch_with(&prepared.queries, PROBE_THREADS);
+        let probe_parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Method 1 rank phase: serial heap over the table candidates.
+        let t2 = Instant::now();
         let _ =
             shortlist_serial(&prepared.train, &prepared.queries, &cands_table, args.k, &SquaredL2);
-        let cpu_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cpu_rank_ms = t2.elapsed().as_secs_f64() * 1e3;
 
         // Method 2: flat cuckoo storage + serial short-list.
-        let t1 = Instant::now();
-        let cands_flat = flat_index.candidates_batch(&prepared.queries);
+        let t3 = Instant::now();
+        let cands_flat = flat_index.candidates_batch_with(&prepared.queries, 1);
         let _ =
             shortlist_serial(&prepared.train, &prepared.queries, &cands_flat, args.k, &SquaredL2);
-        let hash_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let hash_ms = t3.elapsed().as_secs_f64() * 1e3;
 
-        // Method 3: flat cuckoo storage + work-queue short-list.
-        let t2 = Instant::now();
-        let cands_wq = flat_index.candidates_batch(&prepared.queries);
+        // Method 3 rank phase: batched work queue over the flat candidates.
+        let t4 = Instant::now();
         let _ = shortlist_workqueue(
             &prepared.train,
             &prepared.queries,
-            &cands_wq,
+            &cands_flat,
             args.k,
             &SquaredL2,
             2,
             1 << 16,
         );
-        let gpu_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let wq_rank_ms = t4.elapsed().as_secs_f64() * 1e3;
 
         let mean_candidates =
             cands_flat.iter().map(Vec::len).sum::<usize>() as f64 / cands_flat.len().max(1) as f64;
-        println!("| {mean_candidates:.1} | {cpu_ms:.1} | {hash_ms:.1} | {gpu_ms:.1} |");
-        rows.push(ShortlistTiming { mean_candidates, cpu_ms, hash_ms, gpu_ms });
+        println!(
+            "| {mean_candidates:.1} | {probe_serial_ms:.1} | {probe_parallel_ms:.1} \
+             | {cpu_rank_ms:.1} | {hash_ms:.1} | {wq_rank_ms:.1} |"
+        );
+        rows.push(ShortlistTiming {
+            mean_candidates,
+            probe_serial_ms,
+            probe_parallel_ms,
+            cpu_rank_ms,
+            hash_ms,
+            wq_rank_ms,
+        });
     }
     rows
 }
@@ -256,7 +286,8 @@ mod tests {
     fn shortlist_figure_produces_rows() {
         let rows = shortlist_figure(&tiny_args());
         assert_eq!(rows.len(), 6);
-        assert!(rows.iter().all(|r| r.cpu_ms >= 0.0 && r.gpu_ms >= 0.0));
+        assert!(rows.iter().all(|r| r.cpu_rank_ms >= 0.0 && r.wq_rank_ms >= 0.0));
+        assert!(rows.iter().all(|r| r.probe_serial_ms >= 0.0 && r.probe_parallel_ms >= 0.0));
         // Candidate counts grow with W.
         assert!(rows.last().unwrap().mean_candidates >= rows[0].mean_candidates);
     }

@@ -71,7 +71,10 @@ pub enum Probe {
     /// Hierarchical escalation: queries whose candidate sets fall below a
     /// threshold re-probe coarser hierarchy levels. In batch queries the
     /// threshold defaults to the batch median (the paper's rule); a fixed
-    /// floor is used for single queries.
+    /// floor is used for single queries. The escalation pass runs on the
+    /// same worker pool as the base probe — see
+    /// [`Engine`](crate::Engine) — and stays deterministic at any thread
+    /// count.
     Hierarchical {
         /// Fixed candidate floor used when no batch median is available.
         min_candidates: usize,

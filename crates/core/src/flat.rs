@@ -12,8 +12,9 @@ use crate::code::compress_code;
 use crate::config::{BiLevelConfig, Partition, Probe};
 use crate::index::{probe_sequence, quantize};
 use cuckoo::CuckooTable;
-use lsh::HashFamily;
+use lsh::{HashFamily, ProjectionScratch};
 use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
+use shortlist::parallel_fill_with;
 use vecstore::Dataset;
 
 /// Flat-array Bi-level index: sorted id array + cuckoo interval table.
@@ -23,7 +24,7 @@ use vecstore::Dataset;
 pub struct FlatIndex<'a> {
     data: &'a Dataset,
     config: BiLevelConfig,
-    partitioner: Box<dyn Partitioner + 'a>,
+    partitioner: Box<dyn Partitioner + Send + Sync + 'a>,
     /// Per-table projections, shared by every group (flat layout folds the
     /// group into the key instead of the width — widths here are global).
     families: Vec<HashFamily>,
@@ -55,7 +56,7 @@ impl<'a> FlatIndex<'a> {
         );
         let config = config.clone();
 
-        let partitioner: Box<dyn Partitioner> = match config.partition {
+        let partitioner: Box<dyn Partitioner + Send + Sync> = match config.partition {
             Partition::None => Box::new(SinglePartition),
             Partition::RpTree { groups, rule } => {
                 let cfg = RpTreeConfig::with_leaves(groups).rule(rule).seed(config.seed ^ 0xA11);
@@ -118,16 +119,21 @@ impl<'a> FlatIndex<'a> {
 
     /// Deduplicated short-list candidates for one query.
     pub fn candidates(&self, v: &[f32]) -> Vec<u32> {
+        self.candidates_with(v, &mut ProjectionScratch::new(self.config.m))
+    }
+
+    /// Scratch-reusing probe, the flat-layout analog of the table index's
+    /// worker routine.
+    fn candidates_with(&self, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<u32> {
         assert_eq!(v.len(), self.data.dim(), "query dimension mismatch");
         let g = self.partitioner.assign(v) as u32;
-        let mut raw = vec![0.0f32; self.config.m];
         let mut out = Vec::new();
         for (l, family) in self.families.iter().enumerate() {
-            family.project_into(v, &mut raw);
-            let home = quantize(&raw, self.config.quantizer);
+            let raw = scratch.project(family, v);
+            let home = quantize(raw, self.config.quantizer);
             let probes = match self.config.probe {
                 Probe::Home => vec![home],
-                Probe::Multi(t) => probe_sequence(&raw, &home, t, self.config.quantizer),
+                Probe::Multi(t) => probe_sequence(raw, &home, t, self.config.quantizer),
                 Probe::Hierarchical { .. } => unreachable!("rejected at build"),
             };
             for code in probes {
@@ -142,9 +148,23 @@ impl<'a> FlatIndex<'a> {
         out
     }
 
-    /// Candidate sets for a batch of queries.
+    /// Candidate sets for a batch of queries, on all available cores.
     pub fn candidates_batch(&self, queries: &Dataset) -> Vec<Vec<u32>> {
-        queries.iter().map(|q| self.candidates(q)).collect()
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.candidates_batch_with(queries, threads)
+    }
+
+    /// Candidate generation on `threads` workers; identical output to the
+    /// serial path (per-query probes are independent).
+    pub fn candidates_batch_with(&self, queries: &Dataset, threads: usize) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        parallel_fill_with(
+            &mut out,
+            threads,
+            || ProjectionScratch::new(self.config.m),
+            |scratch, q, slot| *slot = self.candidates_with(queries.row(q), scratch),
+        );
+        out
     }
 }
 
@@ -180,6 +200,15 @@ mod tests {
         let table = BiLevelIndex::build(&data, &cfg);
         let flat = FlatIndex::build(&data, &cfg);
         assert_eq!(table.candidates_batch(&queries), flat.candidates_batch(&queries));
+    }
+
+    #[test]
+    fn flat_parallel_candidates_match_serial() {
+        let (data, queries) = small_data();
+        let cfg = BiLevelConfig::standard(2.0).probe(Probe::Multi(8));
+        let flat = FlatIndex::build(&data, &cfg);
+        let serial = flat.candidates_batch_with(&queries, 1);
+        assert_eq!(serial, flat.candidates_batch_with(&queries, 4));
     }
 
     #[test]

@@ -5,9 +5,9 @@
 use crate::config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
 use lattice::{decode_e8_raw, e8_roots, E8Hierarchy, ZmHierarchy};
 use lsh::family::quantize_zm;
-use lsh::{tune_w, DistanceProfile, HashFamily, LshTable, TuningGoal};
+use lsh::{tune_w, DistanceProfile, HashFamily, LshTable, ProjectionScratch, TuningGoal};
 use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
-use shortlist::shortlist_serial;
+use shortlist::{parallel_fill_with, shortlist_serial};
 use vecstore::{Dataset, Neighbor, SquaredL2};
 
 /// Level-1 partitioner, enum-dispatched (all variants are `Partitioner`s).
@@ -75,7 +75,13 @@ pub struct BiLevelIndex<'a> {
     pub(crate) group_widths: Vec<f32>,
 }
 
-/// Short-list engine selection for [`BiLevelIndex::query_batch_with`].
+/// Engine selection for [`BiLevelIndex::query_batch_with`].
+///
+/// One selection governs the whole pipeline end to end: the probe phase
+/// (base candidates plus any hierarchical escalation) runs on the engine's
+/// worker count, and the rank phase uses the engine's short-list
+/// organization. `Serial` therefore reproduces the paper's single-core
+/// baseline exactly — no hidden parallelism anywhere.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// One size-k max-heap per query on the calling thread (the paper's
@@ -91,9 +97,40 @@ pub enum Engine {
     WorkQueue {
         /// Worker thread count.
         threads: usize,
-        /// Queue budget in entries (the GPU global-memory analog).
+        /// Queue budget in entries (the GPU global-memory analog). Must
+        /// exceed `k`; see [`Engine::validate`].
         capacity: usize,
     },
+}
+
+impl Engine {
+    /// Worker threads this engine runs on (both phases). `Serial` is 1;
+    /// the parallel engines never report fewer than one worker.
+    pub fn threads(self) -> usize {
+        match self {
+            Engine::Serial => 1,
+            Engine::PerQuery { threads } | Engine::WorkQueue { threads, .. } => threads.max(1),
+        }
+    }
+
+    /// Checks the engine's parameters against the query's `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Engine::WorkQueue` when `capacity <= k`: the work queue
+    /// re-enters each admitted query's running k-best and needs room for at
+    /// least one fresh candidate on top, so smaller queues cannot make
+    /// progress. This is the same contract `shortlist_workqueue` asserts —
+    /// validated here up front instead of silently clamping the capacity.
+    pub fn validate(self, k: usize) {
+        if let Engine::WorkQueue { capacity, .. } = self {
+            assert!(
+                capacity > k,
+                "work-queue capacity ({capacity}) must exceed k ({k}): each round re-enters a \
+                 query's k-best and needs at least one slot for a fresh candidate"
+            );
+        }
+    }
 }
 
 /// Result of a batch query.
@@ -187,12 +224,16 @@ impl<'a> BiLevelIndex<'a> {
 
     /// Collects the deduplicated short-list candidate set `A(v)` for one
     /// query under the *base* probing strategy (no hierarchy escalation).
-    fn base_candidates(&self, v: &[f32], raw: &mut [f32]) -> Vec<u32> {
+    ///
+    /// `scratch` is the worker-local projection buffer of the parallel
+    /// pipeline; probing holds no other mutable state, so `&self` probes of
+    /// different queries can run concurrently, one scratch per worker.
+    fn base_candidates(&self, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<u32> {
         let g = self.level1.assign(v);
         let mut out: Vec<u32> = Vec::new();
-        for &t in &self.probe_tables(g, v, raw) {
+        for &t in &self.probe_tables(g, v, scratch) {
             let gt = &self.tables[g][t];
-            gt.family.project_into(v, raw);
+            let raw = scratch.project(&gt.family, v);
             let home = quantize(raw, self.config.quantizer);
             match self.config.probe {
                 Probe::Home | Probe::Hierarchical { .. } => {
@@ -212,16 +253,13 @@ impl<'a> BiLevelIndex<'a> {
 
     /// The tables of group `g` this query probes: all `l` of them without a
     /// pool, or the `l` most central of the pool (Jégou et al.).
-    fn probe_tables(&self, g: usize, v: &[f32], raw: &mut [f32]) -> Vec<usize> {
+    fn probe_tables(&self, g: usize, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<usize> {
         let per_group = self.tables[g].len();
         if self.config.table_pool.is_none() || per_group <= self.config.l {
             return (0..per_group).collect();
         }
         let mut scored: Vec<(f64, usize)> = (0..per_group)
-            .map(|t| {
-                self.tables[g][t].family.project_into(v, raw);
-                (lsh::centrality_score(raw), t)
-            })
+            .map(|t| (lsh::centrality_score(scratch.project(&self.tables[g][t].family, v)), t))
             .collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         scored.into_iter().take(self.config.l).map(|(_, t)| t).collect()
@@ -229,7 +267,7 @@ impl<'a> BiLevelIndex<'a> {
 
     /// Re-probes through the hierarchy until at least `threshold` candidates
     /// are collected (or every bucket has been visited).
-    fn escalate(&self, v: &[f32], raw: &mut [f32], threshold: usize) -> Vec<u32> {
+    fn escalate(&self, v: &[f32], scratch: &mut ProjectionScratch, threshold: usize) -> Vec<u32> {
         let g = self.level1.assign(v);
         let mut out: Vec<u32> = Vec::new();
         // Grow the per-table bucket budget until the combined candidate set
@@ -237,13 +275,13 @@ impl<'a> BiLevelIndex<'a> {
         // coarser spans (paper: "search the LSH table hierarchy to find a
         // suitable bucket whose size is larger than the threshold").
         let mut want_buckets = 2usize;
-        let probe_tables = self.probe_tables(g, v, raw);
+        let probe_tables = self.probe_tables(g, v, scratch);
         loop {
             out.clear();
             let mut exhausted = true;
             for &t in &probe_tables {
                 let gt = &self.tables[g][t];
-                gt.family.project_into(v, raw);
+                let raw = scratch.project(&gt.family, v);
                 let home = quantize(raw, self.config.quantizer);
                 let bucket_idxs: Vec<u32> = match &gt.hierarchy {
                     Some(TableHierarchy::Zm(h)) => h.probe_expanding(&home, want_buckets),
@@ -270,18 +308,26 @@ impl<'a> BiLevelIndex<'a> {
     ///
     /// For `Probe::Hierarchical` the escalation threshold is the batch
     /// median of base candidate-set sizes (the paper's rule); other probes
-    /// use their base candidates directly. Ranking runs on the serial
-    /// short-list engine; callers needing the parallel engines can fetch
-    /// candidate sets via [`BiLevelIndex::candidates_batch`].
+    /// use their base candidates directly. Runs the whole pipeline on the
+    /// serial engine; [`BiLevelIndex::query_batch_with`] selects a parallel
+    /// one.
     pub fn query_batch(&self, queries: &Dataset, k: usize) -> BatchResult {
         self.query_batch_with(queries, k, Engine::Serial)
     }
 
-    /// Batch query with an explicit short-list engine — the organizational
-    /// choice Figure 4 compares. All engines return identical results; they
-    /// differ in execution layout and thread use.
+    /// Batch query with an explicit engine — the organizational choice
+    /// Figure 4 compares. The engine's thread count drives *both* phases:
+    /// candidate generation (probe + escalation) and short-list ranking.
+    /// All engines return identical results; they differ only in execution
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Engine::validate`] rejects the engine for this `k`
+    /// (work-queue capacity must exceed `k`).
     pub fn query_batch_with(&self, queries: &Dataset, k: usize, engine: Engine) -> BatchResult {
-        let candidates = self.candidates_batch(queries);
+        engine.validate(k);
+        let candidates = self.candidates_batch_with(queries, engine.threads());
         let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
         let neighbors = match engine {
             Engine::Serial => shortlist_serial(&self.data, queries, &candidates, k, &SquaredL2),
@@ -300,29 +346,60 @@ impl<'a> BiLevelIndex<'a> {
                 k,
                 &SquaredL2,
                 threads,
-                capacity.max(k + 1),
+                capacity,
             ),
         };
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
     }
 
     /// The candidate sets a batch of queries would rank, after any
-    /// hierarchical escalation. Exposed for the benchmark harnesses, which
-    /// feed them to the different short-list engines.
+    /// hierarchical escalation, generated on all available cores. Exposed
+    /// for the benchmark harnesses, which feed the sets to the different
+    /// short-list engines; [`BiLevelIndex::candidates_batch_with`] controls
+    /// the worker count explicitly.
     pub fn candidates_batch(&self, queries: &Dataset) -> Vec<Vec<u32>> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.candidates_batch_with(queries, threads)
+    }
+
+    /// Candidate generation on `threads` workers.
+    ///
+    /// Queries are block-partitioned over the pool (the same fan-out the
+    /// table build uses), each worker carrying its own
+    /// [`ProjectionScratch`]; per-query probes are independent, so results
+    /// are byte-identical to the serial path (`threads == 1`) regardless of
+    /// scheduling. For `Probe::Hierarchical` the escalation threshold — the
+    /// batch median of base sizes — is computed at a barrier between the
+    /// two passes, then the starved queries escalate on the same pool.
+    pub fn candidates_batch_with(&self, queries: &Dataset, threads: usize) -> Vec<Vec<u32>> {
         assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
-        let mut raw = vec![0.0f32; self.config.m];
-        let mut base: Vec<Vec<u32>> =
-            queries.iter().map(|q| self.base_candidates(q, &mut raw)).collect();
+        let mut base: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        parallel_fill_with(
+            &mut base,
+            threads,
+            || ProjectionScratch::new(self.config.m),
+            |scratch, q, slot| *slot = self.base_candidates(queries.row(q), scratch),
+        );
         if let Probe::Hierarchical { min_candidates } = self.config.probe {
             // Median of base sizes, floored by the configured minimum.
             let mut sizes: Vec<usize> = base.iter().map(Vec::len).collect();
             sizes.sort_unstable();
             let median = sizes[sizes.len() / 2].max(min_candidates);
-            for (q, cands) in base.iter_mut().enumerate() {
-                if cands.len() < median {
-                    *cands = self.escalate(queries.row(q), &mut raw, median);
-                }
+            // Starved queries escalate independently — fan them out too.
+            let mut jobs: Vec<(usize, Vec<u32>)> = base
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.len() < median)
+                .map(|(q, _)| (q, Vec::new()))
+                .collect();
+            parallel_fill_with(
+                &mut jobs,
+                threads,
+                || ProjectionScratch::new(self.config.m),
+                |scratch, _, job| job.1 = self.escalate(queries.row(job.0), scratch, median),
+            );
+            for (q, cands) in jobs {
+                base[q] = cands;
             }
         }
         base
@@ -363,8 +440,13 @@ impl<'a> BiLevelIndex<'a> {
         I: IntoIterator<Item = &'v [f32]>,
     {
         let first_id = self.data.len();
-        let mut raw = vec![0.0f32; self.config.m];
-        let mut touched: Vec<(usize, usize)> = Vec::new(); // (group, table)
+        let mut scratch = ProjectionScratch::new(self.config.m);
+        // Touched (group, table) pairs as a bitset: constant memory in the
+        // batch size, instead of one pair per vector per table (O(n·L)
+        // intermediate growth before dedup).
+        let tables_per_group = self.config.table_pool.unwrap_or(self.config.l);
+        let slots = self.tables.len() * tables_per_group;
+        let mut touched = vec![0u64; slots.div_ceil(64)];
         let mut inserted = 0usize;
         for v in vectors {
             assert_eq!(v.len(), self.data.dim(), "insert dimension mismatch");
@@ -372,23 +454,29 @@ impl<'a> BiLevelIndex<'a> {
             self.data.to_mut().push(v);
             let g = self.level1.assign(v);
             for (l, gt) in self.tables[g].iter_mut().enumerate() {
-                gt.family.project_into(v, &mut raw);
-                let code = quantize(&raw, self.config.quantizer);
+                let code = quantize(scratch.project(&gt.family, v), self.config.quantizer);
                 gt.table.insert(&code, id);
-                touched.push((g, l));
+                let bit = g * tables_per_group + l;
+                touched[bit / 64] |= 1 << (bit % 64);
             }
             inserted += 1;
         }
         assert!(inserted > 0, "insert_batch requires at least one vector");
-        // Refresh bucket code lists and hierarchies of the touched tables.
-        touched.sort_unstable();
-        touched.dedup();
+        // Refresh bucket code lists and hierarchies of the touched tables,
+        // in ascending (group, table) order as the set bits are walked.
         let rebuild = matches!(self.config.probe, Probe::Hierarchical { .. });
-        for (g, l) in touched {
-            let gt = &mut self.tables[g][l];
-            gt.bucket_codes = gt.table.sorted_codes();
-            if rebuild && !gt.bucket_codes.is_empty() {
-                gt.hierarchy = Some(build_table_hierarchy(&gt.bucket_codes, self.config.quantizer));
+        for (word_idx, &word) in touched.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = word_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (g, l) = (bit / tables_per_group, bit % tables_per_group);
+                let gt = &mut self.tables[g][l];
+                gt.bucket_codes = gt.table.sorted_codes();
+                if rebuild && !gt.bucket_codes.is_empty() {
+                    gt.hierarchy =
+                        Some(build_table_hierarchy(&gt.bucket_codes, self.config.quantizer));
+                }
             }
         }
         first_id
@@ -396,8 +484,9 @@ impl<'a> BiLevelIndex<'a> {
 }
 
 /// Builds every group's `L` hash tables, fanning groups out over worker
-/// threads. Deterministic: each `(group, table)` slot depends only on the
-/// config seed, the group's ids, and its width.
+/// threads via the same primitive the query pipeline uses. Deterministic:
+/// each `(group, table)` slot depends only on the config seed, the group's
+/// ids, and its width.
 fn build_group_tables(
     data: &Dataset,
     group_ids: &[Vec<u32>],
@@ -409,54 +498,42 @@ fn build_group_tables(
     // With a query-adaptive pool configured, every group materializes the
     // full pool; queries later pick the `l` most central tables.
     let tables_per_group = config.table_pool.unwrap_or(config.l);
-    let build_one_group = move |g: usize| -> Vec<GroupTable> {
-        let mut raw = vec![0.0f32; config.m];
-        let mut per_table = Vec::with_capacity(tables_per_group);
-        for l in 0..tables_per_group {
-            // One base family per table index, shared across groups so
-            // bi-level vs. standard comparisons differ only in W and
-            // partitioning, then rescaled to the group width.
-            let base =
-                HashFamily::sample(data.dim(), config.m, 1.0, config.seed ^ (0x1000 + l as u64));
-            let family = base.with_w(group_widths[g]);
-            let mut table = LshTable::new();
-            for &id in &group_ids[g] {
-                family.project_into(data.row(id as usize), &mut raw);
-                let code = quantize(&raw, config.quantizer);
-                table.insert(&code, id);
-            }
-            let bucket_codes = table.sorted_codes();
-            let hierarchy = if build_hierarchy && !bucket_codes.is_empty() {
-                Some(build_table_hierarchy(&bucket_codes, config.quantizer))
-            } else {
-                None
-            };
-            per_table.push(GroupTable { family, table, bucket_codes, hierarchy });
-        }
-        per_table
-    };
-
-    let num_groups = group_ids.len();
-    if threads <= 1 || num_groups < 2 {
-        return (0..num_groups).map(build_one_group).collect();
-    }
-    let mut tables: Vec<Vec<GroupTable>> = Vec::with_capacity(num_groups);
-    for _ in 0..num_groups {
-        tables.push(Vec::new());
-    }
-    let chunk = num_groups.div_ceil(threads.min(num_groups));
-    crossbeam::thread::scope(|scope| {
-        for (tid, slot_chunk) in tables.chunks_mut(chunk).enumerate() {
-            let start = tid * chunk;
-            let build_one_group = &build_one_group;
-            scope.spawn(move |_| {
-                for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = build_one_group(start + j);
+    let mut tables: Vec<Vec<GroupTable>> = Vec::new();
+    tables.resize_with(group_ids.len(), Vec::new);
+    parallel_fill_with(
+        &mut tables,
+        threads,
+        || ProjectionScratch::new(config.m),
+        |scratch, g, slot| {
+            let mut per_table = Vec::with_capacity(tables_per_group);
+            for l in 0..tables_per_group {
+                // One base family per table index, shared across groups so
+                // bi-level vs. standard comparisons differ only in W and
+                // partitioning, then rescaled to the group width.
+                let base = HashFamily::sample(
+                    data.dim(),
+                    config.m,
+                    1.0,
+                    config.seed ^ (0x1000 + l as u64),
+                );
+                let family = base.with_w(group_widths[g]);
+                let mut table = LshTable::new();
+                for &id in &group_ids[g] {
+                    let code =
+                        quantize(scratch.project(&family, data.row(id as usize)), config.quantizer);
+                    table.insert(&code, id);
                 }
-            });
-        }
-    })
-    .expect("group build worker panicked");
+                let bucket_codes = table.sorted_codes();
+                let hierarchy = if build_hierarchy && !bucket_codes.is_empty() {
+                    Some(build_table_hierarchy(&bucket_codes, config.quantizer))
+                } else {
+                    None
+                };
+                per_table.push(GroupTable { family, table, bucket_codes, hierarchy });
+            }
+            *slot = per_table;
+        },
+    );
     tables
 }
 
@@ -551,10 +628,15 @@ fn e8_probe_codes(raw: &[f32], home: &[i32], t: usize) -> Vec<Vec<i32>> {
 
 /// Total-ordered f64 wrapper for the probe frontier (distances are finite
 /// by construction).
-#[derive(PartialEq, PartialOrd)]
+#[derive(PartialEq)]
 struct OrderedF64(f64);
 
 impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
@@ -833,6 +915,73 @@ mod tests {
         assert_eq!(serial.candidates, wq.candidates);
     }
 
+    /// Tentpole determinism contract: the threaded probe/escalation pipeline
+    /// must return byte-identical candidate sets — and identical
+    /// `BatchResult`s through every engine — to the serial path, across all
+    /// three probe modes and both quantizers.
+    #[test]
+    fn parallel_candidates_match_serial_across_modes_and_quantizers() {
+        let (data, queries) = small_data();
+        let probes = [Probe::Home, Probe::Multi(8), Probe::Hierarchical { min_candidates: 15 }];
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            for probe in probes {
+                let cfg = BiLevelConfig::paper_default(2.0).quantizer(quantizer).probe(probe);
+                let index = BiLevelIndex::build(&data, &cfg);
+                let serial = index.candidates_batch_with(&queries, 1);
+                for threads in [2, 4] {
+                    let parallel = index.candidates_batch_with(&queries, threads);
+                    assert_eq!(
+                        serial, parallel,
+                        "candidate drift at {threads} threads ({quantizer:?}, {probe:?})"
+                    );
+                }
+                let k = 6;
+                let base = index.query_batch_with(&queries, k, Engine::Serial);
+                for engine in [
+                    Engine::PerQuery { threads: 4 },
+                    Engine::WorkQueue { threads: 4, capacity: 128 },
+                ] {
+                    let got = index.query_batch_with(&queries, k, engine);
+                    assert_eq!(base.neighbors, got.neighbors, "{quantizer:?} {probe:?} {engine:?}");
+                    assert_eq!(
+                        base.candidates, got.candidates,
+                        "{quantizer:?} {probe:?} {engine:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workqueue_at_minimum_capacity_matches_serial() {
+        let (data, queries) = small_data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(4.0));
+        let k = 8;
+        // capacity == k + 1 is the tightest queue the contract allows.
+        let engine = Engine::WorkQueue { threads: 2, capacity: k + 1 };
+        let serial = index.query_batch_with(&queries, k, Engine::Serial);
+        let wq = index.query_batch_with(&queries, k, engine);
+        assert_eq!(serial.neighbors, wq.neighbors);
+        assert_eq!(serial.candidates, wq.candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed k")]
+    fn workqueue_capacity_not_above_k_is_rejected() {
+        let (data, queries) = small_data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(2.0));
+        let _ = index.query_batch_with(&queries, 8, Engine::WorkQueue { threads: 2, capacity: 8 });
+    }
+
+    #[test]
+    fn engine_thread_counts_are_sane() {
+        assert_eq!(Engine::Serial.threads(), 1);
+        assert_eq!(Engine::PerQuery { threads: 0 }.threads(), 1);
+        assert_eq!(Engine::PerQuery { threads: 6 }.threads(), 6);
+        assert_eq!(Engine::WorkQueue { threads: 4, capacity: 99 }.threads(), 4);
+        Engine::WorkQueue { threads: 1, capacity: 9 }.validate(8); // k + 1 passes
+    }
+
     #[test]
     fn single_query_matches_batch_row() {
         let (data, queries) = small_data();
@@ -868,8 +1017,8 @@ mod tests {
                 .map(|(t, g)| knn_metrics::recall(t, g))
                 .sum::<f64>()
                 / truth.len() as f64;
-            let tau: f64 = res.candidates.iter().sum::<usize>() as f64
-                / (queries.len() * data.len()) as f64;
+            let tau: f64 =
+                res.candidates.iter().sum::<usize>() as f64 / (queries.len() * data.len()) as f64;
             (recall, tau)
         };
         let (r_fixed, tau_fixed) = score(&a);

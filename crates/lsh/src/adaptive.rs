@@ -71,8 +71,7 @@ mod tests {
 
     #[test]
     fn selects_the_requested_number_of_distinct_tables() {
-        let families: Vec<HashFamily> =
-            (0..12).map(|i| HashFamily::sample(8, 4, 2.0, i)).collect();
+        let families: Vec<HashFamily> = (0..12).map(|i| HashFamily::sample(8, 4, 2.0, i)).collect();
         let q = vec![0.7f32; 8];
         let picked = select_tables(&families, &q, 5);
         assert_eq!(picked.len(), 5);
@@ -93,9 +92,9 @@ mod tests {
             .iter()
             .map(|&i| centrality_score(&families[i].project(&q)))
             .fold(0.0f64, f64::max);
-        for i in 0..families.len() {
+        for (i, family) in families.iter().enumerate() {
             if !picked.contains(&i) {
-                let score = centrality_score(&families[i].project(&q));
+                let score = centrality_score(&family.project(&q));
                 assert!(score >= worst_picked - 1e-12, "table {i} should have been picked");
             }
         }

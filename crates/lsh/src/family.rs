@@ -106,6 +106,45 @@ impl HashFamily {
     }
 }
 
+/// Reusable projection buffer: the per-worker scratch state of the parallel
+/// candidate-generation pipeline.
+///
+/// Probing hashes one query against many tables; allocating an `m`-length
+/// buffer per hash (or threading a caller-owned `&mut [f32]` through every
+/// probe routine) couples callers to the projection width. A
+/// `ProjectionScratch` owns that buffer instead: create one per worker
+/// thread, then [`project`](Self::project) borrows the raw projection for
+/// immediate quantization. Buffers hold no query state between calls, so
+/// reuse never changes results.
+#[derive(Debug, Clone)]
+pub struct ProjectionScratch {
+    raw: Vec<f32>,
+}
+
+impl ProjectionScratch {
+    /// Scratch sized for families with `m` component hashes.
+    pub fn new(m: usize) -> Self {
+        Self { raw: vec![0.0; m] }
+    }
+
+    /// Number of component hashes this scratch is sized for.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Projects `v` through `family` and returns the raw projection slice,
+    /// valid until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `family.m()` differs from the scratch size.
+    pub fn project<'s>(&'s mut self, family: &HashFamily, v: &[f32]) -> &'s [f32] {
+        family.project_into(v, &mut self.raw);
+        &self.raw
+    }
+}
+
 /// Floors a raw projection vector to a `Z^M` code.
 pub fn quantize_zm(raw: &[f32]) -> LshCode {
     raw.iter().map(|x| x.floor() as i32).collect()
@@ -188,6 +227,19 @@ mod tests {
         let f = HashFamily::sample(12, 8, 3.0, 13);
         let v: Vec<f32> = (0..12).map(|i| (i as f32).cos() * 5.0).collect();
         assert_eq!(quantize_zm(&f.project(&v)), f.hash_zm(&v));
+    }
+
+    #[test]
+    fn scratch_projection_matches_allocating_path() {
+        let f = HashFamily::sample(12, 8, 3.0, 17);
+        let mut scratch = ProjectionScratch::new(f.m());
+        let a: Vec<f32> = (0..12).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..12).map(|i| (i as f32) * 0.3 - 1.0).collect();
+        // Reusing the buffer across different inputs leaves no residue.
+        assert_eq!(scratch.project(&f, &a), f.project(&a).as_slice());
+        assert_eq!(scratch.project(&f, &b), f.project(&b).as_slice());
+        assert_eq!(scratch.project(&f, &a), f.project(&a).as_slice());
+        assert_eq!(scratch.m(), 8);
     }
 
     #[test]

@@ -339,7 +339,7 @@ mod tests {
     fn duplicate_points_do_not_blow_the_depth_cap() {
         let data = Dataset::from_rows(&vec![vec![1.0f32; 8]; 200]);
         let forest = LshForest::build(&data, &ForestConfig::new(2.0));
-        let cands = forest.candidates(&vec![1.0f32; 8], 10);
+        let cands = forest.candidates(&[1.0f32; 8], 10);
         assert_eq!(cands.len(), 200, "all duplicates share one capped leaf");
     }
 

@@ -3,7 +3,7 @@
 //! same k-best results, differing only in execution organization — which is
 //! precisely the comparison the paper's Figure 4 runs.
 
-use crate::primitives::{clustered_sort, parallel_for_each, QueueEntry};
+use crate::primitives::{clustered_sort, parallel_fill_with, parallel_for_each, QueueEntry};
 use vecstore::{Dataset, Metric, Neighbor, TopK};
 
 /// Serial baseline: one size-k max-heap per query (the paper's single-core
@@ -67,24 +67,13 @@ pub fn shortlist_per_query(
     threads: usize,
 ) -> Vec<Vec<Neighbor>> {
     assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
-    let nq = queries.len();
-    if threads <= 1 || nq < 2 {
-        return shortlist_serial(data, queries, candidates, k, metric);
-    }
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
-    let chunk = nq.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (tid, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let start = tid * chunk;
-            s.spawn(move |_| {
-                for (j, slot) in out_chunk.iter_mut().enumerate() {
-                    let q = start + j;
-                    *slot = rank_one(data, queries.row(q), &candidates[q], k, metric);
-                }
-            });
-        }
-    })
-    .expect("per-query worker panicked");
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+    parallel_fill_with(
+        &mut results,
+        threads,
+        || (),
+        |_, q, slot| *slot = rank_one(data, queries.row(q), &candidates[q], k, metric),
+    );
     results
 }
 
@@ -97,6 +86,15 @@ pub fn shortlist_per_query(
 /// `(query, distance)`; (3) a compact pass keeps the first `k` entries of
 /// every query run as the new running k-best. `queue_capacity` plays the
 /// role of the GPU global-memory budget.
+///
+/// # Capacity contract
+///
+/// `queue_capacity` must exceed `k` (asserted): an admitted query re-enters
+/// its running k-best (up to `k` entries) and must still have room for at
+/// least one fresh candidate, or a round could make no progress. This is
+/// the single capacity contract for the whole pipeline — callers such as
+/// `bilevel_lsh::Engine::WorkQueue` validate against it up front rather
+/// than silently clamping.
 pub fn shortlist_workqueue(
     data: &Dataset,
     queries: &Dataset,
@@ -118,40 +116,8 @@ pub fn shortlist_workqueue(
     let mut queue: Vec<QueueEntry> = Vec::with_capacity(queue_capacity);
     while !pending.is_empty() {
         queue.clear();
-        let mut scheduled: Vec<u32> = Vec::new();
-        let mut still_pending: Vec<u32> = Vec::new();
-        // Fill phase: copy each scheduled query's current k-best and as many
-        // fresh candidates as fit.
-        for &q in &pending {
-            let qi = q as usize;
-            let have = best[qi].len();
-            let remaining = candidates[qi].len() - cursor[qi];
-            let need = have + remaining.min(k.max(remaining));
-            // Admit the query if at least its k-best plus one new candidate
-            // fits (or it has no remaining candidates at all).
-            if queue.len() + have + 1 > queue_capacity && !queue.is_empty() {
-                still_pending.push(q);
-                continue;
-            }
-            let _ = need;
-            queue.extend(best[qi].iter().copied());
-            let space = queue_capacity.saturating_sub(queue.len());
-            let take = remaining.min(space);
-            for &id in &candidates[qi][cursor[qi]..cursor[qi] + take] {
-                queue.push(QueueEntry { query: q, id, dist: f32::NAN });
-            }
-            cursor[qi] += take;
-            if cursor[qi] < candidates[qi].len() {
-                still_pending.push(q); // more rounds needed for this query
-            }
-            scheduled.push(q);
-            if queue.len() >= queue_capacity {
-                // Queue full: defer the rest of the pending list untouched.
-                let pos = pending.iter().position(|&x| x == q).expect("q in pending");
-                still_pending.extend(pending[pos + 1..].iter().copied().filter(|x| *x != q));
-                break;
-            }
-        }
+        let (scheduled, still_pending) =
+            fill_round(candidates, &best, &mut cursor, &pending, &mut queue, queue_capacity);
 
         // Map phase: evaluate the distances of fresh entries in parallel.
         parallel_for_each(&mut queue, threads, |e| {
@@ -192,6 +158,57 @@ pub fn shortlist_workqueue(
             entries.into_iter().map(|e| Neighbor { id: e.id as usize, dist: e.dist }).collect()
         })
         .collect()
+}
+
+/// One fill round of the work queue: walks `pending` in order, copying each
+/// admitted query's running k-best plus as many fresh candidates as fit
+/// into `queue`. Returns `(scheduled, still_pending)` for the round.
+///
+/// Invariants:
+/// * `pending` holds unique query ids, so both returned lists do too — a
+///   query is never scheduled twice in one round;
+/// * a query is admitted only if its k-best *and* at least one fresh
+///   candidate (when it has any remaining) fit, so every admitted query
+///   makes progress and no round stalls.
+fn fill_round(
+    candidates: &[Vec<u32>],
+    best: &[Vec<QueueEntry>],
+    cursor: &mut [usize],
+    pending: &[u32],
+    queue: &mut Vec<QueueEntry>,
+    queue_capacity: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut scheduled: Vec<u32> = Vec::new();
+    let mut still_pending: Vec<u32> = Vec::new();
+    for (i, &q) in pending.iter().enumerate() {
+        let qi = q as usize;
+        let have = best[qi].len();
+        let remaining = candidates[qi].len() - cursor[qi];
+        // Admit the query only if its k-best plus one fresh candidate (when
+        // any remain) fits; otherwise it waits for a later round.
+        if queue.len() + have + remaining.min(1) > queue_capacity {
+            still_pending.push(q);
+            continue;
+        }
+        queue.extend(best[qi].iter().copied());
+        let take = remaining.min(queue_capacity - queue.len());
+        for &id in &candidates[qi][cursor[qi]..cursor[qi] + take] {
+            queue.push(QueueEntry { query: q, id, dist: f32::NAN });
+        }
+        cursor[qi] += take;
+        if cursor[qi] < candidates[qi].len() {
+            still_pending.push(q); // more rounds needed for this query
+        }
+        scheduled.push(q);
+        if queue.len() >= queue_capacity {
+            // Queue full: defer the rest of the pending list untouched
+            // (`pending` ids are unique, so a straight copy cannot
+            // double-schedule anything).
+            still_pending.extend_from_slice(&pending[i + 1..]);
+            break;
+        }
+    }
+    (scheduled, still_pending)
 }
 
 /// Ranks one query's candidates with a size-k heap; duplicates in the
@@ -348,5 +365,74 @@ mod tests {
         let candidates = vec![vec![0, 1]];
         let got = shortlist_workqueue(&data, &queries, &candidates, 10, &SquaredL2, 1, 32);
         assert_eq!(got[0].len(), 2);
+    }
+
+    #[test]
+    fn minimum_capacity_is_exact() {
+        // capacity == k + 1 is the smallest the contract allows: every round
+        // admits one query with its k-best plus a single fresh candidate.
+        let (data, queries, candidates) = scenario(11);
+        let k = 5;
+        let got = shortlist_workqueue(&data, &queries, &candidates, k, &SquaredL2, 2, k + 1);
+        assert_eq!(got, reference(&data, &queries, &candidates, k));
+    }
+
+    #[test]
+    #[should_panic(expected = "queue must hold more than one query's k-best")]
+    fn capacity_not_above_k_is_rejected() {
+        let (data, queries, candidates) = scenario(12);
+        shortlist_workqueue(&data, &queries, &candidates, 5, &SquaredL2, 1, 5);
+    }
+
+    /// Drives `fill_round` directly and checks its two invariants on every
+    /// round: no query id appears twice in `scheduled` or `still_pending`
+    /// (regression for the deferral path, which used to re-filter the
+    /// current id out of an already-unique pending list), and every admitted
+    /// query with work left received at least one fresh candidate slot.
+    #[test]
+    fn fill_round_never_schedules_a_query_twice() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let nq = 40;
+        let candidates: Vec<Vec<u32>> = (0..nq)
+            .map(|_| {
+                let len = rng.gen_range(0..30);
+                (0..len).map(|_| rng.gen_range(0..100u32)).collect()
+            })
+            .collect();
+        let k = 4;
+        let queue_capacity = k + 1; // smallest legal queue → maximal deferral
+        let mut best: Vec<Vec<QueueEntry>> = vec![Vec::new(); nq];
+        let mut cursor = vec![0usize; nq];
+        let mut pending: Vec<u32> = (0..nq as u32).collect();
+        let mut queue: Vec<QueueEntry> = Vec::new();
+        let mut rounds = 0;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(rounds < 10_000, "work queue stopped making progress");
+            queue.clear();
+            let before: Vec<usize> = cursor.clone();
+            let (scheduled, still_pending) =
+                fill_round(&candidates, &best, &mut cursor, &pending, &mut queue, queue_capacity);
+            for list in [&scheduled, &still_pending] {
+                let mut seen = list.clone();
+                seen.sort_unstable();
+                let n = seen.len();
+                seen.dedup();
+                assert_eq!(seen.len(), n, "query scheduled twice in one round");
+            }
+            for &q in &scheduled {
+                let qi = q as usize;
+                if before[qi] < candidates[qi].len() {
+                    assert!(cursor[qi] > before[qi], "admitted query got no fresh slot");
+                }
+                // Fake a running k-best so later rounds re-enter entries.
+                best[qi] = candidates[qi][..cursor[qi].min(k)]
+                    .iter()
+                    .map(|&id| QueueEntry { query: q, id, dist: 0.0 })
+                    .collect();
+            }
+            pending = still_pending;
+        }
+        assert!((0..nq).all(|q| cursor[q] == candidates[q].len()), "all candidates consumed");
     }
 }

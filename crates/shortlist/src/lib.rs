@@ -24,4 +24,4 @@ pub mod engine;
 pub mod primitives;
 
 pub use engine::{shortlist_per_query, shortlist_select, shortlist_serial, shortlist_workqueue};
-pub use primitives::{clustered_sort, compact, exclusive_scan, parallel_map};
+pub use primitives::{clustered_sort, compact, exclusive_scan, parallel_fill_with, parallel_map};

@@ -40,6 +40,42 @@ where
     out
 }
 
+/// Fills every output slot on `threads` workers, giving each worker its own
+/// scratch state from `init` — the shared fan-out primitive behind the
+/// table build and the parallel candidate-generation pipeline.
+///
+/// Slots are block-partitioned in index order and `f` receives each slot's
+/// global index, so the output is deterministic regardless of scheduling:
+/// slot `i` depends only on `(i, scratch)` and never on which worker ran it.
+pub fn parallel_fill_with<T, S, I, F>(out: &mut [T], threads: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    if threads <= 1 || out.len() < 2 {
+        let mut scratch = init();
+        for (i, slot) in out.iter_mut().enumerate() {
+            f(&mut scratch, i, slot);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (tid, part) in out.chunks_mut(chunk).enumerate() {
+            let (init, f) = (&init, &f);
+            s.spawn(move |_| {
+                let mut scratch = init();
+                let start = tid * chunk;
+                for (j, slot) in part.iter_mut().enumerate() {
+                    f(&mut scratch, start + j, slot);
+                }
+            });
+        }
+    })
+    .expect("parallel_fill worker panicked");
+}
+
 /// In-place variant of [`parallel_map`]: applies `f` to every element.
 pub fn parallel_for_each<T, F>(items: &mut [T], threads: usize, f: F)
 where

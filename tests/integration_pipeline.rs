@@ -2,7 +2,7 @@
 //! level-2 tables → probing → short-list engines → metrics, spanning every
 //! crate in the workspace.
 
-use bilevel_lsh::{ground_truth, BiLevelConfig, BiLevelIndex, FlatIndex};
+use bilevel_lsh::{ground_truth, BiLevelConfig, BiLevelIndex, Engine, FlatIndex, Probe, Quantizer};
 use knn_metrics::{error_ratio, recall};
 use shortlist::{shortlist_per_query, shortlist_serial, shortlist_workqueue};
 use vecstore::synth::{self, ClusteredSpec};
@@ -67,6 +67,43 @@ fn exhaustive_width_recovers_exact_knn() {
             a.iter().map(|n| n.id).collect::<Vec<_>>(),
             "query {q} differs from exact search"
         );
+    }
+}
+
+#[test]
+fn threaded_probe_pipeline_is_deterministic_end_to_end() {
+    let (data, queries) = corpus();
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        for probe in [Probe::Home, Probe::Multi(8), Probe::Hierarchical { min_candidates: 15 }] {
+            let cfg = BiLevelConfig::paper_default(40.0).quantizer(quantizer).probe(probe);
+            let index = BiLevelIndex::build(&data, &cfg);
+            let serial = index.candidates_batch_with(&queries, 1);
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    serial,
+                    index.candidates_batch_with(&queries, threads),
+                    "candidate drift at {threads} threads ({quantizer:?}, {probe:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_engine_selection_governs_probe_and_rank() {
+    let (data, queries) = corpus();
+    let cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Hierarchical { min_candidates: 20 });
+    let index = BiLevelIndex::build(&data, &cfg);
+    let k = 10;
+    let serial = index.query_batch_with(&queries, k, Engine::Serial);
+    for engine in [
+        Engine::PerQuery { threads: 4 },
+        Engine::WorkQueue { threads: 4, capacity: 4_096 },
+        Engine::WorkQueue { threads: 2, capacity: k + 1 }, // smallest legal queue
+    ] {
+        let got = index.query_batch_with(&queries, k, engine);
+        assert_eq!(serial.neighbors, got.neighbors, "{engine:?}");
+        assert_eq!(serial.candidates, got.candidates, "{engine:?}");
     }
 }
 
