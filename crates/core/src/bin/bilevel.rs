@@ -2,9 +2,9 @@
 //! corpora with Bi-level LSH.
 //!
 //! ```text
-//! bilevel build  <corpus.fvecs> <index.json> [--w W | --target-recall R] [--groups G] [--tables L] [--e8]
-//! bilevel query  <corpus.fvecs> <index.json> <queries.fvecs> [--k K]
-//! bilevel stats  <corpus.fvecs> <index.json>
+//! bilevel build  <corpus.fvecs> <index.snap> [--w W | --target-recall R] [--groups G] [--tables L] [--e8]
+//! bilevel query  <corpus.fvecs> <index.snap> <queries.fvecs> [--k K]
+//! bilevel stats  <corpus.fvecs> <index.snap>
 //! bilevel exact  <corpus.fvecs> <queries.fvecs> [--k K]   (brute-force reference)
 //! ```
 //!
@@ -21,9 +21,9 @@ use vecstore::{knn_batch, SquaredL2};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         bilevel build  <corpus.fvecs> <index.json> [--w W | --target-recall R] [--groups G] [--tables L] [--m M] [--e8] [--seed S]\n  \
-         bilevel query  <corpus.fvecs> <index.json> <queries.fvecs> [--k K]\n  \
-         bilevel stats  <corpus.fvecs> <index.json>\n  \
+         bilevel build  <corpus.fvecs> <index.snap> [--w W | --target-recall R] [--groups G] [--tables L] [--m M] [--e8] [--seed S]\n  \
+         bilevel query  <corpus.fvecs> <index.snap> <queries.fvecs> [--k K]\n  \
+         bilevel stats  <corpus.fvecs> <index.snap>\n  \
          bilevel exact  <corpus.fvecs> <queries.fvecs> [--k K]"
     );
     ExitCode::from(2)
@@ -104,7 +104,7 @@ fn config_from_flags(flags: &Flags) -> BiLevelConfig {
 
 fn cmd_build(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [corpus_path, index_path, flags @ ..] = rest else {
-        return Err("build needs <corpus.fvecs> <index.json>".into());
+        return Err("build needs <corpus.fvecs> <index.snap>".into());
     };
     let flags = Flags(flags.to_vec());
     let data = read_fvecs(Path::new(corpus_path))?;
@@ -125,7 +125,7 @@ fn cmd_build(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_query(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [corpus_path, index_path, queries_path, flags @ ..] = rest else {
-        return Err("query needs <corpus.fvecs> <index.json> <queries.fvecs>".into());
+        return Err("query needs <corpus.fvecs> <index.snap> <queries.fvecs>".into());
     };
     let flags = Flags(flags.to_vec());
     let k: usize = flags.num("--k", 10);
@@ -158,7 +158,7 @@ fn cmd_query(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_stats(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [corpus_path, index_path, ..] = rest else {
-        return Err("stats needs <corpus.fvecs> <index.json>".into());
+        return Err("stats needs <corpus.fvecs> <index.snap>".into());
     };
     let data = read_fvecs(Path::new(corpus_path))?;
     let index = BiLevelIndex::load(&data, Path::new(index_path))?;

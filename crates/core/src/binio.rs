@@ -1,0 +1,293 @@
+//! Little-endian binary framing for snapshot format v2.
+//!
+//! A v2 stream is `magic · version · kind` followed by length-prefixed,
+//! checksummed sections. The framing layer knows nothing about index
+//! structure: [`write_section`] frames an opaque payload, [`read_section`]
+//! verifies length and checksum before handing the payload to a decoder,
+//! and [`ByteReader`] walks a payload with bounds-checked primitive reads.
+//! Every multi-byte value is little-endian; every length is a `u64`.
+
+use crate::persist::PersistError;
+use std::io::{Read, Write};
+
+/// Stream magic, also the v1/v2 auto-detection key: JSON can never start
+/// with these bytes.
+pub(crate) const MAGIC: [u8; 4] = *b"BLSH";
+
+/// Per-section size cap: a corrupted length header must not drive a huge
+/// allocation before the checksum gets a chance to reject the payload.
+const MAX_SECTION: u64 = 1 << 33;
+
+/// FNV-1a over a byte slice — the section checksum.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Frames one payload: length, FNV-1a checksum, bytes.
+pub(crate) fn write_section<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), PersistError> {
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&fnv64(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one framed section, rejecting truncation, absurd lengths, and
+/// checksum mismatches with [`PersistError::Format`] naming `what`.
+pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> Result<Vec<u8>, PersistError> {
+    let mut header = [0u8; 16];
+    read_exact_or_format(r, &mut header, what)?;
+    let len = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+    let want = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+    if len > MAX_SECTION {
+        return Err(PersistError::Format(format!(
+            "{what} section claims {len} bytes (corrupt length)"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_format(r, &mut payload, what)?;
+    if fnv64(&payload) != want {
+        return Err(PersistError::Format(format!("{what} section checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+fn read_exact_or_format<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &str,
+) -> Result<(), PersistError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Format(format!("{what} section truncated"))
+        } else {
+            PersistError::Io(e)
+        }
+    })
+}
+
+/// Append-only little-endian payload builder.
+#[derive(Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Lengths and indices travel as `u64` regardless of platform width.
+    pub(crate) fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub(crate) fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f32s(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    pub(crate) fn put_i32s(&mut self, vs: &[i32]) {
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub(crate) fn put_u32s(&mut self, vs: &[u32]) {
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    pub(crate) fn put_u64s(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+}
+
+/// Bounds-checked cursor over one section payload. Every read names the
+/// payload (`what`) in its error so a corrupt snapshot points at itself.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'a str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            PersistError::Format(format!("unexpected end of {} payload", self.what))
+        })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// The payload must be fully consumed — trailing bytes mean the encoder
+    /// and decoder disagree about the layout.
+    pub(crate) fn finish(self) -> Result<(), PersistError> {
+        if self.pos != self.buf.len() {
+            return Err(PersistError::Format(format!(
+                "{} payload has {} trailing bytes",
+                self.what,
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A `u64` length that must fit the platform's `usize`.
+    pub(crate) fn len(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| {
+            PersistError::Format(format!("{} length {v} exceeds platform usize", self.what))
+        })
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f32s(&mut self, n: usize) -> Result<Vec<f32>, PersistError> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| overflow(self.what))?)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
+    pub(crate) fn i32s(&mut self, n: usize) -> Result<Vec<i32>, PersistError> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| overflow(self.what))?)?;
+        Ok(bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
+    pub(crate) fn u32s(&mut self, n: usize) -> Result<Vec<u32>, PersistError> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| overflow(self.what))?)?;
+        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
+    pub(crate) fn u64s(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
+        let bytes = self.take(n.checked_mul(8).ok_or_else(|| overflow(self.what))?)?;
+        Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect())
+    }
+}
+
+fn overflow(what: &str) -> PersistError {
+    PersistError::Format(format!("{what} length overflows"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        w.put_len(42);
+        w.put_f32s(&[0.1, 0.2]);
+        w.put_i32s(&[-3, 4]);
+        w.put_u32s(&[9, 10]);
+        w.put_u64s(&[11, 12]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32s(1).unwrap(), vec![0xDEAD_BEEF]);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert_eq!(r.len().unwrap(), 42);
+        assert_eq!(r.f32s(2).unwrap(), vec![0.1, 0.2]);
+        assert_eq!(r.i32s(2).unwrap(), vec![-3, 4]);
+        assert_eq!(r.u32s(2).unwrap(), vec![9, 10]);
+        assert_eq!(r.u64s(2).unwrap(), vec![11, 12]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn over_read_and_trailing_bytes_are_errors() {
+        let bytes = vec![1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes, "test");
+        assert!(r.u64().is_err(), "reading past the end");
+        let mut r = ByteReader::new(&bytes, "test");
+        r.u8().unwrap();
+        assert!(r.finish().is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn section_roundtrip_and_corruption() {
+        let payload = b"hello sections".to_vec();
+        let mut stream = Vec::new();
+        write_section(&mut stream, &payload).unwrap();
+        let got = read_section(&mut stream.as_slice(), "demo").unwrap();
+        assert_eq!(got, payload);
+
+        // Flip one payload byte: checksum must catch it.
+        let mut bad = stream.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let err = read_section(&mut bad.as_slice(), "demo").unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("checksum")));
+
+        // Truncate mid-payload.
+        let cut = &stream[..stream.len() - 3];
+        let err = read_section(&mut &cut[..], "demo").unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("truncated")));
+
+        // Absurd length header.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        huge.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_section(&mut huge.as_slice(), "demo").unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("corrupt length")));
+    }
+}

@@ -11,7 +11,7 @@
 use crate::code::compress_code;
 use crate::config::{BiLevelConfig, Partition, Probe};
 use crate::index::{probe_sequence, quantize};
-use cuckoo::CuckooTable;
+use crate::interval::IntervalTable;
 use lsh::{HashFamily, ProjectionScratch};
 use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
 use shortlist::parallel_fill_with;
@@ -30,8 +30,8 @@ pub struct FlatIndex<'a> {
     families: Vec<HashFamily>,
     /// All item ids sorted by (table, compressed code).
     linear: Vec<u32>,
-    /// Compressed code → packed `(start << 32) | end` interval.
-    intervals: CuckooTable,
+    /// Compressed code → `(start, len)` interval into `linear`.
+    intervals: IntervalTable,
 }
 
 impl<'a> FlatIndex<'a> {
@@ -89,19 +89,7 @@ impl<'a> FlatIndex<'a> {
         // Sort by key: buckets become contiguous intervals.
         keyed.sort_unstable();
         let linear: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
-        // Interval per distinct key, packed into the cuckoo payload.
-        let mut items: Vec<(u64, u64)> = Vec::new();
-        let mut i = 0usize;
-        while i < keyed.len() {
-            let key = keyed[i].0;
-            let mut j = i;
-            while j < keyed.len() && keyed[j].0 == key {
-                j += 1;
-            }
-            items.push((key, ((i as u64) << 32) | j as u64));
-            i = j;
-        }
-        let intervals = CuckooTable::build_parallel(items, 0.5, config.seed ^ 0xC0C0, 1)
+        let intervals = IntervalTable::from_sorted_entries(&keyed, config.seed ^ 0xC0C0)
             .expect("cuckoo build failed");
 
         Self { data, config, partitioner, families, linear, intervals }
@@ -137,9 +125,8 @@ impl<'a> FlatIndex<'a> {
                 Probe::Hierarchical { .. } => unreachable!("rejected at build"),
             };
             for code in probes {
-                if let Some(packed) = self.intervals.get(compress_code(l, g, &code)) {
-                    let (start, end) = ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize);
-                    out.extend_from_slice(&self.linear[start..end]);
+                if let Some((start, len)) = self.intervals.get(compress_code(l, g, &code)) {
+                    out.extend_from_slice(&self.linear[start as usize..(start + len) as usize]);
                 }
             }
         }

@@ -11,7 +11,7 @@ use shortlist::{parallel_fill_with, shortlist_serial};
 use vecstore::{Dataset, Neighbor, SquaredL2};
 
 /// Level-1 partitioner, enum-dispatched (all variants are `Partitioner`s).
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) enum Level1 {
     Single(SinglePartition),
     Rp(RpTree),
@@ -35,6 +35,38 @@ impl Level1 {
             Level1::Rp(p) => p.num_groups(),
             Level1::Km(p) => p.num_groups(),
             Level1::Kd(p) => p.num_groups(),
+        }
+    }
+}
+
+impl Partitioner for Level1 {
+    fn assign(&self, v: &[f32]) -> usize {
+        Level1::assign(self, v)
+    }
+
+    fn num_groups(&self) -> usize {
+        Level1::num_groups(self)
+    }
+}
+
+/// Fits the level-1 partitioner on `data`, returning it with the per-row
+/// assignments. Shared by the in-memory builders and the out-of-core
+/// sample-fit phase (which fits on a sample and discards the assignments).
+pub(crate) fn fit_level1(data: &Dataset, config: &BiLevelConfig) -> (Level1, Vec<usize>) {
+    match config.partition {
+        Partition::None => (Level1::Single(SinglePartition), vec![0usize; data.len()]),
+        Partition::RpTree { groups, rule } => {
+            let cfg = RpTreeConfig::with_leaves(groups).rule(rule).seed(config.seed ^ 0xA11);
+            let (tree, assign) = RpTree::fit(data, &cfg);
+            (Level1::Rp(tree), assign)
+        }
+        Partition::KMeans { groups } => {
+            let (km, assign) = KMeans::fit(data, groups, 50, config.seed ^ 0xB22);
+            (Level1::Km(km), assign)
+        }
+        Partition::Kd { groups } => {
+            let (kd, assign) = KdPartitioner::fit(data, groups);
+            (Level1::Kd(kd), assign)
         }
     }
 }
@@ -167,22 +199,7 @@ impl<'a> BiLevelIndex<'a> {
         let config = config.clone();
 
         // ---- Level 1: partition the dataset. ----
-        let (level1, assignments) = match config.partition {
-            Partition::None => (Level1::Single(SinglePartition), vec![0usize; data.len()]),
-            Partition::RpTree { groups, rule } => {
-                let cfg = RpTreeConfig::with_leaves(groups).rule(rule).seed(config.seed ^ 0xA11);
-                let (tree, assign) = RpTree::fit(data, &cfg);
-                (Level1::Rp(tree), assign)
-            }
-            Partition::KMeans { groups } => {
-                let (km, assign) = KMeans::fit(data, groups, 50, config.seed ^ 0xB22);
-                (Level1::Km(km), assign)
-            }
-            Partition::Kd { groups } => {
-                let (kd, assign) = KdPartitioner::fit(data, groups);
-                (Level1::Kd(kd), assign)
-            }
-        };
+        let (level1, assignments) = fit_level1(data, &config);
         let num_groups = level1.num_groups();
         let mut group_ids: Vec<Vec<u32>> = vec![Vec::new(); num_groups];
         for (i, &g) in assignments.iter().enumerate() {

@@ -1,0 +1,210 @@
+//! Bucket-interval storage for the flat (GPU-style) layouts: compressed
+//! code → `(start, len)` span over the sorted linear id array.
+//!
+//! The spans are kept as explicit 64-bit pairs in a side table, with the
+//! cuckoo map storing only the span *index*. The previous layout packed
+//! `(start << 32) | end` into the cuckoo payload, which silently corrupts
+//! every interval once the linear array reaches `2^32` entries (`n × L`
+//! pairs — well within reach of the out-of-core datasets the paper's
+//! Section VII targets). With explicit spans there is no width to overflow:
+//! positions stay `u64` end to end, and [`IntervalTable::from_runs`] lets a
+//! test drive the boundary with synthetic run lengths instead of a
+//! 2^32-row dataset.
+
+use cuckoo::{CuckooError, CuckooParts, CuckooTable, InvalidParts};
+
+/// Compressed code → `(start, len)` interval map.
+pub struct IntervalTable {
+    /// Bucket spans as `(start, len)`, in insertion (sorted-key) order.
+    spans: Vec<(u64, u64)>,
+    /// Compressed code → index into `spans`.
+    lookup: CuckooTable,
+}
+
+/// Plain-data form of an [`IntervalTable`] for persistence.
+pub(crate) struct IntervalParts {
+    pub(crate) spans: Vec<(u64, u64)>,
+    pub(crate) lookup: CuckooParts,
+}
+
+impl IntervalTable {
+    /// Builds the interval map from `(key, id)` pairs already sorted by key:
+    /// each maximal run of equal keys becomes one `(start, len)` span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cuckoo construction failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyed` is not sorted by key.
+    pub fn from_sorted_entries(keyed: &[(u64, u32)], seed: u64) -> Result<Self, CuckooError> {
+        assert!(keyed.windows(2).all(|w| w[0].0 <= w[1].0), "entries must be sorted by key");
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        let mut i = 0usize;
+        while i < keyed.len() {
+            let key = keyed[i].0;
+            let mut j = i + 1;
+            while j < keyed.len() && keyed[j].0 == key {
+                j += 1;
+            }
+            runs.push((key, (j - i) as u64));
+            i = j;
+        }
+        Self::from_runs(runs, seed)
+    }
+
+    /// Builds the interval map from `(key, len)` runs in key order, with
+    /// spans accumulated in `u64` — the width-injection point: tests hand
+    /// this synthetic run lengths to place spans across any boundary (e.g.
+    /// past `2^32`) without materializing a linear array of that size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cuckoo construction failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate keys (via the cuckoo build), a zero-length run,
+    /// or a cumulative length overflowing `u64`.
+    pub fn from_runs<I>(runs: I, seed: u64) -> Result<Self, CuckooError>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut spans = Vec::new();
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        let mut start = 0u64;
+        for (key, len) in runs {
+            assert!(len > 0, "zero-length bucket run");
+            items.push((key, spans.len() as u64));
+            spans.push((start, len));
+            start = start.checked_add(len).expect("cumulative bucket length overflows u64");
+        }
+        let lookup = CuckooTable::build(items, seed)?;
+        Ok(Self { spans, lookup })
+    }
+
+    /// The `(start, len)` span of `key`'s bucket, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<(u64, u64)> {
+        self.lookup.get(key).map(|idx| self.spans[idx as usize])
+    }
+
+    /// Number of distinct buckets.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the table holds no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total number of linear-array entries covered by all spans.
+    pub fn covered(&self) -> u64 {
+        self.spans.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Exports the table for persistence.
+    pub(crate) fn to_parts(&self) -> IntervalParts {
+        IntervalParts { spans: self.spans.clone(), lookup: self.lookup.to_parts() }
+    }
+
+    /// Reassembles a table from persisted parts, validating that every
+    /// lookup value indexes a span and that spans tile `[0, covered)`
+    /// contiguously (the layout `from_runs` produces).
+    pub(crate) fn from_parts(parts: IntervalParts) -> Result<Self, InvalidParts> {
+        let lookup = CuckooTable::from_parts(parts.lookup)?;
+        if lookup.len() != parts.spans.len() {
+            return Err(InvalidParts(format!(
+                "{} lookup entries for {} spans",
+                lookup.len(),
+                parts.spans.len()
+            )));
+        }
+        let mut expect_start = 0u64;
+        for (i, &(start, len)) in parts.spans.iter().enumerate() {
+            if start != expect_start || len == 0 {
+                return Err(InvalidParts(format!("span {i} ({start}, {len}) breaks the tiling")));
+            }
+            expect_start = start
+                .checked_add(len)
+                .ok_or_else(|| InvalidParts("span end overflows u64".into()))?;
+        }
+        let table = Self { spans: parts.spans, lookup };
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_entries_produce_contiguous_spans() {
+        let keyed: Vec<(u64, u32)> = vec![(3, 10), (3, 11), (3, 12), (7, 20), (9, 30), (9, 31)];
+        let t = IntervalTable::from_sorted_entries(&keyed, 1).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(3), Some((0, 3)));
+        assert_eq!(t.get(7), Some((3, 1)));
+        assert_eq!(t.get(9), Some((4, 2)));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.covered(), keyed.len() as u64);
+    }
+
+    #[test]
+    fn empty_table_answers_nothing() {
+        let t = IntervalTable::from_sorted_entries(&[], 1).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+    }
+
+    /// The tentpole boundary contract: spans crossing and landing beyond
+    /// `2^32` survive exactly. Under the old packed-u64 layout the first
+    /// span past the boundary would have folded its start into the end
+    /// field; here the injected run lengths prove positions stay 64-bit
+    /// without allocating a 2^32-entry array.
+    #[test]
+    fn spans_beyond_2_to_32_are_exact() {
+        const GIB4: u64 = 1 << 32;
+        // Three runs: one ending just below the boundary, one straddling
+        // it, one far beyond it.
+        let runs = vec![(100u64, GIB4 - 5), (200u64, 10), (300u64, GIB4)];
+        let t = IntervalTable::from_runs(runs, 7).unwrap();
+        assert_eq!(t.get(100), Some((0, GIB4 - 5)));
+        assert_eq!(t.get(200), Some((GIB4 - 5, 10)));
+        assert_eq!(t.get(300), Some((GIB4 + 5, GIB4)));
+        assert_eq!(t.covered(), 2 * GIB4 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn cumulative_overflow_is_caught() {
+        let _ = IntervalTable::from_runs(vec![(1u64, u64::MAX), (2u64, 2)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by key")]
+    fn unsorted_entries_rejected() {
+        let _ = IntervalTable::from_sorted_entries(&[(5, 0), (3, 1)], 1);
+    }
+
+    #[test]
+    fn parts_roundtrip_and_tamper_rejection() {
+        let keyed: Vec<(u64, u32)> =
+            (0..500u64).flat_map(|k| [(k * 3, 0u32), (k * 3, 1)]).collect();
+        let t = IntervalTable::from_sorted_entries(&keyed, 3).unwrap();
+        let rt = IntervalTable::from_parts(t.to_parts()).unwrap();
+        for k in (0..500u64).map(|k| k * 3) {
+            assert_eq!(rt.get(k), t.get(k));
+        }
+
+        let mut bad = t.to_parts();
+        bad.spans[1].0 += 1; // breaks the contiguous tiling
+        assert!(IntervalTable::from_parts(bad).is_err());
+
+        let mut bad = t.to_parts();
+        bad.spans.pop(); // span/lookup count mismatch
+        assert!(IntervalTable::from_parts(bad).is_err());
+    }
+}

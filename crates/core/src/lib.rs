@@ -35,11 +35,13 @@
 //! assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
 //! ```
 
+pub(crate) mod binio;
 pub mod code;
 pub mod config;
 pub mod evaluate;
 pub mod flat;
 pub mod index;
+pub mod interval;
 pub mod ooc;
 pub mod persist;
 pub mod stats;
@@ -49,6 +51,7 @@ pub use config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
 pub use evaluate::{evaluate_index, evaluate_runs, ground_truth};
 pub use flat::FlatIndex;
 pub use index::{BatchResult, BiLevelIndex, Engine};
+pub use interval::IntervalTable;
 pub use ooc::OocFlatIndex;
 pub use persist::PersistError;
 pub use stats::IndexStats;

@@ -6,18 +6,22 @@
 //! 1. a strided in-memory **sample** fits the level-1 partitioner and the
 //!    per-group widths (partition quality degrades gracefully with the
 //!    sample rate, never correctness);
-//! 2. the full file is **streamed** in chunks, each row hashed into its
-//!    compressed bi-level key — only `(key, id)` pairs are retained;
+//! 2. the full file is **streamed** in chunks, each chunk's rows hashed
+//!    into their compressed bi-level keys on the worker pool — only
+//!    `(key, id)` pairs are retained, and the fan-out writes into
+//!    pre-sized slots so any thread count produces bit-identical keys;
 //! 3. queries probe the cuckoo-indexed flat bucket layout exactly like
-//!    [`crate::FlatIndex`], but the short-list search fetches candidate
-//!    rows from disk with positioned reads.
+//!    [`crate::FlatIndex`]; the short-list search fetches candidate rows
+//!    from disk with positioned reads — one per row on the serial path, or
+//!    one per *run* of adjacent candidates on the coalesced batch path.
 
 use crate::code::compress_code;
-use crate::config::{BiLevelConfig, Partition, Probe, WidthMode};
-use crate::index::{probe_sequence, quantize};
-use cuckoo::CuckooTable;
-use lsh::{tune_w, DistanceProfile, HashFamily, TuningGoal};
-use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
+use crate::config::{BiLevelConfig, Probe, WidthMode};
+use crate::index::{fit_level1, probe_sequence, quantize, Level1};
+use crate::interval::IntervalTable;
+use lsh::{tune_w, DistanceProfile, HashFamily, ProjectionScratch, TuningGoal};
+use rptree::Partitioner;
+use shortlist::parallel_fill_with;
 use vecstore::metric::squared_l2;
 use vecstore::ooc::OocDataset;
 use vecstore::{Dataset, Neighbor, TopK};
@@ -25,27 +29,34 @@ use vecstore::{Dataset, Neighbor, TopK};
 /// Rows per streaming chunk during construction.
 const CHUNK_ROWS: usize = 4_096;
 
+/// Largest id gap bridged when merging adjacent candidates into one
+/// positioned read: reading up to this many unrequested rows costs less
+/// than a second syscall + seek.
+const COALESCE_GAP: usize = 8;
+
 /// Disk-resident Bi-level LSH index over an [`OocDataset`].
 ///
 /// Supports `Probe::Home` and `Probe::Multi`; hierarchical probing needs the
 /// in-memory per-table structures.
 pub struct OocFlatIndex<'a> {
-    source: &'a OocDataset,
-    config: BiLevelConfig,
-    partitioner: Box<dyn Partitioner>,
-    /// Per-table families; group widths are folded in per query/row via
-    /// `group_widths` (families are sampled at `W = 1`).
-    base_families: Vec<HashFamily>,
-    group_widths: Vec<f32>,
+    pub(crate) source: &'a OocDataset,
+    pub(crate) config: BiLevelConfig,
+    pub(crate) level1: Level1,
+    /// Width-folded families, `families[l * num_groups + g]`: table `l`'s
+    /// base projections at group `g`'s width. Folded once at build — the
+    /// projection matrix is shared per table, so this costs one rescaled
+    /// offset vector per `(l, g)` instead of a matrix clone per row.
+    pub(crate) families: Vec<HashFamily>,
+    pub(crate) group_widths: Vec<f32>,
     /// All item ids sorted by (table, compressed code).
-    linear: Vec<u32>,
-    /// Compressed code → packed `(start << 32) | end` interval.
-    intervals: CuckooTable,
+    pub(crate) linear: Vec<u32>,
+    /// Compressed code → `(start, len)` interval into `linear`.
+    pub(crate) intervals: IntervalTable,
 }
 
 impl<'a> OocFlatIndex<'a> {
     /// Builds the index by sampling `sample_size` rows for fitting and then
-    /// streaming the whole file.
+    /// streaming the whole file, encoding on all available cores.
     ///
     /// # Errors
     ///
@@ -59,6 +70,28 @@ impl<'a> OocFlatIndex<'a> {
         config: &BiLevelConfig,
         sample_size: usize,
     ) -> std::io::Result<Self> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::build_with(source, config, sample_size, threads)
+    }
+
+    /// Builds with an explicit worker count for the stream-encode phase.
+    /// The result is bit-identical for every `threads` value: rows are
+    /// block-partitioned into pre-sized key slots, and the final sort makes
+    /// bucket layout independent of encode order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or hierarchical probing.
+    pub fn build_with(
+        source: &'a OocDataset,
+        config: &BiLevelConfig,
+        sample_size: usize,
+        threads: usize,
+    ) -> std::io::Result<Self> {
         config.validate();
         assert!(
             !matches!(config.probe, Probe::Hierarchical { .. }),
@@ -66,88 +99,107 @@ impl<'a> OocFlatIndex<'a> {
         );
         assert!(!source.is_empty(), "cannot index an empty file");
         let config = config.clone();
+        let threads = threads.max(1);
 
         // ---- Fit phase: everything model-like comes from the sample. ----
         let sample = source.sample(sample_size)?;
-        let partitioner: Box<dyn Partitioner> = match config.partition {
-            Partition::None => Box::new(SinglePartition),
-            Partition::RpTree { groups, rule } => {
-                let cfg = RpTreeConfig::with_leaves(groups).rule(rule).seed(config.seed ^ 0xA11);
-                Box::new(RpTree::fit(&sample, &cfg).0)
-            }
-            Partition::KMeans { groups } => {
-                Box::new(KMeans::fit(&sample, groups, 50, config.seed ^ 0xB22).0)
-            }
-            Partition::Kd { groups } => Box::new(KdPartitioner::fit(&sample, groups).0),
-        };
-        let num_groups = partitioner.num_groups();
-        let group_widths = sample_group_widths(&sample, partitioner.as_ref(), num_groups, &config);
-        let base_families: Vec<HashFamily> = (0..config.l)
-            .map(|l| {
-                HashFamily::sample(source.dim(), config.m, 1.0, config.seed ^ (0x1000 + l as u64))
-            })
-            .collect();
+        let (level1, _) = fit_level1(&sample, &config);
+        let num_groups = level1.num_groups();
+        let group_widths = sample_group_widths(&sample, &level1, num_groups, &config);
+        let families = fold_families(source.dim(), &config, &group_widths);
 
         // ---- Stream phase: encode every row, keep only (key, id). ----
-        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(source.len() * config.l);
-        let mut raw = vec![0.0f32; config.m];
+        let l = config.l;
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(source.len() * l);
+        let mut groups: Vec<u32> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
         for chunk in source.chunks(CHUNK_ROWS) {
             let (start, block) = chunk?;
-            for (j, row) in block.iter().enumerate() {
+            // Pass 1: level-1 assignment per row.
+            groups.clear();
+            groups.resize(block.len(), 0);
+            parallel_fill_with(
+                &mut groups,
+                threads,
+                || (),
+                |_, j, slot| {
+                    *slot = level1.assign(block.row(j)) as u32;
+                },
+            );
+            // Pass 2: one compressed key per (row, table) slot.
+            keys.clear();
+            keys.resize(block.len() * l, 0);
+            parallel_fill_with(
+                &mut keys,
+                threads,
+                || ProjectionScratch::new(config.m),
+                |scratch, idx, slot| {
+                    let (j, li) = (idx / l, idx % l);
+                    let g = groups[j] as usize;
+                    let raw = scratch.project(&families[li * num_groups + g], block.row(j));
+                    let code = quantize(raw, config.quantizer);
+                    *slot = compress_code(li, groups[j], &code);
+                },
+            );
+            for j in 0..block.len() {
                 let id = (start + j) as u32;
-                let g = partitioner.assign(row);
-                for (l, base) in base_families.iter().enumerate() {
-                    let family = base.with_w(group_widths[g]);
-                    family.project_into(row, &mut raw);
-                    let code = quantize(&raw, config.quantizer);
-                    keyed.push((compress_code(l, g as u32, &code), id));
+                for li in 0..l {
+                    keyed.push((keys[j * l + li], id));
                 }
             }
         }
         keyed.sort_unstable();
         let linear: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
-        let mut items: Vec<(u64, u64)> = Vec::new();
-        let mut i = 0usize;
-        while i < keyed.len() {
-            let key = keyed[i].0;
-            let mut j = i;
-            while j < keyed.len() && keyed[j].0 == key {
-                j += 1;
-            }
-            items.push((key, ((i as u64) << 32) | j as u64));
-            i = j;
-        }
-        let intervals =
-            CuckooTable::build(items, config.seed ^ 0xC0C0).expect("cuckoo build failed");
+        let intervals = IntervalTable::from_sorted_entries(&keyed, config.seed ^ 0xC0C0)
+            .expect("cuckoo build failed");
 
-        Ok(Self { source, config, partitioner, base_families, group_widths, linear, intervals })
+        Ok(Self { source, config, level1, families, group_widths, linear, intervals })
     }
 
     /// Number of level-1 groups in effect.
     pub fn num_groups(&self) -> usize {
-        self.partitioner.num_groups()
+        self.level1.num_groups()
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &BiLevelConfig {
+        &self.config
+    }
+
+    /// The dataset file the index reads candidate rows from.
+    pub fn source(&self) -> &OocDataset {
+        self.source
+    }
+
+    /// The sorted linear id array backing the bucket layout — exposed so
+    /// build-determinism checks can compare layouts across thread counts.
+    pub fn linear_ids(&self) -> &[u32] {
+        &self.linear
     }
 
     /// Deduplicated candidate ids for one query (no disk reads — pure
     /// bucket lookup).
     pub fn candidates(&self, v: &[f32]) -> Vec<u32> {
+        self.candidates_with(v, &mut ProjectionScratch::new(self.config.m))
+    }
+
+    /// Scratch-reusing probe — the per-worker routine of the batch paths.
+    fn candidates_with(&self, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<u32> {
         assert_eq!(v.len(), self.source.dim(), "query dimension mismatch");
-        let g = self.partitioner.assign(v);
-        let mut raw = vec![0.0f32; self.config.m];
+        let g = self.level1.assign(v);
+        let num_groups = self.level1.num_groups();
         let mut out = Vec::new();
-        for (l, base) in self.base_families.iter().enumerate() {
-            let family = base.with_w(self.group_widths[g]);
-            family.project_into(v, &mut raw);
-            let home = quantize(&raw, self.config.quantizer);
+        for li in 0..self.config.l {
+            let raw = scratch.project(&self.families[li * num_groups + g], v);
+            let home = quantize(raw, self.config.quantizer);
             let probes = match self.config.probe {
                 Probe::Home => vec![home],
-                Probe::Multi(t) => probe_sequence(&raw, &home, t, self.config.quantizer),
+                Probe::Multi(t) => probe_sequence(raw, &home, t, self.config.quantizer),
                 Probe::Hierarchical { .. } => unreachable!("rejected at build"),
             };
             for code in probes {
-                if let Some(packed) = self.intervals.get(compress_code(l, g as u32, &code)) {
-                    let (start, end) = ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize);
-                    out.extend_from_slice(&self.linear[start..end]);
+                if let Some((start, len)) = self.intervals.get(compress_code(li, g as u32, &code)) {
+                    out.extend_from_slice(&self.linear[start as usize..(start + len) as usize]);
                 }
             }
         }
@@ -157,7 +209,9 @@ impl<'a> OocFlatIndex<'a> {
     }
 
     /// Full k-NN query: probes buckets, then ranks candidates by reading
-    /// their rows from disk. Returns L2 distances.
+    /// their rows from disk one positioned read per row. This is the serial
+    /// per-row baseline; [`OocFlatIndex::query_batch_with`] coalesces.
+    /// Returns L2 distances.
     ///
     /// # Errors
     ///
@@ -177,7 +231,8 @@ impl<'a> OocFlatIndex<'a> {
         Ok(hits)
     }
 
-    /// Batch query over an in-memory query set.
+    /// Batch query over an in-memory query set: the serial per-row baseline
+    /// (one positioned read per candidate row, one query at a time).
     ///
     /// # Errors
     ///
@@ -185,6 +240,89 @@ impl<'a> OocFlatIndex<'a> {
     pub fn query_batch(&self, queries: &Dataset, k: usize) -> std::io::Result<Vec<Vec<Neighbor>>> {
         queries.iter().map(|q| self.query(q, k)).collect()
     }
+
+    /// Batch query on `threads` workers with coalesced candidate fetches:
+    /// each query's sorted candidate ids are merged into runs (gaps up to
+    /// [`COALESCE_GAP`] rows bridged) and every run is fetched with a single
+    /// positioned read. Results are identical to [`OocFlatIndex::query_batch`]
+    /// at any thread count — candidates are generated by the same probe
+    /// routine and ranked in the same ascending-id order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from candidate row reads.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        threads: usize,
+    ) -> std::io::Result<Vec<Vec<Neighbor>>> {
+        assert_eq!(queries.dim(), self.source.dim(), "query dimension mismatch");
+        let threads = threads.max(1);
+        let mut out: Vec<std::io::Result<Vec<Neighbor>>> = Vec::new();
+        out.resize_with(queries.len(), || Ok(Vec::new()));
+        parallel_fill_with(
+            &mut out,
+            threads,
+            || (ProjectionScratch::new(self.config.m), Vec::new()),
+            |(scratch, row_buf), q, slot| {
+                let v = queries.row(q);
+                let candidates = self.candidates_with(v, scratch);
+                *slot = self.rank_coalesced(v, &candidates, k, row_buf);
+            },
+        );
+        out.into_iter().collect()
+    }
+
+    /// Ranks `candidates` (ascending ids) against `v` by fetching runs of
+    /// adjacent rows with one read each. Pushes into the top-k in the same
+    /// ascending-id order as the per-row path, so ties resolve identically.
+    fn rank_coalesced(
+        &self,
+        v: &[f32],
+        candidates: &[u32],
+        k: usize,
+        row_buf: &mut Vec<f32>,
+    ) -> std::io::Result<Vec<Neighbor>> {
+        let dim = self.source.dim();
+        let mut top = TopK::new(k);
+        let mut i = 0usize;
+        while i < candidates.len() {
+            let run_start = candidates[i] as usize;
+            let mut j = i;
+            while j + 1 < candidates.len()
+                && candidates[j + 1] as usize - candidates[j] as usize <= COALESCE_GAP
+            {
+                j += 1;
+            }
+            let rows = candidates[j] as usize - run_start + 1;
+            row_buf.resize(rows * dim, 0.0);
+            self.source.read_rows_into(run_start, rows, row_buf)?;
+            for &id in &candidates[i..=j] {
+                let off = (id as usize - run_start) * dim;
+                top.push(id as usize, squared_l2(v, &row_buf[off..off + dim]));
+            }
+            i = j + 1;
+        }
+        let mut hits = top.into_sorted();
+        for n in &mut hits {
+            n.dist = n.dist.sqrt();
+        }
+        Ok(hits)
+    }
+}
+
+/// One width-folded family per `(table, group)` pair, sharing each table's
+/// base projections: `out[l * num_groups + g]`.
+fn fold_families(dim: usize, config: &BiLevelConfig, group_widths: &[f32]) -> Vec<HashFamily> {
+    let mut out = Vec::with_capacity(config.l * group_widths.len());
+    for l in 0..config.l {
+        let base = HashFamily::sample(dim, config.m, 1.0, config.seed ^ (0x1000 + l as u64));
+        for &w in group_widths {
+            out.push(base.with_w(w));
+        }
+    }
+    out
 }
 
 /// Per-group widths estimated on the fitting sample.
@@ -320,5 +458,71 @@ mod tests {
         let source = OocDataset::open(&path).unwrap();
         let cfg = BiLevelConfig::standard(4.0).probe(Probe::Hierarchical { min_candidates: 4 });
         let _ = OocFlatIndex::build(&source, &cfg, 50);
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        use crate::config::Quantizer;
+        let (path, _, queries) = on_disk("threads.fvecs", 500);
+        let source = OocDataset::open(&path).unwrap();
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            let cfg = BiLevelConfig::paper_default(5.0).quantizer(quantizer);
+            let serial = OocFlatIndex::build_with(&source, &cfg, usize::MAX, 1).unwrap();
+            for threads in [2, 4, 7] {
+                let par = OocFlatIndex::build_with(&source, &cfg, usize::MAX, threads).unwrap();
+                assert_eq!(serial.linear, par.linear, "{quantizer:?} at {threads} threads");
+                for q in queries.iter() {
+                    assert_eq!(serial.candidates(q), par.candidates(q), "{quantizer:?}");
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coalesced_batch_matches_per_row_baseline() {
+        use crate::config::Quantizer;
+        let (path, _, queries) = on_disk("coalesce.fvecs", 500);
+        let source = OocDataset::open(&path).unwrap();
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            let cfg = BiLevelConfig::paper_default(6.0).quantizer(quantizer).probe(Probe::Multi(8));
+            let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+            let baseline = ooc.query_batch(&queries, 10).unwrap();
+            for threads in [1, 4] {
+                let coalesced = ooc.query_batch_with(&queries, 10, threads).unwrap();
+                assert_eq!(baseline.len(), coalesced.len());
+                for (a, b) in baseline.iter().zip(&coalesced) {
+                    let a: Vec<(usize, f32)> = a.iter().map(|n| (n.id, n.dist)).collect();
+                    let b: Vec<(usize, f32)> = b.iter().map(|n| (n.id, n.dist)).collect();
+                    assert_eq!(a, b, "{quantizer:?} at {threads} threads");
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coalesced_runs_span_gaps_correctly() {
+        // Force the ranking path over a candidate list with gaps straddling
+        // COALESCE_GAP so both the merged-run and run-break branches execute.
+        let (path, data, queries) = on_disk("gaps.fvecs", 300);
+        let source = OocDataset::open(&path).unwrap();
+        let cfg = BiLevelConfig::standard(4.0);
+        let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+        let candidates: Vec<u32> = vec![0, 1, 9, 40, 41, 60, 299];
+        let q = queries.row(0);
+        let got = ooc.rank_coalesced(q, &candidates, 4, &mut Vec::new()).unwrap();
+        let mut want: Vec<(usize, f32)> = candidates
+            .iter()
+            .map(|&id| (id as usize, squared_l2(q, data.row(id as usize)).sqrt()))
+            .collect();
+        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        want.truncate(4);
+        let got: Vec<(usize, f32)> = got.iter().map(|n| (n.id, n.dist)).collect();
+        for ((gi, gd), (wi, wd)) in got.iter().zip(&want) {
+            assert_eq!(gi, wi);
+            assert!((gd - wd).abs() < 1e-5);
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,33 +1,67 @@
-//! Index persistence: save a built [`BiLevelIndex`] to disk and load it
-//! back without re-hashing the dataset.
+//! Index persistence: save a built [`BiLevelIndex`] or [`OocFlatIndex`] to
+//! disk and load it back without re-hashing the dataset.
 //!
-//! The snapshot contains the *index structure only* — level-1 partitioner,
+//! A snapshot contains the *index structure only* — level-1 partitioner,
 //! per-group widths, hash families, and bucket contents — not the vectors,
 //! which the index borrows. Loading therefore takes the same dataset again
 //! and verifies a fingerprint (length, dimension, and a content checksum) so
-//! a snapshot can never be silently attached to different data.
+//! a snapshot can never be silently attached to different data. Out-of-core
+//! snapshots fingerprint a strided row sample instead of the whole file, so
+//! attaching a 100 GB dataset never re-reads all of it.
+//!
+//! Two formats exist:
+//!
+//! * **v2 (preferred, what [`BiLevelIndex::save_to`] writes)**: length-
+//!   prefixed little-endian binary. The stream is `magic · version · kind`
+//!   followed by checksummed sections (see [`crate::binio`]); corrupt or
+//!   truncated sections are rejected section-by-section with a
+//!   [`PersistError::Format`] naming the section.
+//! * **v1 (legacy)**: the original `serde_json` document, still written by
+//!   [`BiLevelIndex::save_json_to`] and still accepted by
+//!   [`BiLevelIndex::load_from`], which auto-detects the format from the
+//!   first four bytes (JSON can never begin with the v2 magic).
+//!
+//! Both loaders share one structural validator: bucket codes must be unique
+//! per table and carry the quantizer's arity, ids must be in range, and the
+//! group shape must agree with the level-1 partitioner.
 //!
 //! Bucket hierarchies are *not* stored: they are deterministic functions of
 //! the bucket codes and are rebuilt on load when the configuration demands
-//! them. The on-disk format is versioned JSON (`serde_json`); see DESIGN.md
-//! for the dependency justification.
+//! them.
 
-use crate::config::{BiLevelConfig, Probe};
+use crate::binio::{read_section, write_section, ByteReader, ByteWriter, MAGIC};
+use crate::config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
 use crate::index::{build_table_hierarchy, BiLevelIndex, GroupTable, Level1};
-use lsh::{HashFamily, LshTable};
+use crate::interval::{IntervalParts, IntervalTable};
+use crate::ooc::OocFlatIndex;
+use cuckoo::{CuckooParts, NUM_HASHES};
+use lsh::{FamilyParts, HashFamily, LshTable};
+use rptree::{
+    KMeans, KdNodeParts, KdPartitioner, KdParts, RpNodeParts, RpTree, RpTreeParts, SplitRule,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use vecstore::ooc::OocDataset;
 use vecstore::Dataset;
 
-/// Current snapshot format version.
-const FORMAT_VERSION: u32 = 1;
+/// Version written by the legacy JSON path.
+const JSON_VERSION: u32 = 1;
+
+/// Version written by the binary path.
+const BINARY_VERSION: u32 = 2;
+
+/// Stream kind: in-memory [`BiLevelIndex`] snapshot.
+const KIND_BILEVEL: u8 = 1;
+
+/// Stream kind: disk-resident [`OocFlatIndex`] snapshot.
+const KIND_OOC: u8 = 2;
 
 /// Errors arising while saving or loading a snapshot.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Malformed or wrong-version snapshot.
+    /// Malformed, corrupt, or wrong-version snapshot.
     Format(String),
     /// The dataset supplied at load time does not match the snapshot's
     /// fingerprint.
@@ -57,24 +91,647 @@ impl From<std::io::Error> for PersistError {
 struct DataFingerprint {
     len: usize,
     dim: usize,
-    /// FNV-1a over the raw little-endian bytes of the flat buffer.
+    /// FNV-1a over the raw little-endian bytes of the hashed rows.
     checksum: u64,
 }
 
-impl DataFingerprint {
-    fn of(data: &Dataset) -> Self {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        for v in data.as_flat() {
-            for byte in v.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(PRIME);
-            }
+/// Rows a sampled (out-of-core) fingerprint hashes, strided over the file.
+const FINGERPRINT_SAMPLE_ROWS: usize = 64;
+
+fn fnv_fold_f32(h: &mut u64, vs: &[f32]) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for v in vs {
+        for byte in v.to_le_bytes() {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(PRIME);
         }
-        Self { len: data.len(), dim: data.dim(), checksum: h }
     }
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+impl DataFingerprint {
+    fn of(data: &Dataset) -> Self {
+        let mut h = FNV_OFFSET;
+        fnv_fold_f32(&mut h, data.as_flat());
+        Self { len: data.len(), dim: data.dim(), checksum: h }
+    }
+
+    /// Sampled fingerprint of a disk-resident dataset: hashes up to
+    /// [`FINGERPRINT_SAMPLE_ROWS`] rows strided across the file (plus the
+    /// length and dimension), never the whole file.
+    fn of_ooc(source: &OocDataset) -> std::io::Result<Self> {
+        let n = source.len();
+        let step = n.div_ceil(FINGERPRINT_SAMPLE_ROWS).max(1);
+        let mut h = FNV_OFFSET;
+        let mut buf = vec![0.0f32; source.dim()];
+        let mut i = 0usize;
+        while i < n {
+            source.read_row_into(i, &mut buf)?;
+            fnv_fold_f32(&mut h, &buf);
+            i += step;
+        }
+        Ok(Self { len: n, dim: source.dim(), checksum: h })
+    }
+
+    fn check(&self, actual: &Self) -> Result<(), PersistError> {
+        if self == actual {
+            return Ok(());
+        }
+        Err(PersistError::DataMismatch(format!(
+            "snapshot was built over {} × dim {} (checksum {:#x}), \
+             got {} × dim {} (checksum {:#x})",
+            self.len, self.dim, self.checksum, actual.len, actual.dim, actual.checksum,
+        )))
+    }
+}
+
+/// Lattice code arity the configured quantizer emits: `m` coordinates for
+/// `Z^M`, whole 8-blocks for E8 (the decoder zero-pads the final block).
+fn code_arity(config: &BiLevelConfig) -> usize {
+    match config.quantizer {
+        Quantizer::Zm => config.m,
+        Quantizer::E8 => config.m.div_ceil(8) * 8,
+    }
+}
+
+/// Structural validation shared by the v1 and v2 loaders: every bucket code
+/// must carry the quantizer's arity and appear at most once per table.
+fn check_bucket_codes<C: AsRef<[i32]>>(codes: &[C], arity: usize) -> Result<(), PersistError> {
+    let mut seen = std::collections::HashSet::with_capacity(codes.len());
+    for code in codes {
+        let code = code.as_ref();
+        if code.len() != arity {
+            return Err(PersistError::Format(format!(
+                "bucket code has arity {}, quantizer requires {arity}",
+                code.len()
+            )));
+        }
+        if !seen.insert(code) {
+            return Err(PersistError::Format(format!("duplicate bucket code {code:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Group-shape validation shared by the v1 and v2 loaders.
+fn check_group_shape(
+    num_groups: usize,
+    table_groups: usize,
+    widths: &[f32],
+    config: &BiLevelConfig,
+) -> Result<(), PersistError> {
+    if table_groups != num_groups {
+        return Err(PersistError::Format(format!(
+            "snapshot has {table_groups} table groups, level-1 partitioner has {num_groups}"
+        )));
+    }
+    if widths.len() != num_groups {
+        return Err(PersistError::Format(format!(
+            "snapshot has {} group widths for {num_groups} groups",
+            widths.len()
+        )));
+    }
+    if widths.iter().any(|w| !(w.is_finite() && *w > 0.0)) {
+        return Err(PersistError::Format("non-positive group width".into()));
+    }
+    if config.l == 0 || config.m == 0 {
+        return Err(PersistError::Format("config has zero tables or hash dimension".into()));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// v2 section encoders/decoders. Each returns/consumes one framed payload;
+// the decoders validate everything the encoders take for granted.
+// ---------------------------------------------------------------------------
+
+fn sec_fingerprint(fp: &DataFingerprint) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(fp.len);
+    w.put_len(fp.dim);
+    w.put_u64(fp.checksum);
+    w.into_bytes()
+}
+
+fn dec_fingerprint(bytes: &[u8]) -> Result<DataFingerprint, PersistError> {
+    let mut r = ByteReader::new(bytes, "fingerprint");
+    let fp = DataFingerprint { len: r.len()?, dim: r.len()?, checksum: r.u64()? };
+    r.finish()?;
+    Ok(fp)
+}
+
+fn sec_config(config: &BiLevelConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(config.l);
+    w.put_len(config.m);
+    w.put_u64(config.seed);
+    match config.width {
+        WidthMode::Fixed(v) => {
+            w.put_u8(0);
+            w.put_f32(v);
+        }
+        WidthMode::Scaled { base, k } => {
+            w.put_u8(1);
+            w.put_f32(base);
+            w.put_len(k);
+        }
+        WidthMode::Tuned { target_recall, k } => {
+            w.put_u8(2);
+            w.put_f64(target_recall);
+            w.put_len(k);
+        }
+    }
+    match config.partition {
+        Partition::None => w.put_u8(0),
+        Partition::RpTree { groups, rule } => {
+            w.put_u8(1);
+            w.put_len(groups);
+            w.put_u8(match rule {
+                SplitRule::Max => 0,
+                SplitRule::Mean => 1,
+            });
+        }
+        Partition::KMeans { groups } => {
+            w.put_u8(2);
+            w.put_len(groups);
+        }
+        Partition::Kd { groups } => {
+            w.put_u8(3);
+            w.put_len(groups);
+        }
+    }
+    w.put_u8(match config.quantizer {
+        Quantizer::Zm => 0,
+        Quantizer::E8 => 1,
+    });
+    match config.probe {
+        Probe::Home => w.put_u8(0),
+        Probe::Multi(t) => {
+            w.put_u8(1);
+            w.put_len(t);
+        }
+        Probe::Hierarchical { min_candidates } => {
+            w.put_u8(2);
+            w.put_len(min_candidates);
+        }
+    }
+    match config.table_pool {
+        None => w.put_u8(0),
+        Some(pool) => {
+            w.put_u8(1);
+            w.put_len(pool);
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_config(bytes: &[u8]) -> Result<BiLevelConfig, PersistError> {
+    let bad = |what: &str| PersistError::Format(format!("config: unknown {what} tag"));
+    let mut r = ByteReader::new(bytes, "config");
+    let l = r.len()?;
+    let m = r.len()?;
+    let seed = r.u64()?;
+    let width = match r.u8()? {
+        0 => WidthMode::Fixed(r.f32()?),
+        1 => WidthMode::Scaled { base: r.f32()?, k: r.len()? },
+        2 => WidthMode::Tuned { target_recall: r.f64()?, k: r.len()? },
+        _ => return Err(bad("width mode")),
+    };
+    let partition = match r.u8()? {
+        0 => Partition::None,
+        1 => {
+            let groups = r.len()?;
+            let rule = match r.u8()? {
+                0 => SplitRule::Max,
+                1 => SplitRule::Mean,
+                _ => return Err(bad("split rule")),
+            };
+            Partition::RpTree { groups, rule }
+        }
+        2 => Partition::KMeans { groups: r.len()? },
+        3 => Partition::Kd { groups: r.len()? },
+        _ => return Err(bad("partition")),
+    };
+    let quantizer = match r.u8()? {
+        0 => Quantizer::Zm,
+        1 => Quantizer::E8,
+        _ => return Err(bad("quantizer")),
+    };
+    let probe = match r.u8()? {
+        0 => Probe::Home,
+        1 => Probe::Multi(r.len()?),
+        2 => Probe::Hierarchical { min_candidates: r.len()? },
+        _ => return Err(bad("probe")),
+    };
+    let table_pool = match r.u8()? {
+        0 => None,
+        1 => Some(r.len()?),
+        _ => return Err(bad("table pool")),
+    };
+    r.finish()?;
+    Ok(BiLevelConfig { l, m, width, partition, quantizer, probe, table_pool, seed })
+}
+
+fn sec_level1(level1: &Level1) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match level1 {
+        Level1::Single(_) => w.put_u8(0),
+        Level1::Rp(tree) => {
+            w.put_u8(1);
+            let parts = tree.to_parts();
+            w.put_len(parts.num_leaves);
+            w.put_len(parts.dim);
+            w.put_len(parts.nodes.len());
+            for node in &parts.nodes {
+                match node {
+                    RpNodeParts::Leaf { leaf_id } => {
+                        w.put_u8(0);
+                        w.put_len(*leaf_id);
+                    }
+                    RpNodeParts::ProjSplit { dir, threshold, left, right } => {
+                        w.put_u8(1);
+                        w.put_f32(*threshold);
+                        w.put_len(*left);
+                        w.put_len(*right);
+                        w.put_f32s(dir);
+                    }
+                    RpNodeParts::DistSplit { mean, threshold_sq, left, right } => {
+                        w.put_u8(2);
+                        w.put_f32(*threshold_sq);
+                        w.put_len(*left);
+                        w.put_len(*right);
+                        w.put_f32s(mean);
+                    }
+                }
+            }
+        }
+        Level1::Km(km) => {
+            w.put_u8(2);
+            let c = km.centroids();
+            w.put_len(c.len());
+            w.put_len(c.dim());
+            w.put_f32s(c.as_flat());
+        }
+        Level1::Kd(kd) => {
+            w.put_u8(3);
+            let parts = kd.to_parts();
+            w.put_len(parts.num_leaves);
+            w.put_len(parts.dim);
+            w.put_len(parts.nodes.len());
+            for node in &parts.nodes {
+                match node {
+                    KdNodeParts::Leaf { leaf_id } => {
+                        w.put_u8(0);
+                        w.put_len(*leaf_id);
+                    }
+                    KdNodeParts::Split { axis, threshold, left, right } => {
+                        w.put_u8(1);
+                        w.put_len(*axis);
+                        w.put_f32(*threshold);
+                        w.put_len(*left);
+                        w.put_len(*right);
+                    }
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_level1(bytes: &[u8]) -> Result<Level1, PersistError> {
+    let invalid = |e: rptree::InvalidParts| PersistError::Format(e.to_string());
+    let mut r = ByteReader::new(bytes, "level1");
+    let level1 = match r.u8()? {
+        0 => Level1::Single(rptree::SinglePartition),
+        1 => {
+            let num_leaves = r.len()?;
+            let dim = r.len()?;
+            let node_count = r.len()?;
+            let mut nodes = Vec::new();
+            for _ in 0..node_count {
+                nodes.push(match r.u8()? {
+                    0 => RpNodeParts::Leaf { leaf_id: r.len()? },
+                    1 => {
+                        let threshold = r.f32()?;
+                        let left = r.len()?;
+                        let right = r.len()?;
+                        RpNodeParts::ProjSplit { threshold, left, right, dir: r.f32s(dim)? }
+                    }
+                    2 => {
+                        let threshold_sq = r.f32()?;
+                        let left = r.len()?;
+                        let right = r.len()?;
+                        RpNodeParts::DistSplit { threshold_sq, left, right, mean: r.f32s(dim)? }
+                    }
+                    _ => return Err(PersistError::Format("level1: unknown rp node tag".into())),
+                });
+            }
+            Level1::Rp(RpTree::from_parts(RpTreeParts { nodes, num_leaves, dim }).map_err(invalid)?)
+        }
+        2 => {
+            let count = r.len()?;
+            let dim = r.len()?;
+            if dim == 0 {
+                return Err(PersistError::Format("level1: zero-dimensional centroids".into()));
+            }
+            let flat =
+                r.f32s(count.checked_mul(dim).ok_or_else(|| {
+                    PersistError::Format("level1: centroid size overflows".into())
+                })?)?;
+            Level1::Km(KMeans::from_centroids(Dataset::from_flat(dim, flat)).map_err(invalid)?)
+        }
+        3 => {
+            let num_leaves = r.len()?;
+            let dim = r.len()?;
+            let node_count = r.len()?;
+            let mut nodes = Vec::new();
+            for _ in 0..node_count {
+                nodes.push(match r.u8()? {
+                    0 => KdNodeParts::Leaf { leaf_id: r.len()? },
+                    1 => {
+                        let axis = r.len()?;
+                        let threshold = r.f32()?;
+                        let left = r.len()?;
+                        let right = r.len()?;
+                        KdNodeParts::Split { axis, threshold, left, right }
+                    }
+                    _ => return Err(PersistError::Format("level1: unknown kd node tag".into())),
+                });
+            }
+            Level1::Kd(
+                KdPartitioner::from_parts(KdParts { nodes, num_leaves, dim }).map_err(invalid)?,
+            )
+        }
+        _ => return Err(PersistError::Format("level1: unknown partitioner tag".into())),
+    };
+    r.finish()?;
+    Ok(level1)
+}
+
+fn sec_widths(widths: &[f32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(widths.len());
+    w.put_f32s(widths);
+    w.into_bytes()
+}
+
+fn dec_widths(bytes: &[u8]) -> Result<Vec<f32>, PersistError> {
+    let mut r = ByteReader::new(bytes, "group widths");
+    let count = r.len()?;
+    let widths = r.f32s(count)?;
+    r.finish()?;
+    Ok(widths)
+}
+
+fn put_family(w: &mut ByteWriter, family: &HashFamily) {
+    let parts = family.to_parts();
+    w.put_len(parts.dim);
+    w.put_len(parts.b.len());
+    w.put_f32(parts.w);
+    w.put_f32s(&parts.a);
+    w.put_f32s(&parts.b);
+}
+
+fn take_family(r: &mut ByteReader) -> Result<HashFamily, PersistError> {
+    let dim = r.len()?;
+    let m = r.len()?;
+    let w = r.f32()?;
+    let a = r.f32s(
+        m.checked_mul(dim)
+            .ok_or_else(|| PersistError::Format("family: matrix size overflows".into()))?,
+    )?;
+    let b = r.f32s(m)?;
+    HashFamily::from_parts(FamilyParts { a, b, w, dim })
+        .map_err(|e| PersistError::Format(e.to_string()))
+}
+
+fn sec_tables(tables: &[Vec<GroupTable>]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(tables.len());
+    for per_group in tables {
+        w.put_len(per_group.len());
+        for gt in per_group {
+            put_family(&mut w, &gt.family);
+            w.put_len(gt.bucket_codes.len());
+            for code in &gt.bucket_codes {
+                w.put_len(code.len());
+                w.put_i32s(code);
+            }
+            // Buckets in the same deterministic sorted-code order, so
+            // snapshots of the same index are byte-identical.
+            for code in &gt.bucket_codes {
+                let ids = gt.table.bucket(code);
+                w.put_len(ids.len());
+                w.put_u32s(ids);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_tables(
+    bytes: &[u8],
+    config: &BiLevelConfig,
+    data_len: usize,
+) -> Result<Vec<Vec<GroupTable>>, PersistError> {
+    let arity = code_arity(config);
+    let build_hierarchy = matches!(config.probe, Probe::Hierarchical { .. });
+    let tables_per_group = config.table_pool.unwrap_or(config.l);
+    let mut r = ByteReader::new(bytes, "tables");
+    let groups = r.len()?;
+    let mut tables = Vec::new();
+    for _ in 0..groups {
+        let per = r.len()?;
+        if per != tables_per_group {
+            return Err(PersistError::Format(format!(
+                "group has {per} tables, config demands {tables_per_group}"
+            )));
+        }
+        let mut per_group = Vec::with_capacity(per);
+        for _ in 0..per {
+            let family = take_family(&mut r)?;
+            if family.m() != config.m {
+                return Err(PersistError::Format(format!(
+                    "family has m = {}, config has m = {}",
+                    family.m(),
+                    config.m
+                )));
+            }
+            let code_count = r.len()?;
+            let mut bucket_codes: Vec<Box<[i32]>> = Vec::new();
+            for _ in 0..code_count {
+                let clen = r.len()?;
+                bucket_codes.push(r.i32s(clen)?.into_boxed_slice());
+            }
+            check_bucket_codes(&bucket_codes, arity)?;
+            let mut table = LshTable::new();
+            for code in &bucket_codes {
+                let id_count = r.len()?;
+                if id_count == 0 {
+                    return Err(PersistError::Format("empty bucket in snapshot".into()));
+                }
+                for id in r.u32s(id_count)? {
+                    if id as usize >= data_len {
+                        return Err(PersistError::Format(format!("bucket id {id} out of range")));
+                    }
+                    table.insert(code, id);
+                }
+            }
+            let hierarchy = if build_hierarchy && !bucket_codes.is_empty() {
+                Some(build_table_hierarchy(&bucket_codes, config.quantizer))
+            } else {
+                None
+            };
+            per_group.push(GroupTable { family, table, bucket_codes, hierarchy });
+        }
+        tables.push(per_group);
+    }
+    r.finish()?;
+    Ok(tables)
+}
+
+fn sec_families(families: &[HashFamily]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(families.len());
+    for family in families {
+        put_family(&mut w, family);
+    }
+    w.into_bytes()
+}
+
+fn dec_families(bytes: &[u8]) -> Result<Vec<HashFamily>, PersistError> {
+    let mut r = ByteReader::new(bytes, "families");
+    let count = r.len()?;
+    let mut families = Vec::new();
+    for _ in 0..count {
+        families.push(take_family(&mut r)?);
+    }
+    r.finish()?;
+    Ok(families)
+}
+
+fn sec_linear(linear: &[u32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_len(linear.len());
+    w.put_u32s(linear);
+    w.into_bytes()
+}
+
+fn dec_linear(bytes: &[u8]) -> Result<Vec<u32>, PersistError> {
+    let mut r = ByteReader::new(bytes, "linear");
+    let count = r.len()?;
+    let linear = r.u32s(count)?;
+    r.finish()?;
+    Ok(linear)
+}
+
+fn sec_intervals(intervals: &IntervalTable) -> Vec<u8> {
+    let parts = intervals.to_parts();
+    let mut w = ByteWriter::new();
+    w.put_len(parts.spans.len());
+    for &(start, len) in &parts.spans {
+        w.put_u64(start);
+        w.put_u64(len);
+    }
+    let lk = &parts.lookup;
+    w.put_len(lk.slots.len());
+    w.put_u64s(&lk.slots);
+    w.put_len(lk.items.len());
+    for &(k, v) in &lk.items {
+        w.put_u64(k);
+        w.put_u64(v);
+    }
+    w.put_len(lk.stash.len());
+    for &(k, v) in &lk.stash {
+        w.put_u64(k);
+        w.put_u64(v);
+    }
+    w.put_u64s(&lk.seed_mul);
+    w.put_u64s(&lk.seed_add);
+    w.put_len(lk.max_chain);
+    w.into_bytes()
+}
+
+fn dec_intervals(bytes: &[u8]) -> Result<IntervalTable, PersistError> {
+    let mut r = ByteReader::new(bytes, "intervals");
+    let span_count = r.len()?;
+    let mut spans = Vec::new();
+    for _ in 0..span_count {
+        let start = r.u64()?;
+        let len = r.u64()?;
+        spans.push((start, len));
+    }
+    let slot_count = r.len()?;
+    let slots = r.u64s(slot_count)?;
+    let item_count = r.len()?;
+    let mut items = Vec::new();
+    for _ in 0..item_count {
+        let k = r.u64()?;
+        let v = r.u64()?;
+        items.push((k, v));
+    }
+    let stash_count = r.len()?;
+    let mut stash = Vec::new();
+    for _ in 0..stash_count {
+        let k = r.u64()?;
+        let v = r.u64()?;
+        stash.push((k, v));
+    }
+    let seed_mul: [u64; NUM_HASHES] =
+        r.u64s(NUM_HASHES)?.try_into().expect("read exactly NUM_HASHES");
+    let seed_add: [u64; NUM_HASHES] =
+        r.u64s(NUM_HASHES)?.try_into().expect("read exactly NUM_HASHES");
+    let max_chain = r.len()?;
+    r.finish()?;
+    let lookup = CuckooParts { slots, items, stash, seed_mul, seed_add, max_chain };
+    IntervalTable::from_parts(IntervalParts { spans, lookup })
+        .map_err(|e| PersistError::Format(e.to_string()))
+}
+
+/// Writes a v2 stream: magic, version, kind, then the framed sections.
+fn write_v2<W: Write>(mut w: W, kind: u8, sections: &[Vec<u8>]) -> Result<(), PersistError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&BINARY_VERSION.to_le_bytes())?;
+    w.write_all(&[kind])?;
+    for section in sections {
+        write_section(&mut w, section)?;
+    }
+    Ok(())
+}
+
+/// Reads and checks the v2 header after the magic has been consumed:
+/// version and kind must match what the caller expects.
+fn read_v2_header<R: Read>(r: &mut R, want_kind: u8) -> Result<(), PersistError> {
+    let mut version = [0u8; 4];
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut version)?;
+    r.read_exact(&mut kind)?;
+    let version = u32::from_le_bytes(version);
+    if version != BINARY_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported snapshot version {version} (this build reads v{JSON_VERSION} JSON and \
+             v{BINARY_VERSION} binary)"
+        )));
+    }
+    if kind[0] != want_kind {
+        let name = |k: u8| match k {
+            KIND_BILEVEL => "an in-memory index".to_string(),
+            KIND_OOC => "an out-of-core index".to_string(),
+            other => format!("unknown kind {other}"),
+        };
+        return Err(PersistError::Format(format!(
+            "snapshot holds {}, expected {}",
+            name(kind[0]),
+            name(want_kind)
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// v1 JSON structures (legacy).
+// ---------------------------------------------------------------------------
 
 /// One serialized `(group, table)` pair: the hash family plus the bucket
 /// contents as parallel `(code, ids)` lists.
@@ -85,7 +742,7 @@ struct TableSnapshot {
     buckets: Vec<Vec<u32>>,
 }
 
-/// The complete on-disk snapshot.
+/// The complete v1 on-disk snapshot.
 #[derive(Serialize, Deserialize)]
 struct Snapshot {
     version: u32,
@@ -98,12 +755,38 @@ struct Snapshot {
 }
 
 impl<'a> BiLevelIndex<'a> {
-    /// Serializes the index structure to a writer.
+    /// Serializes the index structure to a writer in the preferred binary
+    /// format (v2). [`BiLevelIndex::save_json_to`] writes the legacy JSON.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on write failure.
     pub fn save_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        let sections = [
+            sec_fingerprint(&DataFingerprint::of(&self.data)),
+            sec_config(&self.config),
+            sec_level1(&self.level1),
+            sec_widths(&self.group_widths),
+            sec_tables(&self.tables),
+        ];
+        write_v2(writer, KIND_BILEVEL, &sections)
+    }
+
+    /// Saves the index to a file in the binary format (see
+    /// [`BiLevelIndex::save_to`]).
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        self.save_to(std::io::BufWriter::new(file))
+    }
+
+    /// Serializes the index in the legacy v1 JSON format, for consumers that
+    /// want a text snapshot. [`BiLevelIndex::load_from`] reads both formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure or
+    /// [`PersistError::Format`] when JSON encoding fails.
+    pub fn save_json_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
         let tables = self
             .tables
             .iter()
@@ -123,52 +806,76 @@ impl<'a> BiLevelIndex<'a> {
             })
             .collect();
         let snapshot = Snapshot {
-            version: FORMAT_VERSION,
+            version: JSON_VERSION,
             fingerprint: DataFingerprint::of(&self.data),
             config: self.config.clone(),
-            level1: clone_level1(&self.level1),
+            level1: self.level1.clone(),
             group_widths: self.group_widths.clone(),
             tables,
         };
         serde_json::to_writer(writer, &snapshot).map_err(|e| PersistError::Format(e.to_string()))
     }
 
-    /// Saves the index to a file (see [`BiLevelIndex::save_to`]).
-    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+    /// Saves the index to a file in the legacy JSON format.
+    pub fn save_json(&self, path: &std::path::Path) -> Result<(), PersistError> {
         let file = std::fs::File::create(path)?;
-        self.save_to(std::io::BufWriter::new(file))
+        self.save_json_to(std::io::BufWriter::new(file))
     }
 
     /// Reconstructs an index from a snapshot and the dataset it was built
-    /// over.
+    /// over. The format is auto-detected: streams opening with the binary
+    /// magic decode as v2, everything else parses as v1 JSON.
     ///
     /// # Errors
     ///
     /// Fails with [`PersistError::DataMismatch`] when `data` does not match
-    /// the snapshot's fingerprint, or [`PersistError::Format`] on version or
-    /// decoding problems.
-    pub fn load_from<R: Read>(data: &'a Dataset, reader: R) -> Result<Self, PersistError> {
+    /// the snapshot's fingerprint, or [`PersistError::Format`] on version,
+    /// checksum, or structural-validation problems.
+    pub fn load_from<R: Read>(data: &'a Dataset, mut reader: R) -> Result<Self, PersistError> {
+        let mut first = [0u8; 4];
+        reader.read_exact(&mut first).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                PersistError::Format("snapshot shorter than 4 bytes".into())
+            } else {
+                PersistError::Io(e)
+            }
+        })?;
+        if first == MAGIC {
+            Self::load_v2(data, reader)
+        } else {
+            Self::load_v1_json(data, (&first[..]).chain(reader))
+        }
+    }
+
+    fn load_v2<R: Read>(data: &'a Dataset, mut reader: R) -> Result<Self, PersistError> {
+        read_v2_header(&mut reader, KIND_BILEVEL)?;
+        let fp = dec_fingerprint(&read_section(&mut reader, "fingerprint")?)?;
+        fp.check(&DataFingerprint::of(data))?;
+        let config = dec_config(&read_section(&mut reader, "config")?)?;
+        let level1 = dec_level1(&read_section(&mut reader, "level1")?)?;
+        let group_widths = dec_widths(&read_section(&mut reader, "group widths")?)?;
+        let tables = dec_tables(&read_section(&mut reader, "tables")?, &config, data.len())?;
+        check_group_shape(level1.num_groups(), tables.len(), &group_widths, &config)?;
+        Ok(BiLevelIndex {
+            data: std::borrow::Cow::Borrowed(data),
+            config,
+            level1,
+            tables,
+            group_widths,
+        })
+    }
+
+    fn load_v1_json<R: Read>(data: &'a Dataset, reader: R) -> Result<Self, PersistError> {
         let snapshot: Snapshot =
             serde_json::from_reader(reader).map_err(|e| PersistError::Format(e.to_string()))?;
-        if snapshot.version != FORMAT_VERSION {
+        if snapshot.version != JSON_VERSION {
             return Err(PersistError::Format(format!(
-                "unsupported snapshot version {} (expected {FORMAT_VERSION})",
+                "unsupported snapshot version {} (expected {JSON_VERSION})",
                 snapshot.version
             )));
         }
-        let fp = DataFingerprint::of(data);
-        if fp != snapshot.fingerprint {
-            return Err(PersistError::DataMismatch(format!(
-                "snapshot was built over {} × dim {} (checksum {:#x}), \
-                 got {} × dim {} (checksum {:#x})",
-                snapshot.fingerprint.len,
-                snapshot.fingerprint.dim,
-                snapshot.fingerprint.checksum,
-                fp.len,
-                fp.dim,
-                fp.checksum,
-            )));
-        }
+        snapshot.fingerprint.check(&DataFingerprint::of(data))?;
+        let arity = code_arity(&snapshot.config);
         let build_hierarchy = matches!(snapshot.config.probe, Probe::Hierarchical { .. });
         let tables = snapshot
             .tables
@@ -182,6 +889,7 @@ impl<'a> BiLevelIndex<'a> {
                                 "codes/buckets length mismatch".into(),
                             ));
                         }
+                        check_bucket_codes(&ts.codes, arity)?;
                         let mut table = LshTable::new();
                         for (code, ids) in ts.codes.iter().zip(&ts.buckets) {
                             for &id in ids {
@@ -205,6 +913,12 @@ impl<'a> BiLevelIndex<'a> {
                     .collect::<Result<Vec<_>, _>>()
             })
             .collect::<Result<Vec<_>, _>>()?;
+        check_group_shape(
+            snapshot.level1.num_groups(),
+            tables.len(),
+            &snapshot.group_widths,
+            &snapshot.config,
+        )?;
         Ok(BiLevelIndex {
             data: std::borrow::Cow::Borrowed(data),
             config: snapshot.config,
@@ -221,18 +935,130 @@ impl<'a> BiLevelIndex<'a> {
     }
 }
 
-/// `Level1` holds no shared state, but some variants don't implement
-/// `Clone`; round-trip through serde to copy it for the snapshot.
-fn clone_level1(level1: &Level1) -> Level1 {
-    let json = serde_json::to_string(level1).expect("level1 serializes");
-    serde_json::from_str(&json).expect("level1 deserializes")
+impl<'a> OocFlatIndex<'a> {
+    /// Serializes the out-of-core index structure (binary v2 only). The
+    /// dataset file itself is *not* copied — loading takes the same
+    /// [`OocDataset`] again, verified by a sampled fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure or when sampling the
+    /// source file for the fingerprint fails.
+    pub fn save_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        let sections = [
+            sec_fingerprint(&DataFingerprint::of_ooc(self.source)?),
+            sec_config(&self.config),
+            sec_level1(&self.level1),
+            sec_widths(&self.group_widths),
+            sec_families(&self.families),
+            sec_linear(&self.linear),
+            sec_intervals(&self.intervals),
+        ];
+        write_v2(writer, KIND_OOC, &sections)
+    }
+
+    /// Saves the index structure to a file (see [`OocFlatIndex::save_to`]).
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        self.save_to(std::io::BufWriter::new(file))
+    }
+
+    /// Reconstructs an out-of-core index from a snapshot and the dataset
+    /// file it was built over.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PersistError::DataMismatch`] when `source` does not
+    /// match the snapshot's sampled fingerprint, or [`PersistError::Format`]
+    /// on version, checksum, or structural-validation problems.
+    pub fn load_from<R: Read>(source: &'a OocDataset, mut reader: R) -> Result<Self, PersistError> {
+        let mut first = [0u8; 4];
+        reader.read_exact(&mut first).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                PersistError::Format("snapshot shorter than 4 bytes".into())
+            } else {
+                PersistError::Io(e)
+            }
+        })?;
+        if first != MAGIC {
+            return Err(PersistError::Format(
+                "not a binary snapshot (out-of-core indexes have no JSON format)".into(),
+            ));
+        }
+        read_v2_header(&mut reader, KIND_OOC)?;
+        let fp = dec_fingerprint(&read_section(&mut reader, "fingerprint")?)?;
+        fp.check(&DataFingerprint::of_ooc(source)?)?;
+        let config = dec_config(&read_section(&mut reader, "config")?)?;
+        let level1 = dec_level1(&read_section(&mut reader, "level1")?)?;
+        let group_widths = dec_widths(&read_section(&mut reader, "group widths")?)?;
+        let families = dec_families(&read_section(&mut reader, "families")?)?;
+        let linear = dec_linear(&read_section(&mut reader, "linear")?)?;
+        let intervals = dec_intervals(&read_section(&mut reader, "intervals")?)?;
+
+        let num_groups = level1.num_groups();
+        check_group_shape(num_groups, num_groups, &group_widths, &config)?;
+        if families.len() != config.l * num_groups {
+            return Err(PersistError::Format(format!(
+                "snapshot has {} families, want l × groups = {}",
+                families.len(),
+                config.l * num_groups
+            )));
+        }
+        for (i, family) in families.iter().enumerate() {
+            if family.dim() != source.dim() || family.m() != config.m {
+                return Err(PersistError::Format(format!("family {i} shape mismatch")));
+            }
+            let g = i % num_groups;
+            if family.w() != group_widths[g] {
+                return Err(PersistError::Format(format!(
+                    "family {i} width {} disagrees with group width {}",
+                    family.w(),
+                    group_widths[g]
+                )));
+            }
+        }
+        if linear.iter().any(|&id| id as usize >= source.len()) {
+            return Err(PersistError::Format("linear array id out of range".into()));
+        }
+        if intervals.covered() != linear.len() as u64 {
+            return Err(PersistError::Format(format!(
+                "intervals cover {} entries, linear array has {}",
+                intervals.covered(),
+                linear.len()
+            )));
+        }
+        Ok(OocFlatIndex { source, config, level1, families, group_widths, linear, intervals })
+    }
+
+    /// Loads an out-of-core index from a file (see
+    /// [`OocFlatIndex::load_from`]).
+    pub fn load(source: &'a OocDataset, path: &std::path::Path) -> Result<Self, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Self::load_from(source, std::io::BufReader::new(file))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{Probe, Quantizer};
+    use vecstore::io::write_fvecs;
     use vecstore::synth::{self, ClusteredSpec};
+
+    /// Whether the JSON backend actually works here. Offline builds may
+    /// link a stub `serde_json` that errors at runtime; legacy-format tests
+    /// skip rather than fail there, since the binary format is the product.
+    fn json_available() -> bool {
+        serde_json::to_vec(&1u32).is_ok()
+    }
+
+    /// `unwrap_err` without requiring `Debug` on the loaded index.
+    fn err_of<T>(r: Result<T, PersistError>) -> PersistError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected the load to fail"),
+        }
+    }
 
     fn corpus() -> (Dataset, Dataset) {
         synth::clustered(&ClusteredSpec::small(400), 55).split_at(350)
@@ -267,6 +1093,15 @@ mod tests {
         roundtrip(
             &BiLevelConfig::paper_default(3.0).probe(Probe::Hierarchical { min_candidates: 8 }),
         );
+    }
+
+    #[test]
+    fn roundtrip_kmeans_and_kd_partitions() {
+        let mut cfg = BiLevelConfig::paper_default(5.0);
+        cfg.partition = Partition::KMeans { groups: 8 };
+        roundtrip(&cfg);
+        cfg.partition = Partition::Kd { groups: 8 };
+        roundtrip(&cfg);
     }
 
     #[test]
@@ -310,7 +1145,7 @@ mod tests {
         let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
         let dir = std::env::temp_dir().join("bilevel_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.json");
+        let path = dir.join("index.snap");
         index.save(&path).unwrap();
         let loaded = BiLevelIndex::load(&data, &path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -318,5 +1153,289 @@ mod tests {
             index.query_batch(&queries, 3).neighbors,
             loaded.query_batch(&queries, 3).neighbors
         );
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let (data, _) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let err = err_of(BiLevelIndex::load_from(&data, buf.as_slice()));
+        assert!(
+            matches!(&err, PersistError::Format(m) if m.contains("unsupported snapshot version 9")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let (data, _) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        for cut in [2, 7, buf.len() / 2, buf.len() - 5] {
+            let err = err_of(BiLevelIndex::load_from(&data, &buf[..cut]));
+            assert!(
+                matches!(err, PersistError::Format(_) | PersistError::Io(_)),
+                "cut at {cut} must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_section_rejected() {
+        let (data, _) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        // Flip a byte deep inside the stream: a section checksum must trip.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let err = err_of(BiLevelIndex::load_from(&data, buf.as_slice()));
+        assert!(
+            matches!(&err, PersistError::Format(_) | PersistError::DataMismatch(_)),
+            "got {err}"
+        );
+    }
+
+    /// Re-frames a v2 snapshot with tampered tables, exercising the
+    /// structural validation the wire format itself cannot express.
+    fn snapshot_with_tampered_tables(
+        data: &Dataset,
+        mutate: impl Fn(&mut Vec<Vec<GroupTable>>),
+    ) -> (Vec<u8>, BiLevelConfig) {
+        let cfg = BiLevelConfig::standard(5.0);
+        let index = BiLevelIndex::build(data, &cfg);
+        let mut tables: Vec<Vec<GroupTable>> = index
+            .tables
+            .iter()
+            .map(|per_group| {
+                per_group
+                    .iter()
+                    .map(|gt| {
+                        let mut table = LshTable::new();
+                        for code in &gt.bucket_codes {
+                            for &id in gt.table.bucket(code) {
+                                table.insert(code, id);
+                            }
+                        }
+                        GroupTable {
+                            family: gt.family.clone(),
+                            table,
+                            bucket_codes: gt.bucket_codes.clone(),
+                            hierarchy: None,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        mutate(&mut tables);
+        let mut buf = Vec::new();
+        write_v2(
+            &mut buf,
+            KIND_BILEVEL,
+            &[
+                sec_fingerprint(&DataFingerprint::of(data)),
+                sec_config(&index.config),
+                sec_level1(&index.level1),
+                sec_widths(&index.group_widths),
+                sec_tables(&tables),
+            ],
+        )
+        .unwrap();
+        (buf, cfg)
+    }
+
+    #[test]
+    fn duplicate_bucket_codes_rejected() {
+        let (data, _) = corpus();
+        let (buf, _) = snapshot_with_tampered_tables(&data, |tables| {
+            let gt = &mut tables[0][0];
+            let dup = gt.bucket_codes[0].clone();
+            gt.bucket_codes.push(dup);
+        });
+        let err = err_of(BiLevelIndex::load_from(&data, buf.as_slice()));
+        assert!(
+            matches!(&err, PersistError::Format(m) if m.contains("duplicate bucket code")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn wrong_arity_bucket_codes_rejected() {
+        let (data, _) = corpus();
+        let (buf, _) = snapshot_with_tampered_tables(&data, |tables| {
+            let gt = &mut tables[0][0];
+            let short: Vec<i32> = gt.bucket_codes[0][..gt.bucket_codes[0].len() - 1].to_vec();
+            gt.bucket_codes[0] = short.into_boxed_slice();
+        });
+        let err = err_of(BiLevelIndex::load_from(&data, buf.as_slice()));
+        assert!(matches!(&err, PersistError::Format(m) if m.contains("arity")), "got {err}");
+    }
+
+    #[test]
+    fn untampered_reframed_snapshot_loads() {
+        let (data, queries) = corpus();
+        let (buf, cfg) = snapshot_with_tampered_tables(&data, |_| {});
+        let loaded = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
+        let fresh = BiLevelIndex::build(&data, &cfg);
+        assert_eq!(
+            fresh.query_batch(&queries, 5).neighbors,
+            loaded.query_batch(&queries, 5).neighbors
+        );
+    }
+
+    #[test]
+    fn json_v1_still_loads() {
+        if !json_available() {
+            return;
+        }
+        let (data, queries) = corpus();
+        for cfg in [
+            BiLevelConfig::paper_default(5.0),
+            BiLevelConfig::standard(5.0).quantizer(Quantizer::E8).probe(Probe::Multi(8)),
+        ] {
+            let index = BiLevelIndex::build(&data, &cfg);
+            let mut json = Vec::new();
+            index.save_json_to(&mut json).unwrap();
+            assert_ne!(&json[..4], &MAGIC, "JSON must not collide with the magic");
+            let loaded = BiLevelIndex::load_from(&data, json.as_slice()).unwrap();
+            assert_eq!(
+                index.query_batch(&queries, 7).neighbors,
+                loaded.query_batch(&queries, 7).neighbors
+            );
+        }
+    }
+
+    #[test]
+    fn binary_and_json_snapshots_load_identically() {
+        if !json_available() {
+            return;
+        }
+        let (data, queries) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(4.0));
+        let mut bin = Vec::new();
+        let mut json = Vec::new();
+        index.save_to(&mut bin).unwrap();
+        index.save_json_to(&mut json).unwrap();
+        let from_bin = BiLevelIndex::load_from(&data, bin.as_slice()).unwrap();
+        let from_json = BiLevelIndex::load_from(&data, json.as_slice()).unwrap();
+        let a = from_bin.query_batch(&queries, 9);
+        let b = from_json.query_batch(&queries, 9);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    // ---- Out-of-core snapshots. ----
+
+    fn ooc_file(name: &str, n: usize, seed: u64) -> (std::path::PathBuf, Dataset) {
+        let all = synth::clustered(&ClusteredSpec::small(n + 50), seed);
+        let (data, queries) = all.split_at(n);
+        let dir = std::env::temp_dir().join("bilevel_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        write_fvecs(&path, &data).unwrap();
+        (path, queries)
+    }
+
+    #[test]
+    fn ooc_roundtrip_matches_built_index() {
+        let (path, queries) = ooc_file("ooc_rt.fvecs", 500, 77);
+        let source = OocDataset::open(&path).unwrap();
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            let cfg = BiLevelConfig::paper_default(5.0).quantizer(quantizer);
+            let built = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+            let mut buf = Vec::new();
+            built.save_to(&mut buf).unwrap();
+            let loaded = OocFlatIndex::load_from(&source, buf.as_slice()).unwrap();
+            for q in queries.iter() {
+                assert_eq!(built.candidates(q), loaded.candidates(q), "{quantizer:?}");
+            }
+            let a = built.query_batch_with(&queries, 6, 4).unwrap();
+            let b = loaded.query_batch_with(&queries, 6, 4).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                let x: Vec<(usize, f32)> = x.iter().map(|n| (n.id, n.dist)).collect();
+                let y: Vec<(usize, f32)> = y.iter().map(|n| (n.id, n.dist)).collect();
+                assert_eq!(x, y, "{quantizer:?}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ooc_save_is_deterministic() {
+        let (path, _) = ooc_file("ooc_det.fvecs", 300, 78);
+        let source = OocDataset::open(&path).unwrap();
+        let index =
+            OocFlatIndex::build(&source, &BiLevelConfig::standard(5.0), usize::MAX).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        index.save_to(&mut a).unwrap();
+        index.save_to(&mut b).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ooc_load_rejects_different_file() {
+        let (path_a, _) = ooc_file("ooc_a.fvecs", 300, 79);
+        let (path_b, _) = ooc_file("ooc_b.fvecs", 300, 80);
+        let source_a = OocDataset::open(&path_a).unwrap();
+        let source_b = OocDataset::open(&path_b).unwrap();
+        let index =
+            OocFlatIndex::build(&source_a, &BiLevelConfig::standard(5.0), usize::MAX).unwrap();
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        let err = err_of(OocFlatIndex::load_from(&source_b, buf.as_slice()));
+        assert!(matches!(err, PersistError::DataMismatch(_)), "got {err}");
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn ooc_rejects_bilevel_snapshot_and_vice_versa() {
+        let (data, _) = corpus();
+        let (path, _) = ooc_file("ooc_kind.fvecs", 200, 81);
+        let source = OocDataset::open(&path).unwrap();
+        let mem_index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let ooc_index =
+            OocFlatIndex::build(&source, &BiLevelConfig::standard(5.0), usize::MAX).unwrap();
+        let mut mem_buf = Vec::new();
+        let mut ooc_buf = Vec::new();
+        mem_index.save_to(&mut mem_buf).unwrap();
+        ooc_index.save_to(&mut ooc_buf).unwrap();
+        let err = err_of(OocFlatIndex::load_from(&source, mem_buf.as_slice()));
+        assert!(matches!(&err, PersistError::Format(m) if m.contains("in-memory")), "got {err}");
+        let err = err_of(BiLevelIndex::load_from(&data, ooc_buf.as_slice()));
+        assert!(matches!(&err, PersistError::Format(m) if m.contains("out-of-core")), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ooc_truncated_and_corrupted_snapshots_rejected() {
+        let (path, _) = ooc_file("ooc_trunc.fvecs", 300, 82);
+        let source = OocDataset::open(&path).unwrap();
+        let index =
+            OocFlatIndex::build(&source, &BiLevelConfig::standard(5.0), usize::MAX).unwrap();
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        for cut in [3, 8, buf.len() / 2, buf.len() - 4] {
+            let err = err_of(OocFlatIndex::load_from(&source, &buf[..cut]));
+            assert!(
+                matches!(err, PersistError::Format(_) | PersistError::Io(_)),
+                "cut at {cut} must fail cleanly"
+            );
+        }
+        let mut corrupt = buf.clone();
+        let mid = corrupt.len() * 3 / 4;
+        corrupt[mid] ^= 0xFF;
+        let err = err_of(OocFlatIndex::load_from(&source, corrupt.as_slice()));
+        assert!(
+            matches!(&err, PersistError::Format(_) | PersistError::DataMismatch(_)),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

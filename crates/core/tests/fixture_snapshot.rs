@@ -1,0 +1,49 @@
+//! Golden-file compatibility: a checked-in v2 snapshot must keep loading,
+//! answering, and re-saving byte-identically in every future build. The
+//! load → save path involves no randomness, so the byte comparison is
+//! environment-independent; a failure here means the v2 wire layout
+//! drifted, which needs a version bump, not a silent change.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Probe};
+use std::path::Path;
+use vecstore::io::read_fvecs;
+
+const DATA: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.fvecs");
+const SNAP: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_v2.snap");
+
+/// The configuration the fixture was generated with (see
+/// [`regenerate_golden_fixture`]).
+fn golden_config() -> BiLevelConfig {
+    BiLevelConfig::paper_default(5.0).probe(Probe::Multi(8))
+}
+
+#[test]
+fn golden_v2_snapshot_loads_and_resaves_identically() {
+    let data = read_fvecs(Path::new(DATA)).unwrap();
+    let snap = std::fs::read(SNAP).unwrap();
+    let index = BiLevelIndex::load_from(&data, snap.as_slice()).unwrap();
+
+    let mut resaved = Vec::new();
+    index.save_to(&mut resaved).unwrap();
+    assert_eq!(resaved, snap, "v2 byte layout drifted — bump the format version");
+
+    // The loaded index answers sanely: every indexed row finds itself.
+    for probe in [0usize, data.len() / 2, data.len() - 1] {
+        let hits = index.query(data.row(probe), 3);
+        assert_eq!(hits.first().map(|n| n.id), Some(probe), "row {probe} must find itself");
+        assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+}
+
+#[test]
+#[ignore = "writes the golden fixture; run manually after a deliberate format change"]
+fn regenerate_golden_fixture() {
+    use vecstore::io::write_fvecs;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    let data = synth::clustered(&ClusteredSpec::small(240), 2012);
+    std::fs::create_dir_all(Path::new(SNAP).parent().unwrap()).unwrap();
+    write_fvecs(Path::new(DATA), &data).unwrap();
+    let index = BiLevelIndex::build(&data, &golden_config());
+    index.save(Path::new(SNAP)).unwrap();
+}

@@ -17,4 +17,4 @@
 
 pub mod table;
 
-pub use table::{CuckooError, CuckooTable};
+pub use table::{CuckooError, CuckooParts, CuckooTable, InvalidParts, MAX_LOAD, NUM_HASHES};

@@ -10,7 +10,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const EMPTY: u64 = u64::MAX;
 
 /// Number of sub-hash functions (Alcantara et al. use 4).
-const NUM_HASHES: usize = 4;
+pub const NUM_HASHES: usize = 4;
+
+/// Highest accepted load factor. With 4 sub-hashes, construction succeeds
+/// reliably up to ~0.9; beyond that the failure probability climbs so fast
+/// that a request for e.g. `load = 1.0` would burn every rebuild attempt
+/// before erroring. Misconfiguration fails fast instead.
+pub const MAX_LOAD: f64 = 0.95;
 
 /// Construction failure: the table could not place every item even after
 /// reseeding and stash overflow.
@@ -89,25 +95,35 @@ impl CuckooTable {
     }
 
     /// Builds with an explicit load factor `items / slots`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `load` is outside `(0, MAX_LOAD]` — loads near 1.0 cannot
+    /// be built with 4 sub-hashes and would only waste every rebuild attempt.
     pub fn build_with_load(
         items: Vec<(u64, u64)>,
         load: f64,
         seed: u64,
     ) -> Result<Self, CuckooError> {
-        assert!(load > 0.0 && load <= 1.0, "load factor must be in (0, 1]");
+        assert!(load > 0.0 && load <= MAX_LOAD, "load factor must be in (0, {MAX_LOAD}]");
         Self::build_inner(items, load, seed, 1)
     }
 
     /// Builds using `threads` worker threads racing CAS/exchange insertions —
     /// the CPU port of the GPU construction kernel. Agrees with the serial
     /// build on membership (slot placement may differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `load` is outside `(0, MAX_LOAD]` (see
+    /// [`CuckooTable::build_with_load`]).
     pub fn build_parallel(
         items: Vec<(u64, u64)>,
         load: f64,
         seed: u64,
         threads: usize,
     ) -> Result<Self, CuckooError> {
-        assert!(load > 0.0 && load <= 1.0, "load factor must be in (0, 1]");
+        assert!(load > 0.0 && load <= MAX_LOAD, "load factor must be in (0, {MAX_LOAD}]");
         Self::build_inner(items, load, seed, threads.max(1))
     }
 
@@ -219,7 +235,96 @@ impl CuckooTable {
     pub fn max_chain(&self) -> usize {
         self.max_chain
     }
+
+    /// Exports the built table as plain data for persistence.
+    pub fn to_parts(&self) -> CuckooParts {
+        CuckooParts {
+            slots: self.slots.iter().map(|s| s.load(Ordering::Acquire)).collect(),
+            items: self.items.clone(),
+            stash: self.stash.clone(),
+            seed_mul: self.seeds.mul,
+            seed_add: self.seeds.add,
+            max_chain: self.max_chain,
+        }
+    }
+
+    /// Reassembles a table from exported parts, re-validating every
+    /// structural invariant (slot indices in range, no duplicate or sentinel
+    /// keys, and every stored key reachable through its candidate slots or
+    /// the stash) so corrupted snapshots are rejected instead of producing a
+    /// table that silently drops lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParts`] naming the first violated invariant.
+    pub fn from_parts(parts: CuckooParts) -> Result<Self, InvalidParts> {
+        let CuckooParts { slots, items, stash, seed_mul, seed_add, max_chain } = parts;
+        if slots.is_empty() && !items.is_empty() {
+            return Err(InvalidParts("no slots for a non-empty item set".into()));
+        }
+        for (i, &s) in slots.iter().enumerate() {
+            if s != EMPTY && s as usize >= items.len() {
+                return Err(InvalidParts(format!("slot {i} points past the item array ({s})")));
+            }
+        }
+        if items.iter().chain(&stash).any(|&(k, _)| k == EMPTY) {
+            return Err(InvalidParts("u64::MAX is a reserved key".into()));
+        }
+        {
+            let mut keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+            keys.sort_unstable();
+            if keys.windows(2).any(|w| w[0] == w[1]) {
+                return Err(InvalidParts("duplicate keys".into()));
+            }
+        }
+        if seed_mul.iter().any(|m| m % 2 == 0) {
+            return Err(InvalidParts("hash multipliers must be odd".into()));
+        }
+        let table = Self {
+            slots: slots.into_iter().map(AtomicU64::new).collect(),
+            items,
+            stash,
+            seeds: HashSeeds { mul: seed_mul, add: seed_add },
+            max_chain,
+        };
+        for &(k, v) in &table.items {
+            if table.get(k) != Some(v) {
+                return Err(InvalidParts(format!("key {k:#x} is not reachable after import")));
+            }
+        }
+        Ok(table)
+    }
 }
+
+/// Plain-data form of a built [`CuckooTable`], produced by
+/// [`CuckooTable::to_parts`] and consumed by [`CuckooTable::from_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CuckooParts {
+    /// Slot array: item indices or `u64::MAX` for empty.
+    pub slots: Vec<u64>,
+    /// The stored `(key, value)` pairs.
+    pub items: Vec<(u64, u64)>,
+    /// Overflow items resolved through linear search.
+    pub stash: Vec<(u64, u64)>,
+    /// Sub-hash multipliers (odd).
+    pub seed_mul: [u64; NUM_HASHES],
+    /// Sub-hash addends.
+    pub seed_add: [u64; NUM_HASHES],
+    /// Eviction-chain bound recorded at construction.
+    pub max_chain: usize,
+}
+
+/// Structural-invariant violation found while importing [`CuckooParts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParts(pub String);
+
+impl std::fmt::Display for InvalidParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid cuckoo table parts: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParts {}
 
 /// Inserts item `idx` by walking an eviction chain; `None` on success,
 /// `Some(orphan)` with the finally displaced item index on failure.
@@ -353,6 +458,57 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor must be in")]
+    fn full_load_factor_rejected_up_front() {
+        // load = 1.0 used to burn all 16 rebuild attempts before failing.
+        let _ = CuckooTable::build_with_load(pairs(100), 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor must be in")]
+    fn parallel_build_rejects_full_load_too() {
+        let _ = CuckooTable::build_parallel(pairs(100), 0.99, 1, 2);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_every_lookup() {
+        let items = pairs(2000);
+        let t = CuckooTable::build_with_load(items.clone(), 0.9, 19).unwrap();
+        let rebuilt = CuckooTable::from_parts(t.to_parts()).unwrap();
+        assert_eq!(rebuilt.len(), t.len());
+        assert_eq!(rebuilt.num_slots(), t.num_slots());
+        assert_eq!(rebuilt.stash_len(), t.stash_len());
+        for (k, v) in items {
+            assert_eq!(rebuilt.get(k), Some(v));
+        }
+        assert_eq!(rebuilt.get(0xdead_beef_dead_beef), None);
+    }
+
+    #[test]
+    fn tampered_parts_are_rejected() {
+        let t = CuckooTable::build(pairs(300), 23).unwrap();
+        let good = t.to_parts();
+
+        let mut bad = good.clone();
+        bad.slots[0] = 10_000; // out-of-range item index
+        assert!(CuckooTable::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.seed_add[2] ^= 0xFF; // wrong seeds: keys become unreachable
+        assert!(CuckooTable::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.items[5].0 = bad.items[6].0; // duplicate key
+        assert!(CuckooTable::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.seed_mul[0] = 42; // even multiplier
+        assert!(CuckooTable::from_parts(bad).is_err());
+
+        assert!(CuckooTable::from_parts(good).is_ok());
     }
 
     #[test]

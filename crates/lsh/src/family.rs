@@ -104,7 +104,71 @@ impl HashFamily {
     pub fn hash_zm(&self, v: &[f32]) -> LshCode {
         self.project(v).into_iter().map(|x| x.floor() as i32).collect()
     }
+
+    /// Dumps the family's structure for persistence.
+    pub fn to_parts(&self) -> FamilyParts {
+        FamilyParts { a: self.a.clone(), b: self.b.clone(), w: self.w, dim: self.dim }
+    }
+
+    /// Rebuilds a family from a structural dump, validating every invariant
+    /// [`HashFamily::sample`] establishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFamily`] on shape mismatches, non-finite values, a
+    /// non-positive width, or offsets outside the normalized `[0, 1)` cell.
+    pub fn from_parts(parts: FamilyParts) -> Result<Self, InvalidFamily> {
+        let FamilyParts { a, b, w, dim } = parts;
+        let m = b.len();
+        if m == 0 || dim == 0 {
+            return Err(InvalidFamily("m and dim must be positive".into()));
+        }
+        if a.len() != m * dim {
+            return Err(InvalidFamily(format!(
+                "projection matrix has {} entries, want m * dim = {}",
+                a.len(),
+                m * dim
+            )));
+        }
+        if !(w > 0.0 && w.is_finite()) {
+            return Err(InvalidFamily(format!("width {w} must be positive and finite")));
+        }
+        if a.iter().any(|x| !x.is_finite()) {
+            return Err(InvalidFamily("non-finite projection entry".into()));
+        }
+        if b.iter().any(|x| !(0.0..1.0).contains(x)) {
+            return Err(InvalidFamily("offset outside the normalized [0, 1) cell".into()));
+        }
+        Ok(Self { a, b, w, m, dim })
+    }
 }
+
+/// Owned structural dump of a [`HashFamily`]: the `m × dim` projection
+/// matrix, the normalized offsets (`m` of them — `m` itself is implied),
+/// the width, and the input dimension.
+#[derive(Debug, Clone)]
+pub struct FamilyParts {
+    /// Row-major `m × dim` projection matrix.
+    pub a: Vec<f32>,
+    /// Normalized per-component offsets in `[0, 1)`.
+    pub b: Vec<f32>,
+    /// Bucket width `W`.
+    pub w: f32,
+    /// Input dimensionality.
+    pub dim: usize,
+}
+
+/// A structural dump failed [`HashFamily::from_parts`] validation.
+#[derive(Debug)]
+pub struct InvalidFamily(pub String);
+
+impl std::fmt::Display for InvalidFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid hash family parts: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidFamily {}
 
 /// Reusable projection buffer: the per-worker scratch state of the parallel
 /// candidate-generation pipeline.
@@ -253,5 +317,38 @@ mod tests {
     #[should_panic(expected = "w must be positive")]
     fn zero_w_panics() {
         let _ = HashFamily::sample(8, 4, 0.0, 1);
+    }
+
+    #[test]
+    fn parts_roundtrip_hashes_identically() {
+        let f = HashFamily::sample(12, 6, 2.5, 23);
+        let g = HashFamily::from_parts(f.to_parts()).unwrap();
+        let v: Vec<f32> = (0..12).map(|i| (i as f32).sin() * 3.0).collect();
+        assert_eq!(f.hash_zm(&v), g.hash_zm(&v));
+        assert_eq!(f.project(&v), g.project(&v));
+        assert_eq!((f.m(), f.dim(), f.w()), (g.m(), g.dim(), g.w()));
+    }
+
+    #[test]
+    fn tampered_parts_are_rejected() {
+        let f = HashFamily::sample(8, 4, 2.0, 29);
+
+        let mut p = f.to_parts();
+        p.a.pop();
+        assert!(HashFamily::from_parts(p).is_err(), "matrix shape");
+
+        let mut p = f.to_parts();
+        p.b[0] = 1.5;
+        assert!(HashFamily::from_parts(p).is_err(), "offset out of cell");
+
+        let mut p = f.to_parts();
+        p.w = -1.0;
+        assert!(HashFamily::from_parts(p).is_err(), "negative width");
+
+        let mut p = f.to_parts();
+        p.a[3] = f32::NAN;
+        assert!(HashFamily::from_parts(p).is_err(), "NaN projection");
+
+        assert!(HashFamily::from_parts(f.to_parts()).is_ok(), "untampered parts load");
     }
 }

@@ -4,7 +4,7 @@
 //! radii when the intrinsic dimension is low; this baseline exists so the
 //! ablation benches can demonstrate that claim against RP-trees.
 
-use crate::partition::Partitioner;
+use crate::partition::{InvalidParts, Partitioner};
 use serde::{Deserialize, Serialize};
 use vecstore::Dataset;
 
@@ -72,6 +72,118 @@ impl KdPartitioner {
     pub fn num_leaves(&self) -> usize {
         self.num_leaves
     }
+
+    /// Dumps the partitioner's structure for persistence.
+    pub fn to_parts(&self) -> KdParts {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { leaf_id } => KdNodeParts::Leaf { leaf_id: *leaf_id },
+                Node::Split { axis, threshold, left, right } => KdNodeParts::Split {
+                    axis: *axis,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect();
+        KdParts { nodes, num_leaves: self.num_leaves, dim: self.dim }
+    }
+
+    /// Rebuilds a partitioner from a structural dump, validating the arena
+    /// is a proper binary tree rooted at node 0 with dense leaf ids and
+    /// in-range split axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParts`] naming the violated invariant.
+    pub fn from_parts(parts: KdParts) -> Result<Self, InvalidParts> {
+        let KdParts { nodes, num_leaves, dim } = parts;
+        if dim == 0 {
+            return Err(InvalidParts("dim must be positive".into()));
+        }
+        if nodes.is_empty() {
+            return Err(InvalidParts("tree has no nodes".into()));
+        }
+        let mut visited = vec![false; nodes.len()];
+        let mut leaf_seen = vec![false; num_leaves];
+        let mut leaves_found = 0usize;
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = nodes
+                .get(i)
+                .ok_or_else(|| InvalidParts(format!("child index {i} out of range")))?;
+            if std::mem::replace(&mut visited[i], true) {
+                return Err(InvalidParts(format!("node {i} reachable twice (not a tree)")));
+            }
+            match node {
+                KdNodeParts::Leaf { leaf_id } => {
+                    if *leaf_id >= num_leaves || std::mem::replace(&mut leaf_seen[*leaf_id], true) {
+                        return Err(InvalidParts(format!("leaf id {leaf_id} invalid or repeated")));
+                    }
+                    leaves_found += 1;
+                }
+                KdNodeParts::Split { axis, left, right, .. } => {
+                    if *axis >= dim {
+                        return Err(InvalidParts(format!("split axis {axis} out of range")));
+                    }
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        if !visited.iter().all(|&v| v) {
+            return Err(InvalidParts("unreachable nodes in arena".into()));
+        }
+        if leaves_found != num_leaves {
+            return Err(InvalidParts(format!(
+                "{leaves_found} leaves reachable, header claims {num_leaves}"
+            )));
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                KdNodeParts::Leaf { leaf_id } => Node::Leaf { leaf_id },
+                KdNodeParts::Split { axis, threshold, left, right } => {
+                    Node::Split { axis, threshold, left, right }
+                }
+            })
+            .collect();
+        Ok(Self { nodes, num_leaves, dim })
+    }
+}
+
+/// Structural dump of one [`KdPartitioner`] arena node, for persistence.
+#[derive(Debug, Clone)]
+pub enum KdNodeParts {
+    /// Terminal node carrying its dense leaf index.
+    Leaf {
+        /// Dense leaf id in `0..num_leaves`.
+        leaf_id: usize,
+    },
+    /// `v[axis] <= threshold` goes left.
+    Split {
+        /// Coordinate the split tests.
+        axis: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+/// Owned structural dump of a fitted [`KdPartitioner`].
+#[derive(Debug, Clone)]
+pub struct KdParts {
+    /// Arena nodes; node 0 is the root.
+    pub nodes: Vec<KdNodeParts>,
+    /// Number of leaves (dense ids `0..num_leaves`).
+    pub num_leaves: usize,
+    /// Dimensionality the partitioner was fitted on.
+    pub dim: usize,
 }
 
 impl Partitioner for KdPartitioner {
@@ -194,6 +306,36 @@ mod tests {
         assert_eq!(assign[0], assign[2]);
         assert_eq!(assign[1], assign[3]);
         assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn parts_roundtrip_assigns_identically() {
+        let ds = synth::clustered(&ClusteredSpec::small(300), 7);
+        let (kd, _) = KdPartitioner::fit(&ds, 8);
+        let back = KdPartitioner::from_parts(kd.to_parts()).unwrap();
+        for row in ds.iter() {
+            assert_eq!(back.assign(row), kd.assign(row));
+        }
+    }
+
+    #[test]
+    fn tampered_parts_are_rejected() {
+        let ds = synth::clustered(&ClusteredSpec::small(300), 7);
+        let (kd, _) = KdPartitioner::fit(&ds, 8);
+
+        let mut p = kd.to_parts();
+        if let Some(KdNodeParts::Split { axis, .. }) =
+            p.nodes.iter_mut().find(|n| matches!(n, KdNodeParts::Split { .. }))
+        {
+            *axis = p.dim;
+        }
+        assert!(KdPartitioner::from_parts(p).is_err(), "axis out of range");
+
+        let mut p = kd.to_parts();
+        p.nodes.push(KdNodeParts::Leaf { leaf_id: 0 });
+        assert!(KdPartitioner::from_parts(p).is_err(), "unreachable node");
+
+        assert!(KdPartitioner::from_parts(kd.to_parts()).is_ok(), "untampered parts load");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Lloyd's K-means with k-means++ seeding — the partitioning baseline the
 //! paper compares RP-trees against in Figure 13(c).
 
-use crate::partition::Partitioner;
+use crate::partition::{InvalidParts, Partitioner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -89,6 +89,23 @@ impl KMeans {
     /// The fitted centroids.
     pub fn centroids(&self) -> &Dataset {
         &self.centroids
+    }
+
+    /// Rebuilds a model from persisted centroids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParts`] when the centroid set is empty or contains
+    /// non-finite coordinates (either would poison nearest-centroid
+    /// assignment).
+    pub fn from_centroids(centroids: Dataset) -> Result<Self, InvalidParts> {
+        if centroids.is_empty() {
+            return Err(InvalidParts("k-means needs at least one centroid".into()));
+        }
+        if centroids.iter().any(|row| row.iter().any(|x| !x.is_finite())) {
+            return Err(InvalidParts("non-finite centroid coordinate".into()));
+        }
+        Ok(Self { centroids })
     }
 }
 
@@ -202,6 +219,20 @@ mod tests {
         let (_, a1) = KMeans::fit(&ds, 6, 30, 42);
         let (_, a2) = KMeans::fit(&ds, 6, 30, 42);
         assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn from_centroids_roundtrip_assigns_identically() {
+        let ds = synth::clustered(&ClusteredSpec::small(200), 13);
+        let (km, _) = KMeans::fit(&ds, 6, 30, 17);
+        let back = KMeans::from_centroids(km.centroids().clone()).unwrap();
+        for row in ds.iter() {
+            assert_eq!(back.assign(row), km.assign(row));
+        }
+        assert!(KMeans::from_centroids(Dataset::new(4)).is_err(), "empty set rejected");
+        let mut bad = km.centroids().clone();
+        bad.row_mut(0)[0] = f32::NAN;
+        assert!(KMeans::from_centroids(bad).is_err(), "NaN rejected");
     }
 
     #[test]

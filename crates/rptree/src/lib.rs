@@ -18,7 +18,7 @@ pub mod tree;
 
 pub use diameter::{approx_diameter, DiameterEstimate};
 pub use kdknn::KdKnn;
-pub use kdpart::KdPartitioner;
+pub use kdpart::{KdNodeParts, KdPartitioner, KdParts};
 pub use kmeans::KMeans;
-pub use partition::{Partitioner, SinglePartition};
-pub use tree::{RpTree, RpTreeConfig, SplitRule};
+pub use partition::{InvalidParts, Partitioner, SinglePartition};
+pub use tree::{RpNodeParts, RpTree, RpTreeConfig, RpTreeParts, SplitRule};

@@ -38,6 +38,19 @@ impl Partitioner for SinglePartition {
     }
 }
 
+/// A structural dump failed validation on import (`from_parts` /
+/// `from_centroids`): the message names the violated invariant.
+#[derive(Debug)]
+pub struct InvalidParts(pub String);
+
+impl std::fmt::Display for InvalidParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid partitioner parts: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParts {}
+
 /// Groups row ids by their assigned partition: `out[g]` lists the rows of
 /// group `g` in ascending order.
 pub fn group_ids(assignments: &[usize], num_groups: usize) -> Vec<Vec<usize>> {

@@ -175,6 +175,146 @@ impl RpTree {
     pub fn dim(&self) -> usize {
         self.dim
     }
+
+    /// Dumps the tree's structure for persistence.
+    pub fn to_parts(&self) -> RpTreeParts {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { leaf_id } => RpNodeParts::Leaf { leaf_id: *leaf_id },
+                Node::ProjSplit { dir, threshold, left, right } => RpNodeParts::ProjSplit {
+                    dir: dir.clone(),
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+                Node::DistSplit { mean, threshold_sq, left, right } => RpNodeParts::DistSplit {
+                    mean: mean.clone(),
+                    threshold_sq: *threshold_sq,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect();
+        RpTreeParts { nodes, num_leaves: self.num_leaves, dim: self.dim }
+    }
+
+    /// Rebuilds a tree from a structural dump, validating that the arena is
+    /// a proper binary tree rooted at node 0 whose leaves carry exactly the
+    /// dense ids `0..num_leaves` and whose split vectors match `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParts`] naming the violated invariant.
+    pub fn from_parts(parts: RpTreeParts) -> Result<Self, crate::partition::InvalidParts> {
+        use crate::partition::InvalidParts;
+        let RpTreeParts { nodes, num_leaves, dim } = parts;
+        if dim == 0 {
+            return Err(InvalidParts("dim must be positive".into()));
+        }
+        if nodes.is_empty() {
+            return Err(InvalidParts("tree has no nodes".into()));
+        }
+        let mut visited = vec![false; nodes.len()];
+        let mut leaf_seen = vec![false; num_leaves];
+        let mut leaves_found = 0usize;
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = nodes
+                .get(i)
+                .ok_or_else(|| InvalidParts(format!("child index {i} out of range")))?;
+            if std::mem::replace(&mut visited[i], true) {
+                return Err(InvalidParts(format!("node {i} reachable twice (not a tree)")));
+            }
+            match node {
+                RpNodeParts::Leaf { leaf_id } => {
+                    if *leaf_id >= num_leaves || std::mem::replace(&mut leaf_seen[*leaf_id], true) {
+                        return Err(InvalidParts(format!("leaf id {leaf_id} invalid or repeated")));
+                    }
+                    leaves_found += 1;
+                }
+                RpNodeParts::ProjSplit { dir, left, right, .. } => {
+                    if dir.len() != dim {
+                        return Err(InvalidParts("split direction length != dim".into()));
+                    }
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+                RpNodeParts::DistSplit { mean, left, right, .. } => {
+                    if mean.len() != dim {
+                        return Err(InvalidParts("split mean length != dim".into()));
+                    }
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        if !visited.iter().all(|&v| v) {
+            return Err(InvalidParts("unreachable nodes in arena".into()));
+        }
+        if leaves_found != num_leaves {
+            return Err(InvalidParts(format!(
+                "{leaves_found} leaves reachable, header claims {num_leaves}"
+            )));
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                RpNodeParts::Leaf { leaf_id } => Node::Leaf { leaf_id },
+                RpNodeParts::ProjSplit { dir, threshold, left, right } => {
+                    Node::ProjSplit { dir, threshold, left, right }
+                }
+                RpNodeParts::DistSplit { mean, threshold_sq, left, right } => {
+                    Node::DistSplit { mean, threshold_sq, left, right }
+                }
+            })
+            .collect();
+        Ok(Self { nodes, num_leaves, dim })
+    }
+}
+
+/// Structural dump of one [`RpTree`] arena node, for persistence.
+#[derive(Debug, Clone)]
+pub enum RpNodeParts {
+    /// Terminal node carrying its dense leaf index.
+    Leaf {
+        /// Dense leaf id in `0..num_leaves`.
+        leaf_id: usize,
+    },
+    /// `v · dir <= threshold` goes left.
+    ProjSplit {
+        /// Unit projection direction (`dim` entries).
+        dir: Vec<f32>,
+        /// Split threshold on the projection.
+        threshold: f32,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+    /// `‖v − mean‖² <= threshold_sq` goes left.
+    DistSplit {
+        /// Cell mean (`dim` entries).
+        mean: Vec<f32>,
+        /// Squared-distance threshold.
+        threshold_sq: f32,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+/// Owned structural dump of a fitted [`RpTree`].
+#[derive(Debug, Clone)]
+pub struct RpTreeParts {
+    /// Arena nodes; node 0 is the root.
+    pub nodes: Vec<RpNodeParts>,
+    /// Number of leaves (dense ids `0..num_leaves`).
+    pub num_leaves: usize,
+    /// Dimensionality the tree was fitted on.
+    pub dim: usize,
 }
 
 impl Partitioner for RpTree {
@@ -404,5 +544,49 @@ mod tests {
     fn assign_rejects_wrong_dim() {
         let (tree, _, _) = fit(SplitRule::Mean, 2, 1);
         let _ = tree.assign(&[0.0]);
+    }
+
+    #[test]
+    fn parts_roundtrip_assigns_identically() {
+        for rule in [SplitRule::Max, SplitRule::Mean] {
+            let (tree, _, ds) = fit(rule, 8, 13);
+            let back = RpTree::from_parts(tree.to_parts()).unwrap();
+            assert_eq!(back.num_leaves(), tree.num_leaves());
+            for row in ds.iter() {
+                assert_eq!(back.assign(row), tree.assign(row), "rule {rule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_parts_are_rejected() {
+        let (tree, _, _) = fit(SplitRule::Mean, 6, 19);
+
+        let mut p = tree.to_parts();
+        p.num_leaves += 1;
+        assert!(RpTree::from_parts(p).is_err(), "leaf count mismatch");
+
+        let mut p = tree.to_parts();
+        if let Some(first_split) =
+            p.nodes.iter_mut().find(|n| !matches!(n, RpNodeParts::Leaf { .. }))
+        {
+            match first_split {
+                RpNodeParts::ProjSplit { left, .. } | RpNodeParts::DistSplit { left, .. } => {
+                    *left = 9999;
+                }
+                RpNodeParts::Leaf { .. } => unreachable!(),
+            }
+            assert!(RpTree::from_parts(p).is_err(), "out-of-range child");
+        }
+
+        let mut p = tree.to_parts();
+        if let Some(RpNodeParts::Leaf { leaf_id }) =
+            p.nodes.iter_mut().find(|n| matches!(n, RpNodeParts::Leaf { .. }))
+        {
+            *leaf_id = p.num_leaves; // duplicate-or-overflow
+        }
+        assert!(RpTree::from_parts(p).is_err(), "bad leaf id");
+
+        assert!(RpTree::from_parts(tree.to_parts()).is_ok(), "untampered parts load");
     }
 }

@@ -10,10 +10,20 @@
 //! parameters in memory.
 
 use crate::dataset::Dataset;
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+
+thread_local! {
+    /// Reusable raw-byte buffer for positioned reads. Row fetches sit on the
+    /// query hot path (one per candidate, or one per coalesced run); a
+    /// per-call `Vec` allocation there is pure overhead, and threading a
+    /// scratch parameter through every caller would couple them to the
+    /// record layout. The buffer holds no state between calls.
+    static READ_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A read-only, disk-resident `.fvecs` dataset with uniform dimension.
 ///
@@ -103,35 +113,55 @@ impl OocDataset {
     pub fn read_row_into(&self, i: usize, buf: &mut [f32]) -> io::Result<()> {
         assert!(i < self.len, "row index out of range");
         assert_eq!(buf.len(), self.dim, "buffer dimension mismatch");
-        let mut bytes = vec![0u8; 4 * self.dim];
-        let offset = i as u64 * record_bytes(self.dim) + 4;
-        self.file.read_exact_at(&mut bytes, offset)?;
-        for (v, c) in buf.iter_mut().zip(bytes.chunks_exact(4)) {
-            *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-        }
-        Ok(())
+        READ_SCRATCH.with_borrow_mut(|bytes| {
+            bytes.resize(4 * self.dim, 0);
+            let offset = i as u64 * record_bytes(self.dim) + 4;
+            self.file.read_exact_at(bytes, offset)?;
+            for (v, c) in buf.iter_mut().zip(bytes.chunks_exact(4)) {
+                *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            }
+            Ok(())
+        })
+    }
+
+    /// Reads the contiguous row span `[start, start + rows)` into `out`
+    /// (`rows × dim` values, row-major) with **one** positioned read — the
+    /// coalesced fetch batch queries use to merge adjacent candidates into a
+    /// single syscall. Record headers in the span are validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the file or `out.len() != rows * dim`.
+    pub fn read_rows_into(&self, start: usize, rows: usize, out: &mut [f32]) -> io::Result<()> {
+        assert!(start + rows <= self.len, "row span out of range");
+        assert_eq!(out.len(), rows * self.dim, "output length must be rows * dim");
+        let rec = record_bytes(self.dim) as usize;
+        READ_SCRATCH.with_borrow_mut(|bytes| {
+            bytes.resize(rec * rows, 0);
+            self.file.read_exact_at(bytes, start as u64 * rec as u64)?;
+            for (i, r) in bytes.chunks_exact(rec).enumerate() {
+                let d = u32::from_le_bytes([r[0], r[1], r[2], r[3]]) as usize;
+                if d != self.dim {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("record {} has dimension {d}, expected {}", start + i, self.dim),
+                    ));
+                }
+                for (v, c) in
+                    out[i * self.dim..(i + 1) * self.dim].iter_mut().zip(r[4..].chunks_exact(4))
+                {
+                    *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                }
+            }
+            Ok(())
+        })
     }
 
     /// Reads a contiguous block `[start, start + rows)` into an in-memory
     /// [`Dataset`] with one positioned read.
     pub fn read_block(&self, start: usize, rows: usize) -> io::Result<Dataset> {
-        assert!(start + rows <= self.len, "block out of range");
-        let rec = record_bytes(self.dim) as usize;
-        let mut bytes = vec![0u8; rec * rows];
-        self.file.read_exact_at(&mut bytes, start as u64 * rec as u64)?;
-        let mut flat = Vec::with_capacity(rows * self.dim);
-        for r in bytes.chunks_exact(rec) {
-            let d = u32::from_le_bytes([r[0], r[1], r[2], r[3]]) as usize;
-            if d != self.dim {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("record in block has dimension {d}, expected {}", self.dim),
-                ));
-            }
-            flat.extend(
-                r[4..].chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-            );
-        }
+        let mut flat = vec![0.0f32; rows * self.dim];
+        self.read_rows_into(start, rows, &mut flat)?;
         Ok(Dataset::from_flat(self.dim, flat))
     }
 
@@ -219,6 +249,31 @@ mod tests {
             assert_eq!(&buf[..], ds.row(i), "row {i}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn row_span_read_matches_per_row_reads() {
+        let ds = synth::gaussian(5, 64, 1.5, 13);
+        let path = write_temp(&ds, "span.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut span = vec![0.0f32; 20 * 5];
+        ooc.read_rows_into(17, 20, &mut span).unwrap();
+        let mut row = vec![0.0f32; 5];
+        for i in 0..20 {
+            ooc.read_row_into(17 + i, &mut row).unwrap();
+            assert_eq!(&span[i * 5..(i + 1) * 5], &row[..], "row {}", 17 + i);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row span out of range")]
+    fn row_span_past_eof_panics() {
+        let ds = synth::gaussian(3, 10, 1.0, 15);
+        let path = write_temp(&ds, "spanoob.fvecs");
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut out = vec![0.0f32; 6 * 3];
+        let _ = ooc.read_rows_into(5, 6, &mut out);
     }
 
     #[test]

@@ -77,6 +77,35 @@ fn ooc_index_agrees_with_memory_index_over_same_file() {
 }
 
 #[test]
+fn ooc_snapshot_roundtrip_preserves_batch_answers() {
+    let (data, queries) = corpus();
+    let path = temp_path("corpus_snap.fvecs");
+    write_fvecs(&path, &data).unwrap();
+    let source = OocDataset::open(&path).unwrap();
+    let cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Multi(8));
+    let built = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+
+    let snap_path = temp_path("ooc.snap");
+    built.save(&snap_path).unwrap();
+    let loaded = OocFlatIndex::load(&source, &snap_path).unwrap();
+    std::fs::remove_file(&snap_path).ok();
+
+    // Coalesced threaded batch on the reloaded index matches the serial
+    // per-row baseline on the freshly built one — exercising persistence
+    // and the batch fetch path end to end.
+    let baseline = built.query_batch(&queries, 10).unwrap();
+    let batched = loaded.query_batch_with(&queries, 10, 4).unwrap();
+    assert_eq!(baseline.len(), batched.len());
+    for (a, b) in baseline.iter().zip(&batched) {
+        assert_eq!(
+            a.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>(),
+            b.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn ooc_query_results_match_in_memory_distances() {
     let (data, queries) = corpus();
     let path = temp_path("corpus2.fvecs");
