@@ -24,7 +24,8 @@ fn usage() -> ExitCode {
          bilevel build  <corpus.fvecs> <index.snap> [--w W | --target-recall R] [--groups G] [--tables L] [--m M] [--e8] [--seed S]\n  \
          bilevel query  <corpus.fvecs> <index.snap> <queries.fvecs> [--k K]\n  \
          bilevel stats  <corpus.fvecs> <index.snap>\n  \
-         bilevel exact  <corpus.fvecs> <queries.fvecs> [--k K]"
+         bilevel exact  <corpus.fvecs> <queries.fvecs> [--k K]\n\
+         (for live serving over stdin, see the `bilevel-serve` binary)"
     );
     ExitCode::from(2)
 }
@@ -163,7 +164,7 @@ fn cmd_stats(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let data = read_fvecs(Path::new(corpus_path))?;
     let index = BiLevelIndex::load(&data, Path::new(index_path))?;
     let stats = index.stats();
-    println!("{}", serde_json::to_string_pretty(&stats)?);
+    println!("{}", stats.to_json_pretty());
     eprintln!("group imbalance: {:.2}", stats.group_imbalance());
     Ok(())
 }

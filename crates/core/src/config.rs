@@ -81,6 +81,44 @@ pub enum Probe {
     },
 }
 
+impl Probe {
+    /// The degradation ladder for this probe mode: successively cheaper
+    /// probe configurations, starting at full budget and ending at the
+    /// cheapest rung. A serving layer walks the ladder when a request's
+    /// deadline cannot afford the full budget (the `serve` crate's
+    /// deadline-aware degradation).
+    ///
+    /// * `Home` has nothing to shed: the ladder is `[Home]`.
+    /// * `Multi(t)` halves the extra-probe budget down to one, then falls
+    ///   back to the home bucket: `[Multi(t), Multi(t/2), .., Multi(1), Home]`.
+    /// * `Hierarchical { min_candidates }` halves the escalation floor —
+    ///   each rung escalates less aggressively — then drops escalation
+    ///   entirely: `[Hierarchical(f), Hierarchical(f/2), .., Home]`.
+    pub fn ladder(&self) -> Vec<Probe> {
+        let mut rungs = Vec::new();
+        match *self {
+            Probe::Home => rungs.push(Probe::Home),
+            Probe::Multi(t) => {
+                let mut t = t;
+                while t > 0 {
+                    rungs.push(Probe::Multi(t));
+                    t /= 2;
+                }
+                rungs.push(Probe::Home);
+            }
+            Probe::Hierarchical { min_candidates } => {
+                let mut floor = min_candidates;
+                while floor > 0 {
+                    rungs.push(Probe::Hierarchical { min_candidates: floor });
+                    floor /= 2;
+                }
+                rungs.push(Probe::Home);
+            }
+        }
+        rungs
+    }
+}
+
 /// How the bucket width `W` is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum WidthMode {
@@ -181,6 +219,171 @@ impl BiLevelConfig {
         self
     }
 
+    /// Serializes to a JSON document with the same shape `serde_json`
+    /// produces for the derived `Serialize` impl (externally tagged enums,
+    /// `null` for an absent table pool), without requiring a working
+    /// `serde_json` backend.
+    pub fn to_json(&self) -> String {
+        use crate::jsonio::{fmt_float, fmt_float32};
+        let width = match self.width {
+            WidthMode::Fixed(w) => format!("{{\"Fixed\":{}}}", fmt_float32(w)),
+            WidthMode::Scaled { base, k } => {
+                format!("{{\"Scaled\":{{\"base\":{},\"k\":{k}}}}}", fmt_float32(base))
+            }
+            WidthMode::Tuned { target_recall, k } => {
+                format!(
+                    "{{\"Tuned\":{{\"target_recall\":{},\"k\":{k}}}}}",
+                    fmt_float(target_recall)
+                )
+            }
+        };
+        let partition = match self.partition {
+            Partition::None => "\"None\"".to_string(),
+            Partition::RpTree { groups, rule } => {
+                let rule = match rule {
+                    SplitRule::Max => "Max",
+                    SplitRule::Mean => "Mean",
+                };
+                format!("{{\"RpTree\":{{\"groups\":{groups},\"rule\":\"{rule}\"}}}}")
+            }
+            Partition::KMeans { groups } => format!("{{\"KMeans\":{{\"groups\":{groups}}}}}"),
+            Partition::Kd { groups } => format!("{{\"Kd\":{{\"groups\":{groups}}}}}"),
+        };
+        let quantizer = match self.quantizer {
+            Quantizer::Zm => "\"Zm\"",
+            Quantizer::E8 => "\"E8\"",
+        };
+        let probe = match self.probe {
+            Probe::Home => "\"Home\"".to_string(),
+            Probe::Multi(t) => format!("{{\"Multi\":{t}}}"),
+            Probe::Hierarchical { min_candidates } => {
+                format!("{{\"Hierarchical\":{{\"min_candidates\":{min_candidates}}}}}")
+            }
+        };
+        let table_pool = match self.table_pool {
+            Some(pool) => pool.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"l\":{},\"m\":{},\"width\":{width},\"partition\":{partition},\
+             \"quantizer\":{quantizer},\"probe\":{probe},\"table_pool\":{table_pool},\
+             \"seed\":{}}}",
+            self.l, self.m, self.seed
+        )
+    }
+
+    /// Deserializes a config from the JSON shape [`Self::to_json`] (and the
+    /// derived serde impl) produce. A missing or `null` `table_pool`
+    /// defaults to `None`, matching the `#[serde(default)]` attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        use crate::jsonio::{parse, Value};
+        let doc = parse(s)?;
+        let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing field `{key}`"));
+        let usize_field = |key: &str| -> Result<usize, String> {
+            field(key)?
+                .as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+        };
+        // A unit enum variant arrives as a bare string, a payload variant as
+        // a single-key object — serde's external tagging.
+        let variant = |v: &Value| -> Result<(String, Option<Value>), String> {
+            match v {
+                Value::Str(name) => Ok((name.clone(), None)),
+                Value::Obj(fields) if fields.len() == 1 => {
+                    Ok((fields[0].0.clone(), Some(fields[0].1.clone())))
+                }
+                _ => Err("expected an enum variant (string or single-key object)".into()),
+            }
+        };
+        let inner_usize = |v: &Value, key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+
+        let width = {
+            let (name, payload) = variant(field("width")?)?;
+            let payload = payload.ok_or("width variant needs a payload")?;
+            match name.as_str() {
+                "Fixed" => {
+                    WidthMode::Fixed(payload.as_f64().ok_or("Fixed width must be a number")? as f32)
+                }
+                "Scaled" => WidthMode::Scaled {
+                    base: payload
+                        .get("base")
+                        .and_then(Value::as_f64)
+                        .ok_or("missing number field `base`")? as f32,
+                    k: inner_usize(&payload, "k")?,
+                },
+                "Tuned" => WidthMode::Tuned {
+                    target_recall: payload
+                        .get("target_recall")
+                        .and_then(Value::as_f64)
+                        .ok_or("missing number field `target_recall`")?,
+                    k: inner_usize(&payload, "k")?,
+                },
+                other => return Err(format!("unknown width mode `{other}`")),
+            }
+        };
+        let partition = {
+            let (name, payload) = variant(field("partition")?)?;
+            match (name.as_str(), payload) {
+                ("None", None) => Partition::None,
+                ("RpTree", Some(p)) => Partition::RpTree {
+                    groups: inner_usize(&p, "groups")?,
+                    rule: match p.get("rule").and_then(Value::as_str) {
+                        Some("Max") => SplitRule::Max,
+                        Some("Mean") => SplitRule::Mean,
+                        other => return Err(format!("unknown split rule {other:?}")),
+                    },
+                },
+                ("KMeans", Some(p)) => Partition::KMeans { groups: inner_usize(&p, "groups")? },
+                ("Kd", Some(p)) => Partition::Kd { groups: inner_usize(&p, "groups")? },
+                (other, _) => return Err(format!("unknown partition `{other}`")),
+            }
+        };
+        let quantizer = match field("quantizer")?.as_str() {
+            Some("Zm") => Quantizer::Zm,
+            Some("E8") => Quantizer::E8,
+            other => return Err(format!("unknown quantizer {other:?}")),
+        };
+        let probe = {
+            let (name, payload) = variant(field("probe")?)?;
+            match (name.as_str(), payload) {
+                ("Home", None) => Probe::Home,
+                ("Multi", Some(p)) => {
+                    Probe::Multi(p.as_u64().ok_or("Multi probe count must be an integer")? as usize)
+                }
+                ("Hierarchical", Some(p)) => {
+                    Probe::Hierarchical { min_candidates: inner_usize(&p, "min_candidates")? }
+                }
+                (other, _) => return Err(format!("unknown probe `{other}`")),
+            }
+        };
+        let table_pool = match doc.get("table_pool") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                Some(v.as_u64().ok_or("field `table_pool` must be an integer or null")? as usize)
+            }
+        };
+        Ok(Self {
+            l: usize_field("l")?,
+            m: usize_field("m")?,
+            width,
+            partition,
+            quantizer,
+            probe,
+            table_pool,
+            seed: field("seed")?.as_u64().ok_or("field `seed` must be a u64")?,
+        })
+    }
+
     /// Validates invariants; called by the index builder.
     ///
     /// # Panics
@@ -276,5 +479,84 @@ mod tests {
         let mut c = BiLevelConfig::paper_default(1.0);
         c.width = WidthMode::Tuned { target_recall: 1.5, k: 10 };
         c.validate();
+    }
+
+    fn assert_same(a: &BiLevelConfig, b: &BiLevelConfig) {
+        assert_eq!(a.l, b.l);
+        assert_eq!(a.m, b.m);
+        assert_eq!(a.width, b.width);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.quantizer, b.quantizer);
+        assert_eq!(a.probe, b.probe);
+        assert_eq!(a.table_pool, b.table_pool);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        let configs = [
+            BiLevelConfig::paper_default(2.5).tables(30).probe(Probe::Multi(240)),
+            BiLevelConfig::standard(4.0)
+                .quantizer(Quantizer::E8)
+                .probe(Probe::Hierarchical { min_candidates: 8 })
+                .table_pool(40)
+                .seed(u64::MAX),
+            BiLevelConfig {
+                width: WidthMode::Scaled { base: 1.5, k: 10 },
+                partition: Partition::KMeans { groups: 4 },
+                ..BiLevelConfig::paper_default(1.0)
+            },
+            BiLevelConfig {
+                width: WidthMode::Tuned { target_recall: 0.9, k: 50 },
+                partition: Partition::Kd { groups: 8 },
+                ..BiLevelConfig::paper_default(1.0)
+            },
+        ];
+        for c in &configs {
+            let back = BiLevelConfig::from_json(&c.to_json()).unwrap();
+            assert_same(c, &back);
+        }
+    }
+
+    #[test]
+    fn json_missing_table_pool_defaults_to_none() {
+        let text = BiLevelConfig::paper_default(2.0).to_json().replace(",\"table_pool\":null", "");
+        let c = BiLevelConfig::from_json(&text).unwrap();
+        assert_eq!(c.table_pool, None);
+    }
+
+    #[test]
+    fn json_errors_name_the_bad_field() {
+        let err = BiLevelConfig::from_json("{\"l\":1}").unwrap_err();
+        assert!(err.contains('m'), "unexpected error: {err}");
+        let err = BiLevelConfig::from_json("not json").unwrap_err();
+        assert!(!err.is_empty());
+        let bad = BiLevelConfig::paper_default(2.0).to_json().replace("\"Zm\"", "\"Q9\"");
+        assert!(BiLevelConfig::from_json(&bad).unwrap_err().contains("quantizer"));
+    }
+
+    #[test]
+    fn ladder_descends_to_home() {
+        assert_eq!(Probe::Home.ladder(), vec![Probe::Home]);
+        assert_eq!(
+            Probe::Multi(8).ladder(),
+            vec![Probe::Multi(8), Probe::Multi(4), Probe::Multi(2), Probe::Multi(1), Probe::Home]
+        );
+        let h = Probe::Hierarchical { min_candidates: 4 }.ladder();
+        assert_eq!(
+            h,
+            vec![
+                Probe::Hierarchical { min_candidates: 4 },
+                Probe::Hierarchical { min_candidates: 2 },
+                Probe::Hierarchical { min_candidates: 1 },
+                Probe::Home
+            ]
+        );
+        // Every ladder starts at the configured budget and ends at Home.
+        for p in [Probe::Home, Probe::Multi(17), Probe::Hierarchical { min_candidates: 100 }] {
+            let l = p.ladder();
+            assert_eq!(l[0], p);
+            assert_eq!(*l.last().unwrap(), Probe::Home);
+        }
     }
 }

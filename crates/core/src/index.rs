@@ -89,6 +89,124 @@ pub(crate) struct GroupTable {
     pub(crate) hierarchy: Option<TableHierarchy>,
 }
 
+/// A borrowed view of the probe machinery: level-1 assignment plus a table
+/// forest to probe. [`BiLevelIndex`] probes its own tables through this;
+/// the sharded layer (`crate::shard`) probes each shard's tables with the
+/// *same* partitioner and config, which is what keeps per-shard candidate
+/// unions identical to the unsharded candidate set.
+pub(crate) struct ProbeCtx<'i> {
+    pub(crate) level1: &'i Level1,
+    pub(crate) tables: &'i [Vec<GroupTable>],
+    pub(crate) config: &'i BiLevelConfig,
+}
+
+impl ProbeCtx<'_> {
+    /// The tables of group `g` this query probes: all `l` of them without a
+    /// pool, or the `l` most central of the pool (Jégou et al.).
+    fn probe_tables(&self, g: usize, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<usize> {
+        let per_group = self.tables[g].len();
+        if self.config.table_pool.is_none() || per_group <= self.config.l {
+            return (0..per_group).collect();
+        }
+        let mut scored: Vec<(f64, usize)> = (0..per_group)
+            .map(|t| (lsh::centrality_score(scratch.project(&self.tables[g][t].family, v)), t))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(self.config.l).map(|(_, t)| t).collect()
+    }
+
+    /// Base candidates (no hierarchy escalation) under an explicit probe
+    /// strategy — the built `config.probe` or a degraded rung of its
+    /// ladder.
+    pub(crate) fn base_candidates(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        probe: Probe,
+    ) -> Vec<u32> {
+        let g = self.level1.assign(v);
+        let mut out: Vec<u32> = Vec::new();
+        for &t in &self.probe_tables(g, v, scratch) {
+            let gt = &self.tables[g][t];
+            let raw = scratch.project(&gt.family, v);
+            let home = quantize(raw, self.config.quantizer);
+            match probe {
+                Probe::Home | Probe::Hierarchical { .. } => {
+                    out.extend_from_slice(gt.table.bucket(&home));
+                }
+                Probe::Multi(t) => {
+                    for code in probe_sequence(raw, &home, t, self.config.quantizer) {
+                        out.extend_from_slice(gt.table.bucket(&code));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One escalation round at a fixed per-table bucket budget. Returns the
+    /// sorted, deduplicated candidates plus an `exhausted` flag (no table
+    /// could fill its budget — the hierarchy has nothing coarser to offer).
+    ///
+    /// Exposed separately so the sharded path can run rounds in lockstep
+    /// across shards: the continue/stop decision needs the *union* size,
+    /// which only the coordinator sees.
+    pub(crate) fn escalate_round(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        want_buckets: usize,
+    ) -> (Vec<u32>, bool) {
+        let g = self.level1.assign(v);
+        let mut out: Vec<u32> = Vec::new();
+        let mut exhausted = true;
+        for &t in &self.probe_tables(g, v, scratch) {
+            let gt = &self.tables[g][t];
+            let raw = scratch.project(&gt.family, v);
+            let home = quantize(raw, self.config.quantizer);
+            let bucket_idxs: Vec<u32> = match &gt.hierarchy {
+                Some(TableHierarchy::Zm(h)) => h.probe_expanding(&home, want_buckets),
+                Some(TableHierarchy::E8(h)) => h.probe_expanding(&home, want_buckets),
+                None => Vec::new(),
+            };
+            if bucket_idxs.len() >= want_buckets {
+                exhausted = false;
+            }
+            for bi in bucket_idxs {
+                out.extend_from_slice(gt.table.bucket(&gt.bucket_codes[bi as usize]));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        (out, exhausted)
+    }
+
+    /// Re-probes through the hierarchy until at least `threshold` candidates
+    /// are collected (or every bucket has been visited).
+    ///
+    /// Grows the per-table bucket budget until the combined candidate set
+    /// reaches the threshold; each round consults the hierarchy for coarser
+    /// spans (paper: "search the LSH table hierarchy to find a suitable
+    /// bucket whose size is larger than the threshold").
+    pub(crate) fn escalate(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        threshold: usize,
+    ) -> Vec<u32> {
+        let mut want_buckets = 2usize;
+        loop {
+            let (out, exhausted) = self.escalate_round(v, scratch, want_buckets);
+            if out.len() >= threshold || exhausted {
+                return out;
+            }
+            want_buckets *= 2;
+        }
+    }
+}
+
 /// A built Bi-level LSH index over a dataset it borrows.
 ///
 /// Construction partitions the data (level 1), tunes per-group widths, and
@@ -239,6 +357,13 @@ impl<'a> BiLevelIndex<'a> {
         &self.data
     }
 
+    /// The probe machinery over this index's tables. The sharded layer
+    /// builds the same view over each shard's tables, sharing the level-1
+    /// partitioner.
+    pub(crate) fn probe_ctx(&self) -> ProbeCtx<'_> {
+        ProbeCtx { level1: &self.level1, tables: &self.tables, config: &self.config }
+    }
+
     /// Collects the deduplicated short-list candidate set `A(v)` for one
     /// query under the *base* probing strategy (no hierarchy escalation).
     ///
@@ -246,79 +371,13 @@ impl<'a> BiLevelIndex<'a> {
     /// pipeline; probing holds no other mutable state, so `&self` probes of
     /// different queries can run concurrently, one scratch per worker.
     fn base_candidates(&self, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<u32> {
-        let g = self.level1.assign(v);
-        let mut out: Vec<u32> = Vec::new();
-        for &t in &self.probe_tables(g, v, scratch) {
-            let gt = &self.tables[g][t];
-            let raw = scratch.project(&gt.family, v);
-            let home = quantize(raw, self.config.quantizer);
-            match self.config.probe {
-                Probe::Home | Probe::Hierarchical { .. } => {
-                    out.extend_from_slice(gt.table.bucket(&home));
-                }
-                Probe::Multi(t) => {
-                    for code in probe_sequence(raw, &home, t, self.config.quantizer) {
-                        out.extend_from_slice(gt.table.bucket(&code));
-                    }
-                }
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    /// The tables of group `g` this query probes: all `l` of them without a
-    /// pool, or the `l` most central of the pool (Jégou et al.).
-    fn probe_tables(&self, g: usize, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<usize> {
-        let per_group = self.tables[g].len();
-        if self.config.table_pool.is_none() || per_group <= self.config.l {
-            return (0..per_group).collect();
-        }
-        let mut scored: Vec<(f64, usize)> = (0..per_group)
-            .map(|t| (lsh::centrality_score(scratch.project(&self.tables[g][t].family, v)), t))
-            .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(self.config.l).map(|(_, t)| t).collect()
+        self.probe_ctx().base_candidates(v, scratch, self.config.probe)
     }
 
     /// Re-probes through the hierarchy until at least `threshold` candidates
     /// are collected (or every bucket has been visited).
     fn escalate(&self, v: &[f32], scratch: &mut ProjectionScratch, threshold: usize) -> Vec<u32> {
-        let g = self.level1.assign(v);
-        let mut out: Vec<u32> = Vec::new();
-        // Grow the per-table bucket budget until the combined candidate set
-        // reaches the threshold; each round consults the hierarchy for
-        // coarser spans (paper: "search the LSH table hierarchy to find a
-        // suitable bucket whose size is larger than the threshold").
-        let mut want_buckets = 2usize;
-        let probe_tables = self.probe_tables(g, v, scratch);
-        loop {
-            out.clear();
-            let mut exhausted = true;
-            for &t in &probe_tables {
-                let gt = &self.tables[g][t];
-                let raw = scratch.project(&gt.family, v);
-                let home = quantize(raw, self.config.quantizer);
-                let bucket_idxs: Vec<u32> = match &gt.hierarchy {
-                    Some(TableHierarchy::Zm(h)) => h.probe_expanding(&home, want_buckets),
-                    Some(TableHierarchy::E8(h)) => h.probe_expanding(&home, want_buckets),
-                    None => Vec::new(),
-                };
-                if bucket_idxs.len() >= want_buckets {
-                    exhausted = false;
-                }
-                for bi in bucket_idxs {
-                    out.extend_from_slice(gt.table.bucket(&gt.bucket_codes[bi as usize]));
-                }
-            }
-            out.sort_unstable();
-            out.dedup();
-            if out.len() >= threshold || exhausted {
-                return out;
-            }
-            want_buckets *= 2;
-        }
+        self.probe_ctx().escalate(v, scratch, threshold)
     }
 
     /// Batch k-nearest-neighbor query.
@@ -346,27 +405,87 @@ impl<'a> BiLevelIndex<'a> {
         engine.validate(k);
         let candidates = self.candidates_batch_with(queries, engine.threads());
         let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
-        let neighbors = match engine {
-            Engine::Serial => shortlist_serial(&self.data, queries, &candidates, k, &SquaredL2),
-            Engine::PerQuery { threads } => shortlist::shortlist_per_query(
-                &self.data,
-                queries,
-                &candidates,
-                k,
-                &SquaredL2,
-                threads,
-            ),
-            Engine::WorkQueue { threads, capacity } => shortlist::shortlist_workqueue(
-                &self.data,
-                queries,
-                &candidates,
-                k,
-                &SquaredL2,
-                threads,
-                capacity,
-            ),
-        };
+        let neighbors = rank_candidates(&self.data, queries, &candidates, k, engine);
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
+    }
+
+    /// Batch query under an explicit probe strategy, with *batch-invariant*
+    /// semantics: for `Probe::Hierarchical` the escalation threshold is the
+    /// fixed `min_candidates` floor, never the batch median. Splitting a
+    /// batch into any sub-batches — down to single queries — returns
+    /// bit-identical per-query results, which is the contract the serving
+    /// layer's micro-batcher relies on (a batch of one reduces the median
+    /// rule to exactly this floor).
+    ///
+    /// `probe` is typically `config.probe` (full service level) or a rung
+    /// of [`Probe::ladder`] (degraded level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Engine::validate`] rejects the engine for this `k`, or
+    /// if `probe` is incompatible with the built index
+    /// (see [`BiLevelIndex::supports_probe`]).
+    pub fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        engine.validate(k);
+        let candidates = self.candidates_batch_at(queries, engine.threads(), probe);
+        let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
+        let neighbors = rank_candidates(&self.data, queries, &candidates, k, engine);
+        BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
+    }
+
+    /// Whether `probe` can be answered by this built index. `Home` and
+    /// `Multi` are query-time-only strategies and work on any index;
+    /// `Hierarchical` needs the per-table hierarchies, which are only built
+    /// when the index was configured hierarchical.
+    pub fn supports_probe(&self, probe: Probe) -> bool {
+        match probe {
+            Probe::Home | Probe::Multi(_) => true,
+            Probe::Hierarchical { .. } => {
+                matches!(self.config.probe, Probe::Hierarchical { .. })
+            }
+        }
+    }
+
+    /// Candidate generation under an explicit probe strategy with the
+    /// batch-invariant fixed-floor escalation rule
+    /// (see [`BiLevelIndex::query_batch_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` is incompatible with the built index.
+    pub fn candidates_batch_at(
+        &self,
+        queries: &Dataset,
+        threads: usize,
+        probe: Probe,
+    ) -> Vec<Vec<u32>> {
+        assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
+        assert!(
+            self.supports_probe(probe),
+            "probe {probe:?} needs hierarchies the index was not built with"
+        );
+        let ctx = self.probe_ctx();
+        let mut base: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        parallel_fill_with(
+            &mut base,
+            threads,
+            || ProjectionScratch::new(self.config.m),
+            |scratch, q, slot| {
+                *slot = ctx.base_candidates(queries.row(q), scratch, probe);
+                if let Probe::Hierarchical { min_candidates } = probe {
+                    if slot.len() < min_candidates {
+                        *slot = ctx.escalate(queries.row(q), scratch, min_candidates);
+                    }
+                }
+            },
+        );
+        base
     }
 
     /// The candidate sets a batch of queries would rank, after any
@@ -721,8 +840,28 @@ fn profile_subset(data: &Dataset, ids: Option<&[u32]>, k: usize) -> DistanceProf
     }
 }
 
+/// Ranks candidate sets with the selected short-list engine. Distances come
+/// back squared; callers apply [`sqrt_distances`].
+pub(crate) fn rank_candidates(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    engine: Engine,
+) -> Vec<Vec<Neighbor>> {
+    match engine {
+        Engine::Serial => shortlist_serial(data, queries, candidates, k, &SquaredL2),
+        Engine::PerQuery { threads } => {
+            shortlist::shortlist_per_query(data, queries, candidates, k, &SquaredL2, threads)
+        }
+        Engine::WorkQueue { threads, capacity } => shortlist::shortlist_workqueue(
+            data, queries, candidates, k, &SquaredL2, threads, capacity,
+        ),
+    }
+}
+
 /// Engines return squared-L2 ranks; user-facing results carry true L2.
-fn sqrt_distances(mut results: Vec<Vec<Neighbor>>) -> Vec<Vec<Neighbor>> {
+pub(crate) fn sqrt_distances(mut results: Vec<Vec<Neighbor>>) -> Vec<Vec<Neighbor>> {
     for r in &mut results {
         for n in r.iter_mut() {
             n.dist = n.dist.sqrt();
@@ -997,6 +1136,81 @@ mod tests {
         assert_eq!(Engine::PerQuery { threads: 6 }.threads(), 6);
         assert_eq!(Engine::WorkQueue { threads: 4, capacity: 99 }.threads(), 4);
         Engine::WorkQueue { threads: 1, capacity: 9 }.validate(8); // k + 1 passes
+    }
+
+    /// The serving contract: `query_batch_at` under the built probe must be
+    /// batch-invariant — any batching of the same queries returns exactly
+    /// the per-query serial answers.
+    #[test]
+    fn query_batch_at_is_batch_invariant() {
+        let (data, queries) = small_data();
+        let probes = [Probe::Home, Probe::Multi(8), Probe::Hierarchical { min_candidates: 15 }];
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            for probe in probes {
+                let cfg = BiLevelConfig::paper_default(2.0).quantizer(quantizer).probe(probe);
+                let index = BiLevelIndex::build(&data, &cfg);
+                let whole = index.query_batch_at(&queries, 6, Engine::Serial, probe);
+                // Per-query answers must match the single-query path...
+                for (q, hits) in whole.neighbors.iter().enumerate() {
+                    assert_eq!(
+                        *hits,
+                        index.query(queries.row(q), 6),
+                        "batch row {q} diverged from single query ({quantizer:?}, {probe:?})"
+                    );
+                }
+                // ...and any split of the batch reproduces the whole.
+                let (a, b) = queries.split_at(queries.len() / 2);
+                let mut halves = index.query_batch_at(&a, 6, Engine::Serial, probe).neighbors;
+                halves.extend(index.query_batch_at(&b, 6, Engine::Serial, probe).neighbors);
+                assert_eq!(whole.neighbors, halves, "{quantizer:?} {probe:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_probes_run_on_any_ladder_rung() {
+        let (data, queries) = small_data();
+        let cfg = BiLevelConfig::paper_default(2.0).probe(Probe::Multi(8));
+        let index = BiLevelIndex::build(&data, &cfg);
+        let mut last_candidates = usize::MAX;
+        for rung in cfg.probe.ladder() {
+            let res = index.query_batch_at(&queries, 6, Engine::Serial, rung);
+            let total: usize = res.candidates.iter().sum();
+            assert!(
+                total <= last_candidates,
+                "cheaper rung {rung:?} probed more ({total} > {last_candidates})"
+            );
+            last_candidates = total;
+        }
+    }
+
+    #[test]
+    fn probe_support_is_enforced() {
+        let (data, queries) = small_data();
+        let home = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(2.0));
+        assert!(home.supports_probe(Probe::Multi(4)));
+        assert!(!home.supports_probe(Probe::Hierarchical { min_candidates: 5 }));
+        let hier = BiLevelIndex::build(
+            &data,
+            &BiLevelConfig::paper_default(2.0).probe(Probe::Hierarchical { min_candidates: 10 }),
+        );
+        assert!(hier.supports_probe(Probe::Hierarchical { min_candidates: 3 }));
+        // A hierarchical index degrades to Multi/Home without panicking.
+        let res = hier.query_batch_at(&queries, 5, Engine::Serial, Probe::Home);
+        assert_eq!(res.neighbors.len(), queries.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs hierarchies")]
+    fn hierarchical_override_without_hierarchy_panics() {
+        let (data, queries) = small_data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(2.0));
+        let _ = index.query_batch_at(
+            &queries,
+            5,
+            Engine::Serial,
+            Probe::Hierarchical { min_candidates: 5 },
+        );
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub mod evaluate;
 pub mod flat;
 pub mod index;
 pub mod interval;
+pub(crate) mod jsonio;
 pub mod ooc;
 pub mod persist;
+pub mod shard;
 pub mod stats;
 
 pub use code::{compress_code, BiLevelCode};
@@ -54,6 +56,7 @@ pub use index::{BatchResult, BiLevelIndex, Engine};
 pub use interval::IntervalTable;
 pub use ooc::OocFlatIndex;
 pub use persist::PersistError;
+pub use shard::ShardedIndex;
 pub use stats::IndexStats;
 
 // Re-export the pieces user code needs to interpret results.

@@ -1,0 +1,449 @@
+//! Sharded Bi-level LSH: one logical index fanned out over `N` engine
+//! shards holding disjoint contiguous row ranges.
+//!
+//! The construction is *split-after-build*: level-1 partitioning, per-group
+//! bucket widths, and every hash family are fitted once on the full corpus
+//! (deterministic from the config seed), then each shard keeps only its own
+//! rows in its copy of the tables. Because every shard probes with the
+//! identical partitioner, families, and (for hierarchical probing) the
+//! identical *global* bucket-code hierarchy, the per-shard candidate sets
+//! partition the unsharded candidate set exactly — so per-shard top-k lists
+//! merged with [`shortlist::merge_topk`] are bit-identical to the unsharded
+//! answer, at every probe mode and service level.
+//!
+//! Hierarchical escalation is the one step that needs coordination: the
+//! paper's rule stops escalating once the candidate set reaches a
+//! threshold, and only the merge layer sees the union size. The batch
+//! driver therefore runs escalation in lockstep rounds — every shard probes
+//! the same bucket budget, the coordinator sums the disjoint counts, and
+//! all shards advance together — reproducing the unsharded escalation loop
+//! decision for decision.
+
+use crate::config::{BiLevelConfig, Probe};
+use crate::index::{
+    build_table_hierarchy, rank_candidates, sqrt_distances, BatchResult, BiLevelIndex, Engine,
+    GroupTable, Level1, ProbeCtx,
+};
+use lsh::{LshTable, ProjectionScratch};
+use shortlist::{merge_topk, parallel_fill_with};
+use vecstore::{Dataset, Neighbor};
+
+/// A Bi-level LSH index split across `N` shards with disjoint row ranges.
+///
+/// Answers are bit-identical to an unsharded [`BiLevelIndex`] built from
+/// the same data and config — see the module docs for why.
+pub struct ShardedIndex {
+    data: Dataset,
+    config: BiLevelConfig,
+    level1: Level1,
+    group_widths: Vec<f32>,
+    /// `shards[s][group][l]` — each shard's tables hold only that shard's
+    /// rows, under *global* row ids and global bucket-code lists.
+    shards: Vec<Vec<Vec<GroupTable>>>,
+    /// Row-range boundaries, `num_shards + 1` entries.
+    bounds: Vec<usize>,
+}
+
+impl ShardedIndex {
+    /// Builds the sharded index: fits the full single-node index, then
+    /// splits its tables by contiguous row range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `num_shards == 0`, an empty dataset, or an invalid config.
+    pub fn build(data: Dataset, config: &BiLevelConfig, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let full = BiLevelIndex::build_owned(data, config);
+        let BiLevelIndex { data, config, level1, tables, group_widths } = full;
+        let data = data.into_owned();
+        let n = data.len();
+        let bounds: Vec<usize> = (0..=num_shards).map(|s| s * n / num_shards).collect();
+        let build_hier = matches!(config.probe, Probe::Hierarchical { .. });
+        let shards: Vec<Vec<Vec<GroupTable>>> = (0..num_shards)
+            .map(|s| {
+                let (lo, hi) = (bounds[s] as u32, bounds[s + 1] as u32);
+                tables
+                    .iter()
+                    .map(|per_group| {
+                        per_group
+                            .iter()
+                            .map(|gt| {
+                                let mut table = LshTable::new();
+                                for code in &gt.bucket_codes {
+                                    for &id in gt.table.bucket(code) {
+                                        if (lo..hi).contains(&id) {
+                                            table.insert(code, id);
+                                        }
+                                    }
+                                }
+                                // Global codes, even where this shard holds
+                                // no rows: the hierarchy must be identical
+                                // on every shard for lockstep escalation.
+                                let bucket_codes = gt.bucket_codes.clone();
+                                let hierarchy = if build_hier && !bucket_codes.is_empty() {
+                                    Some(build_table_hierarchy(&bucket_codes, config.quantizer))
+                                } else {
+                                    None
+                                };
+                                GroupTable {
+                                    family: gt.family.clone(),
+                                    table,
+                                    bucket_codes,
+                                    hierarchy,
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { data, config, level1, group_widths, shards, bounds }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The full corpus (global row ids).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &BiLevelConfig {
+        &self.config
+    }
+
+    /// The per-group bucket widths in effect (fitted on the full corpus,
+    /// shared by every shard).
+    pub fn group_widths(&self) -> &[f32] {
+        &self.group_widths
+    }
+
+    /// The row range `[lo, hi)` shard `s` holds.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// Whether `probe` can be answered by this built index (same contract
+    /// as [`BiLevelIndex::supports_probe`]).
+    pub fn supports_probe(&self, probe: Probe) -> bool {
+        match probe {
+            Probe::Home | Probe::Multi(_) => true,
+            Probe::Hierarchical { .. } => {
+                matches!(self.config.probe, Probe::Hierarchical { .. })
+            }
+        }
+    }
+
+    fn shard_ctx(&self, s: usize) -> ProbeCtx<'_> {
+        ProbeCtx { level1: &self.level1, tables: &self.shards[s], config: &self.config }
+    }
+
+    /// Per-shard candidates for one query under `probe`, escalated in
+    /// lockstep rounds to `threshold` when hierarchical. Returns one
+    /// disjoint, sorted, deduplicated list per shard.
+    fn shard_candidates(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        probe: Probe,
+        threshold: usize,
+    ) -> Vec<Vec<u32>> {
+        let mut lists: Vec<Vec<u32>> = (0..self.num_shards())
+            .map(|s| self.shard_ctx(s).base_candidates(v, scratch, probe))
+            .collect();
+        if let Probe::Hierarchical { .. } = probe {
+            let union: usize = lists.iter().map(Vec::len).sum();
+            if union < threshold {
+                // Lockstep escalation: same bucket budget on every shard,
+                // stop on the union count — the unsharded loop, distributed.
+                let mut want_buckets = 2usize;
+                loop {
+                    let rounds: Vec<(Vec<u32>, bool)> = (0..self.num_shards())
+                        .map(|s| self.shard_ctx(s).escalate_round(v, scratch, want_buckets))
+                        .collect();
+                    let union: usize = rounds.iter().map(|(l, _)| l.len()).sum();
+                    // The hierarchies are identical on every shard, so the
+                    // exhaustion flags agree; `all` keeps it robust anyway.
+                    let exhausted = rounds.iter().all(|&(_, e)| e);
+                    if union >= threshold || exhausted {
+                        lists = rounds.into_iter().map(|(l, _)| l).collect();
+                        break;
+                    }
+                    want_buckets *= 2;
+                }
+            }
+        }
+        lists
+    }
+
+    /// Per-shard candidate generation with the paper's batch-median
+    /// escalation rule — the sharded twin of
+    /// [`BiLevelIndex::candidates_batch_with`]. Returns `[shard][query]`
+    /// lists whose per-query unions equal the unsharded candidate sets.
+    fn candidates_by_shard_with(&self, queries: &Dataset, threads: usize) -> Vec<Vec<Vec<u32>>> {
+        self.candidates_by_shard(queries, threads, self.config.probe, None)
+    }
+
+    /// Fixed-floor (batch-invariant) twin of
+    /// [`BiLevelIndex::candidates_batch_at`], shaped `[shard][query]`.
+    fn candidates_by_shard_at(
+        &self,
+        queries: &Dataset,
+        threads: usize,
+        probe: Probe,
+    ) -> Vec<Vec<Vec<u32>>> {
+        let floor = match probe {
+            Probe::Hierarchical { min_candidates } => min_candidates,
+            _ => 0,
+        };
+        self.candidates_by_shard(queries, threads, probe, Some(floor))
+    }
+
+    /// Shared driver. `fixed_floor: None` selects the batch-median rule.
+    fn candidates_by_shard(
+        &self,
+        queries: &Dataset,
+        threads: usize,
+        probe: Probe,
+        fixed_floor: Option<usize>,
+    ) -> Vec<Vec<Vec<u32>>> {
+        assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
+        assert!(
+            self.supports_probe(probe),
+            "probe {probe:?} needs hierarchies the index was not built with"
+        );
+        // Per-query base candidates, one disjoint list per shard.
+        let mut per_query: Vec<Vec<Vec<u32>>> = vec![Vec::new(); queries.len()];
+        parallel_fill_with(
+            &mut per_query,
+            threads,
+            || ProjectionScratch::new(self.config.m),
+            |scratch, q, slot| {
+                *slot = (0..self.num_shards())
+                    .map(|s| self.shard_ctx(s).base_candidates(queries.row(q), scratch, probe))
+                    .collect();
+            },
+        );
+        if let Probe::Hierarchical { min_candidates } = probe {
+            // Threshold: the batch median of union sizes (the paper's rule)
+            // or the fixed floor (batch-invariant serving rule).
+            let threshold = match fixed_floor {
+                Some(floor) => floor,
+                None => {
+                    let mut sizes: Vec<usize> =
+                        per_query.iter().map(|ls| ls.iter().map(Vec::len).sum()).collect();
+                    sizes.sort_unstable();
+                    sizes[sizes.len() / 2].max(min_candidates)
+                }
+            };
+            let mut jobs: Vec<(usize, Vec<Vec<u32>>)> = per_query
+                .iter()
+                .enumerate()
+                .filter(|(_, ls)| ls.iter().map(Vec::len).sum::<usize>() < threshold)
+                .map(|(q, _)| (q, Vec::new()))
+                .collect();
+            parallel_fill_with(
+                &mut jobs,
+                threads,
+                || ProjectionScratch::new(self.config.m),
+                |scratch, _, job| {
+                    job.1 = self.shard_candidates(queries.row(job.0), scratch, probe, threshold);
+                },
+            );
+            for (q, lists) in jobs {
+                per_query[q] = lists;
+            }
+        }
+        // Transpose to [shard][query] for per-shard ranking.
+        let mut by_shard: Vec<Vec<Vec<u32>>> =
+            vec![Vec::with_capacity(queries.len()); self.num_shards()];
+        for lists in per_query {
+            for (s, l) in lists.into_iter().enumerate() {
+                by_shard[s].push(l);
+            }
+        }
+        by_shard
+    }
+
+    /// Ranks each shard's candidates with `engine` and merges the per-shard
+    /// top-k lists into the global answer.
+    fn rank_and_merge(
+        &self,
+        queries: &Dataset,
+        by_shard: &[Vec<Vec<u32>>],
+        k: usize,
+        engine: Engine,
+    ) -> BatchResult {
+        let per_shard_topk: Vec<Vec<Vec<Neighbor>>> = by_shard
+            .iter()
+            .map(|cands| rank_candidates(&self.data, queries, cands, k, engine))
+            .collect();
+        let neighbors: Vec<Vec<Neighbor>> = (0..queries.len())
+            .map(|q| {
+                let lists: Vec<Vec<Neighbor>> =
+                    per_shard_topk.iter().map(|shard| shard[q].clone()).collect();
+                merge_topk(&lists, k)
+            })
+            .collect();
+        let candidates: Vec<usize> =
+            (0..queries.len()).map(|q| by_shard.iter().map(|cands| cands[q].len()).sum()).collect();
+        BatchResult { neighbors: sqrt_distances(neighbors), candidates }
+    }
+
+    /// Batch query with the paper's batch-median escalation rule — the
+    /// sharded twin of [`BiLevelIndex::query_batch_with`], bit-identical to
+    /// it on the same data and config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Engine::validate`] rejects the engine for this `k`.
+    pub fn query_batch_with(&self, queries: &Dataset, k: usize, engine: Engine) -> BatchResult {
+        engine.validate(k);
+        let by_shard = self.candidates_by_shard_with(queries, engine.threads());
+        self.rank_and_merge(queries, &by_shard, k, engine)
+    }
+
+    /// Serial-engine convenience over [`ShardedIndex::query_batch_with`].
+    pub fn query_batch(&self, queries: &Dataset, k: usize) -> BatchResult {
+        self.query_batch_with(queries, k, Engine::Serial)
+    }
+
+    /// Batch-invariant query under an explicit probe — the sharded twin of
+    /// [`BiLevelIndex::query_batch_at`], bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is rejected for this `k` or `probe` is
+    /// incompatible with the built index.
+    pub fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        engine.validate(k);
+        let by_shard = self.candidates_by_shard_at(queries, engine.threads(), probe);
+        self.rank_and_merge(queries, &by_shard, k, engine)
+    }
+
+    /// Single-query convenience; equals the unsharded
+    /// [`BiLevelIndex::query`].
+    pub fn query(&self, v: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut q = Dataset::new(self.data.dim());
+        q.push(v);
+        self.query_batch(&q, k).neighbors.pop().expect("one query in, one result out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Quantizer;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn small_data() -> (Dataset, Dataset) {
+        let all = synth::clustered(&ClusteredSpec::small(600), 42);
+        all.split_at(500)
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_corpus() {
+        let (data, _) = small_data();
+        let idx = ShardedIndex::build(data.clone(), &BiLevelConfig::paper_default(2.0), 3);
+        assert_eq!(idx.num_shards(), 3);
+        let mut covered = 0;
+        for s in 0..3 {
+            let (lo, hi) = idx.shard_range(s);
+            assert_eq!(lo, covered);
+            covered = hi;
+        }
+        assert_eq!(covered, data.len());
+    }
+
+    /// The satellite contract: sharded `query(k)` equals unsharded
+    /// `query(k)` on the same corpus for all 3 probe modes × 2 quantizers.
+    #[test]
+    fn sharded_equals_unsharded_across_modes_and_quantizers() {
+        let (data, queries) = small_data();
+        let probes = [Probe::Home, Probe::Multi(8), Probe::Hierarchical { min_candidates: 15 }];
+        for quantizer in [Quantizer::Zm, Quantizer::E8] {
+            for probe in probes {
+                let cfg = BiLevelConfig::paper_default(2.0).quantizer(quantizer).probe(probe);
+                let flat = BiLevelIndex::build(&data, &cfg);
+                let sharded = ShardedIndex::build(data.clone(), &cfg, 4);
+                let k = 8;
+                // Batch path, median rule.
+                let a = flat.query_batch(&queries, k);
+                let b = sharded.query_batch(&queries, k);
+                assert_eq!(a.neighbors, b.neighbors, "{quantizer:?} {probe:?}");
+                assert_eq!(a.candidates, b.candidates, "{quantizer:?} {probe:?}");
+                // Batch-invariant path at the full service level.
+                let c = flat.query_batch_at(&queries, k, Engine::Serial, probe);
+                let d = sharded.query_batch_at(&queries, k, Engine::Serial, probe);
+                assert_eq!(c.neighbors, d.neighbors, "{quantizer:?} {probe:?}");
+                assert_eq!(c.candidates, d.candidates, "{quantizer:?} {probe:?}");
+                // Single-query path.
+                for q in 0..5.min(queries.len()) {
+                    assert_eq!(
+                        flat.query(queries.row(q), k),
+                        sharded.query(queries.row(q), k),
+                        "single query {q} diverged ({quantizer:?}, {probe:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_unsharded() {
+        let (data, queries) = small_data();
+        let cfg = BiLevelConfig::paper_default(2.0).probe(Probe::Multi(4));
+        let flat = BiLevelIndex::build(&data, &cfg);
+        let sharded = ShardedIndex::build(data.clone(), &cfg, 1);
+        let a = flat.query_batch(&queries, 10);
+        let b = sharded.query_batch(&queries, 10);
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+
+    #[test]
+    fn sharded_parallel_engines_match_serial() {
+        let (data, queries) = small_data();
+        let cfg =
+            BiLevelConfig::paper_default(2.0).probe(Probe::Hierarchical { min_candidates: 15 });
+        let sharded = ShardedIndex::build(data, &cfg, 3);
+        let k = 6;
+        let serial = sharded.query_batch_with(&queries, k, Engine::Serial);
+        for engine in
+            [Engine::PerQuery { threads: 3 }, Engine::WorkQueue { threads: 2, capacity: 128 }]
+        {
+            let got = sharded.query_batch_with(&queries, k, engine);
+            assert_eq!(serial.neighbors, got.neighbors, "{engine:?}");
+            assert_eq!(serial.candidates, got.candidates, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_rungs_work_sharded() {
+        let (data, queries) = small_data();
+        let cfg =
+            BiLevelConfig::paper_default(2.0).probe(Probe::Hierarchical { min_candidates: 20 });
+        let flat = BiLevelIndex::build(&data, &cfg);
+        let sharded = ShardedIndex::build(data.clone(), &cfg, 2);
+        for rung in cfg.probe.ladder() {
+            let a = flat.query_batch_at(&queries, 5, Engine::Serial, rung);
+            let b = sharded.query_batch_at(&queries, 5, Engine::Serial, rung);
+            assert_eq!(a.neighbors, b.neighbors, "rung {rung:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let (data, _) = small_data();
+        let _ = ShardedIndex::build(data, &BiLevelConfig::paper_default(2.0), 0);
+    }
+}

@@ -30,6 +30,36 @@ pub struct IndexStats {
 }
 
 impl IndexStats {
+    /// Renders the stats as pretty-printed JSON (2-space indent, the same
+    /// document `serde_json::to_string_pretty` produces for the derived
+    /// `Serialize` impl), without requiring a working `serde_json` backend.
+    pub fn to_json_pretty(&self) -> String {
+        use crate::jsonio::{fmt_float, fmt_float32};
+        fn array<T, F: Fn(&T) -> String>(items: &[T], fmt: F) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let body: Vec<String> = items.iter().map(|x| format!("    {}", fmt(x))).collect();
+            format!("[\n{}\n  ]", body.join(",\n"))
+        }
+        format!(
+            "{{\n  \"num_vectors\": {},\n  \"dim\": {},\n  \"num_groups\": {},\n  \
+             \"group_sizes\": {},\n  \"group_widths\": {},\n  \"tables_per_group\": {},\n  \
+             \"total_buckets\": {},\n  \"max_bucket\": {},\n  \"mean_bucket\": {},\n  \
+             \"has_hierarchies\": {}\n}}",
+            self.num_vectors,
+            self.dim,
+            self.num_groups,
+            array(&self.group_sizes, |s| s.to_string()),
+            array(&self.group_widths, |w| fmt_float32(*w)),
+            self.tables_per_group,
+            self.total_buckets,
+            self.max_bucket,
+            fmt_float(self.mean_bucket),
+            self.has_hierarchies,
+        )
+    }
+
     /// Ratio of the largest to the smallest group — the level-1 balance
     /// indicator (1.0 is perfectly balanced).
     pub fn group_imbalance(&self) -> f64 {
@@ -126,6 +156,20 @@ mod tests {
         let stats = index.stats();
         assert_eq!(stats.num_groups, 1);
         assert!((stats.group_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pretty_json_has_serde_shape() {
+        let data = data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(4.0));
+        let text = index.stats().to_json_pretty();
+        // The CLI's consumers grep for exactly this `"key": value` shape.
+        assert!(text.contains("\"num_vectors\": 500"), "{text}");
+        assert!(text.contains("\"num_groups\": 16"), "{text}");
+        assert!(text.contains("\"group_widths\": [\n    4.0,"), "{text}");
+        assert!(text.contains("\"has_hierarchies\": false"), "{text}");
+        // And it must be valid JSON by our own parser.
+        crate::jsonio::parse(&text).unwrap();
     }
 
     #[test]

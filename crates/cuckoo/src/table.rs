@@ -18,17 +18,35 @@ pub const NUM_HASHES: usize = 4;
 /// before erroring. Misconfiguration fails fast instead.
 pub const MAX_LOAD: f64 = 0.95;
 
-/// Construction failure: the table could not place every item even after
-/// reseeding and stash overflow.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CuckooError {
-    /// Number of items that could not be placed on the final attempt.
-    pub unplaced: usize,
+/// Construction failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CuckooError {
+    /// The table could not place every item even after reseeding and stash
+    /// overflow; carries the number of items unplaced on the final attempt.
+    Unplaced {
+        /// Number of items that could not be placed on the final attempt.
+        unplaced: usize,
+    },
+    /// The requested load factor is outside `(0, MAX_LOAD]`. Returned up
+    /// front — before any placement attempt — so callers such as a serving
+    /// layer can surface the misconfiguration as a typed overload instead of
+    /// unwinding through a panic.
+    Overloaded {
+        /// The rejected load factor.
+        load: f64,
+    },
 }
 
 impl std::fmt::Display for CuckooError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cuckoo construction failed: {} items unplaced", self.unplaced)
+        match self {
+            CuckooError::Unplaced { unplaced } => {
+                write!(f, "cuckoo construction failed: {unplaced} items unplaced")
+            }
+            CuckooError::Overloaded { load } => {
+                write!(f, "cuckoo load factor {load} outside (0, {MAX_LOAD}]")
+            }
+        }
     }
 }
 
@@ -96,16 +114,20 @@ impl CuckooTable {
 
     /// Builds with an explicit load factor `items / slots`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `load` is outside `(0, MAX_LOAD]` — loads near 1.0 cannot
-    /// be built with 4 sub-hashes and would only waste every rebuild attempt.
+    /// Returns [`CuckooError::Overloaded`] when `load` is outside
+    /// `(0, MAX_LOAD]` — loads near 1.0 cannot be built with 4 sub-hashes
+    /// and would only waste every rebuild attempt — and
+    /// [`CuckooError::Unplaced`] when placement fails after all reseeds.
     pub fn build_with_load(
         items: Vec<(u64, u64)>,
         load: f64,
         seed: u64,
     ) -> Result<Self, CuckooError> {
-        assert!(load > 0.0 && load <= MAX_LOAD, "load factor must be in (0, {MAX_LOAD}]");
+        if !(load > 0.0 && load <= MAX_LOAD) {
+            return Err(CuckooError::Overloaded { load });
+        }
         Self::build_inner(items, load, seed, 1)
     }
 
@@ -113,17 +135,19 @@ impl CuckooTable {
     /// the CPU port of the GPU construction kernel. Agrees with the serial
     /// build on membership (slot placement may differ).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `load` is outside `(0, MAX_LOAD]` (see
-    /// [`CuckooTable::build_with_load`]).
+    /// Returns [`CuckooError::Overloaded`] when `load` is outside
+    /// `(0, MAX_LOAD]` (see [`CuckooTable::build_with_load`]).
     pub fn build_parallel(
         items: Vec<(u64, u64)>,
         load: f64,
         seed: u64,
         threads: usize,
     ) -> Result<Self, CuckooError> {
-        assert!(load > 0.0 && load <= MAX_LOAD, "load factor must be in (0, {MAX_LOAD}]");
+        if !(load > 0.0 && load <= MAX_LOAD) {
+            return Err(CuckooError::Overloaded { load });
+        }
         Self::build_inner(items, load, seed, threads.max(1))
     }
 
@@ -193,7 +217,7 @@ impl CuckooTable {
             }
             last_unplaced = failures;
         }
-        Err(CuckooError { unplaced: last_unplaced })
+        Err(CuckooError::Unplaced { unplaced: last_unplaced })
     }
 
     /// Looks up `key`, probing at most `NUM_HASHES` (4) slots and the stash.
@@ -461,16 +485,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "load factor must be in")]
     fn full_load_factor_rejected_up_front() {
-        // load = 1.0 used to burn all 16 rebuild attempts before failing.
-        let _ = CuckooTable::build_with_load(pairs(100), 1.0, 1);
+        // load = 1.0 used to burn all 16 rebuild attempts before failing
+        // (and then, for a while, panicked); now it is a typed error the
+        // caller can surface.
+        let err = CuckooTable::build_with_load(pairs(100), 1.0, 1).unwrap_err();
+        assert_eq!(err, CuckooError::Overloaded { load: 1.0 });
+        assert!(err.to_string().contains("load factor 1"), "display: {err}");
     }
 
     #[test]
-    #[should_panic(expected = "load factor must be in")]
     fn parallel_build_rejects_full_load_too() {
-        let _ = CuckooTable::build_parallel(pairs(100), 0.99, 1, 2);
+        let err = CuckooTable::build_parallel(pairs(100), 0.99, 1, 2).unwrap_err();
+        assert_eq!(err, CuckooError::Overloaded { load: 0.99 });
+    }
+
+    #[test]
+    fn nonpositive_load_is_overloaded_too() {
+        for load in [0.0, -0.5, f64::NAN] {
+            let err = CuckooTable::build_with_load(pairs(10), load, 1).unwrap_err();
+            assert!(matches!(err, CuckooError::Overloaded { .. }), "load {load}: {err:?}");
+        }
     }
 
     #[test]

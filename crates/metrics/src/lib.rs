@@ -17,4 +17,4 @@ pub mod stats;
 pub use curve::{auc_advantage, QualityCurve};
 pub use quality::{error_ratio, recall, selectivity, QueryEval};
 pub use significance::{paired_bootstrap, BootstrapResult};
-pub use stats::{MeanStd, RunAggregate, SeriesPoint};
+pub use stats::{LatencyHistogram, MeanStd, RunAggregate, SeriesPoint};

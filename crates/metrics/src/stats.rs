@@ -125,6 +125,104 @@ impl RunAggregate {
     }
 }
 
+/// A log-bucketed latency histogram with percentile readout.
+///
+/// Buckets are half-open ranges of nanoseconds whose widths grow
+/// geometrically (each bucket covers one power of two), so a single fixed
+/// 64-slot array spans nanoseconds to centuries with bounded relative
+/// error: every sample lands in the bucket `floor(log2(ns))`, and a
+/// percentile is reported as that bucket's upper bound — at most 2× the
+/// true value, which is the usual operating-metrics tradeoff.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; 64], count: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // 0 ns maps to bucket 0; otherwise floor(log2(ns)).
+        63 - ns.max(1).leading_zeros() as usize
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: std::time::Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or zero when empty.
+    pub fn mean(&self) -> std::time::Duration {
+        if self.count == 0 {
+            return std::time::Duration::ZERO;
+        }
+        std::time::Duration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+    }
+
+    /// Largest recorded sample, or zero when empty.
+    pub fn max(&self) -> std::time::Duration {
+        if self.count == 0 {
+            return std::time::Duration::ZERO;
+        }
+        std::time::Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound, clamped to
+    /// the observed min/max so p0 and p100 stay exact. Zero when empty.
+    pub fn percentile(&self, q: f64) -> std::time::Duration {
+        if self.count == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based ceil so p100 = last sample.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket b is 2^(b+1) - 1.
+                let hi = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                return std::time::Duration::from_nanos(hi.clamp(self.min_ns, self.max_ns));
+            }
+        }
+        std::time::Duration::from_nanos(self.max_ns)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +289,65 @@ mod tests {
     #[should_panic(expected = "disagree on query count")]
     fn ragged_runs_panic() {
         let _ = RunAggregate::new(vec![vec![eval(1.0, 1.0, 0.1)], vec![]]);
+    }
+
+    use std::time::Duration;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        // One sample: every percentile clamps to the observed min == max.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q), Duration::from_micros(100));
+        }
+        assert_eq!(h.mean(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn percentile_is_within_one_bucket_of_truth() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        // True p50 is 500 µs; a log2 bucket bound can overshoot by < 2x.
+        let p50 = h.percentile(0.5).as_nanos() as u64;
+        assert!((500_000..1_000_000).contains(&p50), "p50 = {p50} ns");
+        let p99 = h.percentile(0.99).as_nanos() as u64;
+        assert!((990_000..1_980_000).contains(&p99), "p99 = {p99} ns");
+        // p100 is clamped to the exact max.
+        assert_eq!(h.percentile(1.0), Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for us in [3u64, 17, 90, 1200] {
+            a.record(Duration::from_micros(us));
+            both.record(Duration::from_micros(us));
+        }
+        for us in [5u64, 40, 7000] {
+            b.record(Duration::from_micros(us));
+            both.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.mean(), both.mean());
+        assert_eq!(a.max(), both.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(a.percentile(q), both.percentile(q));
+        }
     }
 }

@@ -1,0 +1,76 @@
+//! The index abstraction the dispatcher executes batches against.
+
+use bilevel_lsh::{BatchResult, BiLevelIndex, Engine, Probe, ShardedIndex};
+use vecstore::Dataset;
+
+/// An index the service can drive: a single [`BiLevelIndex`] or a
+/// [`ShardedIndex`]. Both expose the batch-invariant `query_batch_at`
+/// path, so any micro-batch composition returns per-request answers
+/// bit-identical to serial single-query answers at the same probe rung.
+pub trait Backend: Send + Sync + 'static {
+    /// Vector dimensionality accepted by [`crate::Service::submit`].
+    fn dim(&self) -> usize;
+
+    /// The full-service-level probe (the probe the index was built with).
+    fn probe(&self) -> Probe;
+
+    /// Whether a (possibly degraded) probe can run on this index.
+    fn supports_probe(&self, probe: Probe) -> bool;
+
+    /// Batch query at an explicit probe rung, batch-invariant semantics.
+    fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult;
+}
+
+impl Backend for BiLevelIndex<'static> {
+    fn dim(&self) -> usize {
+        self.data().dim()
+    }
+
+    fn probe(&self) -> Probe {
+        self.config().probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        BiLevelIndex::supports_probe(self, probe)
+    }
+
+    fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        BiLevelIndex::query_batch_at(self, queries, k, engine, probe)
+    }
+}
+
+impl Backend for ShardedIndex {
+    fn dim(&self) -> usize {
+        self.data().dim()
+    }
+
+    fn probe(&self) -> Probe {
+        self.config().probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        ShardedIndex::supports_probe(self, probe)
+    }
+
+    fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        ShardedIndex::query_batch_at(self, queries, k, engine, probe)
+    }
+}

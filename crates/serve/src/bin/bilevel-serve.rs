@@ -1,0 +1,204 @@
+//! `bilevel-serve` — line-protocol serving front end for the concurrent
+//! query service.
+//!
+//! ```text
+//! bilevel-serve <corpus.fvecs> [--k K] [--shards N] [--batch B] [--wait-us U]
+//!               [--queue CAP] [--deadline-ms D] [--probe T]
+//!               [--w W] [--groups G] [--tables L] [--m M] [--e8] [--seed S]
+//! ```
+//!
+//! Builds the index in-process, then reads one query vector per stdin line
+//! (whitespace-separated floats) and writes one stdout line per query — the
+//! same `id:distance` pairs `bilevel query` prints, in input order. Queries
+//! are submitted eagerly so consecutive stdin lines coalesce into
+//! micro-batches; a closing stats summary goes to stderr.
+//!
+//! Hand-rolled flag parsing keeps the binary dependency-free beyond the
+//! workspace crates.
+
+use bilevel_lsh::{
+    BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, ShardedIndex, WidthMode,
+};
+use knn_serve::{QueryResponse, Service, ServiceConfig, SubmitError, Ticket};
+use rptree::SplitRule;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use vecstore::io::read_fvecs;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         bilevel-serve <corpus.fvecs> [--k K] [--shards N] [--batch B] [--wait-us U]\n                \
+         [--queue CAP] [--deadline-ms D] [--probe T]\n                \
+         [--w W] [--groups G] [--tables L] [--m M] [--e8] [--seed S]\n\n\
+         Reads one whitespace-separated query vector per stdin line; writes\n\
+         one line of id:distance pairs per query to stdout, in input order."
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` pairs out of the free arguments.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(|s| s.as_str())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(corpus_path) = args.first() else { return usage() };
+    if corpus_path.starts_with("--") {
+        return usage();
+    }
+    match serve(corpus_path, &Flags(args[1..].to_vec())) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let data = read_fvecs(Path::new(corpus_path))?;
+    eprintln!("corpus: {} vectors, dim {}", data.len(), data.dim());
+
+    let groups: usize = flags.num("--groups", 16);
+    let config = BiLevelConfig {
+        l: flags.num("--tables", 10),
+        m: flags.num("--m", 8),
+        width: WidthMode::Scaled { base: flags.num("--w", 1.0f32), k: flags.num("--k", 10) },
+        partition: if groups <= 1 {
+            Partition::None
+        } else {
+            Partition::RpTree { groups, rule: SplitRule::Max }
+        },
+        quantizer: if flags.has("--e8") { Quantizer::E8 } else { Quantizer::Zm },
+        probe: match flags.get("--probe") {
+            Some(_) => Probe::Multi(flags.num("--probe", 8usize)),
+            None => Probe::Home,
+        },
+        table_pool: None,
+        seed: flags.num("--seed", 0x0b11_e7e1u64),
+    };
+
+    let service_config = ServiceConfig::default()
+        .max_batch(flags.num("--batch", 32))
+        .max_wait(Duration::from_micros(flags.num("--wait-us", 1000u64)))
+        .queue_capacity(flags.num("--queue", 1024));
+    let shards: usize = flags.num("--shards", 1);
+
+    let t = Instant::now();
+    let service = if shards > 1 {
+        eprintln!("building {shards}-shard index ...");
+        Service::start(ShardedIndex::build(data, &config, shards), service_config)
+    } else {
+        Service::start(BiLevelIndex::build_owned(data, &config), service_config)
+    };
+    eprintln!("index built in {:.1}s; serving on stdin", t.elapsed().as_secs_f64());
+
+    let k: usize = flags.num("--k", 10);
+    let deadline: Option<Duration> =
+        flags.get("--deadline-ms").map(|_| Duration::from_millis(flags.num("--deadline-ms", 0u64)));
+    run_loop(service, k, deadline)
+}
+
+/// Pumps stdin lines through the service, keeping responses in input
+/// order while letting consecutive lines coalesce into micro-batches.
+fn run_loop(
+    service: Service,
+    k: usize,
+    deadline: Option<Duration>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let handle = service.handle();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut pending: VecDeque<Ticket> = VecDeque::new();
+    let mut retries = 0u64;
+
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let vector: Vec<f32> = line
+            .split_whitespace()
+            .map(|t| t.parse::<f32>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("bad query vector {line:?}: {e}"))?;
+        // Submit eagerly; a full queue blocks on the oldest in-flight
+        // response (natural single-producer backpressure) and retries.
+        let ticket = loop {
+            let d = deadline.map(|d| Instant::now() + d);
+            match handle.submit(&vector, k, d) {
+                Ok(ticket) => break ticket,
+                Err(SubmitError::Overloaded) => {
+                    retries += 1;
+                    match pending.pop_front() {
+                        Some(oldest) => print_response(&mut out, &oldest.wait()?)?,
+                        None => std::thread::sleep(Duration::from_micros(50)),
+                    }
+                }
+                Err(e) => return Err(Box::new(e)),
+            }
+        };
+        pending.push_back(ticket);
+        // Opportunistically flush whatever already finished, in order.
+        while let Some(resp) = pending.front().and_then(|t| t.try_wait()) {
+            pending.pop_front();
+            print_response(&mut out, &resp)?;
+        }
+    }
+    for ticket in pending {
+        print_response(&mut out, &ticket.wait()?)?;
+    }
+    out.flush()?;
+    drop(handle);
+
+    let stats = service.stats();
+    eprintln!(
+        "{} queries in {} batches (mean size {:.1}), overload retries {retries}",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch_size(),
+    );
+    eprintln!(
+        "service levels {:?}; shed {}, deadline missed {}",
+        stats.responses_by_level, stats.shed, stats.deadline_missed
+    );
+    eprintln!(
+        "latency p50 {:?}, p95 {:?}, p99 {:?}, max {:?}",
+        stats.latency_p50, stats.latency_p95, stats.latency_p99, stats.latency_max
+    );
+    service.shutdown();
+    Ok(())
+}
+
+fn print_response<W: Write>(out: &mut W, resp: &QueryResponse) -> std::io::Result<()> {
+    let mut line = String::new();
+    for (i, n) in resp.neighbors.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&format!("{}:{:.6}", n.id, n.dist));
+    }
+    writeln!(out, "{line}")
+}

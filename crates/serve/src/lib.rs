@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! A concurrent query service over the Bi-level LSH index.
+//!
+//! The paper's GPU pipeline amortizes per-query cost by pushing whole query
+//! batches through a work queue before short-list search; this crate brings
+//! the same amortization to a *live* request stream. Producer threads
+//! submit single queries through a bounded channel (backpressure: a full
+//! queue returns [`SubmitError::Overloaded`] instead of blocking forever);
+//! a dispatcher thread coalesces pending requests into dynamic
+//! micro-batches — dispatching when `max_batch` requests accumulate or
+//! `max_wait` elapses — and executes them through the index's
+//! batch-invariant [`query_batch_at`](bilevel_lsh::BiLevelIndex::query_batch_at)
+//! path, so batched answers stay bit-identical to serial single-query
+//! answers.
+//!
+//! Requests may carry a deadline. The dispatcher tracks an online latency
+//! estimate per rung of the probe-budget ladder ([`bilevel_lsh::Probe::ladder`])
+//! and sheds multi-probe / hierarchical-escalation budget for requests that
+//! would otherwise miss their deadline, tagging each response with the
+//! [`ServiceLevel`] actually used.
+//!
+//! Backends: a single [`bilevel_lsh::BiLevelIndex`] or a
+//! [`bilevel_lsh::ShardedIndex`] fanning each logical query across `N`
+//! engine shards and merging per-shard top-k lists — both answer
+//! bit-identically at full service level.
+//!
+//! Everything is plain `std` — threads and `mpsc` channels, no async
+//! runtime — matching the repo's no-new-dependencies constraint.
+
+pub mod backend;
+pub mod service;
+pub mod stats;
+
+pub use backend::Backend;
+pub use service::{
+    Handle, QueryResponse, Service, ServiceConfig, ServiceLevel, SubmitError, Ticket,
+};
+pub use stats::ServiceStats;

@@ -1,0 +1,110 @@
+//! Observability: counters, batch-size histogram, and latency percentiles.
+
+use knn_metrics::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared between submitters (atomic counters) and the dispatcher (the
+/// mutexed aggregates — written from one thread, so the lock is
+/// uncontended in steady state).
+#[derive(Default)]
+pub(crate) struct SharedStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) inner: Mutex<DispatchStats>,
+}
+
+/// Dispatcher-side aggregates.
+#[derive(Default)]
+pub(crate) struct DispatchStats {
+    pub(crate) completed: u64,
+    pub(crate) batches: u64,
+    pub(crate) shed: u64,
+    pub(crate) deadline_missed: u64,
+    /// `batch_size_counts[s]` = number of batches dispatched with `s`
+    /// requests (index 0 unused).
+    pub(crate) batch_size_counts: Vec<u64>,
+    /// Responses answered at each ladder rung (0 = full level).
+    pub(crate) responses_by_level: Vec<u64>,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl SharedStats {
+    /// Snapshots everything into a [`ServiceStats`].
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        let inner = self.inner.lock().expect("stats lock poisoned");
+        let batch_size_histogram: Vec<(usize, u64)> = inner
+            .batch_size_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(s, &c)| (s, c))
+            .collect();
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: inner.completed,
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            shed: inner.shed,
+            deadline_missed: inner.deadline_missed,
+            batches: inner.batches,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batch_size_histogram,
+            responses_by_level: inner.responses_by_level.clone(),
+            latency_mean: inner.latency.mean(),
+            latency_p50: inner.latency.percentile(0.50),
+            latency_p95: inner.latency.percentile(0.95),
+            latency_p99: inner.latency.percentile(0.99),
+            latency_max: inner.latency.max(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of service behavior under load.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests accepted by [`crate::Service::submit`].
+    pub submitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Submissions rejected because the admission queue was full.
+    pub overloaded: u64,
+    /// Responses answered below full service level (degraded rung).
+    pub shed: u64,
+    /// Responses delivered after their deadline had already passed.
+    pub deadline_missed: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests currently queued (submitted, not yet picked up).
+    pub queue_depth: usize,
+    /// `(batch_size, count)` pairs for every batch size observed.
+    pub batch_size_histogram: Vec<(usize, u64)>,
+    /// Responses per ladder rung, index 0 = full level.
+    pub responses_by_level: Vec<u64>,
+    /// Mean end-to-end latency (submit → response).
+    pub latency_mean: Duration,
+    /// Median end-to-end latency.
+    pub latency_p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub latency_p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+    /// Worst observed end-to-end latency.
+    pub latency_max: Duration,
+}
+
+impl ServiceStats {
+    /// Mean dispatched batch size, or zero with no batches.
+    pub fn mean_batch_size(&self) -> f64 {
+        let (total, n) = self
+            .batch_size_histogram
+            .iter()
+            .fold((0u64, 0u64), |(t, n), &(s, c)| (t + s as u64 * c, n + c));
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end test of the `bilevel-serve` binary: pipe query vectors over
+//! the stdin line protocol and check the responses agree with the
+//! `bilevel` CLI's one-shot batch query over the same corpus and flags.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use vecstore::io::write_fvecs;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bilevel-serve")
+}
+
+fn fixture(name: &str) -> (PathBuf, PathBuf, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::small(540), 19);
+    let (data, queries) = all.split_at(500);
+    let dir = std::env::temp_dir().join("bilevel_serve_cli_test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.fvecs");
+    write_fvecs(&corpus, &data).unwrap();
+    (dir, corpus, queries)
+}
+
+/// Runs `bilevel-serve` with `args`, feeding `queries` over stdin.
+fn run_serve(corpus: &PathBuf, args: &[&str], queries: &Dataset) -> (String, String, bool) {
+    let mut child = Command::new(bin())
+        .arg(corpus)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for q in 0..queries.len() {
+            let line: Vec<String> = queries.row(q).iter().map(|x| x.to_string()).collect();
+            writeln!(stdin, "{}", line.join(" ")).unwrap();
+        }
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn serves_queries_over_stdin_in_order() {
+    let (dir, corpus, queries) = fixture("basic");
+    let args =
+        ["--k", "5", "--w", "8", "--groups", "4", "--tables", "8", "--probe", "4", "--batch", "16"];
+    let (out, err, ok) = run_serve(&corpus, &args, &queries);
+    assert!(ok, "serve failed: {err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 40, "one response line per query: {err}");
+    for line in &lines {
+        let pairs: Vec<(usize, f32)> = line
+            .split_whitespace()
+            .map(|p| {
+                let (id, d) = p.split_once(':').expect("id:dist");
+                (id.parse().unwrap(), d.parse().unwrap())
+            })
+            .collect();
+        assert!(pairs.len() <= 5);
+        assert!(pairs.iter().all(|&(id, _)| id < 500));
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+    assert!(err.contains("batches"), "stats summary on stderr: {err}");
+
+    // Sharded serving over the same corpus and flags answers identically
+    // (the tentpole's sharded-equals-unsharded contract, end to end).
+    let sharded_args = [args.as_slice(), &["--shards", "3"]].concat();
+    let (sharded_out, err, ok) = run_serve(&corpus, &sharded_args, &queries);
+    assert!(ok, "sharded serve failed: {err}");
+    assert_eq!(sharded_out, out);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = Command::new(bin()).output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = Command::new(bin()).arg("/nonexistent.fvecs").output().expect("binary runs");
+    assert!(!out.status.success());
+}

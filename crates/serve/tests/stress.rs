@@ -1,0 +1,177 @@
+//! Micro-batcher stress test: many producer threads, every request gets
+//! exactly one response, answers are bit-identical to the serial engine's
+//! single-query answers, and no response outlives its deadline by more
+//! than the batching window.
+
+use bilevel_lsh::{BatchResult, BiLevelConfig, BiLevelIndex, Engine, Probe, ShardedIndex};
+use knn_serve::{Backend, Service, ServiceConfig, SubmitError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{Dataset, Neighbor};
+
+const PRODUCERS: usize = 4;
+const PER_PRODUCER: usize = 50;
+const K: usize = 9;
+const MAX_WAIT: Duration = Duration::from_millis(5);
+const DEADLINE_BUDGET: Duration = Duration::from_secs(2);
+
+fn corpus() -> (Dataset, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::small(700), 42);
+    all.split_at(500)
+}
+
+/// Drives `PRODUCERS x PER_PRODUCER` closed-loop requests through a
+/// service over `backend` and checks the exactly-once / bit-identical /
+/// deadline contracts against precomputed serial answers.
+fn run_stress<B: Backend>(backend: B, queries: &Dataset, expected: &[Vec<Neighbor>]) {
+    let total = PRODUCERS * PER_PRODUCER;
+    assert!(queries.len() >= total);
+    let config = ServiceConfig::default().max_batch(8).max_wait(MAX_WAIT).queue_capacity(256);
+    let service = Service::start(backend, config);
+    let queries = Arc::new(queries.clone());
+
+    let workers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let handle = service.handle();
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let mut out = Vec::with_capacity(PER_PRODUCER);
+                for i in 0..PER_PRODUCER {
+                    let idx = p * PER_PRODUCER + i;
+                    let deadline = Instant::now() + DEADLINE_BUDGET;
+                    let ticket = handle
+                        .submit(queries.row(idx), K, Some(deadline))
+                        .expect("closed-loop producers never overflow a 256-deep queue");
+                    let response = ticket.wait().expect("every request gets a response");
+                    out.push((idx, deadline, Instant::now(), response));
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut seen = vec![0usize; total];
+    for worker in workers {
+        for (idx, deadline, arrived, response) in worker.join().expect("producer panicked") {
+            seen[idx] += 1;
+            assert!(
+                response.level.is_full(),
+                "generous deadline was degraded to {} (query {idx})",
+                response.level
+            );
+            assert_eq!(
+                response.neighbors, expected[idx],
+                "batched answer diverged from serial answer for query {idx}"
+            );
+            assert!(
+                arrived <= deadline + MAX_WAIT,
+                "query {idx} outlived its deadline by more than max_wait \
+                 ({:?} past deadline)",
+                arrived - deadline
+            );
+        }
+    }
+    // Exactly one response per request.
+    assert!(seen.iter().all(|&c| c == 1));
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, total as u64);
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(stats.overloaded, 0);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.deadline_missed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.responses_by_level, vec![total as u64]);
+    let sized: u64 = stats.batch_size_histogram.iter().map(|&(s, c)| s as u64 * c).sum();
+    assert_eq!(sized, total as u64, "batch-size histogram must cover every request");
+    service.shutdown();
+}
+
+#[test]
+fn stress_bilevel_backend() {
+    let (data, queries) = corpus();
+    let cfg = BiLevelConfig::paper_default(2.5).probe(Probe::Multi(16));
+    let index = BiLevelIndex::build_owned(data, &cfg);
+    let expected: Vec<Vec<Neighbor>> =
+        (0..queries.len()).map(|q| index.query(queries.row(q), K)).collect();
+    run_stress(index, &queries, &expected);
+}
+
+#[test]
+fn stress_sharded_backend() {
+    let (data, queries) = corpus();
+    let cfg = BiLevelConfig::paper_default(2.5).probe(Probe::Multi(16));
+    let sharded = ShardedIndex::build(data.clone(), &cfg, 3);
+    // The sharded service must agree with the *unsharded* serial answer.
+    let unsharded = BiLevelIndex::build(&data, &cfg);
+    let expected: Vec<Vec<Neighbor>> =
+        (0..queries.len()).map(|q| unsharded.query(queries.row(q), K)).collect();
+    run_stress(sharded, &queries, &expected);
+}
+
+/// A backend whose batches take a fixed wall-clock time, making overload
+/// deterministic to provoke.
+struct SlowBackend {
+    dim: usize,
+    per_batch: Duration,
+}
+
+impl Backend for SlowBackend {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn probe(&self) -> Probe {
+        Probe::Home
+    }
+
+    fn supports_probe(&self, _probe: Probe) -> bool {
+        true
+    }
+
+    fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        _k: usize,
+        _engine: Engine,
+        _probe: Probe,
+    ) -> BatchResult {
+        std::thread::sleep(self.per_batch);
+        BatchResult {
+            neighbors: vec![Vec::new(); queries.len()],
+            candidates: vec![0; queries.len()],
+        }
+    }
+}
+
+#[test]
+fn open_loop_overload_sheds_cleanly() {
+    let backend = SlowBackend { dim: 8, per_batch: Duration::from_millis(20) };
+    let config = ServiceConfig::default().max_batch(1).max_wait(Duration::ZERO).queue_capacity(1);
+    let service = Service::start(backend, config);
+    let v = [0.5f32; 8];
+
+    // Open loop: fire every submission without waiting for responses.
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..100 {
+        match service.submit(&v, 1, None) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "1-deep queue under a 20ms/batch backend must shed");
+
+    // Every *accepted* request still gets exactly one response.
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        t.wait().expect("accepted request lost its response");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.submitted, accepted);
+    assert_eq!(stats.completed, accepted);
+    assert_eq!(stats.overloaded, rejected);
+    service.shutdown();
+}

@@ -211,6 +211,33 @@ fn fill_round(
     (scheduled, still_pending)
 }
 
+/// K-way merge of per-shard top-k lists into one global top-k.
+///
+/// Each input list must be sorted ascending by `(dist, id)` — the order
+/// every engine in this crate produces. When the shards partition the
+/// dataset into disjoint row ranges (so no id appears in two lists), the
+/// merge is exactly the list that ranking the union of candidates would
+/// produce: the global k-best under the same `(dist, id)` order.
+pub fn merge_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // Cursor heap over the heads of all lists; `Reverse` turns the
+    // max-heap-friendly Neighbor ordering into a min-heap on (dist, id).
+    let mut heap: BinaryHeap<Reverse<(Neighbor, usize)>> =
+        lists.iter().enumerate().filter_map(|(s, l)| l.first().map(|&n| Reverse((n, s)))).collect();
+    let mut cursor = vec![1usize; lists.len()];
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(Reverse((n, s))) = heap.pop() else { break };
+        out.push(n);
+        if let Some(&next) = lists[s].get(cursor[s]) {
+            cursor[s] += 1;
+            heap.push(Reverse((next, s)));
+        }
+    }
+    out
+}
+
 /// Ranks one query's candidates with a size-k heap; duplicates in the
 /// candidate list are tolerated (deduplicated by keeping ids unique in the
 /// output).
@@ -434,5 +461,46 @@ mod tests {
             pending = still_pending;
         }
         assert!((0..nq).all(|q| cursor[q] == candidates[q].len()), "all candidates consumed");
+    }
+
+    /// Sharded ranking followed by `merge_topk` must equal ranking the
+    /// union of candidates in one engine, for disjoint shard row ranges.
+    #[test]
+    fn merge_topk_equals_unsharded_ranking() {
+        let (data, queries, candidates) = scenario(77);
+        let metric = SquaredL2;
+        let k = 10;
+        let whole = shortlist_serial(&data, &queries, &candidates, k, &metric);
+        // Split each query's candidates into 3 "shards" by id range.
+        let bounds = [0u32, 100, 200, data.len() as u32];
+        for (q, cands) in candidates.iter().enumerate() {
+            let lists: Vec<Vec<Neighbor>> = (0..3)
+                .map(|s| {
+                    let shard: Vec<u32> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&id| bounds[s] <= id && id < bounds[s + 1])
+                        .collect();
+                    rank_one(&data, queries.row(q), &shard, k, &metric)
+                })
+                .collect();
+            assert_eq!(merge_topk(&lists, k), whole[q], "query {q} diverged");
+        }
+    }
+
+    #[test]
+    fn merge_topk_edge_cases() {
+        let n = |id: usize, dist: f32| Neighbor { id, dist };
+        // Empty input and empty lists.
+        assert!(merge_topk(&[], 5).is_empty());
+        assert!(merge_topk(&[vec![], vec![]], 5).is_empty());
+        // Fewer total entries than k: all come back, in order.
+        let merged = merge_topk(&[vec![n(3, 0.5)], vec![], vec![n(1, 0.2)]], 10);
+        assert_eq!(merged, vec![n(1, 0.2), n(3, 0.5)]);
+        // Equal distances break ties by ascending id across lists.
+        let merged = merge_topk(&[vec![n(9, 1.0)], vec![n(2, 1.0)], vec![n(5, 1.0)]], 2);
+        assert_eq!(merged, vec![n(2, 1.0), n(5, 1.0)]);
+        // k = 0 returns nothing.
+        assert!(merge_topk(&[vec![n(0, 0.1)]], 0).is_empty());
     }
 }

@@ -23,5 +23,7 @@
 pub mod engine;
 pub mod primitives;
 
-pub use engine::{shortlist_per_query, shortlist_select, shortlist_serial, shortlist_workqueue};
+pub use engine::{
+    merge_topk, shortlist_per_query, shortlist_select, shortlist_serial, shortlist_workqueue,
+};
 pub use primitives::{clustered_sort, compact, exclusive_scan, parallel_fill_with, parallel_map};
