@@ -50,7 +50,7 @@ fn drive(
     let timer = Instant::now();
     std::thread::scope(|scope| {
         for p in 0..producers {
-            let handle = service.handle();
+            let handle = service.handle().expect("service is running");
             scope.spawn(move || {
                 let mut inflight: VecDeque<(usize, Ticket)> = VecDeque::new();
                 let verify = |(idx, ticket): (usize, Ticket)| {
@@ -208,7 +208,15 @@ fn main() {
     println!("|---|---|---|---|");
     println!("| {accepted} | {rejected} | {degraded} | {} |", stats.deadline_missed);
     println!("\nresponses by service level: {:?}", stats.responses_by_level);
+    println!(
+        "failure containment: {} panicked, {} partial-coverage, {} dispatcher restarts",
+        stats.panicked, stats.partial_responses, stats.dispatcher_restarts
+    );
     assert_eq!(stats.completed as usize, accepted + warmup, "every accepted request answered");
     assert_eq!(stats.overloaded, rejected);
+    // A healthy benchmark run must see zero containment events.
+    assert_eq!(stats.panicked, 0);
+    assert_eq!(stats.dispatcher_restarts, 0);
+    assert_eq!(stats.partial_responses, 0);
     service.shutdown();
 }

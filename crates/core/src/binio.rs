@@ -38,6 +38,52 @@ pub(crate) fn write_section<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), P
     Ok(())
 }
 
+/// Crash-safe file replacement: runs `write` against a temp file in the
+/// destination's directory, `sync_all`s it, atomically renames it over
+/// `path`, then fsyncs the directory so the rename itself is durable.
+///
+/// A crash or error at any point before the rename leaves an existing
+/// file at `path` untouched — the caller observes either the complete
+/// old snapshot or the complete new one, never a torn write. Failures
+/// before the rename surface as [`PersistError::PartialWrite`] (and the
+/// temp file is removed); the `write` closure's own errors pass through
+/// unchanged.
+pub(crate) fn atomic_write(
+    path: &std::path::Path,
+    write: impl FnOnce(&mut std::io::BufWriter<&std::fs::File>) -> Result<(), PersistError>,
+) -> Result<(), PersistError> {
+    let partial =
+        |source: std::io::Error| PersistError::PartialWrite { path: path.to_path_buf(), source };
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| partial(std::io::Error::other("destination has no file name")))?;
+    // Pid-suffixed so concurrent savers from different processes cannot
+    // collide on the temp name; same-process savers serialize on rename.
+    let tmp = dir.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
+
+    let result = (|| {
+        let file = std::fs::File::create(&tmp).map_err(partial)?;
+        let mut w = std::io::BufWriter::new(&file);
+        write(&mut w)?;
+        w.flush().map_err(partial)?;
+        drop(w);
+        file.sync_all().map_err(partial)?;
+        std::fs::rename(&tmp, path).map_err(partial)?;
+        // Make the rename durable: fsync the directory entry. Failure here
+        // is reported, but the destination already holds the new file.
+        std::fs::File::open(&dir).and_then(|d| d.sync_all()).map_err(partial)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
 /// Reads one framed section, rejecting truncation, absurd lengths, and
 /// checksum mismatches with [`PersistError::Format`] naming `what`.
 pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> Result<Vec<u8>, PersistError> {

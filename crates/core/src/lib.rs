@@ -54,11 +54,13 @@ pub use evaluate::{evaluate_index, evaluate_runs, ground_truth};
 pub use flat::FlatIndex;
 pub use index::{BatchResult, BiLevelIndex, Engine};
 pub use interval::IntervalTable;
-pub use ooc::OocFlatIndex;
+pub use ooc::{OocBuildError, OocFlatIndex};
 pub use persist::PersistError;
 pub use shard::ShardedIndex;
 pub use stats::IndexStats;
 
 // Re-export the pieces user code needs to interpret results.
 pub use knn_metrics::{QueryEval, SeriesPoint};
+pub use vecstore::fault::{FaultKind, FaultPlan, FaultyDataset, RetryPolicy, RetryStats};
+pub use vecstore::ooc::RowSource;
 pub use vecstore::{Dataset, Neighbor};

@@ -19,11 +19,13 @@ use crate::code::compress_code;
 use crate::config::{BiLevelConfig, Probe, WidthMode};
 use crate::index::{fit_level1, probe_sequence, quantize, Level1};
 use crate::interval::IntervalTable;
+use cuckoo::CuckooError;
 use lsh::{tune_w, DistanceProfile, HashFamily, ProjectionScratch, TuningGoal};
 use rptree::Partitioner;
 use shortlist::parallel_fill_with;
+use vecstore::fault::{RetryPolicy, RetryStats};
 use vecstore::metric::squared_l2;
-use vecstore::ooc::OocDataset;
+use vecstore::ooc::{OocDataset, RowSource};
 use vecstore::{Dataset, Neighbor, TopK};
 
 /// Rows per streaming chunk during construction.
@@ -34,12 +36,62 @@ const CHUNK_ROWS: usize = 4_096;
 /// than a second syscall + seek.
 const COALESCE_GAP: usize = 8;
 
-/// Disk-resident Bi-level LSH index over an [`OocDataset`].
+/// Typed error from out-of-core index construction: either the storage
+/// layer failed permanently (or exhausted its retry budget), or the
+/// cuckoo-hashed interval table could not place its keys.
+#[derive(Debug)]
+pub enum OocBuildError {
+    /// A read from the row source failed after retries.
+    Io(std::io::Error),
+    /// The interval table's cuckoo placement failed.
+    Cuckoo(CuckooError),
+}
+
+impl std::fmt::Display for OocBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OocBuildError::Io(e) => write!(f, "out-of-core build I/O failure: {e}"),
+            OocBuildError::Cuckoo(e) => write!(f, "interval-table build failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OocBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OocBuildError::Io(e) => Some(e),
+            OocBuildError::Cuckoo(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for OocBuildError {
+    fn from(e: std::io::Error) -> Self {
+        OocBuildError::Io(e)
+    }
+}
+
+impl From<CuckooError> for OocBuildError {
+    fn from(e: CuckooError) -> Self {
+        OocBuildError::Cuckoo(e)
+    }
+}
+
+/// Disk-resident Bi-level LSH index over a [`RowSource`] (an
+/// [`OocDataset`] in production, a fault-injecting wrapper in chaos
+/// tests).
 ///
 /// Supports `Probe::Home` and `Probe::Multi`; hierarchical probing needs the
 /// in-memory per-table structures.
-pub struct OocFlatIndex<'a> {
-    pub(crate) source: &'a OocDataset,
+///
+/// Every disk read — during construction and per-query candidate
+/// ranking — runs under the index's [`RetryPolicy`]: transient errors
+/// (`EINTR`, `EIO`, checksum-detected corruption) are retried with
+/// bounded exponential backoff under a per-query budget, so a storage
+/// hiccup degrades latency instead of failing the query. Retry activity
+/// is counted in [`RetryStats`].
+pub struct OocFlatIndex<'a, S: RowSource = OocDataset> {
+    pub(crate) source: &'a S,
     pub(crate) config: BiLevelConfig,
     pub(crate) level1: Level1,
     /// Width-folded families, `families[l * num_groups + g]`: table `l`'s
@@ -52,24 +104,30 @@ pub struct OocFlatIndex<'a> {
     pub(crate) linear: Vec<u32>,
     /// Compressed code → `(start, len)` interval into `linear`.
     pub(crate) intervals: IntervalTable,
+    /// Retry policy for every disk read this index performs.
+    pub(crate) retry: RetryPolicy,
+    /// Counters for retry activity across all reads.
+    pub(crate) retry_stats: RetryStats,
 }
 
-impl<'a> OocFlatIndex<'a> {
+impl<'a, S: RowSource> OocFlatIndex<'a, S> {
     /// Builds the index by sampling `sample_size` rows for fitting and then
     /// streaming the whole file, encoding on all available cores.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the underlying file.
+    /// Returns [`OocBuildError::Io`] when a read fails permanently (or
+    /// exhausts the retry budget), [`OocBuildError::Cuckoo`] when the
+    /// interval table cannot place its keys.
     ///
     /// # Panics
     ///
     /// Panics on an invalid configuration or hierarchical probing.
     pub fn build(
-        source: &'a OocDataset,
+        source: &'a S,
         config: &BiLevelConfig,
         sample_size: usize,
-    ) -> std::io::Result<Self> {
+    ) -> Result<Self, OocBuildError> {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         Self::build_with(source, config, sample_size, threads)
     }
@@ -81,17 +139,19 @@ impl<'a> OocFlatIndex<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the underlying file.
+    /// Returns [`OocBuildError::Io`] when a read fails permanently (or
+    /// exhausts the retry budget), [`OocBuildError::Cuckoo`] when the
+    /// interval table cannot place its keys.
     ///
     /// # Panics
     ///
     /// Panics on an invalid configuration or hierarchical probing.
     pub fn build_with(
-        source: &'a OocDataset,
+        source: &'a S,
         config: &BiLevelConfig,
         sample_size: usize,
         threads: usize,
-    ) -> std::io::Result<Self> {
+    ) -> Result<Self, OocBuildError> {
         config.validate();
         assert!(
             !matches!(config.probe, Probe::Hierarchical { .. }),
@@ -100,9 +160,31 @@ impl<'a> OocFlatIndex<'a> {
         assert!(!source.is_empty(), "cannot index an empty file");
         let config = config.clone();
         let threads = threads.max(1);
+        let retry = RetryPolicy::default();
+        let retry_stats = RetryStats::default();
+        // Each build read retries under its own budget: the attempt cap
+        // already bounds per-operation retries, and independent reads must
+        // not share a budget — transient faults scattered across thousands
+        // of rows would otherwise drain it and fail a recoverable build.
 
         // ---- Fit phase: everything model-like comes from the sample. ----
-        let sample = source.sample(sample_size)?;
+        // Sampled rows are read (and retried) one at a time: a transient
+        // fault costs one row's retries, never a whole-sample restart.
+        let sample = {
+            let n = sample_size.clamp(1, source.len());
+            let stride = (source.len() / n).max(1);
+            let mut out = Dataset::with_capacity(source.dim(), n);
+            let mut buf = vec![0.0f32; source.dim()];
+            let (mut taken, mut i) = (0usize, 0usize);
+            while taken < n && i < source.len() {
+                let mut budget = retry.budget();
+                retry.run(&mut budget, &retry_stats, || source.read_row_into(i, &mut buf))?;
+                out.push(&buf);
+                taken += 1;
+                i += stride;
+            }
+            out
+        };
         let (level1, _) = fit_level1(&sample, &config);
         let num_groups = level1.num_groups();
         let group_widths = sample_group_widths(&sample, &level1, num_groups, &config);
@@ -113,8 +195,11 @@ impl<'a> OocFlatIndex<'a> {
         let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(source.len() * l);
         let mut groups: Vec<u32> = Vec::new();
         let mut keys: Vec<u64> = Vec::new();
-        for chunk in source.chunks(CHUNK_ROWS) {
-            let (start, block) = chunk?;
+        let mut start = 0usize;
+        while start < source.len() {
+            let rows = CHUNK_ROWS.min(source.len() - start);
+            let mut budget = retry.budget();
+            let block = retry.run(&mut budget, &retry_stats, || source.read_block(start, rows))?;
             // Pass 1: level-1 assignment per row.
             groups.clear();
             groups.resize(block.len(), 0);
@@ -147,13 +232,38 @@ impl<'a> OocFlatIndex<'a> {
                     keyed.push((keys[j * l + li], id));
                 }
             }
+            start += rows;
         }
         keyed.sort_unstable();
         let linear: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
-        let intervals = IntervalTable::from_sorted_entries(&keyed, config.seed ^ 0xC0C0)
-            .expect("cuckoo build failed");
+        let intervals = IntervalTable::from_sorted_entries(&keyed, config.seed ^ 0xC0C0)?;
 
-        Ok(Self { source, config, level1, families, group_widths, linear, intervals })
+        Ok(Self {
+            source,
+            config,
+            level1,
+            families,
+            group_widths,
+            linear,
+            intervals,
+            retry,
+            retry_stats,
+        })
+    }
+
+    /// Replaces the retry policy governing this index's disk reads.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The retry policy governing this index's disk reads.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Counters for retry activity across every read this index made.
+    pub fn retry_stats(&self) -> &RetryStats {
+        &self.retry_stats
     }
 
     /// Number of level-1 groups in effect.
@@ -166,8 +276,8 @@ impl<'a> OocFlatIndex<'a> {
         &self.config
     }
 
-    /// The dataset file the index reads candidate rows from.
-    pub fn source(&self) -> &OocDataset {
+    /// The row source the index reads candidate rows from.
+    pub fn source(&self) -> &S {
         self.source
     }
 
@@ -215,13 +325,17 @@ impl<'a> OocFlatIndex<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from candidate row reads.
+    /// Propagates I/O errors from candidate row reads — after the retry
+    /// policy has retried transient errors under this query's budget.
     pub fn query(&self, v: &[f32], k: usize) -> std::io::Result<Vec<Neighbor>> {
         let candidates = self.candidates(v);
         let mut top = TopK::new(k);
         let mut buf = vec![0.0f32; self.source.dim()];
+        let mut budget = self.retry.budget();
         for &id in &candidates {
-            self.source.read_row_into(id as usize, &mut buf)?;
+            self.retry.run(&mut budget, &self.retry_stats, || {
+                self.source.read_row_into(id as usize, &mut buf)
+            })?;
             top.push(id as usize, squared_l2(v, &buf));
         }
         let mut hits = top.into_sorted();
@@ -286,6 +400,7 @@ impl<'a> OocFlatIndex<'a> {
     ) -> std::io::Result<Vec<Neighbor>> {
         let dim = self.source.dim();
         let mut top = TopK::new(k);
+        let mut budget = self.retry.budget();
         let mut i = 0usize;
         while i < candidates.len() {
             let run_start = candidates[i] as usize;
@@ -297,7 +412,9 @@ impl<'a> OocFlatIndex<'a> {
             }
             let rows = candidates[j] as usize - run_start + 1;
             row_buf.resize(rows * dim, 0.0);
-            self.source.read_rows_into(run_start, rows, row_buf)?;
+            self.retry.run(&mut budget, &self.retry_stats, || {
+                self.source.read_rows_into(run_start, rows, row_buf)
+            })?;
             for &id in &candidates[i..=j] {
                 let off = (id as usize - run_start) * dim;
                 top.push(id as usize, squared_l2(v, &row_buf[off..off + dim]));

@@ -66,6 +66,15 @@ pub enum PersistError {
     /// The dataset supplied at load time does not match the snapshot's
     /// fingerprint.
     DataMismatch(String),
+    /// A crash-safe save failed before its atomic rename: the new
+    /// snapshot could not be written durably, and the previous file at
+    /// the destination (if any) was left untouched.
+    PartialWrite {
+        /// Destination the save was aimed at.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -74,6 +83,11 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Format(m) => write!(f, "snapshot format error: {m}"),
             PersistError::DataMismatch(m) => write!(f, "dataset mismatch: {m}"),
+            PersistError::PartialWrite { path, source } => write!(
+                f,
+                "partial write saving {} (existing file untouched): {source}",
+                path.display()
+            ),
         }
     }
 }
@@ -773,10 +787,12 @@ impl<'a> BiLevelIndex<'a> {
     }
 
     /// Saves the index to a file in the binary format (see
-    /// [`BiLevelIndex::save_to`]).
+    /// [`BiLevelIndex::save_to`]), crash-safely: the snapshot is written
+    /// to a temp file, synced, and atomically renamed into place, so a
+    /// crash mid-save never clobbers an existing snapshot with a torn
+    /// write (failures before the rename are [`PersistError::PartialWrite`]).
     pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
-        let file = std::fs::File::create(path)?;
-        self.save_to(std::io::BufWriter::new(file))
+        crate::binio::atomic_write(path, |w| self.save_to(w))
     }
 
     /// Serializes the index in the legacy v1 JSON format, for consumers that
@@ -816,10 +832,11 @@ impl<'a> BiLevelIndex<'a> {
         serde_json::to_writer(writer, &snapshot).map_err(|e| PersistError::Format(e.to_string()))
     }
 
-    /// Saves the index to a file in the legacy JSON format.
+    /// Saves the index to a file in the legacy JSON format, with the same
+    /// crash-safe temp-file / atomic-rename protocol as
+    /// [`BiLevelIndex::save`].
     pub fn save_json(&self, path: &std::path::Path) -> Result<(), PersistError> {
-        let file = std::fs::File::create(path)?;
-        self.save_json_to(std::io::BufWriter::new(file))
+        crate::binio::atomic_write(path, |w| self.save_json_to(w))
     }
 
     /// Reconstructs an index from a snapshot and the dataset it was built
@@ -957,10 +974,11 @@ impl<'a> OocFlatIndex<'a> {
         write_v2(writer, KIND_OOC, &sections)
     }
 
-    /// Saves the index structure to a file (see [`OocFlatIndex::save_to`]).
+    /// Saves the index structure to a file (see [`OocFlatIndex::save_to`])
+    /// with the crash-safe temp-file / atomic-rename protocol of
+    /// [`BiLevelIndex::save`].
     pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
-        let file = std::fs::File::create(path)?;
-        self.save_to(std::io::BufWriter::new(file))
+        crate::binio::atomic_write(path, |w| self.save_to(w))
     }
 
     /// Reconstructs an out-of-core index from a snapshot and the dataset
@@ -1027,7 +1045,17 @@ impl<'a> OocFlatIndex<'a> {
                 linear.len()
             )));
         }
-        Ok(OocFlatIndex { source, config, level1, families, group_widths, linear, intervals })
+        Ok(OocFlatIndex {
+            source,
+            config,
+            level1,
+            families,
+            group_widths,
+            linear,
+            intervals,
+            retry: vecstore::fault::RetryPolicy::default(),
+            retry_stats: vecstore::fault::RetryStats::default(),
+        })
     }
 
     /// Loads an out-of-core index from a file (see
@@ -1153,6 +1181,39 @@ mod tests {
             index.query_batch(&queries, 3).neighbors,
             loaded.query_batch(&queries, 3).neighbors
         );
+    }
+
+    #[test]
+    fn failed_save_leaves_existing_snapshot_untouched() {
+        let (data, _) = corpus();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(5.0));
+        let dir = std::env::temp_dir().join("bilevel_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snap");
+        index.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // A save whose write fails mid-stream must not touch the existing
+        // snapshot — and must not leave its temp file behind.
+        let err = crate::binio::atomic_write(&path, |w| {
+            use std::io::Write as _;
+            w.write_all(b"partial garbage").unwrap();
+            Err(PersistError::Io(std::io::Error::other("disk full")))
+        })
+        .unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "closure error passes through: {err}");
+        assert_eq!(std::fs::read(&path).unwrap(), good, "existing snapshot was clobbered");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
+
+        // A successful re-save replaces the file completely.
+        index.save(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), good);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -330,6 +330,74 @@ impl ShardedIndex {
         self.rank_and_merge(queries, &by_shard, k, engine)
     }
 
+    /// Batch query against **one shard only** — the building block for
+    /// resilient fan-out layers that probe shards independently and merge
+    /// whatever subset answered (circuit breakers, per-shard timeouts).
+    ///
+    /// Returns the shard-local top-k under global row ids with final
+    /// (square-rooted) L2 distances, so per-shard lists from any subset of
+    /// shards can be merged directly with [`shortlist::merge_topk`]. For
+    /// `Probe::Home` and `Probe::Multi` the per-shard candidate sets
+    /// partition the unsharded candidate set, so merging **all** shards'
+    /// lists is bit-identical to [`ShardedIndex::query_batch_at`]. For
+    /// `Probe::Hierarchical` each shard escalates against the fixed
+    /// `min_candidates` floor using only its own counts (there is no
+    /// cross-shard union to coordinate on when shards answer
+    /// independently), which can probe deeper than the lockstep loop —
+    /// a superset, not bit-identical; fan-out layers must tag those
+    /// responses accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, the engine is rejected for this
+    /// `k`, or `probe` is incompatible with the built index.
+    pub fn query_shard_batch_at(
+        &self,
+        shard: usize,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        assert!(shard < self.num_shards(), "shard {shard} out of range");
+        assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
+        assert!(
+            self.supports_probe(probe),
+            "probe {probe:?} needs hierarchies the index was not built with"
+        );
+        engine.validate(k);
+        let floor = match probe {
+            Probe::Hierarchical { min_candidates } => min_candidates,
+            _ => 0,
+        };
+        let mut cands: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        parallel_fill_with(
+            &mut cands,
+            engine.threads(),
+            || ProjectionScratch::new(self.config.m),
+            |scratch, q, slot| {
+                let v = queries.row(q);
+                let ctx = self.shard_ctx(shard);
+                let mut list = ctx.base_candidates(v, scratch, probe);
+                if matches!(probe, Probe::Hierarchical { .. }) && list.len() < floor {
+                    let mut want_buckets = 2usize;
+                    loop {
+                        let (escalated, exhausted) = ctx.escalate_round(v, scratch, want_buckets);
+                        list = escalated;
+                        if list.len() >= floor || exhausted {
+                            break;
+                        }
+                        want_buckets *= 2;
+                    }
+                }
+                *slot = list;
+            },
+        );
+        let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
+        let neighbors = rank_candidates(&self.data, queries, &cands, k, engine);
+        BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
+    }
+
     /// Single-query convenience; equals the unsharded
     /// [`BiLevelIndex::query`].
     pub fn query(&self, v: &[f32], k: usize) -> Vec<Neighbor> {
@@ -437,6 +505,32 @@ mod tests {
             let a = flat.query_batch_at(&queries, 5, Engine::Serial, rung);
             let b = sharded.query_batch_at(&queries, 5, Engine::Serial, rung);
             assert_eq!(a.neighbors, b.neighbors, "rung {rung:?}");
+        }
+    }
+
+    #[test]
+    fn per_shard_queries_merge_to_the_full_answer() {
+        let (data, queries) = small_data();
+        let k = 7;
+        for probe in [Probe::Home, Probe::Multi(8)] {
+            let cfg = BiLevelConfig::paper_default(2.0).probe(probe);
+            let sharded = ShardedIndex::build(data.clone(), &cfg, 3);
+            let full = sharded.query_batch_at(&queries, k, Engine::Serial, probe);
+            let per_shard: Vec<BatchResult> = (0..3)
+                .map(|s| sharded.query_shard_batch_at(s, &queries, k, Engine::Serial, probe))
+                .collect();
+            for q in 0..queries.len() {
+                let lists: Vec<Vec<Neighbor>> =
+                    per_shard.iter().map(|r| r.neighbors[q].clone()).collect();
+                assert_eq!(
+                    merge_topk(&lists, k),
+                    full.neighbors[q],
+                    "independently queried shards must merge to the full answer \
+                     (query {q}, {probe:?})"
+                );
+                let summed: usize = per_shard.iter().map(|r| r.candidates[q]).sum();
+                assert_eq!(summed, full.candidates[q], "candidate counts partition ({probe:?})");
+            }
         }
     }
 

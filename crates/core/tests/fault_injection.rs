@@ -1,0 +1,154 @@
+//! Chaos tests for the out-of-core path: a seeded fault plan injects
+//! transient I/O failures into every disk read, and the retry layer must
+//! absorb them — build and query results stay **bit-identical** to the
+//! fault-free run, serial and parallel alike. Permanent failures must
+//! surface as typed errors, never as silent corruption.
+
+use bilevel_lsh::{BiLevelConfig, OocFlatIndex, Probe};
+use vecstore::fault::{FaultKind, FaultPlan, FaultyDataset};
+use vecstore::io::write_fvecs;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{Neighbor, OocDataset};
+
+const K: usize = 8;
+const SAMPLE: usize = 200;
+
+fn ooc_config() -> BiLevelConfig {
+    BiLevelConfig::paper_default(2.0).probe(Probe::Multi(4))
+}
+
+/// Writes a clustered corpus to a temp fvecs file; returns (path, queries).
+fn fixture(name: &str) -> (std::path::PathBuf, vecstore::Dataset) {
+    let all = synth::clustered(&ClusteredSpec::small(600), 77);
+    let (data, queries) = all.split_at(520);
+    let dir = std::env::temp_dir().join("bilevel_fault_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_fvecs(&path, &data).unwrap();
+    (path, queries)
+}
+
+/// The fault-free reference: build + serial batch answers.
+fn baseline(ooc: &OocDataset, queries: &vecstore::Dataset) -> Vec<Vec<Neighbor>> {
+    let index = OocFlatIndex::build_with(ooc, &ooc_config(), SAMPLE, 2).unwrap();
+    index.query_batch(queries, K).unwrap()
+}
+
+/// The seeded fault matrix: every transient class × 1% and 5% rates ×
+/// serial and parallel query paths. All faults are transient and capped
+/// below the retry policy's attempt budget, so every run must reproduce
+/// the fault-free answers bit-for-bit.
+#[test]
+fn transient_fault_matrix_is_bit_identical_to_fault_free() {
+    let (path, queries) = fixture("matrix.fvecs");
+    let ooc = OocDataset::open(&path).unwrap();
+    let want = baseline(&ooc, &queries);
+
+    let classes = [FaultKind::Eio, FaultKind::Eintr, FaultKind::ShortRead, FaultKind::BitFlip];
+    for (ci, &kind) in classes.iter().enumerate() {
+        for (ri, &rate) in [0.01f64, 0.05].iter().enumerate() {
+            let seed = 0x9E37 + (ci * 10 + ri) as u64;
+            let plan = FaultPlan::none(seed).with_rate(kind, rate);
+            let faulty = FaultyDataset::new(&ooc, plan);
+            let index = OocFlatIndex::build_with(&faulty, &ooc_config(), SAMPLE, 2)
+                .unwrap_or_else(|e| panic!("{kind} @ {rate}: transient-only build failed: {e}"));
+            for threads in [1usize, 4] {
+                let got = index
+                    .query_batch_with(&queries, K, threads)
+                    .unwrap_or_else(|e| panic!("{kind} @ {rate} x{threads}: query failed: {e}"));
+                assert_eq!(
+                    got, want,
+                    "{kind} @ {rate} x{threads}: answers diverged from fault-free run"
+                );
+            }
+            // The plan really fired and the retry layer really worked. At
+            // 1% a class can legitimately draw zero faults over this many
+            // reads; the 5% point must always fire.
+            let (retries, recovered, exhausted, permanent) = index.retry_stats().snapshot();
+            if rate >= 0.05 {
+                assert!(
+                    faulty.stats().injected(kind) > 0,
+                    "{kind} @ {rate}: plan injected nothing — the matrix tested nothing"
+                );
+                assert!(retries > 0 && recovered > 0, "{kind} @ {rate}: no retries recorded");
+            }
+            assert_eq!(exhausted, 0, "{kind} @ {rate}: a capped transient plan exhausted retries");
+            assert_eq!(permanent, 0);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The full mix at 2%: every class firing together, still bit-identical.
+#[test]
+fn mixed_fault_plan_is_bit_identical_to_fault_free() {
+    let (path, queries) = fixture("mixed.fvecs");
+    let ooc = OocDataset::open(&path).unwrap();
+    let want = baseline(&ooc, &queries);
+
+    let faulty = FaultyDataset::new(&ooc, FaultPlan::transient_mix(0xDEAD, 0.02));
+    let index = OocFlatIndex::build_with(&faulty, &ooc_config(), SAMPLE, 2).unwrap();
+    for threads in [1usize, 4] {
+        assert_eq!(index.query_batch_with(&queries, K, threads).unwrap(), want);
+    }
+    assert!(faulty.stats().total() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A permanently failing row is a typed, non-transient error wherever it
+/// is touched — the retry layer must not spin on it, and the build must
+/// fail cleanly rather than panic or corrupt.
+#[test]
+fn permanent_row_failure_surfaces_as_a_typed_error() {
+    use vecstore::RowSource;
+    let (path, _queries) = fixture("permanent.fvecs");
+    let ooc = OocDataset::open(&path).unwrap();
+    let plan = FaultPlan::none(0xBAD).with_permanent_rows(vec![0]);
+    let faulty = FaultyDataset::new(&ooc, plan);
+
+    // Direct read: typed error, classified non-transient, counted.
+    let mut buf = vec![0.0f32; ooc.dim()];
+    let err = faulty.read_row_into(0, &mut buf).unwrap_err();
+    assert!(!vecstore::is_transient(&err), "permanent failure must not classify transient");
+    assert_eq!(faulty.stats().permanent(), 1);
+
+    // Build reads row 0 in its first chunk: fails with the typed I/O
+    // variant, and quickly — the retry layer does not burn its budget on
+    // a failure it knows is permanent.
+    match OocFlatIndex::build_with(&faulty, &ooc_config(), SAMPLE, 2) {
+        Err(bilevel_lsh::OocBuildError::Io(_)) => {}
+        Err(other) => panic!("expected the Io variant, got {other}"),
+        Ok(_) => panic!("build over a permanently dead row 0 must fail"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// When a row faults more times than the retry policy will attempt, the
+/// error surfaces instead of looping forever — and the same fault rate
+/// under the default per-read cap succeeds, isolating exhaustion (not
+/// rate) as the failure cause.
+#[test]
+fn exhausted_retry_budget_surfaces_the_error() {
+    let (path, _queries) = fixture("exhausted.fvecs");
+    let ooc = OocDataset::open(&path).unwrap();
+
+    // Every read faults and keeps faulting past the policy's attempt cap:
+    // the build's first read can never succeed.
+    let mut plan = FaultPlan::none(0xEEE).with_rate(FaultKind::Eio, 1.0);
+    plan.max_faults_per_read = u32::MAX;
+    let faulty = FaultyDataset::new(&ooc, plan);
+    assert!(
+        OocFlatIndex::build_with(&faulty, &ooc_config(), SAMPLE, 2).is_err(),
+        "unbounded faulting must exhaust the retry budget"
+    );
+    // Control: the identical 100% rate, but capped at the default two
+    // faults per read (below the four attempts the default policy makes),
+    // recovers completely.
+    let plan = FaultPlan::none(0xEEE).with_rate(FaultKind::Eio, 1.0);
+    let faulty = FaultyDataset::new(&ooc, plan);
+    assert!(
+        OocFlatIndex::build_with(&faulty, &ooc_config(), SAMPLE, 2).is_ok(),
+        "capped faults within the attempt budget must recover"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,12 +1,62 @@
 //! The index abstraction the dispatcher executes batches against.
 
-use bilevel_lsh::{BatchResult, BiLevelIndex, Engine, Probe, ShardedIndex};
+use bilevel_lsh::{BatchResult, BiLevelIndex, Engine, Neighbor, Probe, ShardedIndex};
 use vecstore::Dataset;
 
-/// An index the service can drive: a single [`BiLevelIndex`] or a
-/// [`ShardedIndex`]. Both expose the batch-invariant `query_batch_at`
-/// path, so any micro-batch composition returns per-request answers
-/// bit-identical to serial single-query answers at the same probe rung.
+/// How much of the corpus a batch's answers actually cover: `answered`
+/// of `total` fan-out units (shards) contributed. Single-node backends
+/// are always `1/1`; a sharded fan-out with an open circuit breaker
+/// reports fewer — the response is still served, tagged partial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Fan-out units that contributed answers.
+    pub answered: usize,
+    /// Fan-out units the backend spans.
+    pub total: usize,
+}
+
+impl Coverage {
+    /// Full coverage over `total` units.
+    pub fn full(total: usize) -> Self {
+        Self { answered: total, total }
+    }
+
+    /// Whether every unit contributed (the answer is not partial).
+    pub fn is_full(self) -> bool {
+        self.answered == self.total
+    }
+}
+
+impl std::fmt::Display for Coverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.answered, self.total)
+    }
+}
+
+/// A backend batch answer: per-query neighbor lists and candidate
+/// counts, tagged with the [`Coverage`] they were computed at.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query approximate k-nearest neighbors, ascending distance.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Per-query deduplicated candidate counts.
+    pub candidates: Vec<usize>,
+    /// How much of the backend's fan-out contributed.
+    pub coverage: Coverage,
+}
+
+impl From<BatchResult> for BatchOutcome {
+    fn from(r: BatchResult) -> Self {
+        Self { neighbors: r.neighbors, candidates: r.candidates, coverage: Coverage::full(1) }
+    }
+}
+
+/// An index the service can drive: a single [`BiLevelIndex`], a
+/// [`ShardedIndex`], or a [`crate::fanout::FanoutBackend`] probing
+/// shards independently behind circuit breakers. All expose the
+/// batch-invariant `query_batch_at` path, so any micro-batch composition
+/// returns per-request answers bit-identical to serial single-query
+/// answers (at full coverage).
 pub trait Backend: Send + Sync + 'static {
     /// Vector dimensionality accepted by [`crate::Service::submit`].
     fn dim(&self) -> usize;
@@ -17,14 +67,15 @@ pub trait Backend: Send + Sync + 'static {
     /// Whether a (possibly degraded) probe can run on this index.
     fn supports_probe(&self, probe: Probe) -> bool;
 
-    /// Batch query at an explicit probe rung, batch-invariant semantics.
+    /// Batch query at an explicit probe rung, batch-invariant semantics,
+    /// tagged with the coverage achieved.
     fn query_batch_at(
         &self,
         queries: &Dataset,
         k: usize,
         engine: Engine,
         probe: Probe,
-    ) -> BatchResult;
+    ) -> BatchOutcome;
 }
 
 impl Backend for BiLevelIndex<'static> {
@@ -46,8 +97,8 @@ impl Backend for BiLevelIndex<'static> {
         k: usize,
         engine: Engine,
         probe: Probe,
-    ) -> BatchResult {
-        BiLevelIndex::query_batch_at(self, queries, k, engine, probe)
+    ) -> BatchOutcome {
+        BiLevelIndex::query_batch_at(self, queries, k, engine, probe).into()
     }
 }
 
@@ -70,7 +121,7 @@ impl Backend for ShardedIndex {
         k: usize,
         engine: Engine,
         probe: Probe,
-    ) -> BatchResult {
-        ShardedIndex::query_batch_at(self, queries, k, engine, probe)
+    ) -> BatchOutcome {
+        ShardedIndex::query_batch_at(self, queries, k, engine, probe).into()
     }
 }

@@ -127,12 +127,13 @@ fn run_loop(
     k: usize,
     deadline: Option<Duration>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let handle = service.handle();
+    let handle = service.handle()?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let mut pending: VecDeque<Ticket> = VecDeque::new();
     let mut retries = 0u64;
+    let mut failed = 0u64;
 
     for line in stdin.lock().lines() {
         let line = line?;
@@ -153,7 +154,7 @@ fn run_loop(
                 Err(SubmitError::Overloaded) => {
                     retries += 1;
                     match pending.pop_front() {
-                        Some(oldest) => print_response(&mut out, &oldest.wait()?)?,
+                        Some(oldest) => print_response(&mut out, oldest.wait(), &mut failed)?,
                         None => std::thread::sleep(Duration::from_micros(50)),
                     }
                 }
@@ -164,11 +165,11 @@ fn run_loop(
         // Opportunistically flush whatever already finished, in order.
         while let Some(resp) = pending.front().and_then(|t| t.try_wait()) {
             pending.pop_front();
-            print_response(&mut out, &resp)?;
+            print_response(&mut out, resp, &mut failed)?;
         }
     }
     for ticket in pending {
-        print_response(&mut out, &ticket.wait()?)?;
+        print_response(&mut out, ticket.wait(), &mut failed)?;
     }
     out.flush()?;
     drop(handle);
@@ -185,6 +186,11 @@ fn run_loop(
         stats.responses_by_level, stats.shed, stats.deadline_missed
     );
     eprintln!(
+        "failures: {failed} failed queries ({} panicked), {} partial-coverage responses, \
+         {} dispatcher restarts",
+        stats.panicked, stats.partial_responses, stats.dispatcher_restarts
+    );
+    eprintln!(
         "latency p50 {:?}, p95 {:?}, p99 {:?}, max {:?}",
         stats.latency_p50, stats.latency_p95, stats.latency_p99, stats.latency_max
     );
@@ -192,13 +198,31 @@ fn run_loop(
     Ok(())
 }
 
-fn print_response<W: Write>(out: &mut W, resp: &QueryResponse) -> std::io::Result<()> {
+/// Prints one output line per resolved ticket, keeping input order even
+/// for failed queries: a typed failure becomes an `ERROR ...` line (and
+/// a stderr note) instead of killing the whole session.
+fn print_response<W: Write>(
+    out: &mut W,
+    resp: Result<QueryResponse, knn_serve::ResponseError>,
+    failed: &mut u64,
+) -> std::io::Result<()> {
+    let resp = match resp {
+        Ok(resp) => resp,
+        Err(e) => {
+            *failed += 1;
+            eprintln!("query failed: {e}");
+            return writeln!(out, "ERROR {e}");
+        }
+    };
     let mut line = String::new();
     for (i, n) in resp.neighbors.iter().enumerate() {
         if i > 0 {
             line.push(' ');
         }
         line.push_str(&format!("{}:{:.6}", n.id, n.dist));
+    }
+    if !resp.coverage.is_full() {
+        line.push_str(&format!(" #partial={}", resp.coverage));
     }
     writeln!(out, "{line}")
 }

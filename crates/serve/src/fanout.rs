@@ -1,0 +1,489 @@
+//! Sharded fan-out behind per-shard circuit breakers.
+//!
+//! [`FanoutBackend`] probes each shard of a [`ShardedIndex`]
+//! independently (instead of the index's own lockstep fan-out) and
+//! merges whatever answered. A shard whose backend keeps panicking trips
+//! its breaker: further batches skip it — serving partial,
+//! [`Coverage`]-tagged results from the healthy shards — until a timed
+//! half-open probe succeeds and re-closes the breaker. One failing shard
+//! degrades answers; it never takes the service down.
+//!
+//! # Breaker states
+//!
+//! ```text
+//!            failure x threshold              open_for elapsed
+//!  Closed ───────────────────────▶ Open ───────────────────────▶ HalfOpen
+//!    ▲                              ▲                               │
+//!    │            probe succeeds    │  probe fails                  │
+//!    └──────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! Every transition and every skipped shard is counted in [`FaultStats`].
+
+use crate::backend::{Backend, BatchOutcome, Coverage};
+use bilevel_lsh::{BatchResult, Engine, Probe, ShardedIndex};
+use shortlist::merge_topk;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use vecstore::{Dataset, Neighbor};
+
+/// Knobs for the per-shard circuit breakers.
+#[derive(Debug, Clone)]
+pub struct FanoutConfig {
+    /// Consecutive failures that trip a shard's breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects a shard before allowing one
+    /// half-open probe.
+    pub open_for: Duration,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 3, open_for: Duration::from_millis(100) }
+    }
+}
+
+impl FanoutConfig {
+    /// Builder-style failure threshold.
+    pub fn failure_threshold(mut self, n: u32) -> Self {
+        assert!(n > 0, "failure_threshold must be positive");
+        self.failure_threshold = n;
+        self
+    }
+
+    /// Builder-style open duration.
+    pub fn open_for(mut self, d: Duration) -> Self {
+        self.open_for = d;
+        self
+    }
+}
+
+/// Failure-event counters for the fan-out layer, shared via
+/// [`FanoutBackend::fault_stats`]. All counters are monotonic.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    shard_panics: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_closes: AtomicU64,
+    half_open_probes: AtomicU64,
+    shards_skipped: AtomicU64,
+}
+
+impl FaultStats {
+    /// Per-shard batch calls that panicked.
+    pub fn shard_panics(&self) -> u64 {
+        self.shard_panics.load(Ordering::Relaxed)
+    }
+
+    /// Breaker transitions into `Open` (trips and failed probes).
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens.load(Ordering::Relaxed)
+    }
+
+    /// Breaker recoveries: half-open probes that succeeded and re-closed.
+    pub fn breaker_closes(&self) -> u64 {
+        self.breaker_closes.load(Ordering::Relaxed)
+    }
+
+    /// Half-open probes attempted after `open_for` elapsed.
+    pub fn half_open_probes(&self) -> u64 {
+        self.half_open_probes.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard batch calls skipped because the breaker was open.
+    pub fn shards_skipped(&self) -> u64 {
+        self.shards_skipped.load(Ordering::Relaxed)
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A shard-addressable index the fan-out layer can drive. Implemented
+/// for [`Arc<ShardedIndex>`]; tests wrap it to inject per-shard panics.
+pub trait ShardSource: Send + Sync + 'static {
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// The full-service-level probe.
+    fn probe(&self) -> Probe;
+
+    /// Whether a (possibly degraded) probe can run on this index.
+    fn supports_probe(&self, probe: Probe) -> bool;
+
+    /// Number of shards the corpus is split into.
+    fn num_shards(&self) -> usize;
+
+    /// Batch top-k against one shard: global row ids, final (sqrt'd)
+    /// distances, directly mergeable across shards.
+    fn query_shard_batch_at(
+        &self,
+        shard: usize,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult;
+}
+
+impl ShardSource for Arc<ShardedIndex> {
+    fn dim(&self) -> usize {
+        self.data().dim()
+    }
+
+    fn probe(&self) -> Probe {
+        self.config().probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        ShardedIndex::supports_probe(self, probe)
+    }
+
+    fn num_shards(&self) -> usize {
+        ShardedIndex::num_shards(self)
+    }
+
+    fn query_shard_batch_at(
+        &self,
+        shard: usize,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        ShardedIndex::query_shard_batch_at(self, shard, queries, k, engine, probe)
+    }
+}
+
+/// One breaker's phase, observable via [`FanoutBackend::breaker_states`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Healthy: batches go to the shard.
+    Closed,
+    /// Tripped: batches skip the shard until the open window elapses.
+    Open,
+    /// Probing: the next batch tests whether the shard recovered.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// A fan-out backend over a [`ShardSource`]: per-shard batch queries,
+/// per-shard circuit breakers, coverage-tagged merges.
+///
+/// At full coverage, `Probe::Home` / `Probe::Multi` answers are
+/// bit-identical to the underlying index's lockstep
+/// `query_batch_at` (the per-shard candidate sets partition the
+/// unsharded set). `Probe::Hierarchical` escalates per shard against the
+/// fixed floor, which can probe deeper than lockstep — a candidate
+/// superset, still exact over its candidates. At partial coverage the
+/// merge covers only the healthy shards' rows.
+pub struct FanoutBackend<S: ShardSource = Arc<ShardedIndex>> {
+    source: S,
+    config: FanoutConfig,
+    breakers: Mutex<Vec<BreakerState>>,
+    stats: Arc<FaultStats>,
+}
+
+impl<S: ShardSource> FanoutBackend<S> {
+    /// Wraps `source` with one closed breaker per shard.
+    pub fn new(source: S, config: FanoutConfig) -> Self {
+        let n = source.num_shards();
+        assert!(n > 0, "fan-out needs at least one shard");
+        Self {
+            source,
+            config,
+            breakers: Mutex::new(vec![BreakerState::Closed { failures: 0 }; n]),
+            stats: Arc::new(FaultStats::default()),
+        }
+    }
+
+    /// The shared failure-event counters (clone the `Arc` to watch them
+    /// from outside the service).
+    pub fn fault_stats(&self) -> Arc<FaultStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A snapshot of every breaker's phase, indexed by shard.
+    pub fn breaker_states(&self) -> Vec<BreakerPhase> {
+        self.lock_breakers()
+            .iter()
+            .map(|s| match s {
+                BreakerState::Closed { .. } => BreakerPhase::Closed,
+                BreakerState::Open { .. } => BreakerPhase::Open,
+                BreakerState::HalfOpen => BreakerPhase::HalfOpen,
+            })
+            .collect()
+    }
+
+    fn lock_breakers(&self) -> std::sync::MutexGuard<'_, Vec<BreakerState>> {
+        // Breaker updates are single-assignment transitions; a poisoning
+        // panic cannot leave them inconsistent — recover and continue.
+        self.breakers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether `shard` may be queried now. Advances `Open → HalfOpen`
+    /// when the open window has elapsed.
+    fn admit(&self, shard: usize, now: Instant) -> bool {
+        let mut breakers = self.lock_breakers();
+        match breakers[shard] {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } if now >= until => {
+                breakers[shard] = BreakerState::HalfOpen;
+                FaultStats::bump(&self.stats.half_open_probes);
+                true
+            }
+            BreakerState::Open { .. } => {
+                FaultStats::bump(&self.stats.shards_skipped);
+                false
+            }
+            // Concurrent batches during a probe ride along with it.
+            BreakerState::HalfOpen => true,
+        }
+    }
+
+    fn on_success(&self, shard: usize) {
+        let mut breakers = self.lock_breakers();
+        if matches!(breakers[shard], BreakerState::HalfOpen) {
+            FaultStats::bump(&self.stats.breaker_closes);
+        }
+        breakers[shard] = BreakerState::Closed { failures: 0 };
+    }
+
+    fn on_failure(&self, shard: usize, now: Instant) {
+        FaultStats::bump(&self.stats.shard_panics);
+        let mut breakers = self.lock_breakers();
+        let open = BreakerState::Open { until: now + self.config.open_for };
+        match breakers[shard] {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    breakers[shard] = open;
+                    FaultStats::bump(&self.stats.breaker_opens);
+                } else {
+                    breakers[shard] = BreakerState::Closed { failures };
+                }
+            }
+            // A failed probe re-opens for another full window.
+            BreakerState::HalfOpen => {
+                breakers[shard] = open;
+                FaultStats::bump(&self.stats.breaker_opens);
+            }
+            // Already open (a concurrent batch raced the trip): keep the
+            // existing window.
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+impl<S: ShardSource> Backend for FanoutBackend<S> {
+    fn dim(&self) -> usize {
+        self.source.dim()
+    }
+
+    fn probe(&self) -> Probe {
+        self.source.probe()
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        self.source.supports_probe(probe)
+    }
+
+    fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchOutcome {
+        let total = self.source.num_shards();
+        let mut per_shard: Vec<Option<BatchResult>> = Vec::with_capacity(total);
+        for shard in 0..total {
+            let now = Instant::now();
+            if !self.admit(shard, now) {
+                per_shard.push(None);
+                continue;
+            }
+            // Contain a panicking shard: it fails alone, trips its own
+            // breaker, and the batch is answered from the rest.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.source.query_shard_batch_at(shard, queries, k, engine, probe)
+            }));
+            match result {
+                Ok(r) => {
+                    self.on_success(shard);
+                    per_shard.push(Some(r));
+                }
+                Err(_) => {
+                    self.on_failure(shard, Instant::now());
+                    per_shard.push(None);
+                }
+            }
+        }
+        let answered = per_shard.iter().flatten().count();
+        let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
+        let mut candidates: Vec<usize> = Vec::with_capacity(queries.len());
+        for q in 0..queries.len() {
+            let lists: Vec<Vec<Neighbor>> =
+                per_shard.iter().flatten().map(|r| r.neighbors[q].clone()).collect();
+            neighbors.push(merge_topk(&lists, k));
+            candidates.push(per_shard.iter().flatten().map(|r| r.candidates[q]).sum());
+        }
+        BatchOutcome { neighbors, candidates, coverage: Coverage { answered, total } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bilevel_lsh::BiLevelConfig;
+    use std::sync::atomic::AtomicBool;
+    use vecstore::synth::{self, ClusteredSpec};
+
+    fn sharded() -> (Arc<ShardedIndex>, Dataset) {
+        let all = synth::clustered(&ClusteredSpec::small(500), 3);
+        let (data, queries) = all.split_at(440);
+        let idx = ShardedIndex::build(data, &BiLevelConfig::paper_default(2.0), 3);
+        (Arc::new(idx), queries)
+    }
+
+    /// Delegates to a real sharded index but panics on one designated
+    /// shard while the switch is on.
+    struct FlakyShard {
+        inner: Arc<ShardedIndex>,
+        bad_shard: usize,
+        failing: AtomicBool,
+    }
+
+    impl ShardSource for Arc<FlakyShard> {
+        fn dim(&self) -> usize {
+            self.inner.data().dim()
+        }
+
+        fn probe(&self) -> Probe {
+            self.inner.config().probe
+        }
+
+        fn supports_probe(&self, probe: Probe) -> bool {
+            self.inner.supports_probe(probe)
+        }
+
+        fn num_shards(&self) -> usize {
+            self.inner.num_shards()
+        }
+
+        fn query_shard_batch_at(
+            &self,
+            shard: usize,
+            queries: &Dataset,
+            k: usize,
+            engine: Engine,
+            probe: Probe,
+        ) -> BatchResult {
+            if shard == self.bad_shard && self.failing.load(Ordering::Relaxed) {
+                panic!("injected shard failure");
+            }
+            self.inner.query_shard_batch_at(shard, queries, k, engine, probe)
+        }
+    }
+
+    fn one_query(queries: &Dataset, q: usize) -> Dataset {
+        let mut d = Dataset::new(queries.dim());
+        d.push(queries.row(q));
+        d
+    }
+
+    #[test]
+    fn healthy_fanout_matches_lockstep_answers() {
+        let (idx, queries) = sharded();
+        let fanout = FanoutBackend::new(Arc::clone(&idx), FanoutConfig::default());
+        for probe in [Probe::Home, Probe::Multi(8)] {
+            let got = fanout.query_batch_at(&queries, 9, Engine::Serial, probe);
+            let want = idx.query_batch_at(&queries, 9, Engine::Serial, probe);
+            assert!(got.coverage.is_full());
+            assert_eq!(got.coverage.total, 3);
+            assert_eq!(got.neighbors, want.neighbors);
+            assert_eq!(got.candidates, want.candidates);
+        }
+        assert_eq!(fanout.fault_stats().shard_panics(), 0);
+        assert!(fanout.breaker_states().iter().all(|&s| s == BreakerPhase::Closed));
+    }
+
+    #[test]
+    fn panicking_shard_serves_partial_then_recovers() {
+        let (idx, queries) = sharded();
+        let flaky = Arc::new(FlakyShard {
+            inner: Arc::clone(&idx),
+            bad_shard: 1,
+            failing: AtomicBool::new(true),
+        });
+        let config =
+            FanoutConfig::default().failure_threshold(2).open_for(Duration::from_millis(20));
+        let fanout = FanoutBackend::new(Arc::clone(&flaky), config);
+        let stats = fanout.fault_stats();
+        let q = one_query(&queries, 0);
+
+        // Failures below the threshold: partial answers, breaker still
+        // closed (each call retries the shard).
+        let first = fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        assert_eq!(first.coverage, Coverage { answered: 2, total: 3 });
+        assert_eq!(fanout.breaker_states()[1], BreakerPhase::Closed);
+
+        // Second consecutive failure trips the breaker.
+        fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        assert_eq!(fanout.breaker_states()[1], BreakerPhase::Open);
+        assert_eq!(stats.breaker_opens(), 1);
+        assert_eq!(stats.shard_panics(), 2);
+
+        // While open, the shard is skipped without touching it.
+        let skipped = fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        assert_eq!(skipped.coverage, Coverage { answered: 2, total: 3 });
+        assert_eq!(stats.shard_panics(), 2, "open breaker must not probe the shard");
+        assert!(stats.shards_skipped() >= 1);
+
+        // Heal the shard, wait out the window: the half-open probe
+        // succeeds, the breaker closes, and answers are full again —
+        // bit-identical to the healthy lockstep fan-out.
+        flaky.failing.store(false, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(25));
+        let healed = fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        assert!(healed.coverage.is_full());
+        assert_eq!(stats.half_open_probes(), 1);
+        assert_eq!(stats.breaker_closes(), 1);
+        assert_eq!(fanout.breaker_states()[1], BreakerPhase::Closed);
+        assert_eq!(
+            healed.neighbors,
+            idx.query_batch_at(&q, 5, Engine::Serial, Probe::Home).neighbors
+        );
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_the_breaker() {
+        let (idx, queries) = sharded();
+        let flaky =
+            Arc::new(FlakyShard { inner: idx, bad_shard: 2, failing: AtomicBool::new(true) });
+        let config =
+            FanoutConfig::default().failure_threshold(1).open_for(Duration::from_millis(10));
+        let fanout = FanoutBackend::new(Arc::clone(&flaky), config);
+        let stats = fanout.fault_stats();
+        let q = one_query(&queries, 1);
+
+        fanout.query_batch_at(&q, 3, Engine::Serial, Probe::Home);
+        assert_eq!(fanout.breaker_states()[2], BreakerPhase::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        // Probe fires, shard still broken: back to Open for another window.
+        fanout.query_batch_at(&q, 3, Engine::Serial, Probe::Home);
+        assert_eq!(fanout.breaker_states()[2], BreakerPhase::Open);
+        assert_eq!(stats.half_open_probes(), 1);
+        assert_eq!(stats.breaker_opens(), 2);
+        assert_eq!(stats.breaker_closes(), 0);
+    }
+}

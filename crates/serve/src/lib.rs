@@ -20,20 +20,30 @@
 //! would otherwise miss their deadline, tagging each response with the
 //! [`ServiceLevel`] actually used.
 //!
-//! Backends: a single [`bilevel_lsh::BiLevelIndex`] or a
+//! Backends: a single [`bilevel_lsh::BiLevelIndex`], a
 //! [`bilevel_lsh::ShardedIndex`] fanning each logical query across `N`
-//! engine shards and merging per-shard top-k lists — both answer
-//! bit-identically at full service level.
+//! engine shards and merging per-shard top-k lists (both answer
+//! bit-identically at full service level), or a [`FanoutBackend`]
+//! probing shards independently behind per-shard circuit breakers and
+//! serving [`Coverage`]-tagged partial results when a shard is down.
+//!
+//! Failure containment: a backend panic fails only its own batch group
+//! (typed [`ResponseError::Panicked`]); a dispatcher crash is restarted
+//! by a supervisor; and a [`Ticket`] always resolves — success, typed
+//! error, or timeout — never a hang, even when the service dies.
 //!
 //! Everything is plain `std` — threads and `mpsc` channels, no async
 //! runtime — matching the repo's no-new-dependencies constraint.
 
 pub mod backend;
+pub mod fanout;
 pub mod service;
 pub mod stats;
 
-pub use backend::Backend;
+pub use backend::{Backend, BatchOutcome, Coverage};
+pub use fanout::{BreakerPhase, FanoutBackend, FanoutConfig, FaultStats, ShardSource};
 pub use service::{
-    Handle, QueryResponse, Service, ServiceConfig, ServiceLevel, SubmitError, Ticket,
+    Handle, QueryResponse, ResponseError, ServeError, Service, ServiceConfig, ServiceLevel,
+    SubmitError, Ticket,
 };
 pub use stats::ServiceStats;

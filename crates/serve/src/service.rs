@@ -1,10 +1,14 @@
 //! The service front object, admission control, and the micro-batching
-//! dispatcher.
+//! dispatcher — with failure containment: per-batch panic isolation, a
+//! supervisor that restarts a crashed dispatcher, and the guarantee that
+//! a [`Ticket`] always resolves (success, typed error, or timeout —
+//! never a hang).
 
-use crate::backend::Backend;
+use crate::backend::{Backend, Coverage};
 use crate::stats::{ServiceStats, SharedStats};
 use bilevel_lsh::{Engine, Probe};
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -29,6 +33,12 @@ pub struct ServiceConfig {
     /// `estimated_latency * safety_factor <= time_remaining`. Larger values
     /// degrade earlier.
     pub safety_factor: f64,
+    /// How many times the supervisor restarts a dispatcher whose run loop
+    /// panicked (per-batch panics are contained without a restart — this
+    /// bounds crash loops from systemic failures). Past the cap the
+    /// service answers everything queued with
+    /// [`ResponseError::ServiceDied`] and closes.
+    pub max_dispatcher_restarts: u32,
 }
 
 impl Default for ServiceConfig {
@@ -39,6 +49,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             engine: Engine::Serial,
             safety_factor: 1.5,
+            max_dispatcher_restarts: 8,
         }
     }
 }
@@ -68,6 +79,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Builder-style dispatcher restart cap.
+    pub fn max_dispatcher_restarts(mut self, n: u32) -> Self {
+        self.max_dispatcher_restarts = n;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
@@ -84,8 +101,10 @@ impl ServiceConfig {
 pub enum SubmitError {
     /// The admission queue is full — shed load or retry later.
     Overloaded,
-    /// The service has shut down.
+    /// The dispatcher is gone (the queue is disconnected).
     Closed,
+    /// The service object has already been shut down — no new handles.
+    ShutDown,
     /// The query vector's dimensionality does not match the index.
     DimMismatch {
         /// Dimensionality the index was built with.
@@ -110,6 +129,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Overloaded => write!(f, "admission queue full"),
             SubmitError::Closed => write!(f, "service closed"),
+            SubmitError::ShutDown => write!(f, "service already shut down"),
             SubmitError::DimMismatch { expected, got } => {
                 write!(f, "query dimension {got} does not match index dimension {expected}")
             }
@@ -121,6 +141,69 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why an *accepted* request failed to produce an answer. Unlike
+/// [`SubmitError`] (reported at admission), these resolve a [`Ticket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseError {
+    /// The backend panicked executing this request's batch group. Only
+    /// that group's requests fail; the dispatcher keeps serving.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The dispatcher died (or exhausted its restart budget) before
+    /// answering. The request was not executed.
+    ServiceDied,
+    /// [`Ticket::wait_timeout`] gave up before the response arrived. The
+    /// query may still complete; the ticket is consumed regardless.
+    WaitTimeout,
+}
+
+impl std::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseError::Panicked { message } => write!(f, "backend panicked: {message}"),
+            ResponseError::ServiceDied => write!(f, "service died before answering"),
+            ResponseError::WaitTimeout => write!(f, "timed out waiting for the response"),
+        }
+    }
+}
+
+impl std::error::Error for ResponseError {}
+
+/// Either rejection at admission or failure after acceptance — the
+/// end-to-end error type of [`Handle::query_blocking`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Rejected at admission.
+    Submit(SubmitError),
+    /// Accepted but failed to produce an answer.
+    Response(ResponseError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Submit(e) => write!(f, "{e}"),
+            ServeError::Response(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SubmitError> for ServeError {
+    fn from(e: SubmitError) -> Self {
+        ServeError::Submit(e)
+    }
+}
+
+impl From<ResponseError> for ServeError {
+    fn from(e: ResponseError) -> Self {
+        ServeError::Response(e)
+    }
+}
 
 /// The service level a response was answered at: rung 0 is the full
 /// configured probe budget; higher rungs are successively degraded rungs
@@ -149,8 +232,9 @@ impl std::fmt::Display for ServiceLevel {
 #[derive(Debug, Clone)]
 pub struct QueryResponse {
     /// Approximate k-nearest neighbors, ascending distance. At
-    /// [`ServiceLevel::is_full`] these are bit-identical to the serial
-    /// single-query answer of the underlying index.
+    /// [`ServiceLevel::is_full`] and full [`Coverage`] these are
+    /// bit-identical to the serial single-query answer of the underlying
+    /// index.
     pub neighbors: Vec<Neighbor>,
     /// Deduplicated short-list candidate count for this query.
     pub candidates: usize,
@@ -158,41 +242,65 @@ pub struct QueryResponse {
     pub level: ServiceLevel,
     /// The concrete probe configuration of that rung.
     pub probe: Probe,
+    /// How much of the backend's fan-out contributed (partial when a
+    /// circuit breaker had a shard open).
+    pub coverage: Coverage,
     /// End-to-end latency, submission to response.
     pub latency: Duration,
     /// Size of the micro-batch this request rode in.
     pub batch_size: usize,
 }
 
+type Reply = Result<QueryResponse, ResponseError>;
+
 struct Job {
     vector: Vec<f32>,
     k: usize,
     deadline: Option<Instant>,
     enqueued: Instant,
-    reply: SyncSender<QueryResponse>,
+    reply: SyncSender<Reply>,
 }
 
 /// A pending response. Dropping the ticket abandons the response (the
 /// query still executes).
+///
+/// A ticket always resolves: if the dispatcher dies — even by panic,
+/// even mid-batch — every pending job's reply channel is either answered
+/// with [`ResponseError::ServiceDied`] or dropped, which
+/// [`Ticket::wait`] reports as the same typed error. Waiting can never
+/// hang on a dead service.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: Receiver<QueryResponse>,
+    rx: Receiver<Reply>,
 }
 
 impl Ticket {
-    /// Blocks until the response arrives.
+    /// Blocks until the request resolves.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Closed`] if the dispatcher terminated without
-    /// answering (it answers everything submitted before shutdown, so this
-    /// indicates a dispatcher panic).
-    pub fn wait(self) -> Result<QueryResponse, SubmitError> {
-        self.rx.recv().map_err(|_| SubmitError::Closed)
+    /// [`ResponseError::Panicked`] when the backend panicked executing
+    /// this request's group; [`ResponseError::ServiceDied`] when the
+    /// dispatcher terminated without answering.
+    pub fn wait(self) -> Result<QueryResponse, ResponseError> {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err(ResponseError::ServiceDied),
+        }
+    }
+
+    /// Blocks until the request resolves or `timeout` elapses
+    /// ([`ResponseError::WaitTimeout`]). Never blocks past the timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryResponse, ResponseError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => Err(ResponseError::WaitTimeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ResponseError::ServiceDied),
+        }
     }
 
     /// Non-blocking poll; `None` while the batch is still in flight.
-    pub fn try_wait(&self) -> Option<QueryResponse> {
+    pub fn try_wait(&self) -> Option<Reply> {
         self.rx.try_recv().ok()
     }
 }
@@ -252,8 +360,8 @@ impl Handle {
         vector: &[f32],
         k: usize,
         deadline: Option<Instant>,
-    ) -> Result<QueryResponse, SubmitError> {
-        self.submit(vector, k, deadline)?.wait()
+    ) -> Result<QueryResponse, ServeError> {
+        Ok(self.submit(vector, k, deadline)?.wait()?)
     }
 
     /// A point-in-time statistics snapshot.
@@ -267,12 +375,17 @@ impl Handle {
 ///
 /// # Lifecycle
 ///
-/// [`Service::start`] spawns the dispatcher. [`Service::shutdown`] (or
-/// dropping the service) closes the service's own submission side and
-/// joins the dispatcher, which first answers everything already queued.
-/// The dispatcher only observes a closed queue once **every**
-/// [`Handle`] clone has been dropped too — drop handles before shutting
-/// down, or shutdown will wait for them.
+/// [`Service::start`] spawns the dispatcher under a supervisor: a panic
+/// escaping one batch fails only that batch's requests (typed
+/// [`ResponseError::Panicked`]); a panic escaping the run loop restarts
+/// the dispatcher in place, up to
+/// [`ServiceConfig::max_dispatcher_restarts`] times, after which queued
+/// requests resolve with [`ResponseError::ServiceDied`] and the queue
+/// closes. [`Service::shutdown`] (or dropping the service) closes the
+/// service's own submission side and joins the dispatcher, which first
+/// answers everything already queued. The dispatcher only observes a
+/// closed queue once **every** [`Handle`] clone has been dropped too —
+/// drop handles before shutting down, or shutdown will wait for them.
 pub struct Service {
     tx: Option<SyncSender<Job>>,
     stats: Arc<SharedStats>,
@@ -299,28 +412,27 @@ impl Service {
         let dispatcher = std::thread::Builder::new()
             .name("knn-serve-dispatcher".into())
             .spawn(move || {
-                Dispatcher {
+                supervise(Dispatcher {
                     backend,
-                    config,
                     estimates: vec![0.0; ladder.len()],
                     ladder,
                     stats: dispatcher_stats,
                     rx,
-                }
-                .run()
+                    config,
+                })
             })
             .expect("failed to spawn dispatcher thread");
         Self { tx: Some(tx), stats, dim, engine, dispatcher: Some(dispatcher) }
     }
 
     /// A new submitter handle for a producer thread.
-    pub fn handle(&self) -> Handle {
-        Handle {
-            tx: self.tx.clone().expect("service already shut down"),
-            stats: Arc::clone(&self.stats),
-            dim: self.dim,
-            engine: self.engine,
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] when the service has already shut down.
+    pub fn handle(&self) -> Result<Handle, SubmitError> {
+        let tx = self.tx.clone().ok_or(SubmitError::ShutDown)?;
+        Ok(Handle { tx, stats: Arc::clone(&self.stats), dim: self.dim, engine: self.engine })
     }
 
     /// Submits one query through the service's own handle.
@@ -330,7 +442,7 @@ impl Service {
         k: usize,
         deadline: Option<Instant>,
     ) -> Result<Ticket, SubmitError> {
-        self.handle().submit(vector, k, deadline)
+        self.handle()?.submit(vector, k, deadline)
     }
 
     /// A point-in-time statistics snapshot.
@@ -358,6 +470,52 @@ impl Drop for Service {
     }
 }
 
+/// Best-effort text from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The dispatcher supervisor: reruns the dispatch loop after an escaped
+/// panic (per-batch panics are contained inside [`Dispatcher::execute`]
+/// and do not reach here), up to the configured restart cap. Requests
+/// in flight when a panic escapes lose their reply channels, which their
+/// tickets observe as [`ResponseError::ServiceDied`] — never a hang. On
+/// giving up, everything still queued is answered `ServiceDied` and the
+/// queue closes.
+fn supervise<B: Backend>(mut dispatcher: Dispatcher<B>) {
+    let max_restarts = dispatcher.config.max_dispatcher_restarts;
+    let mut restarts = 0u32;
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| dispatcher.run())) {
+            // Clean exit: queue closed and drained.
+            Ok(()) => return,
+            Err(_panic) => {
+                {
+                    let mut inner =
+                        dispatcher.stats.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    inner.dispatcher_restarts += 1;
+                }
+                if restarts >= max_restarts {
+                    // Crash loop: answer everything queued with a typed
+                    // error, then close the queue by returning.
+                    while let Ok(job) = dispatcher.rx.try_recv() {
+                        dispatcher.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let _ = job.reply.try_send(Err(ResponseError::ServiceDied));
+                    }
+                    return;
+                }
+                restarts += 1;
+            }
+        }
+    }
+}
+
 /// The dispatcher: drains the admission queue into dynamic micro-batches
 /// and executes them.
 struct Dispatcher<B> {
@@ -373,7 +531,7 @@ struct Dispatcher<B> {
 }
 
 impl<B: Backend> Dispatcher<B> {
-    fn run(mut self) {
+    fn run(&mut self) {
         loop {
             // Block for the batch's first request; a closed+drained queue
             // ends the service.
@@ -438,7 +596,7 @@ impl<B: Backend> Dispatcher<B> {
             groups.entry((rung, job.k)).or_default().push(job);
         }
         {
-            let mut inner = self.stats.inner.lock().expect("stats lock poisoned");
+            let mut inner = self.stats.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.batches += 1;
             if inner.batch_size_counts.len() <= batch_size {
                 inner.batch_size_counts.resize(batch_size + 1, 0);
@@ -452,25 +610,47 @@ impl<B: Backend> Dispatcher<B> {
                 queries.push(&job.vector);
             }
             let exec_start = Instant::now();
-            let result = self.backend.query_batch_at(&queries, k, self.config.engine, probe);
+            // Contain backend panics to this group: its jobs resolve with
+            // a typed error, every other group (and the dispatcher) lives.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.backend.query_batch_at(&queries, k, self.config.engine, probe)
+            }));
+            let outcome = match result {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    let mut inner = self.stats.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    inner.panicked += jobs.len() as u64;
+                    drop(inner);
+                    for job in jobs {
+                        let _ = job
+                            .reply
+                            .try_send(Err(ResponseError::Panicked { message: message.clone() }));
+                    }
+                    continue;
+                }
+            };
             let per_request = exec_start.elapsed().as_secs_f64() / jobs.len() as f64;
             // EWMA keeps the estimate fresh under drifting load without a
             // history buffer.
             let est = &mut self.estimates[rung];
             *est = if *est == 0.0 { per_request } else { 0.7 * *est + 0.3 * per_request };
             let finished = Instant::now();
-            let mut inner = self.stats.inner.lock().expect("stats lock poisoned");
+            let mut inner = self.stats.inner.lock().unwrap_or_else(|e| e.into_inner());
             if inner.responses_by_level.len() <= rung {
                 inner.responses_by_level.resize(rung + 1, 0);
             }
             for (job, neighbors, candidates) in
-                itertools_zip(jobs, result.neighbors, result.candidates)
+                itertools_zip(jobs, outcome.neighbors, outcome.candidates)
             {
                 let latency = finished.duration_since(job.enqueued);
                 inner.completed += 1;
                 inner.responses_by_level[rung] += 1;
                 if rung > 0 {
                     inner.shed += 1;
+                }
+                if !outcome.coverage.is_full() {
+                    inner.partial_responses += 1;
                 }
                 if job.deadline.is_some_and(|d| finished > d) {
                     inner.deadline_missed += 1;
@@ -481,11 +661,12 @@ impl<B: Backend> Dispatcher<B> {
                     candidates,
                     level: ServiceLevel(rung),
                     probe,
+                    coverage: outcome.coverage,
                     latency,
                     batch_size,
                 };
                 // An abandoned ticket (receiver dropped) is not an error.
-                let _ = job.reply.try_send(response);
+                let _ = job.reply.try_send(Ok(response));
             }
         }
     }
@@ -499,7 +680,8 @@ fn itertools_zip<A, B, C>(a: Vec<A>, b: Vec<B>, c: Vec<C>) -> impl Iterator<Item
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bilevel_lsh::{BatchResult, BiLevelConfig, BiLevelIndex};
+    use crate::backend::BatchOutcome;
+    use bilevel_lsh::{BiLevelConfig, BiLevelIndex};
     use vecstore::synth::{self, ClusteredSpec};
 
     fn corpus() -> (Dataset, Dataset) {
@@ -518,12 +700,15 @@ mod tests {
             let resp = service.submit(queries.row(q), 7, None).unwrap().wait().unwrap();
             assert_eq!(resp.neighbors, direct.query(queries.row(q), 7));
             assert!(resp.level.is_full());
+            assert!(resp.coverage.is_full());
             assert_eq!(resp.probe, cfg.probe);
         }
         let stats = service.stats();
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.completed, 5);
         assert_eq!(stats.overloaded, 0);
+        assert_eq!(stats.panicked, 0);
+        assert_eq!(stats.partial_responses, 0);
         service.shutdown();
     }
 
@@ -578,12 +763,13 @@ mod tests {
             k: usize,
             _engine: Engine,
             _probe: Probe,
-        ) -> BatchResult {
+        ) -> BatchOutcome {
             self.gate.recv().expect("gate closed");
             let _ = k;
-            BatchResult {
+            BatchOutcome {
                 neighbors: vec![Vec::new(); queries.len()],
                 candidates: vec![0; queries.len()],
+                coverage: Coverage::full(1),
             }
         }
     }
@@ -662,7 +848,7 @@ mod tests {
         let (data, queries) = corpus();
         let index = BiLevelIndex::build_owned(data, &BiLevelConfig::standard(2.0));
         let service = Service::start(index, ServiceConfig::default());
-        let handle = service.handle();
+        let handle = service.handle().unwrap();
         // Shut down on a helper thread (it blocks until the handle drops).
         let joiner = std::thread::spawn(move || service.shutdown());
         std::thread::sleep(Duration::from_millis(10));
@@ -688,5 +874,76 @@ mod tests {
         assert!(stats.latency_p50 <= stats.latency_p99);
         assert_eq!(stats.queue_depth, 0);
         service.shutdown();
+    }
+
+    /// A backend that panics on vectors whose first component is negative
+    /// — lets one batch group fail while others succeed.
+    struct PoisonPillBackend {
+        dim: usize,
+    }
+
+    impl Backend for PoisonPillBackend {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn probe(&self) -> Probe {
+            Probe::Home
+        }
+
+        fn supports_probe(&self, _probe: Probe) -> bool {
+            true
+        }
+
+        fn query_batch_at(
+            &self,
+            queries: &Dataset,
+            _k: usize,
+            _engine: Engine,
+            _probe: Probe,
+        ) -> BatchOutcome {
+            for q in queries.iter() {
+                assert!(q[0] >= 0.0, "poison pill");
+            }
+            BatchOutcome {
+                neighbors: vec![Vec::new(); queries.len()],
+                candidates: vec![queries.len(); queries.len()],
+                coverage: Coverage::full(1),
+            }
+        }
+    }
+
+    #[test]
+    fn backend_panic_is_contained_to_its_batch() {
+        let service =
+            Service::start(PoisonPillBackend { dim: 2 }, ServiceConfig::default().max_batch(4));
+        let good = [1.0f32, 0.0];
+        let pill = [-1.0f32, 0.0];
+        // The panicking request resolves with a typed error...
+        let err = service.submit(&pill, 1, None).unwrap().wait().unwrap_err();
+        assert!(
+            matches!(&err, ResponseError::Panicked { message } if message.contains("poison")),
+            "got {err:?}"
+        );
+        // ...and the dispatcher is still alive to serve later requests.
+        for _ in 0..3 {
+            let resp = service.submit(&good, 1, None).unwrap().wait().unwrap();
+            assert!(resp.coverage.is_full());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.dispatcher_restarts, 0, "per-batch containment needs no restart");
+        service.shutdown();
+    }
+
+    #[test]
+    fn handle_after_shutdown_is_a_typed_error() {
+        let (data, _) = corpus();
+        let index = BiLevelIndex::build_owned(data, &BiLevelConfig::standard(2.0));
+        let mut service = Service::start(index, ServiceConfig::default());
+        service.shutdown_inner();
+        assert_eq!(service.handle().err(), Some(SubmitError::ShutDown));
+        assert_eq!(service.submit(&[0.0; 32], 1, None).unwrap_err(), SubmitError::ShutDown);
     }
 }

@@ -23,6 +23,9 @@ pub(crate) struct DispatchStats {
     pub(crate) batches: u64,
     pub(crate) shed: u64,
     pub(crate) deadline_missed: u64,
+    pub(crate) panicked: u64,
+    pub(crate) dispatcher_restarts: u64,
+    pub(crate) partial_responses: u64,
     /// `batch_size_counts[s]` = number of batches dispatched with `s`
     /// requests (index 0 unused).
     pub(crate) batch_size_counts: Vec<u64>,
@@ -34,7 +37,9 @@ pub(crate) struct DispatchStats {
 impl SharedStats {
     /// Snapshots everything into a [`ServiceStats`].
     pub(crate) fn snapshot(&self) -> ServiceStats {
-        let inner = self.inner.lock().expect("stats lock poisoned");
+        // A poisoned lock means a panic elsewhere, not corrupt counters
+        // (all writes are single-field increments) — recover and read.
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let batch_size_histogram: Vec<(usize, u64)> = inner
             .batch_size_counts
             .iter()
@@ -48,6 +53,9 @@ impl SharedStats {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             shed: inner.shed,
             deadline_missed: inner.deadline_missed,
+            panicked: inner.panicked,
+            dispatcher_restarts: inner.dispatcher_restarts,
+            partial_responses: inner.partial_responses,
             batches: inner.batches,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             batch_size_histogram,
@@ -74,6 +82,15 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Responses delivered after their deadline had already passed.
     pub deadline_missed: u64,
+    /// Requests that resolved with [`crate::ResponseError::Panicked`]
+    /// because their batch group's backend call panicked.
+    pub panicked: u64,
+    /// Times the supervisor restarted a dispatcher whose run loop
+    /// panicked (per-batch panics are contained without a restart).
+    pub dispatcher_restarts: u64,
+    /// Responses served at partial [`crate::Coverage`] (at least one
+    /// fan-out shard did not contribute, e.g. behind an open breaker).
+    pub partial_responses: u64,
     /// Micro-batches dispatched.
     pub batches: u64,
     /// Requests currently queued (submitted, not yet picked up).

@@ -1,0 +1,346 @@
+//! Failure-containment chaos tests for the service: a panicking backend
+//! must never hang a [`Ticket`], never kill unrelated requests, and a
+//! panicking *shard* behind the fan-out layer must degrade to
+//! coverage-tagged partial answers and recover through the breaker's
+//! half-open probe.
+
+use bilevel_lsh::{BatchResult, BiLevelConfig, Engine, Probe, ShardedIndex};
+use knn_serve::{
+    Backend, BatchOutcome, Coverage, FanoutBackend, FanoutConfig, ResponseError, Service,
+    ServiceConfig, ShardSource, SubmitError,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+/// Generous bound on how long any single wait may block: the never-hang
+/// contract says every ticket resolves well within this.
+const WAIT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// A backend that panics on every batch.
+struct AlwaysPanics {
+    dim: usize,
+}
+
+impl Backend for AlwaysPanics {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn probe(&self) -> Probe {
+        Probe::Home
+    }
+
+    fn supports_probe(&self, _probe: Probe) -> bool {
+        true
+    }
+
+    fn query_batch_at(
+        &self,
+        _queries: &Dataset,
+        _k: usize,
+        _engine: Engine,
+        _probe: Probe,
+    ) -> BatchOutcome {
+        panic!("chaos: backend always panics");
+    }
+}
+
+/// Every request against an always-panicking backend resolves with the
+/// typed panic error — promptly, and without killing the dispatcher.
+#[test]
+fn panicking_batches_resolve_every_ticket_with_typed_errors() {
+    let service = Service::start(
+        AlwaysPanics { dim: 4 },
+        ServiceConfig::default().max_batch(4).max_wait(Duration::from_micros(200)),
+    );
+    let handle = service.handle().unwrap();
+    let v = [1.0f32; 4];
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for _ in 0..10 {
+                    let ticket = handle.submit(&v, 3, None).expect("queue has room");
+                    let started = Instant::now();
+                    let result = ticket.wait_timeout(WAIT_DEADLINE);
+                    assert!(started.elapsed() < WAIT_DEADLINE, "wait blocked to its deadline");
+                    outcomes.push(result);
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    let mut panicked = 0u64;
+    for worker in workers {
+        for outcome in worker.join().expect("producer must not die") {
+            match outcome {
+                Err(ResponseError::Panicked { message }) => {
+                    assert!(message.contains("chaos"), "panic payload lost: {message}");
+                    panicked += 1;
+                }
+                other => panic!("expected a typed panic error, got {other:?}"),
+            }
+        }
+    }
+    assert_eq!(panicked, 40);
+    let stats = service.stats();
+    assert_eq!(stats.panicked, 40);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(
+        stats.dispatcher_restarts, 0,
+        "per-batch containment must not restart the dispatcher"
+    );
+    assert_eq!(stats.queue_depth, 0, "every queued job was accounted for");
+    drop(handle);
+    service.shutdown();
+}
+
+/// A backend whose `dim()` starts panicking after service start — the
+/// panic escapes the per-batch guard and crashes the dispatch loop
+/// itself, exercising the supervisor.
+struct DimBomb {
+    armed: AtomicBool,
+    calls: AtomicU64,
+}
+
+/// Local newtype so the foreign `Backend` trait can be implemented over
+/// a shared bomb (orphan rule).
+struct SharedBomb(Arc<DimBomb>);
+
+impl Backend for SharedBomb {
+    fn dim(&self) -> usize {
+        self.0.calls.fetch_add(1, Ordering::Relaxed);
+        if self.0.armed.load(Ordering::Relaxed) {
+            panic!("chaos: dispatcher-level failure");
+        }
+        4
+    }
+
+    fn probe(&self) -> Probe {
+        Probe::Home
+    }
+
+    fn supports_probe(&self, _probe: Probe) -> bool {
+        true
+    }
+
+    fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        _k: usize,
+        _engine: Engine,
+        _probe: Probe,
+    ) -> BatchOutcome {
+        BatchOutcome {
+            neighbors: vec![Vec::new(); queries.len()],
+            candidates: vec![0; queries.len()],
+            coverage: Coverage::full(1),
+        }
+    }
+}
+
+/// When the dispatch loop itself keeps crashing, the supervisor restarts
+/// it up to the cap, then the service dies *typed*: every outstanding or
+/// queued ticket resolves (never hangs), and new submissions are
+/// rejected cleanly.
+#[test]
+fn crashed_dispatcher_dies_typed_and_never_hangs_a_ticket() {
+    let bomb = Arc::new(DimBomb { armed: AtomicBool::new(false), calls: AtomicU64::new(0) });
+    let service = Service::start(
+        SharedBomb(Arc::clone(&bomb)),
+        ServiceConfig::default()
+            .max_batch(2)
+            .max_wait(Duration::from_micros(100))
+            .max_dispatcher_restarts(2),
+    );
+    let handle = service.handle().unwrap();
+    let v = [1.0f32; 4];
+
+    // Sanity: the service works before the bomb is armed.
+    handle.submit(&v, 1, None).unwrap().wait().unwrap();
+
+    // Arm the bomb and fire requests until the supervisor gives up. Each
+    // batch crashes the loop; after the restart budget the queue closes.
+    bomb.armed.store(true, Ordering::Relaxed);
+    let mut tickets = Vec::new();
+    let mut closed = false;
+    let started = Instant::now();
+    while started.elapsed() < WAIT_DEADLINE {
+        match handle.submit(&v, 1, None) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::Closed) => {
+                closed = true;
+                break;
+            }
+            Err(SubmitError::Overloaded) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert!(closed, "a dead dispatcher must disconnect the queue");
+
+    // Every accepted ticket resolves with a typed error — no hangs.
+    for ticket in tickets {
+        let started = Instant::now();
+        match ticket.wait_timeout(WAIT_DEADLINE) {
+            Err(ResponseError::ServiceDied) | Err(ResponseError::Panicked { .. }) => {}
+            Ok(_) => {} // a batch that raced in before the crash is fine
+            Err(other) => panic!("expected a typed death, got {other:?}"),
+        }
+        assert!(started.elapsed() < WAIT_DEADLINE, "ticket hung on a dead service");
+    }
+    let stats = service.stats();
+    assert!(
+        stats.dispatcher_restarts >= 3,
+        "expected 2 restarts + the terminal crash, saw {}",
+        stats.dispatcher_restarts
+    );
+    drop(handle);
+    service.shutdown();
+}
+
+/// Delegates to a real sharded index but panics on one designated shard
+/// while the switch is on.
+struct FlakyShard {
+    inner: Arc<ShardedIndex>,
+    bad_shard: usize,
+    failing: AtomicBool,
+}
+
+/// Local newtype so the foreign `ShardSource` trait can be implemented
+/// over a shared flaky shard (orphan rule).
+struct SharedFlaky(Arc<FlakyShard>);
+
+impl ShardSource for SharedFlaky {
+    fn dim(&self) -> usize {
+        self.0.inner.data().dim()
+    }
+
+    fn probe(&self) -> Probe {
+        self.0.inner.config().probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        self.0.inner.supports_probe(probe)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.0.inner.num_shards()
+    }
+
+    fn query_shard_batch_at(
+        &self,
+        shard: usize,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        if shard == self.0.bad_shard && self.0.failing.load(Ordering::Relaxed) {
+            panic!("chaos: injected shard failure");
+        }
+        self.0.inner.query_shard_batch_at(shard, queries, k, engine, probe)
+    }
+}
+
+/// End-to-end: one shard panicking behind the fan-out layer degrades
+/// service responses to coverage-tagged partials (counted in stats), the
+/// breaker opens, and after the shard heals a half-open probe restores
+/// full coverage with answers matching the healthy index.
+#[test]
+fn shard_failure_degrades_to_partial_coverage_then_recovers() {
+    let all = synth::clustered(&ClusteredSpec::small(500), 9);
+    let (data, queries) = all.split_at(440);
+    let index = Arc::new(ShardedIndex::build(data, &BiLevelConfig::paper_default(2.0), 3));
+    let flaky = Arc::new(FlakyShard {
+        inner: Arc::clone(&index),
+        bad_shard: 1,
+        failing: AtomicBool::new(true),
+    });
+    let fanout = FanoutBackend::new(
+        SharedFlaky(Arc::clone(&flaky)),
+        FanoutConfig::default().failure_threshold(2).open_for(Duration::from_millis(30)),
+    );
+    let fault_stats = fanout.fault_stats();
+    let service = Service::start(fanout, ServiceConfig::default());
+
+    // While the shard is down, responses arrive — partial, tagged, and
+    // still exact over the healthy shards.
+    let mut partials = 0;
+    for q in 0..4 {
+        let resp = service.submit(queries.row(q), 5, None).unwrap().wait().unwrap();
+        if !resp.coverage.is_full() {
+            assert_eq!(resp.coverage, Coverage { answered: 2, total: 3 });
+            partials += 1;
+        }
+    }
+    assert!(partials >= 3, "a dead shard must yield partial coverage");
+    assert!(fault_stats.breaker_opens() >= 1, "consecutive failures must trip the breaker");
+    assert!(service.stats().partial_responses >= 3);
+
+    // Heal the shard, let the open window lapse: the half-open probe
+    // closes the breaker and answers go back to full coverage, matching
+    // the healthy lockstep index bit-for-bit.
+    flaky.failing.store(false, Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(40));
+    let started = Instant::now();
+    loop {
+        let resp = service.submit(queries.row(5), 5, None).unwrap().wait().unwrap();
+        if resp.coverage.is_full() {
+            assert_eq!(resp.neighbors, index.query(queries.row(5), 5));
+            break;
+        }
+        assert!(started.elapsed() < WAIT_DEADLINE, "breaker never recovered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(fault_stats.half_open_probes() >= 1);
+    assert!(fault_stats.breaker_closes() >= 1);
+    service.shutdown();
+}
+
+/// `wait_timeout` on a response that never comes returns the typed
+/// timeout error instead of blocking forever.
+#[test]
+fn wait_timeout_is_bounded() {
+    struct Stuck;
+    impl Backend for Stuck {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn probe(&self) -> Probe {
+            Probe::Home
+        }
+        fn supports_probe(&self, _probe: Probe) -> bool {
+            true
+        }
+        fn query_batch_at(
+            &self,
+            _queries: &Dataset,
+            _k: usize,
+            _engine: Engine,
+            _probe: Probe,
+        ) -> BatchOutcome {
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
+        }
+    }
+    let service = Service::start(Stuck, ServiceConfig::default());
+    let ticket = service.submit(&[0.0, 0.0], 1, None).unwrap();
+    let started = Instant::now();
+    let err = ticket.wait_timeout(Duration::from_millis(50)).unwrap_err();
+    assert_eq!(err, ResponseError::WaitTimeout);
+    assert!(started.elapsed() < Duration::from_secs(5));
+    // Leak the stuck service: shutting down would join the sleeping
+    // dispatcher. Drop without shutdown is exactly the abandon path a
+    // crashing process takes, and must not hang the test binary either.
+    std::mem::forget(service);
+}

@@ -3,8 +3,8 @@
 //! single-query answers, and no response outlives its deadline by more
 //! than the batching window.
 
-use bilevel_lsh::{BatchResult, BiLevelConfig, BiLevelIndex, Engine, Probe, ShardedIndex};
-use knn_serve::{Backend, Service, ServiceConfig, SubmitError};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Engine, Probe, ShardedIndex};
+use knn_serve::{Backend, BatchOutcome, Coverage, Service, ServiceConfig, SubmitError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vecstore::synth::{self, ClusteredSpec};
@@ -33,7 +33,7 @@ fn run_stress<B: Backend>(backend: B, queries: &Dataset, expected: &[Vec<Neighbo
 
     let workers: Vec<_> = (0..PRODUCERS)
         .map(|p| {
-            let handle = service.handle();
+            let handle = service.handle().expect("service is running");
             let queries = Arc::clone(&queries);
             std::thread::spawn(move || {
                 let mut out = Vec::with_capacity(PER_PRODUCER);
@@ -60,6 +60,7 @@ fn run_stress<B: Backend>(backend: B, queries: &Dataset, expected: &[Vec<Neighbo
                 "generous deadline was degraded to {} (query {idx})",
                 response.level
             );
+            assert!(response.coverage.is_full(), "healthy backend answered partial (query {idx})");
             assert_eq!(
                 response.neighbors, expected[idx],
                 "batched answer diverged from serial answer for query {idx}"
@@ -136,11 +137,12 @@ impl Backend for SlowBackend {
         _k: usize,
         _engine: Engine,
         _probe: Probe,
-    ) -> BatchResult {
+    ) -> BatchOutcome {
         std::thread::sleep(self.per_batch);
-        BatchResult {
+        BatchOutcome {
             neighbors: vec![Vec::new(); queries.len()],
             candidates: vec![0; queries.len()],
+            coverage: Coverage::full(1),
         }
     }
 }

@@ -1,0 +1,686 @@
+//! Deterministic I/O fault injection and retry machinery for the
+//! out-of-core read path.
+//!
+//! Production kNN serving must survive the storage layer misbehaving: a
+//! transient `EIO` from a congested device, an `EINTR`-interrupted
+//! positioned read, a short read, a bit flip caught by a record checksum.
+//! None of those should fail a query — they should be retried with bounded
+//! backoff and, only if the budget runs out or the error is permanent,
+//! surface as a typed failure. This module provides both halves:
+//!
+//! * [`FaultyDataset`] wraps an [`OocDataset`](crate::ooc::OocDataset) and
+//!   injects faults on a *seeded, reproducible* schedule described by a
+//!   [`FaultPlan`], so every failure path can be exercised by deterministic
+//!   tests instead of hope;
+//! * [`RetryPolicy`] + [`RetryBudget`] classify errors as transient vs.
+//!   permanent ([`is_transient`]) and retry transients with bounded
+//!   exponential backoff under a per-query budget.
+//!
+//! The injection schedule is a pure function of `(plan.seed, row,
+//! attempt)` where `attempt` counts how many times that row (or row span)
+//! has been read. Faults are only injected for the first
+//! [`FaultPlan::max_faults_per_read`] attempts of any given row, so a
+//! retry loop with at least that many attempts *always* recovers from
+//! transient faults — which is what lets the chaos tests assert
+//! bit-identical results against the fault-free run.
+
+use crate::dataset::Dataset;
+use crate::ooc::{OocDataset, RowSource};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The classes of fault [`FaultyDataset`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A transient `EIO` (raw OS error 5), as a congested or briefly
+    /// flaky device would return.
+    Eio,
+    /// An `EINTR`-interrupted read (raw OS error 4, `ErrorKind::Interrupted`).
+    Eintr,
+    /// A short read: only part of the requested range arrives.
+    ShortRead,
+    /// A bit flip in the payload, caught by the (simulated) record
+    /// checksum before the corrupt data reaches the caller.
+    BitFlip,
+    /// Added latency — the read succeeds, just slowly.
+    Latency,
+}
+
+impl FaultKind {
+    /// All injectable fault kinds, in schedule-priority order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Eio,
+        FaultKind::Eintr,
+        FaultKind::ShortRead,
+        FaultKind::BitFlip,
+        FaultKind::Latency,
+    ];
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FaultKind::Eio => "eio",
+            FaultKind::Eintr => "eintr",
+            FaultKind::ShortRead => "short-read",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::Latency => "latency",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Marker payload carried inside injected (and detected) transient I/O
+/// errors, so [`is_transient`] can classify them without string matching.
+#[derive(Debug)]
+pub struct TransientFault {
+    /// Which fault class produced this error.
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for TransientFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FaultKind::ShortRead => write!(f, "short read (injected)"),
+            FaultKind::BitFlip => write!(f, "record checksum mismatch (injected bit flip)"),
+            kind => write!(f, "injected transient fault: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for TransientFault {}
+
+/// Classifies an I/O error as transient (worth retrying) or permanent.
+///
+/// Transient: `Interrupted` (EINTR), `TimedOut`, `WouldBlock`, a raw
+/// `EIO` (OS error 5), and any error whose payload is a
+/// [`TransientFault`] (covers injected short reads and
+/// checksum-detected bit flips — a re-read fetches clean bytes).
+/// Everything else — `NotFound`, `PermissionDenied`, genuine
+/// `InvalidData` from a malformed record — is permanent.
+pub fn is_transient(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    ) {
+        return true;
+    }
+    if e.raw_os_error() == Some(5) {
+        return true; // EIO: device-level hiccup, worth a bounded retry.
+    }
+    e.get_ref().is_some_and(|inner| inner.is::<TransientFault>())
+}
+
+/// A seeded, per-class fault schedule for [`FaultyDataset`].
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently per read
+/// attempt (first match in [`FaultKind::ALL`] order wins, so the sum may
+/// exceed 1 without panicking — later classes just starve).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the deterministic schedule.
+    pub seed: u64,
+    /// Probability of a transient `EIO` per read attempt.
+    pub eio: f64,
+    /// Probability of an `EINTR` per read attempt.
+    pub eintr: f64,
+    /// Probability of a short read per read attempt.
+    pub short_read: f64,
+    /// Probability of a checksum-detected bit flip per read attempt.
+    pub bit_flip: f64,
+    /// Probability of added latency per read attempt.
+    pub latency: f64,
+    /// How long an injected latency fault sleeps.
+    pub latency_dur: Duration,
+    /// Faults are only injected for this many attempts of any given row:
+    /// attempt `max_faults_per_read` and later always succeed, so a retry
+    /// loop with at least this many retries is guaranteed to recover.
+    pub max_faults_per_read: u32,
+    /// Rows whose reads *always* fail with a permanent (non-retryable)
+    /// error — for exercising the permanent-failure path.
+    pub permanent_rows: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for builders).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            eio: 0.0,
+            eintr: 0.0,
+            short_read: 0.0,
+            bit_flip: 0.0,
+            latency: 0.0,
+            latency_dur: Duration::from_micros(50),
+            max_faults_per_read: 2,
+            permanent_rows: Vec::new(),
+        }
+    }
+
+    /// A plan injecting every transient class at `rate` each.
+    pub fn transient_mix(seed: u64, rate: f64) -> Self {
+        Self { eio: rate, eintr: rate, short_read: rate, bit_flip: rate, ..Self::none(seed) }
+    }
+
+    /// Builder-style rate for one fault class.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        match kind {
+            FaultKind::Eio => self.eio = rate,
+            FaultKind::Eintr => self.eintr = rate,
+            FaultKind::ShortRead => self.short_read = rate,
+            FaultKind::BitFlip => self.bit_flip = rate,
+            FaultKind::Latency => self.latency = rate,
+        }
+        self
+    }
+
+    /// Builder-style permanent-failure rows.
+    pub fn with_permanent_rows(mut self, rows: Vec<usize>) -> Self {
+        self.permanent_rows = rows;
+        self
+    }
+
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Eio => self.eio,
+            FaultKind::Eintr => self.eintr,
+            FaultKind::ShortRead => self.short_read,
+            FaultKind::BitFlip => self.bit_flip,
+            FaultKind::Latency => self.latency,
+        }
+    }
+}
+
+/// Counters for every fault [`FaultyDataset`] injected, by class.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    eio: AtomicU64,
+    eintr: AtomicU64,
+    short_read: AtomicU64,
+    bit_flip: AtomicU64,
+    latency: AtomicU64,
+    permanent: AtomicU64,
+}
+
+impl FaultStats {
+    fn count(&self, kind: FaultKind) {
+        let counter = match kind {
+            FaultKind::Eio => &self.eio,
+            FaultKind::Eintr => &self.eintr,
+            FaultKind::ShortRead => &self.short_read,
+            FaultKind::BitFlip => &self.bit_flip,
+            FaultKind::Latency => &self.latency,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Injected faults of `kind` so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        let counter = match kind {
+            FaultKind::Eio => &self.eio,
+            FaultKind::Eintr => &self.eintr,
+            FaultKind::ShortRead => &self.short_read,
+            FaultKind::BitFlip => &self.bit_flip,
+            FaultKind::Latency => &self.latency,
+        };
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Injected permanent failures so far.
+    pub fn permanent(&self) -> u64 {
+        self.permanent.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults across every class (transient + permanent).
+    pub fn total(&self) -> u64 {
+        FaultKind::ALL.iter().map(|&k| self.injected(k)).sum::<u64>() + self.permanent()
+    }
+}
+
+/// splitmix64 — tiny, seedable, and good enough for a fault schedule.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a hash of `(seed, row, attempt, salt)`.
+fn draw(seed: u64, row: u64, attempt: u32, salt: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(row ^ splitmix64(attempt as u64 ^ salt)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A fault-injecting view over an [`OocDataset`]: implements
+/// [`RowSource`], so an out-of-core index built over it sees the same
+/// rows as the clean dataset — interleaved with scheduled faults.
+///
+/// Thread-safe: per-row attempt counters live behind a mutex (poison-
+/// recovering, so a panicking reader thread cannot brick injection).
+#[derive(Debug)]
+pub struct FaultyDataset<'a> {
+    inner: &'a OocDataset,
+    plan: FaultPlan,
+    stats: FaultStats,
+    /// Attempt counter per starting row, shared by row and span reads.
+    attempts: Mutex<HashMap<u64, u32>>,
+}
+
+impl<'a> FaultyDataset<'a> {
+    /// Wraps `inner` with the fault schedule in `plan`.
+    pub fn new(inner: &'a OocDataset, plan: FaultPlan) -> Self {
+        Self { inner, plan, stats: FaultStats::default(), attempts: Mutex::new(HashMap::new()) }
+    }
+
+    /// The injected-fault counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The clean dataset underneath.
+    pub fn inner(&self) -> &'a OocDataset {
+        self.inner
+    }
+
+    /// Decides the fault (if any) for this read attempt of `row`, and
+    /// advances the row's attempt counter.
+    fn decide(&self, row: u64) -> Option<FaultKind> {
+        if self.plan.permanent_rows.contains(&(row as usize)) {
+            self.stats.permanent.fetch_add(1, Ordering::Relaxed);
+            return None; // caller checks permanent_rows itself; counted here
+        }
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = attempts.entry(row).or_insert(0);
+            let a = *slot;
+            *slot += 1;
+            a
+        };
+        if attempt >= self.plan.max_faults_per_read {
+            return None;
+        }
+        for (salt, &kind) in FaultKind::ALL.iter().enumerate() {
+            let rate = self.plan.rate(kind);
+            if rate > 0.0 && draw(self.plan.seed, row, attempt, salt as u64) < rate {
+                self.stats.count(kind);
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Applies an injected fault to a read that has already filled `buf`
+    /// with clean bytes. Returns `Ok(())` when the read should proceed.
+    fn apply(&self, kind: FaultKind, buf: &mut [f32]) -> io::Result<()> {
+        match kind {
+            FaultKind::Eio => Err(io::Error::from_raw_os_error(5)),
+            FaultKind::Eintr => Err(io::Error::from_raw_os_error(4)),
+            FaultKind::ShortRead => {
+                // Only part of the payload arrived; poison the tail so a
+                // caller ignoring the error cannot silently use it.
+                let keep = buf.len() / 2;
+                for v in &mut buf[keep..] {
+                    *v = f32::NAN;
+                }
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    TransientFault { kind: FaultKind::ShortRead },
+                ))
+            }
+            FaultKind::BitFlip => {
+                // Flip a real bit, detect it with the record checksum a
+                // production storage layer would carry, reject the read.
+                let before = checksum(buf);
+                if let Some(v) = buf.first_mut() {
+                    *v = f32::from_bits(v.to_bits() ^ 1);
+                }
+                debug_assert_ne!(before, checksum(buf), "bit flip must change the checksum");
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    TransientFault { kind: FaultKind::BitFlip },
+                ))
+            }
+            FaultKind::Latency => {
+                std::thread::sleep(self.plan.latency_dur);
+                Ok(())
+            }
+        }
+    }
+
+    fn permanent_error(&self, row: usize) -> io::Error {
+        io::Error::other(format!("injected permanent fault on row {row}"))
+    }
+
+    /// Whether the span `[start, start+rows)` contains a permanent row.
+    fn permanent_in_span(&self, start: usize, rows: usize) -> Option<usize> {
+        self.plan.permanent_rows.iter().copied().find(|&r| r >= start && r < start + rows)
+    }
+}
+
+/// FNV-1a over the raw bytes — stands in for the record checksum a
+/// production storage layer would maintain.
+fn checksum(vs: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in vs {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl RowSource for FaultyDataset<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn read_row_into(&self, i: usize, buf: &mut [f32]) -> io::Result<()> {
+        if self.plan.permanent_rows.contains(&i) {
+            self.stats.permanent.fetch_add(1, Ordering::Relaxed);
+            return Err(self.permanent_error(i));
+        }
+        let fault = self.decide(i as u64);
+        self.inner.read_row_into(i, buf)?;
+        match fault {
+            Some(kind) => self.apply(kind, buf),
+            None => Ok(()),
+        }
+    }
+
+    fn read_rows_into(&self, start: usize, rows: usize, out: &mut [f32]) -> io::Result<()> {
+        if let Some(row) = self.permanent_in_span(start, rows) {
+            self.stats.permanent.fetch_add(1, Ordering::Relaxed);
+            return Err(self.permanent_error(row));
+        }
+        let fault = self.decide(start as u64);
+        self.inner.read_rows_into(start, rows, out)?;
+        match fault {
+            Some(kind) => self.apply(kind, out),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry machinery.
+// ---------------------------------------------------------------------------
+
+/// Bounded-exponential-backoff retry policy for transient I/O errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per individual read (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Retry budget shared by all reads of one query — bounds the extra
+    /// latency a single degraded query can accumulate.
+    pub budget_per_query: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            budget_per_query: 256,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — every error propagates immediately.
+    pub fn no_retries() -> Self {
+        Self { max_attempts: 1, budget_per_query: 0, ..Self::default() }
+    }
+
+    /// A fresh per-query budget for this policy.
+    pub fn budget(&self) -> RetryBudget {
+        RetryBudget { remaining: self.budget_per_query }
+    }
+
+    /// Runs `op`, retrying transient errors ([`is_transient`]) with
+    /// bounded exponential backoff while both the per-read attempt limit
+    /// and the per-query `budget` allow. Permanent errors propagate
+    /// immediately; a transient error that exhausts the attempts or the
+    /// budget propagates as-is. Every retry is counted into `stats`.
+    pub fn run<T>(
+        &self,
+        budget: &mut RetryBudget,
+        stats: &RetryStats,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut backoff = self.base_backoff;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => {
+                    if attempt > 0 {
+                        stats.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if !is_transient(&e) {
+                        stats.permanent_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    if attempt >= self.max_attempts.max(1) || !budget.consume() {
+                        stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(self.max_backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-query retry budget (see [`RetryPolicy::budget_per_query`]).
+#[derive(Debug)]
+pub struct RetryBudget {
+    remaining: u32,
+}
+
+impl RetryBudget {
+    /// Takes one retry from the budget; `false` when it is spent.
+    fn consume(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    /// Retries still available to this query.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+/// Shared counters for retry activity, exported by whatever owns the
+/// retrying read path (e.g. the out-of-core index).
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    /// Transient errors retried.
+    pub retries: AtomicU64,
+    /// Reads that succeeded after at least one retry.
+    pub recovered: AtomicU64,
+    /// Transient errors surfaced because attempts or budget ran out.
+    pub exhausted: AtomicU64,
+    /// Permanent errors surfaced without retrying.
+    pub permanent_failures: AtomicU64,
+}
+
+impl RetryStats {
+    /// A plain-number snapshot `(retries, recovered, exhausted, permanent)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.retries.load(Ordering::Relaxed),
+            self.recovered.load(Ordering::Relaxed),
+            self.exhausted.load(Ordering::Relaxed),
+            self.permanent_failures.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Reads the whole source into an in-memory [`Dataset`] with retries —
+/// a convenience for tests comparing faulty and clean reads.
+pub fn materialize_with_retries<S: RowSource>(
+    source: &S,
+    policy: &RetryPolicy,
+) -> io::Result<Dataset> {
+    let stats = RetryStats::default();
+    let mut budget = policy.budget();
+    let mut out = Dataset::with_capacity(source.dim(), source.len());
+    let mut buf = vec![0.0f32; source.dim()];
+    for i in 0..source.len() {
+        policy.run(&mut budget, &stats, || source.read_row_into(i, &mut buf))?;
+        out.push(&buf);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_fvecs;
+    use crate::synth;
+
+    fn on_disk(name: &str, dim: usize, n: usize) -> (std::path::PathBuf, Dataset) {
+        let ds = synth::gaussian(dim, n, 1.0, 7);
+        let dir = std::env::temp_dir().join("vecstore_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        write_fvecs(&path, &ds).unwrap();
+        (path, ds)
+    }
+
+    #[test]
+    fn clean_plan_reads_identically() {
+        let (path, ds) = on_disk("clean.fvecs", 6, 50);
+        let ooc = OocDataset::open(&path).unwrap();
+        let faulty = FaultyDataset::new(&ooc, FaultPlan::none(1));
+        let got = materialize_with_retries(&faulty, &RetryPolicy::no_retries()).unwrap();
+        assert_eq!(got, ds);
+        assert_eq!(faulty.stats().total(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_faults_recover_under_retries() {
+        let (path, ds) = on_disk("transient.fvecs", 5, 80);
+        let ooc = OocDataset::open(&path).unwrap();
+        // Aggressive mix: ~40% of first-attempt reads fault somehow.
+        let faulty = FaultyDataset::new(&ooc, FaultPlan::transient_mix(99, 0.1));
+        let got = materialize_with_retries(&faulty, &RetryPolicy::default()).unwrap();
+        assert_eq!(got, ds, "transient faults must never change results");
+        assert!(faulty.stats().total() > 0, "a 10% x 4-class plan on 80 rows must fire");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faults_stop_after_max_attempts() {
+        let (path, _) = on_disk("maxattempts.fvecs", 4, 20);
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut plan = FaultPlan::none(3).with_rate(FaultKind::Eio, 1.0);
+        plan.max_faults_per_read = 2;
+        let faulty = FaultyDataset::new(&ooc, plan);
+        let mut buf = vec![0.0f32; 4];
+        // Certain fault: attempts 0 and 1 fail, attempt 2 succeeds.
+        assert!(faulty.read_row_into(0, &mut buf).is_err());
+        assert!(faulty.read_row_into(0, &mut buf).is_err());
+        assert!(faulty.read_row_into(0, &mut buf).is_ok());
+        assert_eq!(faulty.stats().injected(FaultKind::Eio), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn permanent_rows_fail_without_retry() {
+        let (path, _) = on_disk("permanent.fvecs", 4, 20);
+        let ooc = OocDataset::open(&path).unwrap();
+        let faulty = FaultyDataset::new(&ooc, FaultPlan::none(5).with_permanent_rows(vec![3]));
+        let mut buf = vec![0.0f32; 4];
+        let err = faulty.read_row_into(3, &mut buf).unwrap_err();
+        assert!(!is_transient(&err));
+        // The retry loop must not mask it either.
+        let stats = RetryStats::default();
+        let policy = RetryPolicy::default();
+        let mut budget = policy.budget();
+        let err =
+            policy.run(&mut budget, &stats, || faulty.read_row_into(3, &mut buf)).unwrap_err();
+        assert!(!is_transient(&err));
+        assert_eq!(stats.snapshot().3, 1, "one permanent failure recorded");
+        assert_eq!(budget.remaining(), policy.budget_per_query, "no budget spent");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn classification_covers_all_kinds() {
+        assert!(is_transient(&io::Error::from_raw_os_error(5))); // EIO
+        assert!(is_transient(&io::Error::from_raw_os_error(4))); // EINTR
+        assert!(is_transient(&io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            TransientFault { kind: FaultKind::ShortRead }
+        )));
+        assert!(is_transient(&io::Error::new(
+            io::ErrorKind::InvalidData,
+            TransientFault { kind: FaultKind::BitFlip }
+        )));
+        assert!(!is_transient(&io::Error::new(io::ErrorKind::InvalidData, "bad record")));
+        assert!(!is_transient(&io::Error::new(io::ErrorKind::NotFound, "gone")));
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_error() {
+        let (path, _) = on_disk("budget.fvecs", 4, 10);
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut plan = FaultPlan::none(11).with_rate(FaultKind::Eio, 1.0);
+        plan.max_faults_per_read = u32::MAX; // never stop faulting
+        let faulty = FaultyDataset::new(&ooc, plan);
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            budget_per_query: 3,
+        };
+        let stats = RetryStats::default();
+        let mut budget = policy.budget();
+        let mut buf = vec![0.0f32; 4];
+        let err =
+            policy.run(&mut budget, &stats, || faulty.read_row_into(0, &mut buf)).unwrap_err();
+        assert!(is_transient(&err), "budget exhaustion surfaces the transient error itself");
+        assert_eq!(budget.remaining(), 0);
+        assert_eq!(stats.snapshot().0, 3, "exactly budget_per_query retries happened");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn latency_fault_does_not_error() {
+        let (path, ds) = on_disk("latency.fvecs", 4, 10);
+        let ooc = OocDataset::open(&path).unwrap();
+        let mut plan = FaultPlan::none(13).with_rate(FaultKind::Latency, 1.0);
+        plan.latency_dur = Duration::from_micros(10);
+        let faulty = FaultyDataset::new(&ooc, plan);
+        let mut buf = vec![0.0f32; 4];
+        faulty.read_row_into(2, &mut buf).unwrap();
+        assert_eq!(&buf[..], ds.row(2));
+        assert!(faulty.stats().injected(FaultKind::Latency) >= 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

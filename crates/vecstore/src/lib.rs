@@ -21,6 +21,7 @@
 
 pub mod dataset;
 pub mod exact;
+pub mod fault;
 pub mod io;
 pub mod metric;
 pub mod ooc;
@@ -31,5 +32,10 @@ pub mod topk;
 
 pub use dataset::Dataset;
 pub use exact::{knn, knn_batch, Neighbor};
+pub use fault::{
+    is_transient, FaultKind, FaultPlan, FaultStats, FaultyDataset, RetryBudget, RetryPolicy,
+    RetryStats, TransientFault,
+};
 pub use metric::{Cosine, InnerProduct, Metric, SquaredL2, L1, L2};
+pub use ooc::{OocDataset, RowSource};
 pub use topk::TopK;

@@ -25,6 +25,74 @@ thread_local! {
     static READ_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Abstract row-read interface over disk-resident vectors.
+///
+/// Everything downstream of the out-of-core path — index construction,
+/// candidate re-ranking, coalesced fetches — needs only these four
+/// operations, so they are a trait: [`OocDataset`] is the production
+/// implementation, and [`FaultyDataset`](crate::fault::FaultyDataset)
+/// wraps any of it with deterministic fault injection for chaos tests.
+///
+/// `Sync` is a supertrait because batch queries share one source across
+/// worker threads; implementations must support concurrent positioned
+/// reads (as `pread`-style access does).
+pub trait RowSource: Sync {
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Number of vectors in the source.
+    fn len(&self) -> usize;
+
+    /// Reads row `i` into `buf` (`buf.len() == dim`).
+    fn read_row_into(&self, i: usize, buf: &mut [f32]) -> io::Result<()>;
+
+    /// Reads the contiguous row span `[start, start + rows)` into `out`
+    /// (`rows × dim` values, row-major), ideally with one positioned read.
+    fn read_rows_into(&self, start: usize, rows: usize, out: &mut [f32]) -> io::Result<()>;
+
+    /// Whether the source holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads a contiguous block `[start, start + rows)` into an in-memory
+    /// [`Dataset`].
+    fn read_block(&self, start: usize, rows: usize) -> io::Result<Dataset> {
+        let mut flat = vec![0.0f32; rows * self.dim()];
+        self.read_rows_into(start, rows, &mut flat)?;
+        Ok(Dataset::from_flat(self.dim(), flat))
+    }
+
+    /// Iterates the source as in-memory chunks of at most `rows` vectors —
+    /// the streaming pattern out-of-core index construction uses.
+    fn chunks(&self, rows: usize) -> Chunks<'_, Self>
+    where
+        Self: Sized,
+    {
+        assert!(rows > 0, "chunk size must be positive");
+        Chunks { ds: self, next: 0, rows }
+    }
+
+    /// Strided deterministic sample of up to `n` rows, materialized in
+    /// memory. Used to fit partitioners and tune widths without loading
+    /// the full file.
+    fn sample(&self, n: usize) -> io::Result<Dataset> {
+        let n = n.clamp(1, self.len());
+        let stride = (self.len() / n).max(1);
+        let mut out = Dataset::with_capacity(self.dim(), n);
+        let mut buf = vec![0.0f32; self.dim()];
+        let mut taken = 0;
+        let mut i = 0;
+        while taken < n && i < self.len() {
+            self.read_row_into(i, &mut buf)?;
+            out.push(&buf);
+            taken += 1;
+            i += stride;
+        }
+        Ok(out)
+    }
+}
+
 /// A read-only, disk-resident `.fvecs` dataset with uniform dimension.
 ///
 /// Positioned reads (`read_row_into`) are thread-safe: the file handle is
@@ -99,7 +167,8 @@ impl OocDataset {
         self.len
     }
 
-    /// Whether the file holds no vectors (never true after `open`).
+    /// Whether the file holds no vectors (open() rejects empty files, so
+    /// this is always `false` for a successfully opened dataset).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -156,50 +225,36 @@ impl OocDataset {
             Ok(())
         })
     }
+}
 
-    /// Reads a contiguous block `[start, start + rows)` into an in-memory
-    /// [`Dataset`] with one positioned read.
-    pub fn read_block(&self, start: usize, rows: usize) -> io::Result<Dataset> {
-        let mut flat = vec![0.0f32; rows * self.dim];
-        self.read_rows_into(start, rows, &mut flat)?;
-        Ok(Dataset::from_flat(self.dim, flat))
+impl RowSource for OocDataset {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
     }
 
-    /// Iterates the file as in-memory chunks of at most `rows` vectors —
-    /// the streaming pattern out-of-core index construction uses.
-    pub fn chunks(&self, rows: usize) -> Chunks<'_> {
-        assert!(rows > 0, "chunk size must be positive");
-        Chunks { ds: self, next: 0, rows }
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
     }
 
-    /// Strided deterministic sample of up to `n` rows, materialized in
-    /// memory. Used to fit partitioners and tune widths without loading the
-    /// full file.
-    pub fn sample(&self, n: usize) -> io::Result<Dataset> {
-        let n = n.clamp(1, self.len);
-        let stride = (self.len / n).max(1);
-        let mut out = Dataset::with_capacity(self.dim, n);
-        let mut buf = vec![0.0f32; self.dim];
-        let mut taken = 0;
-        let mut i = 0;
-        while taken < n && i < self.len {
-            self.read_row_into(i, &mut buf)?;
-            out.push(&buf);
-            taken += 1;
-            i += stride;
-        }
-        Ok(out)
+    fn read_row_into(&self, i: usize, buf: &mut [f32]) -> io::Result<()> {
+        OocDataset::read_row_into(self, i, buf)
+    }
+
+    fn read_rows_into(&self, start: usize, rows: usize, out: &mut [f32]) -> io::Result<()> {
+        OocDataset::read_rows_into(self, start, rows, out)
     }
 }
 
-/// Iterator over sequential in-memory chunks of an [`OocDataset`].
-pub struct Chunks<'a> {
-    ds: &'a OocDataset,
+/// Iterator over sequential in-memory chunks of a [`RowSource`].
+pub struct Chunks<'a, S: RowSource> {
+    ds: &'a S,
     next: usize,
     rows: usize,
 }
 
-impl Iterator for Chunks<'_> {
+impl<S: RowSource> Iterator for Chunks<'_, S> {
     /// `(start_row, chunk)` — the start offset names the global row ids.
     type Item = io::Result<(usize, Dataset)>;
 

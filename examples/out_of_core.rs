@@ -15,7 +15,7 @@ use vecstore::io::write_fvecs;
 use vecstore::ooc::OocDataset;
 use vecstore::synth::{self, ClusteredSpec};
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate a corpus too big for RAM by putting it on disk. (8k rows here;
     // nothing below changes at 80M rows except the file size.)
     let corpus = synth::clustered(&ClusteredSpec::benchmark(64, 8_500), 29);
