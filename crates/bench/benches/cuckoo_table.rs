@@ -13,10 +13,14 @@ fn bench_cuckoo(c: &mut Criterion) {
     let mut group = c.benchmark_group("cuckoo");
     for &load in &[0.3f64, 0.5, 0.7, 0.85] {
         group.bench_with_input(BenchmarkId::new("build_20k", load.to_string()), &load, |b, &l| {
-            b.iter(|| CuckooTable::build_with_load(black_box(items(20_000)), l, 7).unwrap())
+            b.iter(|| {
+                CuckooTable::build_with_load(black_box(items(20_000)), l, 7)
+                    .unwrap_or_else(|e| panic!("build at load {l}: {e}"))
+            })
         });
     }
-    let table = CuckooTable::build(items(100_000), 9).unwrap();
+    let table =
+        CuckooTable::build(items(100_000), 9).unwrap_or_else(|e| panic!("100k-item build: {e}"));
     let keys: Vec<u64> = items(100_000).iter().map(|&(k, _)| k).collect();
     group.throughput(Throughput::Elements(keys.len() as u64));
     group.bench_function("lookup_100k_hits", |b| {

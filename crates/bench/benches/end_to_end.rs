@@ -3,7 +3,7 @@
 //! probe (candidate generation) and rank (short-list) phases so the
 //! parallel probe speedup is visible on its own.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Engine, FlatIndex, Probe};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Engine, FlatIndex, Probe, QueryOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use shortlist::{shortlist_serial, shortlist_workqueue};
 use std::hint::black_box;
@@ -30,13 +30,13 @@ fn bench_index(c: &mut Criterion) {
     let multi =
         BiLevelIndex::build(&data, &BiLevelConfig::paper_default(w).probe(Probe::Multi(64)));
     group.bench_function("query200_standard", |b| {
-        b.iter(|| black_box(standard.query_batch(&queries, 50)))
+        b.iter(|| black_box(standard.query_batch_opts(&queries, &QueryOptions::new(50))))
     });
     group.bench_function("query200_bilevel", |b| {
-        b.iter(|| black_box(bilevel.query_batch(&queries, 50)))
+        b.iter(|| black_box(bilevel.query_batch_opts(&queries, &QueryOptions::new(50))))
     });
     group.bench_function("query200_multiprobe", |b| {
-        b.iter(|| black_box(multi.query_batch(&queries, 50)))
+        b.iter(|| black_box(multi.query_batch_opts(&queries, &QueryOptions::new(50))))
     });
     group.finish();
 }
@@ -70,14 +70,13 @@ fn bench_pipeline_phases(c: &mut Criterion) {
         })
     });
     group.bench_function("pipeline_serial", |b| {
-        b.iter(|| black_box(index.query_batch_with(&queries, k, Engine::Serial)))
+        b.iter(|| black_box(index.query_batch_opts(&queries, &QueryOptions::new(k))))
     });
     group.bench_function("pipeline_workqueue_4t", |b| {
         b.iter(|| {
-            black_box(index.query_batch_with(
+            black_box(index.query_batch_opts(
                 &queries,
-                k,
-                Engine::WorkQueue { threads: 4, capacity: 1 << 16 },
+                &QueryOptions::new(k).engine(Engine::WorkQueue { threads: 4, capacity: 1 << 16 }),
             ))
         })
     });

@@ -1,5 +1,5 @@
 //! Extension experiment (beyond the paper): query-adaptive hash-function
-//! selection (Jégou et al., the paper's reference [12]) — draw a pool of
+//! selection (Jégou et al., the paper's reference \[12\]) — draw a pool of
 //! L' > L hash functions, probe only the L most central per query — against
 //! using a fixed set of L tables, at equal per-query table count.
 

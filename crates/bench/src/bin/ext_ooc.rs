@@ -7,7 +7,8 @@
 //! return exactly the serial baseline's `(id, dist)` lists.
 
 fn main() {
-    use bilevel_lsh::{BiLevelConfig, OocFlatIndex, Probe};
+    use bilevel_lsh::telemetry::InMemoryRecorder;
+    use bilevel_lsh::{BiLevelConfig, Engine, OocFlatIndex, Probe, QueryOptions};
     use std::time::Instant;
     use vecstore::io::write_fvecs;
     use vecstore::ooc::OocDataset;
@@ -29,10 +30,13 @@ fn main() {
     let train = train_raw.gather(&order);
 
     let dir = std::env::temp_dir().join("bilevel_bench_ooc");
-    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("creating scratch dir {}: {e}", dir.display()));
     let path = dir.join(format!("corpus_{}x{}.fvecs", args.n, args.dim));
-    write_fvecs(&path, &train).unwrap();
-    let source = OocDataset::open(&path).unwrap();
+    write_fvecs(&path, &train)
+        .unwrap_or_else(|e| panic!("writing bench corpus {}: {e}", path.display()));
+    let source = OocDataset::open(&path)
+        .unwrap_or_else(|e| panic!("opening bench corpus {}: {e}", path.display()));
     let cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Multi(8));
     let threads = [1usize, 2, 4, 8];
 
@@ -45,7 +49,10 @@ fn main() {
         let timer = Instant::now();
         let mut built = None;
         for _ in 0..args.reps {
-            built = Some(OocFlatIndex::build_with(&source, &cfg, usize::MAX, t).unwrap());
+            built = Some(
+                OocFlatIndex::build_with(&source, &cfg, usize::MAX, t)
+                    .unwrap_or_else(|e| panic!("{t}-thread out-of-core build failed: {e}")),
+            );
         }
         let secs = timer.elapsed().as_secs_f64() / args.reps as f64;
         let built = built.unwrap();
@@ -59,22 +66,33 @@ fn main() {
         println!("| {t} | {secs:.2} | {:.2}x |", serial_build / secs);
     }
 
-    let index = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+    let index = OocFlatIndex::build(&source, &cfg, usize::MAX)
+        .unwrap_or_else(|e| panic!("out-of-core build failed: {e}"));
     println!("\n## Out-of-core: batch query, {} queries, k = {}\n", queries.len(), args.k);
     println!("| method | ms | speedup |");
     println!("|---|---|---|");
     let timer = Instant::now();
     let mut baseline = Vec::new();
     for _ in 0..args.reps {
-        baseline = index.query_batch(&queries, args.k).unwrap();
+        baseline = index
+            .query_batch_per_row(&queries, args.k)
+            .unwrap_or_else(|e| panic!("serial per-row baseline failed: {e}"));
     }
     let serial_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
     println!("| serial per-row | {serial_ms:.1} | 1.00x |");
+    let recorder = InMemoryRecorder::new();
     for t in threads {
         let timer = Instant::now();
         let mut got = Vec::new();
         for _ in 0..args.reps {
-            got = index.query_batch_with(&queries, args.k, t).unwrap();
+            got = index
+                .query_batch_opts(
+                    &queries,
+                    &QueryOptions::new(args.k)
+                        .engine(Engine::PerQuery { threads: t })
+                        .recorder(&recorder),
+                )
+                .unwrap_or_else(|e| panic!("coalesced batch at {t} threads failed: {e}"));
         }
         let ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
         for (a, b) in baseline.iter().zip(&got) {
@@ -88,5 +106,7 @@ fn main() {
             serial_ms / ms
         );
     }
+    println!("\n### Stage breakdown (coalesced batches, all thread counts)\n");
+    println!("```\n{}```", recorder.snapshot().render_table());
     std::fs::remove_file(&path).ok();
 }

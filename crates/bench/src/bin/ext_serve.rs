@@ -23,9 +23,11 @@
 //! cannot buy wall-clock throughput when the batch still executes one
 //! query at a time on the same core that runs the clients).
 
+use bilevel_lsh::telemetry::InMemoryRecorder;
 use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Engine, Probe, WidthMode};
 use knn_serve::{Service, ServiceConfig, SubmitError, Ticket};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vecstore::synth::{self, ClusteredSpec};
 use vecstore::{Dataset, Neighbor};
@@ -116,12 +118,14 @@ fn main() {
         [(1usize, 1usize, 1usize), (8, PRODUCERS, 8), (32, PRODUCERS, 8)]
     {
         let engine = if max_batch == 1 { Engine::Serial } else { batch_engine };
+        let recorder = Arc::new(InMemoryRecorder::new());
         let service = Service::start(
             BiLevelIndex::build_owned(train.clone(), &cfg),
             ServiceConfig::default()
                 .engine(engine)
                 .max_batch(max_batch)
-                .max_wait(Duration::from_micros(if max_batch == 1 { 0 } else { 200 })),
+                .max_wait(Duration::from_micros(if max_batch == 1 { 0 } else { 200 }))
+                .recorder(recorder.clone()),
         );
         // Warm up schedulers and the dispatcher's latency estimates.
         drive(&service, &queries, &expected, args.k, producers, depth);
@@ -157,6 +161,10 @@ fn main() {
             );
         }
         service.shutdown();
+        if max_batch == 32 {
+            println!("\n### Stage breakdown (max_batch = 32 row)\n");
+            println!("```\n{}```", recorder.snapshot().render_table());
+        }
     }
     if cores < 4 {
         println!(
@@ -172,17 +180,23 @@ fn main() {
     println!("\n## Serving: open-loop burst with tight deadlines\n");
     let burst_cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Multi(8)).tables(6);
     let burst_reference = BiLevelIndex::build(&train, &burst_cfg);
+    let burst_recorder = Arc::new(InMemoryRecorder::new());
     let service = Service::start(
         BiLevelIndex::build_owned(train.clone(), &burst_cfg),
         ServiceConfig::default()
             .max_batch(32)
             .max_wait(Duration::from_micros(200))
-            .queue_capacity(64),
+            .queue_capacity(64)
+            .recorder(burst_recorder.clone()),
     );
     // Prime the rung-0 estimate so the ladder has something to shed from.
     let warmup = 8.min(queries.len());
     for q in 0..warmup {
-        let resp = service.submit(queries.row(q), args.k, None).unwrap().wait().unwrap();
+        let resp = service
+            .submit(queries.row(q), args.k, None)
+            .unwrap_or_else(|e| panic!("warmup query {q} rejected at admission: {e}"))
+            .wait()
+            .unwrap_or_else(|e| panic!("warmup query {q} lost its response: {e}"));
         assert_eq!(resp.neighbors, burst_reference.query(queries.row(q), args.k));
     }
     let deadline_budget = Duration::from_micros(500);
@@ -219,4 +233,6 @@ fn main() {
     assert_eq!(stats.dispatcher_restarts, 0);
     assert_eq!(stats.partial_responses, 0);
     service.shutdown();
+    println!("\n### Stage breakdown (burst, deadline-aware)\n");
+    println!("```\n{}```", burst_recorder.snapshot().render_table());
 }

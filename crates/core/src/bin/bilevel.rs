@@ -11,7 +11,7 @@
 //! Hand-rolled flag parsing keeps the binary dependency-free beyond the
 //! workspace crates.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Partition, Quantizer, WidthMode};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Partition, Quantizer, QueryOptions, WidthMode};
 use rptree::SplitRule;
 use std::path::Path;
 use std::process::ExitCode;
@@ -134,7 +134,7 @@ fn cmd_query(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let queries = read_fvecs(Path::new(queries_path))?;
     let index = BiLevelIndex::load(&data, Path::new(index_path))?;
     let t = std::time::Instant::now();
-    let result = index.query_batch(&queries, k);
+    let result = index.query_batch_opts(&queries, &QueryOptions::new(k));
     let ms = t.elapsed().as_secs_f64() * 1e3;
     // One line per query: id:distance pairs.
     let mut out = String::new();

@@ -1,0 +1,167 @@
+//! Deprecated query entry points, kept as thin shims over the unified
+//! [`QueryOptions`] API.
+//!
+//! The four legacy variants each grew one positional parameter at a time
+//! (`query_batch` → `query_batch_with` → `query_batch_at` →
+//! `query_shard_batch_at`); they now delegate, one line each, to
+//! [`BiLevelIndex::query_batch_opts`] /
+//! [`ShardedIndex::query_batch_opts`] /
+//! [`OocFlatIndex::query_batch_opts`] and stay bit-identical to their
+//! pre-consolidation behavior (the equivalence test suite in
+//! `crates/core/tests/equivalence.rs` proves it across probe modes and
+//! quantizers).
+//!
+//! | old entry point | replacement |
+//! |---|---|
+//! | `index.query_batch(q, k)` | `index.query_batch_opts(q, &QueryOptions::new(k))` |
+//! | `index.query_batch_with(q, k, engine)` | `index.query_batch_opts(q, &QueryOptions::new(k).engine(engine))` |
+//! | `index.query_batch_at(q, k, engine, probe)` | `index.query_batch_opts(q, &QueryOptions::new(k).engine(engine).probe(probe))` |
+//! | `sharded.query_shard_batch_at(s, q, k, engine, probe)` | `sharded.query_shard_batch_opts(s, q, &QueryOptions::new(k).engine(engine).probe(probe))` |
+//! | `ooc.query_batch(q, k)` | `ooc.query_batch_per_row(q, k)` (per-row baseline) or `ooc.query_batch_opts(q, &QueryOptions::new(k))` (coalesced) |
+//! | `ooc.query_batch_with(q, k, threads)` | `ooc.query_batch_opts(q, &QueryOptions::new(k).engine(Engine::PerQuery { threads }))` |
+//!
+//! This module is the **only** place in the tree allowed to reference the
+//! legacy signatures — CI greps for strays.
+
+use crate::config::Probe;
+use crate::index::{BatchResult, BiLevelIndex, Engine};
+use crate::ooc::OocFlatIndex;
+use crate::options::QueryOptions;
+use crate::shard::ShardedIndex;
+use vecstore::ooc::RowSource;
+use vecstore::{Dataset, Neighbor};
+
+impl BiLevelIndex<'_> {
+    /// Batch k-nearest-neighbor query with the batch-median escalation
+    /// rule on the serial engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k)) instead"
+    )]
+    pub fn query_batch(&self, queries: &Dataset, k: usize) -> BatchResult {
+        self.query_batch_opts(queries, &QueryOptions::new(k))
+    }
+
+    /// Batch query with an explicit engine and the batch-median escalation
+    /// rule.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k).engine(engine)) instead"
+    )]
+    pub fn query_batch_with(&self, queries: &Dataset, k: usize, engine: Engine) -> BatchResult {
+        self.query_batch_opts(queries, &QueryOptions::new(k).engine(engine))
+    }
+
+    /// Batch-invariant query under an explicit probe (fixed-floor
+    /// escalation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k).engine(engine).probe(probe)) \
+                instead"
+    )]
+    pub fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        self.query_batch_opts(queries, &QueryOptions::new(k).engine(engine).probe(probe))
+    }
+}
+
+impl ShardedIndex {
+    /// Batch query with the batch-median escalation rule on the serial
+    /// engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k)) instead"
+    )]
+    pub fn query_batch(&self, queries: &Dataset, k: usize) -> BatchResult {
+        self.query_batch_opts(queries, &QueryOptions::new(k))
+    }
+
+    /// Batch query with an explicit engine and the batch-median escalation
+    /// rule.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k).engine(engine)) instead"
+    )]
+    pub fn query_batch_with(&self, queries: &Dataset, k: usize, engine: Engine) -> BatchResult {
+        self.query_batch_opts(queries, &QueryOptions::new(k).engine(engine))
+    }
+
+    /// Batch-invariant query under an explicit probe (fixed-floor
+    /// escalation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k).engine(engine).probe(probe)) \
+                instead"
+    )]
+    pub fn query_batch_at(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        self.query_batch_opts(queries, &QueryOptions::new(k).engine(engine).probe(probe))
+    }
+
+    /// Batch query against one shard only, with independent fixed-floor
+    /// escalation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_shard_batch_opts(shard, queries, \
+                &QueryOptions::new(k).engine(engine).probe(probe)) instead"
+    )]
+    pub fn query_shard_batch_at(
+        &self,
+        shard: usize,
+        queries: &Dataset,
+        k: usize,
+        engine: Engine,
+        probe: Probe,
+    ) -> BatchResult {
+        self.query_shard_batch_opts(
+            shard,
+            queries,
+            &QueryOptions::new(k).engine(engine).probe(probe),
+        )
+    }
+}
+
+impl<S: RowSource> OocFlatIndex<'_, S> {
+    /// Batch query: the serial per-row read baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from candidate row reads.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_per_row(queries, k) (same per-row I/O pattern) or \
+                query_batch_opts(queries, &QueryOptions::new(k)) (coalesced reads) instead"
+    )]
+    pub fn query_batch(&self, queries: &Dataset, k: usize) -> std::io::Result<Vec<Vec<Neighbor>>> {
+        self.query_batch_per_row(queries, k)
+    }
+
+    /// Batch query on `threads` workers with coalesced candidate fetches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from candidate row reads.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use query_batch_opts(queries, &QueryOptions::new(k).engine(Engine::PerQuery { \
+                threads })) instead"
+    )]
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        threads: usize,
+    ) -> std::io::Result<Vec<Vec<Neighbor>>> {
+        self.query_batch_opts(queries, &QueryOptions::new(k).engine(Engine::PerQuery { threads }))
+    }
+}

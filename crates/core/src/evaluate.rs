@@ -31,7 +31,7 @@ pub fn evaluate_index(
     k: usize,
 ) -> Vec<QueryEval> {
     assert_eq!(queries.len(), truth.len(), "one ground-truth row per query");
-    let result = index.query_batch(queries, k);
+    let result = index.query_batch_opts(queries, &crate::QueryOptions::new(k));
     result
         .neighbors
         .iter()

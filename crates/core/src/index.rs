@@ -3,6 +3,8 @@
 //! query pipeline.
 
 use crate::config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+use crate::options::QueryOptions;
+use knn_telemetry::{Counter, Recorder, SpanTimer, Stage, Value};
 use lattice::{decode_e8_raw, e8_roots, E8Hierarchy, ZmHierarchy};
 use lsh::family::quantize_zm;
 use lsh::{tune_w, DistanceProfile, HashFamily, LshTable, ProjectionScratch, TuningGoal};
@@ -123,9 +125,12 @@ impl ProbeCtx<'_> {
         v: &[f32],
         scratch: &mut ProjectionScratch,
         probe: Probe,
+        rec: &dyn Recorder,
     ) -> Vec<u32> {
+        let span = SpanTimer::start(rec, Stage::Probe);
         let g = self.level1.assign(v);
         let mut out: Vec<u32> = Vec::new();
+        let mut extra_buckets = 0u64;
         for &t in &self.probe_tables(g, v, scratch) {
             let gt = &self.tables[g][t];
             let raw = scratch.project(&gt.family, v);
@@ -135,14 +140,20 @@ impl ProbeCtx<'_> {
                     out.extend_from_slice(gt.table.bucket(&home));
                 }
                 Probe::Multi(t) => {
-                    for code in probe_sequence(raw, &home, t, self.config.quantizer) {
+                    let codes = probe_sequence(raw, &home, t, self.config.quantizer);
+                    extra_buckets += (codes.len().saturating_sub(1)) as u64;
+                    for code in codes {
                         out.extend_from_slice(gt.table.bucket(&code));
                     }
                 }
             }
         }
+        if extra_buckets > 0 {
+            rec.add(Counter::MultiProbeBuckets, extra_buckets);
+        }
         out.sort_unstable();
         out.dedup();
+        drop(span);
         out
     }
 
@@ -158,7 +169,9 @@ impl ProbeCtx<'_> {
         v: &[f32],
         scratch: &mut ProjectionScratch,
         want_buckets: usize,
+        rec: &dyn Recorder,
     ) -> (Vec<u32>, bool) {
+        rec.add(Counter::EscalationRounds, 1);
         let g = self.level1.assign(v);
         let mut out: Vec<u32> = Vec::new();
         let mut exhausted = true;
@@ -195,11 +208,15 @@ impl ProbeCtx<'_> {
         v: &[f32],
         scratch: &mut ProjectionScratch,
         threshold: usize,
+        rec: &dyn Recorder,
     ) -> Vec<u32> {
+        let span = SpanTimer::start(rec, Stage::Escalate);
+        rec.add(Counter::Escalations, 1);
         let mut want_buckets = 2usize;
         loop {
-            let (out, exhausted) = self.escalate_round(v, scratch, want_buckets);
+            let (out, exhausted) = self.escalate_round(v, scratch, want_buckets, rec);
             if out.len() >= threshold || exhausted {
+                drop(span);
                 return out;
             }
             want_buckets *= 2;
@@ -211,8 +228,8 @@ impl ProbeCtx<'_> {
 ///
 /// Construction partitions the data (level 1), tunes per-group widths, and
 /// hashes every item into `L` tables per group (level 2). Queries run in
-/// batches through [`BiLevelIndex::query_batch`]; single-query convenience
-/// is [`BiLevelIndex::query`].
+/// batches through [`BiLevelIndex::query_batch_opts`]; single-query
+/// convenience is [`BiLevelIndex::query`].
 pub struct BiLevelIndex<'a> {
     /// Borrowed for `build`, owned after `build_owned` or the first
     /// `insert` on a borrowed index.
@@ -225,7 +242,8 @@ pub struct BiLevelIndex<'a> {
     pub(crate) group_widths: Vec<f32>,
 }
 
-/// Engine selection for [`BiLevelIndex::query_batch_with`].
+/// Engine selection for a batch query (the `engine` field of
+/// [`QueryOptions`]).
 ///
 /// One selection governs the whole pipeline end to end: the probe phase
 /// (base candidates plus any hierarchical escalation) runs on the engine's
@@ -370,72 +388,67 @@ impl<'a> BiLevelIndex<'a> {
     /// `scratch` is the worker-local projection buffer of the parallel
     /// pipeline; probing holds no other mutable state, so `&self` probes of
     /// different queries can run concurrently, one scratch per worker.
-    fn base_candidates(&self, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<u32> {
-        self.probe_ctx().base_candidates(v, scratch, self.config.probe)
+    fn base_candidates(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        rec: &dyn Recorder,
+    ) -> Vec<u32> {
+        self.probe_ctx().base_candidates(v, scratch, self.config.probe, rec)
     }
 
     /// Re-probes through the hierarchy until at least `threshold` candidates
     /// are collected (or every bucket has been visited).
-    fn escalate(&self, v: &[f32], scratch: &mut ProjectionScratch, threshold: usize) -> Vec<u32> {
-        self.probe_ctx().escalate(v, scratch, threshold)
+    fn escalate(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        threshold: usize,
+        rec: &dyn Recorder,
+    ) -> Vec<u32> {
+        self.probe_ctx().escalate(v, scratch, threshold, rec)
     }
 
-    /// Batch k-nearest-neighbor query.
+    /// Batch k-nearest-neighbor query under a [`QueryOptions`] value — the
+    /// single entry point every legacy `query_batch*` variant delegates to
+    /// (see [`crate::compat`] for the deprecated shims).
     ///
-    /// For `Probe::Hierarchical` the escalation threshold is the batch
-    /// median of base candidate-set sizes (the paper's rule); other probes
-    /// use their base candidates directly. Runs the whole pipeline on the
-    /// serial engine; [`BiLevelIndex::query_batch_with`] selects a parallel
-    /// one.
-    pub fn query_batch(&self, queries: &Dataset, k: usize) -> BatchResult {
-        self.query_batch_with(queries, k, Engine::Serial)
-    }
-
-    /// Batch query with an explicit engine — the organizational choice
-    /// Figure 4 compares. The engine's thread count drives *both* phases:
-    /// candidate generation (probe + escalation) and short-list ranking.
-    /// All engines return identical results; they differ only in execution
-    /// layout.
+    /// `options.probe` selects the escalation rule: `None` uses the built
+    /// probe with batch-median escalation (the paper's rule); `Some(p)`
+    /// probes `p` under the batch-invariant fixed-floor rule the serving
+    /// layer relies on. See [`QueryOptions`] for the full contract.
     ///
-    /// # Panics
-    ///
-    /// Panics if [`Engine::validate`] rejects the engine for this `k`
-    /// (work-queue capacity must exceed `k`).
-    pub fn query_batch_with(&self, queries: &Dataset, k: usize, engine: Engine) -> BatchResult {
-        engine.validate(k);
-        let candidates = self.candidates_batch_with(queries, engine.threads());
-        let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
-        let neighbors = rank_candidates(&self.data, queries, &candidates, k, engine);
-        BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
-    }
-
-    /// Batch query under an explicit probe strategy, with *batch-invariant*
-    /// semantics: for `Probe::Hierarchical` the escalation threshold is the
-    /// fixed `min_candidates` floor, never the batch median. Splitting a
-    /// batch into any sub-batches — down to single queries — returns
-    /// bit-identical per-query results, which is the contract the serving
-    /// layer's micro-batcher relies on (a batch of one reduces the median
-    /// rule to exactly this floor).
-    ///
-    /// `probe` is typically `config.probe` (full service level) or a rung
-    /// of [`Probe::ladder`] (degraded level).
+    /// Pipeline events (probe/escalate/rank timings, candidate counts,
+    /// escalation counters) are reported to `options.recorder`; with the
+    /// default noop recorder the pipeline runs uninstrumented and results
+    /// are bit-identical either way.
     ///
     /// # Panics
     ///
     /// Panics if [`Engine::validate`] rejects the engine for this `k`, or
-    /// if `probe` is incompatible with the built index
+    /// if `options.probe` is incompatible with the built index
     /// (see [`BiLevelIndex::supports_probe`]).
-    pub fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
-    ) -> BatchResult {
-        engine.validate(k);
-        let candidates = self.candidates_batch_at(queries, engine.threads(), probe);
+    pub fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchResult {
+        let rec = options.recorder;
+        options.engine.validate(options.k);
+        let threads = options.engine.threads();
+        let candidates = match options.probe {
+            None => self.candidates_batch_rec(queries, threads, rec),
+            Some(probe) => self.candidates_batch_at_rec(queries, threads, probe, rec),
+        };
+        if rec.enabled() {
+            rec.add(Counter::QueriesProbed, queries.len() as u64);
+            let total: usize = candidates.iter().map(Vec::len).sum();
+            rec.add(Counter::CandidatesGenerated, total as u64);
+            for c in &candidates {
+                rec.observe(Value::CandidatesPerQuery, c.len() as u64);
+            }
+        }
         let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
-        let neighbors = rank_candidates(&self.data, queries, &candidates, k, engine);
+        let rank_span = SpanTimer::start(rec, Stage::Rank);
+        let neighbors =
+            rank_candidates(&self.data, queries, &candidates, options.k, options.engine);
+        drop(rank_span);
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
     }
 
@@ -465,6 +478,18 @@ impl<'a> BiLevelIndex<'a> {
         threads: usize,
         probe: Probe,
     ) -> Vec<Vec<u32>> {
+        self.candidates_batch_at_rec(queries, threads, probe, &knn_telemetry::NOOP)
+    }
+
+    /// [`BiLevelIndex::candidates_batch_at`] with a telemetry sink; the
+    /// worker closures report per-query probe/escalate events into `rec`.
+    fn candidates_batch_at_rec(
+        &self,
+        queries: &Dataset,
+        threads: usize,
+        probe: Probe,
+        rec: &dyn Recorder,
+    ) -> Vec<Vec<u32>> {
         assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
         assert!(
             self.supports_probe(probe),
@@ -477,10 +502,10 @@ impl<'a> BiLevelIndex<'a> {
             threads,
             || ProjectionScratch::new(self.config.m),
             |scratch, q, slot| {
-                *slot = ctx.base_candidates(queries.row(q), scratch, probe);
+                *slot = ctx.base_candidates(queries.row(q), scratch, probe, rec);
                 if let Probe::Hierarchical { min_candidates } = probe {
                     if slot.len() < min_candidates {
-                        *slot = ctx.escalate(queries.row(q), scratch, min_candidates);
+                        *slot = ctx.escalate(queries.row(q), scratch, min_candidates, rec);
                     }
                 }
             },
@@ -508,13 +533,24 @@ impl<'a> BiLevelIndex<'a> {
     /// batch median of base sizes — is computed at a barrier between the
     /// two passes, then the starved queries escalate on the same pool.
     pub fn candidates_batch_with(&self, queries: &Dataset, threads: usize) -> Vec<Vec<u32>> {
+        self.candidates_batch_rec(queries, threads, &knn_telemetry::NOOP)
+    }
+
+    /// [`BiLevelIndex::candidates_batch_with`] with a telemetry sink; the
+    /// worker closures report per-query probe/escalate events into `rec`.
+    fn candidates_batch_rec(
+        &self,
+        queries: &Dataset,
+        threads: usize,
+        rec: &dyn Recorder,
+    ) -> Vec<Vec<u32>> {
         assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
         let mut base: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
         parallel_fill_with(
             &mut base,
             threads,
             || ProjectionScratch::new(self.config.m),
-            |scratch, q, slot| *slot = self.base_candidates(queries.row(q), scratch),
+            |scratch, q, slot| *slot = self.base_candidates(queries.row(q), scratch, rec),
         );
         if let Probe::Hierarchical { min_candidates } = self.config.probe {
             // Median of base sizes, floored by the configured minimum.
@@ -532,7 +568,7 @@ impl<'a> BiLevelIndex<'a> {
                 &mut jobs,
                 threads,
                 || ProjectionScratch::new(self.config.m),
-                |scratch, _, job| job.1 = self.escalate(queries.row(job.0), scratch, median),
+                |scratch, _, job| job.1 = self.escalate(queries.row(job.0), scratch, median, rec),
             );
             for (q, cands) in jobs {
                 base[q] = cands;
@@ -541,11 +577,15 @@ impl<'a> BiLevelIndex<'a> {
         base
     }
 
-    /// Single-query convenience over [`BiLevelIndex::query_batch`].
+    /// Single-query convenience over [`BiLevelIndex::query_batch_opts`]
+    /// with default options.
     pub fn query(&self, v: &[f32], k: usize) -> Vec<Neighbor> {
         let mut q = Dataset::new(self.data.dim());
         q.push(v);
-        self.query_batch(&q, k).neighbors.pop().expect("one query in, one result out")
+        self.query_batch_opts(&q, &QueryOptions::new(k))
+            .neighbors
+            .pop()
+            .expect("one query in, one result out")
     }
 
     /// Inserts one vector into the index, returning its new id.
@@ -886,7 +926,7 @@ mod tests {
 
     fn mean_recall(index: &BiLevelIndex, queries: &Dataset, k: usize) -> f64 {
         let truth = knn_batch(index.data(), queries, k, &SquaredL2, 1);
-        let got = index.query_batch(queries, k);
+        let got = index.query_batch_opts(queries, &QueryOptions::new(k));
         let total: f64 =
             truth.iter().zip(&got.neighbors).map(|(t, g)| knn_metrics::recall(t, g)).sum();
         total / queries.len() as f64
@@ -896,7 +936,7 @@ mod tests {
     fn builds_and_queries_zm() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(2.0));
-        let res = index.query_batch(&queries, 5);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(res.neighbors.len(), queries.len());
         assert_eq!(res.candidates.len(), queries.len());
         for hits in &res.neighbors {
@@ -918,7 +958,7 @@ mod tests {
     fn narrow_buckets_have_low_selectivity() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(0.05));
-        let res = index.query_batch(&queries, 10);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(10));
         let avg: f64 = res.candidates.iter().map(|&c| c as f64).sum::<f64>()
             / (res.candidates.len() as f64 * data.len() as f64);
         assert!(avg < 0.5, "selectivity {avg} too large for tiny W");
@@ -929,7 +969,7 @@ mod tests {
         let (data, queries) = small_data();
         let cfg = BiLevelConfig::paper_default(2.0).quantizer(Quantizer::E8);
         let index = BiLevelIndex::build(&data, &cfg);
-        let res = index.query_batch(&queries, 5);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(res.neighbors.len(), queries.len());
     }
 
@@ -939,8 +979,8 @@ mod tests {
         let base = BiLevelConfig::standard(8.0);
         let home = BiLevelIndex::build(&data, &base);
         let multi = BiLevelIndex::build(&data, &base.clone().probe(Probe::Multi(32)));
-        let rh = home.query_batch(&queries, 10);
-        let rm = multi.query_batch(&queries, 10);
+        let rh = home.query_batch_opts(&queries, &QueryOptions::new(10));
+        let rm = multi.query_batch_opts(&queries, &QueryOptions::new(10));
         let sum = |r: &BatchResult| r.candidates.iter().sum::<usize>();
         assert!(sum(&rm) > sum(&rh), "multiprobe should probe more");
         assert!(
@@ -955,7 +995,7 @@ mod tests {
         let cfg =
             BiLevelConfig::paper_default(0.5).probe(Probe::Hierarchical { min_candidates: 20 });
         let index = BiLevelIndex::build(&data, &cfg);
-        let res = index.query_batch(&queries, 10);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(10));
         // After escalation, candidate counts should be much more uniform:
         // nobody far below the median.
         let mut sizes = res.candidates.clone();
@@ -977,7 +1017,7 @@ mod tests {
             cfg.partition = partition;
             let index = BiLevelIndex::build(&data, &cfg);
             assert!(index.num_groups() >= 2);
-            let res = index.query_batch(&queries, 5);
+            let res = index.query_batch_opts(&queries, &QueryOptions::new(5));
             assert_eq!(res.neighbors.len(), queries.len());
         }
     }
@@ -988,7 +1028,7 @@ mod tests {
         let mut cfg = BiLevelConfig::paper_default(2.0);
         cfg.partition = Partition::RpTree { groups: 8, rule: SplitRule::Max };
         let index = BiLevelIndex::build(&data, &cfg);
-        let res = index.query_batch(&queries, 5);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(res.neighbors.len(), queries.len());
     }
 
@@ -1047,7 +1087,7 @@ mod tests {
     fn results_never_exceed_k_and_ids_are_valid() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(2.0));
-        let res = index.query_batch(&queries, 7);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(7));
         for hits in &res.neighbors {
             assert!(hits.len() <= 7);
             assert!(hits.iter().all(|n| n.id < data.len()));
@@ -1062,10 +1102,15 @@ mod tests {
     fn all_engines_return_identical_batches() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(4.0));
-        let serial = index.query_batch_with(&queries, 8, Engine::Serial);
-        let per_query = index.query_batch_with(&queries, 8, Engine::PerQuery { threads: 3 });
-        let wq =
-            index.query_batch_with(&queries, 8, Engine::WorkQueue { threads: 2, capacity: 256 });
+        let serial = index.query_batch_opts(&queries, &QueryOptions::new(8));
+        let per_query = index.query_batch_opts(
+            &queries,
+            &QueryOptions::new(8).engine(Engine::PerQuery { threads: 3 }),
+        );
+        let wq = index.query_batch_opts(
+            &queries,
+            &QueryOptions::new(8).engine(Engine::WorkQueue { threads: 2, capacity: 256 }),
+        );
         assert_eq!(serial.neighbors, per_query.neighbors);
         assert_eq!(serial.neighbors, wq.neighbors);
         assert_eq!(serial.candidates, wq.candidates);
@@ -1092,12 +1137,13 @@ mod tests {
                     );
                 }
                 let k = 6;
-                let base = index.query_batch_with(&queries, k, Engine::Serial);
+                let base = index.query_batch_opts(&queries, &QueryOptions::new(k));
                 for engine in [
                     Engine::PerQuery { threads: 4 },
                     Engine::WorkQueue { threads: 4, capacity: 128 },
                 ] {
-                    let got = index.query_batch_with(&queries, k, engine);
+                    let got =
+                        index.query_batch_opts(&queries, &QueryOptions::new(k).engine(engine));
                     assert_eq!(base.neighbors, got.neighbors, "{quantizer:?} {probe:?} {engine:?}");
                     assert_eq!(
                         base.candidates, got.candidates,
@@ -1115,8 +1161,8 @@ mod tests {
         let k = 8;
         // capacity == k + 1 is the tightest queue the contract allows.
         let engine = Engine::WorkQueue { threads: 2, capacity: k + 1 };
-        let serial = index.query_batch_with(&queries, k, Engine::Serial);
-        let wq = index.query_batch_with(&queries, k, engine);
+        let serial = index.query_batch_opts(&queries, &QueryOptions::new(k));
+        let wq = index.query_batch_opts(&queries, &QueryOptions::new(k).engine(engine));
         assert_eq!(serial.neighbors, wq.neighbors);
         assert_eq!(serial.candidates, wq.candidates);
     }
@@ -1126,7 +1172,10 @@ mod tests {
     fn workqueue_capacity_not_above_k_is_rejected() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(2.0));
-        let _ = index.query_batch_with(&queries, 8, Engine::WorkQueue { threads: 2, capacity: 8 });
+        let _ = index.query_batch_opts(
+            &queries,
+            &QueryOptions::new(8).engine(Engine::WorkQueue { threads: 2, capacity: 8 }),
+        );
     }
 
     #[test]
@@ -1149,7 +1198,7 @@ mod tests {
             for probe in probes {
                 let cfg = BiLevelConfig::paper_default(2.0).quantizer(quantizer).probe(probe);
                 let index = BiLevelIndex::build(&data, &cfg);
-                let whole = index.query_batch_at(&queries, 6, Engine::Serial, probe);
+                let whole = index.query_batch_opts(&queries, &QueryOptions::new(6).probe(probe));
                 // Per-query answers must match the single-query path...
                 for (q, hits) in whole.neighbors.iter().enumerate() {
                     assert_eq!(
@@ -1160,8 +1209,11 @@ mod tests {
                 }
                 // ...and any split of the batch reproduces the whole.
                 let (a, b) = queries.split_at(queries.len() / 2);
-                let mut halves = index.query_batch_at(&a, 6, Engine::Serial, probe).neighbors;
-                halves.extend(index.query_batch_at(&b, 6, Engine::Serial, probe).neighbors);
+                let mut halves =
+                    index.query_batch_opts(&a, &QueryOptions::new(6).probe(probe)).neighbors;
+                halves.extend(
+                    index.query_batch_opts(&b, &QueryOptions::new(6).probe(probe)).neighbors,
+                );
                 assert_eq!(whole.neighbors, halves, "{quantizer:?} {probe:?}");
             }
         }
@@ -1174,7 +1226,7 @@ mod tests {
         let index = BiLevelIndex::build(&data, &cfg);
         let mut last_candidates = usize::MAX;
         for rung in cfg.probe.ladder() {
-            let res = index.query_batch_at(&queries, 6, Engine::Serial, rung);
+            let res = index.query_batch_opts(&queries, &QueryOptions::new(6).probe(rung));
             let total: usize = res.candidates.iter().sum();
             assert!(
                 total <= last_candidates,
@@ -1196,7 +1248,7 @@ mod tests {
         );
         assert!(hier.supports_probe(Probe::Hierarchical { min_candidates: 3 }));
         // A hierarchical index degrades to Multi/Home without panicking.
-        let res = hier.query_batch_at(&queries, 5, Engine::Serial, Probe::Home);
+        let res = hier.query_batch_opts(&queries, &QueryOptions::new(5).probe(Probe::Home));
         assert_eq!(res.neighbors.len(), queries.len());
     }
 
@@ -1205,11 +1257,9 @@ mod tests {
     fn hierarchical_override_without_hierarchy_panics() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(2.0));
-        let _ = index.query_batch_at(
+        let _ = index.query_batch_opts(
             &queries,
-            5,
-            Engine::Serial,
-            Probe::Hierarchical { min_candidates: 5 },
+            &QueryOptions::new(5).probe(Probe::Hierarchical { min_candidates: 5 }),
         );
     }
 
@@ -1217,7 +1267,7 @@ mod tests {
     fn single_query_matches_batch_row() {
         let (data, queries) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(2.0));
-        let batch = index.query_batch(&queries, 5);
+        let batch = index.query_batch_opts(&queries, &QueryOptions::new(5));
         let single = index.query(queries.row(0), 5);
         assert_eq!(single, batch.neighbors[0]);
     }
@@ -1226,8 +1276,8 @@ mod tests {
     fn deterministic_across_rebuilds() {
         let (data, queries) = small_data();
         let cfg = BiLevelConfig::paper_default(2.0);
-        let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 5);
-        let b = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 5);
+        let a = BiLevelIndex::build(&data, &cfg).query_batch_opts(&queries, &QueryOptions::new(5));
+        let b = BiLevelIndex::build(&data, &cfg).query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(a.neighbors, b.neighbors);
         assert_eq!(a.candidates, b.candidates);
     }
@@ -1241,7 +1291,7 @@ mod tests {
         let b = BiLevelIndex::build(&data, &pooled);
         let truth = knn_batch(&data, &queries, 10, &SquaredL2, 1);
         let score = |idx: &BiLevelIndex| {
-            let res = idx.query_batch(&queries, 10);
+            let res = idx.query_batch_opts(&queries, &QueryOptions::new(10));
             let recall: f64 = truth
                 .iter()
                 .zip(&res.neighbors)
@@ -1272,7 +1322,7 @@ mod tests {
         let index = BiLevelIndex::build(&data, &cfg);
         // Structural check: pool tables exist...
         assert_eq!(index.stats().tables_per_group, 4); // config.l reported
-        let res = index.query_batch(&queries, 5);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(res.neighbors.len(), queries.len());
     }
 
@@ -1303,8 +1353,8 @@ mod tests {
         for row in tail.iter() {
             b.insert(row);
         }
-        let ra = a.query_batch(&queries, 5);
-        let rb = b.query_batch(&queries, 5);
+        let ra = a.query_batch_opts(&queries, &QueryOptions::new(5));
+        let rb = b.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(ra.neighbors, rb.neighbors);
         assert_eq!(ra.candidates, rb.candidates);
     }
@@ -1317,7 +1367,7 @@ mod tests {
             BiLevelConfig::paper_default(2.0).probe(Probe::Hierarchical { min_candidates: 10 });
         let mut index = BiLevelIndex::build_owned(head, &cfg);
         index.insert_batch(tail.iter());
-        let res = index.query_batch(&queries, 5);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(res.neighbors.len(), queries.len());
         // Escalation still lifts starved queries above the floor.
         assert!(res.candidates.iter().filter(|&&c| c >= 10).count() > queries.len() / 2);

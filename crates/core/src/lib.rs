@@ -37,6 +37,7 @@
 
 pub(crate) mod binio;
 pub mod code;
+pub mod compat;
 pub mod config;
 pub mod evaluate;
 pub mod flat;
@@ -44,9 +45,14 @@ pub mod index;
 pub mod interval;
 pub(crate) mod jsonio;
 pub mod ooc;
+pub mod options;
 pub mod persist;
 pub mod shard;
 pub mod stats;
+
+/// The telemetry crate every pipeline stage reports into, re-exported so
+/// downstream users can name recorders without a separate dependency.
+pub use knn_telemetry as telemetry;
 
 pub use code::{compress_code, BiLevelCode};
 pub use config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
@@ -55,6 +61,7 @@ pub use flat::FlatIndex;
 pub use index::{BatchResult, BiLevelIndex, Engine};
 pub use interval::IntervalTable;
 pub use ooc::{OocBuildError, OocFlatIndex};
+pub use options::QueryOptions;
 pub use persist::PersistError;
 pub use shard::ShardedIndex;
 pub use stats::IndexStats;

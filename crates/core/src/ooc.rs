@@ -19,7 +19,9 @@ use crate::code::compress_code;
 use crate::config::{BiLevelConfig, Probe, WidthMode};
 use crate::index::{fit_level1, probe_sequence, quantize, Level1};
 use crate::interval::IntervalTable;
+use crate::options::QueryOptions;
 use cuckoo::CuckooError;
+use knn_telemetry::{Counter, Recorder, SpanTimer, Stage, Value, NOOP};
 use lsh::{tune_w, DistanceProfile, HashFamily, ProjectionScratch, TuningGoal};
 use rptree::Partitioner;
 use shortlist::parallel_fill_with;
@@ -290,37 +292,56 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
     /// Deduplicated candidate ids for one query (no disk reads — pure
     /// bucket lookup).
     pub fn candidates(&self, v: &[f32]) -> Vec<u32> {
-        self.candidates_with(v, &mut ProjectionScratch::new(self.config.m))
+        self.candidates_with(
+            v,
+            &mut ProjectionScratch::new(self.config.m),
+            self.config.probe,
+            &NOOP,
+        )
     }
 
     /// Scratch-reusing probe — the per-worker routine of the batch paths.
-    fn candidates_with(&self, v: &[f32], scratch: &mut ProjectionScratch) -> Vec<u32> {
+    /// `probe` is the built probe or a `Home`/`Multi` override.
+    fn candidates_with(
+        &self,
+        v: &[f32],
+        scratch: &mut ProjectionScratch,
+        probe: Probe,
+        rec: &dyn Recorder,
+    ) -> Vec<u32> {
         assert_eq!(v.len(), self.source.dim(), "query dimension mismatch");
+        let span = SpanTimer::start(rec, Stage::Probe);
         let g = self.level1.assign(v);
         let num_groups = self.level1.num_groups();
         let mut out = Vec::new();
+        let mut extra_buckets = 0u64;
         for li in 0..self.config.l {
             let raw = scratch.project(&self.families[li * num_groups + g], v);
             let home = quantize(raw, self.config.quantizer);
-            let probes = match self.config.probe {
+            let probes = match probe {
                 Probe::Home => vec![home],
                 Probe::Multi(t) => probe_sequence(raw, &home, t, self.config.quantizer),
                 Probe::Hierarchical { .. } => unreachable!("rejected at build"),
             };
+            extra_buckets += (probes.len().saturating_sub(1)) as u64;
             for code in probes {
                 if let Some((start, len)) = self.intervals.get(compress_code(li, g as u32, &code)) {
                     out.extend_from_slice(&self.linear[start as usize..(start + len) as usize]);
                 }
             }
         }
+        if extra_buckets > 0 {
+            rec.add(Counter::MultiProbeBuckets, extra_buckets);
+        }
         out.sort_unstable();
         out.dedup();
+        drop(span);
         out
     }
 
     /// Full k-NN query: probes buckets, then ranks candidates by reading
     /// their rows from disk one positioned read per row. This is the serial
-    /// per-row baseline; [`OocFlatIndex::query_batch_with`] coalesces.
+    /// per-row baseline; [`OocFlatIndex::query_batch_opts`] coalesces.
     /// Returns L2 distances.
     ///
     /// # Errors
@@ -346,33 +367,58 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
     }
 
     /// Batch query over an in-memory query set: the serial per-row baseline
-    /// (one positioned read per candidate row, one query at a time).
+    /// (one positioned read per candidate row, one query at a time). Kept
+    /// as a named, non-deprecated entry point because its I/O pattern is
+    /// the baseline the coalesced path is benchmarked against.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from candidate row reads.
-    pub fn query_batch(&self, queries: &Dataset, k: usize) -> std::io::Result<Vec<Vec<Neighbor>>> {
-        queries.iter().map(|q| self.query(q, k)).collect()
-    }
-
-    /// Batch query on `threads` workers with coalesced candidate fetches:
-    /// each query's sorted candidate ids are merged into runs (gaps up to
-    /// [`COALESCE_GAP`] rows bridged) and every run is fetched with a single
-    /// positioned read. Results are identical to [`OocFlatIndex::query_batch`]
-    /// at any thread count — candidates are generated by the same probe
-    /// routine and ranked in the same ascending-id order.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors from candidate row reads.
-    pub fn query_batch_with(
+    pub fn query_batch_per_row(
         &self,
         queries: &Dataset,
         k: usize,
-        threads: usize,
+    ) -> std::io::Result<Vec<Vec<Neighbor>>> {
+        queries.iter().map(|q| self.query(q, k)).collect()
+    }
+
+    /// Batch k-nearest-neighbor query under a [`QueryOptions`] value, with
+    /// coalesced candidate fetches: each query's sorted candidate ids are
+    /// merged into runs (gaps up to `COALESCE_GAP` rows bridged) and
+    /// every run is fetched with a single positioned read. Runs on the
+    /// engine's worker count; results are identical to
+    /// [`OocFlatIndex::query_batch_per_row`] at any thread count —
+    /// candidates are generated by the same probe routine and ranked in
+    /// the same ascending-id order.
+    ///
+    /// `options.probe` may override the built probe with another
+    /// `Home`/`Multi` strategy; there is no escalation out-of-core, so
+    /// both `None` and `Some(built probe)` mean the same thing here.
+    /// Positioned reads, fetched bytes, and retry attempts are reported to
+    /// `options.recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from candidate row reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.probe` is hierarchical (unsupported out-of-core)
+    /// or [`Engine::validate`](crate::Engine::validate) rejects the engine.
+    pub fn query_batch_opts(
+        &self,
+        queries: &Dataset,
+        options: &QueryOptions<'_>,
     ) -> std::io::Result<Vec<Vec<Neighbor>>> {
         assert_eq!(queries.dim(), self.source.dim(), "query dimension mismatch");
-        let threads = threads.max(1);
+        let (k, rec) = (options.k, options.recorder);
+        options.engine.validate(k);
+        let probe = options.probe.unwrap_or(self.config.probe);
+        assert!(
+            !matches!(probe, Probe::Hierarchical { .. }),
+            "hierarchical probing is not supported out-of-core"
+        );
+        let threads = options.engine.threads();
         let mut out: Vec<std::io::Result<Vec<Neighbor>>> = Vec::new();
         out.resize_with(queries.len(), || Ok(Vec::new()));
         parallel_fill_with(
@@ -381,10 +427,17 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
             || (ProjectionScratch::new(self.config.m), Vec::new()),
             |(scratch, row_buf), q, slot| {
                 let v = queries.row(q);
-                let candidates = self.candidates_with(v, scratch);
-                *slot = self.rank_coalesced(v, &candidates, k, row_buf);
+                let candidates = self.candidates_with(v, scratch, probe, rec);
+                if rec.enabled() {
+                    rec.add(Counter::CandidatesGenerated, candidates.len() as u64);
+                    rec.observe(Value::CandidatesPerQuery, candidates.len() as u64);
+                }
+                let rank_span = SpanTimer::start(rec, Stage::Rank);
+                *slot = self.rank_coalesced(v, &candidates, k, row_buf, rec);
+                drop(rank_span);
             },
         );
+        rec.add(Counter::QueriesProbed, queries.len() as u64);
         out.into_iter().collect()
     }
 
@@ -397,6 +450,7 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
         candidates: &[u32],
         k: usize,
         row_buf: &mut Vec<f32>,
+        rec: &dyn Recorder,
     ) -> std::io::Result<Vec<Neighbor>> {
         let dim = self.source.dim();
         let mut top = TopK::new(k);
@@ -412,9 +466,20 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
             }
             let rows = candidates[j] as usize - run_start + 1;
             row_buf.resize(rows * dim, 0.0);
+            let mut attempts = 0u64;
+            let io_span = SpanTimer::start(rec, Stage::OocIo);
             self.retry.run(&mut budget, &self.retry_stats, || {
+                attempts += 1;
                 self.source.read_rows_into(run_start, rows, row_buf)
             })?;
+            drop(io_span);
+            if rec.enabled() {
+                rec.add(Counter::OocReads, 1);
+                rec.add(Counter::OocBytesRead, (rows * dim * 4) as u64);
+                if attempts > 1 {
+                    rec.add(Counter::OocRetries, attempts - 1);
+                }
+            }
             for &id in &candidates[i..=j] {
                 let off = (id as usize - run_start) * dim;
                 top.push(id as usize, squared_l2(v, &row_buf[off..off + dim]));
@@ -498,6 +563,7 @@ fn per_group<F: Fn(&Dataset) -> f32>(
 mod tests {
     use super::*;
     use crate::flat::FlatIndex;
+    use crate::index::Engine;
     use vecstore::io::write_fvecs;
     use vecstore::synth::{self, ClusteredSpec};
 
@@ -604,9 +670,14 @@ mod tests {
         for quantizer in [Quantizer::Zm, Quantizer::E8] {
             let cfg = BiLevelConfig::paper_default(6.0).quantizer(quantizer).probe(Probe::Multi(8));
             let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
-            let baseline = ooc.query_batch(&queries, 10).unwrap();
+            let baseline = ooc.query_batch_per_row(&queries, 10).unwrap();
             for threads in [1, 4] {
-                let coalesced = ooc.query_batch_with(&queries, 10, threads).unwrap();
+                let coalesced = ooc
+                    .query_batch_opts(
+                        &queries,
+                        &QueryOptions::new(10).engine(Engine::PerQuery { threads }),
+                    )
+                    .unwrap();
                 assert_eq!(baseline.len(), coalesced.len());
                 for (a, b) in baseline.iter().zip(&coalesced) {
                     let a: Vec<(usize, f32)> = a.iter().map(|n| (n.id, n.dist)).collect();
@@ -628,7 +699,7 @@ mod tests {
         let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
         let candidates: Vec<u32> = vec![0, 1, 9, 40, 41, 60, 299];
         let q = queries.row(0);
-        let got = ooc.rank_coalesced(q, &candidates, 4, &mut Vec::new()).unwrap();
+        let got = ooc.rank_coalesced(q, &candidates, 4, &mut Vec::new(), &NOOP).unwrap();
         let mut want: Vec<(usize, f32)> = candidates
             .iter()
             .map(|&id| (id as usize, squared_l2(q, data.row(id as usize)).sqrt()))

@@ -1,0 +1,140 @@
+//! The unified query API: one [`QueryOptions`] value carries everything a
+//! batch query needs — `k`, the execution [`Engine`], an optional probe
+//! override, an optional deadline, and a telemetry sink.
+//!
+//! Historically the index types grew four overlapping entry points
+//! (`query_batch`, `query_batch_with`, `query_batch_at`,
+//! `query_shard_batch_at`), each adding one positional parameter. They
+//! survive as deprecated one-line shims in [`crate::compat`]; every index
+//! now answers `query_batch_opts(&queries, &options)` uniformly.
+//!
+//! # Escalation semantics
+//!
+//! The `probe` field selects between the two escalation rules the legacy
+//! entry points encoded in their names:
+//!
+//! * `probe: None` (the default) — probe with the index's built
+//!   configuration and, for `Probe::Hierarchical`, escalate starved queries
+//!   to the **batch median** of base candidate-set sizes (the paper's
+//!   rule). This is what `query_batch` / `query_batch_with` did.
+//! * `probe: Some(p)` — probe with `p` (the built probe or a rung of
+//!   [`Probe::ladder`]) under **batch-invariant** fixed-floor escalation:
+//!   splitting a batch into any sub-batches returns bit-identical per-query
+//!   results. This is what `query_batch_at` did, and is the contract the
+//!   serving layer's micro-batcher relies on.
+
+use crate::config::Probe;
+use crate::index::Engine;
+use knn_telemetry::{Recorder, NOOP};
+use std::time::Instant;
+
+/// Options for one batch query, accepted uniformly by
+/// [`crate::BiLevelIndex::query_batch_opts`],
+/// [`crate::ShardedIndex::query_batch_opts`], and
+/// [`crate::OocFlatIndex::query_batch_opts`].
+///
+/// Build with [`QueryOptions::new`] and chain the builder methods:
+///
+/// ```
+/// use bilevel_lsh::{Engine, Probe, QueryOptions};
+/// let opts = QueryOptions::new(10)
+///     .engine(Engine::PerQuery { threads: 4 })
+///     .probe(Probe::Home);
+/// assert_eq!(opts.k, 10);
+/// ```
+///
+/// The value is `Copy`; the recorder is borrowed, so an options value lives
+/// no longer than the sink it reports to (the default borrows the global
+/// [`NOOP`] recorder and is `'static`).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions<'r> {
+    /// Neighbors to return per query.
+    pub k: usize,
+    /// Execution engine for both pipeline phases (probe and rank).
+    pub engine: Engine,
+    /// `None`: built probe with batch-median escalation. `Some(p)`: probe
+    /// `p` with batch-invariant fixed-floor escalation (see module docs).
+    pub probe: Option<Probe>,
+    /// Advisory completion deadline. The index layer does not enforce it;
+    /// the serving layer uses it to pick a degradation-ladder rung before
+    /// the query starts and to bound batching windows.
+    pub deadline: Option<Instant>,
+    /// Telemetry sink for pipeline events. Defaults to the zero-overhead
+    /// noop recorder.
+    pub recorder: &'r dyn Recorder,
+}
+
+impl QueryOptions<'static> {
+    /// Options for a `k`-NN query: serial engine, built probe with
+    /// batch-median escalation, no deadline, noop recorder — exactly the
+    /// behavior of the legacy `query_batch(queries, k)`.
+    pub fn new(k: usize) -> Self {
+        QueryOptions { k, engine: Engine::Serial, probe: None, deadline: None, recorder: &NOOP }
+    }
+}
+
+impl Default for QueryOptions<'static> {
+    /// `QueryOptions::new(10)`.
+    fn default() -> Self {
+        QueryOptions::new(10)
+    }
+}
+
+impl<'r> QueryOptions<'r> {
+    /// Select the execution engine (default [`Engine::Serial`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Override the probe strategy, switching to batch-invariant
+    /// fixed-floor escalation (see module docs).
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Attach an advisory completion deadline.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a telemetry sink; pipeline stages report into it.
+    pub fn recorder<'n>(self, recorder: &'n dyn Recorder) -> QueryOptions<'n> {
+        QueryOptions {
+            k: self.k,
+            engine: self.engine,
+            probe: self.probe,
+            deadline: self.deadline,
+            recorder,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_legacy_query_batch() {
+        let opts = QueryOptions::new(7);
+        assert_eq!(opts.k, 7);
+        assert_eq!(opts.engine, Engine::Serial);
+        assert!(opts.probe.is_none());
+        assert!(opts.deadline.is_none());
+        assert!(!opts.recorder.enabled());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let rec = knn_telemetry::InMemoryRecorder::new();
+        let opts = QueryOptions::new(5)
+            .engine(Engine::PerQuery { threads: 2 })
+            .probe(Probe::Multi(3))
+            .recorder(&rec);
+        assert_eq!(opts.engine, Engine::PerQuery { threads: 2 });
+        assert_eq!(opts.probe, Some(Probe::Multi(3)));
+        assert!(opts.recorder.enabled());
+    }
+}

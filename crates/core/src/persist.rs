@@ -13,7 +13,7 @@
 //!
 //! * **v2 (preferred, what [`BiLevelIndex::save_to`] writes)**: length-
 //!   prefixed little-endian binary. The stream is `magic · version · kind`
-//!   followed by checksummed sections (see [`crate::binio`]); corrupt or
+//!   followed by checksummed sections (see `binio`); corrupt or
 //!   truncated sections are rejected section-by-section with a
 //!   [`PersistError::Format`] naming the section.
 //! * **v1 (legacy)**: the original `serde_json` document, still written by
@@ -1070,6 +1070,8 @@ impl<'a> OocFlatIndex<'a> {
 mod tests {
     use super::*;
     use crate::config::{Probe, Quantizer};
+    use crate::index::Engine;
+    use crate::options::QueryOptions;
     use vecstore::io::write_fvecs;
     use vecstore::synth::{self, ClusteredSpec};
 
@@ -1098,8 +1100,8 @@ mod tests {
         let mut buf = Vec::new();
         index.save_to(&mut buf).unwrap();
         let loaded = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
-        let a = index.query_batch(&queries, 7);
-        let b = loaded.query_batch(&queries, 7);
+        let a = index.query_batch_opts(&queries, &QueryOptions::new(7));
+        let b = loaded.query_batch_opts(&queries, &QueryOptions::new(7));
         assert_eq!(a.neighbors, b.neighbors);
         assert_eq!(a.candidates, b.candidates);
     }
@@ -1178,8 +1180,8 @@ mod tests {
         let loaded = BiLevelIndex::load(&data, &path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(
-            index.query_batch(&queries, 3).neighbors,
-            loaded.query_batch(&queries, 3).neighbors
+            index.query_batch_opts(&queries, &QueryOptions::new(3)).neighbors,
+            loaded.query_batch_opts(&queries, &QueryOptions::new(3)).neighbors
         );
     }
 
@@ -1343,8 +1345,8 @@ mod tests {
         let loaded = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
         let fresh = BiLevelIndex::build(&data, &cfg);
         assert_eq!(
-            fresh.query_batch(&queries, 5).neighbors,
-            loaded.query_batch(&queries, 5).neighbors
+            fresh.query_batch_opts(&queries, &QueryOptions::new(5)).neighbors,
+            loaded.query_batch_opts(&queries, &QueryOptions::new(5)).neighbors
         );
     }
 
@@ -1364,8 +1366,8 @@ mod tests {
             assert_ne!(&json[..4], &MAGIC, "JSON must not collide with the magic");
             let loaded = BiLevelIndex::load_from(&data, json.as_slice()).unwrap();
             assert_eq!(
-                index.query_batch(&queries, 7).neighbors,
-                loaded.query_batch(&queries, 7).neighbors
+                index.query_batch_opts(&queries, &QueryOptions::new(7)).neighbors,
+                loaded.query_batch_opts(&queries, &QueryOptions::new(7)).neighbors
             );
         }
     }
@@ -1383,8 +1385,8 @@ mod tests {
         index.save_json_to(&mut json).unwrap();
         let from_bin = BiLevelIndex::load_from(&data, bin.as_slice()).unwrap();
         let from_json = BiLevelIndex::load_from(&data, json.as_slice()).unwrap();
-        let a = from_bin.query_batch(&queries, 9);
-        let b = from_json.query_batch(&queries, 9);
+        let a = from_bin.query_batch_opts(&queries, &QueryOptions::new(9));
+        let b = from_json.query_batch_opts(&queries, &QueryOptions::new(9));
         assert_eq!(a.neighbors, b.neighbors);
         assert_eq!(a.candidates, b.candidates);
     }
@@ -1414,8 +1416,18 @@ mod tests {
             for q in queries.iter() {
                 assert_eq!(built.candidates(q), loaded.candidates(q), "{quantizer:?}");
             }
-            let a = built.query_batch_with(&queries, 6, 4).unwrap();
-            let b = loaded.query_batch_with(&queries, 6, 4).unwrap();
+            let a = built
+                .query_batch_opts(
+                    &queries,
+                    &QueryOptions::new(6).engine(Engine::PerQuery { threads: 4 }),
+                )
+                .unwrap();
+            let b = loaded
+                .query_batch_opts(
+                    &queries,
+                    &QueryOptions::new(6).engine(Engine::PerQuery { threads: 4 }),
+                )
+                .unwrap();
             for (x, y) in a.iter().zip(&b) {
                 let x: Vec<(usize, f32)> = x.iter().map(|n| (n.id, n.dist)).collect();
                 let y: Vec<(usize, f32)> = y.iter().map(|n| (n.id, n.dist)).collect();

@@ -24,6 +24,8 @@ use crate::index::{
     build_table_hierarchy, rank_candidates, sqrt_distances, BatchResult, BiLevelIndex, Engine,
     GroupTable, Level1, ProbeCtx,
 };
+use crate::options::QueryOptions;
+use knn_telemetry::{Counter, Recorder, SpanTimer, Stage, Value};
 use lsh::{LshTable, ProjectionScratch};
 use shortlist::{merge_topk, parallel_fill_with};
 use vecstore::{Dataset, Neighbor};
@@ -150,19 +152,22 @@ impl ShardedIndex {
         scratch: &mut ProjectionScratch,
         probe: Probe,
         threshold: usize,
+        rec: &dyn Recorder,
     ) -> Vec<Vec<u32>> {
         let mut lists: Vec<Vec<u32>> = (0..self.num_shards())
-            .map(|s| self.shard_ctx(s).base_candidates(v, scratch, probe))
+            .map(|s| self.shard_ctx(s).base_candidates(v, scratch, probe, rec))
             .collect();
         if let Probe::Hierarchical { .. } = probe {
             let union: usize = lists.iter().map(Vec::len).sum();
             if union < threshold {
+                let _span = SpanTimer::start(rec, Stage::Escalate);
+                rec.add(Counter::Escalations, 1);
                 // Lockstep escalation: same bucket budget on every shard,
                 // stop on the union count — the unsharded loop, distributed.
                 let mut want_buckets = 2usize;
                 loop {
                     let rounds: Vec<(Vec<u32>, bool)> = (0..self.num_shards())
-                        .map(|s| self.shard_ctx(s).escalate_round(v, scratch, want_buckets))
+                        .map(|s| self.shard_ctx(s).escalate_round(v, scratch, want_buckets, rec))
                         .collect();
                     let union: usize = rounds.iter().map(|(l, _)| l.len()).sum();
                     // The hierarchies are identical on every shard, so the
@@ -183,8 +188,13 @@ impl ShardedIndex {
     /// escalation rule — the sharded twin of
     /// [`BiLevelIndex::candidates_batch_with`]. Returns `[shard][query]`
     /// lists whose per-query unions equal the unsharded candidate sets.
-    fn candidates_by_shard_with(&self, queries: &Dataset, threads: usize) -> Vec<Vec<Vec<u32>>> {
-        self.candidates_by_shard(queries, threads, self.config.probe, None)
+    fn candidates_by_shard_with(
+        &self,
+        queries: &Dataset,
+        threads: usize,
+        rec: &dyn Recorder,
+    ) -> Vec<Vec<Vec<u32>>> {
+        self.candidates_by_shard(queries, threads, self.config.probe, None, rec)
     }
 
     /// Fixed-floor (batch-invariant) twin of
@@ -194,12 +204,13 @@ impl ShardedIndex {
         queries: &Dataset,
         threads: usize,
         probe: Probe,
+        rec: &dyn Recorder,
     ) -> Vec<Vec<Vec<u32>>> {
         let floor = match probe {
             Probe::Hierarchical { min_candidates } => min_candidates,
             _ => 0,
         };
-        self.candidates_by_shard(queries, threads, probe, Some(floor))
+        self.candidates_by_shard(queries, threads, probe, Some(floor), rec)
     }
 
     /// Shared driver. `fixed_floor: None` selects the batch-median rule.
@@ -209,6 +220,7 @@ impl ShardedIndex {
         threads: usize,
         probe: Probe,
         fixed_floor: Option<usize>,
+        rec: &dyn Recorder,
     ) -> Vec<Vec<Vec<u32>>> {
         assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
         assert!(
@@ -223,7 +235,7 @@ impl ShardedIndex {
             || ProjectionScratch::new(self.config.m),
             |scratch, q, slot| {
                 *slot = (0..self.num_shards())
-                    .map(|s| self.shard_ctx(s).base_candidates(queries.row(q), scratch, probe))
+                    .map(|s| self.shard_ctx(s).base_candidates(queries.row(q), scratch, probe, rec))
                     .collect();
             },
         );
@@ -250,7 +262,8 @@ impl ShardedIndex {
                 threads,
                 || ProjectionScratch::new(self.config.m),
                 |scratch, _, job| {
-                    job.1 = self.shard_candidates(queries.row(job.0), scratch, probe, threshold);
+                    job.1 =
+                        self.shard_candidates(queries.row(job.0), scratch, probe, threshold, rec);
                 },
             );
             for (q, lists) in jobs {
@@ -293,41 +306,39 @@ impl ShardedIndex {
         BatchResult { neighbors: sqrt_distances(neighbors), candidates }
     }
 
-    /// Batch query with the paper's batch-median escalation rule — the
-    /// sharded twin of [`BiLevelIndex::query_batch_with`], bit-identical to
-    /// it on the same data and config.
+    /// Batch k-nearest-neighbor query under a [`QueryOptions`] value — the
+    /// sharded twin of [`BiLevelIndex::query_batch_opts`], bit-identical to
+    /// it on the same data and config at every option combination.
+    ///
+    /// `options.probe` selects the escalation rule exactly as on the
+    /// unsharded index: `None` uses the built probe with batch-median
+    /// escalation run in lockstep across shards; `Some(p)` is the
+    /// batch-invariant fixed-floor rule.
     ///
     /// # Panics
     ///
-    /// Panics if [`Engine::validate`] rejects the engine for this `k`.
-    pub fn query_batch_with(&self, queries: &Dataset, k: usize, engine: Engine) -> BatchResult {
-        engine.validate(k);
-        let by_shard = self.candidates_by_shard_with(queries, engine.threads());
-        self.rank_and_merge(queries, &by_shard, k, engine)
-    }
-
-    /// Serial-engine convenience over [`ShardedIndex::query_batch_with`].
-    pub fn query_batch(&self, queries: &Dataset, k: usize) -> BatchResult {
-        self.query_batch_with(queries, k, Engine::Serial)
-    }
-
-    /// Batch-invariant query under an explicit probe — the sharded twin of
-    /// [`BiLevelIndex::query_batch_at`], bit-identical to it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the engine is rejected for this `k` or `probe` is
-    /// incompatible with the built index.
-    pub fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
-    ) -> BatchResult {
-        engine.validate(k);
-        let by_shard = self.candidates_by_shard_at(queries, engine.threads(), probe);
-        self.rank_and_merge(queries, &by_shard, k, engine)
+    /// Panics if [`Engine::validate`] rejects the engine for this `k`, or
+    /// if `options.probe` is incompatible with the built index.
+    pub fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchResult {
+        let rec = options.recorder;
+        options.engine.validate(options.k);
+        let threads = options.engine.threads();
+        let by_shard = match options.probe {
+            None => self.candidates_by_shard_with(queries, threads, rec),
+            Some(probe) => self.candidates_by_shard_at(queries, threads, probe, rec),
+        };
+        if rec.enabled() {
+            rec.add(Counter::QueriesProbed, queries.len() as u64);
+            for q in 0..queries.len() {
+                let union: usize = by_shard.iter().map(|cands| cands[q].len()).sum();
+                rec.add(Counter::CandidatesGenerated, union as u64);
+                rec.observe(Value::CandidatesPerQuery, union as u64);
+            }
+        }
+        let rank_span = SpanTimer::start(rec, Stage::Rank);
+        let result = self.rank_and_merge(queries, &by_shard, options.k, options.engine);
+        drop(rank_span);
+        result
     }
 
     /// Batch query against **one shard only** — the building block for
@@ -339,26 +350,29 @@ impl ShardedIndex {
     /// shards can be merged directly with [`shortlist::merge_topk`]. For
     /// `Probe::Home` and `Probe::Multi` the per-shard candidate sets
     /// partition the unsharded candidate set, so merging **all** shards'
-    /// lists is bit-identical to [`ShardedIndex::query_batch_at`]. For
-    /// `Probe::Hierarchical` each shard escalates against the fixed
-    /// `min_candidates` floor using only its own counts (there is no
-    /// cross-shard union to coordinate on when shards answer
-    /// independently), which can probe deeper than the lockstep loop —
-    /// a superset, not bit-identical; fan-out layers must tag those
-    /// responses accordingly.
+    /// lists is bit-identical to [`ShardedIndex::query_batch_opts`] with
+    /// the same probe override. For `Probe::Hierarchical` each shard
+    /// escalates against the fixed `min_candidates` floor using only its
+    /// own counts (there is no cross-shard union to coordinate on when
+    /// shards answer independently), which can probe deeper than the
+    /// lockstep loop — a superset, not bit-identical; fan-out layers must
+    /// tag those responses accordingly.
+    ///
+    /// Per-shard queries always use the fixed-floor rule; `options.probe:
+    /// None` selects the built probe.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range, the engine is rejected for this
-    /// `k`, or `probe` is incompatible with the built index.
-    pub fn query_shard_batch_at(
+    /// `k`, or the probe is incompatible with the built index.
+    pub fn query_shard_batch_opts(
         &self,
         shard: usize,
         queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
+        options: &QueryOptions<'_>,
     ) -> BatchResult {
+        let (k, engine, rec) = (options.k, options.engine, options.recorder);
+        let probe = options.probe.unwrap_or(self.config.probe);
         assert!(shard < self.num_shards(), "shard {shard} out of range");
         assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
         assert!(
@@ -378,23 +392,34 @@ impl ShardedIndex {
             |scratch, q, slot| {
                 let v = queries.row(q);
                 let ctx = self.shard_ctx(shard);
-                let mut list = ctx.base_candidates(v, scratch, probe);
+                let mut list = ctx.base_candidates(v, scratch, probe, rec);
                 if matches!(probe, Probe::Hierarchical { .. }) && list.len() < floor {
+                    let span = SpanTimer::start(rec, Stage::Escalate);
+                    rec.add(Counter::Escalations, 1);
                     let mut want_buckets = 2usize;
                     loop {
-                        let (escalated, exhausted) = ctx.escalate_round(v, scratch, want_buckets);
+                        let (escalated, exhausted) =
+                            ctx.escalate_round(v, scratch, want_buckets, rec);
                         list = escalated;
                         if list.len() >= floor || exhausted {
                             break;
                         }
                         want_buckets *= 2;
                     }
+                    drop(span);
                 }
                 *slot = list;
             },
         );
+        if rec.enabled() {
+            rec.add(Counter::QueriesProbed, queries.len() as u64);
+            let total: usize = cands.iter().map(Vec::len).sum();
+            rec.add(Counter::CandidatesGenerated, total as u64);
+        }
         let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
+        let rank_span = SpanTimer::start(rec, Stage::Rank);
         let neighbors = rank_candidates(&self.data, queries, &cands, k, engine);
+        drop(rank_span);
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
     }
 
@@ -403,7 +428,10 @@ impl ShardedIndex {
     pub fn query(&self, v: &[f32], k: usize) -> Vec<Neighbor> {
         let mut q = Dataset::new(self.data.dim());
         q.push(v);
-        self.query_batch(&q, k).neighbors.pop().expect("one query in, one result out")
+        self.query_batch_opts(&q, &QueryOptions::new(k))
+            .neighbors
+            .pop()
+            .expect("one query in, one result out")
     }
 }
 
@@ -445,13 +473,13 @@ mod tests {
                 let sharded = ShardedIndex::build(data.clone(), &cfg, 4);
                 let k = 8;
                 // Batch path, median rule.
-                let a = flat.query_batch(&queries, k);
-                let b = sharded.query_batch(&queries, k);
+                let a = flat.query_batch_opts(&queries, &QueryOptions::new(k));
+                let b = sharded.query_batch_opts(&queries, &QueryOptions::new(k));
                 assert_eq!(a.neighbors, b.neighbors, "{quantizer:?} {probe:?}");
                 assert_eq!(a.candidates, b.candidates, "{quantizer:?} {probe:?}");
                 // Batch-invariant path at the full service level.
-                let c = flat.query_batch_at(&queries, k, Engine::Serial, probe);
-                let d = sharded.query_batch_at(&queries, k, Engine::Serial, probe);
+                let c = flat.query_batch_opts(&queries, &QueryOptions::new(k).probe(probe));
+                let d = sharded.query_batch_opts(&queries, &QueryOptions::new(k).probe(probe));
                 assert_eq!(c.neighbors, d.neighbors, "{quantizer:?} {probe:?}");
                 assert_eq!(c.candidates, d.candidates, "{quantizer:?} {probe:?}");
                 // Single-query path.
@@ -472,8 +500,8 @@ mod tests {
         let cfg = BiLevelConfig::paper_default(2.0).probe(Probe::Multi(4));
         let flat = BiLevelIndex::build(&data, &cfg);
         let sharded = ShardedIndex::build(data.clone(), &cfg, 1);
-        let a = flat.query_batch(&queries, 10);
-        let b = sharded.query_batch(&queries, 10);
+        let a = flat.query_batch_opts(&queries, &QueryOptions::new(10));
+        let b = sharded.query_batch_opts(&queries, &QueryOptions::new(10));
         assert_eq!(a.neighbors, b.neighbors);
     }
 
@@ -484,11 +512,11 @@ mod tests {
             BiLevelConfig::paper_default(2.0).probe(Probe::Hierarchical { min_candidates: 15 });
         let sharded = ShardedIndex::build(data, &cfg, 3);
         let k = 6;
-        let serial = sharded.query_batch_with(&queries, k, Engine::Serial);
+        let serial = sharded.query_batch_opts(&queries, &QueryOptions::new(k));
         for engine in
             [Engine::PerQuery { threads: 3 }, Engine::WorkQueue { threads: 2, capacity: 128 }]
         {
-            let got = sharded.query_batch_with(&queries, k, engine);
+            let got = sharded.query_batch_opts(&queries, &QueryOptions::new(k).engine(engine));
             assert_eq!(serial.neighbors, got.neighbors, "{engine:?}");
             assert_eq!(serial.candidates, got.candidates, "{engine:?}");
         }
@@ -502,8 +530,8 @@ mod tests {
         let flat = BiLevelIndex::build(&data, &cfg);
         let sharded = ShardedIndex::build(data.clone(), &cfg, 2);
         for rung in cfg.probe.ladder() {
-            let a = flat.query_batch_at(&queries, 5, Engine::Serial, rung);
-            let b = sharded.query_batch_at(&queries, 5, Engine::Serial, rung);
+            let a = flat.query_batch_opts(&queries, &QueryOptions::new(5).probe(rung));
+            let b = sharded.query_batch_opts(&queries, &QueryOptions::new(5).probe(rung));
             assert_eq!(a.neighbors, b.neighbors, "rung {rung:?}");
         }
     }
@@ -515,9 +543,11 @@ mod tests {
         for probe in [Probe::Home, Probe::Multi(8)] {
             let cfg = BiLevelConfig::paper_default(2.0).probe(probe);
             let sharded = ShardedIndex::build(data.clone(), &cfg, 3);
-            let full = sharded.query_batch_at(&queries, k, Engine::Serial, probe);
+            let full = sharded.query_batch_opts(&queries, &QueryOptions::new(k).probe(probe));
             let per_shard: Vec<BatchResult> = (0..3)
-                .map(|s| sharded.query_shard_batch_at(s, &queries, k, Engine::Serial, probe))
+                .map(|s| {
+                    sharded.query_shard_batch_opts(s, &queries, &QueryOptions::new(k).probe(probe))
+                })
                 .collect();
             for q in 0..queries.len() {
                 let lists: Vec<Vec<Neighbor>> =

@@ -1,0 +1,236 @@
+//! The deprecation contract: every legacy query entry point must stay
+//! bit-identical to its one-line [`QueryOptions`] replacement, across
+//! probe modes and quantizers, and attaching a recorder must never change
+//! an answer. This suite (with `crates/core/src/compat.rs`) is the only
+//! place in the tree allowed to call the legacy signatures.
+#![allow(deprecated)]
+
+use bilevel_lsh::telemetry::{Counter, InMemoryRecorder, NoopRecorder, Value};
+use bilevel_lsh::{
+    BatchResult, BiLevelConfig, BiLevelIndex, Engine, OocFlatIndex, Partition, Probe, Quantizer,
+    QueryOptions, ShardedIndex, WidthMode,
+};
+use rptree::SplitRule;
+use vecstore::io::write_fvecs;
+use vecstore::ooc::OocDataset;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{Dataset, Neighbor};
+
+fn corpus() -> (Dataset, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::benchmark(24, 640), 11);
+    all.split_at(600)
+}
+
+fn config(probe: Probe, quantizer: Quantizer) -> BiLevelConfig {
+    BiLevelConfig {
+        l: 6,
+        m: 6,
+        width: WidthMode::Fixed(40.0),
+        partition: Partition::RpTree { groups: 4, rule: SplitRule::Max },
+        quantizer,
+        probe,
+        table_pool: None,
+        seed: 0x5eed,
+    }
+}
+
+/// The three probe modes × two quantizers the deprecation contract is
+/// proven over.
+fn grid() -> Vec<BiLevelConfig> {
+    let mut out = Vec::new();
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        for probe in [Probe::Home, Probe::Multi(16), Probe::Hierarchical { min_candidates: 12 }] {
+            out.push(config(probe, quantizer));
+        }
+    }
+    out
+}
+
+/// Collapse a batch answer to exact bit patterns: any drift in id order,
+/// distance rounding, or candidate accounting fails the comparison.
+fn bits(r: &BatchResult) -> (Vec<Vec<(usize, u32)>>, Vec<usize>) {
+    let neighbors =
+        r.neighbors.iter().map(|q| q.iter().map(|n| (n.id, n.dist.to_bits())).collect()).collect();
+    (neighbors, r.candidates.clone())
+}
+
+fn neighbor_bits(r: &[Vec<Neighbor>]) -> Vec<Vec<(usize, u32)>> {
+    r.iter().map(|q| q.iter().map(|n| (n.id, n.dist.to_bits())).collect()).collect()
+}
+
+#[test]
+fn bilevel_legacy_entry_points_match_query_batch_opts() {
+    let (data, queries) = corpus();
+    for cfg in grid() {
+        let index = BiLevelIndex::build(&data, &cfg);
+        let label = format!("{:?}/{:?}", cfg.quantizer, cfg.probe);
+
+        let legacy = index.query_batch(&queries, 10);
+        let unified = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        assert_eq!(bits(&legacy), bits(&unified), "query_batch drifted ({label})");
+
+        for engine in [Engine::Serial, Engine::PerQuery { threads: 4 }] {
+            let legacy = index.query_batch_with(&queries, 10, engine);
+            let unified = index.query_batch_opts(&queries, &QueryOptions::new(10).engine(engine));
+            assert_eq!(bits(&legacy), bits(&unified), "query_batch_with drifted ({label})");
+
+            // Explicit-probe (fixed-floor) path: probe at the built mode.
+            let legacy = index.query_batch_at(&queries, 10, engine, cfg.probe);
+            let unified = index
+                .query_batch_opts(&queries, &QueryOptions::new(10).engine(engine).probe(cfg.probe));
+            assert_eq!(bits(&legacy), bits(&unified), "query_batch_at drifted ({label})");
+        }
+    }
+}
+
+#[test]
+fn sharded_legacy_entry_points_match_query_batch_opts() {
+    let (data, queries) = corpus();
+    for cfg in grid() {
+        let index = ShardedIndex::build(data.clone(), &cfg, 3);
+        let label = format!("{:?}/{:?}", cfg.quantizer, cfg.probe);
+
+        let legacy = index.query_batch(&queries, 10);
+        let unified = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        assert_eq!(bits(&legacy), bits(&unified), "sharded query_batch drifted ({label})");
+
+        let engine = Engine::PerQuery { threads: 4 };
+        let legacy = index.query_batch_with(&queries, 10, engine);
+        let unified = index.query_batch_opts(&queries, &QueryOptions::new(10).engine(engine));
+        assert_eq!(bits(&legacy), bits(&unified), "sharded query_batch_with drifted ({label})");
+
+        let legacy = index.query_batch_at(&queries, 10, engine, cfg.probe);
+        let unified = index
+            .query_batch_opts(&queries, &QueryOptions::new(10).engine(engine).probe(cfg.probe));
+        assert_eq!(bits(&legacy), bits(&unified), "sharded query_batch_at drifted ({label})");
+
+        for shard in 0..index.num_shards() {
+            let legacy = index.query_shard_batch_at(shard, &queries, 10, engine, cfg.probe);
+            let unified = index.query_shard_batch_opts(
+                shard,
+                &queries,
+                &QueryOptions::new(10).engine(engine).probe(cfg.probe),
+            );
+            assert_eq!(
+                bits(&legacy),
+                bits(&unified),
+                "query_shard_batch_at drifted (shard {shard}, {label})"
+            );
+        }
+    }
+}
+
+#[test]
+fn ooc_legacy_entry_points_match_replacements() {
+    let (data, queries) = corpus();
+    let dir = std::env::temp_dir().join("bilevel_equivalence_ooc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.fvecs");
+    write_fvecs(&path, &data).unwrap();
+    let source = OocDataset::open(&path).unwrap();
+
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        for probe in [Probe::Home, Probe::Multi(16)] {
+            let cfg = config(probe, quantizer);
+            let index = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+            let label = format!("{quantizer:?}/{probe:?}");
+
+            // `query_batch` was the serial per-row baseline, now named
+            // `query_batch_per_row`.
+            let legacy = index.query_batch(&queries, 10).unwrap();
+            let per_row = index.query_batch_per_row(&queries, 10).unwrap();
+            assert_eq!(
+                neighbor_bits(&legacy),
+                neighbor_bits(&per_row),
+                "ooc query_batch drifted from per-row baseline ({label})"
+            );
+
+            // `query_batch_with` was the coalesced thread-pool path.
+            for threads in [1usize, 4] {
+                let legacy = index.query_batch_with(&queries, 10, threads).unwrap();
+                let unified = index
+                    .query_batch_opts(
+                        &queries,
+                        &QueryOptions::new(10).engine(Engine::PerQuery { threads }),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    neighbor_bits(&legacy),
+                    neighbor_bits(&unified),
+                    "ooc query_batch_with drifted ({label}, {threads} threads)"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn attaching_a_recorder_never_changes_answers() {
+    let (data, queries) = corpus();
+    let noop = NoopRecorder;
+    for cfg in grid() {
+        let index = BiLevelIndex::build(&data, &cfg);
+        let label = format!("{:?}/{:?}", cfg.quantizer, cfg.probe);
+
+        let bare = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        let with_noop = index.query_batch_opts(&queries, &QueryOptions::new(10).recorder(&noop));
+        assert_eq!(bits(&bare), bits(&with_noop), "explicit NoopRecorder drifted ({label})");
+
+        let live = InMemoryRecorder::new();
+        let with_live = index.query_batch_opts(&queries, &QueryOptions::new(10).recorder(&live));
+        assert_eq!(bits(&bare), bits(&with_live), "InMemoryRecorder drifted ({label})");
+    }
+}
+
+#[test]
+fn recorder_counters_match_ground_truth() {
+    let (data, queries) = corpus();
+    let cfg = config(Probe::Hierarchical { min_candidates: 12 }, Quantizer::Zm);
+    let index = BiLevelIndex::build(&data, &cfg);
+
+    let rec = InMemoryRecorder::new();
+    let result = index.query_batch_opts(&queries, &QueryOptions::new(10).recorder(&rec));
+    assert_eq!(rec.counter(Counter::QueriesProbed), queries.len() as u64);
+    let total: usize = result.candidates.iter().sum();
+    assert_eq!(rec.counter(Counter::CandidatesGenerated), total as u64);
+    assert_eq!(rec.value(Value::CandidatesPerQuery).count, queries.len() as u64);
+    assert_eq!(rec.value(Value::CandidatesPerQuery).sum, total as u64);
+
+    // Forced-escalation workload: a floor no home bucket can satisfy makes
+    // every query escalate exactly once (rounds grow geometrically inside).
+    let rec = InMemoryRecorder::new();
+    let floor = Probe::Hierarchical { min_candidates: data.len() };
+    let _ = index.query_batch_opts(&queries, &QueryOptions::new(10).probe(floor).recorder(&rec));
+    assert_eq!(rec.counter(Counter::Escalations), queries.len() as u64);
+    assert!(rec.counter(Counter::EscalationRounds) >= rec.counter(Counter::Escalations));
+
+    // A multi-probe override visits extra buckets and reports them.
+    let rec = InMemoryRecorder::new();
+    let _ = index
+        .query_batch_opts(&queries, &QueryOptions::new(10).probe(Probe::Multi(16)).recorder(&rec));
+    assert!(rec.counter(Counter::MultiProbeBuckets) > 0);
+    assert_eq!(rec.counter(Counter::Escalations), 0);
+}
+
+#[test]
+fn ooc_recorder_counts_reads_and_bytes() {
+    let (data, queries) = corpus();
+    let dir = std::env::temp_dir().join("bilevel_equivalence_ooc_telemetry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.fvecs");
+    write_fvecs(&path, &data).unwrap();
+    let source = OocDataset::open(&path).unwrap();
+    let cfg = config(Probe::Multi(8), Quantizer::Zm);
+    let index = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
+
+    let rec = InMemoryRecorder::new();
+    let _ = index.query_batch_opts(&queries, &QueryOptions::new(10).recorder(&rec)).unwrap();
+    assert_eq!(rec.counter(Counter::QueriesProbed), queries.len() as u64);
+    let reads = rec.counter(Counter::OocReads);
+    assert!(reads > 0, "coalesced path must report positioned reads");
+    let bytes = rec.counter(Counter::OocBytesRead);
+    assert!(bytes >= reads * (data.dim() * 4) as u64, "each read fetches >= one row");
+    assert_eq!(rec.counter(Counter::OocRetries), 0, "healthy file must not retry");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,7 +4,7 @@
 //! fault-free run, serial and parallel alike. Permanent failures must
 //! surface as typed errors, never as silent corruption.
 
-use bilevel_lsh::{BiLevelConfig, OocFlatIndex, Probe};
+use bilevel_lsh::{BiLevelConfig, Engine, OocFlatIndex, Probe, QueryOptions};
 use vecstore::fault::{FaultKind, FaultPlan, FaultyDataset};
 use vecstore::io::write_fvecs;
 use vecstore::synth::{self, ClusteredSpec};
@@ -31,7 +31,7 @@ fn fixture(name: &str) -> (std::path::PathBuf, vecstore::Dataset) {
 /// The fault-free reference: build + serial batch answers.
 fn baseline(ooc: &OocDataset, queries: &vecstore::Dataset) -> Vec<Vec<Neighbor>> {
     let index = OocFlatIndex::build_with(ooc, &ooc_config(), SAMPLE, 2).unwrap();
-    index.query_batch(queries, K).unwrap()
+    index.query_batch_per_row(queries, K).unwrap()
 }
 
 /// The seeded fault matrix: every transient class × 1% and 5% rates ×
@@ -54,7 +54,10 @@ fn transient_fault_matrix_is_bit_identical_to_fault_free() {
                 .unwrap_or_else(|e| panic!("{kind} @ {rate}: transient-only build failed: {e}"));
             for threads in [1usize, 4] {
                 let got = index
-                    .query_batch_with(&queries, K, threads)
+                    .query_batch_opts(
+                        &queries,
+                        &QueryOptions::new(K).engine(Engine::PerQuery { threads }),
+                    )
                     .unwrap_or_else(|e| panic!("{kind} @ {rate} x{threads}: query failed: {e}"));
                 assert_eq!(
                     got, want,
@@ -89,7 +92,15 @@ fn mixed_fault_plan_is_bit_identical_to_fault_free() {
     let faulty = FaultyDataset::new(&ooc, FaultPlan::transient_mix(0xDEAD, 0.02));
     let index = OocFlatIndex::build_with(&faulty, &ooc_config(), SAMPLE, 2).unwrap();
     for threads in [1usize, 4] {
-        assert_eq!(index.query_batch_with(&queries, K, threads).unwrap(), want);
+        assert_eq!(
+            index
+                .query_batch_opts(
+                    &queries,
+                    &QueryOptions::new(K).engine(Engine::PerQuery { threads })
+                )
+                .unwrap(),
+            want
+        );
     }
     assert!(faulty.stats().total() > 0);
     std::fs::remove_file(&path).ok();

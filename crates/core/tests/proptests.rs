@@ -2,7 +2,9 @@
 //! and deterministic on arbitrary datasets and configurations, and the flat
 //! storage stays equivalent to the table storage.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Partition, Probe, Quantizer};
+use bilevel_lsh::{
+    BiLevelConfig, BiLevelIndex, FlatIndex, Partition, Probe, Quantizer, QueryOptions,
+};
 use proptest::prelude::*;
 use rptree::SplitRule;
 use vecstore::Dataset;
@@ -49,7 +51,7 @@ proptest! {
         let data = Dataset::from_rows(&rows);
         let index = BiLevelIndex::build(&data, &cfg);
         let queries = data.gather(&[0, rows.len() / 2]);
-        let result = index.query_batch(&queries, k);
+        let result = index.query_batch_opts(&queries, &QueryOptions::new(k));
         prop_assert_eq!(result.neighbors.len(), 2);
         for (hits, &cands) in result.neighbors.iter().zip(&result.candidates) {
             prop_assert!(hits.len() <= k);
@@ -80,8 +82,8 @@ proptest! {
     fn index_is_deterministic(rows in dataset(), cfg in config()) {
         let data = Dataset::from_rows(&rows);
         let queries = data.gather(&[1]);
-        let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 4);
-        let b = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 4);
+        let a = BiLevelIndex::build(&data, &cfg).query_batch_opts(&queries, &QueryOptions::new(4));
+        let b = BiLevelIndex::build(&data, &cfg).query_batch_opts(&queries, &QueryOptions::new(4));
         prop_assert_eq!(a.neighbors, b.neighbors);
         prop_assert_eq!(a.candidates, b.candidates);
     }

@@ -44,7 +44,8 @@ proptest! {
     #[test]
     fn high_load_builds_stay_complete(items in distinct_items(), load in 1u32..=9) {
         let load = load as f64 / 10.0;
-        let table = CuckooTable::build_with_load(items.clone(), load, 5).unwrap();
+        let table = CuckooTable::build_with_load(items.clone(), load, 5)
+            .unwrap_or_else(|e| panic!("build at load {load}: {e}"));
         for (k, v) in items {
             prop_assert_eq!(table.get(k), Some(v));
         }

@@ -206,7 +206,7 @@ impl RpTree {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidParts`] naming the violated invariant.
+    /// Returns [`crate::partition::InvalidParts`] naming the violated invariant.
     pub fn from_parts(parts: RpTreeParts) -> Result<Self, crate::partition::InvalidParts> {
         use crate::partition::InvalidParts;
         let RpTreeParts { nodes, num_leaves, dim } = parts;

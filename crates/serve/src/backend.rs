@@ -1,6 +1,6 @@
 //! The index abstraction the dispatcher executes batches against.
 
-use bilevel_lsh::{BatchResult, BiLevelIndex, Engine, Neighbor, Probe, ShardedIndex};
+use bilevel_lsh::{BatchResult, BiLevelIndex, Neighbor, Probe, QueryOptions, ShardedIndex};
 use vecstore::Dataset;
 
 /// How much of the corpus a batch's answers actually cover: `answered`
@@ -53,8 +53,9 @@ impl From<BatchResult> for BatchOutcome {
 
 /// An index the service can drive: a single [`BiLevelIndex`], a
 /// [`ShardedIndex`], or a [`crate::fanout::FanoutBackend`] probing
-/// shards independently behind circuit breakers. All expose the
-/// batch-invariant `query_batch_at` path, so any micro-batch composition
+/// shards independently behind circuit breakers. The dispatcher always
+/// sets an explicit probe rung in its [`QueryOptions`], which selects the
+/// batch-invariant escalation path — so any micro-batch composition
 /// returns per-request answers bit-identical to serial single-query
 /// answers (at full coverage).
 pub trait Backend: Send + Sync + 'static {
@@ -67,15 +68,11 @@ pub trait Backend: Send + Sync + 'static {
     /// Whether a (possibly degraded) probe can run on this index.
     fn supports_probe(&self, probe: Probe) -> bool;
 
-    /// Batch query at an explicit probe rung, batch-invariant semantics,
-    /// tagged with the coverage achieved.
-    fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
-    ) -> BatchOutcome;
+    /// Batch query under `options` (the service always sets
+    /// `options.probe`, giving batch-invariant semantics), tagged with
+    /// the coverage achieved. Stage timings and counters flow into
+    /// `options.recorder`.
+    fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchOutcome;
 }
 
 impl Backend for BiLevelIndex<'static> {
@@ -91,14 +88,8 @@ impl Backend for BiLevelIndex<'static> {
         BiLevelIndex::supports_probe(self, probe)
     }
 
-    fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
-    ) -> BatchOutcome {
-        BiLevelIndex::query_batch_at(self, queries, k, engine, probe).into()
+    fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchOutcome {
+        BiLevelIndex::query_batch_opts(self, queries, options).into()
     }
 }
 
@@ -115,13 +106,7 @@ impl Backend for ShardedIndex {
         ShardedIndex::supports_probe(self, probe)
     }
 
-    fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
-    ) -> BatchOutcome {
-        ShardedIndex::query_batch_at(self, queries, k, engine, probe).into()
+    fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchOutcome {
+        ShardedIndex::query_batch_opts(self, queries, options).into()
     }
 }

@@ -13,9 +13,17 @@
 //! are submitted eagerly so consecutive stdin lines coalesce into
 //! micro-batches; a closing stats summary goes to stderr.
 //!
+//! Three control lines are recognized instead of a query vector (after all
+//! in-flight responses are flushed, so output order is preserved):
+//!
+//! * `STATS` — telemetry snapshot in Prometheus text format, to stdout;
+//! * `STATS JSON` / `TELEMETRY JSON` — the same snapshot as one JSON line;
+//! * `TELEMETRY` — human-readable per-stage breakdown table.
+//!
 //! Hand-rolled flag parsing keeps the binary dependency-free beyond the
 //! workspace crates.
 
+use bilevel_lsh::telemetry::InMemoryRecorder;
 use bilevel_lsh::{
     BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, ShardedIndex, WidthMode,
 };
@@ -25,6 +33,7 @@ use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vecstore::io::read_fvecs;
 
@@ -99,10 +108,12 @@ fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Err
         seed: flags.num("--seed", 0x0b11_e7e1u64),
     };
 
+    let recorder = Arc::new(InMemoryRecorder::new());
     let service_config = ServiceConfig::default()
         .max_batch(flags.num("--batch", 32))
         .max_wait(Duration::from_micros(flags.num("--wait-us", 1000u64)))
-        .queue_capacity(flags.num("--queue", 1024));
+        .queue_capacity(flags.num("--queue", 1024))
+        .recorder(recorder.clone());
     let shards: usize = flags.num("--shards", 1);
 
     let t = Instant::now();
@@ -117,7 +128,7 @@ fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Err
     let k: usize = flags.num("--k", 10);
     let deadline: Option<Duration> =
         flags.get("--deadline-ms").map(|_| Duration::from_millis(flags.num("--deadline-ms", 0u64)));
-    run_loop(service, k, deadline)
+    run_loop(service, k, deadline, &recorder)
 }
 
 /// Pumps stdin lines through the service, keeping responses in input
@@ -126,6 +137,7 @@ fn run_loop(
     service: Service,
     k: usize,
     deadline: Option<Duration>,
+    recorder: &InMemoryRecorder,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let handle = service.handle()?;
     let stdin = std::io::stdin();
@@ -138,6 +150,21 @@ fn run_loop(
     for line in stdin.lock().lines() {
         let line = line?;
         if line.trim().is_empty() {
+            continue;
+        }
+        // Telemetry control lines: flush every in-flight response first so
+        // stdout stays in input order, then print the snapshot.
+        if let Some(format) = stats_command(line.trim()) {
+            for ticket in pending.drain(..) {
+                print_response(&mut out, ticket.wait(), &mut failed)?;
+            }
+            let snapshot = recorder.snapshot();
+            match format {
+                StatsFormat::Prometheus => out.write_all(snapshot.to_prometheus().as_bytes())?,
+                StatsFormat::Json => writeln!(out, "{}", snapshot.to_json())?,
+                StatsFormat::Table => out.write_all(snapshot.render_table().as_bytes())?,
+            }
+            out.flush()?;
             continue;
         }
         let vector: Vec<f32> = line
@@ -194,8 +221,28 @@ fn run_loop(
         "latency p50 {:?}, p95 {:?}, p99 {:?}, max {:?}",
         stats.latency_p50, stats.latency_p95, stats.latency_p99, stats.latency_max
     );
+    eprint!("{}", recorder.snapshot().render_table());
     service.shutdown();
     Ok(())
+}
+
+/// Output format of a recognized telemetry control line.
+enum StatsFormat {
+    Prometheus,
+    Json,
+    Table,
+}
+
+/// Parses `STATS` / `STATS JSON` / `TELEMETRY` / `TELEMETRY JSON`
+/// (case-insensitive); anything else is a query vector.
+fn stats_command(line: &str) -> Option<StatsFormat> {
+    let upper = line.to_ascii_uppercase();
+    match upper.as_str() {
+        "STATS" => Some(StatsFormat::Prometheus),
+        "STATS JSON" | "TELEMETRY JSON" => Some(StatsFormat::Json),
+        "TELEMETRY" => Some(StatsFormat::Table),
+        _ => None,
+    }
 }
 
 /// Prints one output line per resolved ticket, keeping input order even

@@ -21,7 +21,8 @@
 //! Every transition and every skipped shard is counted in [`FaultStats`].
 
 use crate::backend::{Backend, BatchOutcome, Coverage};
-use bilevel_lsh::{BatchResult, Engine, Probe, ShardedIndex};
+use bilevel_lsh::{BatchResult, Probe, QueryOptions, ShardedIndex};
+use knn_telemetry::{Counter, Recorder, SpanTimer, Stage};
 use shortlist::merge_topk;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,14 +119,14 @@ pub trait ShardSource: Send + Sync + 'static {
     fn num_shards(&self) -> usize;
 
     /// Batch top-k against one shard: global row ids, final (sqrt'd)
-    /// distances, directly mergeable across shards.
-    fn query_shard_batch_at(
+    /// distances, directly mergeable across shards. Always fixed-floor
+    /// (batch-invariant) escalation; `options.probe` of `None` means the
+    /// built probe.
+    fn query_shard_batch_opts(
         &self,
         shard: usize,
         queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
+        options: &QueryOptions<'_>,
     ) -> BatchResult;
 }
 
@@ -146,15 +147,13 @@ impl ShardSource for Arc<ShardedIndex> {
         ShardedIndex::num_shards(self)
     }
 
-    fn query_shard_batch_at(
+    fn query_shard_batch_opts(
         &self,
         shard: usize,
         queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
+        options: &QueryOptions<'_>,
     ) -> BatchResult {
-        ShardedIndex::query_shard_batch_at(self, shard, queries, k, engine, probe)
+        ShardedIndex::query_shard_batch_opts(self, shard, queries, options)
     }
 }
 
@@ -180,9 +179,8 @@ enum BreakerState {
 /// per-shard circuit breakers, coverage-tagged merges.
 ///
 /// At full coverage, `Probe::Home` / `Probe::Multi` answers are
-/// bit-identical to the underlying index's lockstep
-/// `query_batch_at` (the per-shard candidate sets partition the
-/// unsharded set). `Probe::Hierarchical` escalates per shard against the
+/// bit-identical to the underlying index's lockstep batch path (the
+/// per-shard candidate sets partition the unsharded set). `Probe::Hierarchical` escalates per shard against the
 /// fixed floor, which can probe deeper than lockstep — a candidate
 /// superset, still exact over its candidates. At partial coverage the
 /// merge covers only the healthy shards' rows.
@@ -232,7 +230,7 @@ impl<S: ShardSource> FanoutBackend<S> {
 
     /// Whether `shard` may be queried now. Advances `Open → HalfOpen`
     /// when the open window has elapsed.
-    fn admit(&self, shard: usize, now: Instant) -> bool {
+    fn admit(&self, shard: usize, now: Instant, rec: &dyn Recorder) -> bool {
         let mut breakers = self.lock_breakers();
         match breakers[shard] {
             BreakerState::Closed { .. } => true,
@@ -243,6 +241,7 @@ impl<S: ShardSource> FanoutBackend<S> {
             }
             BreakerState::Open { .. } => {
                 FaultStats::bump(&self.stats.shards_skipped);
+                rec.add(Counter::ShardsSkipped, 1);
                 false
             }
             // Concurrent batches during a probe ride along with it.
@@ -250,15 +249,16 @@ impl<S: ShardSource> FanoutBackend<S> {
         }
     }
 
-    fn on_success(&self, shard: usize) {
+    fn on_success(&self, shard: usize, rec: &dyn Recorder) {
         let mut breakers = self.lock_breakers();
         if matches!(breakers[shard], BreakerState::HalfOpen) {
             FaultStats::bump(&self.stats.breaker_closes);
+            rec.add(Counter::BreakerCloses, 1);
         }
         breakers[shard] = BreakerState::Closed { failures: 0 };
     }
 
-    fn on_failure(&self, shard: usize, now: Instant) {
+    fn on_failure(&self, shard: usize, now: Instant, rec: &dyn Recorder) {
         FaultStats::bump(&self.stats.shard_panics);
         let mut breakers = self.lock_breakers();
         let open = BreakerState::Open { until: now + self.config.open_for };
@@ -268,6 +268,7 @@ impl<S: ShardSource> FanoutBackend<S> {
                 if failures >= self.config.failure_threshold {
                     breakers[shard] = open;
                     FaultStats::bump(&self.stats.breaker_opens);
+                    rec.add(Counter::BreakerOpens, 1);
                 } else {
                     breakers[shard] = BreakerState::Closed { failures };
                 }
@@ -276,6 +277,7 @@ impl<S: ShardSource> FanoutBackend<S> {
             BreakerState::HalfOpen => {
                 breakers[shard] = open;
                 FaultStats::bump(&self.stats.breaker_opens);
+                rec.add(Counter::BreakerOpens, 1);
             }
             // Already open (a concurrent batch raced the trip): keep the
             // existing window.
@@ -297,37 +299,36 @@ impl<S: ShardSource> Backend for FanoutBackend<S> {
         self.source.supports_probe(probe)
     }
 
-    fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
-    ) -> BatchOutcome {
+    fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchOutcome {
+        let rec = options.recorder;
         let total = self.source.num_shards();
         let mut per_shard: Vec<Option<BatchResult>> = Vec::with_capacity(total);
         for shard in 0..total {
             let now = Instant::now();
-            if !self.admit(shard, now) {
+            if !self.admit(shard, now, rec) {
                 per_shard.push(None);
                 continue;
             }
+            rec.add(Counter::FanoutShardQueries, 1);
+            let span = SpanTimer::start(rec, Stage::ShardQuery);
             // Contain a panicking shard: it fails alone, trips its own
             // breaker, and the batch is answered from the rest.
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                self.source.query_shard_batch_at(shard, queries, k, engine, probe)
+                self.source.query_shard_batch_opts(shard, queries, options)
             }));
+            drop(span);
             match result {
                 Ok(r) => {
-                    self.on_success(shard);
+                    self.on_success(shard, rec);
                     per_shard.push(Some(r));
                 }
                 Err(_) => {
-                    self.on_failure(shard, Instant::now());
+                    self.on_failure(shard, Instant::now(), rec);
                     per_shard.push(None);
                 }
             }
         }
+        let k = options.k;
         let answered = per_shard.iter().flatten().count();
         let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
         let mut candidates: Vec<usize> = Vec::with_capacity(queries.len());
@@ -380,18 +381,16 @@ mod tests {
             self.inner.num_shards()
         }
 
-        fn query_shard_batch_at(
+        fn query_shard_batch_opts(
             &self,
             shard: usize,
             queries: &Dataset,
-            k: usize,
-            engine: Engine,
-            probe: Probe,
+            options: &QueryOptions<'_>,
         ) -> BatchResult {
             if shard == self.bad_shard && self.failing.load(Ordering::Relaxed) {
                 panic!("injected shard failure");
             }
-            self.inner.query_shard_batch_at(shard, queries, k, engine, probe)
+            self.inner.query_shard_batch_opts(shard, queries, options)
         }
     }
 
@@ -406,8 +405,9 @@ mod tests {
         let (idx, queries) = sharded();
         let fanout = FanoutBackend::new(Arc::clone(&idx), FanoutConfig::default());
         for probe in [Probe::Home, Probe::Multi(8)] {
-            let got = fanout.query_batch_at(&queries, 9, Engine::Serial, probe);
-            let want = idx.query_batch_at(&queries, 9, Engine::Serial, probe);
+            let opts = QueryOptions::new(9).probe(probe);
+            let got = fanout.query_batch_opts(&queries, &opts);
+            let want = idx.query_batch_opts(&queries, &opts);
             assert!(got.coverage.is_full());
             assert_eq!(got.coverage.total, 3);
             assert_eq!(got.neighbors, want.neighbors);
@@ -433,18 +433,19 @@ mod tests {
 
         // Failures below the threshold: partial answers, breaker still
         // closed (each call retries the shard).
-        let first = fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        let opts = QueryOptions::new(5).probe(Probe::Home);
+        let first = fanout.query_batch_opts(&q, &opts);
         assert_eq!(first.coverage, Coverage { answered: 2, total: 3 });
         assert_eq!(fanout.breaker_states()[1], BreakerPhase::Closed);
 
         // Second consecutive failure trips the breaker.
-        fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        fanout.query_batch_opts(&q, &opts);
         assert_eq!(fanout.breaker_states()[1], BreakerPhase::Open);
         assert_eq!(stats.breaker_opens(), 1);
         assert_eq!(stats.shard_panics(), 2);
 
         // While open, the shard is skipped without touching it.
-        let skipped = fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        let skipped = fanout.query_batch_opts(&q, &opts);
         assert_eq!(skipped.coverage, Coverage { answered: 2, total: 3 });
         assert_eq!(stats.shard_panics(), 2, "open breaker must not probe the shard");
         assert!(stats.shards_skipped() >= 1);
@@ -454,15 +455,12 @@ mod tests {
         // bit-identical to the healthy lockstep fan-out.
         flaky.failing.store(false, Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(25));
-        let healed = fanout.query_batch_at(&q, 5, Engine::Serial, Probe::Home);
+        let healed = fanout.query_batch_opts(&q, &opts);
         assert!(healed.coverage.is_full());
         assert_eq!(stats.half_open_probes(), 1);
         assert_eq!(stats.breaker_closes(), 1);
         assert_eq!(fanout.breaker_states()[1], BreakerPhase::Closed);
-        assert_eq!(
-            healed.neighbors,
-            idx.query_batch_at(&q, 5, Engine::Serial, Probe::Home).neighbors
-        );
+        assert_eq!(healed.neighbors, idx.query_batch_opts(&q, &opts).neighbors);
     }
 
     #[test]
@@ -476,11 +474,12 @@ mod tests {
         let stats = fanout.fault_stats();
         let q = one_query(&queries, 1);
 
-        fanout.query_batch_at(&q, 3, Engine::Serial, Probe::Home);
+        let opts = QueryOptions::new(3).probe(Probe::Home);
+        fanout.query_batch_opts(&q, &opts);
         assert_eq!(fanout.breaker_states()[2], BreakerPhase::Open);
         std::thread::sleep(Duration::from_millis(15));
         // Probe fires, shard still broken: back to Open for another window.
-        fanout.query_batch_at(&q, 3, Engine::Serial, Probe::Home);
+        fanout.query_batch_opts(&q, &opts);
         assert_eq!(fanout.breaker_states()[2], BreakerPhase::Open);
         assert_eq!(stats.half_open_probes(), 1);
         assert_eq!(stats.breaker_opens(), 2);

@@ -10,7 +10,7 @@
 //! a dispatcher thread coalesces pending requests into dynamic
 //! micro-batches — dispatching when `max_batch` requests accumulate or
 //! `max_wait` elapses — and executes them through the index's
-//! batch-invariant [`query_batch_at`](bilevel_lsh::BiLevelIndex::query_batch_at)
+//! batch-invariant [`query_batch_opts`](bilevel_lsh::BiLevelIndex::query_batch_opts)
 //! path, so batched answers stay bit-identical to serial single-query
 //! answers.
 //!

@@ -6,7 +6,8 @@
 
 use crate::backend::{Backend, Coverage};
 use crate::stats::{ServiceStats, SharedStats};
-use bilevel_lsh::{Engine, Probe};
+use bilevel_lsh::{Engine, Probe, QueryOptions};
+use knn_telemetry::{Counter, NoopRecorder, Recorder, SpanTimer, Stage, Value};
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
@@ -39,6 +40,11 @@ pub struct ServiceConfig {
     /// service answers everything queued with
     /// [`ResponseError::ServiceDied`] and closes.
     pub max_dispatcher_restarts: u32,
+    /// Telemetry sink every batch reports into: queue wait, batch
+    /// assembly, rung choices, and (through the backend's
+    /// [`QueryOptions`]) per-stage index timings. Defaults to the
+    /// zero-overhead [`NoopRecorder`].
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +56,7 @@ impl Default for ServiceConfig {
             engine: Engine::Serial,
             safety_factor: 1.5,
             max_dispatcher_restarts: 8,
+            recorder: Arc::new(NoopRecorder),
         }
     }
 }
@@ -82,6 +89,12 @@ impl ServiceConfig {
     /// Builder-style dispatcher restart cap.
     pub fn max_dispatcher_restarts(mut self, n: u32) -> Self {
         self.max_dispatcher_restarts = n;
+        self
+    }
+
+    /// Builder-style telemetry sink.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -541,6 +554,7 @@ impl<B: Backend> Dispatcher<B> {
             };
             self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
             let mut batch = vec![first];
+            let assembly = SpanTimer::start(&*self.config.recorder, Stage::BatchAssembly);
             // Collect stragglers until the batch fills or the window
             // closes. The window never extends past a batched request's
             // deadline: waiting past it could not help that request.
@@ -566,6 +580,7 @@ impl<B: Backend> Dispatcher<B> {
                     Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+            drop(assembly);
             self.execute(batch);
         }
     }
@@ -585,13 +600,18 @@ impl<B: Backend> Dispatcher<B> {
     }
 
     fn execute(&mut self, batch: Vec<Job>) {
+        let recorder = Arc::clone(&self.config.recorder);
+        let rec: &dyn Recorder = &*recorder;
         let batch_size = batch.len();
         let now = Instant::now();
+        rec.add(Counter::BatchesDispatched, 1);
+        rec.observe(Value::BatchSize, batch_size as u64);
         // Per-request service level, then group by (rung, k): requests in
         // one group share one backend call. BTreeMap keeps execution order
         // deterministic.
         let mut groups: BTreeMap<(usize, usize), Vec<Job>> = BTreeMap::new();
         for job in batch {
+            rec.time(Stage::QueueWait, now.duration_since(job.enqueued));
             let rung = self.choose_rung(job.deadline, now);
             groups.entry((rung, job.k)).or_default().push(job);
         }
@@ -605,15 +625,21 @@ impl<B: Backend> Dispatcher<B> {
         }
         for ((rung, k), jobs) in groups {
             let probe = self.ladder[rung];
+            rec.observe(Value::Rung, rung as u64);
+            if rung > 0 {
+                rec.add(Counter::DegradedResponses, jobs.len() as u64);
+            }
             let mut queries = Dataset::new(self.backend.dim());
             for job in &jobs {
                 queries.push(&job.vector);
             }
+            let options =
+                QueryOptions::new(k).engine(self.config.engine).probe(probe).recorder(rec);
             let exec_start = Instant::now();
             // Contain backend panics to this group: its jobs resolve with
             // a typed error, every other group (and the dispatcher) lives.
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                self.backend.query_batch_at(&queries, k, self.config.engine, probe)
+                self.backend.query_batch_opts(&queries, &options)
             }));
             let outcome = match result {
                 Ok(outcome) => outcome,
@@ -757,15 +783,8 @@ mod tests {
             true
         }
 
-        fn query_batch_at(
-            &self,
-            queries: &Dataset,
-            k: usize,
-            _engine: Engine,
-            _probe: Probe,
-        ) -> BatchOutcome {
+        fn query_batch_opts(&self, queries: &Dataset, _options: &QueryOptions<'_>) -> BatchOutcome {
             self.gate.recv().expect("gate closed");
-            let _ = k;
             BatchOutcome {
                 neighbors: vec![Vec::new(); queries.len()],
                 candidates: vec![0; queries.len()],
@@ -895,13 +914,7 @@ mod tests {
             true
         }
 
-        fn query_batch_at(
-            &self,
-            queries: &Dataset,
-            _k: usize,
-            _engine: Engine,
-            _probe: Probe,
-        ) -> BatchOutcome {
+        fn query_batch_opts(&self, queries: &Dataset, _options: &QueryOptions<'_>) -> BatchOutcome {
             for q in queries.iter() {
                 assert!(q[0] >= 0.0, "poison pill");
             }

@@ -81,6 +81,66 @@ fn serves_queries_over_stdin_in_order() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Runs `bilevel-serve` feeding raw stdin lines (queries and control
+/// commands mixed), returning stdout.
+fn run_serve_raw(corpus: &PathBuf, args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(bin())
+        .arg(corpus)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn stats_command_emits_prometheus_and_json_snapshots() {
+    let (dir, corpus, queries) = fixture("stats");
+    let args = ["--k", "5", "--w", "8", "--groups", "4", "--tables", "8"];
+    let mut input = String::new();
+    for q in 0..8 {
+        let line: Vec<String> = queries.row(q).iter().map(|x| x.to_string()).collect();
+        input.push_str(&line.join(" "));
+        input.push('\n');
+    }
+    input.push_str("STATS\n");
+    input.push_str("STATS JSON\n");
+    let (out, err, ok) = run_serve_raw(&corpus, &args, &input);
+    assert!(ok, "serve with STATS failed: {err}");
+    // 8 query lines, then the Prometheus block, then one JSON line.
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines.len() > 10, "expected responses plus snapshots: {out}");
+    for line in &lines[..8] {
+        // A query answer is `id:dist ...` pairs — possibly none, if the
+        // probe found no candidates — never a snapshot line.
+        assert!(
+            !line.starts_with('#') && !line.starts_with('{') && !line.starts_with("knn_"),
+            "query answers come first, in order: {line}"
+        );
+    }
+    assert!(
+        out.contains("# TYPE knn_queries_probed_total counter"),
+        "Prometheus snapshot missing: {out}"
+    );
+    assert!(out.contains("knn_stage_seconds"), "stage summaries missing: {out}");
+    let json = lines.last().unwrap();
+    assert!(
+        json.starts_with('{') && json.contains("\"counters\"") && json.contains("\"stages_ns\""),
+        "JSON snapshot must be the final line: {json}"
+    );
+    // The service actually recorded work: probed-queries counter is > 0.
+    assert!(!out.contains("knn_queries_probed_total 0\n"), "counters must be live: {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let out = Command::new(bin()).output().expect("binary runs");

@@ -4,7 +4,7 @@
 //! coverage-tagged partial answers and recover through the breaker's
 //! half-open probe.
 
-use bilevel_lsh::{BatchResult, BiLevelConfig, Engine, Probe, ShardedIndex};
+use bilevel_lsh::{BatchResult, BiLevelConfig, Probe, QueryOptions, ShardedIndex};
 use knn_serve::{
     Backend, BatchOutcome, Coverage, FanoutBackend, FanoutConfig, ResponseError, Service,
     ServiceConfig, ShardSource, SubmitError,
@@ -37,13 +37,7 @@ impl Backend for AlwaysPanics {
         true
     }
 
-    fn query_batch_at(
-        &self,
-        _queries: &Dataset,
-        _k: usize,
-        _engine: Engine,
-        _probe: Probe,
-    ) -> BatchOutcome {
+    fn query_batch_opts(&self, _queries: &Dataset, _options: &QueryOptions<'_>) -> BatchOutcome {
         panic!("chaos: backend always panics");
     }
 }
@@ -130,13 +124,7 @@ impl Backend for SharedBomb {
         true
     }
 
-    fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        _k: usize,
-        _engine: Engine,
-        _probe: Probe,
-    ) -> BatchOutcome {
+    fn query_batch_opts(&self, queries: &Dataset, _options: &QueryOptions<'_>) -> BatchOutcome {
         BatchOutcome {
             neighbors: vec![Vec::new(); queries.len()],
             candidates: vec![0; queries.len()],
@@ -236,18 +224,16 @@ impl ShardSource for SharedFlaky {
         self.0.inner.num_shards()
     }
 
-    fn query_shard_batch_at(
+    fn query_shard_batch_opts(
         &self,
         shard: usize,
         queries: &Dataset,
-        k: usize,
-        engine: Engine,
-        probe: Probe,
+        options: &QueryOptions<'_>,
     ) -> BatchResult {
         if shard == self.0.bad_shard && self.0.failing.load(Ordering::Relaxed) {
             panic!("chaos: injected shard failure");
         }
-        self.0.inner.query_shard_batch_at(shard, queries, k, engine, probe)
+        self.0.inner.query_shard_batch_opts(shard, queries, options)
     }
 }
 
@@ -321,12 +307,10 @@ fn wait_timeout_is_bounded() {
         fn supports_probe(&self, _probe: Probe) -> bool {
             true
         }
-        fn query_batch_at(
+        fn query_batch_opts(
             &self,
             _queries: &Dataset,
-            _k: usize,
-            _engine: Engine,
-            _probe: Probe,
+            _options: &QueryOptions<'_>,
         ) -> BatchOutcome {
             loop {
                 std::thread::sleep(Duration::from_secs(60));

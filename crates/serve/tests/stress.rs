@@ -3,7 +3,7 @@
 //! single-query answers, and no response outlives its deadline by more
 //! than the batching window.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Engine, Probe, ShardedIndex};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Probe, QueryOptions, ShardedIndex};
 use knn_serve::{Backend, BatchOutcome, Coverage, Service, ServiceConfig, SubmitError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,13 +131,7 @@ impl Backend for SlowBackend {
         true
     }
 
-    fn query_batch_at(
-        &self,
-        queries: &Dataset,
-        _k: usize,
-        _engine: Engine,
-        _probe: Probe,
-    ) -> BatchOutcome {
+    fn query_batch_opts(&self, queries: &Dataset, _options: &QueryOptions<'_>) -> BatchOutcome {
         std::thread::sleep(self.per_batch);
         BatchOutcome {
             neighbors: vec![Vec::new(); queries.len()],

@@ -1,0 +1,674 @@
+//! Pipeline telemetry for the bi-level LSH stack.
+//!
+//! The crate defines one object-safe [`Recorder`] trait that every layer of
+//! the pipeline (core probe/escalate/rank, out-of-core I/O, the serving
+//! layer) emits events into, plus two implementations:
+//!
+//! * [`NoopRecorder`] — the default sink. Every method is an empty body and
+//!   [`Recorder::enabled`] returns `false`, so instrumented code skips even
+//!   the `Instant::now()` calls. A query run with the noop recorder executes
+//!   the same instructions as an uninstrumented build modulo a predictable
+//!   branch per span.
+//! * [`InMemoryRecorder`] — lock-free aggregation on `AtomicU64`s: one
+//!   counter per [`Counter`], a log2-bucketed duration histogram per
+//!   [`Stage`], and a log2-bucketed value histogram per [`Value`].
+//!
+//! A [`TelemetrySnapshot`] taken from an [`InMemoryRecorder`] renders as
+//! Prometheus text exposition format ([`TelemetrySnapshot::to_prometheus`]),
+//! a single-line JSON object ([`TelemetrySnapshot::to_json`], hand-rolled —
+//! this crate has no dependencies), or a human-readable stage-breakdown
+//! table ([`TelemetrySnapshot::render_table`]) used by the bench binaries.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Monotonic event counters, one per instrumented occurrence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Counter {
+    /// Queries that went through candidate generation.
+    QueriesProbed,
+    /// Candidate ids produced by probing (before dedup/rank).
+    CandidatesGenerated,
+    /// Extra buckets probed beyond the home bucket by multi-probe.
+    MultiProbeBuckets,
+    /// Queries that fell below the hierarchical floor and escalated.
+    Escalations,
+    /// Individual escalation rounds (bucket-doubling steps) executed.
+    EscalationRounds,
+    /// Positioned reads issued by the out-of-core path.
+    OocReads,
+    /// Bytes fetched from backing storage by the out-of-core path.
+    OocBytesRead,
+    /// Transient-I/O retry attempts consumed by the out-of-core path.
+    OocRetries,
+    /// Micro-batches dispatched by the serving layer.
+    BatchesDispatched,
+    /// Responses answered below the full service level.
+    DegradedResponses,
+    /// Per-shard queries issued by the fan-out backend.
+    FanoutShardQueries,
+    /// Circuit breakers tripped open.
+    BreakerOpens,
+    /// Circuit breakers closed after a successful half-open probe.
+    BreakerCloses,
+    /// Shard queries skipped because the shard's breaker was open.
+    ShardsSkipped,
+}
+
+impl Counter {
+    /// Every counter, in stable export order.
+    pub const ALL: [Counter; 14] = [
+        Counter::QueriesProbed,
+        Counter::CandidatesGenerated,
+        Counter::MultiProbeBuckets,
+        Counter::Escalations,
+        Counter::EscalationRounds,
+        Counter::OocReads,
+        Counter::OocBytesRead,
+        Counter::OocRetries,
+        Counter::BatchesDispatched,
+        Counter::DegradedResponses,
+        Counter::FanoutShardQueries,
+        Counter::BreakerOpens,
+        Counter::BreakerCloses,
+        Counter::ShardsSkipped,
+    ];
+
+    /// Stable snake_case name used in every export format.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::QueriesProbed => "queries_probed",
+            Counter::CandidatesGenerated => "candidates_generated",
+            Counter::MultiProbeBuckets => "multi_probe_buckets",
+            Counter::Escalations => "escalations",
+            Counter::EscalationRounds => "escalation_rounds",
+            Counter::OocReads => "ooc_reads",
+            Counter::OocBytesRead => "ooc_bytes_read",
+            Counter::OocRetries => "ooc_retries",
+            Counter::BatchesDispatched => "batches_dispatched",
+            Counter::DegradedResponses => "degraded_responses",
+            Counter::FanoutShardQueries => "fanout_shard_queries",
+            Counter::BreakerOpens => "breaker_opens",
+            Counter::BreakerCloses => "breaker_closes",
+            Counter::ShardsSkipped => "shards_skipped",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Pipeline stages with duration histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Base candidate generation for one query (hash + bucket lookups).
+    Probe,
+    /// Hierarchical escalation for one query (all rounds).
+    Escalate,
+    /// Exact shortlist ranking for one batch.
+    Rank,
+    /// One positioned read against backing storage.
+    OocIo,
+    /// Submit-to-dispatch wait for one serving-layer job.
+    QueueWait,
+    /// First-job-received to execution-start window for one micro-batch.
+    BatchAssembly,
+    /// One shard's query call inside the fan-out backend.
+    ShardQuery,
+}
+
+impl Stage {
+    /// Every stage, in stable export order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Probe,
+        Stage::Escalate,
+        Stage::Rank,
+        Stage::OocIo,
+        Stage::QueueWait,
+        Stage::BatchAssembly,
+        Stage::ShardQuery,
+    ];
+
+    /// Stable snake_case name used in every export format.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Probe => "probe",
+            Stage::Escalate => "escalate",
+            Stage::Rank => "rank",
+            Stage::OocIo => "ooc_io",
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchAssembly => "batch_assembly",
+            Stage::ShardQuery => "shard_query",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Dimensionless observations with value histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Value {
+    /// Candidate-set size per query after probing (and escalation).
+    CandidatesPerQuery,
+    /// Jobs per dispatched micro-batch.
+    BatchSize,
+    /// Degradation-ladder rung a response was served at (0 = full).
+    Rung,
+}
+
+impl Value {
+    /// Every value kind, in stable export order.
+    pub const ALL: [Value; 3] = [Value::CandidatesPerQuery, Value::BatchSize, Value::Rung];
+
+    /// Stable snake_case name used in every export format.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Value::CandidatesPerQuery => "candidates_per_query",
+            Value::BatchSize => "batch_size",
+            Value::Rung => "rung",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Sink for pipeline events. Object safe; implementations must be shareable
+/// across the query worker pool (`Send + Sync`).
+///
+/// All methods have empty default bodies, so a no-op sink implements the
+/// trait with `impl Recorder for MySink {}`. Instrumented code must guard
+/// every clock read behind [`Recorder::enabled`] (or use [`SpanTimer`],
+/// which does) so the noop path never touches `Instant::now()`.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Whether events are being kept. `false` lets call sites skip timing.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `n` to a monotonic counter.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Record one duration observation for a pipeline stage.
+    fn time(&self, stage: Stage, elapsed: Duration) {
+        let _ = (stage, elapsed);
+    }
+
+    /// Record one dimensionless observation.
+    fn observe(&self, value: Value, x: u64) {
+        let _ = (value, x);
+    }
+}
+
+/// The zero-overhead default sink: drops every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Shared noop instance; the default `recorder` in query options borrows it.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+/// RAII span timer: reads the clock on construction and records the elapsed
+/// duration on drop — but only when the recorder is enabled, so wrapping a
+/// region in a `SpanTimer` against [`NoopRecorder`] costs one branch.
+pub struct SpanTimer<'r> {
+    recorder: &'r dyn Recorder,
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl<'r> SpanTimer<'r> {
+    /// Start timing `stage`; the observation lands when the timer drops.
+    pub fn start(recorder: &'r dyn Recorder, stage: Stage) -> Self {
+        let start = if recorder.enabled() { Some(Instant::now()) } else { None };
+        SpanTimer { recorder, stage, start }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.recorder.time(self.stage, start.elapsed());
+        }
+    }
+}
+
+/// Number of log2 buckets per histogram; bucket `b > 0` holds observations
+/// in `[2^(b-1), 2^b)`, bucket 0 holds zeros, and the last bucket is open.
+const HIST_BUCKETS: usize = 64;
+
+/// Lock-free log2-bucketed histogram over `u64` observations.
+struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(x: u64) -> usize {
+        ((u64::BITS - x.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    fn record(&self, x: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(x, Ordering::Relaxed);
+        self.max.fetch_max(x, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(x)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn summary(&self) -> HistSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (b, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Representative value: the bucket's lower bound.
+                    return if b == 0 { 0 } else { 1u64 << (b - 1) };
+                }
+            }
+            self.max.load(Ordering::Relaxed)
+        };
+        HistSummary {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: quantile(0.5),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregated view of one histogram at snapshot time. Quantiles are bucket
+/// lower bounds (log2 resolution); `count`, `sum`, `mean`, and `max` are
+/// exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (nanoseconds for stage histograms).
+    pub sum: u64,
+    /// Exact mean (`sum / count`), 0.0 when empty.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+}
+
+/// Lock-free aggregating recorder: atomics only, shareable across the whole
+/// pipeline (core workers, OOC readers, the serve dispatcher) at once.
+#[derive(Debug)]
+pub struct InMemoryRecorder {
+    counters: [AtomicU64; Counter::ALL.len()],
+    stages: Vec<AtomicHistogram>,
+    values: Vec<AtomicHistogram>,
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        write!(f, "AtomicHistogram(count={}, sum={}, max={})", s.count, s.sum, s.max)
+    }
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        InMemoryRecorder {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            stages: (0..Stage::ALL.len()).map(|_| AtomicHistogram::new()).collect(),
+            values: (0..Value::ALL.len()).map(|_| AtomicHistogram::new()).collect(),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Summary of one stage's duration histogram (nanoseconds).
+    pub fn stage(&self, stage: Stage) -> HistSummary {
+        self.stages[stage.index()].summary()
+    }
+
+    /// Summary of one value histogram.
+    pub fn value(&self, value: Value) -> HistSummary {
+        self.values[value.index()].summary()
+    }
+
+    /// Consistent-enough point-in-time aggregate of everything recorded.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: Counter::ALL.iter().map(|&c| (c.name(), self.counter(c))).collect(),
+            stages: Stage::ALL.iter().map(|&s| (s.name(), self.stage(s))).collect(),
+            values: Value::ALL.iter().map(|&v| (v.name(), self.value(v))).collect(),
+        }
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn time(&self, stage: Stage, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.stages[stage.index()].record(nanos);
+    }
+
+    fn observe(&self, value: Value, x: u64) {
+        self.values[value.index()].record(x);
+    }
+}
+
+/// Point-in-time aggregate of an [`InMemoryRecorder`], ready to export.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` per counter, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, summary)` per stage duration histogram, nanoseconds.
+    pub stages: Vec<(&'static str, HistSummary)>,
+    /// `(name, summary)` per value histogram.
+    pub values: Vec<(&'static str, HistSummary)>,
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Render as Prometheus text exposition format: counters as
+    /// `knn_<name>_total`, stage durations as `knn_stage_seconds` summaries,
+    /// value histograms as `knn_value` summaries.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            out.push_str(&format!("# TYPE knn_{name}_total counter\n"));
+            out.push_str(&format!("knn_{name}_total {v}\n"));
+        }
+        out.push_str("# TYPE knn_stage_seconds summary\n");
+        for &(name, s) in &self.stages {
+            for (q, val) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                out.push_str(&format!(
+                    "knn_stage_seconds{{stage=\"{name}\",quantile=\"{q}\"}} {}\n",
+                    fmt_f64(val as f64 / 1e9)
+                ));
+            }
+            out.push_str(&format!(
+                "knn_stage_seconds_sum{{stage=\"{name}\"}} {}\n",
+                fmt_f64(s.sum as f64 / 1e9)
+            ));
+            out.push_str(&format!("knn_stage_seconds_count{{stage=\"{name}\"}} {}\n", s.count));
+        }
+        out.push_str("# TYPE knn_value summary\n");
+        for &(name, s) in &self.values {
+            for (q, val) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                out.push_str(&format!("knn_value{{kind=\"{name}\",quantile=\"{q}\"}} {val}\n"));
+            }
+            out.push_str(&format!("knn_value_sum{{kind=\"{name}\"}} {}\n", s.sum));
+            out.push_str(&format!("knn_value_count{{kind=\"{name}\"}} {}\n", s.count));
+        }
+        out
+    }
+
+    /// Render as a single-line JSON object (no external dependencies).
+    pub fn to_json(&self) -> String {
+        let hist = |s: &HistSummary| {
+            format!(
+                "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                s.count,
+                s.sum,
+                fmt_f64(s.mean),
+                s.p50,
+                s.p95,
+                s.p99,
+                s.max
+            )
+        };
+        let counters: Vec<String> =
+            self.counters.iter().map(|(n, v)| format!("\"{n}\":{v}")).collect();
+        let stages: Vec<String> =
+            self.stages.iter().map(|(n, s)| format!("\"{n}\":{}", hist(s))).collect();
+        let values: Vec<String> =
+            self.values.iter().map(|(n, s)| format!("\"{n}\":{}", hist(s))).collect();
+        format!(
+            "{{\"counters\":{{{}}},\"stages_ns\":{{{}}},\"values\":{{{}}}}}",
+            counters.join(","),
+            stages.join(","),
+            values.join(",")
+        )
+    }
+
+    /// Render a human-readable stage breakdown (bench binaries print this).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+            "stage", "count", "total", "mean", "p95", "max"
+        ));
+        for &(name, s) in &self.stages {
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+                name,
+                s.count,
+                fmt_nanos(s.sum as f64),
+                fmt_nanos(s.mean),
+                fmt_nanos(s.p95 as f64),
+                fmt_nanos(s.max as f64),
+            ));
+        }
+        let mut wrote_header = false;
+        for &(name, v) in &self.counters {
+            if v == 0 {
+                continue;
+            }
+            if !wrote_header {
+                out.push_str("\ncounters:\n");
+                wrote_header = true;
+            }
+            out.push_str(&format!("  {name:<24} {v}\n"));
+        }
+        for &(name, s) in &self.values {
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<24} count={} mean={:.1} p95={} max={}\n",
+                name, s.count, s.mean, s.p95, s.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let rec: &dyn Recorder = &NOOP;
+        assert!(!rec.enabled());
+        rec.add(Counter::Escalations, 3);
+        rec.time(Stage::Probe, Duration::from_micros(5));
+        rec.observe(Value::BatchSize, 7);
+        // A span timer against the noop recorder never reads the clock.
+        let t = SpanTimer::start(rec, Stage::Rank);
+        assert!(t.start.is_none());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = InMemoryRecorder::new();
+        rec.add(Counter::Escalations, 2);
+        rec.add(Counter::Escalations, 3);
+        rec.add(Counter::OocBytesRead, 1024);
+        assert_eq!(rec.counter(Counter::Escalations), 5);
+        assert_eq!(rec.counter(Counter::OocBytesRead), 1024);
+        assert_eq!(rec.counter(Counter::OocReads), 0);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_exact_moments() {
+        let rec = InMemoryRecorder::new();
+        for x in [1u64, 2, 3, 4, 100] {
+            rec.observe(Value::CandidatesPerQuery, x);
+        }
+        let s = rec.value(Value::CandidatesPerQuery);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 110);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 22.0).abs() < 1e-9);
+        // log2 buckets: p50 falls in the bucket holding 2..4.
+        assert!(s.p50 >= 1 && s.p50 <= 4, "p50 = {}", s.p50);
+        assert!(s.p99 <= 100);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(AtomicHistogram::bucket_of(0), 0);
+        assert_eq!(AtomicHistogram::bucket_of(1), 1);
+        assert_eq!(AtomicHistogram::bucket_of(2), 2);
+        assert_eq!(AtomicHistogram::bucket_of(3), 2);
+        assert_eq!(AtomicHistogram::bucket_of(4), 3);
+        assert_eq!(AtomicHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let rec = InMemoryRecorder::new();
+        {
+            let _t = SpanTimer::start(&rec, Stage::Probe);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let s = rec.stage(Stage::Probe);
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 1_000_000, "recorded {}ns", s.sum);
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let rec = InMemoryRecorder::new();
+        rec.add(Counter::QueriesProbed, 7);
+        rec.time(Stage::Probe, Duration::from_micros(10));
+        rec.observe(Value::BatchSize, 4);
+        let text = rec.snapshot().to_prometheus();
+        assert!(text.contains("knn_queries_probed_total 7"));
+        assert!(text.contains("knn_stage_seconds_count{stage=\"probe\"} 1"));
+        assert!(text.contains("knn_value_count{kind=\"batch_size\"} 1"));
+        assert!(text.contains("# TYPE knn_stage_seconds summary"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.split_whitespace().count() == 2, "{line}");
+        }
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let rec = InMemoryRecorder::new();
+        rec.add(Counter::OocReads, 3);
+        rec.time(Stage::OocIo, Duration::from_nanos(500));
+        let json = rec.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ooc_reads\":3"));
+        assert!(json.contains("\"ooc_io\":{\"count\":1,\"sum\":500"));
+        // Balanced braces and no trailing commas before closers.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(!json.contains(",}") && !json.contains(",]"));
+    }
+
+    #[test]
+    fn table_skips_empty_rows() {
+        let rec = InMemoryRecorder::new();
+        rec.time(Stage::Rank, Duration::from_micros(42));
+        rec.add(Counter::CandidatesGenerated, 9);
+        let table = rec.snapshot().render_table();
+        assert!(table.contains("rank"));
+        assert!(!table.contains("queue_wait"));
+        assert!(table.contains("candidates_generated"));
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        rec.add(Counter::QueriesProbed, 1);
+                        rec.observe(Value::CandidatesPerQuery, 17);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter(Counter::QueriesProbed), 4000);
+        assert_eq!(rec.value(Value::CandidatesPerQuery).count, 4000);
+    }
+}

@@ -8,7 +8,7 @@
 //! backoff and, only if the budget runs out or the error is permanent,
 //! surface as a typed failure. This module provides both halves:
 //!
-//! * [`FaultyDataset`] wraps an [`OocDataset`](crate::ooc::OocDataset) and
+//! * [`FaultyDataset`] wraps an [`OocDataset`] and
 //!   injects faults on a *seeded, reproducible* schedule described by a
 //!   [`FaultPlan`], so every failure path can be exercised by deterministic
 //!   tests instead of hope;

@@ -11,7 +11,7 @@
 //! cargo run --release -p bilevel-lsh --example near_duplicates
 //! ```
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Probe};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Probe, QueryOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vecstore::synth::{self, ClusteredSpec, StdNormal};
@@ -54,7 +54,7 @@ fn main() {
     println!("duplicate distance threshold: {threshold:.3}");
 
     // Scan: each item queries for its 2-NN (self + possible duplicate).
-    let result = index.query_batch(&corpus, 2);
+    let result = index.query_batch_opts(&corpus, &QueryOptions::new(2));
     let mut flagged: Vec<(usize, usize)> = Vec::new();
     for (i, hits) in result.neighbors.iter().enumerate() {
         for n in hits {

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // positioned disk reads.
     let k = 10;
     let t = std::time::Instant::now();
-    let results = index.query_batch(&queries, k)?;
+    let results = index.query_batch_per_row(&queries, k)?;
     let query_ms = t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
     // Quality check against in-memory exact search.

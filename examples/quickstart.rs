@@ -5,7 +5,7 @@
 //! cargo run --release -p bilevel-lsh --example quickstart
 //! ```
 
-use bilevel_lsh::{ground_truth, BiLevelConfig, BiLevelIndex, Engine};
+use bilevel_lsh::{ground_truth, BiLevelConfig, BiLevelIndex, Engine, QueryOptions};
 use knn_metrics::recall;
 use std::time::Instant;
 use vecstore::synth::{self, ClusteredSpec};
@@ -40,7 +40,7 @@ fn main() {
 
     // 4. Measure quality against exact brute force on the whole query set.
     let truth = ground_truth(&data, &queries, 10, 1);
-    let result = index.query_batch(&queries, 10);
+    let result = index.query_batch_opts(&queries, &QueryOptions::new(10));
     let mean_recall: f64 =
         truth.iter().zip(&result.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>()
             / truth.len() as f64;
@@ -67,7 +67,7 @@ fn main() {
     println!("\nengine comparison over the same batch:");
     for (label, engine) in engines {
         let t = Instant::now();
-        let res = index.query_batch_with(&queries, 10, engine);
+        let res = index.query_batch_opts(&queries, &QueryOptions::new(10).engine(engine));
         let ms = t.elapsed().as_secs_f64() * 1e3;
         assert_eq!(res.neighbors, result.neighbors, "engines must agree");
         println!("  {label:<14} {ms:>7.1} ms");

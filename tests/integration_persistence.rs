@@ -2,7 +2,9 @@
 //! method variants, and the disk-resident index agreeing with the in-memory
 //! one over the same corpus file.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, OocFlatIndex, Probe, Quantizer};
+use bilevel_lsh::{
+    BiLevelConfig, BiLevelIndex, Engine, FlatIndex, OocFlatIndex, Probe, Quantizer, QueryOptions,
+};
 use vecstore::io::write_fvecs;
 use vecstore::ooc::OocDataset;
 use vecstore::synth::{self, ClusteredSpec};
@@ -33,8 +35,8 @@ fn snapshot_roundtrip_preserves_answers_across_variants() {
         let mut buf = Vec::new();
         index.save_to(&mut buf).unwrap();
         let loaded = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
-        let a = index.query_batch(&queries, 10);
-        let b = loaded.query_batch(&queries, 10);
+        let a = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        let b = loaded.query_batch_opts(&queries, &QueryOptions::new(10));
         assert_eq!(a.neighbors, b.neighbors, "variant {i}");
         assert_eq!(a.candidates, b.candidates, "variant {i}");
     }
@@ -56,7 +58,10 @@ fn snapshot_survives_disk_roundtrip_and_reload_can_insert() {
     let hit = loaded.query(&novel, 1);
     assert_eq!(hit[0].id, id);
     // Old queries still answer.
-    assert_eq!(loaded.query_batch(&queries, 3).neighbors.len(), queries.len());
+    assert_eq!(
+        loaded.query_batch_opts(&queries, &QueryOptions::new(3)).neighbors.len(),
+        queries.len()
+    );
 }
 
 #[test]
@@ -93,8 +98,10 @@ fn ooc_snapshot_roundtrip_preserves_batch_answers() {
     // Coalesced threaded batch on the reloaded index matches the serial
     // per-row baseline on the freshly built one — exercising persistence
     // and the batch fetch path end to end.
-    let baseline = built.query_batch(&queries, 10).unwrap();
-    let batched = loaded.query_batch_with(&queries, 10, 4).unwrap();
+    let baseline = built.query_batch_per_row(&queries, 10).unwrap();
+    let batched = loaded
+        .query_batch_opts(&queries, &QueryOptions::new(10).engine(Engine::PerQuery { threads: 4 }))
+        .unwrap();
     assert_eq!(baseline.len(), batched.len());
     for (a, b) in baseline.iter().zip(&batched) {
         assert_eq!(

@@ -2,7 +2,9 @@
 //! level-2 tables → probing → short-list engines → metrics, spanning every
 //! crate in the workspace.
 
-use bilevel_lsh::{ground_truth, BiLevelConfig, BiLevelIndex, Engine, FlatIndex, Probe, Quantizer};
+use bilevel_lsh::{
+    ground_truth, BiLevelConfig, BiLevelIndex, Engine, FlatIndex, Probe, Quantizer, QueryOptions,
+};
 use knn_metrics::{error_ratio, recall};
 use shortlist::{shortlist_per_query, shortlist_serial, shortlist_workqueue};
 use vecstore::synth::{self, ClusteredSpec};
@@ -18,7 +20,7 @@ fn full_pipeline_beats_random_guessing() {
     let (data, queries) = corpus();
     let truth = ground_truth(&data, &queries, 10, 1);
     let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(40.0));
-    let result = index.query_batch(&queries, 10);
+    let result = index.query_batch_opts(&queries, &QueryOptions::new(10));
     let mean_recall: f64 =
         truth.iter().zip(&result.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>()
             / truth.len() as f64;
@@ -60,7 +62,7 @@ fn exhaustive_width_recovers_exact_knn() {
     let truth = ground_truth(&data, &queries, 5, 1);
     // W large enough that every point shares one bucket per table.
     let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(1e7));
-    let result = index.query_batch(&queries, 5);
+    let result = index.query_batch_opts(&queries, &QueryOptions::new(5));
     for (q, (t, a)) in truth.iter().zip(&result.neighbors).enumerate() {
         assert_eq!(
             t.iter().map(|n| n.id).collect::<Vec<_>>(),
@@ -95,13 +97,13 @@ fn one_engine_selection_governs_probe_and_rank() {
     let cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Hierarchical { min_candidates: 20 });
     let index = BiLevelIndex::build(&data, &cfg);
     let k = 10;
-    let serial = index.query_batch_with(&queries, k, Engine::Serial);
+    let serial = index.query_batch_opts(&queries, &QueryOptions::new(k));
     for engine in [
         Engine::PerQuery { threads: 4 },
         Engine::WorkQueue { threads: 4, capacity: 4_096 },
         Engine::WorkQueue { threads: 2, capacity: k + 1 }, // smallest legal queue
     ] {
-        let got = index.query_batch_with(&queries, k, engine);
+        let got = index.query_batch_opts(&queries, &QueryOptions::new(k).engine(engine));
         assert_eq!(serial.neighbors, got.neighbors, "{engine:?}");
         assert_eq!(serial.candidates, got.candidates, "{engine:?}");
     }
@@ -112,7 +114,7 @@ fn selectivity_counts_match_candidate_sets() {
     let (data, queries) = corpus();
     let index = BiLevelIndex::build(&data, &BiLevelConfig::paper_default(40.0));
     let candidates = index.candidates_batch(&queries);
-    let result = index.query_batch(&queries, 10);
+    let result = index.query_batch_opts(&queries, &QueryOptions::new(10));
     let sizes: Vec<usize> = candidates.iter().map(Vec::len).collect();
     assert_eq!(result.candidates, sizes);
 }

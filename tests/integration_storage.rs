@@ -1,7 +1,7 @@
 //! Storage-layer integration: fvecs interchange, config serialization, and
 //! the cuckoo-backed flat layout under stress.
 
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Probe, Quantizer};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, FlatIndex, Probe, Quantizer, QueryOptions};
 use vecstore::io::{read_fvecs_from, write_fvecs_to};
 use vecstore::synth::{self, ClusteredSpec};
 use vecstore::Dataset;
@@ -22,8 +22,8 @@ fn index_built_from_fvecs_roundtrip_matches_original() {
     let reloaded = read_fvecs_from(&mut buf.as_slice()).unwrap();
     assert_eq!(reloaded, data);
     let cfg = BiLevelConfig::paper_default(40.0);
-    let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 10);
-    let b = BiLevelIndex::build(&reloaded, &cfg).query_batch(&queries, 10);
+    let a = BiLevelIndex::build(&data, &cfg).query_batch_opts(&queries, &QueryOptions::new(10));
+    let b = BiLevelIndex::build(&reloaded, &cfg).query_batch_opts(&queries, &QueryOptions::new(10));
     assert_eq!(a.neighbors, b.neighbors);
 }
 
@@ -51,8 +51,8 @@ fn config_serializes_and_deserializes() {
     }
     // The deserialized config must drive an identical index.
     let (data, queries) = corpus();
-    let a = BiLevelIndex::build(&data, &cfg).query_batch(&queries, 5);
-    let b = BiLevelIndex::build(&data, &back).query_batch(&queries, 5);
+    let a = BiLevelIndex::build(&data, &cfg).query_batch_opts(&queries, &QueryOptions::new(5));
+    let b = BiLevelIndex::build(&data, &back).query_batch_opts(&queries, &QueryOptions::new(5));
     assert_eq!(a.neighbors, b.neighbors);
 }
 
@@ -97,7 +97,7 @@ fn dataset_gather_preserves_index_semantics() {
     }
     assert_eq!(subset_a, subset_b);
     let cfg = BiLevelConfig::standard(40.0);
-    let a = BiLevelIndex::build(&subset_a, &cfg).query_batch(&queries, 5);
-    let b = BiLevelIndex::build(&subset_b, &cfg).query_batch(&queries, 5);
+    let a = BiLevelIndex::build(&subset_a, &cfg).query_batch_opts(&queries, &QueryOptions::new(5));
+    let b = BiLevelIndex::build(&subset_b, &cfg).query_batch_opts(&queries, &QueryOptions::new(5));
     assert_eq!(a.neighbors, b.neighbors);
 }

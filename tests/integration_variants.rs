@@ -3,7 +3,7 @@
 //! metrics on one shared scenario.
 
 use bilevel_lsh::{
-    ground_truth, BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, WidthMode,
+    ground_truth, BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, QueryOptions, WidthMode,
 };
 use knn_metrics::recall;
 use rptree::SplitRule;
@@ -42,7 +42,7 @@ fn all_twelve_variants_build_and_answer() {
             {
                 let cfg = variant(partition, probe, quantizer, 40.0);
                 let index = BiLevelIndex::build(&data, &cfg);
-                let result = index.query_batch(&queries, 10);
+                let result = index.query_batch_opts(&queries, &QueryOptions::new(10));
                 assert_eq!(result.neighbors.len(), queries.len());
                 let mean: f64 =
                     truth.iter().zip(&result.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>()
@@ -95,8 +95,8 @@ fn e8_and_zm_quantizers_give_different_but_working_indexes() {
     let truth = ground_truth(&data, &queries, 10, 1);
     let zm = BiLevelIndex::build(&data, &variant(false, Probe::Home, Quantizer::Zm, 40.0));
     let e8 = BiLevelIndex::build(&data, &variant(false, Probe::Home, Quantizer::E8, 40.0));
-    let rz = zm.query_batch(&queries, 10);
-    let re = e8.query_batch(&queries, 10);
+    let rz = zm.query_batch_opts(&queries, &QueryOptions::new(10));
+    let re = e8.query_batch_opts(&queries, &QueryOptions::new(10));
     let mean = |r: &bilevel_lsh::BatchResult| {
         truth.iter().zip(&r.neighbors).map(|(t, a)| recall(t, a)).sum::<f64>() / truth.len() as f64
     };
@@ -114,7 +114,7 @@ fn kmeans_and_kd_level1_work_in_full_variants() {
         cfg.partition = partition;
         let index = BiLevelIndex::build(&data, &cfg);
         assert!(index.num_groups() > 1);
-        let result = index.query_batch(&queries, 5);
+        let result = index.query_batch_opts(&queries, &QueryOptions::new(5));
         assert_eq!(result.neighbors.len(), queries.len());
     }
 }
