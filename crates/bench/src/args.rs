@@ -22,6 +22,8 @@ pub struct HarnessArgs {
     pub profile: String,
     /// Optional CSV output path.
     pub out: Option<String>,
+    /// Optional JSON run-record output path (see [`crate::record`]).
+    pub json: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -36,6 +38,7 @@ impl Default for HarnessArgs {
             seed: 0xda7a,
             profile: "labelme".to_string(),
             out: None,
+            json: None,
         }
     }
 }
@@ -75,10 +78,12 @@ impl HarnessArgs {
                     out.profile = v;
                 }
                 "--out" => out.out = Some(value()),
+                "--json" => out.json = Some(value()),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <bin> [--n N] [--queries Q] [--k K] [--reps R] \
-                         [--dim D] [--groups G] [--seed S] [--profile labelme|tiny] [--out FILE.csv]"
+                         [--dim D] [--groups G] [--seed S] [--profile labelme|tiny] \
+                         [--out FILE.csv] [--json FILE.json]"
                     );
                     std::process::exit(0);
                 }
@@ -141,6 +146,8 @@ mod tests {
             "9",
             "--out",
             "x.csv",
+            "--json",
+            "x.json",
         ]));
         assert_eq!(a.n, 500);
         assert_eq!(a.queries, 20);
@@ -150,5 +157,6 @@ mod tests {
         assert_eq!(a.groups, 4);
         assert_eq!(a.seed, 9);
         assert_eq!(a.out.as_deref(), Some("x.csv"));
+        assert_eq!(a.json.as_deref(), Some("x.json"));
     }
 }

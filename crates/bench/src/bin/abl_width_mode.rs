@@ -34,6 +34,7 @@ fn main() {
                 quantizer: Quantizer::Zm,
                 probe: Probe::Home,
                 table_pool: None,
+                projection: bilevel_lsh::Projection::Dense,
                 seed: 0xF16,
             };
             let index = BiLevelIndex::build(&p.train, &cfg);

@@ -1,0 +1,241 @@
+//! Extension: end-to-end in-memory query path with the rank stage isolated
+//! — the PR 6 kernel-layer measurement. Three comparisons on one corpus:
+//!
+//! 1. **rank per-pair vs batch kernel** — the same candidate sets ranked by
+//!    the pre-kernel inner loop (one `Metric::distance` call per candidate,
+//!    gather-loading each row) and by the current engines, which stream
+//!    sorted id runs through `vecstore::kernel::squared_l2_batch`. Asserted
+//!    bit-identical: the batch kernel's fixed summation order matches the
+//!    per-pair kernel exactly.
+//! 2. **pipeline exact vs quantized rerank** — `query_batch_opts` with
+//!    `rerank` off (exact f32 rank of every candidate) and on (i8 quantized
+//!    first pass keeps the `depth` best, exact rerank of survivors), with
+//!    recall@k of the rerank path against the exact path and brute force.
+//! 3. **telemetry accounting** — pruned/reranked counters from the run.
+//!
+//! `--json FILE` dumps the measurements as a `knn-bench/1` run record for
+//! `BENCH_*.json` (see `bench::record`).
+
+use bilevel_lsh::telemetry::{Counter, InMemoryRecorder};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Probe, QueryOptions};
+use shortlist::shortlist_serial;
+use std::time::Instant;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{
+    knn_batch, total_dist_cmp, Dataset, Metric, Neighbor, PreparedQuery, QuantizedCorpus,
+    SquaredL2, TopK,
+};
+
+/// The quantized-first-pass rank stage over pregenerated candidates: i8
+/// approximate scores select the `depth` best per query, then only the
+/// survivors get exact f32 distances — the same prune `QueryOptions::rerank`
+/// runs inside the index, reproduced through the public `vecstore` API so
+/// the stage can be timed in isolation.
+fn rank_quantized(
+    data: &Dataset,
+    qc: &QuantizedCorpus,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    depth: usize,
+    metric: &dyn Metric,
+) -> Vec<Vec<Neighbor>> {
+    let mut prep = PreparedQuery::default();
+    let mut scores: Vec<f32> = Vec::new();
+    let pruned: Vec<Vec<u32>> = candidates
+        .iter()
+        .enumerate()
+        .map(|(q, cands)| {
+            let mut unique = cands.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            if unique.len() > depth {
+                qc.prepare_into(queries.row(q), &mut prep);
+                scores.clear();
+                qc.approx_scores_into(&prep, &unique, &mut scores);
+                let mut keyed: Vec<(f32, u32)> =
+                    scores.iter().copied().zip(unique.iter().copied()).collect();
+                keyed.select_nth_unstable_by(depth - 1, |a, b| {
+                    total_dist_cmp(a.0, b.0).then_with(|| a.1.cmp(&b.1))
+                });
+                keyed.truncate(depth);
+                unique.clear();
+                unique.extend(keyed.iter().map(|&(_, id)| id));
+                unique.sort_unstable();
+            }
+            unique
+        })
+        .collect();
+    shortlist_serial(data, queries, &pruned, k, metric)
+}
+
+/// The pre-kernel rank stage, reproduced exactly: sort + dedup the
+/// candidate list, then one `Metric::distance` call per surviving id.
+fn rank_per_pair(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+) -> Vec<Vec<Neighbor>> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(q, cands)| {
+            let mut unique = cands.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            let query = queries.row(q);
+            let mut top = TopK::new(k);
+            for &id in &unique {
+                top.push(id as usize, metric.distance(query, data.row(id as usize)));
+            }
+            top.into_sorted()
+        })
+        .collect()
+}
+
+fn bits(r: &[Vec<Neighbor>]) -> Vec<Vec<(usize, u32)>> {
+    r.iter().map(|q| q.iter().map(|n| (n.id, n.dist.to_bits())).collect()).collect()
+}
+
+fn mean_recall(exact: &[Vec<Neighbor>], approx: &[Vec<Neighbor>]) -> f64 {
+    let sum: f64 = exact.iter().zip(approx).map(|(e, a)| knn_metrics::quality::recall(e, a)).sum();
+    sum / exact.len() as f64
+}
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    let spec = match args.profile.as_str() {
+        "tiny" => ClusteredSpec::benchmark_tiny(args.dim, args.n + args.queries),
+        _ => ClusteredSpec::benchmark(args.dim, args.n + args.queries),
+    };
+    let (corpus, labels) = synth::clustered_with_labels(&spec, args.seed);
+    let (train_raw, queries) = corpus.split_at(args.n);
+    // Store training rows in generating-cluster order (acquisition order, as
+    // in ext_ooc): near neighbors sit at nearby row ids, so candidate lists
+    // form dense id runs — the layout the batch kernels and the quantized
+    // first pass stream through.
+    let mut order: Vec<usize> = (0..train_raw.len()).collect();
+    order.sort_by_key(|&i| labels[i]);
+    let data = train_raw.gather(&order);
+    let cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Multi(8));
+    let index = BiLevelIndex::build(&data, &cfg);
+
+    let mut record = bench::RunRecord::new("ext_end_to_end", "current build");
+    record.param("n", args.n);
+    record.param("queries", args.queries);
+    record.param("dim", args.dim);
+    record.param("k", args.k);
+    record.param("reps", args.reps);
+    record.param("profile", args.profile.clone());
+
+    // --- Rank stage in isolation: identical candidates, two inner loops.
+    let candidates = index.candidates_batch_with(&queries, 1);
+    let total: usize = candidates.iter().map(Vec::len).sum();
+    let mean_cands = total as f64 / queries.len() as f64;
+    println!(
+        "\n## Rank stage: {} queries x {:.1} mean candidates, k = {}\n",
+        queries.len(),
+        mean_cands,
+        args.k
+    );
+    record.metric("mean_candidates", mean_cands);
+
+    let timer = Instant::now();
+    let mut per_pair = Vec::new();
+    for _ in 0..args.reps {
+        per_pair = rank_per_pair(&data, &queries, &candidates, args.k, &SquaredL2);
+    }
+    let per_pair_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
+
+    let timer = Instant::now();
+    let mut batched = Vec::new();
+    for _ in 0..args.reps {
+        batched = shortlist_serial(&data, &queries, &candidates, args.k, &SquaredL2);
+    }
+    let batch_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
+    assert_eq!(bits(&per_pair), bits(&batched), "batch kernel drifted from per-pair rank");
+
+    let depth = 4 * args.k;
+    let qc = QuantizedCorpus::from_dataset(&data);
+    let timer = Instant::now();
+    let mut quantized = Vec::new();
+    for _ in 0..args.reps {
+        quantized = rank_quantized(&data, &qc, &queries, &candidates, args.k, depth, &SquaredL2);
+    }
+    let quant_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
+    let quant_rank_recall = mean_recall(&batched, &quantized);
+
+    println!("| rank inner loop | ms | speedup | recall@{} vs exact rank |", args.k);
+    println!("|---|---|---|---|");
+    println!("| per-pair (pre-kernel) | {per_pair_ms:.1} | 1.00x | 1.0000 |");
+    println!("| batch kernel | {batch_ms:.1} | {:.2}x | 1.0000 |", per_pair_ms / batch_ms);
+    println!(
+        "| quantized prune (depth {depth}) + batch rerank | {quant_ms:.1} | {:.2}x | {:.4} |",
+        per_pair_ms / quant_ms,
+        quant_rank_recall
+    );
+    record.metric("rank_per_pair_ms", per_pair_ms);
+    record.metric("rank_batch_ms", batch_ms);
+    record.metric("rank_batch_speedup", per_pair_ms / batch_ms);
+    record.metric("rank_quantized_ms", quant_ms);
+    record.metric("rank_quantized_speedup", per_pair_ms / quant_ms);
+    record.metric("rank_quantized_recall_at_k", quant_rank_recall);
+
+    // --- Full pipeline: exact rank vs quantized first pass + rerank.
+    let timer = Instant::now();
+    let mut exact = None;
+    for _ in 0..args.reps {
+        exact = Some(index.query_batch_opts(&queries, &QueryOptions::new(args.k)));
+    }
+    let exact_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
+    let exact = exact.unwrap();
+
+    let rec = InMemoryRecorder::new();
+    let timer = Instant::now();
+    let mut rerank = None;
+    for _ in 0..args.reps {
+        rerank =
+            Some(index.query_batch_opts(
+                &queries,
+                &QueryOptions::new(args.k).rerank(depth).recorder(&rec),
+            ));
+    }
+    let rerank_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
+    let rerank = rerank.unwrap();
+
+    let truth = knn_batch(&data, &queries, args.k, &SquaredL2, 1);
+    let exact_recall = mean_recall(&truth, &exact.neighbors);
+    let rerank_vs_exact = mean_recall(&exact.neighbors, &rerank.neighbors);
+    let rerank_recall = mean_recall(&truth, &rerank.neighbors);
+    let pruned = rec.counter(Counter::CandidatesPruned) as f64 / args.reps as f64;
+    let reranked = rec.counter(Counter::CandidatesReranked) as f64 / args.reps as f64;
+
+    println!("\n## Pipeline: exact vs quantized first pass (rerank depth = {depth})\n");
+    println!("| pipeline | ms | speedup | recall@{} vs brute force |", args.k);
+    println!("|---|---|---|---|");
+    println!("| exact rank | {exact_ms:.1} | 1.00x | {exact_recall:.4} |");
+    println!(
+        "| quantized + rerank | {rerank_ms:.1} | {:.2}x | {rerank_recall:.4} |",
+        exact_ms / rerank_ms
+    );
+    println!(
+        "\nrerank vs exact-path recall@{}: {rerank_vs_exact:.4} \
+         ({pruned:.0} candidates pruned, {reranked:.0} reranked per rep)",
+        args.k
+    );
+    record.metric("pipeline_exact_ms", exact_ms);
+    record.metric("pipeline_rerank_ms", rerank_ms);
+    record.metric("pipeline_rerank_speedup", exact_ms / rerank_ms);
+    record.metric("rerank_depth", depth as f64);
+    record.metric("exact_recall_at_k", exact_recall);
+    record.metric("rerank_recall_at_k", rerank_recall);
+    record.metric("rerank_vs_exact_recall_at_k", rerank_vs_exact);
+    record.metric("candidates_pruned_per_rep", pruned);
+    record.metric("candidates_reranked_per_rep", reranked);
+
+    if let Some(path) = &args.json {
+        record.write(path).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+}

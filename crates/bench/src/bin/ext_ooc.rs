@@ -39,6 +39,13 @@ fn main() {
         .unwrap_or_else(|e| panic!("opening bench corpus {}: {e}", path.display()));
     let cfg = BiLevelConfig::paper_default(40.0).probe(Probe::Multi(8));
     let threads = [1usize, 2, 4, 8];
+    let mut record = bench::RunRecord::new("ext_ooc", "current build");
+    record.param("n", args.n);
+    record.param("queries", args.queries);
+    record.param("dim", args.dim);
+    record.param("k", args.k);
+    record.param("reps", args.reps);
+    record.param("profile", args.profile.clone());
 
     println!("\n## Out-of-core: parallel build ({} rows × {} dims on disk)\n", args.n, args.dim);
     println!("| build threads | s | speedup |");
@@ -64,6 +71,7 @@ fn main() {
             Some(want) => assert_eq!(want, built.linear_ids(), "{t}-thread build diverged"),
         }
         println!("| {t} | {secs:.2} | {:.2}x |", serial_build / secs);
+        record.metric(&format!("build_{t}t_s"), secs);
     }
 
     let index = OocFlatIndex::build(&source, &cfg, usize::MAX)
@@ -80,6 +88,7 @@ fn main() {
     }
     let serial_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
     println!("| serial per-row | {serial_ms:.1} | 1.00x |");
+    record.metric("serial_per_row_ms", serial_ms);
     let recorder = InMemoryRecorder::new();
     for t in threads {
         let timer = Instant::now();
@@ -105,8 +114,12 @@ fn main() {
             if t == 1 { "" } else { "s" },
             serial_ms / ms
         );
+        record.metric(&format!("coalesced_{t}t_ms"), ms);
     }
     println!("\n### Stage breakdown (coalesced batches, all thread counts)\n");
     println!("```\n{}```", recorder.snapshot().render_table());
+    if let Some(out) = &args.json {
+        record.write(out).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    }
     std::fs::remove_file(&path).ok();
 }

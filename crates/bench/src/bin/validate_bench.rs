@@ -1,0 +1,59 @@
+//! CI gate: validates `BENCH_*.json` perf records (and bare `--json` run
+//! dumps) against the `knn-bench/1` schema in `bench::record`.
+//!
+//! ```text
+//! validate_bench [FILE...]
+//! ```
+//!
+//! With no arguments, validates every `BENCH_*.json` in the current
+//! directory (and fails if there is none — the perf record is mandatory
+//! once seeded). Exits non-zero on the first malformed file.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .expect("reading current directory")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+            .collect();
+        found.sort();
+        if found.is_empty() {
+            eprintln!("validate_bench: no BENCH_*.json in the current directory");
+            return ExitCode::FAILURE;
+        }
+        files = found;
+    }
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match bench::record::validate(&text) {
+            Ok(summary) => println!(
+                "{path}: ok (pr {}, {} run{}, {} metrics)",
+                summary.pr,
+                summary.runs,
+                if summary.runs == 1 { "" } else { "s" },
+                summary.metrics
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

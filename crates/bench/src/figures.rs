@@ -209,6 +209,7 @@ pub fn shortlist_figure(args: &HarnessArgs) -> Vec<ShortlistTiming> {
             quantizer: Quantizer::Zm,
             probe: bilevel_lsh::Probe::Home,
             table_pool: None,
+            projection: bilevel_lsh::Projection::Dense,
             seed: 0xF16,
         };
         let table_index = BiLevelIndex::build(&prepared.train, &cfg);

@@ -15,11 +15,13 @@ pub mod args;
 pub mod data;
 pub mod figures;
 pub mod methods;
+pub mod record;
 pub mod report;
 pub mod sweep;
 
 pub use args::HarnessArgs;
 pub use data::Prepared;
 pub use methods::{method_config, MethodKind};
+pub use record::RunRecord;
 pub use report::{print_markdown_table, write_csv};
 pub use sweep::{sweep_widths, w_grid, MethodCurve};

@@ -99,6 +99,7 @@ pub fn method_config(
         quantizer,
         probe,
         table_pool: None,
+        projection: bilevel_lsh::Projection::Dense,
         seed: 0xF16 ^ ((run as u64) << 32) ^ (run as u64).wrapping_mul(0x9E3779B97F4A7C15),
     }
 }

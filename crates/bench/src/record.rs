@@ -1,0 +1,472 @@
+//! The cross-PR perf record: `BENCH_<pr>.json` writer and validator.
+//!
+//! Every `ext_*` harness can dump its measurements as a single JSON *run
+//! record* via `--json FILE`; the checked-in `BENCH_<pr>.json` at the repo
+//! root collects the runs that justify a PR's perf claims (baseline build
+//! and current build on the same box). CI's bench-smoke step re-runs the
+//! harnesses at tiny scale and validates both the fresh dumps and the
+//! checked-in record against the `knn-bench/1` schema, so the record can
+//! never rot into prose.
+//!
+//! Schema `knn-bench/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "knn-bench/1",
+//!   "pr": 6,
+//!   "generated": "2026-08-08",
+//!   "host": { "cores": 1 },
+//!   "runs": [
+//!     {
+//!       "label": "pre-PR baseline (commit abc1234)",
+//!       "bench": "ext_ooc",
+//!       "params": { "n": 10000, "dim": 64 },
+//!       "metrics": { "serial_per_row_ms": 123.4 }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! A bare run object (what `--json` emits) is also accepted by
+//! [`validate`]. Rules: `schema` must match exactly, `runs` must be
+//! non-empty, every run needs a non-empty `label`, `bench`, and `metrics`
+//! map, and every metric value must be a finite number. The parser is
+//! hand-rolled (like `core`'s config fallback) so validation works even
+//! where the `serde_json` backend is a vendored stub.
+
+use std::fmt::Write as _;
+
+/// The schema tag every record must carry.
+pub const SCHEMA: &str = "knn-bench/1";
+
+/// One harness invocation's worth of measurements.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecord {
+    /// Human label: what build / configuration produced these numbers.
+    pub label: String,
+    /// The harness binary name (`ext_ooc`, `ext_end_to_end`, ...).
+    pub bench: String,
+    /// Workload parameters, emitted as numbers when they parse as one.
+    pub params: Vec<(String, String)>,
+    /// Measurements; values must be finite.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunRecord {
+    /// New record for a harness binary.
+    pub fn new(bench: &str, label: &str) -> Self {
+        Self { bench: bench.to_string(), label: label.to_string(), ..Self::default() }
+    }
+
+    /// Adds a workload parameter (numeric strings are emitted unquoted).
+    pub fn param(&mut self, key: &str, value: impl ToString) {
+        self.params.push((key.to_string(), value.to_string()));
+    }
+
+    /// Adds a measurement.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        assert!(value.is_finite(), "metric {key} must be finite, got {value}");
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Serializes the run as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"label\": {},", quote(&self.label));
+        let _ = writeln!(s, "  \"bench\": {},", quote(&self.bench));
+        s.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            // Numeric parameter values stay numbers in the document.
+            if v.parse::<f64>().is_ok() {
+                let _ = write!(s, "{sep}{}: {v}", quote(k));
+            } else {
+                let _ = write!(s, "{sep}{}: {}", quote(k), quote(v));
+            }
+        }
+        s.push_str(" },\n  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            let _ = write!(s, "{sep}{}: {}", quote(k), fmt_num(*v));
+        }
+        s.push_str(" }\n}\n");
+        s
+    }
+
+    /// Writes the run record to `path` and reports it on stderr.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        eprintln!("wrote run record {path}");
+        Ok(())
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Summary of a validated record, for the CLI's one-line report.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BenchSummary {
+    /// PR number the record belongs to (0 for a bare run dump).
+    pub pr: u64,
+    /// Number of runs in the document.
+    pub runs: usize,
+    /// Total metrics across all runs.
+    pub metrics: usize,
+}
+
+/// Validates a `BENCH_*.json` document or a bare `--json` run dump.
+pub fn validate(text: &str) -> Result<BenchSummary, String> {
+    let doc = Json::parse(text)?;
+    // A bare run dump has no schema tag; dispatch on its presence.
+    if doc.get("schema").is_none() && doc.get("bench").is_some() {
+        let metrics = validate_run(&doc, 0)?;
+        return Ok(BenchSummary { pr: 0, runs: 1, metrics });
+    }
+    let schema =
+        doc.get("schema").and_then(Json::as_str).ok_or("missing top-level \"schema\" string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+    }
+    let pr = doc.get("pr").and_then(Json::as_u64).ok_or("missing integer \"pr\"")?;
+    doc.get("generated").and_then(Json::as_str).ok_or("missing \"generated\" date string")?;
+    let runs = match doc.get("runs") {
+        Some(Json::Arr(runs)) if !runs.is_empty() => runs,
+        Some(Json::Arr(_)) => return Err("\"runs\" must be non-empty".into()),
+        _ => return Err("missing \"runs\" array".into()),
+    };
+    let mut metrics = 0;
+    for (i, run) in runs.iter().enumerate() {
+        metrics += validate_run(run, i)?;
+    }
+    Ok(BenchSummary { pr, runs: runs.len(), metrics })
+}
+
+fn validate_run(run: &Json, i: usize) -> Result<usize, String> {
+    for key in ["label", "bench"] {
+        match run.get(key).and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => {}
+            _ => return Err(format!("run {i}: missing non-empty \"{key}\" string")),
+        }
+    }
+    if let Some(params) = run.get("params") {
+        let Json::Obj(_) = params else {
+            return Err(format!("run {i}: \"params\" must be an object"));
+        };
+    }
+    let Some(Json::Obj(metrics)) = run.get("metrics") else {
+        return Err(format!("run {i}: missing \"metrics\" object"));
+    };
+    if metrics.is_empty() {
+        return Err(format!("run {i}: \"metrics\" must be non-empty"));
+    }
+    for (k, v) in metrics {
+        match v.as_f64() {
+            Some(x) if x.is_finite() => {}
+            _ => return Err(format!("run {i}: metric {k:?} is not a finite number")),
+        }
+    }
+    Ok(metrics.len())
+}
+
+/// Minimal JSON tree for validation (strings, numbers, bools, null,
+/// arrays, objects; escape support limited to what [`RunRecord`] emits).
+#[derive(Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, validated as `f64` at parse time.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one document; trailing non-whitespace is an error.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Cursor { bytes: src.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number as `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number as `f64`, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            b => Err(format!("unexpected character '{}' at byte {}", b as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if self.peek()? != b':' {
+                return Err(format!("expected ':' at byte {}", self.pos));
+            }
+            self.pos += 1;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..]).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        let x: f64 = text.parse().map_err(|_| format!("invalid number '{text}'"))?;
+        Ok(Json::Num(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        let mut r = RunRecord::new("ext_ooc", "current build");
+        r.param("n", 10_000);
+        r.param("profile", "labelme");
+        r.metric("serial_per_row_ms", 120.5);
+        r.metric("coalesced_4t_ms", 41.0);
+        r
+    }
+
+    #[test]
+    fn run_dump_roundtrips_through_validator() {
+        let json = record().to_json();
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary, BenchSummary { pr: 0, runs: 1, metrics: 2 });
+    }
+
+    #[test]
+    fn full_record_validates() {
+        let doc = format!(
+            "{{ \"schema\": \"knn-bench/1\", \"pr\": 6, \"generated\": \"2026-08-08\",\n\
+             \"host\": {{ \"cores\": 1 }},\n\
+             \"runs\": [ {}, {} ] }}",
+            record().to_json(),
+            record().to_json()
+        );
+        let summary = validate(&doc).unwrap();
+        assert_eq!(summary, BenchSummary { pr: 6, runs: 2, metrics: 4 });
+    }
+
+    #[test]
+    fn numeric_params_stay_numbers() {
+        let json = record().to_json();
+        assert!(json.contains("\"n\": 10000"), "{json}");
+        assert!(json.contains("\"profile\": \"labelme\""), "{json}");
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        // Wrong schema tag.
+        let bad = "{ \"schema\": \"knn-bench/0\", \"pr\": 1, \"generated\": \"x\", \
+                    \"runs\": [] }";
+        assert!(validate(bad).unwrap_err().contains("knn-bench/1"));
+        // Empty runs.
+        let bad = "{ \"schema\": \"knn-bench/1\", \"pr\": 1, \"generated\": \"x\", \
+                    \"runs\": [] }";
+        assert!(validate(bad).unwrap_err().contains("non-empty"));
+        // Run without metrics.
+        let bad = "{ \"schema\": \"knn-bench/1\", \"pr\": 1, \"generated\": \"x\", \
+                    \"runs\": [ { \"label\": \"a\", \"bench\": \"b\", \"metrics\": {} } ] }";
+        assert!(validate(bad).unwrap_err().contains("metrics"));
+        // Non-finite metric (JSON has no NaN literal; a string sneaks in).
+        let bad = "{ \"schema\": \"knn-bench/1\", \"pr\": 1, \"generated\": \"x\", \
+                    \"runs\": [ { \"label\": \"a\", \"bench\": \"b\", \
+                    \"metrics\": { \"ms\": \"fast\" } } ] }";
+        assert!(validate(bad).unwrap_err().contains("finite"));
+        // Not JSON at all.
+        assert!(validate("BENCH results: fast").is_err());
+    }
+
+    #[test]
+    fn metric_rejects_non_finite_at_insert() {
+        let mut r = RunRecord::new("b", "l");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.metric("ms", f64::NAN);
+        }));
+        assert!(err.is_err());
+    }
+}

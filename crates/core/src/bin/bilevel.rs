@@ -99,6 +99,15 @@ fn config_from_flags(flags: &Flags) -> BiLevelConfig {
                 std::process::exit(2);
             })
         }),
+        projection: match flags.get("--sparse-nnz") {
+            None => bilevel_lsh::Projection::Dense,
+            Some(v) => bilevel_lsh::Projection::Sparse {
+                nnz: v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --sparse-nnz");
+                    std::process::exit(2);
+                }),
+            },
+        },
         seed: flags.num("--seed", 0x0b11_e7e1u64),
     }
 }

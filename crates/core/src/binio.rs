@@ -205,6 +205,13 @@ impl<'a> ByteReader<'a> {
         Ok(slice)
     }
 
+    /// Bytes not yet consumed. Decoders use this to accept optional
+    /// trailing fields that newer writers append only when non-default —
+    /// absent in old snapshots, present in new ones.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// The payload must be fully consumed — trailing bytes mean the encoder
     /// and decoder disagree about the layout.
     pub(crate) fn finish(self) -> Result<(), PersistError> {

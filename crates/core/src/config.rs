@@ -12,6 +12,7 @@
 //!
 //! each with either the `Z^M` or the E8 quantizer.
 
+use lsh::Projection;
 use rptree::SplitRule;
 use serde::{Deserialize, Serialize};
 
@@ -163,6 +164,12 @@ pub struct BiLevelConfig {
     /// sits most centrally. `None` (default) probes a fixed set of `l`.
     #[serde(default)]
     pub table_pool: Option<usize>,
+    /// How level-2 projection vectors are drawn. `Dense` (default) is the
+    /// paper's i.i.d. Gaussian matrix; `Sparse { nnz }` samples `nnz`
+    /// coordinates per hash function (Li–Hastie–Church very sparse random
+    /// projections), cutting hashing cost from `O(d·m)` toward `O(nnz·m)`.
+    #[serde(default)]
+    pub projection: Projection,
     /// Master RNG seed (projections, tree directions, table seeds).
     pub seed: u64,
 }
@@ -179,6 +186,7 @@ impl BiLevelConfig {
             quantizer: Quantizer::Zm,
             probe: Probe::Home,
             table_pool: None,
+            projection: Projection::Dense,
             seed: 0x0b11_e7e1,
         }
     }
@@ -216,6 +224,12 @@ impl BiLevelConfig {
     /// [`BiLevelConfig::table_pool`]).
     pub fn table_pool(mut self, pool: usize) -> Self {
         self.table_pool = Some(pool);
+        self
+    }
+
+    /// Builder-style projection override (see [`BiLevelConfig::projection`]).
+    pub fn projection(mut self, projection: Projection) -> Self {
+        self.projection = projection;
         self
     }
 
@@ -264,10 +278,14 @@ impl BiLevelConfig {
             Some(pool) => pool.to_string(),
             None => "null".to_string(),
         };
+        let projection = match self.projection {
+            Projection::Dense => "\"Dense\"".to_string(),
+            Projection::Sparse { nnz } => format!("{{\"Sparse\":{{\"nnz\":{nnz}}}}}"),
+        };
         format!(
             "{{\"l\":{},\"m\":{},\"width\":{width},\"partition\":{partition},\
              \"quantizer\":{quantizer},\"probe\":{probe},\"table_pool\":{table_pool},\
-             \"seed\":{}}}",
+             \"projection\":{projection},\"seed\":{}}}",
             self.l, self.m, self.seed
         )
     }
@@ -372,6 +390,19 @@ impl BiLevelConfig {
                 Some(v.as_u64().ok_or("field `table_pool` must be an integer or null")? as usize)
             }
         };
+        // Absent in documents written before the field existed — default to
+        // the dense matrix those indexes were built with.
+        let projection = match doc.get("projection") {
+            None => Projection::Dense,
+            Some(v) => {
+                let (name, payload) = variant(v)?;
+                match (name.as_str(), payload) {
+                    ("Dense", None) => Projection::Dense,
+                    ("Sparse", Some(p)) => Projection::Sparse { nnz: inner_usize(&p, "nnz")? },
+                    (other, _) => return Err(format!("unknown projection `{other}`")),
+                }
+            }
+        };
         Ok(Self {
             l: usize_field("l")?,
             m: usize_field("m")?,
@@ -380,6 +411,7 @@ impl BiLevelConfig {
             quantizer,
             probe,
             table_pool,
+            projection,
             seed: field("seed")?.as_u64().ok_or("field `seed` must be a u64")?,
         })
     }
@@ -396,6 +428,9 @@ impl BiLevelConfig {
         assert!(self.partition.groups() > 0, "need at least one group");
         if let Some(pool) = self.table_pool {
             assert!(pool > self.l, "table pool must exceed l to be adaptive");
+        }
+        if let Projection::Sparse { nnz } = self.projection {
+            assert!(nnz > 0, "sparse projection nnz must be positive");
         }
         match self.width {
             WidthMode::Fixed(w) => assert!(w > 0.0 && w.is_finite(), "fixed W must be positive"),
@@ -489,6 +524,7 @@ mod tests {
         assert_eq!(a.quantizer, b.quantizer);
         assert_eq!(a.probe, b.probe);
         assert_eq!(a.table_pool, b.table_pool);
+        assert_eq!(a.projection, b.projection);
         assert_eq!(a.seed, b.seed);
     }
 
@@ -511,6 +547,7 @@ mod tests {
                 partition: Partition::Kd { groups: 8 },
                 ..BiLevelConfig::paper_default(1.0)
             },
+            BiLevelConfig::paper_default(3.0).projection(Projection::Sparse { nnz: 6 }),
         ];
         for c in &configs {
             let back = BiLevelConfig::from_json(&c.to_json()).unwrap();
@@ -523,6 +560,21 @@ mod tests {
         let text = BiLevelConfig::paper_default(2.0).to_json().replace(",\"table_pool\":null", "");
         let c = BiLevelConfig::from_json(&text).unwrap();
         assert_eq!(c.table_pool, None);
+    }
+
+    #[test]
+    fn json_missing_projection_defaults_to_dense() {
+        let text =
+            BiLevelConfig::paper_default(2.0).to_json().replace(",\"projection\":\"Dense\"", "");
+        assert!(!text.contains("projection"), "replace should have removed the field");
+        let c = BiLevelConfig::from_json(&text).unwrap();
+        assert_eq!(c.projection, Projection::Dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz must be positive")]
+    fn zero_nnz_sparse_invalid() {
+        BiLevelConfig::paper_default(1.0).projection(Projection::Sparse { nnz: 0 }).validate();
     }
 
     #[test]

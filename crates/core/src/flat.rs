@@ -54,6 +54,7 @@ impl<'a> FlatIndex<'a> {
             !matches!(config.probe, Probe::Hierarchical { .. }),
             "FlatIndex does not support hierarchical probing"
         );
+        crate::index::check_id_space(data.len()).unwrap_or_else(|e| panic!("{e}"));
         let config = config.clone();
 
         let partitioner: Box<dyn Partitioner + Send + Sync> = match config.partition {
@@ -70,8 +71,14 @@ impl<'a> FlatIndex<'a> {
 
         let families: Vec<HashFamily> = (0..config.l)
             .map(|l| {
-                HashFamily::sample(data.dim(), config.m, 1.0, config.seed ^ (0x1000 + l as u64))
-                    .with_w(w)
+                HashFamily::sample_with(
+                    data.dim(),
+                    config.m,
+                    1.0,
+                    config.seed ^ (0x1000 + l as u64),
+                    config.projection,
+                )
+                .with_w(w)
             })
             .collect();
 
@@ -80,10 +87,11 @@ impl<'a> FlatIndex<'a> {
         let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(data.len() * config.l);
         for (i, row) in data.iter().enumerate() {
             let g = partitioner.assign(row) as u32;
+            let id = u32::try_from(i).expect("row count checked against u32 id space");
             for (l, family) in families.iter().enumerate() {
                 family.project_into(row, &mut raw);
                 let code = quantize(&raw, config.quantizer);
-                keyed.push((compress_code(l, g, &code), i as u32));
+                keyed.push((compress_code(l, g, &code), id));
             }
         }
         // Sort by key: buckets become contiguous intervals.

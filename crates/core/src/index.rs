@@ -10,7 +10,44 @@ use lsh::family::quantize_zm;
 use lsh::{tune_w, DistanceProfile, HashFamily, LshTable, ProjectionScratch, TuningGoal};
 use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
 use shortlist::{parallel_fill_with, shortlist_serial};
-use vecstore::{Dataset, Neighbor, SquaredL2};
+use vecstore::{total_dist_cmp, Dataset, Neighbor, PreparedQuery, QuantizedCorpus, SquaredL2};
+
+/// The corpus holds more rows than the `u32` row-id space can address.
+///
+/// Every bucket, shard, and persisted snapshot stores row ids as `u32`;
+/// building (or growing) an index past `u32::MAX + 1` rows would silently
+/// alias ids under the old `as u32` casts. The builders now refuse with this
+/// typed error instead ([`BiLevelIndex::try_build`],
+/// [`BiLevelIndex::try_insert_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusTooLarge {
+    /// Total rows the operation would have had to address.
+    pub rows: usize,
+}
+
+impl std::fmt::Display for CorpusTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corpus of {} rows exceeds the u32 row-id space ({} rows max)",
+            self.rows,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for CorpusTooLarge {}
+
+/// Guards the `u32` row-id invariant. Corpora of `2^32` rows or more are
+/// refused: besides ids `0..rows`, shard bounds and run endpoints also
+/// round-trip through `u32`, so the row *count* itself must fit.
+pub(crate) fn check_id_space(rows: usize) -> Result<(), CorpusTooLarge> {
+    if rows as u64 > u32::MAX as u64 {
+        Err(CorpusTooLarge { rows })
+    } else {
+        Ok(())
+    }
+}
 
 /// Level-1 partitioner, enum-dispatched (all variants are `Partitioner`s).
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
@@ -240,6 +277,10 @@ pub struct BiLevelIndex<'a> {
     pub(crate) tables: Vec<Vec<GroupTable>>,
     /// Per-group widths actually used (exposed for inspection/tests).
     pub(crate) group_widths: Vec<f32>,
+    /// i8 scalar-quantized mirror of `data`, the cheap first pass behind
+    /// [`QueryOptions::rerank`]. Deterministic in `data`, so persistence
+    /// rebuilds it instead of serializing it.
+    pub(crate) quant: QuantizedCorpus,
 }
 
 /// Engine selection for a batch query (the `engine` field of
@@ -316,8 +357,16 @@ impl<'a> BiLevelIndex<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the dataset is empty or the configuration is invalid.
+    /// Panics if the dataset is empty, the configuration is invalid, or the
+    /// corpus exceeds the `u32` row-id space (use
+    /// [`BiLevelIndex::try_build`] to handle that case as an error).
     pub fn build(data: &'a Dataset, config: &BiLevelConfig) -> Self {
+        Self::try_build(data, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BiLevelIndex::build`], but a corpus too large for `u32` row ids is
+    /// reported as a typed [`CorpusTooLarge`] error instead of a panic.
+    pub fn try_build(data: &'a Dataset, config: &BiLevelConfig) -> Result<Self, CorpusTooLarge> {
         Self::build_cow(std::borrow::Cow::Borrowed(data), config)
     }
 
@@ -325,12 +374,25 @@ impl<'a> BiLevelIndex<'a> {
     /// [`BiLevelIndex::insert`] without a copy, and for moving the index
     /// across threads or scopes independently of the source data.
     pub fn build_owned(data: Dataset, config: &BiLevelConfig) -> BiLevelIndex<'static> {
+        BiLevelIndex::try_build_owned(data, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BiLevelIndex::build_owned`] with the [`CorpusTooLarge`] case as a
+    /// typed error.
+    pub fn try_build_owned(
+        data: Dataset,
+        config: &BiLevelConfig,
+    ) -> Result<BiLevelIndex<'static>, CorpusTooLarge> {
         BiLevelIndex::build_cow(std::borrow::Cow::Owned(data), config)
     }
 
-    fn build_cow(cow: std::borrow::Cow<'a, Dataset>, config: &BiLevelConfig) -> Self {
+    fn build_cow(
+        cow: std::borrow::Cow<'a, Dataset>,
+        config: &BiLevelConfig,
+    ) -> Result<Self, CorpusTooLarge> {
         config.validate();
         assert!(!cow.is_empty(), "cannot index an empty dataset");
+        check_id_space(cow.len())?;
         let data: &Dataset = &cow;
         let config = config.clone();
 
@@ -339,7 +401,7 @@ impl<'a> BiLevelIndex<'a> {
         let num_groups = level1.num_groups();
         let mut group_ids: Vec<Vec<u32>> = vec![Vec::new(); num_groups];
         for (i, &g) in assignments.iter().enumerate() {
-            group_ids[g].push(i as u32);
+            group_ids[g].push(u32::try_from(i).expect("row count checked against u32 id space"));
         }
 
         // ---- Per-group bucket widths. ----
@@ -352,7 +414,8 @@ impl<'a> BiLevelIndex<'a> {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let tables = build_group_tables(data, &group_ids, &group_widths, &config, threads);
 
-        Self { data: cow, config, level1, tables, group_widths }
+        let quant = QuantizedCorpus::from_dataset(data);
+        Ok(Self { data: cow, config, level1, tables, group_widths, quant })
     }
 
     /// The configuration the index was built with.
@@ -444,12 +507,63 @@ impl<'a> BiLevelIndex<'a> {
                 rec.observe(Value::CandidatesPerQuery, c.len() as u64);
             }
         }
+        // `candidates` reports the probe phase's short-list sizes (the
+        // selectivity numerator), so counts are taken before any pruning.
         let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
+        let candidates = match options.rerank {
+            None => candidates,
+            Some(depth) => {
+                self.prune_candidates(queries, candidates, depth.max(options.k).max(1), rec)
+            }
+        };
         let rank_span = SpanTimer::start(rec, Stage::Rank);
         let neighbors =
             rank_candidates(&self.data, queries, &candidates, options.k, options.engine);
         drop(rank_span);
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
+    }
+
+    /// Quantized first pass behind [`QueryOptions::rerank`]: each candidate
+    /// list longer than `depth` is scored against the i8 quantized corpus
+    /// and cut to its `depth` approximately-nearest ids (ties broken toward
+    /// the smaller id); shorter lists pass through untouched. Survivors are
+    /// re-sorted ascending by id, so the exact rank stage sees a subset of
+    /// the original list in its original order — with `depth` at least the
+    /// list length the pipeline is bit-identical to the unpruned one.
+    fn prune_candidates(
+        &self,
+        queries: &Dataset,
+        mut candidates: Vec<Vec<u32>>,
+        depth: usize,
+        rec: &dyn Recorder,
+    ) -> Vec<Vec<u32>> {
+        let mut prep = PreparedQuery::default();
+        let mut scores: Vec<f32> = Vec::new();
+        let (mut dropped, mut survived) = (0u64, 0u64);
+        for (q, ids) in candidates.iter_mut().enumerate() {
+            if ids.len() <= depth {
+                continue;
+            }
+            self.quant.prepare_into(queries.row(q), &mut prep);
+            scores.clear();
+            self.quant.approx_scores_into(&prep, ids, &mut scores);
+            let mut keyed: Vec<(f32, u32)> =
+                scores.iter().copied().zip(ids.iter().copied()).collect();
+            keyed.select_nth_unstable_by(depth - 1, |a, b| {
+                total_dist_cmp(a.0, b.0).then_with(|| a.1.cmp(&b.1))
+            });
+            keyed.truncate(depth);
+            dropped += (ids.len() - depth) as u64;
+            survived += depth as u64;
+            ids.clear();
+            ids.extend(keyed.iter().map(|&(_, id)| id));
+            ids.sort_unstable();
+        }
+        if dropped > 0 {
+            rec.add(Counter::CandidatesPruned, dropped);
+            rec.add(Counter::CandidatesReranked, survived);
+        }
+        candidates
     }
 
     /// Whether `probe` can be answered by this built index. `Home` and
@@ -610,11 +724,34 @@ impl<'a> BiLevelIndex<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on a dimension mismatch or an empty iterator.
+    /// Panics on a dimension mismatch, an empty iterator, or a corpus
+    /// growing past the `u32` row-id space (use
+    /// [`BiLevelIndex::try_insert_batch`] to handle that case as an error).
     pub fn insert_batch<'v, I>(&mut self, vectors: I) -> usize
     where
         I: IntoIterator<Item = &'v [f32]>,
     {
+        self.try_insert_batch(vectors).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BiLevelIndex::insert_batch`], but a batch that would push the
+    /// corpus past the `u32` row-id space is refused with a typed
+    /// [`CorpusTooLarge`] error *before* any mutation — the index is
+    /// unchanged on `Err`.
+    pub fn try_insert_batch<'v, I>(&mut self, vectors: I) -> Result<usize, CorpusTooLarge>
+    where
+        I: IntoIterator<Item = &'v [f32]>,
+    {
+        // Buffer the batch up front: the id-space check must pass before
+        // the first table mutation for the all-or-nothing contract, and the
+        // buffered rows feed the quantized mirror afterwards.
+        let mut batch = Dataset::new(self.data.dim());
+        for v in vectors {
+            assert_eq!(v.len(), self.data.dim(), "insert dimension mismatch");
+            batch.push(v);
+        }
+        assert!(!batch.is_empty(), "insert_batch requires at least one vector");
+        check_id_space(self.data.len() + batch.len())?;
         let first_id = self.data.len();
         let mut scratch = ProjectionScratch::new(self.config.m);
         // Touched (group, table) pairs as a bitset: constant memory in the
@@ -623,10 +760,8 @@ impl<'a> BiLevelIndex<'a> {
         let tables_per_group = self.config.table_pool.unwrap_or(self.config.l);
         let slots = self.tables.len() * tables_per_group;
         let mut touched = vec![0u64; slots.div_ceil(64)];
-        let mut inserted = 0usize;
-        for v in vectors {
-            assert_eq!(v.len(), self.data.dim(), "insert dimension mismatch");
-            let id = self.data.len() as u32;
+        for v in batch.iter() {
+            let id = u32::try_from(self.data.len()).expect("batch checked against u32 id space");
             self.data.to_mut().push(v);
             let g = self.level1.assign(v);
             for (l, gt) in self.tables[g].iter_mut().enumerate() {
@@ -635,9 +770,8 @@ impl<'a> BiLevelIndex<'a> {
                 let bit = g * tables_per_group + l;
                 touched[bit / 64] |= 1 << (bit % 64);
             }
-            inserted += 1;
         }
-        assert!(inserted > 0, "insert_batch requires at least one vector");
+        self.quant.append_rows(&batch);
         // Refresh bucket code lists and hierarchies of the touched tables,
         // in ascending (group, table) order as the set bits are walked.
         let rebuild = matches!(self.config.probe, Probe::Hierarchical { .. });
@@ -655,7 +789,7 @@ impl<'a> BiLevelIndex<'a> {
                 }
             }
         }
-        first_id
+        Ok(first_id)
     }
 }
 
@@ -686,11 +820,12 @@ fn build_group_tables(
                 // One base family per table index, shared across groups so
                 // bi-level vs. standard comparisons differ only in W and
                 // partitioning, then rescaled to the group width.
-                let base = HashFamily::sample(
+                let base = HashFamily::sample_with(
                     data.dim(),
                     config.m,
                     1.0,
                     config.seed ^ (0x1000 + l as u64),
+                    config.projection,
                 );
                 let family = base.with_w(group_widths[g]);
                 let mut table = LshTable::new();
@@ -824,7 +959,10 @@ pub(crate) fn build_table_hierarchy(
     bucket_codes: &[Box<[i32]>],
     quantizer: Quantizer,
 ) -> TableHierarchy {
-    let iter = bucket_codes.iter().enumerate().map(|(i, c)| (c.as_ref(), i as u32));
+    let iter = bucket_codes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_ref(), u32::try_from(i).expect("bucket count bounded by row count")));
     match quantizer {
         Quantizer::Zm => TableHierarchy::Zm(ZmHierarchy::build(iter)),
         Quantizer::E8 => TableHierarchy::E8(E8Hierarchy::build(iter)),
@@ -1390,5 +1528,89 @@ mod tests {
         let (data, _) = small_data();
         let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(1.0));
         let _ = index.query(&[0.0; 3], 5);
+    }
+
+    #[test]
+    fn rerank_with_ample_depth_is_bit_identical() {
+        let (data, queries) = small_data();
+        // Wide buckets so candidate lists are long enough to matter.
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(500.0));
+        let exact = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        // A depth at least the list length never prunes: identical output.
+        let ample = index.query_batch_opts(&queries, &QueryOptions::new(10).rerank(data.len()));
+        assert_eq!(exact.neighbors, ample.neighbors);
+        assert_eq!(exact.candidates, ample.candidates);
+    }
+
+    #[test]
+    fn rerank_prunes_candidates_and_keeps_recall() {
+        let (data, queries) = small_data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(500.0));
+        let truth = knn_batch(&data, &queries, 10, &SquaredL2, 1);
+        let rec = knn_telemetry::InMemoryRecorder::new();
+        let opts = QueryOptions::new(10).rerank(64).recorder(&rec);
+        let pruned = index.query_batch_opts(&queries, &opts);
+        // Selectivity accounting reports the probe phase, not the prune.
+        let exact = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        assert_eq!(exact.candidates, pruned.candidates);
+        // The first pass did real work: wide buckets make nearly the whole
+        // corpus a candidate, far above depth 64.
+        assert!(rec.counter(Counter::CandidatesPruned) > 0, "nothing was pruned");
+        assert!(rec.counter(Counter::CandidatesReranked) > 0);
+        // Documented recall bound (DESIGN.md §11): with depth >= 6.4 * k the
+        // i8 first pass keeps mean recall@10 within 0.05 of the exact rank.
+        let recall = |res: &BatchResult| {
+            truth.iter().zip(&res.neighbors).map(|(t, g)| knn_metrics::recall(t, g)).sum::<f64>()
+                / truth.len() as f64
+        };
+        let (re, rp) = (recall(&exact), recall(&pruned));
+        assert!(rp >= re - 0.05, "quantized prune lost too much recall: {rp} vs {re}");
+    }
+
+    #[test]
+    fn rerank_engines_agree() {
+        let (data, queries) = small_data();
+        let index = BiLevelIndex::build(&data, &BiLevelConfig::standard(500.0));
+        let serial = index.query_batch_opts(&queries, &QueryOptions::new(8).rerank(64));
+        let wq = index.query_batch_opts(
+            &queries,
+            &QueryOptions::new(8).rerank(64).engine(Engine::WorkQueue { threads: 3, capacity: 64 }),
+        );
+        assert_eq!(serial.neighbors, wq.neighbors);
+    }
+
+    #[test]
+    fn sparse_projection_builds_and_reaches_dense_recall() {
+        let (data, queries) = small_data();
+        let dense = BiLevelIndex::build(&data, &BiLevelConfig::standard(500.0));
+        let cfg = BiLevelConfig::standard(500.0)
+            .projection(lsh::Projection::Sparse { nnz: data.dim() / 4 });
+        let sparse = BiLevelIndex::build(&data, &cfg);
+        assert!(sparse.tables[0][0].family.is_sparse(), "config did not gate sparse sampling");
+        let rd = mean_recall(&dense, &queries, 10);
+        let rs = mean_recall(&sparse, &queries, 10);
+        // At W=500 nearly everything collides either way; sparse projections
+        // must not break the pipeline or collapse recall.
+        assert!(rs >= rd - 0.05, "sparse projections collapsed recall: {rs} vs {rd}");
+    }
+
+    #[test]
+    fn corpus_too_large_error_reports_rows() {
+        let err = check_id_space(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(err.rows, u32::MAX as usize + 1);
+        let msg = err.to_string();
+        assert!(msg.contains("u32 row-id space"), "unhelpful error: {msg}");
+        assert!(check_id_space(12).is_ok());
+        assert!(check_id_space(u32::MAX as usize).is_ok());
+    }
+
+    #[test]
+    fn try_build_accepts_small_corpus() {
+        let (data, queries) = small_data();
+        let index = BiLevelIndex::try_build(&data, &BiLevelConfig::standard(4.0)).unwrap();
+        assert_eq!(
+            index.query_batch_opts(&queries, &QueryOptions::new(5)).neighbors.len(),
+            queries.len()
+        );
     }
 }

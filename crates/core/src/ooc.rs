@@ -26,6 +26,7 @@ use lsh::{tune_w, DistanceProfile, HashFamily, ProjectionScratch, TuningGoal};
 use rptree::Partitioner;
 use shortlist::parallel_fill_with;
 use vecstore::fault::{RetryPolicy, RetryStats};
+use vecstore::kernel::squared_l2_batch;
 use vecstore::metric::squared_l2;
 use vecstore::ooc::{OocDataset, RowSource};
 use vecstore::{Dataset, Neighbor, TopK};
@@ -47,6 +48,8 @@ pub enum OocBuildError {
     Io(std::io::Error),
     /// The interval table's cuckoo placement failed.
     Cuckoo(CuckooError),
+    /// The source holds more rows than the `u32` row-id space can address.
+    TooLarge(crate::index::CorpusTooLarge),
 }
 
 impl std::fmt::Display for OocBuildError {
@@ -54,6 +57,7 @@ impl std::fmt::Display for OocBuildError {
         match self {
             OocBuildError::Io(e) => write!(f, "out-of-core build I/O failure: {e}"),
             OocBuildError::Cuckoo(e) => write!(f, "interval-table build failure: {e}"),
+            OocBuildError::TooLarge(e) => write!(f, "{e}"),
         }
     }
 }
@@ -63,6 +67,7 @@ impl std::error::Error for OocBuildError {
         match self {
             OocBuildError::Io(e) => Some(e),
             OocBuildError::Cuckoo(e) => Some(e),
+            OocBuildError::TooLarge(e) => Some(e),
         }
     }
 }
@@ -76,6 +81,12 @@ impl From<std::io::Error> for OocBuildError {
 impl From<CuckooError> for OocBuildError {
     fn from(e: CuckooError) -> Self {
         OocBuildError::Cuckoo(e)
+    }
+}
+
+impl From<crate::index::CorpusTooLarge> for OocBuildError {
+    fn from(e: crate::index::CorpusTooLarge) -> Self {
+        OocBuildError::TooLarge(e)
     }
 }
 
@@ -160,6 +171,7 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
             "OocFlatIndex does not support hierarchical probing"
         );
         assert!(!source.is_empty(), "cannot index an empty file");
+        crate::index::check_id_space(source.len())?;
         let config = config.clone();
         let threads = threads.max(1);
         let retry = RetryPolicy::default();
@@ -229,7 +241,7 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
                 },
             );
             for j in 0..block.len() {
-                let id = (start + j) as u32;
+                let id = u32::try_from(start + j).expect("row count checked against u32 id space");
                 for li in 0..l {
                     keyed.push((keys[j * l + li], id));
                 }
@@ -424,8 +436,8 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
         parallel_fill_with(
             &mut out,
             threads,
-            || (ProjectionScratch::new(self.config.m), Vec::new()),
-            |(scratch, row_buf), q, slot| {
+            || (ProjectionScratch::new(self.config.m), Vec::new(), Vec::new()),
+            |(scratch, row_buf, dist_buf), q, slot| {
                 let v = queries.row(q);
                 let candidates = self.candidates_with(v, scratch, probe, rec);
                 if rec.enabled() {
@@ -433,7 +445,7 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
                     rec.observe(Value::CandidatesPerQuery, candidates.len() as u64);
                 }
                 let rank_span = SpanTimer::start(rec, Stage::Rank);
-                *slot = self.rank_coalesced(v, &candidates, k, row_buf, rec);
+                *slot = self.rank_coalesced(v, &candidates, k, row_buf, dist_buf, rec);
                 drop(rank_span);
             },
         );
@@ -442,14 +454,18 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
     }
 
     /// Ranks `candidates` (ascending ids) against `v` by fetching runs of
-    /// adjacent rows with one read each. Pushes into the top-k in the same
-    /// ascending-id order as the per-row path, so ties resolve identically.
+    /// adjacent rows with one read each. Each run is scored with the blocked
+    /// batch kernel — one linear sweep over the run buffer instead of a
+    /// per-candidate distance call — then pushed into the top-k in the same
+    /// ascending-id order as the per-row path, so ties resolve identically
+    /// (the batch kernel is bit-identical per row to `squared_l2`).
     fn rank_coalesced(
         &self,
         v: &[f32],
         candidates: &[u32],
         k: usize,
         row_buf: &mut Vec<f32>,
+        dist_buf: &mut Vec<f32>,
         rec: &dyn Recorder,
     ) -> std::io::Result<Vec<Neighbor>> {
         let dim = self.source.dim();
@@ -480,9 +496,30 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
                     rec.add(Counter::OocRetries, attempts - 1);
                 }
             }
-            for &id in &candidates[i..=j] {
-                let off = (id as usize - run_start) * dim;
-                top.push(id as usize, squared_l2(v, &row_buf[off..off + dim]));
+            // Score only candidate rows: consecutive ids batch into one
+            // kernel sweep each; gap rows fetched purely to coalesce I/O are
+            // never scored. dist_buf fills in candidate order.
+            dist_buf.clear();
+            dist_buf.reserve(j - i + 1);
+            let mut s = i;
+            while s <= j {
+                let mut e = s;
+                while e < j && candidates[e + 1] == candidates[e] + 1 {
+                    e += 1;
+                }
+                let lo = (candidates[s] as usize - run_start) * dim;
+                let hi = (candidates[e] as usize - run_start + 1) * dim;
+                if e == s {
+                    // Lone candidate in its stretch: the pair kernel skips
+                    // the batch call's setup (bit-identical accumulation).
+                    dist_buf.push(squared_l2(v, &row_buf[lo..hi]));
+                } else {
+                    squared_l2_batch(v, &row_buf[lo..hi], dim, dist_buf);
+                }
+                s = e + 1;
+            }
+            for (&id, &dist) in candidates[i..=j].iter().zip(dist_buf.iter()) {
+                top.push(id as usize, dist);
             }
             i = j + 1;
         }
@@ -499,7 +536,13 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
 fn fold_families(dim: usize, config: &BiLevelConfig, group_widths: &[f32]) -> Vec<HashFamily> {
     let mut out = Vec::with_capacity(config.l * group_widths.len());
     for l in 0..config.l {
-        let base = HashFamily::sample(dim, config.m, 1.0, config.seed ^ (0x1000 + l as u64));
+        let base = HashFamily::sample_with(
+            dim,
+            config.m,
+            1.0,
+            config.seed ^ (0x1000 + l as u64),
+            config.projection,
+        );
         for &w in group_widths {
             out.push(base.with_w(w));
         }
@@ -565,6 +608,7 @@ mod tests {
     use crate::flat::FlatIndex;
     use crate::index::Engine;
     use vecstore::io::write_fvecs;
+    use vecstore::metric::squared_l2;
     use vecstore::synth::{self, ClusteredSpec};
 
     fn on_disk(name: &str, n: usize) -> (std::path::PathBuf, Dataset, Dataset) {
@@ -699,7 +743,8 @@ mod tests {
         let ooc = OocFlatIndex::build(&source, &cfg, usize::MAX).unwrap();
         let candidates: Vec<u32> = vec![0, 1, 9, 40, 41, 60, 299];
         let q = queries.row(0);
-        let got = ooc.rank_coalesced(q, &candidates, 4, &mut Vec::new(), &NOOP).unwrap();
+        let got =
+            ooc.rank_coalesced(q, &candidates, 4, &mut Vec::new(), &mut Vec::new(), &NOOP).unwrap();
         let mut want: Vec<(usize, f32)> = candidates
             .iter()
             .map(|&id| (id as usize, squared_l2(q, data.row(id as usize)).sqrt()))

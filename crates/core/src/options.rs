@@ -59,6 +59,13 @@ pub struct QueryOptions<'r> {
     /// the serving layer uses it to pick a degradation-ladder rung before
     /// the query starts and to bound batching windows.
     pub deadline: Option<Instant>,
+    /// Quantized first-pass rerank depth. `None` (default) ranks every
+    /// candidate exactly — bit-identical to the pre-knob pipeline.
+    /// `Some(depth)`: candidate lists longer than `max(depth, k)` are first
+    /// scored with the index's i8 scalar-quantized rows and only the
+    /// `max(depth, k)` best survivors are reranked with exact f32 distances
+    /// (see `DESIGN.md` §11 for the recall contract).
+    pub rerank: Option<usize>,
     /// Telemetry sink for pipeline events. Defaults to the zero-overhead
     /// noop recorder.
     pub recorder: &'r dyn Recorder,
@@ -69,7 +76,14 @@ impl QueryOptions<'static> {
     /// batch-median escalation, no deadline, noop recorder — exactly the
     /// behavior of the legacy `query_batch(queries, k)`.
     pub fn new(k: usize) -> Self {
-        QueryOptions { k, engine: Engine::Serial, probe: None, deadline: None, recorder: &NOOP }
+        QueryOptions {
+            k,
+            engine: Engine::Serial,
+            probe: None,
+            deadline: None,
+            rerank: None,
+            recorder: &NOOP,
+        }
     }
 }
 
@@ -100,6 +114,13 @@ impl<'r> QueryOptions<'r> {
         self
     }
 
+    /// Enable the quantized first pass, reranking at most
+    /// `max(depth, k)` survivors exactly (see [`QueryOptions::rerank`]).
+    pub fn rerank(mut self, depth: usize) -> Self {
+        self.rerank = Some(depth);
+        self
+    }
+
     /// Attach a telemetry sink; pipeline stages report into it.
     pub fn recorder<'n>(self, recorder: &'n dyn Recorder) -> QueryOptions<'n> {
         QueryOptions {
@@ -107,6 +128,7 @@ impl<'r> QueryOptions<'r> {
             engine: self.engine,
             probe: self.probe,
             deadline: self.deadline,
+            rerank: self.rerank,
             recorder,
         }
     }
@@ -123,6 +145,7 @@ mod tests {
         assert_eq!(opts.engine, Engine::Serial);
         assert!(opts.probe.is_none());
         assert!(opts.deadline.is_none());
+        assert!(opts.rerank.is_none());
         assert!(!opts.recorder.enabled());
     }
 
@@ -132,9 +155,11 @@ mod tests {
         let opts = QueryOptions::new(5)
             .engine(Engine::PerQuery { threads: 2 })
             .probe(Probe::Multi(3))
+            .rerank(256)
             .recorder(&rec);
         assert_eq!(opts.engine, Engine::PerQuery { threads: 2 });
         assert_eq!(opts.probe, Some(Probe::Multi(3)));
+        assert_eq!(opts.rerank, Some(256));
         assert!(opts.recorder.enabled());
     }
 }

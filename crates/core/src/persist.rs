@@ -35,7 +35,7 @@ use crate::index::{build_table_hierarchy, BiLevelIndex, GroupTable, Level1};
 use crate::interval::{IntervalParts, IntervalTable};
 use crate::ooc::OocFlatIndex;
 use cuckoo::{CuckooParts, NUM_HASHES};
-use lsh::{FamilyParts, HashFamily, LshTable};
+use lsh::{FamilyParts, HashFamily, LshTable, Projection};
 use rptree::{
     KMeans, KdNodeParts, KdPartitioner, KdParts, RpNodeParts, RpTree, RpTreeParts, SplitRule,
 };
@@ -297,6 +297,13 @@ fn sec_config(config: &BiLevelConfig) -> Vec<u8> {
             w.put_len(pool);
         }
     }
+    // The projection field is appended ONLY when non-default, so snapshots
+    // of dense-projection indexes stay byte-identical to the pre-field
+    // format (and old snapshots, which end here, decode as Dense).
+    if let Projection::Sparse { nnz } = config.projection {
+        w.put_u8(1);
+        w.put_len(nnz);
+    }
     w.into_bytes()
 }
 
@@ -343,8 +350,17 @@ fn dec_config(bytes: &[u8]) -> Result<BiLevelConfig, PersistError> {
         1 => Some(r.len()?),
         _ => return Err(bad("table pool")),
     };
+    // Pre-projection snapshots end here; a trailing tag means Sparse.
+    let projection = if r.remaining() == 0 {
+        Projection::Dense
+    } else {
+        match r.u8()? {
+            1 => Projection::Sparse { nnz: r.len()? },
+            _ => return Err(bad("projection")),
+        }
+    };
     r.finish()?;
-    Ok(BiLevelConfig { l, m, width, partition, quantizer, probe, table_pool, seed })
+    Ok(BiLevelConfig { l, m, width, partition, quantizer, probe, table_pool, projection, seed })
 }
 
 fn sec_level1(level1: &Level1) -> Vec<u8> {
@@ -879,6 +895,8 @@ impl<'a> BiLevelIndex<'a> {
             level1,
             tables,
             group_widths,
+            // Deterministic in `data`, so rebuilt instead of serialized.
+            quant: vecstore::QuantizedCorpus::from_dataset(data),
         })
     }
 
@@ -942,6 +960,7 @@ impl<'a> BiLevelIndex<'a> {
             level1: snapshot.level1,
             tables,
             group_widths: snapshot.group_widths,
+            quant: vecstore::QuantizedCorpus::from_dataset(data),
         })
     }
 
@@ -1123,6 +1142,23 @@ mod tests {
         roundtrip(
             &BiLevelConfig::paper_default(3.0).probe(Probe::Hierarchical { min_candidates: 8 }),
         );
+    }
+
+    #[test]
+    fn roundtrip_sparse_projection() {
+        roundtrip(&BiLevelConfig::paper_default(5.0).projection(Projection::Sparse { nnz: 8 }));
+    }
+
+    #[test]
+    fn dense_config_encoding_has_no_projection_tail() {
+        let dense = BiLevelConfig::paper_default(5.0);
+        let sparse = dense.clone().projection(Projection::Sparse { nnz: 8 });
+        let (db, sb) = (sec_config(&dense), sec_config(&sparse));
+        assert!(sb.len() > db.len(), "sparse config must append a tail");
+        // A pre-projection snapshot is exactly the dense encoding: it must
+        // decode (as Dense) even though it ends before the optional field.
+        assert_eq!(dec_config(&db).unwrap().projection, Projection::Dense);
+        assert_eq!(dec_config(&sb).unwrap().projection, Projection::Sparse { nnz: 8 });
     }
 
     #[test]

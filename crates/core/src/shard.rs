@@ -56,7 +56,7 @@ impl ShardedIndex {
     pub fn build(data: Dataset, config: &BiLevelConfig, num_shards: usize) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         let full = BiLevelIndex::build_owned(data, config);
-        let BiLevelIndex { data, config, level1, tables, group_widths } = full;
+        let BiLevelIndex { data, config, level1, tables, group_widths, .. } = full;
         let data = data.into_owned();
         let n = data.len();
         let bounds: Vec<usize> = (0..=num_shards).map(|s| s * n / num_shards).collect();

@@ -30,6 +30,7 @@ fn config(probe: Probe, quantizer: Quantizer) -> BiLevelConfig {
         quantizer,
         probe,
         table_pool: None,
+        projection: bilevel_lsh::Projection::Dense,
         seed: 0x5eed,
     }
 }

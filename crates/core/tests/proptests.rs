@@ -39,6 +39,7 @@ fn config() -> impl Strategy<Value = BiLevelConfig> {
                 _ => Probe::Hierarchical { min_candidates: 4 },
             },
             table_pool: None,
+            projection: bilevel_lsh::Projection::Dense,
             seed,
         })
 }

@@ -12,13 +12,40 @@ use vecstore::synth::StdNormal;
 /// A `Z^M` LSH code: one lattice coordinate per component hash.
 pub type LshCode = Vec<i32>;
 
+/// How the projection matrix is populated.
+///
+/// `Dense` is the paper's family: every entry i.i.d. standard Gaussian, so
+/// hashing costs `O(d · m)` multiply-adds per vector. `Sparse` keeps only
+/// `nnz` Gaussian entries per row (scaled by `sqrt(d / nnz)` to preserve the
+/// projection variance, after Li, Hastie & Church's very sparse random
+/// projections), cutting hashing toward `O(nnz · m)` — with `nnz` a small
+/// constant, effectively `O(d)` total across a typical `m ≈ d`-scale family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Projection {
+    /// Fully dense Gaussian matrix (Equation 2 of the paper).
+    #[default]
+    Dense,
+    /// `nnz` Gaussian entries per row on a random support, rest structurally
+    /// zero. Must satisfy `1 <= nnz <= dim`.
+    Sparse {
+        /// Nonzero entries per projection row.
+        nnz: usize,
+    },
+}
+
 /// One `M`-dimensional hash function `H(v) = <h_1(v), …, h_M(v)>`.
 ///
 /// The family keeps its projection matrix in row-major order (`m × dim`) so
-/// hashing a vector is `m` dot products over contiguous memory.
+/// hashing a vector is `m` dot products over contiguous memory. Families
+/// whose matrix is mostly structural zeros (see [`Projection::Sparse`])
+/// additionally carry a CSR view of the nonzeros, derived from `a` and never
+/// persisted: [`Self::from_parts`] rebuilds it, so a round-tripped sparse
+/// family keeps its cheap hashing path automatically.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HashFamily {
-    /// Row-major `m × dim` Gaussian projection matrix.
+    /// Row-major `m × dim` Gaussian projection matrix. For sparse families
+    /// this still holds the full matrix (zeros included) — persistence,
+    /// validation, and the dense reference path all see one representation.
     a: Vec<f32>,
     /// Per-component offsets, *normalized* to cell units: `b_norm ∈ [0, 1)`
     /// with the true offset being `b_norm · w`. Storing the normalized form
@@ -28,6 +55,76 @@ pub struct HashFamily {
     w: f32,
     m: usize,
     dim: usize,
+    /// CSR view of `a`'s nonzeros, present only when `a` is at least half
+    /// zeros. Derived, never persisted.
+    sparse: Option<SparseView>,
+}
+
+/// CSR view over the nonzeros of the projection matrix: `cols[offsets[i]..
+/// offsets[i + 1]]` are row `i`'s nonzero columns in ascending order, with
+/// matching `vals`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SparseView {
+    /// Row start offsets into `cols`/`vals`; length `m + 1`.
+    offsets: Vec<u32>,
+    /// Ascending column indices of nonzero entries, per row.
+    cols: Vec<u32>,
+    /// Matrix values at those entries, bit-identical to the dense `a`.
+    vals: Vec<f32>,
+}
+
+impl SparseView {
+    /// Builds the view from a dense row-major matrix, or `None` when fewer
+    /// than half the entries are zero (the dense kernel wins there, and a
+    /// sampled Gaussian matrix essentially never contains exact zeros).
+    fn derive(a: &[f32], m: usize, dim: usize) -> Option<Self> {
+        let nnz = a.iter().filter(|x| **x != 0.0).count();
+        if nnz * 2 > a.len() {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        offsets.push(0u32);
+        for row in a.chunks_exact(dim) {
+            for (c, &x) in row.iter().enumerate() {
+                if x != 0.0 {
+                    cols.push(c as u32);
+                    vals.push(x);
+                }
+            }
+            offsets.push(cols.len() as u32);
+        }
+        Some(Self { offsets, cols, vals })
+    }
+
+    /// Dot product of row `i` with `v`, touching only the nonzeros.
+    ///
+    /// Reproduces the dense 4-lane kernel's accumulation structure — each
+    /// nonzero lands in the same lane (`index % 4`, or the scalar tail) in
+    /// the same order as [`vecstore::kernel::dot`] would process it, and the
+    /// skipped terms are exact `±0.0` products that cannot change a lane sum.
+    /// For finite inputs the result is therefore numerically equal (`==`) to
+    /// the dense dot over the same matrix, so quantized hash codes are
+    /// identical between the two paths.
+    #[inline]
+    fn row_dot(&self, i: usize, v: &[f32], dim: usize) -> f32 {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        let rem = dim - dim % 4;
+        let mut acc = [0.0f32; 4];
+        let mut tail = 0.0f32;
+        for (&c, &val) in self.cols[lo..hi].iter().zip(&self.vals[lo..hi]) {
+            let c = c as usize;
+            let p = val * v[c];
+            if c < rem {
+                acc[c % 4] += p;
+            } else {
+                tail += p;
+            }
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
 }
 
 impl HashFamily {
@@ -38,13 +135,48 @@ impl HashFamily {
     ///
     /// Panics if `m == 0`, `dim == 0`, or `w <= 0`.
     pub fn sample(dim: usize, m: usize, w: f32, seed: u64) -> Self {
+        Self::sample_with(dim, m, w, seed, Projection::Dense)
+    }
+
+    /// Samples a fresh family with an explicit [`Projection`] mode — the
+    /// config-level entry point behind which sparse hashing is gated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `dim == 0`, `w <= 0`, or (for sparse mode)
+    /// `nnz == 0` or `nnz > dim`.
+    pub fn sample_with(dim: usize, m: usize, w: f32, seed: u64, proj: Projection) -> Self {
         assert!(m > 0, "m must be positive");
         assert!(dim > 0, "dim must be positive");
         assert!(w > 0.0 && w.is_finite(), "w must be positive and finite");
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = (0..m * dim).map(|_| rng.sample(StdNormal)).collect();
+        let a: Vec<f32> = match proj {
+            Projection::Dense => (0..m * dim).map(|_| rng.sample(StdNormal)).collect(),
+            Projection::Sparse { nnz } => {
+                assert!(nnz > 0, "nnz must be positive");
+                assert!(nnz <= dim, "nnz must not exceed dim");
+                // Rescale the surviving Gaussians so `a_i · v` keeps the
+                // dense family's variance: E[(a_i · v)²] ≈ ‖v‖² either way.
+                let scale = (dim as f64 / nnz as f64).sqrt() as f32;
+                let mut a = vec![0.0f32; m * dim];
+                let mut support: Vec<usize> = (0..dim).collect();
+                for row in a.chunks_exact_mut(dim) {
+                    // Partial Fisher–Yates: the first `nnz` slots become a
+                    // uniform random subset of the coordinates.
+                    for j in 0..nnz {
+                        let k = rng.gen_range(j..dim);
+                        support.swap(j, k);
+                    }
+                    for &c in &support[..nnz] {
+                        row[c] = rng.sample::<f32, _>(StdNormal) * scale;
+                    }
+                }
+                a
+            }
+        };
         let b = (0..m).map(|_| rng.gen_range(0.0f32..1.0)).collect();
-        Self { a, b, w, m, dim }
+        let sparse = SparseView::derive(&a, m, dim);
+        Self { a, b, w, m, dim, sparse }
     }
 
     /// Number of component hashes `M`.
@@ -76,7 +208,29 @@ impl HashFamily {
         assert!(w > 0.0 && w.is_finite(), "w must be positive and finite");
         // `a` and the normalized `b` are kept verbatim: the true offset
         // `b · w` rescales with the width, staying uniform over the cell.
-        Self { a: self.a.clone(), b: self.b.clone(), w, m: self.m, dim: self.dim }
+        // The sparse view depends only on `a`, so it carries over too.
+        Self {
+            a: self.a.clone(),
+            b: self.b.clone(),
+            w,
+            m: self.m,
+            dim: self.dim,
+            sparse: self.sparse.clone(),
+        }
+    }
+
+    /// Whether hashing runs through the sparse (CSR) accumulation path.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Total nonzero entries in the projection matrix.
+    pub fn nnz(&self) -> usize {
+        match &self.sparse {
+            Some(view) => view.vals.len(),
+            None => self.a.iter().filter(|x| **x != 0.0).count(),
+        }
     }
 
     /// Raw (unquantized) per-component values `(a_i · v + b_i) / W`, written
@@ -87,9 +241,21 @@ impl HashFamily {
     pub fn project_into(&self, v: &[f32], out: &mut [f32]) {
         assert_eq!(v.len(), self.dim, "input dimension mismatch");
         assert_eq!(out.len(), self.m, "output length must equal m");
-        for (i, slot) in out.iter_mut().enumerate() {
-            let row = &self.a[i * self.dim..(i + 1) * self.dim];
-            *slot = vecstore::metric::dot(row, v) / self.w + self.b[i];
+        match &self.sparse {
+            // The CSR path touches only nonzeros and, by mirroring the dense
+            // kernel's lane structure, yields the same per-component values
+            // (see `SparseView::row_dot`).
+            Some(view) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = view.row_dot(i, v, self.dim) / self.w + self.b[i];
+                }
+            }
+            None => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let row = &self.a[i * self.dim..(i + 1) * self.dim];
+                    *slot = vecstore::metric::dot(row, v) / self.w + self.b[i];
+                }
+            }
         }
     }
 
@@ -139,7 +305,10 @@ impl HashFamily {
         if b.iter().any(|x| !(0.0..1.0).contains(x)) {
             return Err(InvalidFamily("offset outside the normalized [0, 1) cell".into()));
         }
-        Ok(Self { a, b, w, m, dim })
+        // Re-derive the sparse view from the matrix itself; persisted parts
+        // stay a pure structural dump with no mode flag to desynchronize.
+        let sparse = SparseView::derive(&a, m, dim);
+        Ok(Self { a, b, w, m, dim, sparse })
     }
 }
 
@@ -327,6 +496,81 @@ mod tests {
         assert_eq!(f.hash_zm(&v), g.hash_zm(&v));
         assert_eq!(f.project(&v), g.project(&v));
         assert_eq!((f.m(), f.dim(), f.w()), (g.m(), g.dim(), g.w()));
+    }
+
+    #[test]
+    fn sparse_family_has_expected_support() {
+        let f = HashFamily::sample_with(64, 8, 4.0, 41, Projection::Sparse { nnz: 6 });
+        assert!(f.is_sparse());
+        assert_eq!(f.nnz(), 8 * 6);
+        // Dense families never take the sparse path.
+        let d = HashFamily::sample(64, 8, 4.0, 41);
+        assert!(!d.is_sparse());
+        assert_eq!(d.nnz(), 64 * 8);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_kernel_exactly() {
+        // The CSR accumulation mirrors the dense 4-lane kernel, so over the
+        // same matrix the raw projections must be numerically equal — not
+        // merely close. Use dims straddling the 4-lane boundary to exercise
+        // both the chunked body and the scalar tail.
+        for dim in [5usize, 16, 33, 67] {
+            let f = HashFamily::sample_with(dim, 7, 2.5, 43, Projection::Sparse { nnz: dim / 2 });
+            assert!(f.is_sparse(), "dim {dim}");
+            let parts = f.to_parts();
+            let v: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+            let got = f.project(&v);
+            for (i, &g) in got.iter().enumerate() {
+                let row = &parts.a[i * dim..(i + 1) * dim];
+                let want = vecstore::metric::dot(row, &v) / f.w() + parts.b[i];
+                assert_eq!(g, want, "component {i} at dim {dim}");
+            }
+            assert_eq!(f.hash_zm(&v), quantize_zm(&got));
+        }
+    }
+
+    #[test]
+    fn sparse_parts_roundtrip_keeps_sparse_path() {
+        let f = HashFamily::sample_with(32, 6, 3.0, 47, Projection::Sparse { nnz: 4 });
+        let g = HashFamily::from_parts(f.to_parts()).unwrap();
+        assert!(g.is_sparse(), "round-trip must re-derive the CSR view");
+        assert_eq!(g.nnz(), f.nnz());
+        let v: Vec<f32> = (0..32).map(|i| (i as f32).cos() * 2.0).collect();
+        assert_eq!(f.project(&v), g.project(&v));
+        assert_eq!(f.hash_zm(&v), g.hash_zm(&v));
+    }
+
+    #[test]
+    fn sparse_with_w_rescales_like_dense() {
+        let f = HashFamily::sample_with(24, 5, 2.0, 53, Projection::Sparse { nnz: 3 });
+        let g = f.with_w(4.0);
+        assert!(g.is_sparse());
+        let v = vec![1.0f32; 24];
+        let zero = vec![0.0f32; 24];
+        let (pf, pg) = (f.project(&v), g.project(&v));
+        let (of, og) = (f.project(&zero), g.project(&zero));
+        for ((x, y), (bx, by)) in pf.iter().zip(&pg).zip(of.iter().zip(&og)) {
+            assert!((bx - by).abs() < 1e-6, "offset must be width-invariant");
+            assert!(((x - bx) / (y - by) - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sparse_family_still_discriminates_near_from_far() {
+        let f = HashFamily::sample_with(32, 8, 8.0, 59, Projection::Sparse { nnz: 8 });
+        let base = vec![0.0f32; 32];
+        let near = vec![0.05f32; 32];
+        let far = vec![30.0f32; 32];
+        let hb = f.hash_zm(&base);
+        let matches = |h: &LshCode| h.iter().zip(&hb).filter(|(a, b)| a == b).count();
+        assert!(matches(&f.hash_zm(&near)) > matches(&f.hash_zm(&far)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz must not exceed dim")]
+    fn oversized_sparse_support_panics() {
+        let _ = HashFamily::sample_with(8, 4, 2.0, 1, Projection::Sparse { nnz: 9 });
     }
 
     #[test]

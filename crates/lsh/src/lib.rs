@@ -19,7 +19,7 @@ pub mod table;
 pub mod tuning;
 
 pub use adaptive::{centrality_score, select_tables};
-pub use family::{FamilyParts, HashFamily, InvalidFamily, LshCode, ProjectionScratch};
+pub use family::{FamilyParts, HashFamily, InvalidFamily, LshCode, Projection, ProjectionScratch};
 pub use forest::{ForestConfig, LshForest};
 pub use multiprobe::{perturbation_sets, probe_codes};
 pub use table::LshTable;

@@ -105,6 +105,7 @@ fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Err
             None => Probe::Home,
         },
         table_pool: None,
+        projection: bilevel_lsh::Projection::Dense,
         seed: flags.num("--seed", 0x0b11_e7e1u64),
     };
 

@@ -43,12 +43,15 @@ pub fn shortlist_select(
             let mut unique = cands.clone();
             unique.sort_unstable();
             unique.dedup();
+            // Sorted unique ids stream through the batch kernel: contiguous
+            // id runs become single flat-slice passes instead of per-pair
+            // row lookups.
+            let mut dists = Vec::with_capacity(unique.len());
+            metric.distance_batch_into(queries.row(q), data, &unique, &mut dists);
             let scored: Vec<Neighbor> = unique
-                .into_iter()
-                .map(|id| Neighbor {
-                    id: id as usize,
-                    dist: metric.distance(queries.row(q), data.row(id as usize)),
-                })
+                .iter()
+                .zip(&dists)
+                .map(|(&id, &dist)| Neighbor { id: id as usize, dist })
                 .collect();
             vecstore::topk::select_k_smallest(scored, k)
         })
@@ -253,9 +256,13 @@ fn rank_one(
     let mut unique = candidates.to_vec();
     unique.sort_unstable();
     unique.dedup();
+    // Sorted unique ids let the metric's batch path stream contiguous id
+    // runs straight out of the flat array (bit-identical to per-pair calls).
+    let mut dists = Vec::with_capacity(unique.len());
+    metric.distance_batch_into(query, data, &unique, &mut dists);
     let mut top = TopK::new(k);
-    for &id in &unique {
-        top.push(id as usize, metric.distance(query, data.row(id as usize)));
+    for (&id, &dist) in unique.iter().zip(&dists) {
+        top.push(id as usize, dist);
     }
     top.into_sorted()
 }
@@ -485,6 +492,83 @@ mod tests {
                 })
                 .collect();
             assert_eq!(merge_topk(&lists, k), whole[q], "query {q} diverged");
+        }
+    }
+
+    /// A NaN-poisoned candidate — the payload `vecstore::fault` leaves
+    /// behind when a short read's error is ignored — must never evict a
+    /// finite neighbor, in any engine, and must not destabilize the merge.
+    #[test]
+    fn nan_poisoned_candidate_never_evicts_finite_neighbors() {
+        use vecstore::io::write_fvecs;
+        use vecstore::{FaultKind, FaultPlan, FaultyDataset, OocDataset, RowSource};
+
+        // Write a clean corpus to disk and read row 0 through a fault plan
+        // that always injects a short read: the error-dropping caller keeps
+        // the NaN-poisoned buffer. This is the exact poison pattern
+        // `FaultKind::ShortRead` produces.
+        let clean = synth::gaussian(6, 32, 1.0, 40);
+        let dir = std::env::temp_dir().join("shortlist_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("poison.fvecs");
+        write_fvecs(&path, &clean).unwrap();
+        let ooc = OocDataset::open(&path).unwrap();
+        let faulty =
+            FaultyDataset::new(&ooc, FaultPlan::none(7).with_rate(FaultKind::ShortRead, 1.0));
+        let mut poisoned = vec![0.0f32; clean.dim()];
+        let err = faulty.read_row_into(0, &mut poisoned).unwrap_err();
+        assert!(vecstore::is_transient(&err), "short read must be retryable");
+        assert!(poisoned.iter().any(|v| v.is_nan()), "short read must poison the tail");
+        std::fs::remove_file(&path).ok();
+
+        let mut rows: Vec<Vec<f32>> = (0..clean.len()).map(|i| clean.row(i).to_vec()).collect();
+        rows[0] = poisoned;
+        let data = Dataset::from_rows(&rows);
+        let queries = data.gather(&[1]);
+        let all: Vec<u32> = (0..data.len() as u32).collect();
+        let candidates = vec![all];
+        let k = 10;
+
+        // With ≥ k finite candidates available, the poisoned one (NaN
+        // distance) must not appear at all: results equal ranking the
+        // finite candidates alone.
+        let finite: Vec<u32> = (1..data.len() as u32).collect();
+        let want = shortlist_serial(&data, &queries, &[finite], k, &SquaredL2);
+        assert_eq!(want[0].len(), k);
+        let serial = shortlist_serial(&data, &queries, &candidates, k, &SquaredL2);
+        assert_eq!(serial, want);
+        for got in [
+            shortlist_select(&data, &queries, &candidates, k, &SquaredL2),
+            shortlist_per_query(&data, &queries, &candidates, k, &SquaredL2, 3),
+            shortlist_workqueue(&data, &queries, &candidates, k, &SquaredL2, 2, 64),
+            shortlist_workqueue(&data, &queries, &candidates, k, &SquaredL2, 2, k + 1),
+        ] {
+            assert_eq!(got, serial);
+        }
+
+        // Asking for every row may surface the poisoned candidate, but
+        // only in last place — after every finite neighbor.
+        let full = shortlist_serial(&data, &queries, &candidates, data.len(), &SquaredL2);
+        let (tail, head) = full[0].split_last().unwrap();
+        assert!(tail.dist.is_nan() && tail.id == 0, "NaN entry must rank last");
+        assert!(head.iter().all(|n| n.dist.is_finite()));
+
+        // Sharded ranking + merge must reproduce the same list even when
+        // one shard carries the NaN entry.
+        let shards: Vec<Vec<Neighbor>> = [0u32..16, 16..32]
+            .into_iter()
+            .map(|r| {
+                let ids: Vec<u32> = r.collect();
+                rank_one(&data, queries.row(0), &ids, data.len(), &SquaredL2)
+            })
+            .collect();
+        // (compare by id and bit pattern: `NaN == NaN` is false, so a plain
+        // assert_eq! on the lists would reject even a perfect match)
+        let merged = merge_topk(&shards, data.len());
+        assert_eq!(merged.len(), full[0].len());
+        for (a, b) in merged.iter().zip(&full[0]) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.dist.to_bits(), b.dist.to_bits());
         }
     }
 

@@ -116,11 +116,17 @@ pub fn compact<T: Clone, F: Fn(&T) -> bool>(items: &[T], keep: F) -> Vec<T> {
 /// query's candidates become a contiguous ascending-distance run, using a
 /// parallel chunk-sort + k-way merge (the CPU analog of a GPU segmented
 /// radix sort).
+///
+/// Distances compare under [`vecstore::total_dist_cmp`]: NaN sorts after
+/// every finite distance (it used to compare `Equal` to everything, which
+/// let a NaN-poisoned entry land anywhere in its query's run — breaking
+/// both the "duplicates are adjacent" invariant the compact phase relies
+/// on and the first-k selection itself).
 pub fn clustered_sort(entries: &mut Vec<QueueEntry>, threads: usize) {
     let cmp = |a: &QueueEntry, b: &QueueEntry| {
         a.query
             .cmp(&b.query)
-            .then_with(|| a.dist.partial_cmp(&b.dist).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| vecstore::total_dist_cmp(a.dist, b.dist))
             .then_with(|| a.id.cmp(&b.id))
     };
     if threads <= 1 || entries.len() < 1024 {

@@ -56,11 +56,16 @@ pub enum Counter {
     BreakerCloses,
     /// Shard queries skipped because the shard's breaker was open.
     ShardsSkipped,
+    /// Candidates discarded by the quantized first-pass prune before exact
+    /// ranking.
+    CandidatesPruned,
+    /// Candidates that survived the quantized first pass into exact rerank.
+    CandidatesReranked,
 }
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::QueriesProbed,
         Counter::CandidatesGenerated,
         Counter::MultiProbeBuckets,
@@ -75,6 +80,8 @@ impl Counter {
         Counter::BreakerOpens,
         Counter::BreakerCloses,
         Counter::ShardsSkipped,
+        Counter::CandidatesPruned,
+        Counter::CandidatesReranked,
     ];
 
     /// Stable snake_case name used in every export format.
@@ -94,6 +101,8 @@ impl Counter {
             Counter::BreakerOpens => "breaker_opens",
             Counter::BreakerCloses => "breaker_closes",
             Counter::ShardsSkipped => "shards_skipped",
+            Counter::CandidatesPruned => "candidates_pruned",
+            Counter::CandidatesReranked => "candidates_reranked",
         }
     }
 

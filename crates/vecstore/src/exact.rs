@@ -25,13 +25,16 @@ impl Ord for Neighbor {
     /// Orders by distance descending is NOT what we want globally; `Neighbor`
     /// implements max-heap-friendly ordering: larger distance compares
     /// greater, ties broken by larger id, so a `BinaryHeap<Neighbor>` keeps
-    /// the *worst* candidate at the root. Distances are never NaN by
-    /// construction (metrics return finite values on finite input).
+    /// the *worst* candidate at the root.
+    ///
+    /// Distances compare under [`crate::kernel::total_dist_cmp`]: a total
+    /// order in which every NaN (any sign or payload) is the worst value.
+    /// Metrics return finite values on finite input, but fault injection
+    /// ([`crate::fault::FaultyDataset`]) can poison rows into NaN distances;
+    /// under this ordering a poisoned candidate can never evict a finite
+    /// neighbor from a [`crate::TopK`] and merges stay deterministic.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .partial_cmp(&other.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.id.cmp(&other.id))
+        crate::kernel::total_dist_cmp(self.dist, other.dist).then_with(|| self.id.cmp(&other.id))
     }
 }
 

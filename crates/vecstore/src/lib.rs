@@ -23,9 +23,11 @@ pub mod dataset;
 pub mod exact;
 pub mod fault;
 pub mod io;
+pub mod kernel;
 pub mod metric;
 pub mod ooc;
 pub mod preprocess;
+pub mod quant;
 pub mod stats;
 pub mod synth;
 pub mod topk;
@@ -36,6 +38,8 @@ pub use fault::{
     is_transient, FaultKind, FaultPlan, FaultStats, FaultyDataset, RetryBudget, RetryPolicy,
     RetryStats, TransientFault,
 };
-pub use metric::{Cosine, InnerProduct, Metric, SquaredL2, L1, L2};
+pub use kernel::total_dist_cmp;
+pub use metric::{Cosine, CosineWithNorms, InnerProduct, Metric, SquaredL2, L1, L2};
 pub use ooc::{OocDataset, RowSource};
+pub use quant::{PreparedQuery, QuantizedCorpus};
 pub use topk::TopK;

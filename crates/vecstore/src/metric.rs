@@ -5,6 +5,8 @@
 //! induces the same ranking as [`L2`] without the square root, so every
 //! internal top-k structure uses it and only user-facing results take roots.
 
+use crate::dataset::Dataset;
+
 /// A distance function between two equal-length vectors.
 ///
 /// Implementations must be non-negative and symmetric; they need not satisfy
@@ -17,6 +19,46 @@ pub trait Metric: Sync + Send {
 
     /// Short stable name used in benchmark reports.
     fn name(&self) -> &'static str;
+
+    /// Distance from `query` to each of `ids` (row indices into `data`),
+    /// appended to `out` in input order.
+    ///
+    /// The default implementation is a per-pair loop over
+    /// [`Metric::distance`]. Metrics backed by [`crate::kernel`] override it
+    /// to stream *runs* of consecutive ids through the contiguous batch
+    /// kernels — bucket and interval tables emit candidate lists full of
+    /// such runs, so sorted inputs turn most of the work into linear scans.
+    ///
+    /// # Contract
+    ///
+    /// Every override must be **bit-identical** to the default per-pair
+    /// loop: same distances, same order. Rank paths switch between the two
+    /// freely and the workspace's determinism tests compare them directly.
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        out.reserve(ids.len());
+        for &id in ids {
+            out.push(self.distance(query, data.row(id as usize)));
+        }
+    }
+}
+
+/// Streams sorted `ids` as maximal runs of consecutive row indices, invoking
+/// `run` with the contiguous flat slice backing each run. Non-sorted inputs
+/// still work (runs just degrade to length 1).
+#[inline]
+fn for_each_run(data: &Dataset, ids: &[u32], mut run: impl FnMut(&[f32])) {
+    let dim = data.dim();
+    let flat = data.as_flat();
+    let mut i = 0;
+    while i < ids.len() {
+        let start = ids[i] as usize;
+        let mut j = i + 1;
+        while j < ids.len() && ids[j] as usize == start + (j - i) {
+            j += 1;
+        }
+        run(&flat[start * dim..(start + (j - i)) * dim]);
+        i = j;
+    }
 }
 
 /// Euclidean (`l_2`) distance.
@@ -41,51 +83,9 @@ pub struct Cosine;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InnerProduct;
 
-/// Dot product of two equal-length slices.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Chunked accumulation gives the autovectorizer independent lanes.
-    let mut acc = [0.0f32; 4];
-    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
-    for (ca, cb) in &mut chunks {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    let rem = a.len() - a.len() % 4;
-    let mut tail = 0.0;
-    for i in rem..a.len() {
-        tail += a[i] * b[i];
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
-}
-
-/// Squared Euclidean distance between two equal-length slices.
-#[inline]
-pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
-    for (ca, cb) in &mut chunks {
-        let d0 = ca[0] - cb[0];
-        let d1 = ca[1] - cb[1];
-        let d2 = ca[2] - cb[2];
-        let d3 = ca[3] - cb[3];
-        acc[0] += d0 * d0;
-        acc[1] += d1 * d1;
-        acc[2] += d2 * d2;
-        acc[3] += d3 * d3;
-    }
-    let rem = a.len() - a.len() % 4;
-    let mut tail = 0.0;
-    for i in rem..a.len() {
-        let d = a[i] - b[i];
-        tail += d * d;
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
-}
+// The blocked pair kernels live in `crate::kernel`; these re-exports keep
+// the long-standing `vecstore::metric::{dot, squared_l2}` paths working.
+pub use crate::kernel::{dot, l1, squared_l2};
 
 /// Euclidean norm of a slice.
 #[inline]
@@ -111,15 +111,23 @@ impl Metric for SquaredL2 {
     fn name(&self) -> &'static str {
         "sql2"
     }
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        for_each_run(data, ids, |rows| {
+            crate::kernel::squared_l2_batch(query, rows, data.dim(), out)
+        });
+    }
 }
 
 impl Metric for L1 {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        l1(a, b)
     }
     fn name(&self) -> &'static str {
         "l1"
+    }
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        for_each_run(data, ids, |rows| crate::kernel::l1_batch(query, rows, data.dim(), out));
     }
 }
 
@@ -145,6 +153,70 @@ impl Metric for InnerProduct {
     }
     fn name(&self) -> &'static str {
         "ip"
+    }
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        let before = out.len();
+        for_each_run(data, ids, |rows| crate::kernel::dot_batch(query, rows, data.dim(), out));
+        for d in &mut out[before..] {
+            *d = -*d;
+        }
+    }
+}
+
+/// [`Cosine`] with the corpus row norms precomputed at construction.
+///
+/// Plain [`Cosine::distance`] recomputes both operand norms on every call —
+/// `O(3d)` per candidate. With the corpus norms cached (and the query norm
+/// computed once per batch), ranking does **one dot per candidate**.
+///
+/// Bit-identity: the cached norms are produced by the same
+/// `dot(row, row).sqrt()` expression `Cosine` evaluates inline, and the
+/// query norm is a pure function of the query, so results are bit-identical
+/// to [`Cosine`] for rows of the wrapped corpus.
+#[derive(Debug, Clone)]
+pub struct CosineWithNorms {
+    norms: Vec<f32>,
+}
+
+impl CosineWithNorms {
+    /// Precomputes the Euclidean norm of every row of `data`.
+    pub fn new(data: &Dataset) -> Self {
+        Self { norms: data.iter().map(norm).collect() }
+    }
+
+    /// Number of cached row norms.
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// Whether no norms are cached.
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+}
+
+impl Metric for CosineWithNorms {
+    /// Pairwise fallback (recomputes both norms); only the batch path uses
+    /// the cache, because only there is the row identity known.
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        Cosine.distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        debug_assert_eq!(self.norms.len(), data.len(), "norm cache built for a different corpus");
+        let nq = norm(query);
+        out.reserve(ids.len());
+        for &id in ids {
+            let nb = self.norms[id as usize];
+            if nq == 0.0 || nb == 0.0 {
+                out.push(1.0);
+            } else {
+                out.push(1.0 - dot(query, data.row(id as usize)) / (nq * nb));
+            }
+        }
     }
 }
 
@@ -201,5 +273,58 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0];
         let b = [5.0, 4.0, 3.0, 2.0, 1.0];
         assert_eq!(squared_l2(&a, &b), squared_l2(&b, &a));
+    }
+
+    /// Every batch override must be bit-identical to the default per-pair
+    /// loop, for sorted runs and scattered ids alike.
+    #[test]
+    fn batch_overrides_match_per_pair_default() {
+        let data = crate::synth::gaussian(13, 60, 1.0, 5);
+        let query: Vec<f32> = data.row(2).to_vec();
+        let id_sets: Vec<Vec<u32>> = vec![
+            (0..60).collect(),             // one long run
+            vec![0, 1, 2, 10, 11, 40, 59], // runs + singletons
+            vec![7],                       // single id
+            vec![],                        // empty
+            vec![5, 3, 9],                 // unsorted still works (len-1 runs)
+        ];
+        let cos_cached = CosineWithNorms::new(&data);
+        let metrics: Vec<&dyn Metric> =
+            vec![&SquaredL2, &L1, &InnerProduct, &L2, &Cosine, &cos_cached];
+        for metric in metrics {
+            for ids in &id_sets {
+                let mut got = Vec::new();
+                metric.distance_batch_into(&query, &data, ids, &mut got);
+                let want: Vec<f32> =
+                    ids.iter().map(|&i| metric.distance(&query, data.row(i as usize))).collect();
+                let got_bits: Vec<u32> = got.iter().map(|d| d.to_bits()).collect();
+                let want_bits: Vec<u32> = want.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "metric {} ids {ids:?}", metric.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_with_norms_matches_plain_cosine_bitwise() {
+        let mut rows: Vec<Vec<f32>> =
+            crate::synth::gaussian(8, 20, 1.0, 9).iter().map(|r| r.to_vec()).collect();
+        rows.push(vec![0.0; 8]); // zero vector exercises the unit-distance path
+        let data = Dataset::from_rows(&rows);
+        let cached = CosineWithNorms::new(&data);
+        let query = data.row(1).to_vec();
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut got = Vec::new();
+        cached.distance_batch_into(&query, &data, &ids, &mut got);
+        for (i, &d) in got.iter().enumerate() {
+            assert_eq!(d.to_bits(), Cosine.distance(&query, data.row(i)).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn batch_appends_in_input_order() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let mut out = vec![99.0];
+        SquaredL2.distance_batch_into(&[0.0], &data, &[2, 0], &mut out);
+        assert_eq!(out, vec![99.0, 4.0, 0.0]);
     }
 }

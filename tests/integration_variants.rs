@@ -28,6 +28,7 @@ fn variant(partition: bool, probe: Probe, quantizer: Quantizer, w: f32) -> BiLev
         quantizer,
         probe,
         table_pool: None,
+        projection: bilevel_lsh::Projection::Dense,
         seed: 0x7e57,
     }
 }
