@@ -104,6 +104,39 @@ pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> Result<Vec<u8>, Pe
     Ok(payload)
 }
 
+/// Reads one framed section that may legitimately be absent: clean EOF
+/// *before any header byte* yields `Ok(None)` (an older snapshot that ends
+/// here), while EOF mid-header or mid-payload is still a truncation error.
+pub(crate) fn read_optional_section<R: Read>(
+    r: &mut R,
+    what: &str,
+) -> Result<Option<Vec<u8>>, PersistError> {
+    let mut header = [0u8; 16];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(PersistError::Format(format!("{what} section truncated"))),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(PersistError::Io(e)),
+        }
+    }
+    let len = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+    let want = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+    if len > MAX_SECTION {
+        return Err(PersistError::Format(format!(
+            "{what} section claims {len} bytes (corrupt length)"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_format(r, &mut payload, what)?;
+    if fnv64(&payload) != want {
+        return Err(PersistError::Format(format!("{what} section checksum mismatch")));
+    }
+    Ok(Some(payload))
+}
+
 fn read_exact_or_format<R: Read>(
     r: &mut R,
     buf: &mut [u8],

@@ -9,8 +9,10 @@ use lattice::{decode_e8_raw, e8_roots, E8Hierarchy, ZmHierarchy};
 use lsh::family::quantize_zm;
 use lsh::{tune_w, DistanceProfile, HashFamily, LshTable, ProjectionScratch, TuningGoal};
 use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
-use shortlist::{parallel_fill_with, shortlist_serial};
-use vecstore::{total_dist_cmp, Dataset, Neighbor, PreparedQuery, QuantizedCorpus, SquaredL2};
+use shortlist::{parallel_fill_with, shortlist_serial_filtered};
+use vecstore::{
+    total_dist_cmp, Dataset, Neighbor, PreparedQuery, QuantizedCorpus, SquaredL2, Tombstones,
+};
 
 /// The corpus holds more rows than the `u32` row-id space can address.
 ///
@@ -37,6 +39,65 @@ impl std::fmt::Display for CorpusTooLarge {
 }
 
 impl std::error::Error for CorpusTooLarge {}
+
+/// A mutation was refused; the index is unchanged.
+///
+/// Every fallible mutation on [`BiLevelIndex`] — [`BiLevelIndex::try_insert_batch`],
+/// [`BiLevelIndex::update_by_idx`], [`BiLevelIndex::commit`] — validates its
+/// whole input *before* touching any structure, so an `Err` always means the
+/// all-or-nothing guarantee held: no row, table, tombstone, or quantized
+/// code was modified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// A vector's length does not match the index dimensionality.
+    DimMismatch {
+        /// The index's dimensionality.
+        expected: usize,
+        /// The offending vector's length.
+        got: usize,
+    },
+    /// The batch contained no vectors (inserts must produce an id).
+    EmptyBatch,
+    /// The mutation would grow the corpus past the `u32` row-id space.
+    CorpusTooLarge(CorpusTooLarge),
+    /// An update or delete referenced a row id at or past the corpus length.
+    IdOutOfRange {
+        /// The offending row id.
+        id: usize,
+        /// The corpus length at validation time.
+        len: usize,
+    },
+}
+
+impl From<CorpusTooLarge> for InsertError {
+    fn from(e: CorpusTooLarge) -> Self {
+        InsertError::CorpusTooLarge(e)
+    }
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::DimMismatch { expected, got } => {
+                write!(f, "insert dimension mismatch: index dim {expected}, vector dim {got}")
+            }
+            InsertError::EmptyBatch => write!(f, "insert_batch requires at least one vector"),
+            InsertError::CorpusTooLarge(e) => e.fmt(f),
+            InsertError::IdOutOfRange { id, len } => {
+                write!(f, "row id {id} out of range for corpus of {len} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InsertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InsertError::CorpusTooLarge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Guards the `u32` row-id invariant. Corpora of `2^32` rows or more are
 /// refused: besides ids `0..rows`, shard bounds and run endpoints also
@@ -150,7 +211,10 @@ impl ProbeCtx<'_> {
         let mut scored: Vec<(f64, usize)> = (0..per_group)
             .map(|t| (lsh::centrality_score(scratch.project(&self.tables[g][t].family, v)), t))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // `total_cmp` keeps the table ordering total even if a degenerate
+        // projection yields a NaN centrality score (NaN sorts last, so such
+        // tables are deprioritized instead of scrambling the sort).
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored.into_iter().take(self.config.l).map(|(_, t)| t).collect()
     }
 
@@ -281,6 +345,14 @@ pub struct BiLevelIndex<'a> {
     /// [`QueryOptions::rerank`]. Deterministic in `data`, so persistence
     /// rebuilds it instead of serializing it.
     pub(crate) quant: QuantizedCorpus,
+    /// Logically deleted rows, filtered out of every short-list at rank
+    /// time (including the quantized rerank first pass). Physically removed
+    /// only by [`BiLevelIndex::compact`].
+    pub(crate) tombstones: Tombstones,
+    /// Monotone mutation epoch: bumped once per committed transaction and
+    /// once per direct mutation. Persisted with the tombstones so a
+    /// reloaded snapshot resumes the same history.
+    pub(crate) epoch: u64,
 }
 
 /// Engine selection for a batch query (the `engine` field of
@@ -415,7 +487,16 @@ impl<'a> BiLevelIndex<'a> {
         let tables = build_group_tables(data, &group_ids, &group_widths, &config, threads);
 
         let quant = QuantizedCorpus::from_dataset(data);
-        Ok(Self { data: cow, config, level1, tables, group_widths, quant })
+        Ok(Self {
+            data: cow,
+            config,
+            level1,
+            tables,
+            group_widths,
+            quant,
+            tombstones: Tombstones::new(),
+            epoch: 0,
+        })
     }
 
     /// The configuration the index was built with.
@@ -508,8 +589,17 @@ impl<'a> BiLevelIndex<'a> {
             }
         }
         // `candidates` reports the probe phase's short-list sizes (the
-        // selectivity numerator), so counts are taken before any pruning.
+        // selectivity numerator), so counts are taken before any pruning —
+        // and before tombstone filtering, which is a rank-time concern.
         let counts: Vec<usize> = candidates.iter().map(Vec::len).collect();
+        if rec.enabled() && !self.tombstones.is_empty() {
+            let dead: u64 =
+                candidates.iter().flatten().filter(|&&id| self.tombstones.contains(id)).count()
+                    as u64;
+            if dead > 0 {
+                rec.add(Counter::TombstonedFiltered, dead);
+            }
+        }
         let candidates = match options.rerank {
             None => candidates,
             Some(depth) => {
@@ -517,8 +607,14 @@ impl<'a> BiLevelIndex<'a> {
             }
         };
         let rank_span = SpanTimer::start(rec, Stage::Rank);
-        let neighbors =
-            rank_candidates(&self.data, queries, &candidates, options.k, options.engine);
+        let neighbors = rank_candidates(
+            &self.data,
+            queries,
+            &candidates,
+            options.k,
+            options.engine,
+            Some(&self.tombstones),
+        );
         drop(rank_span);
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
     }
@@ -537,6 +633,15 @@ impl<'a> BiLevelIndex<'a> {
         depth: usize,
         rec: &dyn Recorder,
     ) -> Vec<Vec<u32>> {
+        // Tombstoned candidates must not occupy depth slots: a deleted row
+        // surviving the quantized cut would both waste a rerank slot and
+        // shadow a live row that deserved one. Filtering here keeps the
+        // rerank path's effective depth equal to the exact path's.
+        if !self.tombstones.is_empty() {
+            for ids in candidates.iter_mut() {
+                ids.retain(|&id| !self.tombstones.contains(id));
+            }
+        }
         let mut prep = PreparedQuery::default();
         let mut scores: Vec<f32> = Vec::new();
         let (mut dropped, mut survived) = (0u64, 0u64);
@@ -726,7 +831,8 @@ impl<'a> BiLevelIndex<'a> {
     ///
     /// Panics on a dimension mismatch, an empty iterator, or a corpus
     /// growing past the `u32` row-id space (use
-    /// [`BiLevelIndex::try_insert_batch`] to handle that case as an error).
+    /// [`BiLevelIndex::try_insert_batch`] to handle those cases as typed
+    /// [`InsertError`]s).
     pub fn insert_batch<'v, I>(&mut self, vectors: I) -> usize
     where
         I: IntoIterator<Item = &'v [f32]>,
@@ -734,32 +840,276 @@ impl<'a> BiLevelIndex<'a> {
         self.try_insert_batch(vectors).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`BiLevelIndex::insert_batch`], but a batch that would push the
-    /// corpus past the `u32` row-id space is refused with a typed
-    /// [`CorpusTooLarge`] error *before* any mutation — the index is
-    /// unchanged on `Err`.
-    pub fn try_insert_batch<'v, I>(&mut self, vectors: I) -> Result<usize, CorpusTooLarge>
+    /// [`BiLevelIndex::insert_batch`] with every refusal as a typed
+    /// [`InsertError`]: dimension mismatch, empty batch, and a batch that
+    /// would push the corpus past the `u32` row-id space.
+    ///
+    /// All-or-nothing: the whole batch is buffered and validated *before*
+    /// the first structural mutation, so on `Err` the index — data, tables,
+    /// quantized mirror, tombstones, epoch — is exactly as it was.
+    pub fn try_insert_batch<'v, I>(&mut self, vectors: I) -> Result<usize, InsertError>
     where
         I: IntoIterator<Item = &'v [f32]>,
     {
-        // Buffer the batch up front: the id-space check must pass before
-        // the first table mutation for the all-or-nothing contract, and the
-        // buffered rows feed the quantized mirror afterwards.
+        // Buffer the batch up front: validation must pass before the first
+        // table mutation for the all-or-nothing contract, and the buffered
+        // rows feed the quantized mirror afterwards.
         let mut batch = Dataset::new(self.data.dim());
         for v in vectors {
-            assert_eq!(v.len(), self.data.dim(), "insert dimension mismatch");
+            if v.len() != self.data.dim() {
+                return Err(InsertError::DimMismatch { expected: self.data.dim(), got: v.len() });
+            }
             batch.push(v);
         }
-        assert!(!batch.is_empty(), "insert_batch requires at least one vector");
+        if batch.is_empty() {
+            return Err(InsertError::EmptyBatch);
+        }
         check_id_space(self.data.len() + batch.len())?;
+        let mut touched = self.touched_bitset();
+        let first_id = self.stage_inserts(&batch, &mut touched);
+        self.rebuild_touched(&touched);
+        self.epoch += 1;
+        Ok(first_id)
+    }
+
+    /// Overwrites row `idx` with `v` in place: the row keeps its id, its
+    /// old hash entries are removed, the new vector is re-hashed into its
+    /// (possibly different) level-1 group, and the quantized mirror row is
+    /// re-encoded. If the row was tombstoned it is revived — update is an
+    /// upsert over an existing slot.
+    ///
+    /// All-or-nothing: validation happens before any mutation, so the index
+    /// is unchanged on `Err`.
+    pub fn update_by_idx(&mut self, idx: usize, v: &[f32]) -> Result<(), InsertError> {
+        if v.len() != self.data.dim() {
+            return Err(InsertError::DimMismatch { expected: self.data.dim(), got: v.len() });
+        }
+        if idx >= self.data.len() {
+            return Err(InsertError::IdOutOfRange { id: idx, len: self.data.len() });
+        }
+        let mut touched = self.touched_bitset();
+        self.stage_update(idx, v, &mut touched);
+        self.rebuild_touched(&touched);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Logically deletes row `id`: its slot stays in the dataset, tables,
+    /// and quantized mirror, but the id is tombstoned and filtered out of
+    /// every short-list at rank time (including the `rerank` first pass).
+    /// Returns `true` if the row was newly tombstoned, `false` if it
+    /// already was.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is at or past the corpus length.
+    pub fn delete(&mut self, id: usize) -> bool {
+        assert!(id < self.data.len(), "delete id {id} out of range ({} rows)", self.data.len());
+        let newly = self.tombstones.set(id as u32);
+        if newly {
+            self.epoch += 1;
+        }
+        newly
+    }
+
+    /// Whether row `id` is tombstoned.
+    pub fn is_deleted(&self, id: usize) -> bool {
+        id < self.data.len() && self.tombstones.contains(id as u32)
+    }
+
+    /// The tombstone bitmap — the accessor the read path and the serving
+    /// layer use; the field itself stays crate-private.
+    pub fn deleted(&self) -> &Tombstones {
+        &self.tombstones
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.data.len() - self.tombstones.count()
+    }
+
+    /// The mutation epoch: bumped once per committed transaction and once
+    /// per direct mutation, persisted with snapshots.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Opens a staging transaction against this index's dimensionality.
+    /// Stage inserts/updates/deletes on the returned [`Txn`], then apply
+    /// them atomically with [`BiLevelIndex::commit`]. The index is not
+    /// borrowed while staging, so a writer can assemble a batch while
+    /// readers keep querying the current state.
+    pub fn begin_txn(&self) -> Txn {
+        Txn {
+            dim: self.data.dim(),
+            inserts: Dataset::new(self.data.dim()),
+            updates: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Applies a staged transaction in one atomic step.
+    ///
+    /// The whole batch is validated first — dimensions at staging time, row
+    /// ranges and id-space growth here — and only then applied, in the
+    /// order *deletes → updates → inserts*, followed by a single epoch
+    /// bump. On `Err` nothing was applied. Readers holding `&self` across
+    /// the commit boundary (e.g. through the serving layer's lock) observe
+    /// either the pre-commit or the post-commit state, never a partially
+    /// applied batch.
+    ///
+    /// An update staged for a tombstoned (or same-txn-deleted) row revives
+    /// it, giving upsert semantics; updates and deletes may only reference
+    /// rows that existed before the commit.
+    pub fn commit(&mut self, txn: Txn) -> Result<TxnSummary, InsertError> {
+        // ---- Validate everything before mutating anything. ----
+        if txn.dim != self.data.dim() {
+            return Err(InsertError::DimMismatch { expected: self.data.dim(), got: txn.dim });
+        }
+        if txn.is_empty() {
+            // A no-op commit must not advance the visibility epoch.
+            return Ok(TxnSummary {
+                first_inserted_id: None,
+                inserted: 0,
+                updated: 0,
+                deleted: 0,
+                epoch: self.epoch,
+            });
+        }
+        check_id_space(self.data.len() + txn.inserts.len())?;
+        let len = self.data.len();
+        for &(id, _) in &txn.updates {
+            if id >= len {
+                return Err(InsertError::IdOutOfRange { id, len });
+            }
+        }
+        for &id in &txn.deletes {
+            if id >= len {
+                return Err(InsertError::IdOutOfRange { id, len });
+            }
+        }
+        // ---- Apply: deletes → updates → inserts, one epoch bump. ----
+        let mut deleted = 0usize;
+        for &id in &txn.deletes {
+            if self.tombstones.set(id as u32) {
+                deleted += 1;
+            }
+        }
+        let mut touched = self.touched_bitset();
+        for (id, v) in &txn.updates {
+            self.stage_update(*id, v, &mut touched);
+        }
+        let first_inserted_id = if txn.inserts.is_empty() {
+            None
+        } else {
+            Some(self.stage_inserts(&txn.inserts, &mut touched))
+        };
+        self.rebuild_touched(&touched);
+        self.epoch += 1;
+        Ok(TxnSummary {
+            first_inserted_id,
+            inserted: txn.inserts.len(),
+            updated: txn.updates.len(),
+            deleted,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Rebuilds the index from scratch over its surviving (non-tombstoned)
+    /// rows, compacting away deleted slots. Rows are renumbered: new id `i`
+    /// is old id `result[i]` — the returned vector is the old-id list in
+    /// ascending order. The rebuilt index is *identical* to
+    /// [`BiLevelIndex::build_owned`] over the surviving rows with the same
+    /// config (that is the recall-equivalence proof the mutation tests
+    /// assert bit-for-bit); only the epoch carries over, bumped once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every row is tombstoned (an index cannot be empty).
+    pub fn compact(&mut self) -> Vec<usize> {
+        let survivors: Vec<usize> =
+            (0..self.data.len()).filter(|&i| !self.tombstones.contains(i as u32)).collect();
+        assert!(!survivors.is_empty(), "cannot compact a fully deleted index");
+        let surviving = self.data.gather(&survivors);
+        let mut rebuilt = BiLevelIndex::build_owned(surviving, &self.config);
+        rebuilt.epoch = self.epoch + 1;
+        *self = rebuilt;
+        survivors
+    }
+
+    /// Fraction of rows currently tombstoned.
+    pub fn tombstone_fraction(&self) -> f64 {
+        self.tombstones.fraction(self.data.len())
+    }
+
+    /// Live-occupancy skew across level-1 groups: the largest group's live
+    /// row count over the mean live count (1.0 = perfectly balanced,
+    /// `NaN`-free; 0 rows or 1 group reports 1.0). Churn concentrated in a
+    /// few leaves drives this up, which is the drift signal
+    /// [`BiLevelIndex::maybe_compact`] watches.
+    pub fn occupancy_skew(&self) -> f64 {
+        let groups = self.tables.len();
+        if groups <= 1 {
+            return 1.0;
+        }
+        let live_of = |g: usize| -> usize {
+            // Table 0 of each group holds exactly the group's rows.
+            self.tables[g]
+                .first()
+                .map(|gt| {
+                    gt.table
+                        .iter()
+                        .flat_map(|(_, ids)| ids)
+                        .filter(|&&id| !self.tombstones.contains(id))
+                        .count()
+                })
+                .unwrap_or(0)
+        };
+        let counts: Vec<usize> = (0..groups).map(live_of).collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / groups as f64;
+        counts.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    /// Compacts when either [`CompactionPolicy`] threshold is crossed,
+    /// returning the surviving-old-id map when a compaction ran (see
+    /// [`BiLevelIndex::compact`]) and `None` when the index is still within
+    /// policy. A fully deleted index never auto-compacts (there would be
+    /// nothing to rebuild over).
+    pub fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<Vec<usize>> {
+        if self.live_len() == 0 {
+            return None;
+        }
+        let drifted = self.tombstone_fraction() > policy.max_tombstone_fraction
+            || self.occupancy_skew() > policy.max_occupancy_skew;
+        drifted.then(|| self.compact())
+    }
+
+    /// An all-zero touched-(group, table) bitset sized for this index (see
+    /// [`BiLevelIndex::rebuild_touched`]).
+    fn touched_bitset(&self) -> Vec<u64> {
+        let slots = self.tables.len() * self.tables_per_group();
+        vec![0u64; slots.div_ceil(64)]
+    }
+
+    fn tables_per_group(&self) -> usize {
+        self.config.table_pool.unwrap_or(self.config.l)
+    }
+
+    /// Appends `batch`'s rows to the data, tables, and quantized mirror,
+    /// marking touched tables in `touched`. Callers must have validated the
+    /// batch (non-empty, dims, id space) and must call
+    /// [`BiLevelIndex::rebuild_touched`] afterwards.
+    fn stage_inserts(&mut self, batch: &Dataset, touched: &mut [u64]) -> usize {
         let first_id = self.data.len();
         let mut scratch = ProjectionScratch::new(self.config.m);
         // Touched (group, table) pairs as a bitset: constant memory in the
         // batch size, instead of one pair per vector per table (O(n·L)
         // intermediate growth before dedup).
-        let tables_per_group = self.config.table_pool.unwrap_or(self.config.l);
-        let slots = self.tables.len() * tables_per_group;
-        let mut touched = vec![0u64; slots.div_ceil(64)];
+        let tables_per_group = self.tables_per_group();
         for v in batch.iter() {
             let id = u32::try_from(self.data.len()).expect("batch checked against u32 id space");
             self.data.to_mut().push(v);
@@ -771,9 +1121,48 @@ impl<'a> BiLevelIndex<'a> {
                 touched[bit / 64] |= 1 << (bit % 64);
             }
         }
-        self.quant.append_rows(&batch);
-        // Refresh bucket code lists and hierarchies of the touched tables,
-        // in ascending (group, table) order as the set bits are walked.
+        self.quant.append_rows(batch);
+        first_id
+    }
+
+    /// Re-homes row `idx` to the value `v`: removes its old hash entries,
+    /// overwrites the stored row, re-hashes into the new group's tables,
+    /// re-encodes the quantized mirror row, and clears any tombstone.
+    /// Callers must have validated `idx`/dims and must call
+    /// [`BiLevelIndex::rebuild_touched`] afterwards.
+    fn stage_update(&mut self, idx: usize, v: &[f32], touched: &mut [u64]) {
+        let id = idx as u32;
+        let tables_per_group = self.tables_per_group();
+        let mut scratch = ProjectionScratch::new(self.config.m);
+        // The old value's codes locate its existing bucket entries; the
+        // projection is deterministic, so recomputing them finds exactly
+        // the entries inserted at build/insert/previous-update time.
+        let old = self.data.row(idx).to_vec();
+        let g_old = self.level1.assign(&old);
+        for (l, gt) in self.tables[g_old].iter_mut().enumerate() {
+            let code = quantize(scratch.project(&gt.family, &old), self.config.quantizer);
+            if gt.table.remove(&code, id) {
+                let bit = g_old * tables_per_group + l;
+                touched[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        self.data.to_mut().row_mut(idx).copy_from_slice(v);
+        let g_new = self.level1.assign(v);
+        for (l, gt) in self.tables[g_new].iter_mut().enumerate() {
+            let code = quantize(scratch.project(&gt.family, v), self.config.quantizer);
+            gt.table.insert(&code, id);
+            let bit = g_new * tables_per_group + l;
+            touched[bit / 64] |= 1 << (bit % 64);
+        }
+        self.quant.update_row(idx, v);
+        self.tombstones.clear(id);
+    }
+
+    /// Refreshes bucket code lists and hierarchies of the touched tables,
+    /// in ascending (group, table) order as the set bits are walked. A
+    /// table emptied by updates drops its hierarchy.
+    fn rebuild_touched(&mut self, touched: &[u64]) {
+        let tables_per_group = self.tables_per_group();
         let rebuild = matches!(self.config.probe, Probe::Hierarchical { .. });
         for (word_idx, &word) in touched.iter().enumerate() {
             let mut bits = word;
@@ -783,13 +1172,98 @@ impl<'a> BiLevelIndex<'a> {
                 let (g, l) = (bit / tables_per_group, bit % tables_per_group);
                 let gt = &mut self.tables[g][l];
                 gt.bucket_codes = gt.table.sorted_codes();
-                if rebuild && !gt.bucket_codes.is_empty() {
-                    gt.hierarchy =
-                        Some(build_table_hierarchy(&gt.bucket_codes, self.config.quantizer));
-                }
+                gt.hierarchy = if rebuild && !gt.bucket_codes.is_empty() {
+                    Some(build_table_hierarchy(&gt.bucket_codes, self.config.quantizer))
+                } else {
+                    None
+                };
             }
         }
-        Ok(first_id)
+    }
+}
+
+/// A staged batch of mutations, applied atomically by
+/// [`BiLevelIndex::commit`]. Created by [`BiLevelIndex::begin_txn`].
+///
+/// Staging validates dimensions immediately (typed, all-or-nothing at the
+/// staging call); row-range and id-space validation happens at commit, so
+/// a transaction staged against a stale view still either fully applies or
+/// fully refuses.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    dim: usize,
+    inserts: Dataset,
+    updates: Vec<(usize, Vec<f32>)>,
+    deletes: Vec<usize>,
+}
+
+impl Txn {
+    /// Stages an insert. The row id is assigned at commit (consecutive from
+    /// the corpus length, in staging order).
+    pub fn insert(&mut self, v: &[f32]) -> Result<(), InsertError> {
+        if v.len() != self.dim {
+            return Err(InsertError::DimMismatch { expected: self.dim, got: v.len() });
+        }
+        self.inserts.push(v);
+        Ok(())
+    }
+
+    /// Stages an in-place update of row `id` (range-checked at commit).
+    pub fn update(&mut self, id: usize, v: &[f32]) -> Result<(), InsertError> {
+        if v.len() != self.dim {
+            return Err(InsertError::DimMismatch { expected: self.dim, got: v.len() });
+        }
+        self.updates.push((id, v.to_vec()));
+        Ok(())
+    }
+
+    /// Stages a tombstone delete of row `id` (range-checked at commit).
+    pub fn delete(&mut self, id: usize) {
+        self.deletes.push(id);
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.updates.len() + self.deletes.len()
+    }
+
+    /// Whether nothing is staged (committing an empty txn is a no-op that
+    /// still bumps the epoch).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a committed transaction did ([`BiLevelIndex::commit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnSummary {
+    /// Id of the first inserted row (`None` if the txn staged no inserts);
+    /// inserted ids are consecutive from here in staging order.
+    pub first_inserted_id: Option<usize>,
+    /// Rows inserted.
+    pub inserted: usize,
+    /// Rows updated in place.
+    pub updated: usize,
+    /// Rows *newly* tombstoned (already-deleted rows don't re-count).
+    pub deleted: usize,
+    /// The epoch after the commit's bump.
+    pub epoch: u64,
+}
+
+/// Thresholds for [`BiLevelIndex::maybe_compact`]: compaction triggers when
+/// the tombstone fraction or the live-occupancy skew across level-1 groups
+/// exceeds its bound. Defaults: 30% tombstones, 4× skew.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Compact when `tombstone_fraction() > max_tombstone_fraction`.
+    pub max_tombstone_fraction: f64,
+    /// Compact when `occupancy_skew() > max_occupancy_skew`.
+    pub max_occupancy_skew: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self { max_tombstone_fraction: 0.3, max_occupancy_skew: 4.0 }
     }
 }
 
@@ -937,11 +1411,18 @@ fn e8_probe_codes(raw: &[f32], home: &[i32], t: usize) -> Vec<Vec<i32>> {
     out
 }
 
-/// Total-ordered f64 wrapper for the probe frontier (distances are finite
-/// by construction).
-#[derive(PartialEq)]
+/// Total-ordered f64 wrapper for the probe frontier. Ordered by
+/// `f64::total_cmp`: even if a poisoned query produces NaN distances, the
+/// ordering stays total and transitive, so the `BinaryHeap` invariant holds
+/// (the old `partial_cmp(..).unwrap_or(Equal)` was non-transitive under
+/// NaN, which can corrupt heap ordering).
 struct OrderedF64(f64);
 
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
 impl Eq for OrderedF64 {}
 impl PartialOrd for OrderedF64 {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -950,7 +1431,7 @@ impl PartialOrd for OrderedF64 {
 }
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -1018,22 +1499,27 @@ fn profile_subset(data: &Dataset, ids: Option<&[u32]>, k: usize) -> DistanceProf
     }
 }
 
-/// Ranks candidate sets with the selected short-list engine. Distances come
-/// back squared; callers apply [`sqrt_distances`].
+/// Ranks candidate sets with the selected short-list engine, dropping any
+/// tombstoned ids at rank time (`deleted`; `None` or an empty bitmap is the
+/// zero-cost fast path). Distances come back squared; callers apply
+/// [`sqrt_distances`].
 pub(crate) fn rank_candidates(
     data: &Dataset,
     queries: &Dataset,
     candidates: &[Vec<u32>],
     k: usize,
     engine: Engine,
+    deleted: Option<&Tombstones>,
 ) -> Vec<Vec<Neighbor>> {
     match engine {
-        Engine::Serial => shortlist_serial(data, queries, candidates, k, &SquaredL2),
-        Engine::PerQuery { threads } => {
-            shortlist::shortlist_per_query(data, queries, candidates, k, &SquaredL2, threads)
+        Engine::Serial => {
+            shortlist_serial_filtered(data, queries, candidates, k, &SquaredL2, deleted)
         }
-        Engine::WorkQueue { threads, capacity } => shortlist::shortlist_workqueue(
-            data, queries, candidates, k, &SquaredL2, threads, capacity,
+        Engine::PerQuery { threads } => shortlist::shortlist_per_query_filtered(
+            data, queries, candidates, k, &SquaredL2, threads, deleted,
+        ),
+        Engine::WorkQueue { threads, capacity } => shortlist::shortlist_workqueue_filtered(
+            data, queries, candidates, k, &SquaredL2, threads, capacity, deleted,
         ),
     }
 }
@@ -1602,6 +2088,113 @@ mod tests {
         assert!(msg.contains("u32 row-id space"), "unhelpful error: {msg}");
         assert!(check_id_space(12).is_ok());
         assert!(check_id_space(u32::MAX as usize).is_ok());
+    }
+
+    #[test]
+    fn delete_tombstones_without_touching_tables() {
+        let (data, queries) = small_data();
+        let mut index = BiLevelIndex::build_owned(data.clone(), &BiLevelConfig::standard(4.0));
+        let victim = index.query(queries.row(0), 1)[0].id;
+        assert!(index.delete(victim), "first delete tombstones");
+        assert!(!index.delete(victim), "second delete is a no-op");
+        assert!(index.is_deleted(victim));
+        assert_eq!(index.live_len(), data.len() - 1);
+        assert_eq!(index.data().len(), data.len(), "rows stay in place");
+        assert_eq!(index.epoch(), 1, "only the effective delete bumps the epoch");
+        for n in index.query(queries.row(0), 10) {
+            assert_ne!(n.id, victim, "tombstoned row surfaced");
+        }
+    }
+
+    #[test]
+    fn update_by_idx_rehomes_and_revives() {
+        let (data, _) = small_data();
+        let mut index = BiLevelIndex::build_owned(data.clone(), &BiLevelConfig::standard(4.0));
+        // Typed validation, all-or-nothing.
+        assert!(matches!(
+            index.update_by_idx(0, &[1.0; 3]),
+            Err(InsertError::DimMismatch { expected: 32, got: 3 })
+        ));
+        assert!(matches!(
+            index.update_by_idx(data.len(), &[1.0; 32]),
+            Err(InsertError::IdOutOfRange { .. })
+        ));
+        assert_eq!(index.epoch(), 0, "failed updates leave the index unchanged");
+
+        // A deleted row updated in place revives, re-homed to the new value.
+        index.delete(3);
+        let novel = vec![-321.0f32; 32];
+        index.update_by_idx(3, &novel).unwrap();
+        assert!(!index.is_deleted(3), "update revives a tombstoned row");
+        let hits = index.query(&novel, 1);
+        assert_eq!((hits[0].id, hits[0].dist), (3, 0.0));
+    }
+
+    #[test]
+    fn txn_commit_is_atomic_and_all_or_nothing() {
+        let (data, _) = small_data();
+        let mut index = BiLevelIndex::build_owned(data.clone(), &BiLevelConfig::standard(4.0));
+
+        // A bad op anywhere in the batch refuses the whole batch.
+        let mut txn = index.begin_txn();
+        txn.insert(&[5.0; 32]).unwrap();
+        txn.delete(data.len() + 99);
+        assert!(matches!(index.commit(txn), Err(InsertError::IdOutOfRange { .. })));
+        assert_eq!((index.data().len(), index.epoch()), (data.len(), 0));
+
+        // A good batch applies deletes, updates, and inserts in one epoch.
+        let novel = vec![77.0f32; 32];
+        let mut txn = index.begin_txn();
+        assert!(txn.is_empty());
+        txn.delete(1);
+        txn.update(2, &novel).unwrap();
+        txn.insert(&[9.0; 32]).unwrap();
+        assert_eq!(txn.len(), 3);
+        let summary = index.commit(txn).unwrap();
+        assert_eq!((summary.inserted, summary.updated, summary.deleted), (1, 1, 1));
+        assert_eq!(summary.first_inserted_id, Some(data.len()));
+        assert_eq!(summary.epoch, 1);
+        assert!(index.is_deleted(1));
+        assert_eq!(index.query(&novel, 1)[0].id, 2);
+
+        // An empty transaction commits as a no-op without an epoch bump.
+        let txn = index.begin_txn();
+        let summary = index.commit(txn).unwrap();
+        assert_eq!((summary.inserted, summary.updated, summary.deleted), (0, 0, 0));
+        assert_eq!(index.epoch(), 1);
+    }
+
+    #[test]
+    fn maybe_compact_honors_thresholds() {
+        let (data, _) = small_data();
+        let mut index = BiLevelIndex::build_owned(data.clone(), &BiLevelConfig::standard(4.0));
+        let policy = CompactionPolicy::default();
+        assert_eq!(index.maybe_compact(&policy), None, "clean index never compacts");
+
+        // Push the tombstone fraction past the default 0.3 threshold.
+        let dead = (data.len() * 2).div_ceil(5);
+        for id in 0..dead {
+            index.delete(id);
+        }
+        assert!(index.tombstone_fraction() > policy.max_tombstone_fraction);
+        let survivors = index.maybe_compact(&policy).expect("threshold crossed");
+        assert_eq!(survivors, (dead..data.len()).collect::<Vec<_>>());
+        assert_eq!(index.live_len(), data.len() - dead);
+        assert!(index.deleted().is_empty(), "compaction clears tombstones");
+        assert_eq!(index.maybe_compact(&policy), None, "freshly compacted index is clean");
+    }
+
+    #[test]
+    fn insert_error_variants_are_typed() {
+        let (data, _) = small_data();
+        let mut index = BiLevelIndex::build_owned(data, &BiLevelConfig::standard(4.0));
+        assert!(matches!(index.try_insert_batch(std::iter::empty()), Err(InsertError::EmptyBatch)));
+        let narrow = [1.0f32; 3];
+        assert!(matches!(
+            index.try_insert_batch([narrow.as_slice()]),
+            Err(InsertError::DimMismatch { expected: 32, got: 3 })
+        ));
+        assert_eq!(index.epoch(), 0, "failed inserts leave the index unchanged");
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub use code::{compress_code, BiLevelCode};
 pub use config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
 pub use evaluate::{evaluate_index, evaluate_runs, ground_truth};
 pub use flat::FlatIndex;
-pub use index::{BatchResult, BiLevelIndex, CorpusTooLarge, Engine};
+pub use index::{
+    BatchResult, BiLevelIndex, CompactionPolicy, CorpusTooLarge, Engine, InsertError, Txn,
+    TxnSummary,
+};
 pub use interval::IntervalTable;
 pub use ooc::{OocBuildError, OocFlatIndex};
 pub use options::QueryOptions;
@@ -71,4 +74,4 @@ pub use knn_metrics::{QueryEval, SeriesPoint};
 pub use lsh::Projection;
 pub use vecstore::fault::{FaultKind, FaultPlan, FaultyDataset, RetryPolicy, RetryStats};
 pub use vecstore::ooc::RowSource;
-pub use vecstore::{Dataset, Neighbor};
+pub use vecstore::{Dataset, Neighbor, Tombstones};

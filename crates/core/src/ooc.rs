@@ -29,7 +29,7 @@ use vecstore::fault::{RetryPolicy, RetryStats};
 use vecstore::kernel::squared_l2_batch;
 use vecstore::metric::squared_l2;
 use vecstore::ooc::{OocDataset, RowSource};
-use vecstore::{Dataset, Neighbor, TopK};
+use vecstore::{Dataset, Neighbor, Tombstones, TopK};
 
 /// Rows per streaming chunk during construction.
 const CHUNK_ROWS: usize = 4_096;
@@ -121,6 +121,9 @@ pub struct OocFlatIndex<'a, S: RowSource = OocDataset> {
     pub(crate) retry: RetryPolicy,
     /// Counters for retry activity across all reads.
     pub(crate) retry_stats: RetryStats,
+    /// Logically deleted rows, filtered out before candidate rows are
+    /// fetched — a tombstoned row costs no disk read and no rank slot.
+    pub(crate) tombstones: Tombstones,
 }
 
 impl<'a, S: RowSource> OocFlatIndex<'a, S> {
@@ -262,7 +265,30 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
             intervals,
             retry,
             retry_stats,
+            tombstones: Tombstones::new(),
         })
+    }
+
+    /// Logically deletes row `id`: it is tombstoned and excluded from every
+    /// subsequent rank stage (the on-disk row is untouched — physical
+    /// reclamation is a rebuild). Returns `true` if newly tombstoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is at or past the source length.
+    pub fn delete(&mut self, id: usize) -> bool {
+        assert!(id < self.source.len(), "delete id {id} out of range ({} rows)", self.source.len());
+        self.tombstones.set(id as u32)
+    }
+
+    /// Whether row `id` is tombstoned.
+    pub fn is_deleted(&self, id: usize) -> bool {
+        id < self.source.len() && self.tombstones.contains(id as u32)
+    }
+
+    /// The tombstone bitmap.
+    pub fn deleted(&self) -> &Tombstones {
+        &self.tombstones
     }
 
     /// Replaces the retry policy governing this index's disk reads.
@@ -366,6 +392,9 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
         let mut buf = vec![0.0f32; self.source.dim()];
         let mut budget = self.retry.budget();
         for &id in &candidates {
+            if self.tombstones.contains(id) {
+                continue;
+            }
             self.retry.run(&mut budget, &self.retry_stats, || {
                 self.source.read_row_into(id as usize, &mut buf)
             })?;
@@ -469,6 +498,22 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
         rec: &dyn Recorder,
     ) -> std::io::Result<Vec<Neighbor>> {
         let dim = self.source.dim();
+        // Drop tombstoned ids before run formation: dead rows neither widen
+        // coalesced reads nor occupy rank slots.
+        let live_storage: Vec<u32>;
+        let candidates: &[u32] = if self.tombstones.is_empty() {
+            candidates
+        } else {
+            live_storage =
+                candidates.iter().copied().filter(|&id| !self.tombstones.contains(id)).collect();
+            if rec.enabled() {
+                rec.add(
+                    Counter::TombstonedFiltered,
+                    (candidates.len() - live_storage.len()) as u64,
+                );
+            }
+            &live_storage
+        };
         let mut top = TopK::new(k);
         let mut budget = self.retry.budget();
         let mut i = 0usize;

@@ -29,7 +29,9 @@
 //! the bucket codes and are rebuilt on load when the configuration demands
 //! them.
 
-use crate::binio::{read_section, write_section, ByteReader, ByteWriter, MAGIC};
+use crate::binio::{
+    read_optional_section, read_section, write_section, ByteReader, ByteWriter, MAGIC,
+};
 use crate::config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
 use crate::index::{build_table_hierarchy, BiLevelIndex, GroupTable, Level1};
 use crate::interval::{IntervalParts, IntervalTable};
@@ -42,7 +44,7 @@ use rptree::{
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use vecstore::ooc::OocDataset;
-use vecstore::Dataset;
+use vecstore::{Dataset, Tombstones};
 
 /// Version written by the legacy JSON path.
 const JSON_VERSION: u32 = 1;
@@ -621,6 +623,40 @@ fn dec_tables(
     Ok(tables)
 }
 
+/// Mutability state: the txn epoch and the tombstone bitmap. Appended as a
+/// trailing section only when non-trivial, so snapshots of never-mutated
+/// indexes stay byte-identical to the pre-mutability format (and decode
+/// under old readers, which stop after the structural sections).
+fn sec_mutability(tombstones: &Tombstones, epoch: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(epoch);
+    w.put_len(tombstones.count());
+    let words = tombstones.as_words();
+    w.put_len(words.len());
+    w.put_u64s(words);
+    w.into_bytes()
+}
+
+fn dec_mutability(bytes: &[u8], data_len: usize) -> Result<(Tombstones, u64), PersistError> {
+    let mut r = ByteReader::new(bytes, "mutability");
+    let epoch = r.u64()?;
+    let count = r.len()?;
+    let word_count = r.len()?;
+    let words = r.u64s(word_count)?;
+    r.finish()?;
+    let tombstones = Tombstones::from_words(words);
+    if tombstones.count() != count {
+        return Err(PersistError::Format(format!(
+            "mutability section claims {count} tombstones, bitmap holds {}",
+            tombstones.count()
+        )));
+    }
+    if let Some(id) = tombstones.iter().find(|&id| id as usize >= data_len) {
+        return Err(PersistError::Format(format!("tombstoned id {id} out of range")));
+    }
+    Ok((tombstones, epoch))
+}
+
 fn sec_families(families: &[HashFamily]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_len(families.len());
@@ -792,13 +828,19 @@ impl<'a> BiLevelIndex<'a> {
     ///
     /// Returns [`PersistError::Io`] on write failure.
     pub fn save_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
-        let sections = [
+        let mut sections = vec![
             sec_fingerprint(&DataFingerprint::of(&self.data)),
             sec_config(&self.config),
             sec_level1(&self.level1),
             sec_widths(&self.group_widths),
             sec_tables(&self.tables),
         ];
+        // Trailing, only when the index has been mutated: never-mutated
+        // snapshots stay byte-identical to the pre-mutability format, and
+        // old snapshots (which end before this section) load as all-live.
+        if !self.tombstones.is_empty() || self.epoch != 0 {
+            sections.push(sec_mutability(&self.tombstones, self.epoch));
+        }
         write_v2(writer, KIND_BILEVEL, &sections)
     }
 
@@ -889,6 +931,12 @@ impl<'a> BiLevelIndex<'a> {
         let group_widths = dec_widths(&read_section(&mut reader, "group widths")?)?;
         let tables = dec_tables(&read_section(&mut reader, "tables")?, &config, data.len())?;
         check_group_shape(level1.num_groups(), tables.len(), &group_widths, &config)?;
+        // Snapshots written before mutation support (or of a never-mutated
+        // index) end here and load as all-live at epoch 0.
+        let (tombstones, epoch) = match read_optional_section(&mut reader, "mutability")? {
+            Some(bytes) => dec_mutability(&bytes, data.len())?,
+            None => (Tombstones::new(), 0),
+        };
         Ok(BiLevelIndex {
             data: std::borrow::Cow::Borrowed(data),
             config,
@@ -897,6 +945,8 @@ impl<'a> BiLevelIndex<'a> {
             group_widths,
             // Deterministic in `data`, so rebuilt instead of serialized.
             quant: vecstore::QuantizedCorpus::from_dataset(data),
+            tombstones,
+            epoch,
         })
     }
 
@@ -961,6 +1011,9 @@ impl<'a> BiLevelIndex<'a> {
             tables,
             group_widths: snapshot.group_widths,
             quant: vecstore::QuantizedCorpus::from_dataset(data),
+            // The legacy JSON format predates mutability: always all-live.
+            tombstones: Tombstones::new(),
+            epoch: 0,
         })
     }
 
@@ -981,7 +1034,7 @@ impl<'a> OocFlatIndex<'a> {
     /// Returns [`PersistError::Io`] on write failure or when sampling the
     /// source file for the fingerprint fails.
     pub fn save_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
-        let sections = [
+        let mut sections = vec![
             sec_fingerprint(&DataFingerprint::of_ooc(self.source)?),
             sec_config(&self.config),
             sec_level1(&self.level1),
@@ -990,6 +1043,11 @@ impl<'a> OocFlatIndex<'a> {
             sec_linear(&self.linear),
             sec_intervals(&self.intervals),
         ];
+        // Out-of-core indexes have no txn epoch; the shared section encodes
+        // zero. Appended only when deletes exist (see the in-memory path).
+        if !self.tombstones.is_empty() {
+            sections.push(sec_mutability(&self.tombstones, 0));
+        }
         write_v2(writer, KIND_OOC, &sections)
     }
 
@@ -1064,6 +1122,10 @@ impl<'a> OocFlatIndex<'a> {
                 linear.len()
             )));
         }
+        let (tombstones, _) = match read_optional_section(&mut reader, "mutability")? {
+            Some(bytes) => dec_mutability(&bytes, source.len())?,
+            None => (Tombstones::new(), 0),
+        };
         Ok(OocFlatIndex {
             source,
             config,
@@ -1074,6 +1136,7 @@ impl<'a> OocFlatIndex<'a> {
             intervals,
             retry: vecstore::fault::RetryPolicy::default(),
             retry_stats: vecstore::fault::RetryStats::default(),
+            tombstones,
         })
     }
 

@@ -28,7 +28,7 @@ use crate::options::QueryOptions;
 use knn_telemetry::{Counter, Recorder, SpanTimer, Stage, Value};
 use lsh::{LshTable, ProjectionScratch};
 use shortlist::{merge_topk, parallel_fill_with};
-use vecstore::{Dataset, Neighbor};
+use vecstore::{Dataset, Neighbor, Tombstones};
 
 /// A Bi-level LSH index split across `N` shards with disjoint row ranges.
 ///
@@ -44,6 +44,9 @@ pub struct ShardedIndex {
     shards: Vec<Vec<Vec<GroupTable>>>,
     /// Row-range boundaries, `num_shards + 1` entries.
     bounds: Vec<usize>,
+    /// Logically deleted rows under global ids, filtered at rank time in
+    /// every shard (carried over from the source index at build).
+    tombstones: Tombstones,
 }
 
 impl ShardedIndex {
@@ -56,7 +59,7 @@ impl ShardedIndex {
     pub fn build(data: Dataset, config: &BiLevelConfig, num_shards: usize) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         let full = BiLevelIndex::build_owned(data, config);
-        let BiLevelIndex { data, config, level1, tables, group_widths, .. } = full;
+        let BiLevelIndex { data, config, level1, tables, group_widths, tombstones, .. } = full;
         let data = data.into_owned();
         let n = data.len();
         let bounds: Vec<usize> = (0..=num_shards).map(|s| s * n / num_shards).collect();
@@ -99,7 +102,31 @@ impl ShardedIndex {
                     .collect()
             })
             .collect();
-        Self { data, config, level1, group_widths, shards, bounds }
+        Self { data, config, level1, group_widths, shards, bounds, tombstones }
+    }
+
+    /// Logically deletes global row `id` across all shards: the id is
+    /// tombstoned and filtered out of every shard's rank stage (sharding is
+    /// split-after-build, so inserts require a rebuild — but deletes are
+    /// cheap and shared with the unsharded index).
+    /// Returns `true` if the row was newly tombstoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is at or past the corpus length.
+    pub fn delete(&mut self, id: usize) -> bool {
+        assert!(id < self.data.len(), "delete id {id} out of range ({} rows)", self.data.len());
+        self.tombstones.set(id as u32)
+    }
+
+    /// Whether global row `id` is tombstoned.
+    pub fn is_deleted(&self, id: usize) -> bool {
+        id < self.data.len() && self.tombstones.contains(id as u32)
+    }
+
+    /// The tombstone bitmap (global row ids).
+    pub fn deleted(&self) -> &Tombstones {
+        &self.tombstones
     }
 
     /// Number of shards.
@@ -292,7 +319,9 @@ impl ShardedIndex {
     ) -> BatchResult {
         let per_shard_topk: Vec<Vec<Vec<Neighbor>>> = by_shard
             .iter()
-            .map(|cands| rank_candidates(&self.data, queries, cands, k, engine))
+            .map(|cands| {
+                rank_candidates(&self.data, queries, cands, k, engine, Some(&self.tombstones))
+            })
             .collect();
         let neighbors: Vec<Vec<Neighbor>> = (0..queries.len())
             .map(|q| {
@@ -418,7 +447,8 @@ impl ShardedIndex {
         }
         let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
         let rank_span = SpanTimer::start(rec, Stage::Rank);
-        let neighbors = rank_candidates(&self.data, queries, &cands, k, engine);
+        let neighbors =
+            rank_candidates(&self.data, queries, &cands, k, engine, Some(&self.tombstones));
         drop(rank_span);
         BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
     }

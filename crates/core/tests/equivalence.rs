@@ -235,3 +235,184 @@ fn ooc_recorder_counts_reads_and_bytes() {
     assert_eq!(rec.counter(Counter::OocRetries), 0, "healthy file must not retry");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Deterministic splitmix-style generator: keeps the randomized mutation
+/// workload reproducible without pulling an RNG crate into the test.
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % m
+    }
+    fn f32(&mut self) -> f32 {
+        (self.next(1 << 20) as f32 / (1 << 20) as f32) * 2.0 - 1.0
+    }
+}
+
+/// Applies `ops` randomized insert/update/delete batches through the txn
+/// path to both the index and a plain mirror model, returning the mirror.
+fn mutate_randomly(
+    index: &mut BiLevelIndex<'static>,
+    lcg: &mut Lcg,
+    batches: usize,
+    batch_size: usize,
+) -> (Vec<Vec<f32>>, std::collections::BTreeSet<usize>) {
+    let dim = index.data().dim();
+    let mut rows: Vec<Vec<f32>> = index.data().iter().map(|r| r.to_vec()).collect();
+    let mut dead: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for _ in 0..batches {
+        let len = rows.len();
+        let mut txn = index.begin_txn();
+        // Mirror the commit's apply order: deletes, then updates, then
+        // inserts (an update in the same batch revives a delete).
+        let mut deletes = Vec::new();
+        let mut updates = Vec::new();
+        let mut inserts = Vec::new();
+        for _ in 0..batch_size {
+            match lcg.next(10) {
+                0..=3 => {
+                    let v: Vec<f32> = (0..dim).map(|_| lcg.f32() * 40.0).collect();
+                    inserts.push(v);
+                }
+                4..=6 => {
+                    let id = lcg.next(len as u64) as usize;
+                    let v: Vec<f32> = (0..dim).map(|_| lcg.f32() * 40.0).collect();
+                    updates.push((id, v));
+                }
+                _ => {
+                    // Never tombstone the whole corpus.
+                    if len - dead.len() > batch_size + 1 {
+                        deletes.push(lcg.next(len as u64) as usize);
+                    }
+                }
+            }
+        }
+        for &id in &deletes {
+            txn.delete(id);
+        }
+        for (id, v) in &updates {
+            txn.update(*id, v).unwrap();
+        }
+        for v in &inserts {
+            txn.insert(v).unwrap();
+        }
+        let summary = index.commit(txn).expect("in-range randomized batch commits");
+        assert_eq!(summary.inserted, inserts.len());
+        for id in deletes {
+            dead.insert(id);
+        }
+        for (id, v) in updates {
+            rows[id] = v;
+            dead.remove(&id);
+        }
+        rows.extend(inserts);
+    }
+    (rows, dead)
+}
+
+/// The tentpole's recall-equivalence proof: after >= 1k randomized
+/// insert/update/delete operations, compaction answers bit-identically to
+/// a from-scratch rebuild over an independently tracked survivor set —
+/// across the full probe x quantizer grid, with and without rerank.
+#[test]
+fn compaction_matches_from_scratch_rebuild_after_randomized_mutations() {
+    let (data, queries) = corpus();
+    for cfg in grid() {
+        let label = format!("{:?}/{:?}", cfg.quantizer, cfg.probe);
+        let mut index = BiLevelIndex::build_owned(data.clone(), &cfg);
+        let mut lcg = Lcg(0xdead_beef ^ cfg.seed);
+        let (rows, dead) = mutate_randomly(&mut index, &mut lcg, 35, 30);
+
+        let epoch_before = index.epoch();
+        let survivors = index.compact();
+        let expected: Vec<usize> = (0..rows.len()).filter(|i| !dead.contains(i)).collect();
+        assert_eq!(survivors, expected, "survivor set drifted ({label})");
+        assert_eq!(index.epoch(), epoch_before + 1, "compaction bumps the epoch once");
+        assert!(index.deleted().is_empty(), "compaction clears tombstones");
+
+        let fresh_rows: Vec<&[f32]> = expected.iter().map(|&i| rows[i].as_slice()).collect();
+        let rebuilt = BiLevelIndex::build_owned(Dataset::from_rows(&fresh_rows), &cfg);
+        for opts in [QueryOptions::new(10), QueryOptions::new(10).rerank(64)] {
+            let compacted = index.query_batch_opts(&queries, &opts);
+            let scratch = rebuilt.query_batch_opts(&queries, &opts);
+            assert_eq!(
+                bits(&compacted),
+                bits(&scratch),
+                "compacted index diverged from a fresh rebuild ({label})"
+            );
+        }
+    }
+}
+
+/// Mutation/snapshot roundtrip: a mutated index saved to the v2 binary
+/// format and loaded back answers bit-identically (tombstones, epoch, and
+/// rerank behavior included), and re-saving reproduces the bytes exactly.
+#[test]
+fn mutated_index_snapshot_roundtrip_is_bit_identical() {
+    let (data, queries) = corpus();
+    for cfg in grid() {
+        let label = format!("{:?}/{:?}", cfg.quantizer, cfg.probe);
+        let mut index = BiLevelIndex::build_owned(data.clone(), &cfg);
+        let mut lcg = Lcg(cfg.seed.rotate_left(17));
+        let _ = mutate_randomly(&mut index, &mut lcg, 4, 25);
+        assert!(!index.deleted().is_empty(), "workload must leave tombstones ({label})");
+
+        let mut bytes = Vec::new();
+        index.save_to(&mut bytes).unwrap();
+        let mutated_data = index.data().clone();
+        let loaded = BiLevelIndex::load_from(&mutated_data, bytes.as_slice()).unwrap();
+
+        assert_eq!(loaded.epoch(), index.epoch(), "epoch must persist ({label})");
+        assert_eq!(
+            loaded.deleted().iter().collect::<Vec<_>>(),
+            index.deleted().iter().collect::<Vec<_>>(),
+            "tombstones must persist ({label})"
+        );
+        for opts in [QueryOptions::new(10), QueryOptions::new(10).rerank(64)] {
+            assert_eq!(
+                bits(&loaded.query_batch_opts(&queries, &opts)),
+                bits(&index.query_batch_opts(&queries, &opts)),
+                "loaded index drifted ({label})"
+            );
+        }
+        let mut again = Vec::new();
+        loaded.save_to(&mut again).unwrap();
+        assert_eq!(bytes, again, "save -> load -> save must be byte-stable ({label})");
+    }
+}
+
+/// Deleted rows never surface — not from the exact path, not from the
+/// quantized first pass of `rerank`, across the probe x quantizer grid.
+#[test]
+fn deleted_ids_never_surface_even_with_rerank() {
+    let (data, queries) = corpus();
+    for cfg in grid() {
+        let label = format!("{:?}/{:?}", cfg.quantizer, cfg.probe);
+        let mut index = BiLevelIndex::build_owned(data.clone(), &cfg);
+        // Delete everything the baseline answers, so every victim would
+        // provably have been returned again.
+        let baseline = index.query_batch_opts(&queries, &QueryOptions::new(10));
+        let victims: std::collections::BTreeSet<usize> =
+            baseline.neighbors.iter().flatten().map(|n| n.id).collect();
+        assert!(!victims.is_empty() && victims.len() < data.len(), "sane workload ({label})");
+        for &id in &victims {
+            index.delete(id);
+        }
+        for opts in [
+            QueryOptions::new(10),
+            QueryOptions::new(10).rerank(32),
+            QueryOptions::new(10).rerank(data.len()),
+        ] {
+            let after = index.query_batch_opts(&queries, &opts);
+            for (q, neighbors) in after.neighbors.iter().enumerate() {
+                for n in neighbors {
+                    assert!(
+                        !victims.contains(&n.id),
+                        "query {q} surfaced deleted id {} ({label})",
+                        n.id
+                    );
+                }
+            }
+        }
+    }
+}

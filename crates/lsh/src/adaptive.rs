@@ -39,7 +39,7 @@ pub fn select_tables(families: &[HashFamily], query: &[f32], select: usize) -> V
         .enumerate()
         .map(|(i, f)| (centrality_score(&f.project(query)), i))
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     scored.into_iter().take(select).map(|(_, i)| i).collect()
 }
 

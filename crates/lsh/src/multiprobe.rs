@@ -33,14 +33,18 @@ struct SetState {
 
 impl PartialEq for SetState {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score
+        self.score.total_cmp(&other.score) == Ordering::Equal
     }
 }
 impl Eq for SetState {}
 impl Ord for SetState {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we need min-score first.
-        other.score.partial_cmp(&self.score).unwrap_or(Ordering::Equal)
+        // `total_cmp` keeps the order total (and transitive) even when a
+        // degenerate projection produces NaN scores; the old
+        // `partial_cmp(..).unwrap_or(Equal)` was non-transitive under NaN,
+        // which corrupts the heap invariant.
+        other.score.total_cmp(&self.score)
     }
 }
 impl PartialOrd for SetState {
@@ -70,7 +74,7 @@ pub fn perturbation_sets(raw: &[f32], t: usize) -> Vec<Vec<Perturbation>> {
         cands.push((lower * lower, Perturbation { dim: i, delta: -1 }));
         cands.push((upper * upper, Perturbation { dim: i, delta: 1 }));
     }
-    cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    cands.sort_by(|a, b| a.0.total_cmp(&b.0));
     let scores: Vec<f32> = cands.iter().map(|c| c.0).collect();
 
     // A set is valid if it doesn't use both directions of one component.

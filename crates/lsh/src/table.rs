@@ -39,6 +39,20 @@ impl LshTable {
         self.buckets.entry(code.into()).or_default().push(id);
     }
 
+    /// Removes one occurrence of `id` from the bucket keyed by `code`,
+    /// dropping the bucket entirely when it empties (so `sorted_codes` and
+    /// `num_buckets` match a table that never held the item). Returns
+    /// whether the id was present.
+    pub fn remove(&mut self, code: &[i32], id: u32) -> bool {
+        let Some(ids) = self.buckets.get_mut(code) else { return false };
+        let Some(pos) = ids.iter().position(|&x| x == id) else { return false };
+        ids.remove(pos);
+        if ids.is_empty() {
+            self.buckets.remove(code);
+        }
+        true
+    }
+
     /// The ids of the bucket exactly matching `code`, or an empty slice.
     pub fn bucket(&self, code: &[i32]) -> &[u32] {
         self.buckets.get(code).map_or(&[], |v| v.as_slice())

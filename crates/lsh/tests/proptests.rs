@@ -117,3 +117,66 @@ proptest! {
         prop_assert!(recall_model(c, w, m + 1, l) <= r + 1e-12);
     }
 }
+
+proptest! {
+    /// Probe ordering is total even when a degenerate projection poisons
+    /// raw components with NaN: `perturbation_sets` must not panic, must
+    /// respect the per-set validity rules, and the finite-score prefix
+    /// must still ascend (the old `partial_cmp` sort was non-transitive
+    /// under NaN and could corrupt both the sort and the heap).
+    #[test]
+    fn perturbation_sets_survive_nan_poisoning(
+        mut raw in raw_vec(),
+        mask in any::<u16>(),
+        t in 0usize..50,
+    ) {
+        for (i, x) in raw.iter_mut().enumerate() {
+            if mask & (1 << (i % 16)) != 0 {
+                *x = f32::NAN;
+            }
+        }
+        let sets = perturbation_sets(&raw, t);
+        prop_assert!(sets.len() <= t);
+        let score = |set: &[lsh::multiprobe::Perturbation]| -> f32 {
+            set.iter()
+                .map(|p| {
+                    let frac = raw[p.dim] - raw[p.dim].floor();
+                    let x = if p.delta == -1 { frac } else { 1.0 - frac };
+                    x * x
+                })
+                .sum()
+        };
+        let mut last = -1.0f32;
+        let mut seen = std::collections::HashSet::new();
+        for set in &sets {
+            let mut dims: Vec<usize> = set.iter().map(|p| p.dim).collect();
+            dims.sort_unstable();
+            let n = dims.len();
+            dims.dedup();
+            prop_assert_eq!(dims.len(), n, "repeated dimension inside one set");
+            // total_cmp orders NaN above every finite score, so the
+            // finite-score sets must still come out ascending.
+            let s = score(set);
+            if s.is_finite() {
+                prop_assert!(s + 1e-5 >= last, "finite score order violated");
+                last = s;
+            }
+            let mut key: Vec<(usize, i32)> = set.iter().map(|p| (p.dim, p.delta)).collect();
+            key.sort_unstable();
+            prop_assert!(seen.insert(key), "duplicate perturbation set");
+        }
+
+        // The full probe expansion stays well-formed too: no panic, the
+        // home bucket leads, and at most `t` distinct perturbed codes
+        // follow it.
+        let home = quantize_zm(&raw);
+        let probes = probe_codes(&raw, &home, t);
+        prop_assert!(probes.len() <= t + 1);
+        prop_assert_eq!(&probes[0], &home, "home bucket is probed first");
+        let mut distinct = std::collections::HashSet::new();
+        for code in &probes[1..] {
+            prop_assert!(code != &home, "home bucket repeated as a probe");
+            prop_assert!(distinct.insert(code.clone()), "duplicate probe code");
+        }
+    }
+}

@@ -41,7 +41,7 @@ impl QualityCurve {
     /// Panics if `pairs` is empty.
     pub fn new(mut pairs: Vec<(f64, f64)>) -> Self {
         assert!(!pairs.is_empty(), "curve needs at least one point");
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Collapse duplicate selectivities by keeping the best quality —
         // sweeps can produce repeated τ at saturation.
         let mut dedup: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());

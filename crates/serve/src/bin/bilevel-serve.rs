@@ -13,12 +13,30 @@
 //! are submitted eagerly so consecutive stdin lines coalesce into
 //! micro-batches; a closing stats summary goes to stderr.
 //!
-//! Three control lines are recognized instead of a query vector (after all
-//! in-flight responses are flushed, so output order is preserved):
+//! Control lines are recognized instead of a query vector (those that
+//! print drain all in-flight responses first, so output order is
+//! preserved):
 //!
 //! * `STATS` — telemetry snapshot in Prometheus text format, to stdout;
 //! * `STATS JSON` / `TELEMETRY JSON` — the same snapshot as one JSON line;
 //! * `TELEMETRY` — human-readable per-stage breakdown table.
+//!
+//! Write-path lines (unsharded indexes only — `--shards 1`):
+//!
+//! * `UPSERT + v0 v1 ...` — stage an insert of a new row;
+//! * `UPSERT <id> v0 v1 ...` — stage an in-place update of row `id`
+//!   (revives the row if it was deleted);
+//! * `DELETE <id>` — stage a tombstone delete of row `id`;
+//! * `COMMIT` — apply every staged write as one atomic batch and print a
+//!   `COMMITTED ...` summary line;
+//! * `COMPACT` — commit staged writes, then rebuild the index over the
+//!   surviving rows (renumbers ids densely) and print `COMPACTED ...`.
+//!
+//! Staged writes are also committed automatically before the next query
+//! line is submitted, after draining in-flight responses, so a query
+//! observes exactly the write lines above it — no fewer, no more. The
+//! dispatcher keeps answering while writes are staged; only the commit
+//! itself excludes readers (briefly, under a write lock).
 //!
 //! Hand-rolled flag parsing keeps the binary dependency-free beyond the
 //! workspace crates.
@@ -27,7 +45,9 @@ use bilevel_lsh::telemetry::InMemoryRecorder;
 use bilevel_lsh::{
     BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, ShardedIndex, WidthMode,
 };
-use knn_serve::{QueryResponse, Service, ServiceConfig, SubmitError, Ticket};
+use knn_serve::{
+    MutableBackend, MutableWriter, QueryResponse, Service, ServiceConfig, SubmitError, Ticket,
+};
 use rptree::SplitRule;
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -118,24 +138,27 @@ fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Err
     let shards: usize = flags.num("--shards", 1);
 
     let t = Instant::now();
-    let service = if shards > 1 {
+    let (service, writer) = if shards > 1 {
         eprintln!("building {shards}-shard index ...");
-        Service::start(ShardedIndex::build(data, &config, shards), service_config)
+        (Service::start(ShardedIndex::build(data, &config, shards), service_config), None)
     } else {
-        Service::start(BiLevelIndex::build_owned(data, &config), service_config)
+        let backend = MutableBackend::new(BiLevelIndex::build_owned(data, &config));
+        let writer = backend.writer();
+        (Service::start(backend, service_config), Some(writer))
     };
     eprintln!("index built in {:.1}s; serving on stdin", t.elapsed().as_secs_f64());
 
     let k: usize = flags.num("--k", 10);
     let deadline: Option<Duration> =
         flags.get("--deadline-ms").map(|_| Duration::from_millis(flags.num("--deadline-ms", 0u64)));
-    run_loop(service, k, deadline, &recorder)
+    run_loop(service, writer, k, deadline, &recorder)
 }
 
 /// Pumps stdin lines through the service, keeping responses in input
 /// order while letting consecutive lines coalesce into micro-batches.
 fn run_loop(
     service: Service,
+    mut writer: Option<MutableWriter>,
     k: usize,
     deadline: Option<Duration>,
     recorder: &InMemoryRecorder,
@@ -167,6 +190,26 @@ fn run_loop(
             }
             out.flush()?;
             continue;
+        }
+        if let Some(cmd) = write_command(line.trim()) {
+            handle_write(cmd, &mut writer, &mut pending, &mut out, &mut failed, recorder)?;
+            continue;
+        }
+        // Staged writes commit before the query is submitted — after
+        // draining in-flight tickets, so a commit can never overtake a
+        // query queued above it. Every query line therefore observes
+        // exactly the write lines above it: no fewer, no more.
+        if let Some(w) = writer.as_mut() {
+            if w.pending() > 0 {
+                for ticket in pending.drain(..) {
+                    print_response(&mut out, ticket.wait(), &mut failed)?;
+                }
+                if let Err(e) = w.commit(recorder) {
+                    writeln!(out, "ERROR commit failed: {e}")?;
+                    out.flush()?;
+                    continue;
+                }
+            }
         }
         let vector: Vec<f32> = line
             .split_whitespace()
@@ -224,6 +267,125 @@ fn run_loop(
     );
     eprint!("{}", recorder.snapshot().render_table());
     service.shutdown();
+    Ok(())
+}
+
+/// One parsed write-path control line.
+enum WriteCmd {
+    /// `UPSERT + v...` (insert) or `UPSERT <id> v...` (update).
+    Upsert(Option<usize>, Vec<f32>),
+    /// `DELETE <id>`.
+    Delete(usize),
+    /// `COMMIT`.
+    Commit,
+    /// `COMPACT`.
+    Compact,
+    /// A recognized verb with malformed operands — reported, not queried.
+    Malformed(String),
+}
+
+/// Parses the write-path verbs (case-insensitive); anything unrecognized
+/// falls through to query-vector parsing.
+fn write_command(line: &str) -> Option<WriteCmd> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next()?.to_ascii_uppercase();
+    match verb.as_str() {
+        "UPSERT" => {
+            let id = match tokens.next() {
+                Some("+") => None,
+                Some(t) => match t.parse::<usize>() {
+                    Ok(id) => Some(id),
+                    Err(_) => return Some(WriteCmd::Malformed(format!("bad UPSERT id {t:?}"))),
+                },
+                None => return Some(WriteCmd::Malformed("UPSERT needs an id (or +)".into())),
+            };
+            let vector: Result<Vec<f32>, _> = tokens.map(|t| t.parse::<f32>()).collect();
+            match vector {
+                Ok(v) if !v.is_empty() => Some(WriteCmd::Upsert(id, v)),
+                _ => Some(WriteCmd::Malformed("UPSERT needs a vector".into())),
+            }
+        }
+        "DELETE" => match (tokens.next().map(str::parse::<usize>), tokens.next()) {
+            (Some(Ok(id)), None) => Some(WriteCmd::Delete(id)),
+            _ => Some(WriteCmd::Malformed("DELETE needs exactly one id".into())),
+        },
+        "COMMIT" if tokens.next().is_none() => Some(WriteCmd::Commit),
+        "COMPACT" if tokens.next().is_none() => Some(WriteCmd::Compact),
+        _ => None,
+    }
+}
+
+/// Executes one write-path line. Staging (`UPSERT`/`DELETE`) prints
+/// nothing and never touches the index; `COMMIT`/`COMPACT` (and every
+/// error) drain in-flight responses first so stdout stays in input order.
+fn handle_write<W: Write>(
+    cmd: WriteCmd,
+    writer: &mut Option<MutableWriter>,
+    pending: &mut VecDeque<Ticket>,
+    out: &mut W,
+    failed: &mut u64,
+    recorder: &InMemoryRecorder,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let drain = |out: &mut W, pending: &mut VecDeque<Ticket>, failed: &mut u64| {
+        pending.drain(..).try_for_each(|t| print_response(out, t.wait(), failed).map(|_| ()))
+    };
+    let Some(writer) = writer.as_mut() else {
+        drain(out, pending, failed)?;
+        writeln!(out, "ERROR writes require an unsharded index (--shards 1)")?;
+        out.flush()?;
+        return Ok(());
+    };
+    match cmd {
+        WriteCmd::Upsert(None, v) => {
+            if let Err(e) = writer.stage_insert(&v) {
+                drain(out, pending, failed)?;
+                writeln!(out, "ERROR {e}")?;
+                out.flush()?;
+            }
+        }
+        WriteCmd::Upsert(Some(id), v) => {
+            if let Err(e) = writer.stage_update(id, &v) {
+                drain(out, pending, failed)?;
+                writeln!(out, "ERROR {e}")?;
+                out.flush()?;
+            }
+        }
+        WriteCmd::Delete(id) => writer.stage_delete(id),
+        WriteCmd::Commit => {
+            drain(out, pending, failed)?;
+            match writer.commit(recorder) {
+                Ok(Some(s)) => writeln!(
+                    out,
+                    "COMMITTED inserted={} updated={} deleted={} epoch={}",
+                    s.inserted, s.updated, s.deleted, s.epoch
+                )?,
+                Ok(None) => writeln!(out, "COMMITTED nothing epoch={}", writer.epoch())?,
+                Err(e) => writeln!(out, "ERROR {e}")?,
+            }
+            out.flush()?;
+        }
+        WriteCmd::Compact => {
+            drain(out, pending, failed)?;
+            // Staged writes join the compaction; commit them first.
+            if let Err(e) = writer.commit(recorder) {
+                writeln!(out, "ERROR {e}")?;
+                out.flush()?;
+                return Ok(());
+            }
+            if writer.live_len() == 0 {
+                writeln!(out, "ERROR cannot compact a fully deleted index")?;
+            } else {
+                let survivors = writer.compact(recorder);
+                writeln!(out, "COMPACTED live={} epoch={}", survivors.len(), writer.epoch())?;
+            }
+            out.flush()?;
+        }
+        WriteCmd::Malformed(msg) => {
+            drain(out, pending, failed)?;
+            writeln!(out, "ERROR {msg}")?;
+            out.flush()?;
+        }
+    }
     Ok(())
 }
 

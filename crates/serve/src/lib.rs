@@ -37,11 +37,13 @@
 
 pub mod backend;
 pub mod fanout;
+pub mod mutable;
 pub mod service;
 pub mod stats;
 
 pub use backend::{Backend, BatchOutcome, Coverage};
 pub use fanout::{BreakerPhase, FanoutBackend, FanoutConfig, FaultStats, ShardSource};
+pub use mutable::{MutableBackend, MutableWriter};
 pub use service::{
     Handle, QueryResponse, ResponseError, ServeError, Service, ServiceConfig, ServiceLevel,
     SubmitError, Ticket,

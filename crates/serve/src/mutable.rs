@@ -1,0 +1,196 @@
+//! Mutable single-index backend: the dispatcher keeps answering queries
+//! through a shared read lock while a [`MutableWriter`] stages
+//! insert/update/delete batches and commits them atomically.
+//!
+//! # Visibility contract
+//!
+//! Writes are staged in a [`Txn`] *outside* the index — staging never
+//! touches shared state. [`MutableWriter::commit`] applies the whole batch
+//! under the write lock and bumps the index epoch once, so a reader batch
+//! (which holds the read lock for its entire execution) observes either the
+//! pre-commit or the post-commit index, never a half-applied batch. A query
+//! submitted after `commit` returns is guaranteed to see the batch.
+
+use crate::backend::{Backend, BatchOutcome};
+use bilevel_lsh::{
+    BiLevelIndex, CompactionPolicy, InsertError, Probe, QueryOptions, Txn, TxnSummary,
+};
+use knn_telemetry::{Counter, Recorder};
+use std::sync::{Arc, RwLock};
+use vecstore::Dataset;
+
+type SharedIndex = Arc<RwLock<BiLevelIndex<'static>>>;
+
+/// Read side: implements [`Backend`] over an `Arc<RwLock<BiLevelIndex>>`.
+/// Each batch group takes the read lock once for its whole execution.
+pub struct MutableBackend {
+    index: SharedIndex,
+    /// Immutable under mutation (inserts/updates/deletes never change the
+    /// dimensionality or the configuration), so cached outside the lock.
+    dim: usize,
+    probe: Probe,
+}
+
+impl MutableBackend {
+    /// Wraps an owned index for concurrent serving with a write path.
+    pub fn new(index: BiLevelIndex<'static>) -> Self {
+        let dim = index.data().dim();
+        let probe = index.config().probe;
+        Self { index: Arc::new(RwLock::new(index)), dim, probe }
+    }
+
+    /// A writer handle sharing this backend's index. Create it *before*
+    /// handing the backend to [`crate::Service::start`] (which consumes the
+    /// backend by value).
+    pub fn writer(&self) -> MutableWriter {
+        MutableWriter { index: Arc::clone(&self.index), staged: None }
+    }
+
+    /// The current transaction epoch (advances once per committed batch,
+    /// mutation, or compaction).
+    pub fn epoch(&self) -> u64 {
+        self.lock_read().epoch()
+    }
+
+    /// Live (non-tombstoned) row count.
+    pub fn live_len(&self) -> usize {
+        self.lock_read().live_len()
+    }
+
+    fn lock_read(&self) -> std::sync::RwLockReadGuard<'_, BiLevelIndex<'static>> {
+        self.index.read().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Backend for MutableBackend {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn probe(&self) -> Probe {
+        self.probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        self.lock_read().supports_probe(probe)
+    }
+
+    fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchOutcome {
+        self.lock_read().query_batch_opts(queries, options).into()
+    }
+}
+
+/// Write side: stages mutations into a [`Txn`] and commits them as one
+/// atomic batch. Not `Clone` — one writer owns the staging buffer; readers
+/// scale through [`MutableBackend`] instead.
+pub struct MutableWriter {
+    index: SharedIndex,
+    staged: Option<Txn>,
+}
+
+impl MutableWriter {
+    fn staged(&mut self) -> &mut Txn {
+        if self.staged.is_none() {
+            let txn = self.index.read().unwrap_or_else(|e| e.into_inner()).begin_txn();
+            self.staged = Some(txn);
+        }
+        self.staged.as_mut().expect("staged just filled")
+    }
+
+    /// Stages an insert of a new row.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError::DimMismatch`] when the vector width disagrees with
+    /// the index; nothing is staged then.
+    pub fn stage_insert(&mut self, v: &[f32]) -> Result<(), InsertError> {
+        self.staged().insert(v)
+    }
+
+    /// Stages an in-place update of row `id` (revives the row if it was
+    /// tombstoned — upsert semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError::DimMismatch`] on vector width disagreement. An
+    /// out-of-range `id` is reported at [`MutableWriter::commit`], which
+    /// then applies nothing.
+    pub fn stage_update(&mut self, id: usize, v: &[f32]) -> Result<(), InsertError> {
+        self.staged().update(id, v)
+    }
+
+    /// Stages a tombstone delete of row `id` (validated at commit).
+    pub fn stage_delete(&mut self, id: usize) {
+        self.staged().delete(id);
+    }
+
+    /// Number of staged operations waiting for [`MutableWriter::commit`].
+    pub fn pending(&self) -> usize {
+        self.staged.as_ref().map_or(0, Txn::len)
+    }
+
+    /// Commits every staged operation as one atomic batch under the write
+    /// lock, reporting insert/delete counts to `rec`. Returns `None` when
+    /// nothing was staged. All-or-nothing: on error the index is unchanged
+    /// (and the staged batch is dropped — the caller decides whether to
+    /// re-stage).
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError::IdOutOfRange`] when a staged update/delete names a
+    /// row past the pre-commit length, [`InsertError::CorpusTooLarge`]
+    /// when staged inserts would overflow the `u32` id space.
+    pub fn commit(&mut self, rec: &dyn Recorder) -> Result<Option<TxnSummary>, InsertError> {
+        let Some(txn) = self.staged.take() else { return Ok(None) };
+        let mut index = self.index.write().unwrap_or_else(|e| e.into_inner());
+        let summary = index.commit(txn)?;
+        drop(index);
+        if rec.enabled() {
+            rec.add(Counter::Inserts, summary.inserted as u64);
+            rec.add(Counter::Deletes, summary.deleted as u64);
+        }
+        Ok(Some(summary))
+    }
+
+    /// Compacts the index when `policy` says the tombstone fraction or the
+    /// live-occupancy skew has drifted past its threshold, rebuilding over
+    /// the surviving rows (which renumbers ids — see
+    /// [`BiLevelIndex::compact`]). Returns the old ids of the survivors,
+    /// in new-id order, when a compaction ran.
+    pub fn maybe_compact(
+        &self,
+        policy: &CompactionPolicy,
+        rec: &dyn Recorder,
+    ) -> Option<Vec<usize>> {
+        let mut index = self.index.write().unwrap_or_else(|e| e.into_inner());
+        let survivors = index.maybe_compact(policy)?;
+        drop(index);
+        rec.add(Counter::Compactions, 1);
+        Some(survivors)
+    }
+
+    /// Unconditional compaction (same renumbering caveat as
+    /// [`MutableWriter::maybe_compact`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every row is tombstoned — an index cannot be rebuilt over
+    /// zero rows.
+    pub fn compact(&self, rec: &dyn Recorder) -> Vec<usize> {
+        let mut index = self.index.write().unwrap_or_else(|e| e.into_inner());
+        let survivors = index.compact();
+        drop(index);
+        rec.add(Counter::Compactions, 1);
+        survivors
+    }
+
+    /// The current transaction epoch.
+    pub fn epoch(&self) -> u64 {
+        self.index.read().unwrap_or_else(|e| e.into_inner()).epoch()
+    }
+
+    /// Live (non-tombstoned) row count.
+    pub fn live_len(&self) -> usize {
+        self.index.read().unwrap_or_else(|e| e.into_inner()).live_len()
+    }
+}

@@ -1,0 +1,260 @@
+//! Write-path tests: `UPSERT`/`DELETE`/`COMMIT`/`COMPACT` over the
+//! `bilevel-serve` stdin protocol, and the [`MutableBackend`] /
+//! [`MutableWriter`] commit-visibility contract under a live dispatcher —
+//! a query submitted after a commit returns never sees a deleted row, and
+//! every in-flight ticket still resolves.
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, Probe};
+use knn_serve::{MutableBackend, Service, ServiceConfig};
+use knn_telemetry::{Counter, InMemoryRecorder, NoopRecorder};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vecstore::io::write_fvecs;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bilevel-serve")
+}
+
+fn fixture(name: &str) -> (PathBuf, PathBuf, Dataset, Dataset) {
+    let all = synth::clustered(&ClusteredSpec::small(540), 7);
+    let (data, queries) = all.split_at(500);
+    let dir = std::env::temp_dir().join("bilevel_serve_mutation_test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.fvecs");
+    write_fvecs(&corpus, &data).unwrap();
+    (dir, corpus, data, queries)
+}
+
+fn run_serve_raw(corpus: &PathBuf, args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(bin())
+        .arg(corpus)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn fmt_vec(v: &[f32]) -> String {
+    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+fn ids_of(line: &str) -> Vec<usize> {
+    line.split_whitespace()
+        .map(|p| p.split_once(':').expect("id:dist").0.parse().unwrap())
+        .collect()
+}
+
+/// Full write-path session over stdin: deletes become invisible to the
+/// very next query, inserts and updates of a query's exact vector become
+/// its top hit, explicit `COMMIT` and `COMPACT` report what they did, and
+/// every query line still gets exactly one response line.
+#[test]
+fn writes_over_stdin_protocol() {
+    let (dir, corpus, _data, queries) = fixture("protocol");
+    let q0 = queries.row(0).to_vec();
+    let q1 = queries.row(1).to_vec();
+    let args = ["--k", "5", "--w", "8", "--groups", "4", "--tables", "8", "--probe", "8"];
+
+    // Dry run: learn which ids the (deterministic) index answers for q0,
+    // so the session below deletes rows that provably would have appeared.
+    let (probe_out, err, ok) = run_serve_raw(&corpus, &args, &format!("{}\n", fmt_vec(&q0)));
+    assert!(ok, "probe run failed: {err}");
+    let answered = ids_of(probe_out.lines().next().expect("one answer line"));
+    assert!(!answered.is_empty(), "q0 must find something to delete: {probe_out}");
+    // Row 7 plays the update/re-delete role below; keep it out of the
+    // doomed set so the live-count arithmetic stays simple.
+    let doomed: Vec<usize> = answered.into_iter().filter(|&id| id != 7).take(3).collect();
+
+    let mut input = String::new();
+    input.push_str(&fmt_vec(&q0)); // line 1: baseline answer
+    input.push('\n');
+    for id in &doomed {
+        input.push_str(&format!("DELETE {id}\n"));
+    }
+    input.push_str("COMMIT\n"); // line 2: COMMITTED ... deleted=N
+    input.push_str(&fmt_vec(&q0)); // line 3: doomed ids gone
+    input.push('\n');
+    // Insert q1's exact vector (id 500), auto-committed by the next query.
+    input.push_str(&format!("UPSERT + {}\n", fmt_vec(&q1)));
+    input.push_str(&fmt_vec(&q1)); // line 4: id 500 at distance 0
+    input.push('\n');
+    // Update row 7 to q0's exact vector, then delete it again.
+    input.push_str(&format!("UPSERT 7 {}\n", fmt_vec(&q0)));
+    input.push_str(&fmt_vec(&q0)); // line 5: id 7 at distance 0
+    input.push('\n');
+    input.push_str("DELETE 7\n");
+    input.push_str(&fmt_vec(&q0)); // line 6: id 7 gone again
+    input.push('\n');
+    input.push_str("COMPACT\n"); // line 7: COMPACTED live=497
+    input.push_str(&fmt_vec(&q0)); // line 8: still answers, ids renumbered
+    input.push('\n');
+    input.push_str("DELETE 100000\n");
+    input.push_str("COMMIT\n"); // line 9: ERROR (id out of range)
+    input.push_str(&fmt_vec(&q0)); // line 10: index unchanged, still answers
+    input.push('\n');
+
+    let (out, err, ok) = run_serve_raw(&corpus, &args, &input);
+    assert!(ok, "serve with writes failed: {err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 10, "one output line per query/control line: {out}");
+
+    // Deterministic replay: the baseline answer matches the dry run, so
+    // every doomed id demonstrably would have appeared.
+    let baseline = ids_of(lines[0]);
+    for id in &doomed {
+        assert!(baseline.contains(id), "dry-run id {id} missing from baseline: {}", lines[0]);
+    }
+    assert_eq!(
+        lines[1],
+        format!("COMMITTED inserted=0 updated=0 deleted={} epoch=1", doomed.len())
+    );
+    let after_delete = ids_of(lines[2]);
+    for id in &doomed {
+        assert!(!after_delete.contains(id), "deleted id {id} surfaced: {}", lines[2]);
+    }
+    assert!(!ids_of(lines[3]).is_empty(), "insert of q1 must be found: {out}");
+    assert_eq!(ids_of(lines[3])[0], 500, "inserted exact match must rank first: {}", lines[3]);
+    assert!(lines[3].starts_with("500:0"), "insert of q1 itself has distance 0: {}", lines[3]);
+    assert_eq!(ids_of(lines[4])[0], 7, "updated exact match must rank first: {}", lines[4]);
+    assert!(!ids_of(lines[5]).contains(&7), "re-deleted id 7 surfaced: {}", lines[5]);
+    // 500 rows + 1 insert - doomed deletes - 1 delete of row 7 = 500 - N.
+    let live = 500 - doomed.len();
+    assert_eq!(lines[6], format!("COMPACTED live={live} epoch=5"));
+    assert!(ids_of(lines[7]).iter().all(|&id| id < live), "compacted ids are dense: {}", lines[7]);
+    assert!(lines[8].starts_with("ERROR"), "out-of-range delete must fail: {}", lines[8]);
+    assert!(!ids_of(lines[9]).is_empty(), "failed commit must leave the index serving");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sharded serving has no write path: write lines answer with an error
+/// instead of being parsed as (malformed) query vectors.
+#[test]
+fn sharded_serve_rejects_writes() {
+    let (dir, corpus, _data, queries) = fixture("sharded");
+    let q0 = fmt_vec(queries.row(0));
+    let input = format!("UPSERT + {q0}\nDELETE 3\nCOMMIT\n{q0}\n");
+    let args = ["--k", "5", "--w", "8", "--groups", "4", "--tables", "8", "--shards", "3"];
+    let (out, err, ok) = run_serve_raw(&corpus, &args, &input);
+    assert!(ok, "sharded serve failed: {err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "three rejections plus one answer: {out}");
+    for line in &lines[..3] {
+        assert!(line.starts_with("ERROR writes require an unsharded index"), "{line}");
+    }
+    assert!(!lines[3].starts_with("ERROR"), "queries still answer on a sharded index: {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Under a live dispatcher with a background query storm, a query
+/// submitted after `commit` returns never contains the row that commit
+/// deleted, and every ticket — including the storm's — resolves.
+#[test]
+fn committed_deletes_invisible_to_later_queries_under_load() {
+    let all = synth::clustered(&ClusteredSpec::small(400), 23);
+    let (data, queries) = all.split_at(360);
+    let config = BiLevelConfig::paper_default(8.0).tables(8).probe(Probe::Multi(8));
+    let backend = MutableBackend::new(BiLevelIndex::build_owned(data, &config));
+    let mut writer = backend.writer();
+    let service = Service::start(
+        backend,
+        ServiceConfig::default().max_batch(8).max_wait(Duration::from_micros(200)),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let storm = {
+        let handle = service.handle().expect("service is running");
+        let queries = queries.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut resolved = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for q in 0..queries.len() {
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    let ticket = handle.submit(queries.row(q), 10, Some(deadline)).unwrap();
+                    ticket.wait().expect("storm tickets always resolve");
+                    resolved += 1;
+                }
+            }
+            resolved
+        })
+    };
+
+    let handle = service.handle().expect("service is running");
+    let rec = NoopRecorder;
+    for victim in (0..50).map(|i| i * 7) {
+        writer.stage_delete(victim);
+        let summary = writer.commit(&rec).expect("in-range delete commits").unwrap();
+        assert_eq!(summary.deleted, 1);
+        // Submitted strictly after commit returned: the victim must be gone.
+        for q in 0..4 {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let ticket = handle.submit(queries.row(q), 10, Some(deadline)).unwrap();
+            let response = ticket.wait().expect("post-commit queries resolve");
+            assert!(
+                response.neighbors.iter().all(|n| n.id != victim),
+                "query {q} surfaced deleted row {victim}"
+            );
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let resolved = storm.join().expect("storm thread never panics");
+    assert!(resolved > 0, "storm actually ran");
+    let stats = service.stats();
+    assert_eq!(stats.submitted, stats.completed, "no ticket was dropped");
+    assert_eq!(stats.panicked, 0, "no batch group panicked: {stats:?}");
+}
+
+/// A commit that fails validation applies nothing (all-or-nothing), and a
+/// successful commit reports its insert/delete counts to telemetry.
+#[test]
+fn commit_all_or_nothing_and_telemetry_counters() {
+    let all = synth::clustered(&ClusteredSpec::small(120), 5);
+    let config = BiLevelConfig::paper_default(8.0);
+    let backend = MutableBackend::new(BiLevelIndex::build_owned(all.clone(), &config));
+    let mut writer = backend.writer();
+    let rec = InMemoryRecorder::new();
+
+    // Bad batch: one valid insert plus one out-of-range update.
+    writer.stage_insert(&vec![0.25f32; all.dim()]).unwrap();
+    writer.stage_update(all.len() + 10, &vec![0.5f32; all.dim()]).unwrap();
+    let err = writer.commit(&rec).expect_err("out-of-range update must fail");
+    assert!(err.to_string().contains("out of range"), "{err}");
+    assert_eq!(backend.live_len(), all.len(), "failed commit applied nothing");
+    assert_eq!(backend.epoch(), 0, "failed commit does not advance the epoch");
+
+    // Good batch: two inserts, one delete.
+    writer.stage_insert(&vec![0.1f32; all.dim()]).unwrap();
+    writer.stage_insert(&vec![0.2f32; all.dim()]).unwrap();
+    writer.stage_delete(3);
+    let summary = writer.commit(&rec).expect("valid batch commits").unwrap();
+    assert_eq!((summary.inserted, summary.updated, summary.deleted), (2, 0, 1));
+    assert_eq!(backend.live_len(), all.len() + 1);
+    assert_eq!(backend.epoch(), 1);
+    assert_eq!(rec.counter(Counter::Inserts), 2);
+    assert_eq!(rec.counter(Counter::Deletes), 1);
+
+    // Wrong-width vectors are rejected at staging time, not commit time.
+    assert!(writer.stage_insert(&vec![0.0f32; all.dim() + 1]).is_err());
+    assert_eq!(writer.pending(), 0, "rejected stage left nothing behind");
+
+    writer.compact(&rec);
+    assert_eq!(backend.live_len(), all.len() + 1);
+    assert_eq!(rec.counter(Counter::Compactions), 1);
+}

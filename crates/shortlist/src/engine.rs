@@ -4,7 +4,7 @@
 //! precisely the comparison the paper's Figure 4 runs.
 
 use crate::primitives::{clustered_sort, parallel_fill_with, parallel_for_each, QueueEntry};
-use vecstore::{Dataset, Metric, Neighbor, TopK};
+use vecstore::{Dataset, Metric, Neighbor, Tombstones, TopK};
 
 /// Serial baseline: one size-k max-heap per query (the paper's single-core
 /// CPU reference).
@@ -15,11 +15,26 @@ pub fn shortlist_serial(
     k: usize,
     metric: &dyn Metric,
 ) -> Vec<Vec<Neighbor>> {
+    shortlist_serial_filtered(data, queries, candidates, k, metric, None)
+}
+
+/// [`shortlist_serial`] with rank-time tombstone filtering: candidates in
+/// `deleted` are dropped before they enter the heap, so a logically deleted
+/// row can never surface as a neighbor. With `None` (or an empty bitmap)
+/// the results are bit-identical to the unfiltered engine.
+pub fn shortlist_serial_filtered(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+    deleted: Option<&Tombstones>,
+) -> Vec<Vec<Neighbor>> {
     assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
     candidates
         .iter()
         .enumerate()
-        .map(|(q, cands)| rank_one(data, queries.row(q), cands, k, metric))
+        .map(|(q, cands)| rank_one_filtered(data, queries.row(q), cands, k, metric, deleted))
         .collect()
 }
 
@@ -69,13 +84,29 @@ pub fn shortlist_per_query(
     metric: &dyn Metric,
     threads: usize,
 ) -> Vec<Vec<Neighbor>> {
+    shortlist_per_query_filtered(data, queries, candidates, k, metric, threads, None)
+}
+
+/// [`shortlist_per_query`] with rank-time tombstone filtering (see
+/// [`shortlist_serial_filtered`] for the contract).
+pub fn shortlist_per_query_filtered(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+    threads: usize,
+    deleted: Option<&Tombstones>,
+) -> Vec<Vec<Neighbor>> {
     assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
     parallel_fill_with(
         &mut results,
         threads,
         || (),
-        |_, q, slot| *slot = rank_one(data, queries.row(q), &candidates[q], k, metric),
+        |_, q, slot| {
+            *slot = rank_one_filtered(data, queries.row(q), &candidates[q], k, metric, deleted)
+        },
     );
     results
 }
@@ -107,8 +138,49 @@ pub fn shortlist_workqueue(
     threads: usize,
     queue_capacity: usize,
 ) -> Vec<Vec<Neighbor>> {
+    shortlist_workqueue_filtered(
+        data,
+        queries,
+        candidates,
+        k,
+        metric,
+        threads,
+        queue_capacity,
+        None,
+    )
+}
+
+/// [`shortlist_workqueue`] with rank-time tombstone filtering. Tombstoned
+/// ids are dropped before queue admission — equivalent to running the
+/// unfiltered engine on candidate lists with the deleted ids removed, which
+/// is exactly what the serial filtered engine ranks, so all filtered
+/// engines stay bit-identical to each other.
+#[allow(clippy::too_many_arguments)]
+pub fn shortlist_workqueue_filtered(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    metric: &dyn Metric,
+    threads: usize,
+    queue_capacity: usize,
+    deleted: Option<&Tombstones>,
+) -> Vec<Vec<Neighbor>> {
     assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
     assert!(queue_capacity > k, "queue must hold more than one query's k-best");
+    // Pre-filter the candidate lists once so the round/cursor machinery
+    // below never has to special-case dead ids mid-queue.
+    let filtered_storage: Vec<Vec<u32>>;
+    let candidates: &[Vec<u32>] = match deleted {
+        Some(t) if !t.is_empty() => {
+            filtered_storage = candidates
+                .iter()
+                .map(|c| c.iter().copied().filter(|&id| !t.contains(id)).collect())
+                .collect();
+            &filtered_storage
+        }
+        _ => candidates,
+    };
     let nq = queries.len();
     // Running k-best per query, kept sorted ascending.
     let mut best: Vec<Vec<QueueEntry>> = vec![Vec::new(); nq];
@@ -243,19 +315,26 @@ pub fn merge_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
 
 /// Ranks one query's candidates with a size-k heap; duplicates in the
 /// candidate list are tolerated (deduplicated by keeping ids unique in the
-/// output).
-fn rank_one(
+/// output), and tombstoned ids are dropped during the dedup pass, before
+/// any distance is computed.
+fn rank_one_filtered(
     data: &Dataset,
     query: &[f32],
     candidates: &[u32],
     k: usize,
     metric: &dyn Metric,
+    deleted: Option<&Tombstones>,
 ) -> Vec<Neighbor> {
     // Candidate lists from multiple tables repeat ids; duplicates must not
     // enter the heap or they crowd out legitimate candidates.
     let mut unique = candidates.to_vec();
     unique.sort_unstable();
     unique.dedup();
+    if let Some(t) = deleted {
+        if !t.is_empty() {
+            unique.retain(|&id| !t.contains(id));
+        }
+    }
     // Sorted unique ids let the metric's batch path stream contiguous id
     // runs straight out of the flat array (bit-identical to per-pair calls).
     let mut dists = Vec::with_capacity(unique.len());
@@ -488,7 +567,7 @@ mod tests {
                         .copied()
                         .filter(|&id| bounds[s] <= id && id < bounds[s + 1])
                         .collect();
-                    rank_one(&data, queries.row(q), &shard, k, &metric)
+                    rank_one_filtered(&data, queries.row(q), &shard, k, &metric, None)
                 })
                 .collect();
             assert_eq!(merge_topk(&lists, k), whole[q], "query {q} diverged");
@@ -559,7 +638,7 @@ mod tests {
             .into_iter()
             .map(|r| {
                 let ids: Vec<u32> = r.collect();
-                rank_one(&data, queries.row(0), &ids, data.len(), &SquaredL2)
+                rank_one_filtered(&data, queries.row(0), &ids, data.len(), &SquaredL2, None)
             })
             .collect();
         // (compare by id and bit pattern: `NaN == NaN` is false, so a plain
@@ -570,6 +649,68 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.dist.to_bits(), b.dist.to_bits());
         }
+    }
+
+    /// Every filtered engine must (a) agree with the unfiltered engine run
+    /// on manually filtered candidate lists, and (b) never surface a
+    /// tombstoned id — including when NaN-poisoned rows are tombstoned.
+    #[test]
+    fn filtered_engines_equal_manual_filtering_and_hide_deleted() {
+        let (data, queries, candidates) = scenario(31);
+        let mut deleted = Tombstones::new();
+        for id in [0u32, 17, 64, 128, 255] {
+            deleted.set(id);
+        }
+        let manual: Vec<Vec<u32>> = candidates
+            .iter()
+            .map(|c| c.iter().copied().filter(|&id| !deleted.contains(id)).collect())
+            .collect();
+        let k = 8;
+        let want = shortlist_serial(&data, &queries, &manual, k, &SquaredL2);
+        for got in [
+            shortlist_serial_filtered(&data, &queries, &candidates, k, &SquaredL2, Some(&deleted)),
+            shortlist_per_query_filtered(
+                &data,
+                &queries,
+                &candidates,
+                k,
+                &SquaredL2,
+                3,
+                Some(&deleted),
+            ),
+            shortlist_workqueue_filtered(
+                &data,
+                &queries,
+                &candidates,
+                k,
+                &SquaredL2,
+                2,
+                64,
+                Some(&deleted),
+            ),
+            shortlist_workqueue_filtered(
+                &data,
+                &queries,
+                &candidates,
+                k,
+                &SquaredL2,
+                2,
+                k + 1,
+                Some(&deleted),
+            ),
+        ] {
+            assert_eq!(got, want);
+            for hits in &got {
+                assert!(hits.iter().all(|n| !deleted.contains(n.id as u32)));
+            }
+        }
+        // An empty bitmap must be bit-identical to the unfiltered path.
+        let empty = Tombstones::new();
+        let plain = shortlist_serial(&data, &queries, &candidates, k, &SquaredL2);
+        assert_eq!(
+            shortlist_serial_filtered(&data, &queries, &candidates, k, &SquaredL2, Some(&empty)),
+            plain
+        );
     }
 
     #[test]

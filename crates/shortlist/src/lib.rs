@@ -24,6 +24,7 @@ pub mod engine;
 pub mod primitives;
 
 pub use engine::{
-    merge_topk, shortlist_per_query, shortlist_select, shortlist_serial, shortlist_workqueue,
+    merge_topk, shortlist_per_query, shortlist_per_query_filtered, shortlist_select,
+    shortlist_serial, shortlist_serial_filtered, shortlist_workqueue, shortlist_workqueue_filtered,
 };
 pub use primitives::{clustered_sort, compact, exclusive_scan, parallel_fill_with, parallel_map};

@@ -61,11 +61,19 @@ pub enum Counter {
     CandidatesPruned,
     /// Candidates that survived the quantized first pass into exact rerank.
     CandidatesReranked,
+    /// Rows inserted into a mutable index (direct or via txn commit).
+    Inserts,
+    /// Rows logically deleted (tombstoned) in a mutable index.
+    Deletes,
+    /// Candidates dropped at rank time because their row was tombstoned.
+    TombstonedFiltered,
+    /// Compaction passes that rebuilt an index over its surviving rows.
+    Compactions,
 }
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::QueriesProbed,
         Counter::CandidatesGenerated,
         Counter::MultiProbeBuckets,
@@ -82,6 +90,10 @@ impl Counter {
         Counter::ShardsSkipped,
         Counter::CandidatesPruned,
         Counter::CandidatesReranked,
+        Counter::Inserts,
+        Counter::Deletes,
+        Counter::TombstonedFiltered,
+        Counter::Compactions,
     ];
 
     /// Stable snake_case name used in every export format.
@@ -103,6 +115,10 @@ impl Counter {
             Counter::ShardsSkipped => "shards_skipped",
             Counter::CandidatesPruned => "candidates_pruned",
             Counter::CandidatesReranked => "candidates_reranked",
+            Counter::Inserts => "inserts",
+            Counter::Deletes => "deletes",
+            Counter::TombstonedFiltered => "tombstoned_filtered",
+            Counter::Compactions => "compactions",
         }
     }
 

@@ -30,6 +30,7 @@ pub mod preprocess;
 pub mod quant;
 pub mod stats;
 pub mod synth;
+pub mod tombstone;
 pub mod topk;
 
 pub use dataset::Dataset;
@@ -42,4 +43,5 @@ pub use kernel::total_dist_cmp;
 pub use metric::{Cosine, CosineWithNorms, InnerProduct, Metric, SquaredL2, L1, L2};
 pub use ooc::{OocDataset, RowSource};
 pub use quant::{PreparedQuery, QuantizedCorpus};
+pub use tombstone::Tombstones;
 pub use topk::TopK;

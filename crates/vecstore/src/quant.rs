@@ -139,6 +139,33 @@ impl QuantizedCorpus {
         self.len = new_len;
     }
 
+    /// Re-encodes row `r` in place from `row`, using the existing affine
+    /// parameters — the quantized half of an in-place vector update. Only
+    /// the one (block, lane) slice and `wnorm[r]` change; every other row's
+    /// codes are untouched, so scores for unrelated candidates are
+    /// bit-identical before and after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.len()` or `row.len() != self.dim()`.
+    pub fn update_row(&mut self, r: usize, row: &[f32]) {
+        assert!(r < self.len, "row id out of range");
+        assert_eq!(row.len(), self.dim, "updated row must match corpus dimension");
+        let base = (r / LANES) * self.dim * LANES;
+        let lane = r % LANES;
+        let mut wnorm = 0.0f32;
+        for (d, &x) in row.iter().enumerate() {
+            let code = if self.scale[d] > 0.0 {
+                ((x - self.offset[d]) / self.scale[d]).round().clamp(-127.0, 127.0)
+            } else {
+                0.0
+            };
+            self.codes[base + d * LANES + lane] = code as i8;
+            wnorm += (self.scale[d] * self.scale[d]) * (code * code);
+        }
+        self.wnorm[r] = wnorm;
+    }
+
     /// Number of quantized rows.
     #[inline]
     pub fn len(&self) -> usize {
@@ -372,6 +399,29 @@ mod tests {
         // Dimension 0 contributes exactly (7 − 5)² = 4 through the base term.
         let s = qc.approx_score(&prep, 1);
         assert!((s - 4.0).abs() < 1e-5, "score {s}");
+    }
+
+    #[test]
+    fn update_row_matches_append_reencoding() {
+        // Updating row r in place must produce exactly the codes/wnorm a
+        // fresh append of the new value under the same params would.
+        let data = synth::gaussian(7, 30, 1.0, 5);
+        let mut qc = QuantizedCorpus::from_dataset(&data);
+        let reference = qc.clone();
+        let replacement = data.row(29).to_vec();
+        qc.update_row(4, &replacement);
+        let mut expected =
+            QuantizedCorpus { len: 0, codes: Vec::new(), wnorm: Vec::new(), ..reference.clone() };
+        let mut mutated_rows = Dataset::new(data.dim());
+        for (i, row) in data.iter().enumerate() {
+            mutated_rows.push(if i == 4 { &replacement } else { row });
+        }
+        expected.append_rows(&mutated_rows);
+        assert_eq!(qc.codes, expected.codes);
+        assert_eq!(
+            qc.wnorm.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            expected.wnorm.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Tombstone bitmap: the deleted-row set of a mutable index.
+//!
+//! Deletion in the bi-level index is logical first, physical later: a
+//! deleted row keeps its slot in the dataset, the hash tables, and the
+//! quantized mirror, but its id is recorded here and filtered out of every
+//! short-list at rank time. Compaction eventually rebuilds the index over
+//! the surviving rows and resets the bitmap.
+//!
+//! The bitmap is intentionally opaque — callers outside the core crate go
+//! through the accessor API (`contains`/`set`/`clear`/`count`) so the
+//! storage representation can change without breaking the read-path
+//! contract. The word-level views ([`Tombstones::as_words`],
+//! [`Tombstones::from_words`]) exist only for snapshot (de)serialization.
+
+/// A growable bitmap over `u32` row ids marking logically deleted rows.
+///
+/// Ids are never remapped by this type: bit `i` is row `i` of the corpus
+/// the bitmap shadows. The bitmap grows lazily on [`Tombstones::set`], so
+/// it stays empty (zero heap) for append-only workloads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tombstones {
+    /// Little-endian bit order: row `i` lives at `words[i / 64]` bit `i % 64`.
+    words: Vec<u64>,
+    /// Number of set bits, maintained incrementally.
+    count: usize,
+}
+
+impl Tombstones {
+    /// An empty bitmap (no deleted rows).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether row `id` is tombstoned.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let w = id as usize / 64;
+        self.words.get(w).is_some_and(|word| word & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Marks row `id` deleted. Returns `true` if the bit was newly set,
+    /// `false` if the row was already tombstoned.
+    pub fn set(&mut self, id: u32) -> bool {
+        let w = id as usize / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (id % 64);
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.count += 1;
+        true
+    }
+
+    /// Revives row `id` (an upsert over a previously deleted slot). Returns
+    /// `true` if the bit was set before the call.
+    pub fn clear(&mut self, id: u32) -> bool {
+        let w = id as usize / 64;
+        let mask = 1u64 << (id % 64);
+        if self.words.get(w).is_some_and(|word| word & mask != 0) {
+            self.words[w] &= !mask;
+            self.count -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Number of tombstoned rows.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no row is tombstoned — the fast-path guard every filtered
+    /// read checks before touching the bitmap.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Deleted fraction of a corpus of `len` rows (0.0 for an empty corpus).
+    pub fn fraction(&self, len: usize) -> f64 {
+        if len == 0 {
+            0.0
+        } else {
+            self.count as f64 / len as f64
+        }
+    }
+
+    /// Iterates the tombstoned ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter_map(move |b| (word & (1u64 << b) != 0).then_some((w * 64 + b) as u32))
+        })
+    }
+
+    /// The raw bitmap words, for snapshot serialization. Trailing zero
+    /// words are not trimmed; the count is recomputed on load.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from persisted words, recounting set bits.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        let count = words.iter().map(|w| w.count_ones() as usize).sum();
+        Self { words, count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_contains_clear_roundtrip() {
+        let mut t = Tombstones::new();
+        assert!(t.is_empty());
+        assert!(!t.contains(100));
+        assert!(t.set(100));
+        assert!(!t.set(100), "double-set must report already-present");
+        assert!(t.contains(100));
+        assert_eq!(t.count(), 1);
+        assert!(t.clear(100));
+        assert!(!t.clear(100));
+        assert!(!t.contains(100));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        let mut t = Tombstones::new();
+        for id in [0u32, 63, 64, 127, 128, 4095] {
+            assert!(t.set(id));
+        }
+        assert_eq!(t.count(), 6);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 4095]);
+        assert!(!t.contains(62));
+        assert!(!t.contains(65));
+    }
+
+    #[test]
+    fn words_roundtrip_recounts() {
+        let mut t = Tombstones::new();
+        t.set(3);
+        t.set(200);
+        let back = Tombstones::from_words(t.as_words().to_vec());
+        assert_eq!(back, t);
+        assert_eq!(back.count(), 2);
+    }
+
+    #[test]
+    fn fraction_handles_empty_corpus() {
+        let mut t = Tombstones::new();
+        assert_eq!(t.fraction(0), 0.0);
+        t.set(1);
+        assert_eq!(t.fraction(4), 0.25);
+    }
+}
