@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_batch-20c51bb50dd71b9b.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/debug/deps/abl_batch-20c51bb50dd71b9b: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_batch-def0cb7f80c211f3.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/debug/deps/abl_batch-def0cb7f80c211f3: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_curse-3edc4c825c2776b5.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/debug/deps/abl_curse-3edc4c825c2776b5: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_curse-5b65abda1ba94416.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/debug/deps/abl_curse-5b65abda1ba94416: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

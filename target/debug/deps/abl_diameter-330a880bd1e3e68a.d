@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_diameter-330a880bd1e3e68a.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/debug/deps/abl_diameter-330a880bd1e3e68a: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

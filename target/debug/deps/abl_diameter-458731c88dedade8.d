@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_diameter-458731c88dedade8.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/debug/deps/abl_diameter-458731c88dedade8: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

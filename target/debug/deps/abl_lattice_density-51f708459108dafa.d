@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_lattice_density-51f708459108dafa.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/debug/deps/abl_lattice_density-51f708459108dafa: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

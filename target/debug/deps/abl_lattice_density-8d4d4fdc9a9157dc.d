@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_lattice_density-8d4d4fdc9a9157dc.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/debug/deps/abl_lattice_density-8d4d4fdc9a9157dc: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split_rule-5eda0eaecc212f62.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/debug/deps/abl_split_rule-5eda0eaecc212f62: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split_rule-b2dbbb52e00077ba.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/debug/deps/abl_split_rule-b2dbbb52e00077ba: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

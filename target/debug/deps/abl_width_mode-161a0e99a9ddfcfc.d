@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_width_mode-161a0e99a9ddfcfc.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/debug/deps/abl_width_mode-161a0e99a9ddfcfc: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

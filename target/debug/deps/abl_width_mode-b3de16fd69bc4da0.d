@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_width_mode-b3de16fd69bc4da0.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/debug/deps/abl_width_mode-b3de16fd69bc4da0: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

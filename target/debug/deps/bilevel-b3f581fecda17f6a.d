@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel-b3f581fecda17f6a.d: crates/core/src/bin/bilevel.rs
+
+/root/repo/target/debug/deps/bilevel-b3f581fecda17f6a: crates/core/src/bin/bilevel.rs
+
+crates/core/src/bin/bilevel.rs:

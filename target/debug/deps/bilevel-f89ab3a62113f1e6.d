@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel-f89ab3a62113f1e6.d: crates/core/src/bin/bilevel.rs
+
+/root/repo/target/debug/deps/bilevel-f89ab3a62113f1e6: crates/core/src/bin/bilevel.rs
+
+crates/core/src/bin/bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_serve-36c55361d0c305a5.d: crates/serve/src/bin/bilevel-serve.rs
+
+/root/repo/target/debug/deps/bilevel_serve-36c55361d0c305a5: crates/serve/src/bin/bilevel-serve.rs
+
+crates/serve/src/bin/bilevel-serve.rs:

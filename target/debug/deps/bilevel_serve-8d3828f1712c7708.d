@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel_serve-8d3828f1712c7708.d: crates/serve/src/bin/bilevel-serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel_serve-8d3828f1712c7708.rmeta: crates/serve/src/bin/bilevel-serve.rs Cargo.toml
+
+crates/serve/src/bin/bilevel-serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_serve-d113bbdfa36cf8f7.d: crates/serve/src/bin/bilevel-serve.rs
+
+/root/repo/target/debug/deps/bilevel_serve-d113bbdfa36cf8f7: crates/serve/src/bin/bilevel-serve.rs
+
+crates/serve/src/bin/bilevel-serve.rs:

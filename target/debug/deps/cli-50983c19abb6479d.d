@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-50983c19abb6479d.d: crates/serve/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-50983c19abb6479d: crates/serve/tests/cli.rs
+
+crates/serve/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=/root/repo/target/debug/bilevel-serve

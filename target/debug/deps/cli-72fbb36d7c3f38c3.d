@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-72fbb36d7c3f38c3.d: crates/serve/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-72fbb36d7c3f38c3.rmeta: crates/serve/tests/cli.rs Cargo.toml
+
+crates/serve/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=placeholder:bilevel-serve
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

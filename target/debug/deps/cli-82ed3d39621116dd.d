@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-82ed3d39621116dd.d: crates/core/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-82ed3d39621116dd.rmeta: crates/core/tests/cli.rs Cargo.toml
+
+crates/core/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_bilevel=placeholder:bilevel
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

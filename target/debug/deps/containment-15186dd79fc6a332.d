@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment-15186dd79fc6a332.d: crates/serve/tests/containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment-15186dd79fc6a332.rmeta: crates/serve/tests/containment.rs Cargo.toml
+
+crates/serve/tests/containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-d36e2a389739fc13.d: crates/serve/tests/containment.rs
+
+/root/repo/target/debug/deps/containment-d36e2a389739fc13: crates/serve/tests/containment.rs
+
+crates/serve/tests/containment.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-30e5b123b96c5162.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-30e5b123b96c5162.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-30e5b123b96c5162.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a56e5d3a3dbbb6cb.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a56e5d3a3dbbb6cb.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-36aeadbc7b959ea0.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-36aeadbc7b959ea0.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cuckoo-070d3a4259ea4a91.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-070d3a4259ea4a91.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

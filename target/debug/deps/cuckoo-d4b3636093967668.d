@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cuckoo-d4b3636093967668.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-d4b3636093967668.rlib: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-d4b3636093967668.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

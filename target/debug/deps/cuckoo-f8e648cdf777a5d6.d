@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cuckoo-f8e648cdf777a5d6.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/cuckoo-f8e648cdf777a5d6: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

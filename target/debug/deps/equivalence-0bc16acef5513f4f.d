@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-0bc16acef5513f4f.d: crates/core/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-0bc16acef5513f4f: crates/core/tests/equivalence.rs
+
+crates/core/tests/equivalence.rs:

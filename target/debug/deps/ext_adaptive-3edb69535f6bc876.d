@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive-3edb69535f6bc876.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/debug/deps/ext_adaptive-3edb69535f6bc876: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive-da757a65370bb68e.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/debug/deps/ext_adaptive-da757a65370bb68e: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

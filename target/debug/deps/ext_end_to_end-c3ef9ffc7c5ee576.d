@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_end_to_end-c3ef9ffc7c5ee576.d: crates/bench/src/bin/ext_end_to_end.rs
+
+/root/repo/target/debug/deps/ext_end_to_end-c3ef9ffc7c5ee576: crates/bench/src/bin/ext_end_to_end.rs
+
+crates/bench/src/bin/ext_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_end_to_end-c690d16d57cd8f2d.d: crates/bench/src/bin/ext_end_to_end.rs
+
+/root/repo/target/debug/deps/ext_end_to_end-c690d16d57cd8f2d: crates/bench/src/bin/ext_end_to_end.rs
+
+crates/bench/src/bin/ext_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-a680b9c6791587b8.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-a680b9c6791587b8: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

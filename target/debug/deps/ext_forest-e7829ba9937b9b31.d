@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-e7829ba9937b9b31.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-e7829ba9937b9b31: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ooc-b702c77c168aa8f0.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/debug/deps/ext_ooc-b702c77c168aa8f0: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

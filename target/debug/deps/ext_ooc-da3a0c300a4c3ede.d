@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ooc-da3a0c300a4c3ede.d: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ooc-da3a0c300a4c3ede.rmeta: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+crates/bench/src/bin/ext_ooc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ooc-ffca471bedd252a8.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/debug/deps/ext_ooc-ffca471bedd252a8: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

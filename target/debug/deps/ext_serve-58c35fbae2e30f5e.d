@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serve-58c35fbae2e30f5e.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/debug/deps/ext_serve-58c35fbae2e30f5e: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_serve-622313a10ceeed79.d: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_serve-622313a10ceeed79.rmeta: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+crates/bench/src/bin/ext_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serve-805828c5effc4bc5.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/debug/deps/ext_serve-805828c5effc4bc5: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-982c92bacf9f68f7.d: crates/core/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-982c92bacf9f68f7: crates/core/tests/fault_injection.rs
+
+crates/core/tests/fault_injection.rs:

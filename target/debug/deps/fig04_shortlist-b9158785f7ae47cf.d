@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_shortlist-b9158785f7ae47cf.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/debug/deps/fig04_shortlist-b9158785f7ae47cf: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

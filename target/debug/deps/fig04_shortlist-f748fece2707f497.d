@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_shortlist-f748fece2707f497.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/debug/deps/fig04_shortlist-f748fece2707f497: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

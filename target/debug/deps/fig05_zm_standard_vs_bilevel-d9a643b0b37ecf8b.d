@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-d9a643b0b37ecf8b.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-d9a643b0b37ecf8b: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-f1e9b46c3e623b0f.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-f1e9b46c3e623b0f: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-275eff03a4208104.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-275eff03a4208104: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:

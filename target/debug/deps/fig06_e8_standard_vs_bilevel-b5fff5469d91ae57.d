@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-b5fff5469d91ae57.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-b5fff5469d91ae57: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:

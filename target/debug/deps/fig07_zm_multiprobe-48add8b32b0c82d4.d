@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_zm_multiprobe-48add8b32b0c82d4.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/debug/deps/fig07_zm_multiprobe-48add8b32b0c82d4: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_e8_multiprobe-bf82833d1536f96b.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/debug/deps/fig08_e8_multiprobe-bf82833d1536f96b: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

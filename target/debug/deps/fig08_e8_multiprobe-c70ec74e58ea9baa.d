@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_e8_multiprobe-c70ec74e58ea9baa.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/debug/deps/fig08_e8_multiprobe-c70ec74e58ea9baa: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_e8_hierarchy-3e5cda1ac1359aeb.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/debug/deps/fig10_e8_hierarchy-3e5cda1ac1359aeb: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_e8_hierarchy-eed35b26b786fd9d.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/debug/deps/fig10_e8_hierarchy-eed35b26b786fd9d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_zm_all_methods-0c7e439b399e8a63.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/debug/deps/fig11_zm_all_methods-0c7e439b399e8a63: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_zm_all_methods-e6774dca4e664d9e.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/debug/deps/fig11_zm_all_methods-e6774dca4e664d9e: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

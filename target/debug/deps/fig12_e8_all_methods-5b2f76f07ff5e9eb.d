@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_e8_all_methods-5b2f76f07ff5e9eb.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/debug/deps/fig12_e8_all_methods-5b2f76f07ff5e9eb: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

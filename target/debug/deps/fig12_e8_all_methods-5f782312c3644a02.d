@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_e8_all_methods-5f782312c3644a02.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/debug/deps/fig12_e8_all_methods-5f782312c3644a02: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

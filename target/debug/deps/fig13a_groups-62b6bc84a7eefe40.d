@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a_groups-62b6bc84a7eefe40.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/debug/deps/fig13a_groups-62b6bc84a7eefe40: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a_groups-c2c8d1fb6c8026be.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/debug/deps/fig13a_groups-c2c8d1fb6c8026be: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

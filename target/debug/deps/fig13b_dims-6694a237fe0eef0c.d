@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b_dims-6694a237fe0eef0c.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/debug/deps/fig13b_dims-6694a237fe0eef0c: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

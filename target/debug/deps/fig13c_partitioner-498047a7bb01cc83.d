@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13c_partitioner-498047a7bb01cc83.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/debug/deps/fig13c_partitioner-498047a7bb01cc83: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

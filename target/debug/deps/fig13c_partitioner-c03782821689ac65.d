@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13c_partitioner-c03782821689ac65.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/debug/deps/fig13c_partitioner-c03782821689ac65: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

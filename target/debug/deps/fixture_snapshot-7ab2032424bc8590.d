@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixture_snapshot-7ab2032424bc8590.d: crates/core/tests/fixture_snapshot.rs
+
+/root/repo/target/debug/deps/fixture_snapshot-7ab2032424bc8590: crates/core/tests/fixture_snapshot.rs
+
+crates/core/tests/fixture_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

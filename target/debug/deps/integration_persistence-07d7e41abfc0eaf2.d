@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_persistence-07d7e41abfc0eaf2.d: crates/core/../../tests/integration_persistence.rs
+
+/root/repo/target/debug/deps/integration_persistence-07d7e41abfc0eaf2: crates/core/../../tests/integration_persistence.rs
+
+crates/core/../../tests/integration_persistence.rs:

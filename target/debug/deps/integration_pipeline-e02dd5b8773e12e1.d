@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-e02dd5b8773e12e1.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-e02dd5b8773e12e1: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

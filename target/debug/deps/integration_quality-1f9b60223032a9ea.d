@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_quality-1f9b60223032a9ea.d: crates/core/../../tests/integration_quality.rs
+
+/root/repo/target/debug/deps/integration_quality-1f9b60223032a9ea: crates/core/../../tests/integration_quality.rs
+
+crates/core/../../tests/integration_quality.rs:

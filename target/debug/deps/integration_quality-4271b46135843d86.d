@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_quality-4271b46135843d86.d: crates/core/../../tests/integration_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_quality-4271b46135843d86.rmeta: crates/core/../../tests/integration_quality.rs Cargo.toml
+
+crates/core/../../tests/integration_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_storage-650d15f8e70ef701.d: crates/core/../../tests/integration_storage.rs
+
+/root/repo/target/debug/deps/integration_storage-650d15f8e70ef701: crates/core/../../tests/integration_storage.rs
+
+crates/core/../../tests/integration_storage.rs:

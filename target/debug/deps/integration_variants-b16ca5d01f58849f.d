@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_variants-b16ca5d01f58849f.d: crates/core/../../tests/integration_variants.rs
+
+/root/repo/target/debug/deps/integration_variants-b16ca5d01f58849f: crates/core/../../tests/integration_variants.rs
+
+crates/core/../../tests/integration_variants.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/knn_metrics-dc7db30748e09d95.d: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_metrics-dc7db30748e09d95.rlib: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_metrics-dc7db30748e09d95.rmeta: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/curve.rs:
+crates/metrics/src/quality.rs:
+crates/metrics/src/significance.rs:
+crates/metrics/src/stats.rs:

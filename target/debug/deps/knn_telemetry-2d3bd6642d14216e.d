@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/knn_telemetry-2d3bd6642d14216e.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libknn_telemetry-2d3bd6642d14216e.rlib: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libknn_telemetry-2d3bd6642d14216e.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

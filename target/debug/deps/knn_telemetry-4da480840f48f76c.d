@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/knn_telemetry-4da480840f48f76c.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/knn_telemetry-4da480840f48f76c: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

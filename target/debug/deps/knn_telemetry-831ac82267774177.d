@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knn_telemetry-831ac82267774177.d: crates/telemetry/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknn_telemetry-831ac82267774177.rmeta: crates/telemetry/src/lib.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

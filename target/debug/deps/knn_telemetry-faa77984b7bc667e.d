@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/knn_telemetry-faa77984b7bc667e.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libknn_telemetry-faa77984b7bc667e.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lattice-d6a47d983146426d.d: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/debug/deps/liblattice-d6a47d983146426d.rmeta: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/density.rs:
+crates/lattice/src/e8.rs:
+crates/lattice/src/e8_hierarchy.rs:
+crates/lattice/src/morton.rs:
+crates/lattice/src/zm_hierarchy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsh-46d7a41709a59e0a.d: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/debug/deps/liblsh-46d7a41709a59e0a.rmeta: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/adaptive.rs:
+crates/lsh/src/family.rs:
+crates/lsh/src/forest.rs:
+crates/lsh/src/multiprobe.rs:
+crates/lsh/src/table.rs:
+crates/lsh/src/tuning.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsh-b4a8610657e7eb02.d: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/debug/deps/lsh-b4a8610657e7eb02: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/adaptive.rs:
+crates/lsh/src/family.rs:
+crates/lsh/src/forest.rs:
+crates/lsh/src/multiprobe.rs:
+crates/lsh/src/table.rs:
+crates/lsh/src/tuning.rs:

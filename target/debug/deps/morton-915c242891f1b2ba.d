@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/morton-915c242891f1b2ba.d: crates/bench/benches/morton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmorton-915c242891f1b2ba.rmeta: crates/bench/benches/morton.rs Cargo.toml
+
+crates/bench/benches/morton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutation-f2a1d3344ae256d3.d: crates/serve/tests/mutation.rs
+
+/root/repo/target/debug/deps/mutation-f2a1d3344ae256d3: crates/serve/tests/mutation.rs
+
+crates/serve/tests/mutation.rs:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=/root/repo/target/debug/bilevel-serve

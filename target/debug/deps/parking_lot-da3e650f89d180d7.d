@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-da3e650f89d180d7.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-da3e650f89d180d7.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-e818a0cf056a21ea.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-e818a0cf056a21ea.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-e818a0cf056a21ea.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-308495568dbed4f4.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-308495568dbed4f4.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

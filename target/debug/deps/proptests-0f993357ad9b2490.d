@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0f993357ad9b2490.d: crates/lsh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0f993357ad9b2490: crates/lsh/tests/proptests.rs
+
+crates/lsh/tests/proptests.rs:

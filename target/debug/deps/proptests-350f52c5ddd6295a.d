@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-350f52c5ddd6295a.d: crates/vecstore/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-350f52c5ddd6295a.rmeta: crates/vecstore/tests/proptests.rs Cargo.toml
+
+crates/vecstore/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

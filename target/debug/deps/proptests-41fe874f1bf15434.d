@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-41fe874f1bf15434.d: crates/shortlist/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-41fe874f1bf15434: crates/shortlist/tests/proptests.rs
+
+crates/shortlist/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-448f6c598bd80b1c.d: crates/rptree/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-448f6c598bd80b1c: crates/rptree/tests/proptests.rs
+
+crates/rptree/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4986be7f09d2e6ee.d: crates/rptree/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4986be7f09d2e6ee.rmeta: crates/rptree/tests/proptests.rs Cargo.toml
+
+crates/rptree/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

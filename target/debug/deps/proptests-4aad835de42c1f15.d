@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4aad835de42c1f15.d: crates/vecstore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4aad835de42c1f15: crates/vecstore/tests/proptests.rs
+
+crates/vecstore/tests/proptests.rs:

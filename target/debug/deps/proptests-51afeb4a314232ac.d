@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-51afeb4a314232ac.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-51afeb4a314232ac: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

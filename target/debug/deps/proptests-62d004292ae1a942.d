@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-62d004292ae1a942.d: crates/lattice/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-62d004292ae1a942.rmeta: crates/lattice/tests/proptests.rs Cargo.toml
+
+crates/lattice/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

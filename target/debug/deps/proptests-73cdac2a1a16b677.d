@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-73cdac2a1a16b677.d: crates/lattice/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-73cdac2a1a16b677: crates/lattice/tests/proptests.rs
+
+crates/lattice/tests/proptests.rs:

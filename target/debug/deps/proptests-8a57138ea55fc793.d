@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8a57138ea55fc793.d: crates/cuckoo/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8a57138ea55fc793: crates/cuckoo/tests/proptests.rs
+
+crates/cuckoo/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9c0efca8318714f3.d: crates/cuckoo/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9c0efca8318714f3.rmeta: crates/cuckoo/tests/proptests.rs Cargo.toml
+
+crates/cuckoo/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ea2ce675716811dd.d: crates/metrics/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ea2ce675716811dd: crates/metrics/tests/proptests.rs
+
+crates/metrics/tests/proptests.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-719301b9c8b7dbf2.d: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-719301b9c8b7dbf2.rmeta: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/tmp/vendor/rand/src/lib.rs:
+/tmp/vendor/rand/src/rngs.rs:
+/tmp/vendor/rand/src/distributions.rs:
+/tmp/vendor/rand/src/seq.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-e167b992f1282bf9.d: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-e167b992f1282bf9.rlib: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-e167b992f1282bf9.rmeta: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/tmp/vendor/rand/src/lib.rs:
+/tmp/vendor/rand/src/rngs.rs:
+/tmp/vendor/rand/src/distributions.rs:
+/tmp/vendor/rand/src/seq.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rptree-a0f1a6a4654e6a97.d: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/debug/deps/librptree-a0f1a6a4654e6a97.rmeta: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+crates/rptree/src/lib.rs:
+crates/rptree/src/diameter.rs:
+crates/rptree/src/kdknn.rs:
+crates/rptree/src/kdpart.rs:
+crates/rptree/src/kmeans.rs:
+crates/rptree/src/partition.rs:
+crates/rptree/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rptree-b1ed674d9ab81152.d: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/debug/deps/rptree-b1ed674d9ab81152: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+crates/rptree/src/lib.rs:
+crates/rptree/src/diameter.rs:
+crates/rptree/src/kdknn.rs:
+crates/rptree/src/kdpart.rs:
+crates/rptree/src/kmeans.rs:
+crates/rptree/src/partition.rs:
+crates/rptree/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-8188a0a625fa95a0.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-8188a0a625fa95a0: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

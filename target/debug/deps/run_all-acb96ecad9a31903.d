@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-acb96ecad9a31903.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-acb96ecad9a31903: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

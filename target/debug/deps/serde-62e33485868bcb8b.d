@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-62e33485868bcb8b.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-62e33485868bcb8b.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-62e33485868bcb8b.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

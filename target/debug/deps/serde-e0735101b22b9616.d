@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e0735101b22b9616.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e0735101b22b9616.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

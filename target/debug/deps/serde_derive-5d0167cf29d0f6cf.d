@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5d0167cf29d0f6cf.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-5d0167cf29d0f6cf.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

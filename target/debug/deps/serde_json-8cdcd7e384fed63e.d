@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8cdcd7e384fed63e.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8cdcd7e384fed63e.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

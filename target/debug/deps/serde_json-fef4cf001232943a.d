@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-fef4cf001232943a.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-fef4cf001232943a.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-fef4cf001232943a.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

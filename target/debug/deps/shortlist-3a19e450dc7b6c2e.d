@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shortlist-3a19e450dc7b6c2e.d: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-3a19e450dc7b6c2e.rmeta: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+crates/shortlist/src/lib.rs:
+crates/shortlist/src/engine.rs:
+crates/shortlist/src/primitives.rs:

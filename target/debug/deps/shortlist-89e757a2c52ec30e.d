@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shortlist-89e757a2c52ec30e.d: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-89e757a2c52ec30e.rlib: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-89e757a2c52ec30e.rmeta: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+crates/shortlist/src/lib.rs:
+crates/shortlist/src/engine.rs:
+crates/shortlist/src/primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-2f19a20320c0ab16.d: crates/serve/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-2f19a20320c0ab16.rmeta: crates/serve/tests/stress.rs Cargo.toml
+
+crates/serve/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-61902de369dd39c3.d: crates/serve/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-61902de369dd39c3: crates/serve/tests/stress.rs
+
+crates/serve/tests/stress.rs:

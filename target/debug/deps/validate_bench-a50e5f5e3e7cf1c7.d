@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_bench-a50e5f5e3e7cf1c7.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/debug/deps/validate_bench-a50e5f5e3e7cf1c7: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

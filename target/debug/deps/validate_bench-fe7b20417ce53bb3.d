@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_bench-fe7b20417ce53bb3.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/debug/deps/validate_bench-fe7b20417ce53bb3: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

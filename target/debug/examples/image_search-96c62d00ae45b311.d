@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-96c62d00ae45b311.d: crates/core/../../examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-96c62d00ae45b311: crates/core/../../examples/image_search.rs
+
+crates/core/../../examples/image_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/near_duplicates-a65ca45637ea6544.d: crates/core/../../examples/near_duplicates.rs
+
+/root/repo/target/debug/examples/near_duplicates-a65ca45637ea6544: crates/core/../../examples/near_duplicates.rs
+
+crates/core/../../examples/near_duplicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core-02a1f220036ea3a4.d: crates/core/../../examples/out_of_core.rs
+
+/root/repo/target/debug/examples/out_of_core-02a1f220036ea3a4: crates/core/../../examples/out_of_core.rs
+
+crates/core/../../examples/out_of_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-45ebb7866575c474.d: crates/core/../../examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-45ebb7866575c474: crates/core/../../examples/parameter_tuning.rs
+
+crates/core/../../examples/parameter_tuning.rs:

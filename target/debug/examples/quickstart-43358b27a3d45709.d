@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-43358b27a3d45709.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-43358b27a3d45709: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libknn_telemetry.rlib: /root/repo/crates/telemetry/src/lib.rs

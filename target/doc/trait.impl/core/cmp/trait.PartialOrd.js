@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["knn_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"knn_serve/service/struct.ServiceLevel.html\" title=\"struct knn_serve::service::ServiceLevel\">ServiceLevel</a>",0]]],["lattice",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"lattice/morton/struct.MortonCode.html\" title=\"struct lattice::morton::MortonCode\">MortonCode</a>",0]]],["vecstore",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"vecstore/exact/struct.Neighbor.html\" title=\"struct vecstore::exact::Neighbor\">Neighbor</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[314,301,296]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["vecstore",[["impl&lt;S: <a class=\"trait\" href=\"vecstore/ooc/trait.RowSource.html\" title=\"trait vecstore::ooc::RowSource\">RowSource</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"vecstore/ooc/struct.Chunks.html\" title=\"struct vecstore::ooc::Chunks\">Chunks</a>&lt;'_, S&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[455]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["vecstore",[["impl Distribution&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.f32.html\">f32</a>&gt; for <a class=\"struct\" href=\"vecstore/synth/struct.StdNormal.html\" title=\"struct vecstore::synth::StdNormal\">StdNormal</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[269]}

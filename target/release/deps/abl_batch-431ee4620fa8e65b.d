@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_batch-431ee4620fa8e65b.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/release/deps/abl_batch-431ee4620fa8e65b: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

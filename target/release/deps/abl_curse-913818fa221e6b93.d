@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_curse-913818fa221e6b93.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/release/deps/abl_curse-913818fa221e6b93: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_diameter-30831727b19ed077.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/release/deps/abl_diameter-30831727b19ed077: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

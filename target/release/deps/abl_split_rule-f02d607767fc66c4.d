@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_split_rule-f02d607767fc66c4.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/release/deps/abl_split_rule-f02d607767fc66c4: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

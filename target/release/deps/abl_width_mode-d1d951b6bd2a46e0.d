@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_width_mode-d1d951b6bd2a46e0.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/release/deps/abl_width_mode-d1d951b6bd2a46e0: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bilevel-b945a467a2c76e1c.d: crates/core/src/bin/bilevel.rs
+
+/root/repo/target/release/deps/bilevel-b945a467a2c76e1c: crates/core/src/bin/bilevel.rs
+
+crates/core/src/bin/bilevel.rs:

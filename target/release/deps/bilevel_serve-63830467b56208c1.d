@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bilevel_serve-63830467b56208c1.d: crates/serve/src/bin/bilevel-serve.rs
+
+/root/repo/target/release/deps/bilevel_serve-63830467b56208c1: crates/serve/src/bin/bilevel-serve.rs
+
+crates/serve/src/bin/bilevel-serve.rs:

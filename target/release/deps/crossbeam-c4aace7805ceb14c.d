@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-c4aace7805ceb14c.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c4aace7805ceb14c.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c4aace7805ceb14c.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

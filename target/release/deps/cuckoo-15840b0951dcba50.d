@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cuckoo-15840b0951dcba50.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/release/deps/libcuckoo-15840b0951dcba50.rlib: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/release/deps/libcuckoo-15840b0951dcba50.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

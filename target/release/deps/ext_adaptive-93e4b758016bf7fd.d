@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_adaptive-93e4b758016bf7fd.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/release/deps/ext_adaptive-93e4b758016bf7fd: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_forest-2f1534451ac5718f.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/release/deps/ext_forest-2f1534451ac5718f: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

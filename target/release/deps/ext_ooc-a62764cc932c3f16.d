@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ooc-a62764cc932c3f16.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/release/deps/ext_ooc-a62764cc932c3f16: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serve-45a03c77799a9a81.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/release/deps/ext_serve-45a03c77799a9a81: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_shortlist-9234b0daaf22734c.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/release/deps/fig04_shortlist-9234b0daaf22734c: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

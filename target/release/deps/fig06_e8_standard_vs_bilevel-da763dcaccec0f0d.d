@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_e8_standard_vs_bilevel-da763dcaccec0f0d.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+/root/repo/target/release/deps/fig06_e8_standard_vs_bilevel-da763dcaccec0f0d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_zm_multiprobe-5dc3bd69794a73be.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/release/deps/fig07_zm_multiprobe-5dc3bd69794a73be: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

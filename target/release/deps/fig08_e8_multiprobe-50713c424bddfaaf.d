@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_e8_multiprobe-50713c424bddfaaf.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/release/deps/fig08_e8_multiprobe-50713c424bddfaaf: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

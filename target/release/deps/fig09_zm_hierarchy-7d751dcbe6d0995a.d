@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_zm_hierarchy-7d751dcbe6d0995a.d: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+/root/repo/target/release/deps/fig09_zm_hierarchy-7d751dcbe6d0995a: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:

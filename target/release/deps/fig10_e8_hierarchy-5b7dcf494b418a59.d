@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_e8_hierarchy-5b7dcf494b418a59.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/release/deps/fig10_e8_hierarchy-5b7dcf494b418a59: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

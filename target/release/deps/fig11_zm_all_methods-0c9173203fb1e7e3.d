@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_zm_all_methods-0c9173203fb1e7e3.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/release/deps/fig11_zm_all_methods-0c9173203fb1e7e3: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_e8_all_methods-bad4dabdf54fdd09.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/release/deps/fig12_e8_all_methods-bad4dabdf54fdd09: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13a_groups-b780d6c4c893ebe3.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/release/deps/fig13a_groups-b780d6c4c893ebe3: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13b_dims-b3f58b1aee46c6c6.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/release/deps/fig13b_dims-b3f58b1aee46c6c6: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13c_partitioner-54f470d228adc3eb.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/release/deps/fig13c_partitioner-54f470d228adc3eb: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

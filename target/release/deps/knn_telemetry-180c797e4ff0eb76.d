@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/knn_telemetry-180c797e4ff0eb76.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/release/deps/libknn_telemetry-180c797e4ff0eb76.rlib: crates/telemetry/src/lib.rs
+
+/root/repo/target/release/deps/libknn_telemetry-180c797e4ff0eb76.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lsh-d3eb9d3a45de1e24.d: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/release/deps/liblsh-d3eb9d3a45de1e24.rlib: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/release/deps/liblsh-d3eb9d3a45de1e24.rmeta: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/adaptive.rs:
+crates/lsh/src/family.rs:
+crates/lsh/src/forest.rs:
+crates/lsh/src/multiprobe.rs:
+crates/lsh/src/table.rs:
+crates/lsh/src/tuning.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e76f2eda96a3a19d.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e76f2eda96a3a19d.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e76f2eda96a3a19d.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d7f19b9611365692.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d7f19b9611365692.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d7f19b9611365692.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

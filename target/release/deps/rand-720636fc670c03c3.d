@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-720636fc670c03c3.d: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-720636fc670c03c3.rlib: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-720636fc670c03c3.rmeta: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/rngs.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/seq.rs
+
+/tmp/vendor/rand/src/lib.rs:
+/tmp/vendor/rand/src/rngs.rs:
+/tmp/vendor/rand/src/distributions.rs:
+/tmp/vendor/rand/src/seq.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rptree-21869bebd0bd57eb.d: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/release/deps/librptree-21869bebd0bd57eb.rlib: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/release/deps/librptree-21869bebd0bd57eb.rmeta: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+crates/rptree/src/lib.rs:
+crates/rptree/src/diameter.rs:
+crates/rptree/src/kdknn.rs:
+crates/rptree/src/kdpart.rs:
+crates/rptree/src/kmeans.rs:
+crates/rptree/src/partition.rs:
+crates/rptree/src/tree.rs:

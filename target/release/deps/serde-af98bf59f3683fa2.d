@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-af98bf59f3683fa2.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-af98bf59f3683fa2.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-af98bf59f3683fa2.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-de6e75ab24ff229d.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-de6e75ab24ff229d.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

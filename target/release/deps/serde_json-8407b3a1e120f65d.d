@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-8407b3a1e120f65d.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-8407b3a1e120f65d.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-8407b3a1e120f65d.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_bench-d256bcc4b9cefacd.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/release/deps/validate_bench-d256bcc4b9cefacd: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_search-49512d4e2dfbdd73.d: crates/core/../../examples/image_search.rs
+
+/root/repo/target/release/examples/image_search-49512d4e2dfbdd73: crates/core/../../examples/image_search.rs
+
+crates/core/../../examples/image_search.rs:

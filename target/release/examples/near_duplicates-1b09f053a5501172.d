@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/near_duplicates-1b09f053a5501172.d: crates/core/../../examples/near_duplicates.rs
+
+/root/repo/target/release/examples/near_duplicates-1b09f053a5501172: crates/core/../../examples/near_duplicates.rs
+
+crates/core/../../examples/near_duplicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/out_of_core-eee5e7576b8b25eb.d: crates/core/../../examples/out_of_core.rs
+
+/root/repo/target/release/examples/out_of_core-eee5e7576b8b25eb: crates/core/../../examples/out_of_core.rs
+
+crates/core/../../examples/out_of_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parameter_tuning-b114f84cb49f2dd8.d: crates/core/../../examples/parameter_tuning.rs
+
+/root/repo/target/release/examples/parameter_tuning-b114f84cb49f2dd8: crates/core/../../examples/parameter_tuning.rs
+
+crates/core/../../examples/parameter_tuning.rs:

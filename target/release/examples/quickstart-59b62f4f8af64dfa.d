@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-59b62f4f8af64dfa.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-59b62f4f8af64dfa: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:
