@@ -6,6 +6,13 @@
 //! verifies length and checksum before handing the payload to a decoder,
 //! and [`ByteReader`] walks a payload with bounds-checked primitive reads.
 //! Every multi-byte value is little-endian; every length is a `u64`.
+//!
+//! The section API works over any [`Read`]/[`Write`] — nothing here seeks —
+//! so the same per-section checksum verification protects snapshots read
+//! from disk *and* streamed over a socket (replica `JOIN` in `knn-net`
+//! pulls a dataset plus snapshot through this exact path). The module is
+//! public for those consumers; the index-structure encoders in
+//! [`crate::persist`] stay private.
 
 use crate::persist::PersistError;
 use std::io::{Read, Write};
@@ -31,7 +38,7 @@ pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 /// Frames one payload: length, FNV-1a checksum, bytes.
-pub(crate) fn write_section<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), PersistError> {
+pub fn write_section<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), PersistError> {
     w.write_all(&(payload.len() as u64).to_le_bytes())?;
     w.write_all(&fnv64(payload).to_le_bytes())?;
     w.write_all(payload)?;
@@ -86,7 +93,7 @@ pub(crate) fn atomic_write(
 
 /// Reads one framed section, rejecting truncation, absurd lengths, and
 /// checksum mismatches with [`PersistError::Format`] naming `what`.
-pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> Result<Vec<u8>, PersistError> {
+pub fn read_section<R: Read>(r: &mut R, what: &str) -> Result<Vec<u8>, PersistError> {
     let mut header = [0u8; 16];
     read_exact_or_format(r, &mut header, what)?;
     let len = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
@@ -107,7 +114,7 @@ pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> Result<Vec<u8>, Pe
 /// Reads one framed section that may legitimately be absent: clean EOF
 /// *before any header byte* yields `Ok(None)` (an older snapshot that ends
 /// here), while EOF mid-header or mid-payload is still a truncation error.
-pub(crate) fn read_optional_section<R: Read>(
+pub fn read_optional_section<R: Read>(
     r: &mut R,
     what: &str,
 ) -> Result<Option<Vec<u8>>, PersistError> {
@@ -153,63 +160,74 @@ fn read_exact_or_format<R: Read>(
 
 /// Append-only little-endian payload builder.
 #[derive(Default)]
-pub(crate) struct ByteWriter {
+pub struct ByteWriter {
     buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    pub(crate) fn new() -> Self {
+    /// An empty payload builder.
+    pub fn new() -> Self {
         Self::default()
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// The accumulated payload, ready for [`write_section`].
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
-    pub(crate) fn put_u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn put_u32(&mut self, v: u32) {
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_u64(&mut self, v: u64) {
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Lengths and indices travel as `u64` regardless of platform width.
-    pub(crate) fn put_len(&mut self, v: usize) {
+    pub fn put_len(&mut self, v: usize) {
         self.put_u64(v as u64);
     }
 
-    pub(crate) fn put_f32(&mut self, v: f32) {
+    /// Appends a little-endian `f32` (bit pattern preserved exactly).
+    pub fn put_f32(&mut self, v: f32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_f64(&mut self, v: f64) {
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_f32s(&mut self, vs: &[f32]) {
+    /// Appends a run of little-endian `f32`s.
+    pub fn put_f32s(&mut self, vs: &[f32]) {
         for &v in vs {
             self.put_f32(v);
         }
     }
 
-    pub(crate) fn put_i32s(&mut self, vs: &[i32]) {
+    /// Appends a run of little-endian `i32`s.
+    pub fn put_i32s(&mut self, vs: &[i32]) {
         for &v in vs {
             self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
-    pub(crate) fn put_u32s(&mut self, vs: &[u32]) {
+    /// Appends a run of little-endian `u32`s.
+    pub fn put_u32s(&mut self, vs: &[u32]) {
         for &v in vs {
             self.put_u32(v);
         }
     }
 
-    pub(crate) fn put_u64s(&mut self, vs: &[u64]) {
+    /// Appends a run of little-endian `u64`s.
+    pub fn put_u64s(&mut self, vs: &[u64]) {
         for &v in vs {
             self.put_u64(v);
         }
@@ -218,14 +236,15 @@ impl ByteWriter {
 
 /// Bounds-checked cursor over one section payload. Every read names the
 /// payload (`what`) in its error so a corrupt snapshot points at itself.
-pub(crate) struct ByteReader<'a> {
+pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
     what: &'a str,
 }
 
 impl<'a> ByteReader<'a> {
-    pub(crate) fn new(buf: &'a [u8], what: &'a str) -> Self {
+    /// A cursor over `buf`; errors name the payload `what`.
+    pub fn new(buf: &'a [u8], what: &'a str) -> Self {
         Self { buf, pos: 0, what }
     }
 
@@ -241,13 +260,13 @@ impl<'a> ByteReader<'a> {
     /// Bytes not yet consumed. Decoders use this to accept optional
     /// trailing fields that newer writers append only when non-default —
     /// absent in old snapshots, present in new ones.
-    pub(crate) fn remaining(&self) -> usize {
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
     /// The payload must be fully consumed — trailing bytes mean the encoder
     /// and decoder disagree about the layout.
-    pub(crate) fn finish(self) -> Result<(), PersistError> {
+    pub fn finish(self) -> Result<(), PersistError> {
         if self.pos != self.buf.len() {
             return Err(PersistError::Format(format!(
                 "{} payload has {} trailing bytes",
@@ -258,46 +277,55 @@ impl<'a> ByteReader<'a> {
         Ok(())
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
     /// A `u64` length that must fit the platform's `usize`.
-    pub(crate) fn len(&mut self) -> Result<usize, PersistError> {
+    #[allow(clippy::len_without_is_empty)] // consumes input, not a container
+    pub fn len(&mut self) -> Result<usize, PersistError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| {
             PersistError::Format(format!("{} length {v} exceeds platform usize", self.what))
         })
     }
 
-    pub(crate) fn f32(&mut self) -> Result<f32, PersistError> {
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, PersistError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    pub(crate) fn f32s(&mut self, n: usize) -> Result<Vec<f32>, PersistError> {
+    /// Reads `n` little-endian `f32`s.
+    pub fn f32s(&mut self, n: usize) -> Result<Vec<f32>, PersistError> {
         let bytes = self.take(n.checked_mul(4).ok_or_else(|| overflow(self.what))?)?;
         Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
-    pub(crate) fn i32s(&mut self, n: usize) -> Result<Vec<i32>, PersistError> {
+    /// Reads `n` little-endian `i32`s.
+    pub fn i32s(&mut self, n: usize) -> Result<Vec<i32>, PersistError> {
         let bytes = self.take(n.checked_mul(4).ok_or_else(|| overflow(self.what))?)?;
         Ok(bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
-    pub(crate) fn u32s(&mut self, n: usize) -> Result<Vec<u32>, PersistError> {
+    /// Reads `n` little-endian `u32`s.
+    pub fn u32s(&mut self, n: usize) -> Result<Vec<u32>, PersistError> {
         let bytes = self.take(n.checked_mul(4).ok_or_else(|| overflow(self.what))?)?;
         Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
-    pub(crate) fn u64s(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
+    /// Reads `n` little-endian `u64`s.
+    pub fn u64s(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
         let bytes = self.take(n.checked_mul(8).ok_or_else(|| overflow(self.what))?)?;
         Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect())
     }

@@ -35,7 +35,7 @@
 //! assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
 //! ```
 
-pub(crate) mod binio;
+pub mod binio;
 pub mod code;
 pub mod compat;
 pub mod config;

@@ -1148,6 +1148,113 @@ impl<'a> OocFlatIndex<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming dataset sections — used by replica JOIN to ship the corpus
+// over a socket with the same per-section checksum protection snapshots
+// get, without buffering the whole dataset in one allocation.
+// ---------------------------------------------------------------------------
+
+/// Rows per chunk section written by [`write_dataset_sections`].
+pub const DATASET_CHUNK_ROWS: usize = 16 * 1024;
+
+/// Streams `data` as checksummed v2-style sections over any writer: one
+/// header section (`dim`, `rows`, chunk size), then one section per
+/// [`DATASET_CHUNK_ROWS`]-row chunk. Each chunk carries its own FNV-1a
+/// checksum, so a receiver detects corruption as the bytes arrive rather
+/// than after materializing the whole corpus. Bit patterns round-trip
+/// exactly (NaNs and signed zeros included).
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on write failure.
+pub fn write_dataset_sections<W: Write>(w: &mut W, data: &Dataset) -> Result<(), PersistError> {
+    let mut header = ByteWriter::new();
+    header.put_len(data.dim());
+    header.put_len(data.len());
+    header.put_len(DATASET_CHUNK_ROWS);
+    write_section(w, &header.into_bytes())?;
+    let mut start = 0usize;
+    while start < data.len() {
+        let rows = DATASET_CHUNK_ROWS.min(data.len() - start);
+        let mut chunk = ByteWriter::new();
+        for r in start..start + rows {
+            chunk.put_f32s(data.row(r));
+        }
+        write_section(w, &chunk.into_bytes())?;
+        start += rows;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset_sections`], verifying every
+/// chunk's checksum as it streams in. The inverse round-trips exactly:
+/// `read_dataset_sections(write_dataset_sections(d)) == d` bit for bit.
+///
+/// # Errors
+///
+/// [`PersistError::Format`] on truncation, checksum mismatch, or a
+/// header/chunk shape disagreement; [`PersistError::Io`] on read failure.
+pub fn read_dataset_sections<R: Read>(r: &mut R) -> Result<Dataset, PersistError> {
+    let header = read_section(r, "dataset header")?;
+    let mut hr = ByteReader::new(&header, "dataset header");
+    let dim = hr.len()?;
+    let rows = hr.len()?;
+    let chunk_rows = hr.len()?;
+    hr.finish()?;
+    if dim == 0 || chunk_rows == 0 {
+        return Err(PersistError::Format("dataset header has zero dim or chunk size".into()));
+    }
+    let mut data = Dataset::with_capacity(dim, rows);
+    let mut remaining = rows;
+    while remaining > 0 {
+        let want = chunk_rows.min(remaining);
+        let chunk = read_section(r, "dataset chunk")?;
+        let mut cr = ByteReader::new(&chunk, "dataset chunk");
+        let values = cr.f32s(
+            want.checked_mul(dim)
+                .ok_or_else(|| PersistError::Format("dataset chunk size overflows".into()))?,
+        )?;
+        cr.finish()?;
+        for row in values.chunks_exact(dim) {
+            data.push(row);
+        }
+        remaining -= want;
+    }
+    Ok(data)
+}
+
+impl BiLevelIndex<'static> {
+    /// Reconstructs an index that *owns* its dataset from a snapshot
+    /// stream — the borrowless twin of [`BiLevelIndex::load_from`], for
+    /// consumers (a joining replica, a long-lived service) that cannot
+    /// keep an external dataset alive for the index's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BiLevelIndex::load_from`]: the snapshot's
+    /// fingerprint must match `data`.
+    pub fn load_from_owned<R: Read>(
+        data: Dataset,
+        reader: R,
+    ) -> Result<BiLevelIndex<'static>, PersistError> {
+        let loaded = BiLevelIndex::load_from(&data, reader)?;
+        // Destructure to drop the borrow of the local `data`, then rebuild
+        // the same index around the owned dataset.
+        let BiLevelIndex { config, level1, tables, group_widths, quant, tombstones, epoch, .. } =
+            loaded;
+        Ok(BiLevelIndex {
+            data: std::borrow::Cow::Owned(data),
+            config,
+            level1,
+            tables,
+            group_widths,
+            quant,
+            tombstones,
+            epoch,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1609,5 +1716,66 @@ mod tests {
             "got {err}"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_sections_roundtrip_bit_exact() {
+        let mut data = synth::clustered(&ClusteredSpec::small(300), 91);
+        // Awkward bit patterns must survive: signed zero, subnormal, NaN.
+        let dim = data.dim();
+        let mut weird = vec![0.0f32; dim];
+        weird[0] = -0.0;
+        weird[1 % dim] = f32::MIN_POSITIVE / 2.0;
+        weird[2 % dim] = f32::NAN;
+        data.push(&weird);
+        let mut buf = Vec::new();
+        write_dataset_sections(&mut buf, &data).unwrap();
+        let back = read_dataset_sections(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.dim(), data.dim());
+        assert_eq!(back.len(), data.len());
+        for r in 0..data.len() {
+            let (a, b) = (data.row(r), back.row(r));
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {r} reparsed inexactly");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_sections_reject_truncation_and_corruption() {
+        let data = synth::clustered(&ClusteredSpec::small(200), 7);
+        let mut buf = Vec::new();
+        write_dataset_sections(&mut buf, &data).unwrap();
+        for cut in [0, 5, buf.len() / 2, buf.len() - 3] {
+            let err = err_of(read_dataset_sections(&mut &buf[..cut]));
+            assert!(
+                matches!(err, PersistError::Format(_) | PersistError::Io(_)),
+                "cut at {cut} must fail cleanly"
+            );
+        }
+        let mut corrupt = buf.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        let err = err_of(read_dataset_sections(&mut corrupt.as_slice()));
+        assert!(matches!(&err, PersistError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn load_from_owned_matches_borrowed_load() {
+        let (data, queries) = corpus();
+        let cfg = BiLevelConfig::paper_default(5.0).probe(Probe::Multi(8));
+        let index = BiLevelIndex::build(&data, &cfg);
+        let mut buf = Vec::new();
+        index.save_to(&mut buf).unwrap();
+        let borrowed = BiLevelIndex::load_from(&data, buf.as_slice()).unwrap();
+        let owned = BiLevelIndex::load_from_owned(data.clone(), buf.as_slice()).unwrap();
+        let a = borrowed.query_batch_opts(&queries, &QueryOptions::new(9));
+        let b = owned.query_batch_opts(&queries, &QueryOptions::new(9));
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.candidates, b.candidates);
+        // Fingerprint checks still guard the owned path.
+        let wrong = synth::clustered(&ClusteredSpec::small(400), 56).split_at(350).0;
+        let err = err_of(BiLevelIndex::load_from_owned(wrong, buf.as_slice()));
+        assert!(matches!(err, PersistError::DataMismatch(_)), "got {err}");
     }
 }

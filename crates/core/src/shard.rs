@@ -57,8 +57,20 @@ impl ShardedIndex {
     ///
     /// Panics on `num_shards == 0`, an empty dataset, or an invalid config.
     pub fn build(data: Dataset, config: &BiLevelConfig, num_shards: usize) -> Self {
+        Self::from_built(BiLevelIndex::build_owned(data, config), num_shards)
+    }
+
+    /// Splits an already-built (or snapshot-loaded) index into `num_shards`
+    /// contiguous row ranges — the warm-join path: a replica that pulled a
+    /// peer's snapshot over the wire shards it here without re-hashing, and
+    /// answers bit-identically to a peer that ran [`ShardedIndex::build`]
+    /// on the same data and config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `num_shards == 0` or an empty index.
+    pub fn from_built(full: BiLevelIndex<'static>, num_shards: usize) -> Self {
         assert!(num_shards > 0, "need at least one shard");
-        let full = BiLevelIndex::build_owned(data, config);
         let BiLevelIndex { data, config, level1, tables, group_widths, tombstones, .. } = full;
         let data = data.into_owned();
         let n = data.len();
@@ -521,6 +533,24 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// `from_built` over a loaded snapshot is the JOIN path: splitting a
+    /// deserialized index must answer exactly like building sharded from
+    /// scratch.
+    #[test]
+    fn from_built_matches_build() {
+        let (data, queries) = small_data();
+        for probe in [Probe::Home, Probe::Multi(8), Probe::Hierarchical { min_candidates: 15 }] {
+            let cfg = BiLevelConfig::paper_default(2.0).probe(probe);
+            let built = ShardedIndex::build(data.clone(), &cfg, 3);
+            let full = BiLevelIndex::build_owned(data.clone(), &cfg);
+            let split = ShardedIndex::from_built(full, 3);
+            let a = built.query_batch_opts(&queries, &QueryOptions::new(8));
+            let b = split.query_batch_opts(&queries, &QueryOptions::new(8));
+            assert_eq!(a.neighbors, b.neighbors, "{probe:?}");
+            assert_eq!(a.candidates, b.candidates, "{probe:?}");
         }
     }
 

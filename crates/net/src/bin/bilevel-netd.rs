@@ -1,0 +1,183 @@
+//! `bilevel-netd` — the TCP serving daemon.
+//!
+//! Three modes, all sharing one listener flag:
+//!
+//! ```text
+//! # Replica / multi-tenant server: build one index per --corpus flag.
+//! bilevel-netd --listen 127.0.0.1:7070 --corpus img=img.fvecs [--corpus txt=txt.fvecs]
+//!              [--shards N] [--mutable] [--quota Q] [--k K]
+//!              [--w W] [--groups G] [--tables L] [--m M] [--e8] [--probe T] [--seed S]
+//!
+//! # Warm joiner: download a tenant from a peer and serve it.
+//! bilevel-netd --listen 127.0.0.1:7071 --join 127.0.0.1:7070 --tenant img
+//!
+//! # Coordinator: fan queries out to replica processes with hedging.
+//! bilevel-netd --listen 127.0.0.1:7072 --replicas 127.0.0.1:7070,127.0.0.1:7071 --tenant img
+//! ```
+//!
+//! The daemon prints `listening on <addr>` to stderr once ready and runs
+//! until killed. Clients speak length-delimited frames of the same line
+//! protocol `bilevel-serve` reads on stdin, plus `USE`/`LIST`/`JOIN`.
+
+use bilevel_lsh::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+use knn_net::{
+    HedgePolicy, NetClient, NetServer, Registry, RemoteShard, ServerConfig, TenantConfig,
+};
+use knn_serve::{FanoutConfig, ServiceConfig};
+use rptree::SplitRule;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use vecstore::io::read_fvecs;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         bilevel-netd --listen ADDR --corpus [name=]path.fvecs [--corpus ...]\n               \
+         [--shards N] [--mutable] [--quota Q] [--k K]\n               \
+         [--w W] [--groups G] [--tables L] [--m M] [--e8] [--probe T] [--seed S]\n  \
+         bilevel-netd --listen ADDR --join HOST:PORT --tenant NAME [--quota Q]\n  \
+         bilevel-netd --listen ADDR --replicas A,B,... --tenant NAME [--quota Q] [--no-hedge]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` pairs out of the arguments (repeatable flags via
+/// [`Flags::all`]).
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(|s| s.as_str())
+    }
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == name)
+            .filter_map(|(i, _)| self.0.get(i + 1))
+            .map(|s| s.as_str())
+            .collect()
+    }
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let flags = Flags(std::env::args().skip(1).collect());
+    let Some(listen) = flags.get("--listen").map(str::to_string) else { return usage() };
+    match run(&listen, &flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn tenant_config(flags: &Flags) -> TenantConfig {
+    TenantConfig::default()
+        .k(flags.num("--k", 10))
+        .max_in_flight(flags.num("--quota", usize::MAX))
+        .service(
+            ServiceConfig::default()
+                .max_batch(flags.num("--batch", 32))
+                .max_wait(Duration::from_micros(flags.num("--wait-us", 1000u64)))
+                .queue_capacity(flags.num("--queue", 1024)),
+        )
+}
+
+fn run(listen: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Arc::new(Registry::new());
+    let tcfg = tenant_config(flags);
+
+    if let Some(peer) = flags.get("--join") {
+        // Warm join: stream a peer tenant's corpus + snapshot, boot warm.
+        let tenant = flags.get("--tenant").ok_or("--join requires --tenant")?;
+        eprintln!("joining tenant {tenant:?} from {peer} ...");
+        let client = NetClient::connect(peer)?;
+        let joined = client.join_fetch(tenant)?;
+        let shards = joined.shards;
+        // Inherit the origin's k unless the operator overrode it —
+        // coordinators refuse replicas whose tenant meta disagrees.
+        let tcfg = if flags.has("--k") { tcfg } else { tcfg.k(joined.k) };
+        registry.register_joined(tenant, joined.data, joined.snapshot, shards, tcfg)?;
+        eprintln!("joined: {shards} shards, serving {tenant:?}");
+    } else if let Some(replicas) = flags.get("--replicas") {
+        // Coordinator: hedged remote fan-out over replica processes.
+        let tenant = flags.get("--tenant").ok_or("--replicas requires --tenant")?;
+        let addrs: Vec<String> = replicas.split(',').map(str::to_string).collect();
+        let policy =
+            if flags.has("--no-hedge") { HedgePolicy::disabled() } else { HedgePolicy::default() };
+        let source = RemoteShard::connect(&addrs, tenant, policy, registry.recorder().clone())?;
+        // Serve with the k the replicas agreed on unless overridden, so a
+        // coordinator answers exactly what its replicas would.
+        let tcfg = if flags.has("--k") { tcfg } else { tcfg.k(source.tenant_meta().k) };
+        registry.register_coordinator(tenant, source, FanoutConfig::default(), tcfg)?;
+        eprintln!("coordinating tenant {tenant:?} over {} replicas", addrs.len());
+    } else {
+        // Replica / multi-tenant server: one tenant per --corpus flag.
+        let corpora = flags.all("--corpus");
+        if corpora.is_empty() {
+            return Err("need --corpus, --join, or --replicas".into());
+        }
+        let groups: usize = flags.num("--groups", 16);
+        let config = BiLevelConfig {
+            l: flags.num("--tables", 10),
+            m: flags.num("--m", 8),
+            width: WidthMode::Scaled { base: flags.num("--w", 1.0f32), k: flags.num("--k", 10) },
+            partition: if groups <= 1 {
+                Partition::None
+            } else {
+                Partition::RpTree { groups, rule: SplitRule::Max }
+            },
+            quantizer: if flags.has("--e8") { Quantizer::E8 } else { Quantizer::Zm },
+            probe: match flags.get("--probe") {
+                Some(_) => Probe::Multi(flags.num("--probe", 8usize)),
+                None => Probe::Home,
+            },
+            table_pool: None,
+            projection: bilevel_lsh::Projection::Dense,
+            seed: flags.num("--seed", 0x0b11_e7e1u64),
+        };
+        let shards: usize = flags.num("--shards", 1);
+        for spec in corpora {
+            let (name, path) = match spec.split_once('=') {
+                Some((n, p)) => (n.to_string(), p.to_string()),
+                None => {
+                    let stem = Path::new(spec)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("default")
+                        .to_string();
+                    (stem, spec.to_string())
+                }
+            };
+            let data = read_fvecs(Path::new(&path))?;
+            eprintln!("tenant {name:?}: {} vectors, dim {}", data.len(), data.dim());
+            if flags.has("--mutable") {
+                registry.register_mutable(&name, data, &config, tcfg.clone())?;
+            } else {
+                registry.register_replica(&name, data, &config, shards, tcfg.clone())?;
+            }
+        }
+    }
+
+    let server = NetServer::bind(listen, Arc::clone(&registry), ServerConfig::default())?;
+    eprintln!("listening on {}", server.local_addr());
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,326 @@
+//! `NetClient` — a pooled, pipelining client for the framed line protocol.
+//!
+//! Each client targets one server address and (optionally) pins every
+//! connection it opens to a tenant with a `USE` handshake at dial time.
+//! Connections live in a small pool: [`NetClient::request`] checks one
+//! out per call, so concurrent callers (the hedging layer fires probes
+//! from multiple threads) each get their own socket without locking each
+//! other out. [`NetClient::pipeline`] is the throughput path — it writes
+//! every request frame back to back, flushes once, then reads the
+//! responses, amortizing syscalls and round trips across the batch.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use bilevel_lsh::binio::read_section;
+use bilevel_lsh::persist::read_dataset_sections;
+use bilevel_lsh::telemetry::{Counter, NOOP};
+use bilevel_lsh::{PersistError, Probe};
+use knn_serve::protocol::{self, ProtocolError};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or socket-level I/O failed.
+    Io(io::Error),
+    /// The frame layer rejected or lost a frame.
+    Frame(FrameError),
+    /// The server answered `ERROR ...`.
+    Server(String),
+    /// The server's reply didn't parse as the expected shape.
+    Protocol(String),
+    /// A streamed snapshot section failed its checksum or shape checks.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Persist(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<PersistError> for ClientError {
+    fn from(e: PersistError) -> Self {
+        ClientError::Persist(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// What a tenant reports about itself in the `USE` handshake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantMeta {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Shard count of the tenant's index.
+    pub shards: usize,
+    /// The probe the index was built with.
+    pub probe: Probe,
+    /// Whether hierarchical probing is available.
+    pub hierarchical: bool,
+    /// The tenant's default `k`.
+    pub k: usize,
+}
+
+/// Parses the `OK tenant=... dim=... shards=... probe=... hier=... k=...`
+/// reply of `USE`.
+fn parse_meta(reply: &str) -> Result<TenantMeta, ClientError> {
+    let bad = || ClientError::Protocol(format!("malformed USE reply: {reply:?}"));
+    if !reply.starts_with("OK ") {
+        return Err(ClientError::Server(reply.to_string()));
+    }
+    let mut dim = None;
+    let mut shards = None;
+    let mut probe = None;
+    let mut hier = None;
+    let mut k = None;
+    for token in reply.split_whitespace().skip(1) {
+        let (key, value) = token.split_once('=').ok_or_else(bad)?;
+        match key {
+            "dim" => dim = Some(value.parse::<usize>().map_err(|_| bad())?),
+            "shards" => shards = Some(value.parse::<usize>().map_err(|_| bad())?),
+            "probe" => {
+                probe = Some(protocol::parse_probe(value).map_err(|_| bad())?.ok_or_else(bad)?)
+            }
+            "hier" => hier = Some(value == "1"),
+            "k" => k = Some(value.parse::<usize>().map_err(|_| bad())?),
+            _ => {}
+        }
+    }
+    Ok(TenantMeta {
+        dim: dim.ok_or_else(bad)?,
+        shards: shards.ok_or_else(bad)?,
+        probe: probe.ok_or_else(bad)?,
+        hierarchical: hier.ok_or_else(bad)?,
+        k: k.ok_or_else(bad)?,
+    })
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A replica's state downloaded through [`NetClient::join_fetch`]: enough
+/// to boot a warm copy without touching shared disk.
+pub struct JoinedReplica {
+    /// The full corpus, streamed as checksummed chunk sections.
+    pub data: Dataset,
+    /// The serving index's v2 snapshot, verbatim.
+    pub snapshot: Vec<u8>,
+    /// How many shards the peer splits the index into.
+    pub shards: usize,
+    /// The neighbors-per-query the peer serves the tenant with; a joiner
+    /// adopts it so coordinators see consistent tenant meta.
+    pub k: usize,
+}
+
+use vecstore::Dataset;
+
+/// A pooled client for one server address, optionally pinned to a tenant.
+pub struct NetClient {
+    addr: String,
+    tenant: Option<String>,
+    pool: Mutex<Vec<Conn>>,
+    meta: Mutex<Option<TenantMeta>>,
+}
+
+impl NetClient {
+    /// Connects to `addr` with no tenant pinned — the server auto-binds
+    /// the session when it hosts exactly one tenant. Dials eagerly so a
+    /// bad address fails here, not on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the dial fails.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let client = Self {
+            addr: addr.to_string(),
+            tenant: None,
+            pool: Mutex::new(Vec::new()),
+            meta: Mutex::new(None),
+        };
+        let conn = client.dial()?;
+        client.put_back(conn);
+        Ok(client)
+    }
+
+    /// Connects to `addr` and pins every connection to `tenant` via a
+    /// `USE` handshake, capturing the tenant's [`TenantMeta`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on dial failure, [`ClientError::Server`] if the
+    /// tenant is unknown.
+    pub fn with_tenant(addr: &str, tenant: &str) -> Result<Self, ClientError> {
+        let client = Self {
+            addr: addr.to_string(),
+            tenant: Some(tenant.to_string()),
+            pool: Mutex::new(Vec::new()),
+            meta: Mutex::new(None),
+        };
+        let conn = client.dial()?;
+        client.put_back(conn);
+        Ok(client)
+    }
+
+    /// The tenant meta captured at the `USE` handshake; `None` when no
+    /// tenant is pinned.
+    pub fn meta(&self) -> Option<TenantMeta> {
+        *self.meta.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn dial(&self) -> Result<Conn, ClientError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut conn = Conn { reader, writer };
+        if let Some(tenant) = &self.tenant {
+            let reply = Self::exchange(&mut conn, &format!("USE {tenant}"))?;
+            let meta = parse_meta(&reply)?;
+            let mut slot = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+            *slot = Some(meta);
+        }
+        Ok(conn)
+    }
+
+    fn exchange(conn: &mut Conn, line: &str) -> Result<String, ClientError> {
+        write_frame(&mut conn.writer, line, &NOOP, Counter::NetBytesOut)?;
+        conn.writer.flush()?;
+        Ok(read_frame(&mut conn.reader, &NOOP, Counter::NetBytesIn)?)
+    }
+
+    fn checkout(&self) -> Result<Conn, ClientError> {
+        let pooled = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match pooled {
+            Some(conn) => Ok(conn),
+            None => self.dial(),
+        }
+    }
+
+    fn put_back(&self, conn: Conn) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(conn);
+    }
+
+    /// One request, one response (a full round trip). The raw reply is
+    /// returned even when it is an `ERROR ...` line — callers that want an
+    /// error instead use [`NetClient::request_ok`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; the connection is discarded on error (the
+    /// next call dials fresh).
+    pub fn request(&self, line: &str) -> Result<String, ClientError> {
+        let mut conn = self.checkout()?;
+        match Self::exchange(&mut conn, line) {
+            Ok(reply) => {
+                self.put_back(conn);
+                Ok(reply)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`NetClient::request`], but an `ERROR ...` reply becomes
+    /// [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's error message.
+    pub fn request_ok(&self, line: &str) -> Result<String, ClientError> {
+        let reply = self.request(line)?;
+        if reply.starts_with("ERROR") {
+            return Err(ClientError::Server(reply));
+        }
+        Ok(reply)
+    }
+
+    /// Pipelines `lines` over one connection: every request frame is
+    /// written before any response is read, with a single flush — the
+    /// round trip and the syscalls amortize across the whole batch.
+    /// Responses come back in request order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; per-request `ERROR ...` replies appear in
+    /// the returned vector like any other response.
+    pub fn pipeline<S: AsRef<str>>(&self, lines: &[S]) -> Result<Vec<String>, ClientError> {
+        let mut conn = self.checkout()?;
+        let run = |conn: &mut Conn| -> Result<Vec<String>, ClientError> {
+            for line in lines {
+                write_frame(&mut conn.writer, line.as_ref(), &NOOP, Counter::NetBytesOut)?;
+            }
+            conn.writer.flush()?;
+            let mut replies = Vec::with_capacity(lines.len());
+            for _ in lines {
+                replies.push(read_frame(&mut conn.reader, &NOOP, Counter::NetBytesIn)?);
+            }
+            Ok(replies)
+        };
+        match run(&mut conn) {
+            Ok(replies) => {
+                self.put_back(conn);
+                Ok(replies)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Downloads `tenant`'s full state over the wire: the `JOIN`
+    /// handshake, then the corpus as checksummed chunk sections, then the
+    /// index snapshot — nothing touches shared disk. Feed the result to
+    /// `Registry::register_joined` to boot a warm replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the tenant is unknown or not a replica;
+    /// [`ClientError::Persist`] on checksum or shape mismatch in the
+    /// stream.
+    pub fn join_fetch(&self, tenant: &str) -> Result<JoinedReplica, ClientError> {
+        // A dedicated connection: the raw section stream leaves the frame
+        // layer, so don't share a pooled socket mid-download.
+        let mut conn = self.dial()?;
+        let reply = Self::exchange(&mut conn, &format!("JOIN {tenant}"))?;
+        if !reply.starts_with("OK ") {
+            return Err(ClientError::Server(reply));
+        }
+        let field = |key: &str| {
+            reply
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix(key))
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| ClientError::Protocol(format!("malformed JOIN reply: {reply:?}")))
+        };
+        let shards = field("shards=")?;
+        let k = field("k=")?;
+        let data = read_dataset_sections(&mut conn.reader)?;
+        let snapshot = read_section(&mut conn.reader, "replica snapshot")?;
+        Ok(JoinedReplica { data, snapshot, shards, k })
+    }
+}

@@ -1,0 +1,194 @@
+//! Length-delimited framing of the line protocol.
+//!
+//! One frame is a little-endian `u32` payload length followed by that many
+//! bytes of UTF-8 text — one request or one response per frame (a frame
+//! may hold multiple *lines*, e.g. a `SHARDQ` batch or a telemetry table).
+//! Framing is what lets a client pipeline requests: it can write dozens of
+//! frames back to back and read the responses later, without the ambiguity
+//! a raw line stream has around partial reads.
+//!
+//! Every error is typed: a clean EOF *between* frames is [`FrameError::Closed`]
+//! (the peer hung up politely), EOF *inside* a frame is
+//! [`FrameError::Truncated`], and an advertised length past [`MAX_FRAME`]
+//! is rejected before any allocation — a 4-byte garbage header cannot make
+//! the server reserve gigabytes.
+
+use knn_telemetry::{Counter, Recorder};
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload (64 MiB). Large enough for any
+/// telemetry table or `SHARDQ` batch; small enough that a malicious or
+/// corrupt length prefix fails fast instead of exhausting memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why reading or writing a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The stream ended inside a frame (header or payload cut short).
+    Truncated,
+    /// The advertised payload length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The payload is not valid UTF-8.
+    BadUtf8,
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Writes one frame. The caller owns buffering and flushing — a pipelining
+/// client writes many frames, then flushes once.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] before writing anything; [`FrameError::Io`] on
+/// write failure.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    payload: &str,
+    rec: &dyn Recorder,
+    bytes_counter: Counter,
+) -> Result<(), FrameError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(FrameError::TooLarge(bytes.len()));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    rec.add(bytes_counter, (4 + bytes.len()) as u64);
+    Ok(())
+}
+
+/// Reads one frame, blocking until it is complete.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF at a frame boundary,
+/// [`FrameError::Truncated`] on EOF inside a frame, [`FrameError::TooLarge`]
+/// / [`FrameError::BadUtf8`] on a malformed frame, [`FrameError::Io`]
+/// otherwise.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    rec: &dyn Recorder,
+    bytes_counter: Counter,
+) -> Result<String, FrameError> {
+    let mut header = [0u8; 4];
+    // The first header byte distinguishes a clean close from truncation.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            return read_frame(r, rec, bytes_counter)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    rec.add(bytes_counter, (4 + len) as u64);
+    String::from_utf8(payload).map_err(|_| FrameError::BadUtf8)
+}
+
+/// A writer adapter that counts every byte it forwards into a telemetry
+/// counter — used when raw (unframed) snapshot sections stream over the
+/// socket during a replica `JOIN`, so `net_bytes_out` stays honest.
+pub struct CountingWriter<'a, W: Write> {
+    inner: W,
+    rec: &'a dyn Recorder,
+    counter: Counter,
+}
+
+impl<'a, W: Write> CountingWriter<'a, W> {
+    /// Wraps `inner`, adding forwarded byte counts to `counter` on `rec`.
+    pub fn new(inner: W, rec: &'a dyn Recorder, counter: Counter) -> Self {
+        Self { inner, rec, counter }
+    }
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.rec.add(self.counter, n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_telemetry::NOOP;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello", &NOOP, Counter::NetBytesOut).unwrap();
+        write_frame(&mut buf, "", &NOOP, Counter::NetBytesOut).unwrap();
+        write_frame(&mut buf, "multi\nline", &NOOP, Counter::NetBytesOut).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap(), "hello");
+        assert_eq!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap(), "");
+        assert_eq!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap(), "multi\nline");
+        assert!(matches!(read_frame(&mut r, &NOOP, Counter::NetBytesIn), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncation_and_oversize_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "payload", &NOOP, Counter::NetBytesOut).unwrap();
+        for cut in [1, 3, 4, buf.len() - 1] {
+            assert!(
+                matches!(
+                    read_frame(&mut &buf[..cut], &NOOP, Counter::NetBytesIn),
+                    Err(FrameError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+        let huge = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..], &NOOP, Counter::NetBytesIn),
+            Err(FrameError::TooLarge(_))
+        ));
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), &NOOP, Counter::NetBytesIn),
+            Err(FrameError::BadUtf8)
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! TCP front end for the Bi-level LSH service.
+//!
+//! The serving crate (`knn-serve`) speaks a line protocol on stdin; this
+//! crate puts the same protocol on sockets and grows it into a small
+//! distributed system, all on plain `std` threads:
+//!
+//! * **Framing** ([`frame`]) — each line travels as a length-delimited
+//!   UTF-8 frame, so clients can pipeline requests and the server can
+//!   reject oversized or truncated input with typed errors.
+//! * **Multi-tenancy** ([`registry`]) — one process serves several named
+//!   indexes; sessions bind with `USE <tenant>`, and each tenant carries
+//!   an admission quota that rejects excess load with the service layer's
+//!   own `Overloaded` error.
+//! * **Serving** ([`server`]) — a threaded TCP server; pipelined `QUERY`
+//!   frames coalesce into the service's micro-batches, responses return
+//!   strictly in request order.
+//! * **Client** ([`client`]) — connection pooling, request pipelining,
+//!   and the `JOIN` download path.
+//! * **Remote fan-out** ([`remote`]) — [`RemoteShard`] implements the
+//!   serving crate's `ShardSource` over the wire, so a coordinator's
+//!   `FanoutBackend` (circuit breakers, coverage-tagged partials) drives
+//!   remote replicas exactly as it drives local shards, with hedged
+//!   requests against slow replicas.
+//! * **Replica join** — a fresh process streams a peer's corpus and
+//!   snapshot over one socket (every section checksummed) and boots warm,
+//!   never touching shared disk.
+//!
+//! Distances travel as shortest-round-trip `f32` text, so a remote
+//! fan-out merge is bit-identical to the same merge done locally.
+
+pub mod client;
+pub mod frame;
+pub mod registry;
+pub mod remote;
+pub mod server;
+
+pub use client::{ClientError, JoinedReplica, NetClient, TenantMeta};
+pub use frame::{FrameError, MAX_FRAME};
+pub use registry::{Registry, RegistryError, Tenant, TenantConfig, TenantKind};
+pub use remote::{HedgePolicy, RemoteShard};
+pub use server::{NetServer, ServerConfig};

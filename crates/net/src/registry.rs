@@ -1,0 +1,440 @@
+//! The multi-index registry: several named datasets served by one
+//! process, each behind its own [`Service`] with a per-tenant admission
+//! quota.
+//!
+//! A *tenant* is one named index plus the machinery to serve it: a
+//! micro-batching [`Service`], a cloneable [`Handle`] sessions submit
+//! through, and — depending on the kind — either a write path
+//! ([`TenantKind::Mutable`]), a shard-query + snapshot-streaming path for
+//! remote fan-out and replica join ([`TenantKind::Replica`]), or a remote
+//! fan-out coordinator ([`TenantKind::Coordinator`]).
+//!
+//! Quotas reuse the service layer's vocabulary: exceeding a tenant's
+//! in-flight budget is [`SubmitError::Overloaded`], exactly what a full
+//! admission queue reports, so clients handle both identically.
+
+use crate::remote::RemoteShard;
+use bilevel_lsh::telemetry::{Counter, InMemoryRecorder, Recorder};
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, PersistError, Probe, ShardedIndex};
+use knn_serve::fanout::ShardSource;
+use knn_serve::protocol::{format_probe, valid_tenant_name};
+use knn_serve::{
+    FanoutBackend, FanoutConfig, Handle, MutableBackend, MutableWriter, Service, ServiceConfig,
+    SubmitError,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use vecstore::Dataset;
+
+/// Why a tenant could not be registered.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// A tenant with this name already exists.
+    DuplicateTenant(String),
+    /// The name has characters outside `[A-Za-z0-9_.-]`.
+    BadName(String),
+    /// Snapshot serialization or deserialization failed.
+    Persist(PersistError),
+    /// The tenant's service refused to hand out a submission handle.
+    Service(SubmitError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateTenant(n) => write!(f, "tenant {n:?} already registered"),
+            RegistryError::BadName(n) => write!(f, "bad tenant name {n:?}"),
+            RegistryError::Persist(e) => write!(f, "snapshot error: {e}"),
+            RegistryError::Service(e) => write!(f, "service error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<PersistError> for RegistryError {
+    fn from(e: PersistError) -> Self {
+        RegistryError::Persist(e)
+    }
+}
+
+/// Per-tenant serving knobs.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Service tuning (batching, queue depth). The registry overrides the
+    /// recorder with its own shared one.
+    pub service: ServiceConfig,
+    /// Default `k` for queries on this tenant.
+    pub k: usize,
+    /// Admission quota: maximum concurrently in-flight requests across
+    /// every session using this tenant. `usize::MAX` disables the quota.
+    pub max_in_flight: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        Self { service: ServiceConfig::default(), k: 10, max_in_flight: usize::MAX }
+    }
+}
+
+impl TenantConfig {
+    /// Override the service tuning.
+    pub fn service(mut self, service: ServiceConfig) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Default neighbors per query.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Admission quota (see [`TenantConfig::max_in_flight`]).
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n;
+        self
+    }
+}
+
+/// What a tenant can do beyond answering queries.
+pub enum TenantKind {
+    /// An unsharded index with the tombstone write path.
+    Mutable {
+        /// The staged-write handle, serialized across sessions.
+        writer: Mutex<MutableWriter>,
+    },
+    /// A sharded read replica: serves `SHARDQ` shard probes for remote
+    /// fan-out and streams its snapshot to `JOIN`ing peers.
+    Replica {
+        /// The split index, shared with the tenant's service.
+        index: Arc<ShardedIndex>,
+        /// The full (unsplit) v2 snapshot, retained so this replica can
+        /// seed further joins without rebuilding or touching disk.
+        snapshot: Arc<Vec<u8>>,
+    },
+    /// A coordinator fanning queries out to remote replicas.
+    Coordinator,
+}
+
+/// One registered index and its serving machinery.
+pub struct Tenant {
+    // Field order is load-bearing: `handle` must drop before `service`,
+    // because `Service`'s drop joins the dispatcher, which only exits
+    // once every `Handle` clone is gone.
+    handle: Handle,
+    service: Service,
+    name: String,
+    kind: TenantKind,
+    dim: usize,
+    shards: usize,
+    probe: Probe,
+    hierarchical: bool,
+    k: usize,
+    in_flight: AtomicUsize,
+    max_in_flight: usize,
+}
+
+impl Tenant {
+    /// The tenant's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What this tenant can do beyond queries.
+    pub fn kind(&self) -> &TenantKind {
+        &self.kind
+    }
+
+    /// A fresh submission handle onto the tenant's service.
+    pub fn handle(&self) -> Handle {
+        self.handle.clone()
+    }
+
+    /// The tenant's service (for stats).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Default neighbors per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `OK ...` line `USE` answers with: everything a remote client
+    /// needs to mirror this tenant's query semantics.
+    pub fn describe(&self) -> String {
+        format!(
+            "OK tenant={} dim={} shards={} probe={} hier={} k={}",
+            self.name,
+            self.dim,
+            self.shards,
+            format_probe(Some(self.probe)),
+            u8::from(self.hierarchical),
+            self.k
+        )
+    }
+
+    /// Admits one request against the tenant's quota. The returned guard
+    /// holds the slot until dropped (when the response is written).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the quota is exhausted — the same
+    /// error a full service queue reports, counted as a tenant rejection.
+    pub fn try_admit(self: &Arc<Self>, rec: &dyn Recorder) -> Result<QuotaGuard, SubmitError> {
+        let admitted = self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur < self.max_in_flight).then_some(cur + 1)
+            })
+            .is_ok();
+        if !admitted {
+            rec.add(Counter::TenantRejections, 1);
+            return Err(SubmitError::Overloaded);
+        }
+        Ok(QuotaGuard(Arc::clone(self)))
+    }
+}
+
+/// An admitted quota slot; dropping it frees the slot.
+pub struct QuotaGuard(Arc<Tenant>);
+
+impl Drop for QuotaGuard {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A process-wide map of named tenants sharing one telemetry recorder.
+pub struct Registry {
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    recorder: Arc<InMemoryRecorder>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with a fresh in-memory recorder.
+    pub fn new() -> Self {
+        Self::with_recorder(Arc::new(InMemoryRecorder::new()))
+    }
+
+    /// An empty registry reporting into `recorder`.
+    pub fn with_recorder(recorder: Arc<InMemoryRecorder>) -> Self {
+        Self { tenants: RwLock::new(BTreeMap::new()), recorder }
+    }
+
+    /// The shared recorder every tenant's service reports into.
+    pub fn recorder(&self) -> &Arc<InMemoryRecorder> {
+        &self.recorder
+    }
+
+    fn insert(&self, name: &str, tenant: Tenant) -> Result<Arc<Tenant>, RegistryError> {
+        let tenant = Arc::new(tenant);
+        let mut map = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(name) {
+            return Err(RegistryError::DuplicateTenant(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    fn check_name(&self, name: &str) -> Result<(), RegistryError> {
+        if !valid_tenant_name(name) {
+            return Err(RegistryError::BadName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Builds and registers a sharded read replica over `data`. Retains
+    /// the full snapshot so `JOIN`ing peers can boot from this process.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] on a bad or duplicate name, or if snapshot
+    /// serialization fails.
+    pub fn register_replica(
+        &self,
+        name: &str,
+        data: Dataset,
+        config: &BiLevelConfig,
+        shards: usize,
+        tenant_config: TenantConfig,
+    ) -> Result<Arc<Tenant>, RegistryError> {
+        self.check_name(name)?;
+        let full = BiLevelIndex::build_owned(data, config);
+        let mut snapshot = Vec::new();
+        full.save_to(&mut snapshot)?;
+        self.register_split(name, full, snapshot, shards, tenant_config)
+    }
+
+    /// Registers a replica reconstructed from a `JOIN` download: the
+    /// peer's dataset plus its snapshot bytes. The snapshot is retained
+    /// verbatim, so this replica can seed further joins.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Persist`] if the snapshot does not match the
+    /// dataset (fingerprint or checksum mismatch), plus the usual name
+    /// errors.
+    pub fn register_joined(
+        &self,
+        name: &str,
+        data: Dataset,
+        snapshot: Vec<u8>,
+        shards: usize,
+        tenant_config: TenantConfig,
+    ) -> Result<Arc<Tenant>, RegistryError> {
+        self.check_name(name)?;
+        let full = BiLevelIndex::load_from_owned(data, snapshot.as_slice())?;
+        self.register_split(name, full, snapshot, shards, tenant_config)
+    }
+
+    fn register_split(
+        &self,
+        name: &str,
+        full: BiLevelIndex<'static>,
+        snapshot: Vec<u8>,
+        shards: usize,
+        tenant_config: TenantConfig,
+    ) -> Result<Arc<Tenant>, RegistryError> {
+        let probe = full.config().probe;
+        let index = Arc::new(ShardedIndex::from_built(full, shards));
+        let service = Service::start(
+            Arc::clone(&index),
+            tenant_config.service.clone().recorder(self.recorder.clone()),
+        );
+        let handle = service.handle().map_err(RegistryError::Service)?;
+        self.insert(
+            name,
+            Tenant {
+                handle,
+                service,
+                name: name.to_string(),
+                dim: index.data().dim(),
+                shards: index.num_shards(),
+                probe,
+                hierarchical: ShardedIndex::supports_probe(
+                    &index,
+                    Probe::Hierarchical { min_candidates: 1 },
+                ),
+                kind: TenantKind::Replica { index, snapshot: Arc::new(snapshot) },
+                k: tenant_config.k,
+                in_flight: AtomicUsize::new(0),
+                max_in_flight: tenant_config.max_in_flight,
+            },
+        )
+    }
+
+    /// Builds and registers an unsharded mutable tenant over `data`, with
+    /// the full `UPSERT`/`DELETE`/`COMMIT`/`COMPACT` write path.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] on a bad or duplicate name.
+    pub fn register_mutable(
+        &self,
+        name: &str,
+        data: Dataset,
+        config: &BiLevelConfig,
+        tenant_config: TenantConfig,
+    ) -> Result<Arc<Tenant>, RegistryError> {
+        self.check_name(name)?;
+        let index = BiLevelIndex::build_owned(data, config);
+        let probe = index.config().probe;
+        let dim = index.data().dim();
+        let hierarchical = index.supports_probe(Probe::Hierarchical { min_candidates: 1 });
+        let backend = MutableBackend::new(index);
+        let writer = backend.writer();
+        let service =
+            Service::start(backend, tenant_config.service.clone().recorder(self.recorder.clone()));
+        let handle = service.handle().map_err(RegistryError::Service)?;
+        self.insert(
+            name,
+            Tenant {
+                handle,
+                service,
+                name: name.to_string(),
+                kind: TenantKind::Mutable { writer: Mutex::new(writer) },
+                dim,
+                shards: 1,
+                probe,
+                hierarchical,
+                k: tenant_config.k,
+                in_flight: AtomicUsize::new(0),
+                max_in_flight: tenant_config.max_in_flight,
+            },
+        )
+    }
+
+    /// Registers a coordinator tenant: queries fan out to the remote
+    /// replicas behind `source`, each shard under its own circuit breaker,
+    /// partial answers tagged with their coverage.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] on a bad or duplicate name.
+    pub fn register_coordinator(
+        &self,
+        name: &str,
+        source: RemoteShard,
+        fanout: FanoutConfig,
+        tenant_config: TenantConfig,
+    ) -> Result<Arc<Tenant>, RegistryError> {
+        self.check_name(name)?;
+        let (dim, shards, probe) = (source.dim(), source.num_shards(), source.probe());
+        let hierarchical = source.supports_probe(Probe::Hierarchical { min_candidates: 1 });
+        let backend = FanoutBackend::new(source, fanout);
+        let service =
+            Service::start(backend, tenant_config.service.clone().recorder(self.recorder.clone()));
+        let handle = service.handle().map_err(RegistryError::Service)?;
+        self.insert(
+            name,
+            Tenant {
+                handle,
+                service,
+                name: name.to_string(),
+                kind: TenantKind::Coordinator,
+                dim,
+                shards,
+                probe,
+                hierarchical,
+                k: tenant_config.k,
+                in_flight: AtomicUsize::new(0),
+                max_in_flight: tenant_config.max_in_flight,
+            },
+        )
+    }
+
+    /// Looks up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+    }
+
+    /// All tenant names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.tenants.read().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect()
+    }
+
+    /// The single registered tenant, if there is exactly one — sessions
+    /// bind to it automatically so single-index deployments skip `USE`.
+    pub fn sole(&self) -> Option<Arc<Tenant>> {
+        let map = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        if map.len() == 1 {
+            map.values().next().cloned()
+        } else {
+            None
+        }
+    }
+}

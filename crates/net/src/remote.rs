@@ -1,0 +1,300 @@
+//! `RemoteShard` — a [`ShardSource`] whose shards live on other
+//! processes, with hedged requests against replica sets.
+//!
+//! This is the transport half of remote fan-out: the coordinator's
+//! existing `FanoutBackend` (circuit breakers, coverage-tagged partial
+//! merges) drives a `RemoteShard` exactly as it drives a local
+//! `Arc<ShardedIndex>` — per-shard `query_shard_batch_opts` calls that
+//! return globally-merged-ready top-k lists. Each call becomes one
+//! `SHARDQ` frame against one replica.
+//!
+//! ## Hedging
+//!
+//! Every replica holds the *same* fully-built index split the same way,
+//! so any replica can answer any shard. The primary for shard `s` is
+//! `replicas[s % n]` (spreading load); a per-replica latency EWMA sets a
+//! hedge threshold, and when the primary's answer hasn't arrived by then,
+//! a backup probe fires at the next replica — first answer wins, the
+//! loser finishes in the background onto its pooled connection. A primary
+//! *error* fails over to the backup immediately. Only when every probe
+//! has failed does the call panic, which is precisely the failure the
+//! `FanoutBackend` breaker machinery is built to contain: the shard is
+//! skipped, the breaker opens, and the merged answer ships tagged with
+//! partial [`Coverage`](knn_serve::Coverage).
+//!
+//! Because replicas are bit-identical and `SHARDQ` text round-trips `f32`
+//! exactly, a hedged answer is the same bytes no matter which replica
+//! produced it — hedging changes tail latency, never results.
+
+use crate::client::{ClientError, NetClient, TenantMeta};
+use bilevel_lsh::telemetry::{Counter, Recorder};
+use bilevel_lsh::{BatchResult, Probe, QueryOptions};
+use knn_serve::fanout::ShardSource;
+use knn_serve::protocol::{self, format_probe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vecstore::Dataset;
+
+/// When to fire a backup probe.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgePolicy {
+    /// Master switch; disabled means a shard lives and dies with its
+    /// primary replica (used to demonstrate coverage degradation).
+    pub enabled: bool,
+    /// Hedge when the primary exceeds `ewma × multiplier`.
+    pub multiplier: f64,
+    /// Floor on the hedge threshold (also the threshold while the EWMA is
+    /// still cold).
+    pub min: Duration,
+    /// Ceiling on the hedge threshold.
+    pub max: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            multiplier: 3.0,
+            min: Duration::from_millis(2),
+            max: Duration::from_millis(500),
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// No hedging: every shard query rides its primary replica alone.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+
+    fn hedge_after(&self, ewma_us: u64) -> Duration {
+        let scaled = Duration::from_micros((ewma_us as f64 * self.multiplier) as u64);
+        scaled.clamp(self.min, self.max)
+    }
+}
+
+/// How long a shard query may take end to end (all probes included)
+/// before the call gives up and panics into the breaker machinery.
+const OVERALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// EWMA weight: `new = (old * 4 + sample) / 5`.
+fn ewma_update(cell: &AtomicU64, sample_us: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 { sample_us } else { (old * 4 + sample_us) / 5 };
+    cell.store(new, Ordering::Relaxed);
+}
+
+/// A client-side shard source over one tenant replicated across several
+/// server processes.
+pub struct RemoteShard {
+    replicas: Vec<Arc<NetClient>>,
+    meta: TenantMeta,
+    policy: HedgePolicy,
+    ewma_us: Vec<AtomicU64>,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl RemoteShard {
+    /// Dials every replica address, pins each connection pool to
+    /// `tenant`, and checks the replicas agree on the tenant's shape
+    /// (dim, shard count, probe).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] if any dial or `USE` handshake fails, or if the
+    /// replicas disagree about the tenant.
+    pub fn connect(
+        addrs: &[String],
+        tenant: &str,
+        policy: HedgePolicy,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<Self, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Protocol("RemoteShard needs at least one replica".into()));
+        }
+        let mut replicas = Vec::with_capacity(addrs.len());
+        let mut meta: Option<TenantMeta> = None;
+        for addr in addrs {
+            let client = NetClient::with_tenant(addr, tenant)?;
+            let m = client
+                .meta()
+                .ok_or_else(|| ClientError::Protocol("USE handshake returned no meta".into()))?;
+            match meta {
+                None => meta = Some(m),
+                Some(prev) if prev != m => {
+                    return Err(ClientError::Protocol(format!(
+                        "replica {addr} disagrees about tenant {tenant:?}: {m:?} vs {prev:?}"
+                    )))
+                }
+                Some(_) => {}
+            }
+            replicas.push(Arc::new(client));
+        }
+        let ewma_us = (0..replicas.len()).map(|_| AtomicU64::new(0)).collect();
+        Ok(Self { replicas, meta: meta.expect("at least one replica"), policy, ewma_us, recorder })
+    }
+
+    /// The tenant meta every replica agreed on during the handshake. A
+    /// coordinator adopts this (notably `k`) so its answers match what
+    /// the replicas themselves would serve.
+    pub fn tenant_meta(&self) -> &TenantMeta {
+        &self.meta
+    }
+
+    /// Renders the `SHARDQ` multi-line frame for one shard-batch call.
+    fn render_frame(&self, shard: usize, queries: &Dataset, options: &QueryOptions<'_>) -> String {
+        let rerank = match options.rerank {
+            Some(depth) => depth.to_string(),
+            None => "-".to_string(),
+        };
+        let mut frame = format!(
+            "SHARDQ {shard} {} {} {rerank} {}",
+            options.k,
+            format_probe(options.probe),
+            queries.len()
+        );
+        for q in 0..queries.len() {
+            frame.push('\n');
+            frame.push_str(&protocol::format_vector(queries.row(q)));
+        }
+        frame
+    }
+
+    /// Fires one probe on a worker thread; the result (with its latency
+    /// and replica index) lands on `tx`.
+    fn fire(
+        &self,
+        replica: usize,
+        frame: &str,
+        queries: usize,
+        is_backup: bool,
+        tx: &mpsc::Sender<ProbeResult>,
+    ) {
+        let client = Arc::clone(&self.replicas[replica]);
+        let frame = frame.to_string();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            let outcome = client
+                .request_ok(&frame)
+                .map_err(|e| e.to_string())
+                .and_then(|reply| parse_batch(&reply, queries));
+            let _ = tx.send(ProbeResult { replica, is_backup, elapsed: start.elapsed(), outcome });
+        });
+    }
+}
+
+struct ProbeResult {
+    replica: usize,
+    is_backup: bool,
+    elapsed: Duration,
+    outcome: Result<BatchResult, String>,
+}
+
+/// Parses a `SHARDQ` response frame: one shard-reply line per query.
+fn parse_batch(reply: &str, queries: usize) -> Result<BatchResult, String> {
+    let mut neighbors = Vec::with_capacity(queries);
+    let mut candidates = Vec::with_capacity(queries);
+    for line in reply.lines() {
+        let (c, n) = protocol::parse_shard_reply(line).map_err(|e| e.to_string())?;
+        candidates.push(c);
+        neighbors.push(n);
+    }
+    if neighbors.len() != queries {
+        return Err(format!("expected {queries} shard replies, got {}", neighbors.len()));
+    }
+    Ok(BatchResult { neighbors, candidates })
+}
+
+impl ShardSource for RemoteShard {
+    fn dim(&self) -> usize {
+        self.meta.dim
+    }
+
+    fn probe(&self) -> Probe {
+        self.meta.probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        match probe {
+            Probe::Hierarchical { .. } => self.meta.hierarchical,
+            _ => true,
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.meta.shards
+    }
+
+    fn query_shard_batch_opts(
+        &self,
+        shard: usize,
+        queries: &Dataset,
+        options: &QueryOptions<'_>,
+    ) -> BatchResult {
+        let frame = self.render_frame(shard, queries, options);
+        let n = self.replicas.len();
+        let primary = shard % n;
+        let backup = (primary + 1) % n;
+        let can_hedge = self.policy.enabled && n > 1;
+
+        let (tx, rx) = mpsc::channel();
+        self.fire(primary, &frame, queries.len(), false, &tx);
+        let mut outstanding = 1u32;
+        let mut backup_fired = false;
+        let mut last_error = String::new();
+        let deadline = Instant::now() + OVERALL_TIMEOUT;
+
+        loop {
+            let wait = if !backup_fired && can_hedge {
+                self.policy.hedge_after(self.ewma_us[primary].load(Ordering::Relaxed))
+            } else {
+                deadline.saturating_duration_since(Instant::now())
+            };
+            match rx.recv_timeout(wait) {
+                Ok(result) => match result.outcome {
+                    Ok(batch) => {
+                        ewma_update(
+                            &self.ewma_us[result.replica],
+                            result.elapsed.as_micros() as u64,
+                        );
+                        if result.is_backup {
+                            self.recorder.add(Counter::HedgeWins, 1);
+                        }
+                        return batch;
+                    }
+                    Err(e) => {
+                        outstanding -= 1;
+                        last_error = e;
+                        if !backup_fired && can_hedge {
+                            // Failover: the primary is dead, not just slow.
+                            self.recorder.add(Counter::HedgesFired, 1);
+                            self.fire(backup, &frame, queries.len(), true, &tx);
+                            backup_fired = true;
+                            outstanding += 1;
+                        } else if outstanding == 0 {
+                            panic!("shard {shard}: every replica probe failed, last: {last_error}");
+                        }
+                    }
+                },
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !backup_fired && can_hedge {
+                        // The primary is past its latency threshold —
+                        // hedge, then race both probes.
+                        self.recorder.add(Counter::HedgesFired, 1);
+                        self.fire(backup, &frame, queries.len(), true, &tx);
+                        backup_fired = true;
+                        outstanding += 1;
+                    } else {
+                        panic!("shard {shard}: query timed out after {OVERALL_TIMEOUT:?}");
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("shard {shard}: probe threads vanished, last error: {last_error}")
+                }
+            }
+        }
+    }
+}

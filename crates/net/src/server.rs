@@ -1,0 +1,558 @@
+//! The threaded TCP server: framed line protocol, per-connection
+//! pipelining, multi-tenant sessions, shard-query serving, and replica
+//! `JOIN` streaming.
+//!
+//! ## Connection anatomy
+//!
+//! Each accepted socket gets two threads: a *reader* that decodes frames
+//! into a bounded channel, and a *session* that executes them. The split
+//! is what makes pipelining pay off server-side: while earlier queries sit
+//! in the service's micro-batcher as tickets, the session keeps draining
+//! newly arrived frames from the channel, so consecutive `QUERY` frames
+//! from one client coalesce into the same dispatch batches. Responses are
+//! written strictly in request order — one response frame per request
+//! frame, always — so a pipelining client can match them up by position.
+//!
+//! ## Failure semantics
+//!
+//! A malformed *line* (unknown verb operands, bad floats) is an
+//! `ERROR ...` response frame; the session lives on. A malformed *frame*
+//! (oversized length prefix, non-UTF-8 payload, mid-frame EOF) poisons
+//! the byte stream itself, so the server sends a best-effort `ERROR`
+//! frame and closes that one connection; other sessions are untouched.
+//! The process never panics on input.
+
+use crate::frame::{read_frame, write_frame, CountingWriter, FrameError};
+use crate::registry::{QuotaGuard, Registry, Tenant, TenantKind};
+use bilevel_lsh::binio::write_section;
+use bilevel_lsh::persist::write_dataset_sections;
+use bilevel_lsh::telemetry::{Counter, InMemoryRecorder, Recorder};
+use bilevel_lsh::QueryOptions;
+use knn_serve::protocol::{self, Request, StatsFormat, WirePrecision};
+use knn_serve::{Handle, SubmitError, Ticket};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vecstore::fault::{FaultKind, FaultPlan};
+use vecstore::Dataset;
+
+/// Server-level knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Deterministic per-request fault injection (only the latency class
+    /// is applied — the request sleeps `latency_dur` before executing).
+    /// Used by tests to make one replica slow and provoke hedging.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// A running TCP server over a [`Registry`]. Dropping it (or calling
+/// [`NetServer::shutdown`]) closes the listener, shuts every live
+/// connection, and joins all threads.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections against `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the listener cannot bind.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let events = Arc::new(AtomicU64::new(0));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let sessions = Arc::clone(&sessions);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            if let Ok(clone) = stream.try_clone() {
+                                conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+                            }
+                            let session = Session {
+                                registry: Arc::clone(&registry),
+                                recorder: Arc::clone(registry.recorder()),
+                                plan: config.fault_plan.clone(),
+                                events: Arc::clone(&events),
+                                tenant: registry.sole(),
+                                handle: None,
+                                pending: VecDeque::new(),
+                            };
+                            let thread = std::thread::spawn(move || session.run(stream));
+                            sessions.lock().unwrap_or_else(|e| e.into_inner()).push(thread);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })
+        };
+        Ok(NetServer { addr: local, stop, accept: Some(accept), conns, sessions })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs every live connection, and joins all
+    /// server threads. In-flight tickets still resolve first — sessions
+    /// flush their pending responses before exiting when the client is
+    /// still reachable.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for conn in self.conns.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<_> =
+            self.sessions.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Why a session ended.
+enum SessionEnd {
+    /// The peer closed, or the stream broke — just clean up.
+    Closed,
+    /// The frame layer saw garbage; send this error (best effort), close.
+    Poisoned(String),
+}
+
+struct Session {
+    registry: Arc<Registry>,
+    recorder: Arc<InMemoryRecorder>,
+    plan: Option<FaultPlan>,
+    events: Arc<AtomicU64>,
+    tenant: Option<Arc<Tenant>>,
+    handle: Option<Handle>,
+    pending: VecDeque<(Ticket, QuotaGuard)>,
+}
+
+impl Session {
+    fn run(mut self, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else { return };
+        let (tx, rx): (SyncSender<Result<String, FrameError>>, Receiver<_>) = sync_channel(256);
+        let recorder = Arc::clone(&self.recorder);
+        let reader = std::thread::spawn(move || {
+            let mut r = BufReader::new(read_half);
+            loop {
+                let frame = read_frame(&mut r, recorder.as_ref(), Counter::NetBytesIn);
+                let failed = frame.is_err();
+                if tx.send(frame).is_err() || failed {
+                    break;
+                }
+            }
+        });
+
+        let mut out = BufWriter::new(stream);
+        let end = self.pump(&rx, &mut out);
+        // Flush whatever is still in flight so no accepted query is
+        // silently dropped, then report the poisoned-stream error if the
+        // socket still works.
+        let _ = self.flush_pending(&mut out);
+        if let SessionEnd::Poisoned(msg) = end {
+            let _ = self.reply(&mut out, &format!("ERROR {msg}"));
+        }
+        let _ = out.flush();
+        if let Ok(stream) = out.into_inner() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = reader.join();
+    }
+
+    /// The session loop: block for a frame, then opportunistically drain
+    /// everything else already buffered (this is where pipelined queries
+    /// coalesce), then flush responses in order.
+    fn pump<W: Write>(
+        &mut self,
+        rx: &Receiver<Result<String, FrameError>>,
+        out: &mut W,
+    ) -> SessionEnd {
+        loop {
+            let first = match rx.recv() {
+                Ok(f) => f,
+                Err(_) => return SessionEnd::Closed,
+            };
+            if let Some(end) = self.step(first, out) {
+                return end;
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(frame) => {
+                        if let Some(end) = self.step(frame, out) {
+                            return end;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        if self.flush_pending(out).is_err() {
+                            return SessionEnd::Closed;
+                        }
+                        return SessionEnd::Closed;
+                    }
+                }
+            }
+            if self.flush_pending(out).is_err() || out.flush().is_err() {
+                return SessionEnd::Closed;
+            }
+        }
+    }
+
+    /// Handles one frame; `Some(end)` terminates the session.
+    fn step<W: Write>(
+        &mut self,
+        frame: Result<String, FrameError>,
+        out: &mut W,
+    ) -> Option<SessionEnd> {
+        let payload = match frame {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return Some(SessionEnd::Closed),
+            Err(e @ (FrameError::Truncated | FrameError::TooLarge(_) | FrameError::BadUtf8)) => {
+                return Some(SessionEnd::Poisoned(e.to_string()))
+            }
+            Err(FrameError::Io(e)) => return Some(SessionEnd::Poisoned(e.to_string())),
+        };
+        self.recorder.add(Counter::NetRequests, 1);
+        match self.handle_payload(&payload, out) {
+            Ok(()) => None,
+            Err(_) => Some(SessionEnd::Closed),
+        }
+    }
+
+    /// Sleeps if the injection plan fires the latency class for this
+    /// request — deterministic per (seed, event) like every other fault
+    /// in the repo.
+    fn maybe_inject_latency(&self) {
+        if let Some(plan) = &self.plan {
+            let event = self.events.fetch_add(1, Ordering::SeqCst);
+            if plan.decide(event, 0) == Some(FaultKind::Latency) {
+                std::thread::sleep(plan.latency_dur);
+            }
+        }
+    }
+
+    fn handle_payload<W: Write>(&mut self, payload: &str, out: &mut W) -> io::Result<()> {
+        let (first_line, rest) = match payload.split_once('\n') {
+            Some((first, rest)) => (first, Some(rest)),
+            None => (payload, None),
+        };
+        let request = match protocol::parse_request(first_line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.flush_pending(out)?;
+                return self.reply(out, &format!("ERROR {e}"));
+            }
+        };
+        // Only SHARDQ is a multi-line frame.
+        if rest.is_some() && !matches!(request, Request::ShardQuery { .. }) {
+            self.flush_pending(out)?;
+            return self.reply(out, "ERROR only SHARDQ frames may span multiple lines");
+        }
+        match request {
+            Request::Query { vector } => self.handle_query(vector, out),
+            Request::ShardQuery { .. } => self.handle_shardq(request, rest.unwrap_or(""), out),
+            Request::Use { tenant } => {
+                self.flush_pending(out)?;
+                match self.registry.get(&tenant) {
+                    Some(t) => {
+                        let line = t.describe();
+                        self.tenant = Some(t);
+                        self.handle = None;
+                        self.reply(out, &line)
+                    }
+                    None => self.reply(out, &format!("ERROR unknown tenant {tenant:?}")),
+                }
+            }
+            Request::List => {
+                self.flush_pending(out)?;
+                self.reply(out, &format!("TENANTS {}", self.registry.names().join(" ")))
+            }
+            Request::Join { tenant } => self.handle_join(&tenant, out),
+            Request::Stats(format) => {
+                self.flush_pending(out)?;
+                let snapshot = self.recorder.snapshot();
+                let text = match format {
+                    StatsFormat::Prometheus => snapshot.to_prometheus(),
+                    StatsFormat::Json => snapshot.to_json(),
+                    StatsFormat::Table => snapshot.render_table(),
+                };
+                self.reply(out, &text)
+            }
+            write_request @ (Request::Upsert { .. }
+            | Request::Delete { .. }
+            | Request::Commit
+            | Request::Compact) => self.handle_write(write_request, out),
+        }
+    }
+
+    /// The session's current tenant, or `None` after replying an error.
+    fn need_tenant<W: Write>(&mut self, out: &mut W) -> io::Result<Option<Arc<Tenant>>> {
+        match &self.tenant {
+            Some(t) => Ok(Some(Arc::clone(t))),
+            None => {
+                self.flush_pending(out)?;
+                self.reply(out, "ERROR no tenant selected: USE <name> (see LIST)")?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn handle_query<W: Write>(&mut self, vector: Vec<f32>, out: &mut W) -> io::Result<()> {
+        let Some(tenant) = self.need_tenant(out)? else { return Ok(()) };
+        let guard = match tenant.try_admit(self.recorder.as_ref()) {
+            Ok(g) => g,
+            Err(e) => {
+                self.flush_pending(out)?;
+                return self.reply(out, &format!("ERROR {e}"));
+            }
+        };
+        self.maybe_inject_latency();
+        // A mutable tenant commits staged writes before the query runs, so
+        // a query observes exactly the write frames before it. In-flight
+        // responses flush first — a commit can't overtake queued queries.
+        if let TenantKind::Mutable { writer } = tenant.kind() {
+            let staged = writer.lock().unwrap_or_else(|e| e.into_inner()).pending() > 0;
+            if staged {
+                self.flush_pending(out)?;
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = w.commit(self.recorder.as_ref()) {
+                    return self.reply(out, &format!("ERROR commit failed: {e}"));
+                }
+            }
+        }
+        if self.handle.is_none() {
+            self.handle = Some(tenant.handle());
+        }
+        let handle = self.handle.as_ref().expect("handle just set").clone();
+        let k = tenant.k();
+        let ticket = loop {
+            match handle.submit(&vector, k, None) {
+                Ok(t) => break t,
+                Err(SubmitError::Overloaded) => {
+                    // The service queue is full: resolve the oldest
+                    // in-flight response to make room (per-connection
+                    // backpressure), or briefly yield.
+                    match self.pending.pop_front() {
+                        Some((oldest, slot)) => {
+                            self.write_ticket(oldest, out)?;
+                            drop(slot);
+                        }
+                        None => std::thread::sleep(Duration::from_micros(50)),
+                    }
+                }
+                Err(e) => {
+                    self.flush_pending(out)?;
+                    return self.reply(out, &format!("ERROR {e}"));
+                }
+            }
+        };
+        self.pending.push_back((ticket, guard));
+        Ok(())
+    }
+
+    fn handle_shardq<W: Write>(
+        &mut self,
+        request: Request,
+        body: &str,
+        out: &mut W,
+    ) -> io::Result<()> {
+        let Request::ShardQuery { shard, k, probe, rerank, queries } = request else {
+            unreachable!("caller routes only SHARDQ frames here");
+        };
+        let Some(tenant) = self.need_tenant(out)? else { return Ok(()) };
+        // SHARDQ responses interleave with query responses in frame
+        // order, so everything in flight flushes first.
+        self.flush_pending(out)?;
+        let TenantKind::Replica { index, .. } = tenant.kind() else {
+            return self.reply(out, "ERROR SHARDQ requires a replica tenant");
+        };
+        let guard = match tenant.try_admit(self.recorder.as_ref()) {
+            Ok(g) => g,
+            Err(e) => return self.reply(out, &format!("ERROR {e}")),
+        };
+        if shard >= index.num_shards() {
+            return self.reply(
+                out,
+                &format!("ERROR shard {shard} out of range (0..{})", index.num_shards()),
+            );
+        }
+        let mut batch = Dataset::with_capacity(tenant.dim(), queries);
+        for line in body.lines() {
+            let v = match protocol::parse_vector(line) {
+                Ok(v) => v,
+                Err(e) => return self.reply(out, &format!("ERROR {e}")),
+            };
+            if v.len() != tenant.dim() {
+                return self.reply(
+                    out,
+                    &format!("ERROR dim mismatch: expected {}, got {}", tenant.dim(), v.len()),
+                );
+            }
+            batch.push(&v);
+        }
+        if batch.len() != queries {
+            return self.reply(
+                out,
+                &format!("ERROR SHARDQ declared {queries} queries, frame holds {}", batch.len()),
+            );
+        }
+        self.maybe_inject_latency();
+        let mut options = QueryOptions::new(k);
+        options.probe = probe;
+        options.rerank = rerank;
+        let result = index.query_shard_batch_opts(shard, &batch, &options);
+        drop(guard);
+        let mut frame = String::new();
+        for (i, (neighbors, candidates)) in
+            result.neighbors.iter().zip(&result.candidates).enumerate()
+        {
+            if i > 0 {
+                frame.push('\n');
+            }
+            frame.push_str(&protocol::render_shard_reply(*candidates, neighbors));
+        }
+        self.reply(out, &frame)
+    }
+
+    fn handle_join<W: Write>(&mut self, tenant_name: &str, out: &mut W) -> io::Result<()> {
+        self.flush_pending(out)?;
+        let Some(tenant) = self.registry.get(tenant_name) else {
+            return self.reply(out, &format!("ERROR unknown tenant {tenant_name:?}"));
+        };
+        let TenantKind::Replica { index, snapshot } = tenant.kind() else {
+            return self.reply(out, "ERROR JOIN requires a replica tenant");
+        };
+        let (index, snapshot) = (Arc::clone(index), Arc::clone(snapshot));
+        self.reply(
+            out,
+            &format!(
+                "OK shards={} dim={} rows={} k={}",
+                index.num_shards(),
+                index.data().dim(),
+                index.data().len(),
+                tenant.k()
+            ),
+        )?;
+        // After the OK frame, raw checksummed sections stream on the
+        // socket: the corpus in chunks, then the snapshot as one section.
+        let mut counted =
+            CountingWriter::new(&mut *out, self.recorder.as_ref(), Counter::NetBytesOut);
+        write_dataset_sections(&mut counted, index.data())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        write_section(&mut counted, &snapshot).map_err(|e| io::Error::other(e.to_string()))?;
+        out.flush()?;
+        self.recorder.add(Counter::ReplicaJoins, 1);
+        Ok(())
+    }
+
+    fn handle_write<W: Write>(&mut self, request: Request, out: &mut W) -> io::Result<()> {
+        let Some(tenant) = self.need_tenant(out)? else { return Ok(()) };
+        // One response frame per request frame, in order: writes flush
+        // in-flight query responses before answering.
+        self.flush_pending(out)?;
+        let TenantKind::Mutable { writer } = tenant.kind() else {
+            return self.reply(out, "ERROR writes require a mutable tenant");
+        };
+        let mut writer = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let reply = match request {
+            Request::Upsert { id: None, vector } => match writer.stage_insert(&vector) {
+                Ok(()) => format!("STAGED {}", writer.pending()),
+                Err(e) => format!("ERROR {e}"),
+            },
+            Request::Upsert { id: Some(id), vector } => match writer.stage_update(id, &vector) {
+                Ok(()) => format!("STAGED {}", writer.pending()),
+                Err(e) => format!("ERROR {e}"),
+            },
+            Request::Delete { id } => {
+                writer.stage_delete(id);
+                format!("STAGED {}", writer.pending())
+            }
+            Request::Commit => match writer.commit(self.recorder.as_ref()) {
+                Ok(Some(s)) => format!(
+                    "COMMITTED inserted={} updated={} deleted={} epoch={}",
+                    s.inserted, s.updated, s.deleted, s.epoch
+                ),
+                Ok(None) => format!("COMMITTED nothing epoch={}", writer.epoch()),
+                Err(e) => format!("ERROR {e}"),
+            },
+            Request::Compact => match writer.commit(self.recorder.as_ref()) {
+                Err(e) => format!("ERROR {e}"),
+                Ok(_) if writer.live_len() == 0 => {
+                    "ERROR cannot compact a fully deleted index".to_string()
+                }
+                Ok(_) => {
+                    let survivors = writer.compact(self.recorder.as_ref());
+                    format!("COMPACTED live={} epoch={}", survivors.len(), writer.epoch())
+                }
+            },
+            other => unreachable!("non-write request routed to handle_write: {other:?}"),
+        };
+        drop(writer);
+        self.reply(out, &reply)
+    }
+
+    /// Resolves every pending ticket into a response frame, in order.
+    fn flush_pending<W: Write>(&mut self, out: &mut W) -> io::Result<()> {
+        while let Some((ticket, guard)) = self.pending.pop_front() {
+            self.write_ticket(ticket, out)?;
+            drop(guard);
+        }
+        Ok(())
+    }
+
+    fn write_ticket<W: Write>(&self, ticket: Ticket, out: &mut W) -> io::Result<()> {
+        let frame = match ticket.wait() {
+            Ok(resp) => {
+                protocol::render_response(&resp.neighbors, resp.coverage, WirePrecision::Exact)
+            }
+            Err(e) => format!("ERROR {e}"),
+        };
+        self.reply(out, &frame)
+    }
+
+    fn reply<W: Write>(&self, out: &mut W, frame: &str) -> io::Result<()> {
+        write_frame(out, frame, self.recorder.as_ref(), Counter::NetBytesOut)
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}

@@ -1,0 +1,561 @@
+//! Loopback end-to-end tests for the TCP front end: every server in this
+//! file binds `127.0.0.1:0` and every client talks to it over a real
+//! socket, so the full stack — framing, sessions, tenancy, remote
+//! fan-out, hedging, replica join — runs exactly as it does in
+//! production, minus the network between machines.
+
+use bilevel_lsh::telemetry::{Counter, InMemoryRecorder, NOOP};
+use bilevel_lsh::{BiLevelConfig, Probe, Quantizer, QueryOptions, ShardedIndex};
+use knn_net::frame::{read_frame, write_frame, MAX_FRAME};
+use knn_net::{
+    HedgePolicy, NetClient, NetServer, Registry, RemoteShard, ServerConfig, TenantConfig,
+};
+use knn_serve::protocol::{self, format_vector, WirePrecision};
+use knn_serve::{Backend, FanoutBackend, FanoutConfig};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use vecstore::fault::{FaultKind, FaultPlan};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::Dataset;
+
+fn corpus(n: usize, seed: u64) -> Dataset {
+    synth::clustered(&ClusteredSpec::small(n), seed)
+}
+
+fn queries(n: usize, seed: u64) -> Dataset {
+    synth::clustered(&ClusteredSpec::small(n), seed)
+}
+
+fn config() -> BiLevelConfig {
+    // Wide enough buckets that in-corpus queries surface full-k answers
+    // on this synthetic corpus (the width mutation.rs settled on).
+    BiLevelConfig::paper_default(8.0)
+}
+
+fn serve(registry: &Arc<Registry>) -> NetServer {
+    NetServer::bind("127.0.0.1:0", Arc::clone(registry), ServerConfig::default())
+        .expect("bind loopback")
+}
+
+fn query_lines(queries: &Dataset) -> Vec<String> {
+    (0..queries.len()).map(|q| format_vector(queries.row(q))).collect()
+}
+
+/// What the server must answer for `query` against this exact index: the
+/// wire protocol round-trips `f32` exactly, so the whole reply string is
+/// predictable bit for bit.
+fn expected_reply(index: &Arc<ShardedIndex>, query: &[f32], k: usize) -> String {
+    let mut batch = Dataset::with_capacity(query.len(), 1);
+    batch.push(query);
+    let outcome = Backend::query_batch_opts(index, &batch, &QueryOptions::new(k));
+    protocol::render_response(&outcome.neighbors[0], outcome.coverage, WirePrecision::Exact)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy
+// ---------------------------------------------------------------------------
+
+/// One process serves several named indexes; sessions switch with `USE`,
+/// discover with `LIST`, and a tenant with an exhausted quota rejects
+/// with the service layer's own overload error.
+#[test]
+fn multi_tenant_sessions_switch_and_reject() {
+    // Multi-probe plus in-corpus queries keep candidate sets well above
+    // k, so the replies carry exactly k neighbors.
+    let cfg = config().probe(Probe::Multi(8));
+    let data = corpus(300, 1);
+    let beta_data = corpus(250, 2);
+    let registry = Arc::new(Registry::new());
+    registry.register_replica("alpha", data.clone(), &cfg, 2, TenantConfig::default()).unwrap();
+    registry
+        .register_replica("beta", beta_data.clone(), &cfg, 1, TenantConfig::default().k(5))
+        .unwrap();
+    registry
+        .register_replica("tiny", corpus(120, 3), &cfg, 1, TenantConfig::default().max_in_flight(0))
+        .unwrap();
+    let server = serve(&registry);
+    let addr = server.local_addr().to_string();
+
+    let client = NetClient::connect(&addr).unwrap();
+    assert_eq!(client.request("LIST").unwrap(), "TENANTS alpha beta tiny");
+
+    // Three tenants registered: no auto-bind, queries need USE first.
+    let line = format_vector(data.row(0));
+    let reply = client.request(&line).unwrap();
+    assert!(reply.starts_with("ERROR no tenant selected"), "got {reply:?}");
+
+    // NetClient pools connections per call, so drive one session through
+    // the raw pipeline path to exercise USE switching statefully.
+    let replies = client.pipeline(&["USE alpha", &line, "USE beta", &line, "USE nope"]).unwrap();
+    assert!(replies[0].starts_with("OK tenant=alpha dim=32 shards=2"), "got {:?}", replies[0]);
+    // The same session answers the same line differently per tenant —
+    // and each answer matches a locally built copy of that tenant's
+    // index bit for bit (alpha serves k=10, beta k=5).
+    let alpha = Arc::new(ShardedIndex::build(data.clone(), &cfg, 2));
+    let beta = Arc::new(ShardedIndex::build(beta_data, &cfg, 1));
+    assert_eq!(replies[1], expected_reply(&alpha, data.row(0), 10));
+    assert!(replies[2].starts_with("OK tenant=beta dim=32 shards=1"), "got {:?}", replies[2]);
+    assert_eq!(replies[3], expected_reply(&beta, data.row(0), 5));
+    assert!(replies[4].starts_with("ERROR unknown tenant"), "got {:?}", replies[4]);
+
+    // A zero-quota tenant rejects every query with Overloaded.
+    let replies = client.pipeline(&["USE tiny", &line]).unwrap();
+    assert!(replies[0].starts_with("OK tenant=tiny"), "got {:?}", replies[0]);
+    assert_eq!(replies[1], "ERROR admission queue full");
+    assert!(registry.recorder().counter(Counter::TenantRejections) >= 1);
+
+    server.shutdown();
+}
+
+/// A single-tenant deployment auto-binds sessions, so plain queries work
+/// without a USE handshake, and `with_tenant` captures the tenant meta.
+#[test]
+fn single_tenant_auto_binds() {
+    let data = corpus(200, 4);
+    let cfg = config().probe(Probe::Multi(8));
+    let registry = Arc::new(Registry::new());
+    registry.register_replica("solo", data.clone(), &cfg, 2, TenantConfig::default().k(7)).unwrap();
+    let server = serve(&registry);
+    let addr = server.local_addr().to_string();
+
+    let client = NetClient::connect(&addr).unwrap();
+    let reply = client.request(&format_vector(data.row(0))).unwrap();
+    let local = Arc::new(ShardedIndex::build(data.clone(), &cfg, 2));
+    assert_eq!(reply, expected_reply(&local, data.row(0), 7));
+
+    let pinned = NetClient::with_tenant(&addr, "solo").unwrap();
+    let meta = pinned.meta().expect("USE handshake captures meta");
+    assert_eq!((meta.dim, meta.shards, meta.k), (32, 2, 7));
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Remote fan-out
+// ---------------------------------------------------------------------------
+
+/// The heart of the tentpole: a coordinator fanning out over TCP produces
+/// *bit-identical* answers to the same `ShardedIndex` queried locally —
+/// across every probe mode and both quantizers — because distances travel
+/// as exact round-trip `f32` text.
+#[test]
+fn remote_fanout_bit_identical_to_local() {
+    let data = corpus(400, 5);
+    let batch = queries(24, 6);
+    for quantizer in [Quantizer::Zm, Quantizer::E8] {
+        // Built hierarchical so every probe mode is supported end to end.
+        let cfg = config().quantizer(quantizer).probe(Probe::Hierarchical { min_candidates: 12 });
+        let shards = 3;
+
+        let registry = Arc::new(Registry::new());
+        registry
+            .register_replica("t", data.clone(), &cfg, shards, TenantConfig::default())
+            .unwrap();
+        // Two servers over the *same* registry: two replica addresses
+        // whose state is identical by construction.
+        let server_a = serve(&registry);
+        let server_b = serve(&registry);
+        let addrs = [server_a.local_addr().to_string(), server_b.local_addr().to_string()];
+
+        let local = FanoutBackend::new(
+            Arc::new(ShardedIndex::build(data.clone(), &cfg, shards)),
+            FanoutConfig::default(),
+        );
+        let recorder: Arc<InMemoryRecorder> = Arc::new(InMemoryRecorder::new());
+        let source = RemoteShard::connect(&addrs, "t", HedgePolicy::default(), recorder).unwrap();
+        let remote = FanoutBackend::new(source, FanoutConfig::default());
+
+        let probes = [
+            None, // the built probe
+            Some(Probe::Home),
+            Some(Probe::Multi(6)),
+            Some(Probe::Hierarchical { min_candidates: 12 }),
+        ];
+        for probe in probes {
+            let mut options = QueryOptions::new(9);
+            options.probe = probe;
+            let want = local.query_batch_opts(&batch, &options);
+            let got = remote.query_batch_opts(&batch, &options);
+            assert!(want.coverage.is_full() && got.coverage.is_full());
+            assert_eq!(got.candidates, want.candidates, "{quantizer:?} {probe:?}");
+            assert_eq!(
+                got.neighbors, want.neighbors,
+                "remote fan-out diverged from local: {quantizer:?} {probe:?}"
+            );
+            // PartialEq on f32 admits -0.0 == 0.0; pin exact bits too.
+            for (g, w) in got.neighbors.iter().flatten().zip(want.neighbors.iter().flatten()) {
+                assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "distance bits drifted");
+            }
+        }
+
+        server_a.shutdown();
+        server_b.shutdown();
+    }
+}
+
+/// A slow replica (deterministic injected latency, the repo's own fault
+/// plan vocabulary) trips the latency-EWMA hedge: backup probes fire,
+/// some win, and the merged answer is still bit-identical to local.
+#[test]
+fn hedging_rescues_a_slow_replica() {
+    let data = corpus(350, 7);
+    let batch = queries(8, 8);
+    let cfg = config();
+    let shards = 4;
+
+    let registry = Arc::new(Registry::new());
+    registry.register_replica("t", data.clone(), &cfg, shards, TenantConfig::default()).unwrap();
+
+    let fast = serve(&registry);
+    // Every request against the slow server sleeps 40ms before executing.
+    let mut plan = FaultPlan::none(0xcafe).with_rate(FaultKind::Latency, 1.0);
+    plan.latency_dur = Duration::from_millis(40);
+    let slow = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig { fault_plan: Some(plan) },
+    )
+    .unwrap();
+    let addrs = [fast.local_addr().to_string(), slow.local_addr().to_string()];
+
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let policy = HedgePolicy {
+        enabled: true,
+        multiplier: 3.0,
+        min: Duration::from_millis(2),
+        max: Duration::from_millis(10),
+    };
+    let source =
+        RemoteShard::connect(&addrs, "t", policy, Arc::clone(&recorder) as Arc<_>).unwrap();
+    let remote = FanoutBackend::new(source, FanoutConfig::default());
+    let local = FanoutBackend::new(
+        Arc::new(ShardedIndex::build(data, &cfg, shards)),
+        FanoutConfig::default(),
+    );
+
+    let options = QueryOptions::new(10);
+    for _ in 0..3 {
+        let got = remote.query_batch_opts(&batch, &options);
+        let want = local.query_batch_opts(&batch, &options);
+        assert!(got.coverage.is_full(), "hedging must not cost coverage");
+        assert_eq!(got.neighbors, want.neighbors, "hedged answers diverged");
+    }
+    // Odd shards have the slow server as primary; with a 10ms hedge
+    // ceiling against a 40ms sleep, backups fire and win.
+    assert!(recorder.counter(Counter::HedgesFired) > 0, "no hedge fired against a 40ms replica");
+    assert!(recorder.counter(Counter::HedgeWins) > 0, "no backup probe ever won");
+
+    fast.shutdown();
+    slow.shutdown();
+}
+
+/// With hedging disabled, killing a replica mid-run degrades the
+/// coordinator to coverage-tagged partial answers — the shard panics into
+/// the fan-out breaker machinery instead of erroring the whole batch.
+#[test]
+fn killed_replica_degrades_to_partial_coverage() {
+    let data = corpus(300, 11);
+    // In-corpus queries spread across the row range: every query hits its
+    // own row, so the shards that survive keep producing answers.
+    let mut batch = Dataset::with_capacity(data.dim(), 6);
+    for row in [0, 60, 120, 180, 240, 299] {
+        batch.push(data.row(row));
+    }
+    let cfg = config();
+    let shards = 4;
+
+    let registry = Arc::new(Registry::new());
+    registry.register_replica("t", data, &cfg, shards, TenantConfig::default()).unwrap();
+    let server_a = serve(&registry);
+    let server_b = serve(&registry);
+    let addrs = [server_a.local_addr().to_string(), server_b.local_addr().to_string()];
+
+    let recorder: Arc<InMemoryRecorder> = Arc::new(InMemoryRecorder::new());
+    let source = RemoteShard::connect(&addrs, "t", HedgePolicy::disabled(), recorder).unwrap();
+    let remote = FanoutBackend::new(source, FanoutConfig::default());
+    let mut options = QueryOptions::new(8);
+    options.probe = Some(Probe::Multi(8));
+
+    let healthy = remote.query_batch_opts(&batch, &options);
+    assert!(healthy.coverage.is_full(), "both replicas up: full coverage");
+
+    // Kill replica B. Shards 1 and 3 have it as primary, and without
+    // hedging there is no failover — those probes must panic.
+    server_b.shutdown();
+    let degraded = remote.query_batch_opts(&batch, &options);
+    assert!(!degraded.coverage.is_full(), "dead replica must show in coverage");
+    assert_eq!(degraded.coverage.answered, 2, "shards 0 and 2 still answer");
+    assert_eq!(degraded.coverage.total, 4);
+    assert!(remote.fault_stats().shard_panics() > 0, "failures route through the breaker");
+    assert!(
+        degraded.neighbors.iter().any(|n| !n.is_empty()),
+        "surviving shards still produce answers"
+    );
+    for per_query in &degraded.neighbors {
+        assert!(per_query.windows(2).all(|w| w[0].dist <= w[1].dist), "merge stays sorted");
+    }
+
+    server_a.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Replica join
+// ---------------------------------------------------------------------------
+
+/// A fresh process JOINs a running replica — corpus and snapshot stream
+/// over one socket, every section checksummed — and then serves answers
+/// byte-identical to its peer, with no shared disk anywhere.
+#[test]
+fn joined_replica_serves_byte_identical_answers() {
+    let registry_a = Arc::new(Registry::new());
+    registry_a
+        .register_replica("img", corpus(320, 13), &config(), 3, TenantConfig::default().k(6))
+        .unwrap();
+    let server_a = serve(&registry_a);
+    let addr_a = server_a.local_addr().to_string();
+
+    // The joiner: download everything over TCP, boot a warm registry.
+    let bootstrap = NetClient::connect(&addr_a).unwrap();
+    let joined = bootstrap.join_fetch("img").unwrap();
+    assert_eq!(joined.shards, 3);
+    // The handshake carries the origin's serving k, so the joiner adopts
+    // it and coordinators see consistent tenant meta across replicas.
+    assert_eq!(joined.k, 6);
+    let registry_b = Arc::new(Registry::new());
+    registry_b
+        .register_joined(
+            "img",
+            joined.data,
+            joined.snapshot,
+            joined.shards,
+            TenantConfig::default().k(joined.k),
+        )
+        .unwrap();
+    let server_b = serve(&registry_b);
+    let addr_b = server_b.local_addr().to_string();
+
+    let lines = query_lines(&queries(16, 14));
+    let client_a = NetClient::with_tenant(&addr_a, "img").unwrap();
+    let client_b = NetClient::with_tenant(&addr_b, "img").unwrap();
+    let from_peer = client_a.pipeline(&lines).unwrap();
+    let from_joiner = client_b.pipeline(&lines).unwrap();
+    assert_eq!(from_joiner, from_peer, "joined replica diverged from its peer");
+    assert!(from_peer.iter().all(|r| !r.starts_with("ERROR")));
+
+    assert_eq!(registry_a.recorder().counter(Counter::ReplicaJoins), 1);
+    // The join download is the dominant byte stream in this test.
+    assert!(registry_a.recorder().counter(Counter::NetBytesOut) > 10_000);
+
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Framing hostility
+// ---------------------------------------------------------------------------
+
+fn raw_dial(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("dial loopback");
+    stream.set_nodelay(true).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+/// Malformed frames — oversized length prefixes, mid-frame EOF, invalid
+/// UTF-8, random garbage — poison only their own connection. The server
+/// answers with a best-effort ERROR frame where it can, never panics,
+/// and keeps serving everyone else.
+#[test]
+fn malformed_frames_poison_only_their_connection() {
+    let registry = Arc::new(Registry::new());
+    registry
+        .register_replica("solo", corpus(150, 15), &config(), 1, TenantConfig::default())
+        .unwrap();
+    let server = serve(&registry);
+    let addr = server.local_addr().to_string();
+
+    // Oversized length prefix: rejected before allocation, ERROR frame back.
+    {
+        let mut s = raw_dial(&addr);
+        s.write_all(&u32::try_from(MAX_FRAME + 1).unwrap().to_le_bytes()).unwrap();
+        s.flush().unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let reply = read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap();
+        assert!(reply.starts_with("ERROR"), "got {reply:?}");
+        // ...and then the connection closes.
+        assert!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).is_err());
+    }
+
+    // Mid-frame EOF: header promises 64 bytes, 10 arrive, then close.
+    {
+        let mut s = raw_dial(&addr);
+        s.write_all(&64u32.to_le_bytes()).unwrap();
+        s.write_all(b"0123456789").unwrap();
+        s.flush().unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        // Drain whatever the server sends until it closes; must not hang.
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+    }
+
+    // Invalid UTF-8 payload.
+    {
+        let mut s = raw_dial(&addr);
+        s.write_all(&2u32.to_le_bytes()).unwrap();
+        s.write_all(&[0xff, 0xfe]).unwrap();
+        s.flush().unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let reply = read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap();
+        assert!(reply.starts_with("ERROR"), "got {reply:?}");
+    }
+
+    // Raw garbage bytes, no framing at all.
+    {
+        let mut s = raw_dial(&addr);
+        s.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00, 0x00]).unwrap();
+        s.flush().unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+    }
+
+    // An empty *line* is a protocol error, not a stream poison: the
+    // session answers ERROR and keeps serving on the same connection.
+    {
+        let s = raw_dial(&addr);
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut w = s;
+        write_frame(&mut w, "", &NOOP, Counter::NetBytesOut).unwrap();
+        w.flush().unwrap();
+        let reply = read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap();
+        assert_eq!(reply, "ERROR empty request line");
+        write_frame(&mut w, "LIST", &NOOP, Counter::NetBytesOut).unwrap();
+        w.flush().unwrap();
+        assert_eq!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap(), "TENANTS solo");
+    }
+
+    // After all that hostility, a fresh well-behaved client still works.
+    let client = NetClient::connect(&addr).unwrap();
+    let q = queries(1, 16);
+    let reply = client.request(&format_vector(q.row(0))).unwrap();
+    assert!(!reply.starts_with("ERROR"), "server wounded by malformed frames: {reply:?}");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining and ordering
+// ---------------------------------------------------------------------------
+
+/// Pipelined frames — queries interleaved with control verbs — come back
+/// strictly in request order, one response per request, with answers
+/// identical to the same requests issued one at a time.
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let registry = Arc::new(Registry::new());
+    registry
+        .register_replica("solo", corpus(260, 17), &config(), 2, TenantConfig::default())
+        .unwrap();
+    let server = serve(&registry);
+    let addr = server.local_addr().to_string();
+    let client = NetClient::connect(&addr).unwrap();
+
+    let batch = queries(30, 18);
+    let mut lines = query_lines(&batch);
+    // Interleave control frames: they flush pending query responses but
+    // must not disturb ordering.
+    lines.insert(10, "LIST".to_string());
+    lines.insert(20, "LIST".to_string());
+
+    let pipelined = client.pipeline(&lines).unwrap();
+    assert_eq!(pipelined.len(), lines.len());
+    let serial: Vec<String> = lines.iter().map(|l| client.request(l).unwrap()).collect();
+    assert_eq!(pipelined, serial, "pipelining changed responses or their order");
+    assert_eq!(pipelined[10], "TENANTS solo");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry and writes
+// ---------------------------------------------------------------------------
+
+/// Network counters show up in `STATS JSON` over the wire and count real
+/// traffic: requests, bytes in, bytes out.
+#[test]
+fn stats_report_net_traffic() {
+    let registry = Arc::new(Registry::new());
+    registry
+        .register_replica("solo", corpus(180, 19), &config(), 1, TenantConfig::default())
+        .unwrap();
+    let server = serve(&registry);
+    let client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+
+    for line in query_lines(&queries(5, 20)) {
+        let reply = client.request(&line).unwrap();
+        assert!(!reply.starts_with("ERROR"));
+    }
+    let json = client.request("STATS JSON").unwrap();
+    for name in ["net_requests", "net_bytes_in", "net_bytes_out"] {
+        assert!(json.contains(&format!("\"{name}\":")), "STATS JSON lacks {name}: {json}");
+        assert!(
+            !json.contains(&format!("\"{name}\":0,")) && !json.contains(&format!("\"{name}\":0}}")),
+            "{name} stayed zero under real traffic"
+        );
+    }
+    let rec = registry.recorder();
+    assert!(rec.counter(Counter::NetRequests) >= 6);
+    assert!(rec.counter(Counter::NetBytesIn) > 0);
+    assert!(rec.counter(Counter::NetBytesOut) > 0);
+
+    server.shutdown();
+}
+
+/// The full write path works over TCP against a mutable tenant: staged
+/// upserts and deletes, auto-commit on query, explicit COMMIT/COMPACT.
+#[test]
+fn mutable_tenant_serves_writes_over_tcp() {
+    let data = corpus(200, 21);
+    let dim = data.dim();
+    let base_rows = data.len();
+    let registry = Arc::new(Registry::new());
+    registry.register_mutable("rw", data, &config(), TenantConfig::default().k(3)).unwrap();
+    let server = serve(&registry);
+    let client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+
+    // Insert a far-away sentinel vector; the next query must see it.
+    let sentinel = vec![100.0f32; dim];
+    let insert = format!("UPSERT + {}", format_vector(&sentinel));
+    assert_eq!(client.request(&insert).unwrap(), "STAGED 1");
+    let reply = client.request(&format_vector(&sentinel)).unwrap();
+    let first = reply.split_whitespace().next().unwrap();
+    let (id, _) = first.split_once(':').unwrap();
+    assert_eq!(id.parse::<usize>().unwrap(), base_rows, "query must see the committed insert");
+
+    // Delete it, commit, and it disappears from the same query.
+    assert_eq!(client.request(&format!("DELETE {base_rows}")).unwrap(), "STAGED 1");
+    let commit = client.request("COMMIT").unwrap();
+    assert!(commit.starts_with("COMMITTED"), "got {commit:?}");
+    let reply = client.request(&format_vector(&sentinel)).unwrap();
+    assert!(
+        !reply.split_whitespace().any(|t| t.starts_with(&format!("{base_rows}:"))),
+        "deleted row resurfaced: {reply:?}"
+    );
+
+    let compacted = client.request("COMPACT").unwrap();
+    assert!(compacted.starts_with("COMPACTED live="), "got {compacted:?}");
+
+    // Writes against a read replica are refused with a typed error.
+    let registry2 = Arc::new(Registry::new());
+    registry2
+        .register_replica("ro", corpus(120, 22), &config(), 2, TenantConfig::default())
+        .unwrap();
+    let server2 = serve(&registry2);
+    let client2 = NetClient::connect(&server2.local_addr().to_string()).unwrap();
+    assert_eq!(client2.request("DELETE 0").unwrap(), "ERROR writes require a mutable tenant");
+
+    server.shutdown();
+    server2.shutdown();
+}

@@ -110,3 +110,24 @@ impl Backend for ShardedIndex {
         ShardedIndex::query_batch_opts(self, queries, options).into()
     }
 }
+
+/// Shared-ownership variant so one [`ShardedIndex`] can back a
+/// [`crate::Service`] while other paths (shard-query serving, snapshot
+/// streaming to a joining replica) hold the same index.
+impl Backend for std::sync::Arc<ShardedIndex> {
+    fn dim(&self) -> usize {
+        self.data().dim()
+    }
+
+    fn probe(&self) -> Probe {
+        self.config().probe
+    }
+
+    fn supports_probe(&self, probe: Probe) -> bool {
+        ShardedIndex::supports_probe(self, probe)
+    }
+
+    fn query_batch_opts(&self, queries: &Dataset, options: &QueryOptions<'_>) -> BatchOutcome {
+        ShardedIndex::query_batch_opts(self, queries, options).into()
+    }
+}

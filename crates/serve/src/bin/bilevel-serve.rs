@@ -45,6 +45,7 @@ use bilevel_lsh::telemetry::InMemoryRecorder;
 use bilevel_lsh::{
     BiLevelConfig, BiLevelIndex, Partition, Probe, Quantizer, ShardedIndex, WidthMode,
 };
+use knn_serve::protocol::{self, Request, StatsFormat, WirePrecision};
 use knn_serve::{
     MutableBackend, MutableWriter, QueryResponse, Service, ServiceConfig, SubmitError, Ticket,
 };
@@ -176,25 +177,63 @@ fn run_loop(
         if line.trim().is_empty() {
             continue;
         }
-        // Telemetry control lines: flush every in-flight response first so
-        // stdout stays in input order, then print the snapshot.
-        if let Some(format) = stats_command(line.trim()) {
-            for ticket in pending.drain(..) {
-                print_response(&mut out, ticket.wait(), &mut failed)?;
+        let request = match protocol::parse_request(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                // A malformed line answers with an ERROR line in input
+                // order — it never kills the session or truncates into a
+                // shorter query vector.
+                for ticket in pending.drain(..) {
+                    print_response(&mut out, ticket.wait(), &mut failed)?;
+                }
+                writeln!(out, "ERROR {e}")?;
+                out.flush()?;
+                continue;
             }
-            let snapshot = recorder.snapshot();
-            match format {
-                StatsFormat::Prometheus => out.write_all(snapshot.to_prometheus().as_bytes())?,
-                StatsFormat::Json => writeln!(out, "{}", snapshot.to_json())?,
-                StatsFormat::Table => out.write_all(snapshot.render_table().as_bytes())?,
+        };
+        let vector = match request {
+            // Telemetry control lines: flush every in-flight response
+            // first so stdout stays in input order, then print the
+            // snapshot.
+            Request::Stats(format) => {
+                for ticket in pending.drain(..) {
+                    print_response(&mut out, ticket.wait(), &mut failed)?;
+                }
+                let snapshot = recorder.snapshot();
+                match format {
+                    StatsFormat::Prometheus => {
+                        out.write_all(snapshot.to_prometheus().as_bytes())?
+                    }
+                    StatsFormat::Json => writeln!(out, "{}", snapshot.to_json())?,
+                    StatsFormat::Table => out.write_all(snapshot.render_table().as_bytes())?,
+                }
+                out.flush()?;
+                continue;
             }
-            out.flush()?;
-            continue;
-        }
-        if let Some(cmd) = write_command(line.trim()) {
-            handle_write(cmd, &mut writer, &mut pending, &mut out, &mut failed, recorder)?;
-            continue;
-        }
+            Request::Use { .. }
+            | Request::List
+            | Request::Join { .. }
+            | Request::ShardQuery { .. } => {
+                for ticket in pending.drain(..) {
+                    print_response(&mut out, ticket.wait(), &mut failed)?;
+                }
+                writeln!(out, "ERROR session verbs need the TCP front end (bilevel-netd)")?;
+                out.flush()?;
+                continue;
+            }
+            Request::Query { vector } => vector,
+            write_request => {
+                handle_write(
+                    write_request,
+                    &mut writer,
+                    &mut pending,
+                    &mut out,
+                    &mut failed,
+                    recorder,
+                )?;
+                continue;
+            }
+        };
         // Staged writes commit before the query is submitted — after
         // draining in-flight tickets, so a commit can never overtake a
         // query queued above it. Every query line therefore observes
@@ -211,11 +250,6 @@ fn run_loop(
                 }
             }
         }
-        let vector: Vec<f32> = line
-            .split_whitespace()
-            .map(|t| t.parse::<f32>())
-            .collect::<Result<_, _>>()
-            .map_err(|e| format!("bad query vector {line:?}: {e}"))?;
         // Submit eagerly; a full queue blocks on the oldest in-flight
         // response (natural single-producer backpressure) and retries.
         let ticket = loop {
@@ -270,56 +304,12 @@ fn run_loop(
     Ok(())
 }
 
-/// One parsed write-path control line.
-enum WriteCmd {
-    /// `UPSERT + v...` (insert) or `UPSERT <id> v...` (update).
-    Upsert(Option<usize>, Vec<f32>),
-    /// `DELETE <id>`.
-    Delete(usize),
-    /// `COMMIT`.
-    Commit,
-    /// `COMPACT`.
-    Compact,
-    /// A recognized verb with malformed operands — reported, not queried.
-    Malformed(String),
-}
-
-/// Parses the write-path verbs (case-insensitive); anything unrecognized
-/// falls through to query-vector parsing.
-fn write_command(line: &str) -> Option<WriteCmd> {
-    let mut tokens = line.split_whitespace();
-    let verb = tokens.next()?.to_ascii_uppercase();
-    match verb.as_str() {
-        "UPSERT" => {
-            let id = match tokens.next() {
-                Some("+") => None,
-                Some(t) => match t.parse::<usize>() {
-                    Ok(id) => Some(id),
-                    Err(_) => return Some(WriteCmd::Malformed(format!("bad UPSERT id {t:?}"))),
-                },
-                None => return Some(WriteCmd::Malformed("UPSERT needs an id (or +)".into())),
-            };
-            let vector: Result<Vec<f32>, _> = tokens.map(|t| t.parse::<f32>()).collect();
-            match vector {
-                Ok(v) if !v.is_empty() => Some(WriteCmd::Upsert(id, v)),
-                _ => Some(WriteCmd::Malformed("UPSERT needs a vector".into())),
-            }
-        }
-        "DELETE" => match (tokens.next().map(str::parse::<usize>), tokens.next()) {
-            (Some(Ok(id)), None) => Some(WriteCmd::Delete(id)),
-            _ => Some(WriteCmd::Malformed("DELETE needs exactly one id".into())),
-        },
-        "COMMIT" if tokens.next().is_none() => Some(WriteCmd::Commit),
-        "COMPACT" if tokens.next().is_none() => Some(WriteCmd::Compact),
-        _ => None,
-    }
-}
-
-/// Executes one write-path line. Staging (`UPSERT`/`DELETE`) prints
-/// nothing and never touches the index; `COMMIT`/`COMPACT` (and every
-/// error) drain in-flight responses first so stdout stays in input order.
+/// Executes one write-path request (`UPSERT`/`DELETE`/`COMMIT`/`COMPACT`).
+/// Staging (`UPSERT`/`DELETE`) prints nothing and never touches the index;
+/// `COMMIT`/`COMPACT` (and every error) drain in-flight responses first so
+/// stdout stays in input order.
 fn handle_write<W: Write>(
-    cmd: WriteCmd,
+    request: Request,
     writer: &mut Option<MutableWriter>,
     pending: &mut VecDeque<Ticket>,
     out: &mut W,
@@ -335,23 +325,23 @@ fn handle_write<W: Write>(
         out.flush()?;
         return Ok(());
     };
-    match cmd {
-        WriteCmd::Upsert(None, v) => {
-            if let Err(e) = writer.stage_insert(&v) {
+    match request {
+        Request::Upsert { id: None, vector } => {
+            if let Err(e) = writer.stage_insert(&vector) {
                 drain(out, pending, failed)?;
                 writeln!(out, "ERROR {e}")?;
                 out.flush()?;
             }
         }
-        WriteCmd::Upsert(Some(id), v) => {
-            if let Err(e) = writer.stage_update(id, &v) {
+        Request::Upsert { id: Some(id), vector } => {
+            if let Err(e) = writer.stage_update(id, &vector) {
                 drain(out, pending, failed)?;
                 writeln!(out, "ERROR {e}")?;
                 out.flush()?;
             }
         }
-        WriteCmd::Delete(id) => writer.stage_delete(id),
-        WriteCmd::Commit => {
+        Request::Delete { id } => writer.stage_delete(id),
+        Request::Commit => {
             drain(out, pending, failed)?;
             match writer.commit(recorder) {
                 Ok(Some(s)) => writeln!(
@@ -364,7 +354,7 @@ fn handle_write<W: Write>(
             }
             out.flush()?;
         }
-        WriteCmd::Compact => {
+        Request::Compact => {
             drain(out, pending, failed)?;
             // Staged writes join the compaction; commit them first.
             if let Err(e) = writer.commit(recorder) {
@@ -380,32 +370,9 @@ fn handle_write<W: Write>(
             }
             out.flush()?;
         }
-        WriteCmd::Malformed(msg) => {
-            drain(out, pending, failed)?;
-            writeln!(out, "ERROR {msg}")?;
-            out.flush()?;
-        }
+        other => unreachable!("non-write request routed to handle_write: {other:?}"),
     }
     Ok(())
-}
-
-/// Output format of a recognized telemetry control line.
-enum StatsFormat {
-    Prometheus,
-    Json,
-    Table,
-}
-
-/// Parses `STATS` / `STATS JSON` / `TELEMETRY` / `TELEMETRY JSON`
-/// (case-insensitive); anything else is a query vector.
-fn stats_command(line: &str) -> Option<StatsFormat> {
-    let upper = line.to_ascii_uppercase();
-    match upper.as_str() {
-        "STATS" => Some(StatsFormat::Prometheus),
-        "STATS JSON" | "TELEMETRY JSON" => Some(StatsFormat::Json),
-        "TELEMETRY" => Some(StatsFormat::Table),
-        _ => None,
-    }
 }
 
 /// Prints one output line per resolved ticket, keeping input order even
@@ -424,15 +391,6 @@ fn print_response<W: Write>(
             return writeln!(out, "ERROR {e}");
         }
     };
-    let mut line = String::new();
-    for (i, n) in resp.neighbors.iter().enumerate() {
-        if i > 0 {
-            line.push(' ');
-        }
-        line.push_str(&format!("{}:{:.6}", n.id, n.dist));
-    }
-    if !resp.coverage.is_full() {
-        line.push_str(&format!(" #partial={}", resp.coverage));
-    }
+    let line = protocol::render_response(&resp.neighbors, resp.coverage, WirePrecision::Fixed6);
     writeln!(out, "{line}")
 }

@@ -374,7 +374,7 @@ mod tests {
         }
 
         fn supports_probe(&self, probe: Probe) -> bool {
-            self.inner.supports_probe(probe)
+            ShardedIndex::supports_probe(&self.inner, probe)
         }
 
         fn num_shards(&self) -> usize {

@@ -38,12 +38,14 @@
 pub mod backend;
 pub mod fanout;
 pub mod mutable;
+pub mod protocol;
 pub mod service;
 pub mod stats;
 
 pub use backend::{Backend, BatchOutcome, Coverage};
 pub use fanout::{BreakerPhase, FanoutBackend, FanoutConfig, FaultStats, ShardSource};
 pub use mutable::{MutableBackend, MutableWriter};
+pub use protocol::{ProtocolError, Request, StatsFormat, WirePrecision};
 pub use service::{
     Handle, QueryResponse, ResponseError, ServeError, Service, ServiceConfig, ServiceLevel,
     SubmitError, Ticket,

@@ -1,0 +1,642 @@
+//! The line protocol shared by `bilevel-serve` (stdin) and `bilevel-netd`
+//! (TCP frames): one request per line, parsed into a typed [`Request`].
+//!
+//! Both front ends speak the same text; the TCP server adds length-
+//! delimited framing around it (see `knn-net`) plus the session verbs
+//! (`USE` / `LIST` / `JOIN` / `SHARDQ`) that only make sense with multiple
+//! tenants on a socket. A line is either a known verb with *strictly*
+//! parsed operands or a bare whitespace-separated query vector — anything
+//! malformed is a typed [`ProtocolError`], never a panic and never a
+//! silently truncated parse. Front ends turn the error into an `ERROR ...`
+//! reply and keep the session alive.
+//!
+//! Distances travel as text. [`render_response`] has two precisions:
+//! the human-facing fixed `%.6f` the stdin binary always printed, and an
+//! exact shortest-round-trip form (`{}` on `f32`) the wire protocol uses
+//! so a remote merge is bit-identical to a local one.
+
+use bilevel_lsh::Probe;
+use vecstore::Neighbor;
+
+use crate::backend::Coverage;
+
+/// Output format of a telemetry control line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// `STATS` — Prometheus text exposition format.
+    Prometheus,
+    /// `STATS JSON` / `TELEMETRY JSON` — one JSON object on one line.
+    Json,
+    /// `TELEMETRY` — human-readable stage table.
+    Table,
+}
+
+/// One parsed protocol line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A bare vector line or `QUERY v0 v1 ...`: k-NN for one query.
+    Query {
+        /// The query vector.
+        vector: Vec<f32>,
+    },
+    /// `UPSERT + v...` (insert) or `UPSERT <id> v...` (update).
+    Upsert {
+        /// `None` inserts a new row; `Some(id)` updates (and revives) `id`.
+        id: Option<usize>,
+        /// The row vector.
+        vector: Vec<f32>,
+    },
+    /// `DELETE <id>` — stage a tombstone delete.
+    Delete {
+        /// Global row id.
+        id: usize,
+    },
+    /// `COMMIT` — apply staged writes as one atomic batch.
+    Commit,
+    /// `COMPACT` — commit, then rebuild over surviving rows.
+    Compact,
+    /// `STATS` / `STATS JSON` / `TELEMETRY` / `TELEMETRY JSON`.
+    Stats(StatsFormat),
+    /// `USE <tenant>` — bind this session to a registered index.
+    Use {
+        /// Tenant name (letters, digits, `_`, `.`, `-`).
+        tenant: String,
+    },
+    /// `LIST` — names of every registered tenant.
+    List,
+    /// `JOIN <tenant>` — stream the tenant's dataset + snapshot to the
+    /// caller so it can boot a warm replica.
+    Join {
+        /// Tenant to replicate.
+        tenant: String,
+    },
+    /// `SHARDQ <shard> <k> <probe> <rerank|-> <nq>` — header of a
+    /// multi-line shard-query frame; `nq` vector lines follow.
+    ShardQuery {
+        /// Shard index on the serving replica.
+        shard: usize,
+        /// Neighbors per query.
+        k: usize,
+        /// Probe override; `None` (`built` on the wire) means the built
+        /// probe.
+        probe: Option<Probe>,
+        /// Quantized-first-pass rerank depth; `-` on the wire means off.
+        rerank: Option<usize>,
+        /// Number of vector lines that follow this header.
+        queries: usize,
+    },
+}
+
+/// A malformed protocol line, with enough context to render a useful
+/// `ERROR` reply. Producing this (instead of panicking or guessing) is
+/// the whole point of the typed parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The line was empty or all whitespace.
+    Empty,
+    /// A verb's operand failed to parse as the expected kind of number.
+    BadNumber {
+        /// The verb being parsed.
+        verb: &'static str,
+        /// What the operand was supposed to be.
+        what: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A verb received extra tokens past its full operand list.
+    Trailing {
+        /// The verb being parsed.
+        verb: &'static str,
+        /// The first unexpected token.
+        token: String,
+    },
+    /// A verb is missing a required operand.
+    MissingArg {
+        /// The verb being parsed.
+        verb: &'static str,
+        /// What is missing.
+        what: &'static str,
+    },
+    /// A bare line that is neither a known verb nor a parseable query
+    /// vector.
+    BadVector {
+        /// The first token that failed to parse as `f32`.
+        token: String,
+    },
+    /// A tenant name with characters outside `[A-Za-z0-9_.-]`.
+    BadTenantName {
+        /// The rejected name.
+        name: String,
+    },
+    /// An unknown probe spec (expected `home`, `multi:N`, `hier:N`, or
+    /// `built`).
+    BadProbe {
+        /// The rejected spec.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty request line"),
+            ProtocolError::BadNumber { verb, what, token } => {
+                write!(f, "{verb}: bad {what} {token:?}")
+            }
+            ProtocolError::Trailing { verb, token } => {
+                write!(f, "{verb}: trailing garbage starting at {token:?}")
+            }
+            ProtocolError::MissingArg { verb, what } => write!(f, "{verb} needs {what}"),
+            ProtocolError::BadVector { token } => write!(
+                f,
+                "bad token {token:?}: expected a command verb or a whitespace-separated \
+                 float vector"
+            ),
+            ProtocolError::BadTenantName { name } => {
+                write!(f, "bad tenant name {name:?}: use letters, digits, underscore, dot, or dash")
+            }
+            ProtocolError::BadProbe { token } => {
+                write!(f, "bad probe {token:?}: expected home, multi:N, hier:N, or built")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Whether `name` is a legal tenant name (`[A-Za-z0-9_.-]+`).
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+/// Parses one protocol line into a typed [`Request`].
+///
+/// Verbs are case-insensitive; operands are strict — a recognized verb
+/// with malformed or trailing operands is an error, never a query vector.
+/// A line whose first token is not a verb must parse entirely as floats.
+///
+/// # Errors
+///
+/// A [`ProtocolError`] naming the defect; front ends render it as an
+/// `ERROR ...` reply and keep the session alive.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let mut tokens = line.split_whitespace();
+    let Some(first) = tokens.next() else { return Err(ProtocolError::Empty) };
+    let verb = first.to_ascii_uppercase();
+    match verb.as_str() {
+        "QUERY" => {
+            let vector = parse_floats("QUERY", tokens)?;
+            if vector.is_empty() {
+                return Err(ProtocolError::MissingArg { verb: "QUERY", what: "a vector" });
+            }
+            Ok(Request::Query { vector })
+        }
+        "UPSERT" => {
+            let id = match tokens.next() {
+                Some("+") => None,
+                Some(t) => Some(t.parse::<usize>().map_err(|_| ProtocolError::BadNumber {
+                    verb: "UPSERT",
+                    what: "id",
+                    token: t.to_string(),
+                })?),
+                None => {
+                    return Err(ProtocolError::MissingArg { verb: "UPSERT", what: "an id (or +)" })
+                }
+            };
+            let vector = parse_floats("UPSERT", tokens)?;
+            if vector.is_empty() {
+                return Err(ProtocolError::MissingArg { verb: "UPSERT", what: "a vector" });
+            }
+            Ok(Request::Upsert { id, vector })
+        }
+        "DELETE" => {
+            let t = tokens
+                .next()
+                .ok_or(ProtocolError::MissingArg { verb: "DELETE", what: "exactly one id" })?;
+            let id = t.parse::<usize>().map_err(|_| ProtocolError::BadNumber {
+                verb: "DELETE",
+                what: "id",
+                token: t.to_string(),
+            })?;
+            no_trailing("DELETE", tokens)?;
+            Ok(Request::Delete { id })
+        }
+        "COMMIT" => {
+            no_trailing("COMMIT", tokens)?;
+            Ok(Request::Commit)
+        }
+        "COMPACT" => {
+            no_trailing("COMPACT", tokens)?;
+            Ok(Request::Compact)
+        }
+        "STATS" | "TELEMETRY" => {
+            let json = match tokens.next() {
+                None => false,
+                Some(t) if t.eq_ignore_ascii_case("JSON") => true,
+                Some(t) => {
+                    return Err(ProtocolError::Trailing {
+                        verb: if verb == "STATS" { "STATS" } else { "TELEMETRY" },
+                        token: t.to_string(),
+                    })
+                }
+            };
+            no_trailing(if verb == "STATS" { "STATS" } else { "TELEMETRY" }, tokens)?;
+            Ok(Request::Stats(match (verb.as_str(), json) {
+                (_, true) => StatsFormat::Json,
+                ("STATS", false) => StatsFormat::Prometheus,
+                _ => StatsFormat::Table,
+            }))
+        }
+        "USE" => Ok(Request::Use { tenant: tenant_arg("USE", tokens)? }),
+        "JOIN" => Ok(Request::Join { tenant: tenant_arg("JOIN", tokens)? }),
+        "LIST" => {
+            no_trailing("LIST", tokens)?;
+            Ok(Request::List)
+        }
+        "SHARDQ" => {
+            fn num<'a>(
+                tokens: &mut impl Iterator<Item = &'a str>,
+                what: &'static str,
+            ) -> Result<usize, ProtocolError> {
+                let t = tokens
+                    .next()
+                    .ok_or(ProtocolError::MissingArg { verb: "SHARDQ", what: "5 operands" })?;
+                t.parse::<usize>().map_err(|_| ProtocolError::BadNumber {
+                    verb: "SHARDQ",
+                    what,
+                    token: t.to_string(),
+                })
+            }
+            let shard = num(&mut tokens, "shard")?;
+            let k = num(&mut tokens, "k")?;
+            let probe_tok = tokens
+                .next()
+                .ok_or(ProtocolError::MissingArg { verb: "SHARDQ", what: "5 operands" })?;
+            let probe = parse_probe(probe_tok)?;
+            let rerank_tok = tokens
+                .next()
+                .ok_or(ProtocolError::MissingArg { verb: "SHARDQ", what: "5 operands" })?;
+            let rerank = if rerank_tok == "-" {
+                None
+            } else {
+                Some(rerank_tok.parse::<usize>().map_err(|_| ProtocolError::BadNumber {
+                    verb: "SHARDQ",
+                    what: "rerank depth",
+                    token: rerank_tok.to_string(),
+                })?)
+            };
+            let queries = num(&mut tokens, "query count")?;
+            no_trailing("SHARDQ", tokens)?;
+            Ok(Request::ShardQuery { shard, k, probe, rerank, queries })
+        }
+        _ => {
+            let vector = parse_vector(line)?;
+            Ok(Request::Query { vector })
+        }
+    }
+}
+
+/// Renders a vector as a whitespace-separated line using exact
+/// shortest-round-trip `f32` text, the inverse of [`parse_vector`]: the
+/// parsed-back vector is bit-identical.
+pub fn format_vector(v: &[f32]) -> String {
+    let mut line = String::new();
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&format!("{x}"));
+    }
+    line
+}
+
+/// Parses a bare whitespace-separated float vector line.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadVector`] naming the first unparseable token,
+/// [`ProtocolError::Empty`] on a blank line.
+pub fn parse_vector(line: &str) -> Result<Vec<f32>, ProtocolError> {
+    let mut vector = Vec::new();
+    for t in line.split_whitespace() {
+        vector
+            .push(t.parse::<f32>().map_err(|_| ProtocolError::BadVector { token: t.to_string() })?);
+    }
+    if vector.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    Ok(vector)
+}
+
+fn parse_floats<'a>(
+    verb: &'static str,
+    tokens: impl Iterator<Item = &'a str>,
+) -> Result<Vec<f32>, ProtocolError> {
+    tokens
+        .map(|t| {
+            t.parse::<f32>().map_err(|_| ProtocolError::BadNumber {
+                verb,
+                what: "vector component",
+                token: t.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn tenant_arg<'a>(
+    verb: &'static str,
+    mut tokens: impl Iterator<Item = &'a str>,
+) -> Result<String, ProtocolError> {
+    let name = tokens.next().ok_or(ProtocolError::MissingArg { verb, what: "a tenant name" })?;
+    if !valid_tenant_name(name) {
+        return Err(ProtocolError::BadTenantName { name: name.to_string() });
+    }
+    no_trailing(verb, tokens)?;
+    Ok(name.to_string())
+}
+
+fn no_trailing<'a>(
+    verb: &'static str,
+    mut tokens: impl Iterator<Item = &'a str>,
+) -> Result<(), ProtocolError> {
+    match tokens.next() {
+        Some(t) => Err(ProtocolError::Trailing { verb, token: t.to_string() }),
+        None => Ok(()),
+    }
+}
+
+/// Wire form of a probe override: `home`, `multi:N`, `hier:N`, or `built`
+/// (no override — the replica's built probe).
+pub fn format_probe(probe: Option<Probe>) -> String {
+    match probe {
+        None => "built".to_string(),
+        Some(Probe::Home) => "home".to_string(),
+        Some(Probe::Multi(n)) => format!("multi:{n}"),
+        Some(Probe::Hierarchical { min_candidates }) => format!("hier:{min_candidates}"),
+    }
+}
+
+/// Inverse of [`format_probe`].
+///
+/// # Errors
+///
+/// [`ProtocolError::BadProbe`] on anything else.
+pub fn parse_probe(token: &str) -> Result<Option<Probe>, ProtocolError> {
+    let bad = || ProtocolError::BadProbe { token: token.to_string() };
+    if token == "built" {
+        return Ok(None);
+    }
+    if token == "home" {
+        return Ok(Some(Probe::Home));
+    }
+    if let Some(n) = token.strip_prefix("multi:") {
+        return Ok(Some(Probe::Multi(n.parse().map_err(|_| bad())?)));
+    }
+    if let Some(n) = token.strip_prefix("hier:") {
+        return Ok(Some(Probe::Hierarchical { min_candidates: n.parse().map_err(|_| bad())? }));
+    }
+    Err(bad())
+}
+
+/// Distance precision for [`render_response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirePrecision {
+    /// Human-facing fixed `%.6f` — what `bilevel-serve` always printed.
+    Fixed6,
+    /// Shortest round-trip `f32` text: parsing the token back yields the
+    /// identical bit pattern, so remote merges stay bit-identical.
+    Exact,
+}
+
+/// Renders one query response line: `id:dist` pairs in ascending distance,
+/// plus a ` #partial=a/b` suffix when coverage is not full.
+pub fn render_response(
+    neighbors: &[Neighbor],
+    coverage: Coverage,
+    precision: WirePrecision,
+) -> String {
+    let mut line = String::new();
+    for (i, n) in neighbors.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        match precision {
+            WirePrecision::Fixed6 => line.push_str(&format!("{}:{:.6}", n.id, n.dist)),
+            WirePrecision::Exact => line.push_str(&format!("{}:{}", n.id, n.dist)),
+        }
+    }
+    if !coverage.is_full() {
+        line.push_str(&format!(" #partial={coverage}"));
+    }
+    line
+}
+
+/// Renders one shard-reply line: the candidate count, then exact-precision
+/// `id:dist` pairs.
+pub fn render_shard_reply(candidates: usize, neighbors: &[Neighbor]) -> String {
+    let mut line = candidates.to_string();
+    for n in neighbors {
+        line.push_str(&format!(" {}:{}", n.id, n.dist));
+    }
+    line
+}
+
+/// Parses a [`render_shard_reply`] line back into `(candidates, neighbors)`
+/// with bit-identical distances.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadNumber`] on any malformed token.
+pub fn parse_shard_reply(line: &str) -> Result<(usize, Vec<Neighbor>), ProtocolError> {
+    let bad = |what: &'static str, t: &str| ProtocolError::BadNumber {
+        verb: "shard reply",
+        what,
+        token: t.to_string(),
+    };
+    let mut tokens = line.split_whitespace();
+    let count_tok = tokens
+        .next()
+        .ok_or(ProtocolError::MissingArg { verb: "shard reply", what: "a candidate count" })?;
+    let candidates = count_tok.parse::<usize>().map_err(|_| bad("candidate count", count_tok))?;
+    let mut neighbors = Vec::new();
+    for t in tokens {
+        let (id, dist) = t.split_once(':').ok_or_else(|| bad("id:dist pair", t))?;
+        neighbors.push(Neighbor {
+            id: id.parse::<usize>().map_err(|_| bad("neighbor id", t))?,
+            dist: dist.parse::<f32>().map_err(|_| bad("neighbor distance", t))?,
+        });
+    }
+    Ok((candidates, neighbors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_vectors_and_explicit_query_parse() {
+        assert_eq!(
+            parse_request("1.0 -2.5 3e-2").unwrap(),
+            Request::Query { vector: vec![1.0, -2.5, 3e-2] }
+        );
+        assert_eq!(parse_request("QUERY 1 2").unwrap(), Request::Query { vector: vec![1.0, 2.0] });
+        assert_eq!(parse_request("query 1 2").unwrap(), parse_request("QUERY 1 2").unwrap());
+    }
+
+    #[test]
+    fn malformed_vectors_are_typed_errors_not_truncated_parses() {
+        // The old parser killed the whole session here.
+        assert!(matches!(
+            parse_request("1.0 2.0 garbage"),
+            Err(ProtocolError::BadVector { token }) if token == "garbage"
+        ));
+        assert!(matches!(
+            parse_request("QUERY 1.0 x"),
+            Err(ProtocolError::BadNumber { verb: "QUERY", .. })
+        ));
+        assert!(matches!(parse_request("QUERY"), Err(ProtocolError::MissingArg { .. })));
+        assert!(matches!(parse_request("   "), Err(ProtocolError::Empty)));
+    }
+
+    #[test]
+    fn write_verbs_parse_strictly() {
+        assert_eq!(
+            parse_request("UPSERT + 1 2").unwrap(),
+            Request::Upsert { id: None, vector: vec![1.0, 2.0] }
+        );
+        assert_eq!(
+            parse_request("upsert 7 0.5").unwrap(),
+            Request::Upsert { id: Some(7), vector: vec![0.5] }
+        );
+        assert_eq!(parse_request("DELETE 3").unwrap(), Request::Delete { id: 3 });
+        assert_eq!(parse_request("COMMIT").unwrap(), Request::Commit);
+        assert_eq!(parse_request("COMPACT").unwrap(), Request::Compact);
+        // Trailing garbage is an error, not a fall-through to query parsing
+        // (the old parser fed "COMMIT extra" to the float parser).
+        assert!(matches!(
+            parse_request("COMMIT extra"),
+            Err(ProtocolError::Trailing { verb: "COMMIT", .. })
+        ));
+        assert!(matches!(
+            parse_request("DELETE 3 4"),
+            Err(ProtocolError::Trailing { verb: "DELETE", .. })
+        ));
+        assert!(matches!(
+            parse_request("UPSERT 5 1.0 2.0 xyz"),
+            Err(ProtocolError::BadNumber { verb: "UPSERT", what: "vector component", .. })
+        ));
+        assert!(matches!(
+            parse_request("UPSERT nine 1.0"),
+            Err(ProtocolError::BadNumber { verb: "UPSERT", what: "id", .. })
+        ));
+        assert!(matches!(parse_request("UPSERT +"), Err(ProtocolError::MissingArg { .. })));
+    }
+
+    #[test]
+    fn stats_and_session_verbs() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats(StatsFormat::Prometheus));
+        assert_eq!(parse_request("stats json").unwrap(), Request::Stats(StatsFormat::Json));
+        assert_eq!(parse_request("TELEMETRY").unwrap(), Request::Stats(StatsFormat::Table));
+        assert_eq!(parse_request("TELEMETRY JSON").unwrap(), Request::Stats(StatsFormat::Json));
+        assert!(parse_request("STATS YAML").is_err());
+        assert_eq!(parse_request("USE img").unwrap(), Request::Use { tenant: "img".into() });
+        assert_eq!(parse_request("LIST").unwrap(), Request::List);
+        assert_eq!(
+            parse_request("JOIN a-b.c_d").unwrap(),
+            Request::Join { tenant: "a-b.c_d".into() }
+        );
+        assert!(matches!(parse_request("USE"), Err(ProtocolError::MissingArg { .. })));
+        assert!(matches!(parse_request("USE a b"), Err(ProtocolError::Trailing { .. })));
+        assert!(matches!(parse_request("USE bad/name"), Err(ProtocolError::BadTenantName { .. })));
+        assert!(matches!(parse_request("LIST all"), Err(ProtocolError::Trailing { .. })));
+    }
+
+    #[test]
+    fn shardq_header_roundtrip() {
+        let req = parse_request("SHARDQ 2 9 multi:8 - 3").unwrap();
+        assert_eq!(
+            req,
+            Request::ShardQuery {
+                shard: 2,
+                k: 9,
+                probe: Some(Probe::Multi(8)),
+                rerank: None,
+                queries: 3
+            }
+        );
+        let req = parse_request("SHARDQ 0 5 hier:64 32 1").unwrap();
+        assert_eq!(
+            req,
+            Request::ShardQuery {
+                shard: 0,
+                k: 5,
+                probe: Some(Probe::Hierarchical { min_candidates: 64 }),
+                rerank: Some(32),
+                queries: 1
+            }
+        );
+        assert!(matches!(parse_request("SHARDQ 0 5"), Err(ProtocolError::MissingArg { .. })));
+        assert!(matches!(
+            parse_request("SHARDQ 0 5 warp - 1"),
+            Err(ProtocolError::BadProbe { .. })
+        ));
+        assert!(matches!(
+            parse_request("SHARDQ 0 5 home - 1 extra"),
+            Err(ProtocolError::Trailing { .. })
+        ));
+    }
+
+    #[test]
+    fn probe_spec_roundtrips() {
+        for probe in [
+            None,
+            Some(Probe::Home),
+            Some(Probe::Multi(12)),
+            Some(Probe::Hierarchical { min_candidates: 77 }),
+        ] {
+            assert_eq!(parse_probe(&format_probe(probe)).unwrap(), probe);
+        }
+        assert!(parse_probe("multi:").is_err());
+        assert!(parse_probe("hier:x").is_err());
+        assert!(parse_probe("").is_err());
+    }
+
+    #[test]
+    fn exact_precision_roundtrips_distances_bit_for_bit() {
+        // Values chosen to be awkward under decimal formatting.
+        let neighbors: Vec<Neighbor> = [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1234567.8, 0.0]
+            .iter()
+            .enumerate()
+            .map(|(id, &dist)| Neighbor { id, dist })
+            .collect();
+        let line = render_shard_reply(42, &neighbors);
+        let (candidates, parsed) = parse_shard_reply(&line).unwrap();
+        assert_eq!(candidates, 42);
+        assert_eq!(parsed.len(), neighbors.len());
+        for (a, b) in parsed.iter().zip(&neighbors) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "{} reparsed inexactly", b.dist);
+        }
+    }
+
+    #[test]
+    fn vector_text_roundtrips_bit_for_bit() {
+        let v = [0.1f32, -0.0, 1.0 / 3.0, f32::MIN_POSITIVE, 3.4e38, 1234567.8];
+        let parsed = parse_vector(&format_vector(&v)).unwrap();
+        assert_eq!(parsed.len(), v.len());
+        for (a, b) in parsed.iter().zip(&v) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{b} reparsed inexactly");
+        }
+    }
+
+    #[test]
+    fn response_rendering_tags_partials() {
+        let n = [Neighbor { id: 3, dist: 1.25 }];
+        let full = Coverage::full(3);
+        let partial = Coverage { answered: 2, total: 3 };
+        assert_eq!(render_response(&n, full, WirePrecision::Fixed6), "3:1.250000");
+        assert_eq!(render_response(&n, partial, WirePrecision::Exact), "3:1.25 #partial=2/3");
+        assert_eq!(render_response(&[], full, WirePrecision::Exact), "");
+    }
+}

@@ -217,7 +217,7 @@ impl ShardSource for SharedFlaky {
     }
 
     fn supports_probe(&self, probe: Probe) -> bool {
-        self.0.inner.supports_probe(probe)
+        ShardedIndex::supports_probe(&self.0.inner, probe)
     }
 
     fn num_shards(&self) -> usize {

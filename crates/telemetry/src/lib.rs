@@ -69,11 +69,26 @@ pub enum Counter {
     TombstonedFiltered,
     /// Compaction passes that rebuilt an index over its surviving rows.
     Compactions,
+    /// Request frames handled by the TCP front end.
+    NetRequests,
+    /// Payload bytes read off the wire by the TCP front end.
+    NetBytesIn,
+    /// Payload bytes written to the wire by the TCP front end.
+    NetBytesOut,
+    /// Backup probes fired by the hedged remote fan-out (slow or failed
+    /// primary).
+    HedgesFired,
+    /// Hedged requests where the backup's answer arrived first and won.
+    HedgeWins,
+    /// Requests rejected because a tenant's admission quota was exhausted.
+    TenantRejections,
+    /// Replicas bootstrapped from a peer via snapshot streaming (`JOIN`).
+    ReplicaJoins,
 }
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 27] = [
         Counter::QueriesProbed,
         Counter::CandidatesGenerated,
         Counter::MultiProbeBuckets,
@@ -94,6 +109,13 @@ impl Counter {
         Counter::Deletes,
         Counter::TombstonedFiltered,
         Counter::Compactions,
+        Counter::NetRequests,
+        Counter::NetBytesIn,
+        Counter::NetBytesOut,
+        Counter::HedgesFired,
+        Counter::HedgeWins,
+        Counter::TenantRejections,
+        Counter::ReplicaJoins,
     ];
 
     /// Stable snake_case name used in every export format.
@@ -119,6 +141,13 @@ impl Counter {
             Counter::Deletes => "deletes",
             Counter::TombstonedFiltered => "tombstoned_filtered",
             Counter::Compactions => "compactions",
+            Counter::NetRequests => "net_requests",
+            Counter::NetBytesIn => "net_bytes_in",
+            Counter::NetBytesOut => "net_bytes_out",
+            Counter::HedgesFired => "hedges_fired",
+            Counter::HedgeWins => "hedge_wins",
+            Counter::TenantRejections => "tenant_rejections",
+            Counter::ReplicaJoins => "replica_joins",
         }
     }
 

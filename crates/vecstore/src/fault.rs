@@ -192,6 +192,26 @@ impl FaultPlan {
             FaultKind::Latency => self.latency,
         }
     }
+
+    /// Decides the fault class (if any) that fires for `event` at attempt
+    /// `attempt` — the same deterministic `(seed, event, attempt)` draw
+    /// [`FaultyDataset`] uses for row reads, exposed so non-storage layers
+    /// share one schedule format (the TCP front end injects per-request
+    /// latency through this in its hedging tests). First matching class in
+    /// [`FaultKind::ALL`] order wins; attempts at or past
+    /// [`FaultPlan::max_faults_per_read`] never fault.
+    pub fn decide(&self, event: u64, attempt: u32) -> Option<FaultKind> {
+        if attempt >= self.max_faults_per_read {
+            return None;
+        }
+        for (salt, &kind) in FaultKind::ALL.iter().enumerate() {
+            let rate = self.rate(kind);
+            if rate > 0.0 && draw(self.seed, event, attempt, salt as u64) < rate {
+                return Some(kind);
+            }
+        }
+        None
+    }
 }
 
 /// Counters for every fault [`FaultyDataset`] injected, by class.
@@ -299,17 +319,11 @@ impl<'a> FaultyDataset<'a> {
             *slot += 1;
             a
         };
-        if attempt >= self.plan.max_faults_per_read {
-            return None;
+        let fired = self.plan.decide(row, attempt);
+        if let Some(kind) = fired {
+            self.stats.count(kind);
         }
-        for (salt, &kind) in FaultKind::ALL.iter().enumerate() {
-            let rate = self.plan.rate(kind);
-            if rate > 0.0 && draw(self.plan.seed, row, attempt, salt as u64) < rate {
-                self.stats.count(kind);
-                return Some(kind);
-            }
-        }
-        None
+        fired
     }
 
     /// Applies an injected fault to a read that has already filled `buf`

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_batch-de268ca08f6f09c7.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/debug/deps/abl_batch-de268ca08f6f09c7: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_curse-994a29e65ca7f8e6.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/debug/deps/abl_curse-994a29e65ca7f8e6: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_diameter-933d5b53004f81b0.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/debug/deps/abl_diameter-933d5b53004f81b0: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_lattice_density-9bdc0a6040eb3b71.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/debug/deps/abl_lattice_density-9bdc0a6040eb3b71: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split_rule-b9e54971c1439e8c.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/debug/deps/abl_split_rule-b9e54971c1439e8c: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_width_mode-3bebe1b58c0ea95a.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/debug/deps/abl_width_mode-3bebe1b58c0ea95a: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

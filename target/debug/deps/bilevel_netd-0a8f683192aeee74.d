@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_netd-0a8f683192aeee74.d: crates/net/src/bin/bilevel-netd.rs
+
+/root/repo/target/debug/deps/bilevel_netd-0a8f683192aeee74: crates/net/src/bin/bilevel-netd.rs
+
+crates/net/src/bin/bilevel-netd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel_netd-640d15dea600148d.d: crates/net/src/bin/bilevel-netd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel_netd-640d15dea600148d.rmeta: crates/net/src/bin/bilevel-netd.rs Cargo.toml
+
+crates/net/src/bin/bilevel-netd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

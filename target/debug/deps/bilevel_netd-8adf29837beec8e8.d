@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_netd-8adf29837beec8e8.d: crates/net/src/bin/bilevel-netd.rs
+
+/root/repo/target/debug/deps/bilevel_netd-8adf29837beec8e8: crates/net/src/bin/bilevel-netd.rs
+
+crates/net/src/bin/bilevel-netd.rs:

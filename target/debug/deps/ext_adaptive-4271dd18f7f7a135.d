@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive-4271dd18f7f7a135.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/debug/deps/ext_adaptive-4271dd18f7f7a135: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_end_to_end-1a5aa92c3397e326.d: crates/bench/src/bin/ext_end_to_end.rs
+
+/root/repo/target/debug/deps/ext_end_to_end-1a5aa92c3397e326: crates/bench/src/bin/ext_end_to_end.rs
+
+crates/bench/src/bin/ext_end_to_end.rs:

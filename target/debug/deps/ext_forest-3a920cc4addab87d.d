@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-3a920cc4addab87d.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-3a920cc4addab87d: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

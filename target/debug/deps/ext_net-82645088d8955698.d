@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_net-82645088d8955698.d: crates/bench/src/bin/ext_net.rs
+
+/root/repo/target/debug/deps/ext_net-82645088d8955698: crates/bench/src/bin/ext_net.rs
+
+crates/bench/src/bin/ext_net.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ooc-4ebe7d9b9a5a7b8f.d: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ooc-4ebe7d9b9a5a7b8f.rmeta: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+crates/bench/src/bin/ext_ooc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

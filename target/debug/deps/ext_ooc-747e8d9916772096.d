@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ooc-747e8d9916772096.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/debug/deps/ext_ooc-747e8d9916772096: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

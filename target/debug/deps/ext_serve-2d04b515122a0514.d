@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serve-2d04b515122a0514.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/debug/deps/ext_serve-2d04b515122a0514: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_serve-fd895987b24514ac.d: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_serve-fd895987b24514ac.rmeta: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+crates/bench/src/bin/ext_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_shortlist-4a1df761a7d779c4.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/debug/deps/fig04_shortlist-4a1df761a7d779c4: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

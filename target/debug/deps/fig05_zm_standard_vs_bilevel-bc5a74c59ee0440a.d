@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-bc5a74c59ee0440a.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-bc5a74c59ee0440a: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-f8f4931c1bde886f.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_zm_standard_vs_bilevel-f8f4931c1bde886f.rmeta: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs Cargo.toml
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

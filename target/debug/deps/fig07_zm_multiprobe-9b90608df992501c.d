@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_zm_multiprobe-9b90608df992501c.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/debug/deps/fig07_zm_multiprobe-9b90608df992501c: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_e8_multiprobe-399c95a704a1a3dd.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/debug/deps/fig08_e8_multiprobe-399c95a704a1a3dd: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_zm_hierarchy-24088c490a0ea0b4.d: crates/bench/src/bin/fig09_zm_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_zm_hierarchy-24088c490a0ea0b4.rmeta: crates/bench/src/bin/fig09_zm_hierarchy.rs Cargo.toml
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

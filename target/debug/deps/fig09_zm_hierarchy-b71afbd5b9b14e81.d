@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zm_hierarchy-b71afbd5b9b14e81.d: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+/root/repo/target/debug/deps/fig09_zm_hierarchy-b71afbd5b9b14e81: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:

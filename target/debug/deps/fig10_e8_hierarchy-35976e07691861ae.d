@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_e8_hierarchy-35976e07691861ae.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/debug/deps/fig10_e8_hierarchy-35976e07691861ae: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_zm_all_methods-6046027c951f3a1c.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/debug/deps/fig11_zm_all_methods-6046027c951f3a1c: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

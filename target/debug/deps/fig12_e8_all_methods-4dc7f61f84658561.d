@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_e8_all_methods-4dc7f61f84658561.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/debug/deps/fig12_e8_all_methods-4dc7f61f84658561: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a_groups-af19f140fc1d2a69.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/debug/deps/fig13a_groups-af19f140fc1d2a69: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b_dims-7c21889dffc94cf2.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/debug/deps/fig13b_dims-7c21889dffc94cf2: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13c_partitioner-70f6f189a2b563f1.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/debug/deps/fig13c_partitioner-70f6f189a2b563f1: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/knn_net-da29c07703b88513.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libknn_net-da29c07703b88513.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/registry.rs:
+crates/net/src/remote.rs:
+crates/net/src/server.rs:

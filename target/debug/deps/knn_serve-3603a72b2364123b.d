@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/knn_serve-3603a72b2364123b.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/knn_serve-3603a72b2364123b.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libknn_serve-3603a72b2364123b.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libknn_serve-3603a72b2364123b.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
 
 crates/serve/src/lib.rs:
 crates/serve/src/backend.rs:
 crates/serve/src/fanout.rs:
 crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
 crates/serve/src/service.rs:
 crates/serve/src/stats.rs:
 Cargo.toml:

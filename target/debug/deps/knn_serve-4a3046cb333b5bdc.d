@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/knn_serve-4a3046cb333b5bdc.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/knn_serve-4a3046cb333b5bdc.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
-/root/repo/target/debug/deps/libknn_serve-4a3046cb333b5bdc.rlib: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/libknn_serve-4a3046cb333b5bdc.rlib: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
-/root/repo/target/debug/deps/libknn_serve-4a3046cb333b5bdc.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/libknn_serve-4a3046cb333b5bdc.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
 crates/serve/src/lib.rs:
 crates/serve/src/backend.rs:
 crates/serve/src/fanout.rs:
 crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
 crates/serve/src/service.rs:
 crates/serve/src/stats.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/knn_serve-57c66416356af3f0.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/knn_serve-57c66416356af3f0.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libknn_serve-57c66416356af3f0.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libknn_serve-57c66416356af3f0.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
 
 crates/serve/src/lib.rs:
 crates/serve/src/backend.rs:
 crates/serve/src/fanout.rs:
 crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
 crates/serve/src/service.rs:
 crates/serve/src/stats.rs:
 Cargo.toml:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/knn_serve-5a32d4b1a6ebba6a.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/knn_serve-5a32d4b1a6ebba6a.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
-/root/repo/target/debug/deps/libknn_serve-5a32d4b1a6ebba6a.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/libknn_serve-5a32d4b1a6ebba6a.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
 crates/serve/src/lib.rs:
 crates/serve/src/backend.rs:
 crates/serve/src/fanout.rs:
 crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
 crates/serve/src/service.rs:
 crates/serve/src/stats.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/knn_serve-f543c16c26b5f723.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/knn_serve-f543c16c26b5f723.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
-/root/repo/target/debug/deps/knn_serve-f543c16c26b5f723: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+/root/repo/target/debug/deps/knn_serve-f543c16c26b5f723: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
 
 crates/serve/src/lib.rs:
 crates/serve/src/backend.rs:
 crates/serve/src/fanout.rs:
 crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
 crates/serve/src/service.rs:
 crates/serve/src/stats.rs:

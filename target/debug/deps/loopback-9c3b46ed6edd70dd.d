@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-9c3b46ed6edd70dd.d: crates/net/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-9c3b46ed6edd70dd: crates/net/tests/loopback.rs
+
+crates/net/tests/loopback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loopback-af3dd9314ce51c64.d: crates/net/tests/loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloopback-af3dd9314ce51c64.rmeta: crates/net/tests/loopback.rs Cargo.toml
+
+crates/net/tests/loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/morton-10585a902c906ba1.d: crates/bench/benches/morton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmorton-10585a902c906ba1.rmeta: crates/bench/benches/morton.rs Cargo.toml
+
+crates/bench/benches/morton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-a2db34ae9049af46.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-a2db34ae9049af46: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_bench-d5a25a4316a58f43.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/debug/deps/validate_bench-d5a25a4316a58f43: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

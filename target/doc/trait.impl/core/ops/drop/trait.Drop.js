@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["knn_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"knn_serve/service/struct.Service.html\" title=\"struct knn_serve::service::Service\">Service</a>",0]]],["knn_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"knn_telemetry/struct.SpanTimer.html\" title=\"struct knn_telemetry::SpanTimer\">SpanTimer</a>&lt;'_&gt;",0]]]]);
+    const implementors = Object.fromEntries([["knn_net",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"knn_net/registry/struct.QuotaGuard.html\" title=\"struct knn_net::registry::QuotaGuard\">QuotaGuard</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"knn_net/server/struct.NetServer.html\" title=\"struct knn_net::server::NetServer\">NetServer</a>",0]]],["knn_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"knn_serve/service/struct.Service.html\" title=\"struct knn_serve::service::Service\">Service</a>",0]]],["knn_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"knn_telemetry/struct.SpanTimer.html\" title=\"struct knn_telemetry::SpanTimer\">SpanTimer</a>&lt;'_&gt;",0]]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[292,304]}
+//{"start":59,"fragment_lengths":[574,293,304]}

@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["knn_serve",[]]]);
+    const implementors = Object.fromEntries([["knn_net",[["impl <a class=\"trait\" href=\"knn_serve/fanout/trait.ShardSource.html\" title=\"trait knn_serve::fanout::ShardSource\">ShardSource</a> for <a class=\"struct\" href=\"knn_net/remote/struct.RemoteShard.html\" title=\"struct knn_net::remote::RemoteShard\">RemoteShard</a>",0]]],["knn_serve",[]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[16]}
+//{"start":59,"fragment_lengths":[289,17]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["knn_net",[["impl&lt;W: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.Write.html\" title=\"trait std::io::Write\">Write</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.Write.html\" title=\"trait std::io::Write\">Write</a> for <a class=\"struct\" href=\"knn_net/frame/struct.CountingWriter.html\" title=\"struct knn_net::frame::CountingWriter\">CountingWriter</a>&lt;'_, W&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[440]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_batch-5255b181be136088.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/release/deps/abl_batch-5255b181be136088: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_curse-f6c3583548c5b2dd.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/release/deps/abl_curse-f6c3583548c5b2dd: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_diameter-80e0db34dddc57be.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/release/deps/abl_diameter-80e0db34dddc57be: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_lattice_density-30675f04ee507098.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/release/deps/abl_lattice_density-30675f04ee507098: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_split_rule-7444af1e8b98b485.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/release/deps/abl_split_rule-7444af1e8b98b485: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

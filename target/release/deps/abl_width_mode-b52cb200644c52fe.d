@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_width_mode-b52cb200644c52fe.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/release/deps/abl_width_mode-b52cb200644c52fe: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bilevel_netd-2ce08421eeb4bf26.d: crates/net/src/bin/bilevel-netd.rs
+
+/root/repo/target/release/deps/bilevel_netd-2ce08421eeb4bf26: crates/net/src/bin/bilevel-netd.rs
+
+crates/net/src/bin/bilevel-netd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_adaptive-0b9e31bd402a68e3.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/release/deps/ext_adaptive-0b9e31bd402a68e3: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

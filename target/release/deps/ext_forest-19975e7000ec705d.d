@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_forest-19975e7000ec705d.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/release/deps/ext_forest-19975e7000ec705d: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_net-d3165209b190253d.d: crates/bench/src/bin/ext_net.rs
+
+/root/repo/target/release/deps/ext_net-d3165209b190253d: crates/bench/src/bin/ext_net.rs
+
+crates/bench/src/bin/ext_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ooc-e0879edda09d5e41.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/release/deps/ext_ooc-e0879edda09d5e41: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serve-7a57b1591fd5dfe1.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/release/deps/ext_serve-7a57b1591fd5dfe1: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

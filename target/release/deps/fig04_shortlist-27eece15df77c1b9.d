@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_shortlist-27eece15df77c1b9.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/release/deps/fig04_shortlist-27eece15df77c1b9: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_zm_standard_vs_bilevel-33dfabf768b128f4.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/release/deps/fig05_zm_standard_vs_bilevel-33dfabf768b128f4: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

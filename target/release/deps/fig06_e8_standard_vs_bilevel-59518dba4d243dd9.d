@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_e8_standard_vs_bilevel-59518dba4d243dd9.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+/root/repo/target/release/deps/fig06_e8_standard_vs_bilevel-59518dba4d243dd9: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:

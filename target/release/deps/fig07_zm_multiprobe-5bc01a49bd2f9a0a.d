@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_zm_multiprobe-5bc01a49bd2f9a0a.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/release/deps/fig07_zm_multiprobe-5bc01a49bd2f9a0a: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_e8_multiprobe-b232923725e45400.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/release/deps/fig08_e8_multiprobe-b232923725e45400: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_zm_hierarchy-099f0437df4cfedd.d: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+/root/repo/target/release/deps/fig09_zm_hierarchy-099f0437df4cfedd: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:

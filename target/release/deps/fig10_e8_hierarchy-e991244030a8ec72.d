@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_e8_hierarchy-e991244030a8ec72.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/release/deps/fig10_e8_hierarchy-e991244030a8ec72: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_zm_all_methods-d56f90c316739f38.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/release/deps/fig11_zm_all_methods-d56f90c316739f38: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

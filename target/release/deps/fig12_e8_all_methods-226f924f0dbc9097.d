@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_e8_all_methods-226f924f0dbc9097.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/release/deps/fig12_e8_all_methods-226f924f0dbc9097: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13a_groups-e6f29e182f2acd6d.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/release/deps/fig13a_groups-e6f29e182f2acd6d: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

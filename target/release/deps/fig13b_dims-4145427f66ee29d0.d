@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13b_dims-4145427f66ee29d0.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/release/deps/fig13b_dims-4145427f66ee29d0: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

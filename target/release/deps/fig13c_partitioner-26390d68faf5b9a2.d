@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13c_partitioner-26390d68faf5b9a2.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/release/deps/fig13c_partitioner-26390d68faf5b9a2: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-fb4b1583ba585e17.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-fb4b1583ba585e17: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

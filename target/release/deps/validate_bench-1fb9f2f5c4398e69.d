@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_bench-1fb9f2f5c4398e69.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/release/deps/validate_bench-1fb9f2f5c4398e69: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:
