@@ -35,6 +35,8 @@ fn main() {
                 probe: Probe::Home,
                 table_pool: None,
                 projection: bilevel_lsh::Projection::Dense,
+                metric: bilevel_lsh::MetricKind::L2,
+                family: bilevel_lsh::FamilyKind::PStable,
                 seed: 0xF16,
             };
             let index = BiLevelIndex::build(&p.train, &cfg);

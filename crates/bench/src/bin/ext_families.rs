@@ -1,0 +1,157 @@
+//! Extension: the level-2 hash family zoo measured end to end — the PR 10
+//! family-redesign measurement. One corpus, one harness, every family:
+//!
+//! | family | metric | hash |
+//! |---|---|---|
+//! | p-stable (baseline) | L2 | Gaussian projections, quantized offsets |
+//! | SRP | cosine | sign codes (width-free) |
+//! | asymmetric MIPS | inner product | Shrivastava–Li embedding + p-stable |
+//! | ℓp p-stable | ℓp, p ∈ (0, 2) | stable-law projections (CMS sampler) |
+//!
+//! For each family the harness sweeps a short per-family width grid at a
+//! fixed probe budget, keeps the best-recall width (sign codes ignore the
+//! width, so SRP's grid is a single entry), and reports build time, batch
+//! query time, recall@k against a brute-force scan *under the family's own
+//! metric*, and mean candidates per query. Recall is the point of the
+//! table: every family must be probeable to high recall on the same corpus
+//! the L2 baseline uses, or the family is miswired.
+//!
+//! `--json FILE` dumps the measurements as a `knn-bench/1` run record for
+//! `BENCH_*.json` (see `bench::record`).
+
+use bilevel_lsh::{BiLevelConfig, BiLevelIndex, MetricKind, Probe, QueryOptions, WidthMode};
+use std::time::Instant;
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{knn_batch, Cosine, InnerProduct, Lp, Metric, Neighbor, SquaredL2};
+
+/// One family's sweep definition: record key, config metric, rank metric
+/// for the brute-force truth, and the width grid to sweep.
+struct FamilySpec {
+    tag: &'static str,
+    metric: MetricKind,
+    truth: Box<dyn Metric>,
+    widths: &'static [f32],
+}
+
+fn mean_recall(truth: &[Vec<Neighbor>], got: &[Vec<Neighbor>]) -> f64 {
+    let sum: f64 = truth.iter().zip(got).map(|(t, g)| knn_metrics::quality::recall(t, g)).sum();
+    sum / truth.len() as f64
+}
+
+fn main() {
+    let args = bench::HarnessArgs::parse();
+    let spec = match args.profile.as_str() {
+        "tiny" => ClusteredSpec::benchmark_tiny(args.dim, args.n + args.queries),
+        _ => ClusteredSpec::benchmark(args.dim, args.n + args.queries),
+    };
+    let corpus = synth::clustered(&spec, args.seed);
+    let (data, queries) = corpus.split_at(args.n);
+
+    // Width grids are per-family because the projection scales differ by
+    // orders of magnitude: sign codes are width-free, the MIPS embedding
+    // normalizes both sides near the unit sphere, and ℓp stable draws get
+    // heavier-tailed as p falls. Each grid brackets the useful range on
+    // the synthetic GIST substitute.
+    let families = [
+        FamilySpec {
+            tag: "pstable_l2",
+            metric: MetricKind::L2,
+            truth: Box::new(SquaredL2),
+            widths: &[10.0, 40.0, 160.0],
+        },
+        FamilySpec {
+            tag: "srp_cosine",
+            metric: MetricKind::Cosine,
+            truth: Box::new(Cosine),
+            widths: &[1.0],
+        },
+        FamilySpec {
+            tag: "mips_ip",
+            metric: MetricKind::InnerProduct,
+            truth: Box::new(InnerProduct),
+            widths: &[0.5, 1.0, 2.0],
+        },
+        FamilySpec {
+            tag: "lp_p05",
+            metric: MetricKind::Lp { p: 0.5 },
+            truth: Box::new(Lp::new(0.5)),
+            widths: &[8_192.0, 65_536.0, 524_288.0],
+        },
+        FamilySpec {
+            tag: "lp_p10",
+            metric: MetricKind::Lp { p: 1.0 },
+            truth: Box::new(Lp::new(1.0)),
+            widths: &[128.0, 512.0, 2_048.0],
+        },
+        FamilySpec {
+            tag: "lp_p15",
+            metric: MetricKind::Lp { p: 1.5 },
+            truth: Box::new(Lp::new(1.5)),
+            widths: &[16.0, 64.0, 256.0],
+        },
+    ];
+
+    let mut record = bench::RunRecord::new("ext_families", "current build");
+    record.param("n", args.n);
+    record.param("queries", args.queries);
+    record.param("dim", args.dim);
+    record.param("k", args.k);
+    record.param("reps", args.reps);
+    record.param("profile", args.profile.clone());
+
+    println!(
+        "\n## Level-2 families: {} vectors x dim {}, {} queries, k = {}, probe = Multi(64)\n",
+        args.n,
+        args.dim,
+        queries.len(),
+        args.k
+    );
+    println!("| family | width | build ms | query ms | recall@{} | mean candidates |", args.k);
+    println!("|---|---|---|---|---|---|");
+
+    for family in &families {
+        let truth = knn_batch(&data, &queries, args.k, family.truth.as_ref(), 1);
+        let mut best: Option<(f64, f32, f64, f64, f64)> = None;
+        for &w in family.widths {
+            let mut config = BiLevelConfig::standard(1.0)
+                .metric(family.metric)
+                .tables(12)
+                .probe(Probe::Multi(64));
+            config.width = WidthMode::Fixed(w);
+
+            let timer = Instant::now();
+            let index = BiLevelIndex::build(&data, &config);
+            let build_ms = timer.elapsed().as_secs_f64() * 1e3;
+
+            let candidates = index.candidates_batch_with(&queries, 1);
+            let total: usize = candidates.iter().map(Vec::len).sum();
+            let mean_cands = total as f64 / queries.len() as f64;
+
+            let timer = Instant::now();
+            let mut res = None;
+            for _ in 0..args.reps {
+                res = Some(index.query_batch_opts(&queries, &QueryOptions::new(args.k)));
+            }
+            let query_ms = timer.elapsed().as_secs_f64() * 1e3 / args.reps as f64;
+            let recall = mean_recall(&truth, &res.unwrap().neighbors);
+
+            if best.is_none_or(|(r, ..)| recall > r) {
+                best = Some((recall, w, build_ms, query_ms, mean_cands));
+            }
+        }
+        let (recall, w, build_ms, query_ms, mean_cands) = best.unwrap();
+        println!(
+            "| {} | {w} | {build_ms:.1} | {query_ms:.1} | {recall:.4} | {mean_cands:.1} |",
+            family.tag
+        );
+        record.metric(&format!("{}_width", family.tag), w as f64);
+        record.metric(&format!("{}_build_ms", family.tag), build_ms);
+        record.metric(&format!("{}_query_ms", family.tag), query_ms);
+        record.metric(&format!("{}_recall_at_k", family.tag), recall);
+        record.metric(&format!("{}_mean_candidates", family.tag), mean_cands);
+    }
+
+    if let Some(path) = &args.json {
+        record.write(path).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+}

@@ -210,6 +210,8 @@ pub fn shortlist_figure(args: &HarnessArgs) -> Vec<ShortlistTiming> {
             probe: bilevel_lsh::Probe::Home,
             table_pool: None,
             projection: bilevel_lsh::Projection::Dense,
+            metric: bilevel_lsh::MetricKind::L2,
+            family: bilevel_lsh::FamilyKind::PStable,
             seed: 0xF16,
         };
         let table_index = BiLevelIndex::build(&prepared.train, &cfg);

@@ -100,6 +100,8 @@ pub fn method_config(
         probe,
         table_pool: None,
         projection: bilevel_lsh::Projection::Dense,
+        metric: bilevel_lsh::MetricKind::L2,
+        family: bilevel_lsh::FamilyKind::PStable,
         seed: 0xF16 ^ ((run as u64) << 32) ^ (run as u64).wrapping_mul(0x9E3779B97F4A7C15),
     }
 }

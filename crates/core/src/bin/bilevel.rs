@@ -108,6 +108,8 @@ fn config_from_flags(flags: &Flags) -> BiLevelConfig {
                 }),
             },
         },
+        metric: bilevel_lsh::MetricKind::L2,
+        family: bilevel_lsh::FamilyKind::PStable,
         seed: flags.num("--seed", 0x0b11_e7e1u64),
     }
 }

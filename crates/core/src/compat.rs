@@ -19,17 +19,58 @@
 //! | `sharded.query_shard_batch_at(s, q, k, engine, probe)` | `sharded.query_shard_batch_opts(s, q, &QueryOptions::new(k).engine(engine).probe(probe))` |
 //! | `ooc.query_batch(q, k)` | `ooc.query_batch_per_row(q, k)` (per-row baseline) or `ooc.query_batch_opts(q, &QueryOptions::new(k))` (coalesced) |
 //! | `ooc.query_batch_with(q, k, threads)` | `ooc.query_batch_opts(q, &QueryOptions::new(k).engine(Engine::PerQuery { threads }))` |
+//! | `pstable_family(dim, m, w, seed, proj)` | `BiLevelConfig::family(FamilyKind::PStable)` — the index samples its own families |
+//! | `sample_level2_pstable(dim, cfg, l, w)` | `BiLevelConfig::family(FamilyKind::…)` + build; see [`lsh::Level2`] for the family zoo |
 //!
 //! This module is the **only** place in the tree allowed to reference the
 //! legacy signatures — CI greps for strays.
 
-use crate::config::Probe;
+use crate::config::{BiLevelConfig, Probe};
 use crate::index::{BatchResult, BiLevelIndex, Engine};
 use crate::ooc::OocFlatIndex;
 use crate::options::QueryOptions;
 use crate::shard::ShardedIndex;
+use lsh::{HashFamily, Projection};
 use vecstore::ooc::RowSource;
 use vecstore::{Dataset, Neighbor};
+
+/// Old direct level-2 constructor: a concrete p-stable [`HashFamily`]
+/// sampled from explicit dimensions. Pre-family-zoo code built tables from
+/// these by hand; the metric-aware API samples families from
+/// [`BiLevelConfig::family`](crate::FamilyKind) at build time instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "configure the family via BiLevelConfig::family(FamilyKind::…); the index samples \
+            its own level-2 families"
+)]
+pub fn pstable_family(
+    dim: usize,
+    m: usize,
+    w: f32,
+    seed: u64,
+    projection: Projection,
+) -> HashFamily {
+    HashFamily::sample_with(dim, m, w, seed, projection)
+}
+
+/// Old level-2 sampling rule for table `l` of a bi-level build: the
+/// concrete p-stable family seeded with `config.seed ^ (0x1000 + l)` at
+/// the group's tuned width. Bit-identical to what an L2 / p-stable build
+/// samples internally (proven in `crates/core/tests/equivalence.rs`).
+#[deprecated(
+    since = "0.1.0",
+    note = "builds sample their own families from BiLevelConfig::family; this shim only \
+            reproduces the L2 / p-stable arm"
+)]
+pub fn sample_level2_pstable(
+    dim: usize,
+    config: &BiLevelConfig,
+    l: u64,
+    group_w: f32,
+) -> HashFamily {
+    HashFamily::sample_with(dim, config.m, 1.0, config.seed ^ (0x1000 + l), config.projection)
+        .with_w(group_w)
+}
 
 impl BiLevelIndex<'_> {
     /// Batch k-nearest-neighbor query with the batch-median escalation

@@ -143,6 +143,157 @@ pub enum WidthMode {
     },
 }
 
+/// Distance metric the index ranks by — first-class in the configuration
+/// so metric choice travels with the index (snapshots, serve tenants,
+/// benchmarks) instead of being an implicit property of the rank stage.
+///
+/// Each metric pairs with exactly one level-2 hash family (see
+/// [`FamilyKind`] and [`BiLevelConfig::check_family_metric`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Euclidean distance (the paper's setting). Default.
+    #[default]
+    L2,
+    /// Cosine distance `1 − cos(a, b)`; hashed with sign random
+    /// projections.
+    Cosine,
+    /// Maximum inner product, ranked as the negated dot product so smaller
+    /// is better; hashed with the asymmetric MIPS transform.
+    InnerProduct,
+    /// Minkowski `ℓ_p` distance for `p ∈ (0, 2)`; hashed with p-stable
+    /// draws of matching order.
+    Lp {
+        /// Norm order, must lie in `(0, 2)`.
+        p: f32,
+    },
+}
+
+impl MetricKind {
+    /// Short stable name used in reports, snapshots, and the wire
+    /// protocol.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::L2 => "l2",
+            MetricKind::Cosine => "cosine",
+            MetricKind::InnerProduct => "ip",
+            MetricKind::Lp { .. } => "lp",
+        }
+    }
+
+    /// The level-2 hash family that serves this metric.
+    pub fn default_family(&self) -> FamilyKind {
+        match *self {
+            MetricKind::L2 => FamilyKind::PStable,
+            MetricKind::Cosine => FamilyKind::Srp,
+            MetricKind::InnerProduct => FamilyKind::Mips,
+            MetricKind::Lp { p } => FamilyKind::LpStable { p },
+        }
+    }
+}
+
+/// Level-2 hash family — which [`lsh::Level2Family`] implementation the
+/// index samples its per-table hash functions from.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FamilyKind {
+    /// 2-stable (Gaussian) projections with offset and width — the paper's
+    /// family, serving [`MetricKind::L2`]. Default.
+    #[default]
+    PStable,
+    /// Sign random projections (bit codes), serving [`MetricKind::Cosine`].
+    Srp,
+    /// Asymmetric augmented-dimension transform over a 2-stable core,
+    /// serving [`MetricKind::InnerProduct`].
+    Mips,
+    /// p-stable (Chambers–Mallows–Stuck) projections, serving
+    /// [`MetricKind::Lp`] of the same order.
+    LpStable {
+        /// Stability order, must lie in `(0, 2)`.
+        p: f32,
+    },
+}
+
+impl FamilyKind {
+    /// Short stable name used in reports, snapshots, and the wire
+    /// protocol.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FamilyKind::PStable => "pstable",
+            FamilyKind::Srp => "srp",
+            FamilyKind::Mips => "mips",
+            FamilyKind::LpStable { .. } => "lp",
+        }
+    }
+}
+
+/// A family/metric combination the index cannot build — returned by
+/// [`BiLevelConfig::check_family_metric`] and surfaced through
+/// `BiLevelIndex::try_build`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyMetricError {
+    /// The family does not hash for the metric (e.g. SRP under `L2`).
+    Incompatible {
+        /// Configured family.
+        family: FamilyKind,
+        /// Configured metric.
+        metric: MetricKind,
+    },
+    /// The family requires a quantizer the config does not select (SRP
+    /// emits sign codes that only `Z^M` floors correctly).
+    NeedsQuantizer {
+        /// Configured family.
+        family: FamilyKind,
+        /// The quantizer the family requires.
+        required: Quantizer,
+    },
+    /// Non-p-stable families draw their own projection matrices and do not
+    /// compose with sparse projections.
+    NeedsDenseProjection {
+        /// Configured family.
+        family: FamilyKind,
+    },
+    /// `LpStable { p }` must hash for `Lp { p }` of the **same** order.
+    LpOrderMismatch {
+        /// Order drawn by the hash family.
+        family_p: f32,
+        /// Order the metric ranks by.
+        metric_p: f32,
+    },
+    /// The `ℓ_p` order is outside the p-stable range `(0, 2)`.
+    LpOrderOutOfRange {
+        /// The rejected order.
+        p: f32,
+    },
+}
+
+impl std::fmt::Display for FamilyMetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyMetricError::Incompatible { family, metric } => write!(
+                f,
+                "hash family `{}` does not serve metric `{}` (expected family `{}`)",
+                family.name(),
+                metric.name(),
+                metric.default_family().name()
+            ),
+            FamilyMetricError::NeedsQuantizer { family, required } => {
+                write!(f, "hash family `{}` requires the {required:?} quantizer", family.name())
+            }
+            FamilyMetricError::NeedsDenseProjection { family } => {
+                write!(f, "hash family `{}` requires dense projections", family.name())
+            }
+            FamilyMetricError::LpOrderMismatch { family_p, metric_p } => write!(
+                f,
+                "lp-stable family order {family_p} does not match metric order {metric_p}"
+            ),
+            FamilyMetricError::LpOrderOutOfRange { p } => {
+                write!(f, "lp order {p} outside the p-stable range (0, 2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FamilyMetricError {}
+
 /// Full index configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BiLevelConfig {
@@ -170,6 +321,16 @@ pub struct BiLevelConfig {
     /// projections), cutting hashing cost from `O(d·m)` toward `O(nnz·m)`.
     #[serde(default)]
     pub projection: Projection,
+    /// Distance metric queries rank by. Defaults to [`MetricKind::L2`]
+    /// (the paper's setting); non-default metrics select a matching
+    /// level-2 hash family — see [`Self::metric`] and
+    /// [`Self::check_family_metric`].
+    #[serde(default)]
+    pub metric: MetricKind,
+    /// Level-2 hash family. Defaults to [`FamilyKind::PStable`]; must be
+    /// compatible with [`Self::metric`].
+    #[serde(default)]
+    pub family: FamilyKind,
     /// Master RNG seed (projections, tree directions, table seeds).
     pub seed: u64,
 }
@@ -187,6 +348,8 @@ impl BiLevelConfig {
             probe: Probe::Home,
             table_pool: None,
             projection: Projection::Dense,
+            metric: MetricKind::L2,
+            family: FamilyKind::PStable,
             seed: 0x0b11_e7e1,
         }
     }
@@ -231,6 +394,75 @@ impl BiLevelConfig {
     pub fn projection(mut self, projection: Projection) -> Self {
         self.projection = projection;
         self
+    }
+
+    /// Builder-style metric override; also selects the matching level-2
+    /// hash family (the common case). Use [`Self::family`] afterwards to
+    /// force a specific family.
+    pub fn metric(mut self, metric: MetricKind) -> Self {
+        self.metric = metric;
+        self.family = metric.default_family();
+        self
+    }
+
+    /// Builder-style hash-family override. Most callers should use
+    /// [`Self::metric`] instead, which picks the compatible family;
+    /// [`Self::check_family_metric`] rejects mismatched pairs at build.
+    pub fn family(mut self, family: FamilyKind) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Checks that the configured family can hash for the configured
+    /// metric under this quantizer and projection.
+    ///
+    /// The compatibility matrix:
+    ///
+    /// | family | metric | extra requirements |
+    /// |---|---|---|
+    /// | `PStable` | `L2` | — (any quantizer, any projection) |
+    /// | `Srp` | `Cosine` | `Quantizer::Zm`, `Projection::Dense` |
+    /// | `Mips` | `InnerProduct` | `Projection::Dense` |
+    /// | `LpStable { p }` | `Lp { p }` (same `p`) | `p ∈ (0, 2)`, `Projection::Dense` |
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`FamilyMetricError`].
+    pub fn check_family_metric(&self) -> Result<(), FamilyMetricError> {
+        let incompatible =
+            || FamilyMetricError::Incompatible { family: self.family, metric: self.metric };
+        match (self.family, self.metric) {
+            (FamilyKind::PStable, MetricKind::L2) => Ok(()),
+            (FamilyKind::Srp, MetricKind::Cosine) => {
+                if self.quantizer != Quantizer::Zm {
+                    return Err(FamilyMetricError::NeedsQuantizer {
+                        family: self.family,
+                        required: Quantizer::Zm,
+                    });
+                }
+                self.require_dense()
+            }
+            (FamilyKind::Mips, MetricKind::InnerProduct) => self.require_dense(),
+            (FamilyKind::LpStable { p: fp }, MetricKind::Lp { p: mp }) => {
+                if !(fp > 0.0 && fp < 2.0 && fp.is_finite()) {
+                    return Err(FamilyMetricError::LpOrderOutOfRange { p: fp });
+                }
+                if fp != mp {
+                    return Err(FamilyMetricError::LpOrderMismatch { family_p: fp, metric_p: mp });
+                }
+                self.require_dense()
+            }
+            _ => Err(incompatible()),
+        }
+    }
+
+    fn require_dense(&self) -> Result<(), FamilyMetricError> {
+        match self.projection {
+            Projection::Dense => Ok(()),
+            Projection::Sparse { .. } => {
+                Err(FamilyMetricError::NeedsDenseProjection { family: self.family })
+            }
+        }
     }
 
     /// Serializes to a JSON document with the same shape `serde_json`
@@ -282,10 +514,25 @@ impl BiLevelConfig {
             Projection::Dense => "\"Dense\"".to_string(),
             Projection::Sparse { nnz } => format!("{{\"Sparse\":{{\"nnz\":{nnz}}}}}"),
         };
+        let metric = match self.metric {
+            MetricKind::L2 => "\"L2\"".to_string(),
+            MetricKind::Cosine => "\"Cosine\"".to_string(),
+            MetricKind::InnerProduct => "\"InnerProduct\"".to_string(),
+            MetricKind::Lp { p } => format!("{{\"Lp\":{{\"p\":{}}}}}", fmt_float32(p)),
+        };
+        let family = match self.family {
+            FamilyKind::PStable => "\"PStable\"".to_string(),
+            FamilyKind::Srp => "\"Srp\"".to_string(),
+            FamilyKind::Mips => "\"Mips\"".to_string(),
+            FamilyKind::LpStable { p } => {
+                format!("{{\"LpStable\":{{\"p\":{}}}}}", fmt_float32(p))
+            }
+        };
         format!(
             "{{\"l\":{},\"m\":{},\"width\":{width},\"partition\":{partition},\
              \"quantizer\":{quantizer},\"probe\":{probe},\"table_pool\":{table_pool},\
-             \"projection\":{projection},\"seed\":{}}}",
+             \"projection\":{projection},\"metric\":{metric},\"family\":{family},\
+             \"seed\":{}}}",
             self.l, self.m, self.seed
         )
     }
@@ -403,6 +650,41 @@ impl BiLevelConfig {
                 }
             }
         };
+        // Metric and family are likewise absent in older documents —
+        // default to the L2 / p-stable pairing those indexes were built
+        // with.
+        let metric = match doc.get("metric") {
+            None => MetricKind::L2,
+            Some(v) => {
+                let (name, payload) = variant(v)?;
+                match (name.as_str(), payload) {
+                    ("L2", None) => MetricKind::L2,
+                    ("Cosine", None) => MetricKind::Cosine,
+                    ("InnerProduct", None) => MetricKind::InnerProduct,
+                    ("Lp", Some(p)) => MetricKind::Lp {
+                        p: p.get("p").and_then(Value::as_f64).ok_or("missing number field `p`")?
+                            as f32,
+                    },
+                    (other, _) => return Err(format!("unknown metric `{other}`")),
+                }
+            }
+        };
+        let family = match doc.get("family") {
+            None => FamilyKind::PStable,
+            Some(v) => {
+                let (name, payload) = variant(v)?;
+                match (name.as_str(), payload) {
+                    ("PStable", None) => FamilyKind::PStable,
+                    ("Srp", None) => FamilyKind::Srp,
+                    ("Mips", None) => FamilyKind::Mips,
+                    ("LpStable", Some(p)) => FamilyKind::LpStable {
+                        p: p.get("p").and_then(Value::as_f64).ok_or("missing number field `p`")?
+                            as f32,
+                    },
+                    (other, _) => return Err(format!("unknown family `{other}`")),
+                }
+            }
+        };
         Ok(Self {
             l: usize_field("l")?,
             m: usize_field("m")?,
@@ -412,6 +694,8 @@ impl BiLevelConfig {
             probe,
             table_pool,
             projection,
+            metric,
+            family,
             seed: field("seed")?.as_u64().ok_or("field `seed` must be a u64")?,
         })
     }
@@ -431,6 +715,9 @@ impl BiLevelConfig {
         }
         if let Projection::Sparse { nnz } = self.projection {
             assert!(nnz > 0, "sparse projection nnz must be positive");
+        }
+        if let Err(e) = self.check_family_metric() {
+            panic!("invalid family/metric configuration: {e}");
         }
         match self.width {
             WidthMode::Fixed(w) => assert!(w > 0.0 && w.is_finite(), "fixed W must be positive"),
@@ -525,6 +812,8 @@ mod tests {
         assert_eq!(a.probe, b.probe);
         assert_eq!(a.table_pool, b.table_pool);
         assert_eq!(a.projection, b.projection);
+        assert_eq!(a.metric, b.metric);
+        assert_eq!(a.family, b.family);
         assert_eq!(a.seed, b.seed);
     }
 
@@ -548,6 +837,9 @@ mod tests {
                 ..BiLevelConfig::paper_default(1.0)
             },
             BiLevelConfig::paper_default(3.0).projection(Projection::Sparse { nnz: 6 }),
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::Cosine),
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::InnerProduct),
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::Lp { p: 1.5 }),
         ];
         for c in &configs {
             let back = BiLevelConfig::from_json(&c.to_json()).unwrap();
@@ -575,6 +867,89 @@ mod tests {
     #[should_panic(expected = "nnz must be positive")]
     fn zero_nnz_sparse_invalid() {
         BiLevelConfig::paper_default(1.0).projection(Projection::Sparse { nnz: 0 }).validate();
+    }
+
+    #[test]
+    fn json_missing_metric_and_family_default_to_l2_pstable() {
+        let text = BiLevelConfig::paper_default(2.0)
+            .to_json()
+            .replace(",\"metric\":\"L2\",\"family\":\"PStable\"", "");
+        assert!(!text.contains("metric"), "replace should have removed the fields");
+        let c = BiLevelConfig::from_json(&text).unwrap();
+        assert_eq!(c.metric, MetricKind::L2);
+        assert_eq!(c.family, FamilyKind::PStable);
+    }
+
+    #[test]
+    fn metric_builder_selects_matching_family() {
+        assert_eq!(
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::Cosine).family,
+            FamilyKind::Srp
+        );
+        assert_eq!(
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::InnerProduct).family,
+            FamilyKind::Mips
+        );
+        assert_eq!(
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::Lp { p: 0.5 }).family,
+            FamilyKind::LpStable { p: 0.5 }
+        );
+    }
+
+    #[test]
+    fn family_metric_matrix_enforced() {
+        // Mismatched pairs are rejected with the expected-family hint.
+        let c = BiLevelConfig::paper_default(1.0).family(FamilyKind::Srp);
+        assert_eq!(
+            c.check_family_metric(),
+            Err(FamilyMetricError::Incompatible {
+                family: FamilyKind::Srp,
+                metric: MetricKind::L2
+            })
+        );
+        // SRP needs the Z^M quantizer.
+        let c =
+            BiLevelConfig::paper_default(1.0).metric(MetricKind::Cosine).quantizer(Quantizer::E8);
+        assert_eq!(
+            c.check_family_metric(),
+            Err(FamilyMetricError::NeedsQuantizer {
+                family: FamilyKind::Srp,
+                required: Quantizer::Zm
+            })
+        );
+        // Non-p-stable families need dense projections.
+        let c = BiLevelConfig::paper_default(1.0)
+            .metric(MetricKind::InnerProduct)
+            .projection(Projection::Sparse { nnz: 4 });
+        assert_eq!(
+            c.check_family_metric(),
+            Err(FamilyMetricError::NeedsDenseProjection { family: FamilyKind::Mips })
+        );
+        // ℓ_p orders must match and lie in (0, 2).
+        let c = BiLevelConfig::paper_default(1.0)
+            .metric(MetricKind::Lp { p: 1.0 })
+            .family(FamilyKind::LpStable { p: 1.5 });
+        assert_eq!(
+            c.check_family_metric(),
+            Err(FamilyMetricError::LpOrderMismatch { family_p: 1.5, metric_p: 1.0 })
+        );
+        let c = BiLevelConfig::paper_default(1.0).metric(MetricKind::Lp { p: 2.5 });
+        assert_eq!(c.check_family_metric(), Err(FamilyMetricError::LpOrderOutOfRange { p: 2.5 }));
+        // The four sanctioned pairings pass.
+        for metric in [
+            MetricKind::L2,
+            MetricKind::Cosine,
+            MetricKind::InnerProduct,
+            MetricKind::Lp { p: 0.75 },
+        ] {
+            BiLevelConfig::paper_default(1.0).metric(metric).check_family_metric().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid family/metric configuration")]
+    fn validate_rejects_mismatched_family() {
+        BiLevelConfig::paper_default(1.0).family(FamilyKind::Mips).validate();
     }
 
     #[test]

@@ -2,16 +2,22 @@
 //! per-table LSH hash tables, optional bucket hierarchies, and the batch
 //! query pipeline.
 
-use crate::config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+use crate::config::{
+    BiLevelConfig, FamilyKind, MetricKind, Partition, Probe, Quantizer, WidthMode,
+};
 use crate::options::QueryOptions;
 use knn_telemetry::{Counter, Recorder, SpanTimer, Stage, Value};
 use lattice::{decode_e8_raw, e8_roots, E8Hierarchy, ZmHierarchy};
 use lsh::family::quantize_zm;
-use lsh::{tune_w, DistanceProfile, HashFamily, LshTable, ProjectionScratch, TuningGoal};
+use lsh::{
+    tune_w, DistanceProfile, HashFamily, Level2, LpStableFamily, LshTable, MipsFamily,
+    ProjectionScratch, SrpFamily, TuningGoal,
+};
 use rptree::{KMeans, KdPartitioner, Partitioner, RpTree, RpTreeConfig, SinglePartition};
 use shortlist::{parallel_fill_with, shortlist_serial_filtered};
 use vecstore::{
-    total_dist_cmp, Dataset, Neighbor, PreparedQuery, QuantizedCorpus, SquaredL2, Tombstones,
+    total_dist_cmp, Cosine, CosineWithNorms, Dataset, InnerProduct, Lp, Metric, Neighbor,
+    PreparedQuery, QuantizedCorpus, SquaredL2, Tombstones,
 };
 
 /// The corpus holds more rows than the `u32` row-id space can address.
@@ -179,8 +185,9 @@ pub(crate) enum TableHierarchy {
 
 /// One `(group, table)` hash table plus its probing metadata.
 pub(crate) struct GroupTable {
-    /// Projections for this group/table pair (group-specific `W`).
-    pub(crate) family: HashFamily,
+    /// Level-2 hash functions for this group/table pair (group-specific
+    /// `W` where the family has one).
+    pub(crate) family: Level2,
     /// Bucket storage keyed by the full lattice code.
     pub(crate) table: LshTable,
     /// Distinct bucket codes; the hierarchy speaks in indices into this.
@@ -209,7 +216,9 @@ impl ProbeCtx<'_> {
             return (0..per_group).collect();
         }
         let mut scored: Vec<(f64, usize)> = (0..per_group)
-            .map(|t| (lsh::centrality_score(scratch.project(&self.tables[g][t].family, v)), t))
+            .map(|t| {
+                (lsh::centrality_score(scratch.project_query(&self.tables[g][t].family, v)), t)
+            })
             .collect();
         // `total_cmp` keeps the table ordering total even if a degenerate
         // projection yields a NaN centrality score (NaN sorts last, so such
@@ -234,7 +243,7 @@ impl ProbeCtx<'_> {
         let mut extra_buckets = 0u64;
         for &t in &self.probe_tables(g, v, scratch) {
             let gt = &self.tables[g][t];
-            let raw = scratch.project(&gt.family, v);
+            let raw = scratch.project_query(&gt.family, v);
             let home = quantize(raw, self.config.quantizer);
             match probe {
                 Probe::Home | Probe::Hierarchical { .. } => {
@@ -278,7 +287,7 @@ impl ProbeCtx<'_> {
         let mut exhausted = true;
         for &t in &self.probe_tables(g, v, scratch) {
             let gt = &self.tables[g][t];
-            let raw = scratch.project(&gt.family, v);
+            let raw = scratch.project_query(&gt.family, v);
             let home = quantize(raw, self.config.quantizer);
             let bucket_idxs: Vec<u32> = match &gt.hierarchy {
                 Some(TableHierarchy::Zm(h)) => h.probe_expanding(&home, want_buckets),
@@ -353,6 +362,10 @@ pub struct BiLevelIndex<'a> {
     /// once per direct mutation. Persisted with the tombstones so a
     /// reloaded snapshot resumes the same history.
     pub(crate) epoch: u64,
+    /// Cached per-row norms for cosine ranking (`None` for every other
+    /// metric). Deterministic in `data` — persistence rebuilds it, and
+    /// mutations refresh it alongside the quantized mirror.
+    pub(crate) rank_norms: Option<CosineWithNorms>,
 }
 
 /// Engine selection for a batch query (the `engine` field of
@@ -484,9 +497,16 @@ impl<'a> BiLevelIndex<'a> {
         // are written into pre-sized slots, keeping the build
         // deterministic regardless of scheduling. ----
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let tables = build_group_tables(data, &group_ids, &group_widths, &config, threads);
+        let mips_scale = match config.family {
+            FamilyKind::Mips => mips_corpus_scale(data),
+            _ => 1.0,
+        };
+        let tables =
+            build_group_tables(data, &group_ids, &group_widths, &config, mips_scale, threads);
 
         let quant = QuantizedCorpus::from_dataset(data);
+        let rank_norms =
+            matches!(config.metric, MetricKind::Cosine).then(|| CosineWithNorms::new(data));
         Ok(Self {
             data: cow,
             config,
@@ -496,6 +516,7 @@ impl<'a> BiLevelIndex<'a> {
             quant,
             tombstones: Tombstones::new(),
             epoch: 0,
+            rank_norms,
         })
     }
 
@@ -603,20 +624,30 @@ impl<'a> BiLevelIndex<'a> {
         let candidates = match options.rerank {
             None => candidates,
             Some(depth) => {
+                // The quantized first pass scores in (approximate) squared
+                // L2, so its cut only agrees with the final ranking under
+                // the L2 metric.
+                assert!(
+                    self.config.metric == MetricKind::L2,
+                    "rerank requires the l2 metric (index metric is {})",
+                    self.config.metric.name()
+                );
                 self.prune_candidates(queries, candidates, depth.max(options.k).max(1), rec)
             }
         };
         let rank_span = SpanTimer::start(rec, Stage::Rank);
-        let neighbors = rank_candidates(
+        let neighbors = rank_by_metric(
             &self.data,
             queries,
             &candidates,
             options.k,
             options.engine,
             Some(&self.tombstones),
+            self.config.metric,
+            self.rank_norms.as_ref(),
         );
         drop(rank_span);
-        BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
+        BatchResult { neighbors, candidates: counts }
     }
 
     /// Quantized first pass behind [`QueryOptions::rerank`]: each candidate
@@ -1115,7 +1146,7 @@ impl<'a> BiLevelIndex<'a> {
             self.data.to_mut().push(v);
             let g = self.level1.assign(v);
             for (l, gt) in self.tables[g].iter_mut().enumerate() {
-                let code = quantize(scratch.project(&gt.family, v), self.config.quantizer);
+                let code = quantize(scratch.project_data(&gt.family, v), self.config.quantizer);
                 gt.table.insert(&code, id);
                 let bit = g * tables_per_group + l;
                 touched[bit / 64] |= 1 << (bit % 64);
@@ -1140,7 +1171,7 @@ impl<'a> BiLevelIndex<'a> {
         let old = self.data.row(idx).to_vec();
         let g_old = self.level1.assign(&old);
         for (l, gt) in self.tables[g_old].iter_mut().enumerate() {
-            let code = quantize(scratch.project(&gt.family, &old), self.config.quantizer);
+            let code = quantize(scratch.project_data(&gt.family, &old), self.config.quantizer);
             if gt.table.remove(&code, id) {
                 let bit = g_old * tables_per_group + l;
                 touched[bit / 64] |= 1 << (bit % 64);
@@ -1149,7 +1180,7 @@ impl<'a> BiLevelIndex<'a> {
         self.data.to_mut().row_mut(idx).copy_from_slice(v);
         let g_new = self.level1.assign(v);
         for (l, gt) in self.tables[g_new].iter_mut().enumerate() {
-            let code = quantize(scratch.project(&gt.family, v), self.config.quantizer);
+            let code = quantize(scratch.project_data(&gt.family, v), self.config.quantizer);
             gt.table.insert(&code, id);
             let bit = g_new * tables_per_group + l;
             touched[bit / 64] |= 1 << (bit % 64);
@@ -1178,6 +1209,17 @@ impl<'a> BiLevelIndex<'a> {
                     None
                 };
             }
+        }
+        self.refresh_rank_state();
+    }
+
+    /// Recomputes metric-dependent rank-time caches after a mutation batch.
+    /// Like the quantized mirror, the cosine norm cache is kept as a full
+    /// recompute: mutations are batched, and the cache is a single pass
+    /// over the rows.
+    fn refresh_rank_state(&mut self) {
+        if matches!(self.config.metric, MetricKind::Cosine) {
+            self.rank_norms = Some(CosineWithNorms::new(&self.data));
         }
     }
 }
@@ -1276,6 +1318,7 @@ fn build_group_tables(
     group_ids: &[Vec<u32>],
     group_widths: &[f32],
     config: &BiLevelConfig,
+    mips_scale: f32,
     threads: usize,
 ) -> Vec<Vec<GroupTable>> {
     let build_hierarchy = matches!(config.probe, Probe::Hierarchical { .. });
@@ -1291,21 +1334,14 @@ fn build_group_tables(
         |scratch, g, slot| {
             let mut per_table = Vec::with_capacity(tables_per_group);
             for l in 0..tables_per_group {
-                // One base family per table index, shared across groups so
-                // bi-level vs. standard comparisons differ only in W and
-                // partitioning, then rescaled to the group width.
-                let base = HashFamily::sample_with(
-                    data.dim(),
-                    config.m,
-                    1.0,
-                    config.seed ^ (0x1000 + l as u64),
-                    config.projection,
-                );
-                let family = base.with_w(group_widths[g]);
+                let family =
+                    sample_level2(data.dim(), config, l as u64, group_widths[g], mips_scale);
                 let mut table = LshTable::new();
                 for &id in &group_ids[g] {
-                    let code =
-                        quantize(scratch.project(&family, data.row(id as usize)), config.quantizer);
+                    let code = quantize(
+                        scratch.project_data(&family, data.row(id as usize)),
+                        config.quantizer,
+                    );
                     table.insert(&code, id);
                 }
                 let bucket_codes = table.sorted_codes();
@@ -1320,6 +1356,55 @@ fn build_group_tables(
         },
     );
     tables
+}
+
+/// Samples the configured level-2 family for table index `l`, rescaled to
+/// the group's width where the family has one.
+///
+/// One base family per table index, shared across groups so bi-level vs.
+/// standard comparisons differ only in `W` and partitioning. The p-stable
+/// arm keeps the exact pre-`Level2` sampling expression (same seed stream,
+/// same `with_w` rescale), so L2 indexes rebuild bit-identically to the
+/// concrete-`HashFamily` code they replace.
+pub(crate) fn sample_level2(
+    dim: usize,
+    config: &BiLevelConfig,
+    l: u64,
+    group_w: f32,
+    mips_scale: f32,
+) -> Level2 {
+    let seed = config.seed ^ (0x1000 + l);
+    match config.family {
+        FamilyKind::PStable => Level2::PStable(
+            HashFamily::sample_with(dim, config.m, 1.0, seed, config.projection).with_w(group_w),
+        ),
+        // Sign codes have no width: the group's tuned W is irrelevant.
+        FamilyKind::Srp => Level2::Srp(SrpFamily::sample(dim, config.m, seed)),
+        FamilyKind::Mips => {
+            Level2::Mips(MipsFamily::sample(dim, config.m, 1.0, seed, mips_scale).with_w(group_w))
+        }
+        FamilyKind::LpStable { p } => {
+            Level2::Lp(LpStableFamily::sample(dim, config.m, 1.0, p, seed).with_w(group_w))
+        }
+    }
+}
+
+/// The corpus-side scale the asymmetric MIPS embedding divides by: the
+/// maximum row norm, so every embedded data point fits the unit ball.
+/// Fixed at build time and persisted with each family; rows inserted later
+/// that exceed it are clamped onto the sphere (documented MIPS behavior).
+fn mips_corpus_scale(data: &Dataset) -> f32 {
+    let mut max_sq = 0.0f32;
+    for v in data.iter() {
+        let sq: f32 = v.iter().map(|x| x * x).sum();
+        max_sq = max_sq.max(sq);
+    }
+    let scale = max_sq.sqrt();
+    if scale > 0.0 && scale.is_finite() {
+        scale
+    } else {
+        1.0
+    }
 }
 
 /// Quantizes a raw projection under the configured lattice.
@@ -1510,17 +1595,50 @@ pub(crate) fn rank_candidates(
     k: usize,
     engine: Engine,
     deleted: Option<&Tombstones>,
+    metric: &dyn Metric,
 ) -> Vec<Vec<Neighbor>> {
     match engine {
-        Engine::Serial => {
-            shortlist_serial_filtered(data, queries, candidates, k, &SquaredL2, deleted)
-        }
+        Engine::Serial => shortlist_serial_filtered(data, queries, candidates, k, metric, deleted),
         Engine::PerQuery { threads } => shortlist::shortlist_per_query_filtered(
-            data, queries, candidates, k, &SquaredL2, threads, deleted,
+            data, queries, candidates, k, metric, threads, deleted,
         ),
         Engine::WorkQueue { threads, capacity } => shortlist::shortlist_workqueue_filtered(
-            data, queries, candidates, k, &SquaredL2, threads, capacity, deleted,
+            data, queries, candidates, k, metric, threads, capacity, deleted,
         ),
+    }
+}
+
+/// Ranks under the index's configured [`MetricKind`] and finalizes the
+/// distances: the L2 arm ranks by squared L2 (the cheap kernel) and takes
+/// the square root for the user; every other metric already ranks in its
+/// final units. The cosine arm reuses the index's cached per-row norms
+/// when available ([`CosineWithNorms`]), falling back to the norm-free
+/// [`Cosine`] kernel otherwise.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank_by_metric(
+    data: &Dataset,
+    queries: &Dataset,
+    candidates: &[Vec<u32>],
+    k: usize,
+    engine: Engine,
+    deleted: Option<&Tombstones>,
+    metric: MetricKind,
+    norms: Option<&CosineWithNorms>,
+) -> Vec<Vec<Neighbor>> {
+    match metric {
+        MetricKind::L2 => sqrt_distances(rank_candidates(
+            data, queries, candidates, k, engine, deleted, &SquaredL2,
+        )),
+        MetricKind::Cosine => match norms {
+            Some(n) => rank_candidates(data, queries, candidates, k, engine, deleted, n),
+            None => rank_candidates(data, queries, candidates, k, engine, deleted, &Cosine),
+        },
+        MetricKind::InnerProduct => {
+            rank_candidates(data, queries, candidates, k, engine, deleted, &InnerProduct)
+        }
+        MetricKind::Lp { p } => {
+            rank_candidates(data, queries, candidates, k, engine, deleted, &Lp::new(p))
+        }
     }
 }
 
@@ -2072,7 +2190,10 @@ mod tests {
         let cfg = BiLevelConfig::standard(500.0)
             .projection(lsh::Projection::Sparse { nnz: data.dim() / 4 });
         let sparse = BiLevelIndex::build(&data, &cfg);
-        assert!(sparse.tables[0][0].family.is_sparse(), "config did not gate sparse sampling");
+        assert!(
+            sparse.tables[0][0].family.as_pstable().is_some_and(|f| f.is_sparse()),
+            "config did not gate sparse sampling"
+        );
         let rd = mean_recall(&dense, &queries, 10);
         let rs = mean_recall(&sparse, &queries, 10);
         // At W=500 nearly everything collides either way; sparse projections

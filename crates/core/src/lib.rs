@@ -55,7 +55,10 @@ pub mod stats;
 pub use knn_telemetry as telemetry;
 
 pub use code::{compress_code, BiLevelCode};
-pub use config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+pub use config::{
+    BiLevelConfig, FamilyKind, FamilyMetricError, MetricKind, Partition, Probe, Quantizer,
+    WidthMode,
+};
 pub use evaluate::{evaluate_index, evaluate_runs, ground_truth};
 pub use flat::FlatIndex;
 pub use index::{

@@ -50,6 +50,16 @@ pub enum OocBuildError {
     Cuckoo(CuckooError),
     /// The source holds more rows than the `u32` row-id space can address.
     TooLarge(crate::index::CorpusTooLarge),
+    /// The configuration asks for a hash family or metric the out-of-core
+    /// path does not implement: it ranks by streaming squared-L2 reads and
+    /// width-folds p-stable projections, so only the L2 / p-stable pairing
+    /// is supported.
+    UnsupportedFamily {
+        /// The configured level-2 family name.
+        family: &'static str,
+        /// The configured metric name.
+        metric: &'static str,
+    },
 }
 
 impl std::fmt::Display for OocBuildError {
@@ -58,6 +68,11 @@ impl std::fmt::Display for OocBuildError {
             OocBuildError::Io(e) => write!(f, "out-of-core build I/O failure: {e}"),
             OocBuildError::Cuckoo(e) => write!(f, "interval-table build failure: {e}"),
             OocBuildError::TooLarge(e) => write!(f, "{e}"),
+            OocBuildError::UnsupportedFamily { family, metric } => write!(
+                f,
+                "out-of-core indexes support only the l2/p-stable configuration \
+                 (got family `{family}` under metric `{metric}`)"
+            ),
         }
     }
 }
@@ -68,6 +83,7 @@ impl std::error::Error for OocBuildError {
             OocBuildError::Io(e) => Some(e),
             OocBuildError::Cuckoo(e) => Some(e),
             OocBuildError::TooLarge(e) => Some(e),
+            OocBuildError::UnsupportedFamily { .. } => None,
         }
     }
 }
@@ -169,6 +185,14 @@ impl<'a, S: RowSource> OocFlatIndex<'a, S> {
         threads: usize,
     ) -> Result<Self, OocBuildError> {
         config.validate();
+        if config.family != crate::config::FamilyKind::PStable
+            || config.metric != crate::config::MetricKind::L2
+        {
+            return Err(OocBuildError::UnsupportedFamily {
+                family: config.family.name(),
+                metric: config.metric.name(),
+            });
+        }
         assert!(
             !matches!(config.probe, Probe::Hierarchical { .. }),
             "OocFlatIndex does not support hierarchical probing"

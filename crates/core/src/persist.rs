@@ -32,12 +32,17 @@
 use crate::binio::{
     read_optional_section, read_section, write_section, ByteReader, ByteWriter, MAGIC,
 };
-use crate::config::{BiLevelConfig, Partition, Probe, Quantizer, WidthMode};
+use crate::config::{
+    BiLevelConfig, FamilyKind, MetricKind, Partition, Probe, Quantizer, WidthMode,
+};
 use crate::index::{build_table_hierarchy, BiLevelIndex, GroupTable, Level1};
 use crate::interval::{IntervalParts, IntervalTable};
 use crate::ooc::OocFlatIndex;
 use cuckoo::{CuckooParts, NUM_HASHES};
-use lsh::{FamilyParts, HashFamily, LshTable, Projection};
+use lsh::{
+    level2_from_parts, FamilyParts, HashFamily, Level2, Level2Parts, Level2PartsKind, LshTable,
+    Projection,
+};
 use rptree::{
     KMeans, KdNodeParts, KdPartitioner, KdParts, RpNodeParts, RpTree, RpTreeParts, SplitRule,
 };
@@ -299,12 +304,40 @@ fn sec_config(config: &BiLevelConfig) -> Vec<u8> {
             w.put_len(pool);
         }
     }
-    // The projection field is appended ONLY when non-default, so snapshots
-    // of dense-projection indexes stay byte-identical to the pre-field
-    // format (and old snapshots, which end here, decode as Dense).
-    if let Projection::Sparse { nnz } = config.projection {
-        w.put_u8(1);
-        w.put_len(nnz);
+    // Trailing optional fields, appended ONLY when non-default, so
+    // snapshots of default-valued configs stay byte-identical to the
+    // pre-field formats (and old snapshots, which end early, decode as
+    // the defaults). Later fields force earlier ones to be written
+    // explicitly: a metric/family pair needs the projection tag in front
+    // of it (tag 0 = Dense) so the decoder can tell the sections apart.
+    let nondefault_metric = config.metric != MetricKind::L2 || config.family != FamilyKind::PStable;
+    match config.projection {
+        Projection::Sparse { nnz } => {
+            w.put_u8(1);
+            w.put_len(nnz);
+        }
+        Projection::Dense if nondefault_metric => w.put_u8(0),
+        Projection::Dense => {}
+    }
+    if nondefault_metric {
+        match config.metric {
+            MetricKind::L2 => w.put_u8(0),
+            MetricKind::Cosine => w.put_u8(1),
+            MetricKind::InnerProduct => w.put_u8(2),
+            MetricKind::Lp { p } => {
+                w.put_u8(3);
+                w.put_f32(p);
+            }
+        }
+        match config.family {
+            FamilyKind::PStable => w.put_u8(0),
+            FamilyKind::Srp => w.put_u8(1),
+            FamilyKind::Mips => w.put_u8(2),
+            FamilyKind::LpStable { p } => {
+                w.put_u8(3);
+                w.put_f32(p);
+            }
+        }
     }
     w.into_bytes()
 }
@@ -352,17 +385,52 @@ fn dec_config(bytes: &[u8]) -> Result<BiLevelConfig, PersistError> {
         1 => Some(r.len()?),
         _ => return Err(bad("table pool")),
     };
-    // Pre-projection snapshots end here; a trailing tag means Sparse.
+    // Pre-projection snapshots end here; a trailing tag is the explicit
+    // projection (0 = Dense, written only when metric/family follow).
     let projection = if r.remaining() == 0 {
         Projection::Dense
     } else {
         match r.u8()? {
+            0 => Projection::Dense,
             1 => Projection::Sparse { nnz: r.len()? },
             _ => return Err(bad("projection")),
         }
     };
+    // Pre-metric snapshots end here and decode as the L2 / p-stable
+    // pairing they were built with.
+    let (metric, family) = if r.remaining() == 0 {
+        (MetricKind::L2, FamilyKind::PStable)
+    } else {
+        let metric = match r.u8()? {
+            0 => MetricKind::L2,
+            1 => MetricKind::Cosine,
+            2 => MetricKind::InnerProduct,
+            3 => MetricKind::Lp { p: r.f32()? },
+            _ => return Err(bad("metric")),
+        };
+        let family = match r.u8()? {
+            0 => FamilyKind::PStable,
+            1 => FamilyKind::Srp,
+            2 => FamilyKind::Mips,
+            3 => FamilyKind::LpStable { p: r.f32()? },
+            _ => return Err(bad("family")),
+        };
+        (metric, family)
+    };
     r.finish()?;
-    Ok(BiLevelConfig { l, m, width, partition, quantizer, probe, table_pool, projection, seed })
+    Ok(BiLevelConfig {
+        l,
+        m,
+        width,
+        partition,
+        quantizer,
+        probe,
+        table_pool,
+        projection,
+        metric,
+        family,
+        seed,
+    })
 }
 
 fn sec_level1(level1: &Level1) -> Vec<u8> {
@@ -516,8 +584,7 @@ fn dec_widths(bytes: &[u8]) -> Result<Vec<f32>, PersistError> {
     Ok(widths)
 }
 
-fn put_family(w: &mut ByteWriter, family: &HashFamily) {
-    let parts = family.to_parts();
+fn put_family_parts(w: &mut ByteWriter, parts: &FamilyParts) {
     w.put_len(parts.dim);
     w.put_len(parts.b.len());
     w.put_f32(parts.w);
@@ -525,7 +592,11 @@ fn put_family(w: &mut ByteWriter, family: &HashFamily) {
     w.put_f32s(&parts.b);
 }
 
-fn take_family(r: &mut ByteReader) -> Result<HashFamily, PersistError> {
+fn put_family(w: &mut ByteWriter, family: &HashFamily) {
+    put_family_parts(w, &family.to_parts());
+}
+
+fn take_family_parts(r: &mut ByteReader) -> Result<FamilyParts, PersistError> {
     let dim = r.len()?;
     let m = r.len()?;
     let w = r.f32()?;
@@ -534,8 +605,38 @@ fn take_family(r: &mut ByteReader) -> Result<HashFamily, PersistError> {
             .ok_or_else(|| PersistError::Format("family: matrix size overflows".into()))?,
     )?;
     let b = r.f32s(m)?;
-    HashFamily::from_parts(FamilyParts { a, b, w, dim })
-        .map_err(|e| PersistError::Format(e.to_string()))
+    Ok(FamilyParts { a, b, w, dim })
+}
+
+fn take_family(r: &mut ByteReader) -> Result<HashFamily, PersistError> {
+    HashFamily::from_parts(take_family_parts(r)?).map_err(|e| PersistError::Format(e.to_string()))
+}
+
+/// Writes a level-2 family. The family kind is *not* tagged here: the
+/// config section (decoded first) already pins `config.family`, so the
+/// p-stable arm stays byte-identical to the legacy `put_family` layout
+/// and pre-family snapshots keep decoding. Non-p-stable kinds prefix the
+/// base-array dump with their scalar extras (MIPS corpus scale, `l_p`
+/// order).
+fn put_level2(w: &mut ByteWriter, family: &Level2) {
+    let parts = family.to_parts();
+    match parts.kind {
+        Level2PartsKind::PStable | Level2PartsKind::Srp => {}
+        Level2PartsKind::Mips { scale } => w.put_f32(scale),
+        Level2PartsKind::Lp { p } => w.put_f32(p),
+    }
+    put_family_parts(w, &parts.base);
+}
+
+fn take_level2(r: &mut ByteReader, family: FamilyKind) -> Result<Level2, PersistError> {
+    let kind = match family {
+        FamilyKind::PStable => Level2PartsKind::PStable,
+        FamilyKind::Srp => Level2PartsKind::Srp,
+        FamilyKind::Mips => Level2PartsKind::Mips { scale: r.f32()? },
+        FamilyKind::LpStable { .. } => Level2PartsKind::Lp { p: r.f32()? },
+    };
+    let base = take_family_parts(r)?;
+    level2_from_parts(Level2Parts { kind, base }).map_err(|e| PersistError::Format(e.to_string()))
 }
 
 fn sec_tables(tables: &[Vec<GroupTable>]) -> Vec<u8> {
@@ -544,7 +645,7 @@ fn sec_tables(tables: &[Vec<GroupTable>]) -> Vec<u8> {
     for per_group in tables {
         w.put_len(per_group.len());
         for gt in per_group {
-            put_family(&mut w, &gt.family);
+            put_level2(&mut w, &gt.family);
             w.put_len(gt.bucket_codes.len());
             for code in &gt.bucket_codes {
                 w.put_len(code.len());
@@ -582,7 +683,7 @@ fn dec_tables(
         }
         let mut per_group = Vec::with_capacity(per);
         for _ in 0..per {
-            let family = take_family(&mut r)?;
+            let family = take_level2(&mut r, config.family)?;
             if family.m() != config.m {
                 return Err(PersistError::Format(format!(
                     "family has m = {}, config has m = {}",
@@ -861,6 +962,15 @@ impl<'a> BiLevelIndex<'a> {
     /// Returns [`PersistError::Io`] on write failure or
     /// [`PersistError::Format`] when JSON encoding fails.
     pub fn save_json_to<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        // The v1 schema predates pluggable families: its `family` slot is a
+        // bare p-stable dump with nowhere to put a kind tag or extras.
+        if self.config.family != FamilyKind::PStable {
+            return Err(PersistError::Format(format!(
+                "legacy JSON snapshots support only the p-stable family \
+                 (index family is `{}`); use the binary format",
+                self.config.family.name()
+            )));
+        }
         let tables = self
             .tables
             .iter()
@@ -874,7 +984,12 @@ impl<'a> BiLevelIndex<'a> {
                             gt.bucket_codes.iter().map(|c| c.to_vec()).collect();
                         let buckets: Vec<Vec<u32>> =
                             codes.iter().map(|c| gt.table.bucket(c).to_vec()).collect();
-                        TableSnapshot { family: gt.family.clone(), codes, buckets }
+                        let family = gt
+                            .family
+                            .as_pstable()
+                            .expect("json save is gated to the p-stable family")
+                            .clone();
+                        TableSnapshot { family, codes, buckets }
                     })
                     .collect()
             })
@@ -937,16 +1052,20 @@ impl<'a> BiLevelIndex<'a> {
             Some(bytes) => dec_mutability(&bytes, data.len())?,
             None => (Tombstones::new(), 0),
         };
+        // Rank-time caches are deterministic in `data`, so rebuilt instead
+        // of serialized.
+        let rank_norms = matches!(config.metric, MetricKind::Cosine)
+            .then(|| vecstore::CosineWithNorms::new(data));
         Ok(BiLevelIndex {
             data: std::borrow::Cow::Borrowed(data),
             config,
             level1,
             tables,
             group_widths,
-            // Deterministic in `data`, so rebuilt instead of serialized.
             quant: vecstore::QuantizedCorpus::from_dataset(data),
             tombstones,
             epoch,
+            rank_norms,
         })
     }
 
@@ -993,7 +1112,12 @@ impl<'a> BiLevelIndex<'a> {
                         } else {
                             None
                         };
-                        Ok(GroupTable { family: ts.family, table, bucket_codes, hierarchy })
+                        Ok(GroupTable {
+                            family: Level2::PStable(ts.family),
+                            table,
+                            bucket_codes,
+                            hierarchy,
+                        })
                     })
                     .collect::<Result<Vec<_>, _>>()
             })
@@ -1004,6 +1128,8 @@ impl<'a> BiLevelIndex<'a> {
             &snapshot.group_widths,
             &snapshot.config,
         )?;
+        let rank_norms = matches!(snapshot.config.metric, MetricKind::Cosine)
+            .then(|| vecstore::CosineWithNorms::new(data));
         Ok(BiLevelIndex {
             data: std::borrow::Cow::Borrowed(data),
             config: snapshot.config,
@@ -1014,6 +1140,7 @@ impl<'a> BiLevelIndex<'a> {
             // The legacy JSON format predates mutability: always all-live.
             tombstones: Tombstones::new(),
             epoch: 0,
+            rank_norms,
         })
     }
 
@@ -1240,8 +1367,17 @@ impl BiLevelIndex<'static> {
         let loaded = BiLevelIndex::load_from(&data, reader)?;
         // Destructure to drop the borrow of the local `data`, then rebuild
         // the same index around the owned dataset.
-        let BiLevelIndex { config, level1, tables, group_widths, quant, tombstones, epoch, .. } =
-            loaded;
+        let BiLevelIndex {
+            config,
+            level1,
+            tables,
+            group_widths,
+            quant,
+            tombstones,
+            epoch,
+            rank_norms,
+            ..
+        } = loaded;
         Ok(BiLevelIndex {
             data: std::borrow::Cow::Owned(data),
             config,
@@ -1251,6 +1387,7 @@ impl BiLevelIndex<'static> {
             quant,
             tombstones,
             epoch,
+            rank_norms,
         })
     }
 }

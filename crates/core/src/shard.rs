@@ -21,14 +21,14 @@
 
 use crate::config::{BiLevelConfig, Probe};
 use crate::index::{
-    build_table_hierarchy, rank_candidates, sqrt_distances, BatchResult, BiLevelIndex, Engine,
-    GroupTable, Level1, ProbeCtx,
+    build_table_hierarchy, rank_by_metric, BatchResult, BiLevelIndex, Engine, GroupTable, Level1,
+    ProbeCtx,
 };
 use crate::options::QueryOptions;
 use knn_telemetry::{Counter, Recorder, SpanTimer, Stage, Value};
 use lsh::{LshTable, ProjectionScratch};
 use shortlist::{merge_topk, parallel_fill_with};
-use vecstore::{Dataset, Neighbor, Tombstones};
+use vecstore::{CosineWithNorms, Dataset, Neighbor, Tombstones};
 
 /// A Bi-level LSH index split across `N` shards with disjoint row ranges.
 ///
@@ -47,6 +47,9 @@ pub struct ShardedIndex {
     /// Logically deleted rows under global ids, filtered at rank time in
     /// every shard (carried over from the source index at build).
     tombstones: Tombstones,
+    /// Cached per-row norms for cosine ranking, `None` for other metrics
+    /// (see [`BiLevelIndex`]'s field of the same name).
+    rank_norms: Option<CosineWithNorms>,
 }
 
 impl ShardedIndex {
@@ -114,7 +117,9 @@ impl ShardedIndex {
                     .collect()
             })
             .collect();
-        Self { data, config, level1, group_widths, shards, bounds, tombstones }
+        let rank_norms = matches!(config.metric, crate::config::MetricKind::Cosine)
+            .then(|| CosineWithNorms::new(&data));
+        Self { data, config, level1, group_widths, shards, bounds, tombstones, rank_norms }
     }
 
     /// Logically deletes global row `id` across all shards: the id is
@@ -329,10 +334,22 @@ impl ShardedIndex {
         k: usize,
         engine: Engine,
     ) -> BatchResult {
+        // Each shard ranks in final metric units (sqrt already applied for
+        // L2); merging afterwards is order-identical because the merge only
+        // compares distances and sqrt is monotone.
         let per_shard_topk: Vec<Vec<Vec<Neighbor>>> = by_shard
             .iter()
             .map(|cands| {
-                rank_candidates(&self.data, queries, cands, k, engine, Some(&self.tombstones))
+                rank_by_metric(
+                    &self.data,
+                    queries,
+                    cands,
+                    k,
+                    engine,
+                    Some(&self.tombstones),
+                    self.config.metric,
+                    self.rank_norms.as_ref(),
+                )
             })
             .collect();
         let neighbors: Vec<Vec<Neighbor>> = (0..queries.len())
@@ -344,7 +361,7 @@ impl ShardedIndex {
             .collect();
         let candidates: Vec<usize> =
             (0..queries.len()).map(|q| by_shard.iter().map(|cands| cands[q].len()).sum()).collect();
-        BatchResult { neighbors: sqrt_distances(neighbors), candidates }
+        BatchResult { neighbors, candidates }
     }
 
     /// Batch k-nearest-neighbor query under a [`QueryOptions`] value — the
@@ -459,10 +476,18 @@ impl ShardedIndex {
         }
         let counts: Vec<usize> = cands.iter().map(Vec::len).collect();
         let rank_span = SpanTimer::start(rec, Stage::Rank);
-        let neighbors =
-            rank_candidates(&self.data, queries, &cands, k, engine, Some(&self.tombstones));
+        let neighbors = rank_by_metric(
+            &self.data,
+            queries,
+            &cands,
+            k,
+            engine,
+            Some(&self.tombstones),
+            self.config.metric,
+            self.rank_norms.as_ref(),
+        );
         drop(rank_span);
-        BatchResult { neighbors: sqrt_distances(neighbors), candidates: counts }
+        BatchResult { neighbors, candidates: counts }
     }
 
     /// Single-query convenience; equals the unsharded

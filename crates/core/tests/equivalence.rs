@@ -31,6 +31,8 @@ fn config(probe: Probe, quantizer: Quantizer) -> BiLevelConfig {
         probe,
         table_pool: None,
         projection: bilevel_lsh::Projection::Dense,
+        metric: bilevel_lsh::MetricKind::L2,
+        family: bilevel_lsh::FamilyKind::PStable,
         seed: 0x5eed,
     }
 }
@@ -57,6 +59,41 @@ fn bits(r: &BatchResult) -> (Vec<Vec<(usize, u32)>>, Vec<usize>) {
 
 fn neighbor_bits(r: &[Vec<Neighbor>]) -> Vec<Vec<(usize, u32)>> {
     r.iter().map(|q| q.iter().map(|n| (n.id, n.dist.to_bits())).collect()).collect()
+}
+
+/// The deprecated concrete-family constructors in `compat` must keep
+/// producing bit-identical p-stable families to the expressions they
+/// replaced: `pstable_family` is the raw `HashFamily::sample_with`, and
+/// `sample_level2_pstable` is the level-2 sampling rule (seed
+/// `config.seed ^ (0x1000 + l)`, group width folded in) that the
+/// metric-aware build now applies internally.
+#[test]
+fn legacy_family_constructors_match_internal_sampling() {
+    use bilevel_lsh::compat::{pstable_family, sample_level2_pstable};
+    use lsh::{HashFamily, Projection};
+
+    for (dim, m, w, seed) in [(24usize, 6usize, 4.0f32, 0x5eed_u64), (64, 8, 2.5, 99)] {
+        for projection in [Projection::Dense, Projection::Sparse { nnz: 4 }] {
+            let shim = pstable_family(dim, m, w, seed, projection);
+            let direct = HashFamily::sample_with(dim, m, w, seed, projection);
+            assert_eq!(shim.to_parts(), direct.to_parts(), "pstable_family drifted");
+        }
+    }
+
+    let cfg = config(Probe::Home, Quantizer::Zm);
+    for l in 0..cfg.l as u64 {
+        for group_w in [1.0f32, 17.5, 40.0] {
+            let shim = sample_level2_pstable(24, &cfg, l, group_w);
+            let direct =
+                HashFamily::sample_with(24, cfg.m, 1.0, cfg.seed ^ (0x1000 + l), cfg.projection)
+                    .with_w(group_w);
+            assert_eq!(
+                shim.to_parts(),
+                direct.to_parts(),
+                "sample_level2_pstable drifted (l={l}, w={group_w})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,259 @@
+//! Per-family end-to-end coverage for the pluggable level-2 hash zoo:
+//! recall-vs-brute-force grids for SRP/cosine, asymmetric MIPS, and ℓp
+//! p-stable hashing; the mutation path under a non-L2 family; and
+//! snapshot round-trips for every family tag (including the legacy
+//! auto-load-as-L2 path).
+//!
+//! The recall grids are the acceptance gate of the family redesign: each
+//! new family must reach ≥0.9 recall@10 against a brute-force scan under
+//! its own metric at *some* probe budget — an LSH family that can't be
+//! probed to high recall is miswired, whatever its unit tests say.
+
+use bilevel_lsh::{
+    BiLevelConfig, BiLevelIndex, FamilyKind, MetricKind, Partition, Probe, QueryOptions, WidthMode,
+};
+use vecstore::synth::{self, ClusteredSpec};
+use vecstore::{knn_batch, Cosine, Dataset, InnerProduct, Lp, Metric, Neighbor};
+
+const K: usize = 10;
+
+fn corpus_and_queries(n: usize, nq: usize, seed: u64) -> (Dataset, Dataset) {
+    synth::clustered(&ClusteredSpec::small(n + nq), seed).split_at(n)
+}
+
+/// Brute-force top-k under an arbitrary metric — only ids matter for
+/// recall, so no distance post-transform is needed.
+fn truth_under(data: &Dataset, queries: &Dataset, metric: &dyn Metric) -> Vec<Vec<Neighbor>> {
+    knn_batch(data, queries, K, metric, 1)
+}
+
+/// Mean recall@k of `index` against `truth` at one probe budget.
+fn recall_at(
+    index: &BiLevelIndex,
+    queries: &Dataset,
+    truth: &[Vec<Neighbor>],
+    probe: Probe,
+) -> f64 {
+    let mut options = QueryOptions::new(K);
+    options.probe = Some(probe);
+    let got = index.query_batch_opts(queries, &options);
+    let total: f64 = truth.iter().zip(&got.neighbors).map(|(t, g)| knn_metrics::recall(t, g)).sum();
+    total / truth.len() as f64
+}
+
+/// Sweeps widths × probe budgets for one family config and returns the
+/// best mean recall plus the grid rendered for the failure message.
+fn best_recall_over_grid(
+    data: &Dataset,
+    queries: &Dataset,
+    truth: &[Vec<Neighbor>],
+    base: &BiLevelConfig,
+    widths: &[f32],
+) -> (f64, String) {
+    let probes =
+        [Probe::Home, Probe::Multi(4), Probe::Multi(16), Probe::Multi(64), Probe::Multi(256)];
+    let mut best = 0.0f64;
+    let mut grid = String::new();
+    for &w in widths {
+        let mut config = base.clone();
+        config.width = WidthMode::Fixed(w);
+        let index = BiLevelIndex::build(data, &config);
+        for probe in probes {
+            let r = recall_at(&index, queries, truth, probe);
+            best = best.max(r);
+            grid.push_str(&format!("w={w} probe={probe:?}: recall {r:.3}\n"));
+        }
+    }
+    (best, grid)
+}
+
+#[test]
+fn srp_reaches_cosine_recall_target() {
+    let (data, queries) = corpus_and_queries(600, 60, 11);
+    let truth = truth_under(&data, &queries, &Cosine);
+    // Sign codes ignore the width entirely, so the grid is probes only.
+    let config = BiLevelConfig::standard(1.0).metric(MetricKind::Cosine).tables(12);
+    let (best, grid) = best_recall_over_grid(&data, &queries, &truth, &config, &[1.0]);
+    assert!(best >= 0.9, "SRP/cosine best recall@{K} {best:.3} < 0.9\n{grid}");
+}
+
+#[test]
+fn mips_reaches_inner_product_recall_target() {
+    let (data, queries) = corpus_and_queries(600, 60, 12);
+    let truth = truth_under(&data, &queries, &InnerProduct);
+    // The asymmetric embedding maps both sides onto (dim+1)-dim unit
+    // vectors, so useful widths sit near the unit scale.
+    let config = BiLevelConfig::standard(1.0).metric(MetricKind::InnerProduct).tables(12);
+    let (best, grid) = best_recall_over_grid(&data, &queries, &truth, &config, &[0.5, 1.0, 2.0]);
+    assert!(best >= 0.9, "MIPS/ip best recall@{K} {best:.3} < 0.9\n{grid}");
+}
+
+#[test]
+fn lp_families_reach_recall_target_across_p() {
+    let (data, queries) = corpus_and_queries(600, 60, 13);
+    for p in [0.5f32, 1.0, 1.5] {
+        let truth = truth_under(&data, &queries, &Lp::new(p));
+        let config = BiLevelConfig::standard(1.0).metric(MetricKind::Lp { p }).tables(12);
+        // ℓp draws are heavy-tailed (infinite variance for p < 2, Lévy
+        // tails at p = 0.5), so projections — and the widths that bucket
+        // them — span orders of magnitude as p falls.
+        let (best, grid) = best_recall_over_grid(
+            &data,
+            &queries,
+            &truth,
+            &config,
+            &[32.0, 512.0, 8192.0, 32768.0],
+        );
+        assert!(best >= 0.9, "Lp p={p} best recall@{K} {best:.3} < 0.9\n{grid}");
+    }
+}
+
+/// Partitioned (bi-level) builds also answer sanely under a non-L2
+/// family — the level-1 RP-tree is metric-agnostic routing, and every
+/// group's level-2 tables hash under the family.
+#[test]
+fn partitioned_cosine_index_answers_sanely() {
+    let (data, queries) = corpus_and_queries(500, 20, 14);
+    let mut config =
+        BiLevelConfig::standard(1.0).metric(MetricKind::Cosine).probe(Probe::Multi(16));
+    config.partition = Partition::RpTree { groups: 4, rule: rptree::SplitRule::Max };
+    let index = BiLevelIndex::build(&data, &config);
+    let truth = truth_under(&data, &queries, &Cosine);
+    let r = recall_at(&index, &queries, &truth, Probe::Multi(64));
+    assert!(r > 0.5, "partitioned cosine recall collapsed: {r:.3}");
+    // Distances are cosine distances: within [0, 2] and ascending.
+    let got = index.query_batch_opts(&queries, &QueryOptions::new(K));
+    for hits in &got.neighbors {
+        assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert!(hits.iter().all(|n| (-1e-5..=2.0 + 1e-5).contains(&n.dist)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation path under a non-L2 family
+// ---------------------------------------------------------------------------
+
+/// Insert / update / delete / compact all work under the SRP/cosine
+/// family, and the cosine rank path (cached norms) stays correct across
+/// every rebuild funnel — a stale norms cache would surface here as a
+/// wrong self-distance.
+#[test]
+fn mutations_work_under_cosine_family() {
+    let (data, _) = corpus_and_queries(300, 1, 15);
+    let config = BiLevelConfig::standard(1.0).metric(MetricKind::Cosine).probe(Probe::Multi(16));
+    let mut index = BiLevelIndex::build_owned(data, &config);
+    assert_eq!(index.config().family, FamilyKind::Srp);
+
+    // Insert a distinctive new row: its nearest neighbor under cosine is
+    // itself, at distance ~0 — this requires the norms cache to cover
+    // the inserted row.
+    let dim = index.data().dim();
+    let novel: Vec<f32> = (0..dim).map(|i| if i % 2 == 0 { 3.0 } else { -2.0 }).collect();
+    let mut txn = index.begin_txn();
+    txn.insert(&novel).unwrap();
+    let summary = index.commit(txn).unwrap();
+    let new_id = summary.first_inserted_id.unwrap();
+    let hits = index.query(&novel, 3);
+    assert_eq!(hits.first().map(|n| n.id), Some(new_id), "inserted row must find itself");
+    assert!(hits[0].dist.abs() < 1e-5, "self cosine distance {}", hits[0].dist);
+
+    // Update it onto a different direction; the old direction no longer
+    // matches, the new one does.
+    let rotated: Vec<f32> = (0..dim).map(|i| if i % 3 == 0 { -4.0 } else { 1.5 }).collect();
+    let mut txn = index.begin_txn();
+    txn.update(new_id, &rotated).unwrap();
+    index.commit(txn).unwrap();
+    let hits = index.query(&rotated, 3);
+    assert_eq!(hits.first().map(|n| n.id), Some(new_id));
+    assert!(hits[0].dist.abs() < 1e-5);
+
+    // Delete it: the tombstone hides it from every query.
+    let mut txn = index.begin_txn();
+    txn.delete(new_id);
+    index.commit(txn).unwrap();
+    assert!(index.query(&rotated, 5).iter().all(|n| n.id != new_id));
+
+    // Compaction renumbers densely and keeps answering under cosine.
+    let survivors = index.compact();
+    assert!(!survivors.contains(&new_id));
+    let probe = index.data().row(0).to_vec();
+    let hits = index.query(&probe, 3);
+    assert_eq!(hits.first().map(|n| n.id), Some(0), "row 0 must find itself post-compact");
+    assert!(hits[0].dist.abs() < 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trips
+// ---------------------------------------------------------------------------
+
+/// Every family tag survives a v2 save → load round-trip: the loaded
+/// index answers bit-identically and re-saves to the same bytes.
+#[test]
+fn v2_snapshots_roundtrip_for_every_family() {
+    let (data, queries) = corpus_and_queries(300, 20, 16);
+    let metrics = [
+        MetricKind::L2,
+        MetricKind::Cosine,
+        MetricKind::InnerProduct,
+        MetricKind::Lp { p: 0.5 },
+        MetricKind::Lp { p: 1.5 },
+    ];
+    for metric in metrics {
+        let config = BiLevelConfig::standard(2.0).metric(metric).probe(Probe::Multi(8));
+        let index = BiLevelIndex::build(&data, &config);
+        let mut snap = Vec::new();
+        index.save_to(&mut snap).unwrap();
+        let loaded = BiLevelIndex::load_from(&data, snap.as_slice()).unwrap();
+        assert_eq!(loaded.config().metric, metric);
+        assert_eq!(loaded.config().family, metric.default_family());
+
+        let want = index.query_batch_opts(&queries, &QueryOptions::new(K));
+        let got = loaded.query_batch_opts(&queries, &QueryOptions::new(K));
+        assert_eq!(want.neighbors.len(), got.neighbors.len());
+        for (w, g) in want.neighbors.iter().zip(&got.neighbors) {
+            assert_eq!(w.len(), g.len(), "metric {metric:?}");
+            for (a, b) in w.iter().zip(g) {
+                assert_eq!(a.id, b.id, "metric {metric:?}");
+                assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "metric {metric:?}");
+            }
+        }
+
+        let mut resaved = Vec::new();
+        loaded.save_to(&mut resaved).unwrap();
+        assert_eq!(resaved, snap, "metric {metric:?}: save→load→save must be byte-stable");
+    }
+}
+
+/// Legacy v1 JSON snapshots predate the family tags, so they auto-load
+/// as the L2 / p-stable configuration; saving a non-p-stable index as
+/// JSON is a typed refusal, not silent data loss.
+#[test]
+fn legacy_json_snapshots_stay_l2_pstable_only() {
+    let (data, queries) = corpus_and_queries(250, 10, 17);
+    let config = BiLevelConfig::standard(4.0).probe(Probe::Multi(8));
+    let index = BiLevelIndex::build(&data, &config);
+
+    // Offline builds may link a stub serde_json that errors at runtime;
+    // the legacy-load half of this test only runs where JSON works. The
+    // family gate below fires before serialization, so it is checked
+    // unconditionally.
+    if serde_json::to_vec(&1u32).is_ok() {
+        let mut json = Vec::new();
+        index.save_json_to(&mut json).unwrap();
+        let loaded = BiLevelIndex::load_from(&data, json.as_slice()).unwrap();
+        assert_eq!(loaded.config().metric, MetricKind::L2);
+        assert_eq!(loaded.config().family, FamilyKind::PStable);
+        let want = index.query_batch_opts(&queries, &QueryOptions::new(K));
+        let got = loaded.query_batch_opts(&queries, &QueryOptions::new(K));
+        assert_eq!(want.neighbors, got.neighbors);
+    }
+
+    // A cosine index refuses the legacy format by name.
+    let cosine =
+        BiLevelIndex::build(&data, &BiLevelConfig::standard(1.0).metric(MetricKind::Cosine));
+    let err = cosine.save_json_to(&mut Vec::new()).unwrap_err();
+    assert!(
+        err.to_string().contains("p-stable"),
+        "JSON save of a non-p-stable family must name the limitation: {err}"
+    );
+}

@@ -40,6 +40,8 @@ fn config() -> impl Strategy<Value = BiLevelConfig> {
             },
             table_pool: None,
             projection: bilevel_lsh::Projection::Dense,
+            metric: bilevel_lsh::MetricKind::L2,
+            family: bilevel_lsh::FamilyKind::PStable,
             seed,
         })
 }

@@ -315,7 +315,7 @@ impl HashFamily {
 /// Owned structural dump of a [`HashFamily`]: the `m × dim` projection
 /// matrix, the normalized offsets (`m` of them — `m` itself is implied),
 /// the width, and the input dimension.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FamilyParts {
     /// Row-major `m × dim` projection matrix.
     pub a: Vec<f32>,
@@ -352,12 +352,28 @@ impl std::error::Error for InvalidFamily {}
 #[derive(Debug, Clone)]
 pub struct ProjectionScratch {
     raw: Vec<f32>,
+    /// Embedding buffer for augmented-dimension families (MIPS); sized
+    /// lazily because the scratch is constructed from `m` alone.
+    aug: Vec<f32>,
 }
 
 impl ProjectionScratch {
     /// Scratch sized for families with `m` component hashes.
     pub fn new(m: usize) -> Self {
-        Self { raw: vec![0.0; m] }
+        Self { raw: vec![0.0; m], aug: Vec::new() }
+    }
+
+    /// The raw projection buffer, asserting it is sized for `m` hashes.
+    #[inline]
+    pub(crate) fn raw_mut(&mut self, m: usize) -> &mut [f32] {
+        assert_eq!(self.raw.len(), m, "scratch sized for m={}, family has m={m}", self.raw.len());
+        &mut self.raw
+    }
+
+    /// Both internal buffers at once, for embed-then-project paths.
+    #[inline]
+    pub(crate) fn raw_and_aug(&mut self) -> (&mut [f32], &mut Vec<f32>) {
+        (&mut self.raw, &mut self.aug)
     }
 
     /// Number of component hashes this scratch is sized for.

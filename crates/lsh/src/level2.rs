@@ -1,0 +1,896 @@
+//! Pluggable level-2 hash families.
+//!
+//! The paper fixes level 2 as p-stable (`l_2`) hashing; this module factors
+//! that choice behind the [`Level2Family`] trait so the same table/probe
+//! machinery serves other similarity workloads:
+//!
+//! | family | metric | scheme |
+//! |---|---|---|
+//! | [`HashFamily`] | `l_2` | Datar et al. p-stable (Gaussian) projections |
+//! | [`SrpFamily`] | cosine | Charikar sign-random-projection bits |
+//! | [`MipsFamily`] | inner product | Neyshabur–Srebro asymmetric augmentation over the p-stable core |
+//! | [`LpStableFamily`] | `l_p`, `p ∈ (0, 2)` | Chambers–Mallows–Stuck p-stable draws |
+//!
+//! Every family exposes *raw projections* — `m` real values per vector —
+//! so the existing quantizers (`Z^M` floor, E8 decode), multi-probe
+//! orderings, and bucket hierarchies apply unchanged. Two projection sides
+//! exist because MIPS is asymmetric: corpus rows embed through
+//! [`Level2Family::project_data_into`], queries through
+//! [`Level2Family::project_query_into`] (identical for every symmetric
+//! family, which is why the trait defaults the query side to the data
+//! side).
+//!
+//! [`Level2`] is the closed enum the index hot paths dispatch over (no
+//! virtual calls per row); the object-safe trait is the API contract, and
+//! [`level2_from_parts`] is the persistence-side registry that rebuilds any
+//! family from its structural dump.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::family::{FamilyParts, HashFamily, InvalidFamily, ProjectionScratch};
+
+/// Which level-2 family a [`Level2`] value is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level2Kind {
+    /// Gaussian p-stable `l_2` family (the paper's level 2).
+    PStable,
+    /// Sign random projections (cosine).
+    Srp,
+    /// Asymmetric maximum-inner-product transform.
+    Mips,
+    /// `l_p` p-stable draws for `p ∈ (0, 2)`.
+    Lp,
+}
+
+impl Level2Kind {
+    /// Short stable name used in snapshots, protocol lines, and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level2Kind::PStable => "pstable",
+            Level2Kind::Srp => "srp",
+            Level2Kind::Mips => "mips",
+            Level2Kind::Lp => "lp",
+        }
+    }
+}
+
+/// Object-safe contract every level-2 hash family satisfies.
+///
+/// The trait is intentionally minimal: raw projection access (the bridge to
+/// the existing quantizer/multiprobe/hierarchy machinery) plus the
+/// structural dump used by persistence. Construction is *not* part of the
+/// trait (constructors differ per family); [`level2_from_parts`] is the
+/// uniform rebuild path.
+pub trait Level2Family: Send + Sync + std::fmt::Debug {
+    /// Which family this is.
+    fn kind(&self) -> Level2Kind;
+
+    /// Number of component hashes `M` (raw projection length).
+    fn m(&self) -> usize;
+
+    /// Dimensionality of the *data* vectors this family hashes. (The
+    /// internal projection may run in a higher dimension — MIPS augments by
+    /// one — but callers only ever present data-dimensional vectors.)
+    fn data_dim(&self) -> usize;
+
+    /// Bucket width `W` (1.0 for families that do not quantize by width,
+    /// like SRP, whose raw projections are already in cell units).
+    fn w(&self) -> f32;
+
+    /// Raw per-component projection of a *corpus* vector into `out`
+    /// (`out.len() == m`). Floor-quantizing this yields the family's `Z^M`
+    /// code.
+    fn project_data_into(&self, v: &[f32], out: &mut [f32]);
+
+    /// Raw projection of a *query* vector. Identical to the data side for
+    /// every symmetric family; asymmetric families (MIPS) override it.
+    fn project_query_into(&self, v: &[f32], out: &mut [f32]) {
+        self.project_data_into(v, out);
+    }
+
+    /// Dumps the family's structure for persistence; feed to
+    /// [`level2_from_parts`] to rebuild.
+    fn to_parts(&self) -> Level2Parts;
+}
+
+/// Kind tag plus kind-specific extras of a [`Level2Parts`] dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Level2PartsKind {
+    /// p-stable `l_2` family.
+    PStable,
+    /// Sign random projections (the `b`/`w` slots of the base dump are a
+    /// zero vector and 1.0 — SRP has no offsets or width).
+    Srp,
+    /// MIPS wrapper; `base` holds the inner `(dim + 1)`-dimensional
+    /// p-stable family and `scale` the corpus max-norm `S`.
+    Mips {
+        /// Corpus norm bound used by the index-side embedding.
+        scale: f32,
+    },
+    /// `l_p` family with stability parameter `p ∈ (0, 2)`.
+    Lp {
+        /// Stability parameter.
+        p: f32,
+    },
+}
+
+/// Owned structural dump of any level-2 family: the kind tag plus the raw
+/// projection arrays in [`FamilyParts`] layout (for MIPS the base dump is
+/// the *inner* family, whose `dim` is the data dimension plus one).
+#[derive(Debug, Clone)]
+pub struct Level2Parts {
+    /// Which family the base arrays belong to.
+    pub kind: Level2PartsKind,
+    /// Projection matrix, offsets, width, and projection-input dimension.
+    pub base: FamilyParts,
+}
+
+/// Rebuilds a family from a structural dump, validating every invariant
+/// the corresponding constructor establishes.
+///
+/// # Errors
+///
+/// Returns [`InvalidFamily`] on shape mismatches, non-finite values, an
+/// out-of-range MIPS scale, or an `l_p` stability parameter outside
+/// `(0, 2)`.
+pub fn level2_from_parts(parts: Level2Parts) -> Result<Level2, InvalidFamily> {
+    match parts.kind {
+        Level2PartsKind::PStable => Ok(Level2::PStable(HashFamily::from_parts(parts.base)?)),
+        Level2PartsKind::Srp => SrpFamily::from_parts(parts.base).map(Level2::Srp),
+        Level2PartsKind::Mips { scale } => {
+            MipsFamily::from_parts(parts.base, scale).map(Level2::Mips)
+        }
+        Level2PartsKind::Lp { p } => LpStableFamily::from_parts(parts.base, p).map(Level2::Lp),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SRP: sign random projections (cosine)
+// ---------------------------------------------------------------------------
+
+/// Charikar's sign-random-projection family: `h_i(v) = sign(a_i · v)`, with
+/// collision probability `1 − θ(u, v)/π` — the locality-sensitive family
+/// for *cosine* similarity.
+///
+/// To reuse the `Z^M`/multiprobe machinery unchanged, the raw projection
+/// emits the squashed value `g(a_i · v)` with `g(x) = x / (1 + |x|) ∈
+/// (−1, 1)`: floor quantization then yields exactly the two sign codes
+/// (`0` for `a_i · v ≥ 0`, `−1` otherwise), and the `Z^M` multi-probe
+/// boundary-distance ordering flips the *least confident* bits (smallest
+/// `|a_i · v|`) first — which is precisely SRP multi-probe. The packed-bit
+/// view ([`SrpFamily::hash_packed`]) serves callers that want 64 codes per
+/// word.
+#[derive(Debug, Clone)]
+pub struct SrpFamily {
+    /// Row-major `m × dim` Gaussian projection matrix.
+    a: Vec<f32>,
+    m: usize,
+    dim: usize,
+}
+
+/// Squash `ℝ → (−1, 1)` preserving sign and order; fixes the floor
+/// quantizer's output to the two sign cells `{−1, 0}`.
+#[inline]
+fn squash(x: f32) -> f32 {
+    x / (1.0 + x.abs())
+}
+
+impl SrpFamily {
+    /// Samples a fresh family of `m` sign hashes over `dim`-dimensional
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `dim == 0`.
+    pub fn sample(dim: usize, m: usize, seed: u64) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert!(dim > 0, "dim must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..m * dim).map(|_| rng.sample(vecstore::synth::StdNormal)).collect();
+        Self { a, m, dim }
+    }
+
+    /// Rebuilds from a structural dump (`b` must be all zeros, `w` 1.0).
+    fn from_parts(base: FamilyParts) -> Result<Self, InvalidFamily> {
+        let FamilyParts { a, b, w, dim } = base;
+        let m = b.len();
+        if m == 0 || dim == 0 {
+            return Err(InvalidFamily("m and dim must be positive".into()));
+        }
+        if a.len() != m * dim {
+            return Err(InvalidFamily(format!(
+                "projection matrix has {} entries, want m * dim = {}",
+                a.len(),
+                m * dim
+            )));
+        }
+        if a.iter().any(|x| !x.is_finite()) {
+            return Err(InvalidFamily("non-finite projection entry".into()));
+        }
+        if b.iter().any(|&x| x != 0.0) || w != 1.0 {
+            return Err(InvalidFamily("srp families carry no offsets or width".into()));
+        }
+        Ok(Self { a, m, dim })
+    }
+
+    /// Sign bits of `v`, packed 64 per word (bit `i` of word `i / 64` is
+    /// set iff `a_i · v ≥ 0`). The Hamming distance between two packed
+    /// codes estimates the angle between the vectors.
+    pub fn hash_packed(&self, v: &[f32]) -> Vec<u64> {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        let mut words = vec![0u64; self.m.div_ceil(64)];
+        for i in 0..self.m {
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            if vecstore::metric::dot(row, v) >= 0.0 {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+}
+
+impl Level2Family for SrpFamily {
+    fn kind(&self) -> Level2Kind {
+        Level2Kind::Srp
+    }
+    fn m(&self) -> usize {
+        self.m
+    }
+    fn data_dim(&self) -> usize {
+        self.dim
+    }
+    fn w(&self) -> f32 {
+        1.0
+    }
+    fn project_data_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        assert_eq!(out.len(), self.m, "output length must equal m");
+        for (i, slot) in out.iter_mut().enumerate() {
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            *slot = squash(vecstore::metric::dot(row, v));
+        }
+    }
+    fn to_parts(&self) -> Level2Parts {
+        Level2Parts {
+            kind: Level2PartsKind::Srp,
+            base: FamilyParts { a: self.a.clone(), b: vec![0.0; self.m], w: 1.0, dim: self.dim },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MIPS: asymmetric augmented-dimension transform
+// ---------------------------------------------------------------------------
+
+/// Neyshabur–Srebro asymmetric MIPS-to-`l_2` reduction wrapping the
+/// p-stable core.
+///
+/// With `S` an upper bound on corpus norms, index rows embed as
+/// `x̂ = [x/S ; √(1 − ‖x/S‖²)]` (unit norm by construction) and queries as
+/// `q̂ = [q/‖q‖ ; 0]`, so `‖x̂ − q̂‖² = 2 − 2·(q · x)/(S‖q‖)`: Euclidean
+/// nearest neighbors of `q̂` are exactly the maximum-inner-product rows for
+/// `q`. Both sides then hash through an inner `(dim + 1)`-dimensional
+/// p-stable family, which is what makes the whole bi-level machinery
+/// (widths, quantizers, hierarchies) apply verbatim.
+///
+/// Rows inserted after build whose norm exceeds `S` are handled by clamping
+/// the residual coordinate to zero — their embedding degrades gracefully to
+/// the direction-only form instead of producing a NaN.
+#[derive(Debug, Clone)]
+pub struct MipsFamily {
+    /// The p-stable family over the augmented `(dim + 1)`-dimensional space.
+    inner: HashFamily,
+    /// Corpus norm bound `S` (fixed at build; shared by every table).
+    scale: f32,
+    /// Data dimensionality (`inner.dim() - 1`).
+    dim: usize,
+}
+
+impl MipsFamily {
+    /// Samples a fresh family over `dim`-dimensional data with norm bound
+    /// `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `dim == 0`, `w <= 0`, or `scale` is not positive
+    /// and finite.
+    pub fn sample(dim: usize, m: usize, w: f32, seed: u64, scale: f32) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive and finite");
+        Self { inner: HashFamily::sample(dim + 1, m, w, seed), scale, dim }
+    }
+
+    /// Rebuilds from the inner family's dump plus the persisted scale.
+    fn from_parts(base: FamilyParts, scale: f32) -> Result<Self, InvalidFamily> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(InvalidFamily(format!("mips scale {scale} must be positive and finite")));
+        }
+        if base.dim < 2 {
+            return Err(InvalidFamily("mips inner family needs dim >= 2 (data dim + 1)".into()));
+        }
+        let inner = HashFamily::from_parts(base)?;
+        let dim = inner.dim() - 1;
+        Ok(Self { inner, scale, dim })
+    }
+
+    /// The norm bound `S` in effect.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Index-side embedding `x̂ = [x/S ; √(max(0, 1 − ‖x/S‖²))]`, written
+    /// into `aug` (resized to `dim + 1`).
+    pub fn embed_data(&self, v: &[f32], aug: &mut Vec<f32>) {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        aug.clear();
+        aug.extend(v.iter().map(|x| x / self.scale));
+        let n2 = vecstore::metric::dot(aug, aug);
+        aug.push((1.0 - n2).max(0.0).sqrt());
+    }
+
+    /// Query-side embedding `q̂ = [q/‖q‖ ; 0]` (zero queries stay zero),
+    /// written into `aug` (resized to `dim + 1`).
+    pub fn embed_query(&self, v: &[f32], aug: &mut Vec<f32>) {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        aug.clear();
+        let n = vecstore::metric::norm(v);
+        if n > 0.0 {
+            aug.extend(v.iter().map(|x| x / n));
+        } else {
+            aug.extend(std::iter::repeat_n(0.0, self.dim));
+        }
+        aug.push(0.0);
+    }
+
+    /// The inner augmented-dimension p-stable family.
+    pub fn inner(&self) -> &HashFamily {
+        &self.inner
+    }
+
+    /// Same projections and scale under a different bucket width (see
+    /// [`HashFamily::with_w`]).
+    pub fn with_w(&self, w: f32) -> Self {
+        Self { inner: self.inner.with_w(w), scale: self.scale, dim: self.dim }
+    }
+}
+
+impl Level2Family for MipsFamily {
+    fn kind(&self) -> Level2Kind {
+        Level2Kind::Mips
+    }
+    fn m(&self) -> usize {
+        self.inner.m()
+    }
+    fn data_dim(&self) -> usize {
+        self.dim
+    }
+    fn w(&self) -> f32 {
+        self.inner.w()
+    }
+    fn project_data_into(&self, v: &[f32], out: &mut [f32]) {
+        let mut aug = Vec::with_capacity(self.dim + 1);
+        self.embed_data(v, &mut aug);
+        self.inner.project_into(&aug, out);
+    }
+    fn project_query_into(&self, v: &[f32], out: &mut [f32]) {
+        let mut aug = Vec::with_capacity(self.dim + 1);
+        self.embed_query(v, &mut aug);
+        self.inner.project_into(&aug, out);
+    }
+    fn to_parts(&self) -> Level2Parts {
+        Level2Parts {
+            kind: Level2PartsKind::Mips { scale: self.scale },
+            base: self.inner.to_parts(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// l_p: Chambers–Mallows–Stuck p-stable draws
+// ---------------------------------------------------------------------------
+
+/// The `l_p` p-stable family for `p ∈ (0, 2)` (Datar et al. generalized;
+/// Nguyễn's `l_p` ANN): `h_i(v) = ⌊(a_i · v + b_i)/W⌋` with `a_i` drawn
+/// i.i.d. from a standard symmetric p-stable distribution via the
+/// Chambers–Mallows–Stuck transform (`p = 1` is the Cauchy family).
+#[derive(Debug, Clone)]
+pub struct LpStableFamily {
+    /// Row-major `m × dim` p-stable projection matrix.
+    a: Vec<f32>,
+    /// Normalized per-component offsets in `[0, 1)` (see [`HashFamily`]).
+    b: Vec<f32>,
+    w: f32,
+    /// Stability parameter in `(0, 2)`.
+    p: f32,
+    m: usize,
+    dim: usize,
+}
+
+/// One standard symmetric p-stable draw (Chambers–Mallows–Stuck):
+/// `X = sin(pθ)/cos(θ)^{1/p} · (cos((1−p)θ)/E)^{(1−p)/p}` with
+/// `θ ~ U(−π/2, π/2)` and `E ~ Exp(1)`. At `p = 1` the tail factor is 1
+/// and the draw reduces to `tan θ` — the Cauchy distribution.
+fn cms_draw(rng: &mut StdRng, p: f64) -> f64 {
+    let theta: f64 = rng.gen_range(-std::f64::consts::FRAC_PI_2..std::f64::consts::FRAC_PI_2);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let e = -u.ln();
+    let lead = (p * theta).sin() / theta.cos().powf(1.0 / p);
+    let tail = (((1.0 - p) * theta).cos() / e).powf((1.0 - p) / p);
+    lead * tail
+}
+
+impl LpStableFamily {
+    /// Samples a fresh `l_p` family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `dim == 0`, `w <= 0`, or `p` is outside `(0, 2)`
+    /// (use [`HashFamily`] for the Gaussian `p = 2` endpoint).
+    pub fn sample(dim: usize, m: usize, w: f32, p: f32, seed: u64) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert!(dim > 0, "dim must be positive");
+        assert!(w > 0.0 && w.is_finite(), "w must be positive and finite");
+        assert!(p > 0.0 && p < 2.0, "stability parameter must lie in (0, 2)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..m * dim).map(|_| cms_draw(&mut rng, p as f64) as f32).collect();
+        let b = (0..m).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        Self { a, b, w, p, m, dim }
+    }
+
+    /// Rebuilds from a structural dump plus the persisted stability
+    /// parameter.
+    fn from_parts(base: FamilyParts, p: f32) -> Result<Self, InvalidFamily> {
+        if !(p > 0.0 && p < 2.0) {
+            return Err(InvalidFamily(format!("stability parameter {p} must lie in (0, 2)")));
+        }
+        let FamilyParts { a, b, w, dim } = base;
+        let m = b.len();
+        if m == 0 || dim == 0 {
+            return Err(InvalidFamily("m and dim must be positive".into()));
+        }
+        if a.len() != m * dim {
+            return Err(InvalidFamily(format!(
+                "projection matrix has {} entries, want m * dim = {}",
+                a.len(),
+                m * dim
+            )));
+        }
+        if !(w > 0.0 && w.is_finite()) {
+            return Err(InvalidFamily(format!("width {w} must be positive and finite")));
+        }
+        if a.iter().any(|x| !x.is_finite()) {
+            return Err(InvalidFamily("non-finite projection entry".into()));
+        }
+        if b.iter().any(|x| !(0.0..1.0).contains(x)) {
+            return Err(InvalidFamily("offset outside the normalized [0, 1) cell".into()));
+        }
+        Ok(Self { a, b, w, p, m, dim })
+    }
+
+    /// The stability parameter `p`.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Same projections and (rescaled) offsets under a different width
+    /// (see [`HashFamily::with_w`]).
+    pub fn with_w(&self, w: f32) -> Self {
+        assert!(w > 0.0 && w.is_finite(), "w must be positive and finite");
+        Self { a: self.a.clone(), b: self.b.clone(), w, ..*self }
+    }
+}
+
+impl Level2Family for LpStableFamily {
+    fn kind(&self) -> Level2Kind {
+        Level2Kind::Lp
+    }
+    fn m(&self) -> usize {
+        self.m
+    }
+    fn data_dim(&self) -> usize {
+        self.dim
+    }
+    fn w(&self) -> f32 {
+        self.w
+    }
+    fn project_data_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        assert_eq!(out.len(), self.m, "output length must equal m");
+        for (i, slot) in out.iter_mut().enumerate() {
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            *slot = vecstore::metric::dot(row, v) / self.w + self.b[i];
+        }
+    }
+    fn to_parts(&self) -> Level2Parts {
+        Level2Parts {
+            kind: Level2PartsKind::Lp { p: self.p },
+            base: FamilyParts { a: self.a.clone(), b: self.b.clone(), w: self.w, dim: self.dim },
+        }
+    }
+}
+
+impl Level2Family for HashFamily {
+    fn kind(&self) -> Level2Kind {
+        Level2Kind::PStable
+    }
+    fn m(&self) -> usize {
+        HashFamily::m(self)
+    }
+    fn data_dim(&self) -> usize {
+        HashFamily::dim(self)
+    }
+    fn w(&self) -> f32 {
+        HashFamily::w(self)
+    }
+    fn project_data_into(&self, v: &[f32], out: &mut [f32]) {
+        self.project_into(v, out);
+    }
+    fn to_parts(&self) -> Level2Parts {
+        Level2Parts { kind: Level2PartsKind::PStable, base: HashFamily::to_parts(self) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The closed dispatch enum
+// ---------------------------------------------------------------------------
+
+/// A level-2 family as held by index hot paths: closed-enum dispatch (one
+/// match, no virtual call per row), with [`Level2::as_family`] bridging to
+/// the object-safe trait where dynamic access is wanted.
+#[derive(Debug, Clone)]
+pub enum Level2 {
+    /// Gaussian p-stable `l_2` family.
+    PStable(HashFamily),
+    /// Sign random projections (cosine).
+    Srp(SrpFamily),
+    /// Asymmetric MIPS transform.
+    Mips(MipsFamily),
+    /// `l_p` p-stable draws.
+    Lp(LpStableFamily),
+}
+
+impl Level2 {
+    /// Which family this is.
+    pub fn kind(&self) -> Level2Kind {
+        self.as_family().kind()
+    }
+
+    /// Number of component hashes `M`.
+    pub fn m(&self) -> usize {
+        self.as_family().m()
+    }
+
+    /// Data-side input dimensionality.
+    pub fn data_dim(&self) -> usize {
+        self.as_family().data_dim()
+    }
+
+    /// Bucket width `W` (1.0 for SRP).
+    pub fn w(&self) -> f32 {
+        self.as_family().w()
+    }
+
+    /// The family as a trait object (the object-safe API surface).
+    pub fn as_family(&self) -> &dyn Level2Family {
+        match self {
+            Level2::PStable(f) => f,
+            Level2::Srp(f) => f,
+            Level2::Mips(f) => f,
+            Level2::Lp(f) => f,
+        }
+    }
+
+    /// The underlying p-stable family, when this is one.
+    pub fn as_pstable(&self) -> Option<&HashFamily> {
+        match self {
+            Level2::PStable(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Same projections under a different bucket width. SRP carries no
+    /// width and returns itself unchanged.
+    pub fn with_w(&self, w: f32) -> Self {
+        match self {
+            Level2::PStable(f) => Level2::PStable(f.with_w(w)),
+            Level2::Srp(f) => Level2::Srp(f.clone()),
+            Level2::Mips(f) => Level2::Mips(f.with_w(w)),
+            Level2::Lp(f) => Level2::Lp(f.with_w(w)),
+        }
+    }
+
+    /// Structural dump; rebuild with [`level2_from_parts`].
+    pub fn to_parts(&self) -> Level2Parts {
+        self.as_family().to_parts()
+    }
+}
+
+impl ProjectionScratch {
+    /// Projects a *corpus* vector through `family` (index-side embedding
+    /// for asymmetric families), returning the raw projection slice, valid
+    /// until the next call.
+    ///
+    /// For [`Level2::PStable`] this is exactly
+    /// [`ProjectionScratch::project`], so the `l_2` path's raw values (and
+    /// every code derived from them) are bit-identical to the
+    /// pre-`Level2` pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `family.m()` differs from the scratch size.
+    pub fn project_data<'s>(&'s mut self, family: &Level2, v: &[f32]) -> &'s [f32] {
+        match family {
+            Level2::PStable(f) => self.project(f, v),
+            Level2::Mips(f) => {
+                let (raw, aug) = self.raw_and_aug();
+                f.embed_data(v, aug);
+                f.inner().project_into(aug, raw);
+                &*raw
+            }
+            other => {
+                let raw = self.raw_mut(other.m());
+                other.as_family().project_data_into(v, raw);
+                &*raw
+            }
+        }
+    }
+
+    /// Projects a *query* vector through `family` (query-side embedding for
+    /// asymmetric families). Identical to
+    /// [`ProjectionScratch::project_data`] for symmetric families.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `family.m()` differs from the scratch size.
+    pub fn project_query<'s>(&'s mut self, family: &Level2, v: &[f32]) -> &'s [f32] {
+        match family {
+            Level2::Mips(f) => {
+                let (raw, aug) = self.raw_and_aug();
+                f.embed_query(v, aug);
+                f.inner().project_into(aug, raw);
+                &*raw
+            }
+            other => self.project_data(other, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::quantize_zm;
+
+    fn vecs(dim: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect()
+    }
+
+    #[test]
+    fn pstable_level2_matches_hash_family_bitwise() {
+        let f = HashFamily::sample(16, 8, 3.0, 7);
+        let l2 = Level2::PStable(f.clone());
+        let mut scratch = ProjectionScratch::new(8);
+        for v in vecs(16, 10, 1) {
+            let want = f.project(&v);
+            assert_eq!(scratch.project_data(&l2, &v), want.as_slice());
+            assert_eq!(scratch.project_query(&l2, &v), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn srp_floor_codes_are_signs() {
+        let f = SrpFamily::sample(12, 16, 3);
+        let mut out = vec![0.0; 16];
+        for v in vecs(12, 20, 2) {
+            f.project_data_into(&v, &mut out);
+            let code = quantize_zm(&out);
+            let packed = f.hash_packed(&v);
+            for (i, &c) in code.iter().enumerate() {
+                assert!(c == 0 || c == -1, "srp code component {c} outside sign cells");
+                let bit = packed[i / 64] >> (i % 64) & 1;
+                assert_eq!(bit == 1, c == 0, "packed bit and floor code disagree at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn srp_squash_preserves_low_confidence_ordering() {
+        // Boundary distance of the squashed value must be monotone in
+        // |a·v|: the multiprobe machinery flips least-confident bits first.
+        assert!(squash(0.1).abs() < squash(0.5).abs());
+        assert!((squash(3.0) - 1.0).abs() < 1.0 - squash(0.5));
+        assert!(squash(-0.2) > -1.0 && squash(-0.2) < 0.0);
+    }
+
+    #[test]
+    fn srp_parallel_vectors_collide_antipodal_differ() {
+        let f = SrpFamily::sample(8, 32, 11);
+        let v: Vec<f32> = (0..8).map(|i| (i as f32).sin() + 0.3).collect();
+        let scaled: Vec<f32> = v.iter().map(|x| x * 7.5).collect();
+        let flipped: Vec<f32> = v.iter().map(|x| -x).collect();
+        assert_eq!(f.hash_packed(&v), f.hash_packed(&scaled), "cosine hashing is scale-free");
+        let a = f.hash_packed(&v);
+        let b = f.hash_packed(&flipped);
+        let hamming: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(hamming, 32, "antipodal vectors flip every sign bit");
+    }
+
+    #[test]
+    fn mips_embeddings_are_asymmetric_and_unit_norm() {
+        let f = MipsFamily::sample(6, 4, 2.0, 17, 10.0);
+        let v: Vec<f32> = vec![1.0, -2.0, 3.0, 0.5, -1.5, 2.5];
+        let mut data = Vec::new();
+        let mut query = Vec::new();
+        f.embed_data(&v, &mut data);
+        f.embed_query(&v, &mut query);
+        assert_eq!(data.len(), 7);
+        assert_eq!(query.len(), 7);
+        let n_data = vecstore::metric::norm(&data);
+        let n_query = vecstore::metric::norm(&query);
+        assert!((n_data - 1.0).abs() < 1e-5, "index-side embedding is unit norm, got {n_data}");
+        assert!((n_query - 1.0).abs() < 1e-5, "query-side embedding is unit norm, got {n_query}");
+        assert_eq!(query[6], 0.0, "query residual coordinate is zero");
+        assert!(data[6] > 0.0, "interior row keeps a positive residual");
+        assert_ne!(data, query, "the two sides embed differently");
+    }
+
+    #[test]
+    fn mips_overlong_row_clamps_residual() {
+        let f = MipsFamily::sample(2, 4, 2.0, 19, 1.0);
+        let mut aug = Vec::new();
+        f.embed_data(&[3.0, 4.0], &mut aug); // norm 5 > scale 1
+        assert_eq!(aug[2], 0.0, "residual clamps to zero instead of NaN");
+        assert!(aug.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mips_zero_query_embeds_to_zero() {
+        let f = MipsFamily::sample(3, 4, 2.0, 23, 2.0);
+        let mut aug = Vec::new();
+        f.embed_query(&[0.0, 0.0, 0.0], &mut aug);
+        assert_eq!(aug, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mips_ranking_prefers_larger_inner_product() {
+        // Under the augmented embedding, the l2-closest row to a query
+        // embedding is the row with the largest inner product.
+        let f = MipsFamily::sample(4, 8, 1.0, 29, 5.0);
+        let q = [1.0f32, 0.5, -0.5, 2.0];
+        let rows = vecs(4, 30, 31);
+        let mut emb_q = Vec::new();
+        f.embed_query(&q, &mut emb_q);
+        let best_ip = rows
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                vecstore::metric::dot(&q, a).total_cmp(&vecstore::metric::dot(&q, b))
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let mut aug = Vec::new();
+        let closest = rows
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                f.embed_data(a, &mut aug);
+                let da = vecstore::metric::squared_l2(&emb_q, &aug);
+                f.embed_data(b, &mut aug);
+                let db = vecstore::metric::squared_l2(&emb_q, &aug);
+                da.total_cmp(&db)
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(best_ip, closest);
+    }
+
+    #[test]
+    fn lp_cauchy_draw_reduces_to_tan_theta() {
+        // At p = 1 the CMS tail factor is exactly 1, so hashes are Cauchy.
+        let fam = LpStableFamily::sample(8, 4, 2.0, 1.0, 37);
+        assert_eq!(fam.p(), 1.0);
+        // Cauchy draws have heavy tails; over 32 entries at least one
+        // should exceed the Gaussian-typical range.
+        let parts = fam.to_parts();
+        assert!(parts.base.a.iter().any(|x| x.abs() > 3.0), "no heavy-tail draw in {parts:?}");
+    }
+
+    #[test]
+    fn lp_projection_matches_manual_dot() {
+        let fam = LpStableFamily::sample(10, 6, 2.5, 0.5, 41);
+        let parts = fam.to_parts();
+        let v: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut out = vec![0.0; 6];
+        fam.project_data_into(&v, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let row = &parts.base.a[i * 10..(i + 1) * 10];
+            let want = vecstore::metric::dot(row, &v) / fam.w() + parts.base.b[i];
+            assert_eq!(got, want, "component {i}");
+        }
+    }
+
+    #[test]
+    fn with_w_rescales_lp_and_mips() {
+        let lp = LpStableFamily::sample(8, 4, 2.0, 1.5, 43);
+        assert_eq!(lp.with_w(4.0).w(), 4.0);
+        let mips = MipsFamily::sample(8, 4, 2.0, 47, 3.0);
+        let re = mips.with_w(4.0);
+        assert_eq!(Level2Family::w(&re), 4.0);
+        assert_eq!(re.scale(), 3.0);
+    }
+
+    #[test]
+    fn every_family_round_trips_through_parts() {
+        let families: Vec<Level2> = vec![
+            Level2::PStable(HashFamily::sample(12, 6, 2.0, 51)),
+            Level2::Srp(SrpFamily::sample(12, 6, 53)),
+            Level2::Mips(MipsFamily::sample(12, 6, 2.0, 57, 4.0)),
+            Level2::Lp(LpStableFamily::sample(12, 6, 2.0, 1.5, 59)),
+        ];
+        let mut scratch = ProjectionScratch::new(6);
+        let mut scratch2 = ProjectionScratch::new(6);
+        for fam in &families {
+            let back = level2_from_parts(fam.to_parts()).unwrap();
+            assert_eq!(back.kind(), fam.kind());
+            assert_eq!((back.m(), back.data_dim(), back.w()), (fam.m(), fam.data_dim(), fam.w()));
+            for v in vecs(12, 5, 61) {
+                assert_eq!(
+                    scratch.project_data(fam, &v),
+                    scratch2.project_data(&back, &v),
+                    "data-side projection changed across round trip ({:?})",
+                    fam.kind()
+                );
+                assert_eq!(
+                    scratch.project_query(fam, &v),
+                    scratch2.project_query(&back, &v),
+                    "query-side projection changed across round trip ({:?})",
+                    fam.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_parts_are_rejected() {
+        let srp = SrpFamily::sample(8, 4, 63).to_parts();
+        let mut bad = srp.clone();
+        bad.base.b[0] = 0.5;
+        assert!(level2_from_parts(bad).is_err(), "srp with offsets");
+
+        let mips = MipsFamily::sample(8, 4, 2.0, 67, 2.0).to_parts();
+        let mut bad = mips.clone();
+        bad.kind = Level2PartsKind::Mips { scale: -1.0 };
+        assert!(level2_from_parts(bad).is_err(), "negative mips scale");
+
+        let lp = LpStableFamily::sample(8, 4, 2.0, 0.5, 71).to_parts();
+        let mut bad = lp.clone();
+        bad.kind = Level2PartsKind::Lp { p: 2.5 };
+        assert!(level2_from_parts(bad).is_err(), "p outside (0, 2)");
+
+        assert!(level2_from_parts(srp).is_ok());
+        assert!(level2_from_parts(mips).is_ok());
+        assert!(level2_from_parts(lp).is_ok());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Level2Kind::PStable.name(), "pstable");
+        assert_eq!(Level2Kind::Srp.name(), "srp");
+        assert_eq!(Level2Kind::Mips.name(), "mips");
+        assert_eq!(Level2Kind::Lp.name(), "lp");
+    }
+
+    #[test]
+    fn scratch_mips_path_matches_trait_object_path() {
+        let fam = Level2::Mips(MipsFamily::sample(10, 5, 1.5, 73, 6.0));
+        let mut scratch = ProjectionScratch::new(5);
+        let mut out = vec![0.0; 5];
+        for v in vecs(10, 6, 79) {
+            fam.as_family().project_data_into(&v, &mut out);
+            assert_eq!(scratch.project_data(&fam, &v), out.as_slice());
+            fam.as_family().project_query_into(&v, &mut out);
+            assert_eq!(scratch.project_query(&fam, &v), out.as_slice());
+        }
+    }
+}

@@ -10,10 +10,16 @@
 //! The [`family::HashFamily`] exposes *raw* (pre-quantization) projections so
 //! that alternative quantizers — the E8 lattice decoder in the `lattice`
 //! crate — can be swapped in behind the same projections.
+//!
+//! Level 2 is *pluggable*: the [`level2::Level2Family`] trait generalizes the
+//! p-stable family to sign-random-projection (cosine), asymmetric MIPS, and
+//! `l_p` hashing, all emitting raw projections compatible with the same
+//! quantizer and multiprobe machinery. See [`level2`].
 
 pub mod adaptive;
 pub mod family;
 pub mod forest;
+pub mod level2;
 pub mod multiprobe;
 pub mod table;
 pub mod tuning;
@@ -21,6 +27,10 @@ pub mod tuning;
 pub use adaptive::{centrality_score, select_tables};
 pub use family::{FamilyParts, HashFamily, InvalidFamily, LshCode, Projection, ProjectionScratch};
 pub use forest::{ForestConfig, LshForest};
+pub use level2::{
+    level2_from_parts, Level2, Level2Family, Level2Kind, Level2Parts, Level2PartsKind,
+    LpStableFamily, MipsFamily, SrpFamily,
+};
 pub use multiprobe::{perturbation_sets, probe_codes};
 pub use table::LshTable;
 pub use tuning::{collision_probability, recall_model, tune_w, DistanceProfile, TuningGoal};

@@ -35,7 +35,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          bilevel-netd --listen ADDR --corpus [name=]path.fvecs [--corpus ...]\n               \
-         [--shards N] [--mutable] [--quota Q] [--k K]\n               \
+         [--shards N] [--mutable] [--quota Q] [--k K] [--metric SPEC]\n               \
          [--w W] [--groups G] [--tables L] [--m M] [--e8] [--probe T] [--seed S]\n  \
          bilevel-netd --listen ADDR --join HOST:PORT --tenant NAME [--quota Q]\n  \
          bilevel-netd --listen ADDR --replicas A,B,... --tenant NAME [--quota Q] [--no-hedge]"
@@ -133,6 +133,10 @@ fn run(listen: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
             return Err("need --corpus, --join, or --replicas".into());
         }
         let groups: usize = flags.num("--groups", 16);
+        let metric = match flags.get("--metric") {
+            Some(spec) => knn_serve::protocol::parse_metric(spec).map_err(|e| e.to_string())?,
+            None => bilevel_lsh::MetricKind::L2,
+        };
         let config = BiLevelConfig {
             l: flags.num("--tables", 10),
             m: flags.num("--m", 8),
@@ -149,6 +153,8 @@ fn run(listen: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
             },
             table_pool: None,
             projection: bilevel_lsh::Projection::Dense,
+            metric,
+            family: metric.default_family(),
             seed: flags.num("--seed", 0x0b11_e7e1u64),
         };
         let shards: usize = flags.num("--shards", 1);

@@ -13,7 +13,7 @@ use crate::frame::{read_frame, write_frame, FrameError};
 use bilevel_lsh::binio::read_section;
 use bilevel_lsh::persist::read_dataset_sections;
 use bilevel_lsh::telemetry::{Counter, NOOP};
-use bilevel_lsh::{PersistError, Probe};
+use bilevel_lsh::{FamilyKind, MetricKind, PersistError, Probe};
 use knn_serve::protocol::{self, ProtocolError};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -83,12 +83,18 @@ pub struct TenantMeta {
     pub probe: Probe,
     /// Whether hierarchical probing is available.
     pub hierarchical: bool,
+    /// The metric the tenant ranks distances under.
+    pub metric: MetricKind,
+    /// The level-2 hash family the tenant's index was built with.
+    pub family: FamilyKind,
     /// The tenant's default `k`.
     pub k: usize,
 }
 
-/// Parses the `OK tenant=... dim=... shards=... probe=... hier=... k=...`
-/// reply of `USE`.
+/// Parses the `OK tenant=... dim=... shards=... probe=... hier=...
+/// metric=... family=... k=...` reply of `USE`. The geometry tokens
+/// default to l2/p-stable when absent, so a client can still talk to
+/// servers that predate metric metadata.
 fn parse_meta(reply: &str) -> Result<TenantMeta, ClientError> {
     let bad = || ClientError::Protocol(format!("malformed USE reply: {reply:?}"));
     if !reply.starts_with("OK ") {
@@ -98,6 +104,8 @@ fn parse_meta(reply: &str) -> Result<TenantMeta, ClientError> {
     let mut shards = None;
     let mut probe = None;
     let mut hier = None;
+    let mut metric = None;
+    let mut family = None;
     let mut k = None;
     for token in reply.split_whitespace().skip(1) {
         let (key, value) = token.split_once('=').ok_or_else(bad)?;
@@ -108,6 +116,8 @@ fn parse_meta(reply: &str) -> Result<TenantMeta, ClientError> {
                 probe = Some(protocol::parse_probe(value).map_err(|_| bad())?.ok_or_else(bad)?)
             }
             "hier" => hier = Some(value == "1"),
+            "metric" => metric = Some(protocol::parse_metric(value).map_err(|_| bad())?),
+            "family" => family = Some(protocol::parse_family(value).map_err(|_| bad())?),
             "k" => k = Some(value.parse::<usize>().map_err(|_| bad())?),
             _ => {}
         }
@@ -117,6 +127,8 @@ fn parse_meta(reply: &str) -> Result<TenantMeta, ClientError> {
         shards: shards.ok_or_else(bad)?,
         probe: probe.ok_or_else(bad)?,
         hierarchical: hier.ok_or_else(bad)?,
+        metric: metric.unwrap_or(MetricKind::L2),
+        family: family.unwrap_or(FamilyKind::PStable),
         k: k.ok_or_else(bad)?,
     })
 }

@@ -15,9 +15,11 @@
 
 use crate::remote::RemoteShard;
 use bilevel_lsh::telemetry::{Counter, InMemoryRecorder, Recorder};
-use bilevel_lsh::{BiLevelConfig, BiLevelIndex, PersistError, Probe, ShardedIndex};
+use bilevel_lsh::{
+    BiLevelConfig, BiLevelIndex, FamilyKind, MetricKind, PersistError, Probe, ShardedIndex,
+};
 use knn_serve::fanout::ShardSource;
-use knn_serve::protocol::{format_probe, valid_tenant_name};
+use knn_serve::protocol::{format_family, format_metric, format_probe, valid_tenant_name};
 use knn_serve::{
     FanoutBackend, FanoutConfig, Handle, MutableBackend, MutableWriter, Service, ServiceConfig,
     SubmitError,
@@ -131,6 +133,8 @@ pub struct Tenant {
     shards: usize,
     probe: Probe,
     hierarchical: bool,
+    metric: MetricKind,
+    family: FamilyKind,
     k: usize,
     in_flight: AtomicUsize,
     max_in_flight: usize,
@@ -167,16 +171,45 @@ impl Tenant {
         self.k
     }
 
+    /// The metric the tenant's index ranks distances under. Sessions
+    /// reject queries that state a different metric.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// The level-2 hash family the tenant's index was built with.
+    pub fn family(&self) -> FamilyKind {
+        self.family
+    }
+
     /// The `OK ...` line `USE` answers with: everything a remote client
-    /// needs to mirror this tenant's query semantics.
+    /// needs to mirror this tenant's query semantics, including the
+    /// geometry (`metric=`/`family=`) its distances are ranked under.
     pub fn describe(&self) -> String {
         format!(
-            "OK tenant={} dim={} shards={} probe={} hier={} k={}",
+            "OK tenant={} dim={} shards={} probe={} hier={} metric={} family={} k={}",
             self.name,
             self.dim,
             self.shards,
             format_probe(Some(self.probe)),
             u8::from(self.hierarchical),
+            format_metric(self.metric),
+            format_family(self.family),
+            self.k
+        )
+    }
+
+    /// The `CONFIG ...` line the `CONFIG` verb answers with: the same
+    /// geometry as [`Tenant::describe`], keyed for config inspection.
+    pub fn config_line(&self) -> String {
+        format!(
+            "CONFIG tenant={} metric={} family={} probe={} dim={} shards={} k={}",
+            self.name,
+            format_metric(self.metric),
+            format_family(self.family),
+            format_probe(Some(self.probe)),
+            self.dim,
+            self.shards,
             self.k
         )
     }
@@ -309,7 +342,8 @@ impl Registry {
         shards: usize,
         tenant_config: TenantConfig,
     ) -> Result<Arc<Tenant>, RegistryError> {
-        let probe = full.config().probe;
+        let (probe, metric, family) =
+            (full.config().probe, full.config().metric, full.config().family);
         let index = Arc::new(ShardedIndex::from_built(full, shards));
         let service = Service::start(
             Arc::clone(&index),
@@ -329,6 +363,8 @@ impl Registry {
                     &index,
                     Probe::Hierarchical { min_candidates: 1 },
                 ),
+                metric,
+                family,
                 kind: TenantKind::Replica { index, snapshot: Arc::new(snapshot) },
                 k: tenant_config.k,
                 in_flight: AtomicUsize::new(0),
@@ -353,6 +389,7 @@ impl Registry {
         self.check_name(name)?;
         let index = BiLevelIndex::build_owned(data, config);
         let probe = index.config().probe;
+        let (metric, family) = (index.config().metric, index.config().family);
         let dim = index.data().dim();
         let hierarchical = index.supports_probe(Probe::Hierarchical { min_candidates: 1 });
         let backend = MutableBackend::new(index);
@@ -371,6 +408,8 @@ impl Registry {
                 shards: 1,
                 probe,
                 hierarchical,
+                metric,
+                family,
                 k: tenant_config.k,
                 in_flight: AtomicUsize::new(0),
                 max_in_flight: tenant_config.max_in_flight,
@@ -395,6 +434,10 @@ impl Registry {
         self.check_name(name)?;
         let (dim, shards, probe) = (source.dim(), source.num_shards(), source.probe());
         let hierarchical = source.supports_probe(Probe::Hierarchical { min_candidates: 1 });
+        // A coordinator mirrors the geometry its replicas agreed on in
+        // the USE handshake, so clients see consistent metadata whether
+        // they hit a replica or the coordinator.
+        let (metric, family) = (source.tenant_meta().metric, source.tenant_meta().family);
         let backend = FanoutBackend::new(source, fanout);
         let service =
             Service::start(backend, tenant_config.service.clone().recorder(self.recorder.clone()));
@@ -410,6 +453,8 @@ impl Registry {
                 shards,
                 probe,
                 hierarchical,
+                metric,
+                family,
                 k: tenant_config.k,
                 in_flight: AtomicUsize::new(0),
                 max_in_flight: tenant_config.max_in_flight,

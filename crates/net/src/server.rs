@@ -290,8 +290,13 @@ impl Session {
             return self.reply(out, "ERROR only SHARDQ frames may span multiple lines");
         }
         match request {
-            Request::Query { vector } => self.handle_query(vector, out),
+            Request::Query { vector, metric } => self.handle_query(vector, metric, out),
             Request::ShardQuery { .. } => self.handle_shardq(request, rest.unwrap_or(""), out),
+            Request::Config => {
+                let Some(tenant) = self.need_tenant(out)? else { return Ok(()) };
+                self.flush_pending(out)?;
+                self.reply(out, &tenant.config_line())
+            }
             Request::Use { tenant } => {
                 self.flush_pending(out)?;
                 match self.registry.get(&tenant) {
@@ -306,7 +311,20 @@ impl Session {
             }
             Request::List => {
                 self.flush_pending(out)?;
-                self.reply(out, &format!("TENANTS {}", self.registry.names().join(" ")))
+                // Each tenant is tagged with its metric so a client can
+                // pick a compatible index before the USE handshake.
+                let entries: Vec<String> = self
+                    .registry
+                    .names()
+                    .into_iter()
+                    .map(|name| match self.registry.get(&name) {
+                        Some(t) => {
+                            format!("{name}:{}", protocol::format_metric(t.metric()))
+                        }
+                        None => name,
+                    })
+                    .collect();
+                self.reply(out, &format!("TENANTS {}", entries.join(" ")))
             }
             Request::Join { tenant } => self.handle_join(&tenant, out),
             Request::Stats(format) => {
@@ -338,8 +356,24 @@ impl Session {
         }
     }
 
-    fn handle_query<W: Write>(&mut self, vector: Vec<f32>, out: &mut W) -> io::Result<()> {
+    fn handle_query<W: Write>(
+        &mut self,
+        vector: Vec<f32>,
+        metric: Option<bilevel_lsh::MetricKind>,
+        out: &mut W,
+    ) -> io::Result<()> {
         let Some(tenant) = self.need_tenant(out)? else { return Ok(()) };
+        // A stated metric must match the tenant's: answering a cosine
+        // query with l2 distances would be silently wrong, so the
+        // mismatch is a typed protocol error instead.
+        if let Some(got) = metric.filter(|&got| got != tenant.metric()) {
+            self.flush_pending(out)?;
+            let e = protocol::ProtocolError::MetricMismatch {
+                expected: protocol::format_metric(tenant.metric()),
+                got: protocol::format_metric(got),
+            };
+            return self.reply(out, &format!("ERROR {e}"));
+        }
         let guard = match tenant.try_admit(self.recorder.as_ref()) {
             Ok(g) => g,
             Err(e) => {

@@ -79,7 +79,7 @@ fn multi_tenant_sessions_switch_and_reject() {
     let addr = server.local_addr().to_string();
 
     let client = NetClient::connect(&addr).unwrap();
-    assert_eq!(client.request("LIST").unwrap(), "TENANTS alpha beta tiny");
+    assert_eq!(client.request("LIST").unwrap(), "TENANTS alpha:l2 beta:l2 tiny:l2");
 
     // Three tenants registered: no auto-bind, queries need USE first.
     let line = format_vector(data.row(0));
@@ -128,6 +128,67 @@ fn single_tenant_auto_binds() {
     let pinned = NetClient::with_tenant(&addr, "solo").unwrap();
     let meta = pinned.meta().expect("USE handshake captures meta");
     assert_eq!((meta.dim, meta.shards, meta.k), (32, 2, 7));
+    assert_eq!(meta.metric, bilevel_lsh::MetricKind::L2);
+    assert_eq!(meta.family, bilevel_lsh::FamilyKind::PStable);
+
+    server.shutdown();
+}
+
+/// Tenant metadata carries the index geometry end to end: `USE` and
+/// `CONFIG` report the metric/family, `LIST` tags each tenant with its
+/// metric, and a query that states the wrong metric is refused with the
+/// typed mismatch error instead of silently wrong distances.
+#[test]
+fn metric_metadata_and_mismatch_are_first_class() {
+    use bilevel_lsh::{FamilyKind, MetricKind};
+
+    let data = corpus(240, 21);
+    let registry = Arc::new(Registry::new());
+    registry
+        .register_replica("euclid", data.clone(), &config(), 1, TenantConfig::default())
+        .unwrap();
+    registry
+        .register_replica(
+            "angles",
+            data.clone(),
+            &config().metric(MetricKind::Cosine),
+            1,
+            TenantConfig::default(),
+        )
+        .unwrap();
+    let server = serve(&registry);
+    let addr = server.local_addr().to_string();
+
+    let client = NetClient::connect(&addr).unwrap();
+    assert_eq!(client.request("LIST").unwrap(), "TENANTS angles:cosine euclid:l2");
+
+    // The USE handshake surfaces the geometry, and the typed client
+    // parses it back.
+    let pinned = NetClient::with_tenant(&addr, "angles").unwrap();
+    let meta = pinned.meta().expect("USE handshake captures meta");
+    assert_eq!(meta.metric, MetricKind::Cosine);
+    assert_eq!(meta.family, FamilyKind::Srp);
+
+    // CONFIG is a per-tenant line naming the same geometry.
+    let cfg_line = pinned.request("CONFIG").unwrap();
+    assert!(
+        cfg_line.starts_with("CONFIG tenant=angles metric=cosine family=srp"),
+        "got {cfg_line:?}"
+    );
+
+    // A correctly stated metric answers; a mismatched one is a typed
+    // refusal naming both sides.
+    let q = format_vector(data.row(0));
+    let ok = pinned.request(&format!("QUERY metric=cosine {q}")).unwrap();
+    assert!(!ok.starts_with("ERROR"), "got {ok:?}");
+    let err = pinned.request(&format!("QUERY metric=l2 {q}")).unwrap();
+    assert!(
+        err.starts_with("ERROR metric mismatch") && err.contains("l2") && err.contains("cosine"),
+        "got {err:?}"
+    );
+    // Metric-less lines keep working — stating a metric is opt-in.
+    let bare = pinned.request(&q).unwrap();
+    assert_eq!(bare, ok, "bare and correctly-stated queries must answer identically");
 
     server.shutdown();
 }
@@ -433,7 +494,7 @@ fn malformed_frames_poison_only_their_connection() {
         assert_eq!(reply, "ERROR empty request line");
         write_frame(&mut w, "LIST", &NOOP, Counter::NetBytesOut).unwrap();
         w.flush().unwrap();
-        assert_eq!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap(), "TENANTS solo");
+        assert_eq!(read_frame(&mut r, &NOOP, Counter::NetBytesIn).unwrap(), "TENANTS solo:l2");
     }
 
     // After all that hostility, a fresh well-behaved client still works.
@@ -473,7 +534,7 @@ fn pipelined_responses_arrive_in_request_order() {
     assert_eq!(pipelined.len(), lines.len());
     let serial: Vec<String> = lines.iter().map(|l| client.request(l).unwrap()).collect();
     assert_eq!(pipelined, serial, "pipelining changed responses or their order");
-    assert_eq!(pipelined[10], "TENANTS solo");
+    assert_eq!(pipelined[10], "TENANTS solo:l2");
 
     server.shutdown();
 }

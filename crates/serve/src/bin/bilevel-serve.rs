@@ -19,7 +19,12 @@
 //!
 //! * `STATS` — telemetry snapshot in Prometheus text format, to stdout;
 //! * `STATS JSON` / `TELEMETRY JSON` — the same snapshot as one JSON line;
-//! * `TELEMETRY` — human-readable per-stage breakdown table.
+//! * `TELEMETRY` — human-readable per-stage breakdown table;
+//! * `CONFIG` — one `CONFIG metric=... family=... probe=...` line naming
+//!   the build geometry (also echoed to stderr at startup). Queries that
+//!   state a metric (`QUERY metric=cosine ...`) are answered only when it
+//!   matches the index's — a mismatch is a typed `ERROR`, never silently
+//!   wrong distances.
 //!
 //! Write-path lines (unsharded indexes only — `--shards 1`):
 //!
@@ -62,8 +67,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          bilevel-serve <corpus.fvecs> [--k K] [--shards N] [--batch B] [--wait-us U]\n                \
-         [--queue CAP] [--deadline-ms D] [--probe T]\n                \
+         [--queue CAP] [--deadline-ms D] [--probe T] [--metric SPEC]\n                \
          [--w W] [--groups G] [--tables L] [--m M] [--e8] [--seed S]\n\n\
+         --metric picks the index geometry (l2, cosine, ip, or lp:P) and its\n\
+         matching level-2 hash family.\n\n\
          Reads one whitespace-separated query vector per stdin line; writes\n\
          one line of id:distance pairs per query to stdout, in input order."
     );
@@ -108,9 +115,14 @@ fn main() -> ExitCode {
 
 fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let data = read_fvecs(Path::new(corpus_path))?;
-    eprintln!("corpus: {} vectors, dim {}", data.len(), data.dim());
+    let dim = data.dim();
+    eprintln!("corpus: {} vectors, dim {dim}", data.len());
 
     let groups: usize = flags.num("--groups", 16);
+    let metric = match flags.get("--metric") {
+        Some(spec) => protocol::parse_metric(spec).map_err(|e| e.to_string())?,
+        None => bilevel_lsh::MetricKind::L2,
+    };
     let config = BiLevelConfig {
         l: flags.num("--tables", 10),
         m: flags.num("--m", 8),
@@ -127,6 +139,8 @@ fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Err
         },
         table_pool: None,
         projection: bilevel_lsh::Projection::Dense,
+        metric,
+        family: metric.default_family(),
         seed: flags.num("--seed", 0x0b11_e7e1u64),
     };
 
@@ -150,19 +164,33 @@ fn serve(corpus_path: &str, flags: &Flags) -> Result<(), Box<dyn std::error::Err
     eprintln!("index built in {:.1}s; serving on stdin", t.elapsed().as_secs_f64());
 
     let k: usize = flags.num("--k", 10);
+    // The line the CONFIG verb answers with (also echoed to stderr at
+    // startup): the build geometry a client needs to interpret distances.
+    let config_line = format!(
+        "CONFIG metric={} family={} probe={} quantizer={} dim={} shards={shards} k={k}",
+        protocol::format_metric(config.metric),
+        protocol::format_family(config.family),
+        protocol::format_probe(Some(config.probe)),
+        if flags.has("--e8") { "e8" } else { "zm" },
+        dim,
+    );
+    eprintln!("{config_line}");
     let deadline: Option<Duration> =
         flags.get("--deadline-ms").map(|_| Duration::from_millis(flags.num("--deadline-ms", 0u64)));
-    run_loop(service, writer, k, deadline, &recorder)
+    run_loop(service, writer, k, deadline, &recorder, config.metric, &config_line)
 }
 
 /// Pumps stdin lines through the service, keeping responses in input
 /// order while letting consecutive lines coalesce into micro-batches.
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     service: Service,
     mut writer: Option<MutableWriter>,
     k: usize,
     deadline: Option<Duration>,
     recorder: &InMemoryRecorder,
+    metric: bilevel_lsh::MetricKind,
+    config_line: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let handle = service.handle()?;
     let stdin = std::io::stdin();
@@ -210,6 +238,14 @@ fn run_loop(
                 out.flush()?;
                 continue;
             }
+            Request::Config => {
+                for ticket in pending.drain(..) {
+                    print_response(&mut out, ticket.wait(), &mut failed)?;
+                }
+                writeln!(out, "{config_line}")?;
+                out.flush()?;
+                continue;
+            }
             Request::Use { .. }
             | Request::List
             | Request::Join { .. }
@@ -221,7 +257,25 @@ fn run_loop(
                 out.flush()?;
                 continue;
             }
-            Request::Query { vector } => vector,
+            Request::Query { vector, metric: stated } => {
+                // A query that states a metric must state the index's:
+                // answering under a different geometry than the client
+                // expects is exactly the silent wrongness the typed
+                // error exists to prevent.
+                if let Some(got) = stated.filter(|&got| got != metric) {
+                    for ticket in pending.drain(..) {
+                        print_response(&mut out, ticket.wait(), &mut failed)?;
+                    }
+                    let e = protocol::ProtocolError::MetricMismatch {
+                        expected: protocol::format_metric(metric),
+                        got: protocol::format_metric(got),
+                    };
+                    writeln!(out, "ERROR {e}")?;
+                    out.flush()?;
+                    continue;
+                }
+                vector
+            }
             write_request => {
                 handle_write(
                     write_request,

@@ -15,7 +15,7 @@
 //! exact shortest-round-trip form (`{}` on `f32`) the wire protocol uses
 //! so a remote merge is bit-identical to a local one.
 
-use bilevel_lsh::Probe;
+use bilevel_lsh::{FamilyKind, MetricKind, Probe};
 use vecstore::Neighbor;
 
 use crate::backend::Coverage;
@@ -34,11 +34,22 @@ pub enum StatsFormat {
 /// One parsed protocol line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// A bare vector line or `QUERY v0 v1 ...`: k-NN for one query.
+    /// A bare vector line, `QUERY v0 v1 ...`, or
+    /// `QUERY metric=<spec> v0 v1 ...`: k-NN for one query.
     Query {
         /// The query vector.
         vector: Vec<f32>,
+        /// The metric the client believes it is querying under
+        /// (`metric=<spec>` on the `QUERY` verb). The server rejects the
+        /// query with [`ProtocolError::MetricMismatch`] when this
+        /// disagrees with the index's metric — stated intent beats
+        /// silently wrong distances. `None` (bare vectors, plain `QUERY`)
+        /// skips the check.
+        metric: Option<MetricKind>,
     },
+    /// `CONFIG` — the serving index's build configuration (metric,
+    /// family, probe, dimensions) as one `CONFIG key=value ...` line.
+    Config,
     /// `UPSERT + v...` (insert) or `UPSERT <id> v...` (update).
     Upsert {
         /// `None` inserts a new row; `Some(id)` updates (and revives) `id`.
@@ -134,6 +145,21 @@ pub enum ProtocolError {
         /// The rejected spec.
         token: String,
     },
+    /// An unknown metric spec (expected `l2`, `cosine`, `ip`, or `lp:P`).
+    BadMetric {
+        /// The rejected spec.
+        token: String,
+    },
+    /// A query stated a metric (`QUERY metric=...`) that disagrees with
+    /// the metric the index was built under. Answering anyway would
+    /// return distances in the wrong geometry, so this is a typed
+    /// refusal instead.
+    MetricMismatch {
+        /// The index's metric (wire spelling).
+        expected: String,
+        /// The metric the query stated (wire spelling).
+        got: String,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -157,6 +183,16 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::BadProbe { token } => {
                 write!(f, "bad probe {token:?}: expected home, multi:N, hier:N, or built")
+            }
+            ProtocolError::BadMetric { token } => {
+                write!(f, "bad metric {token:?}: expected l2, cosine, ip, or lp:P")
+            }
+            ProtocolError::MetricMismatch { expected, got } => {
+                write!(
+                    f,
+                    "metric mismatch: query stated {got} but the index was built for {expected} \
+                     (drop metric=, or USE a tenant built for {got})"
+                )
             }
         }
     }
@@ -186,11 +222,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let verb = first.to_ascii_uppercase();
     match verb.as_str() {
         "QUERY" => {
+            let mut tokens = tokens.peekable();
+            let metric = match tokens.peek().and_then(|t| t.strip_prefix("metric=")) {
+                Some(spec) => {
+                    let metric = parse_metric(spec)?;
+                    tokens.next();
+                    Some(metric)
+                }
+                None => None,
+            };
             let vector = parse_floats("QUERY", tokens)?;
             if vector.is_empty() {
                 return Err(ProtocolError::MissingArg { verb: "QUERY", what: "a vector" });
             }
-            Ok(Request::Query { vector })
+            Ok(Request::Query { vector, metric })
+        }
+        "CONFIG" => {
+            no_trailing("CONFIG", tokens)?;
+            Ok(Request::Config)
         }
         "UPSERT" => {
             let id = match tokens.next() {
@@ -292,7 +341,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }
         _ => {
             let vector = parse_vector(line)?;
-            Ok(Request::Query { vector })
+            Ok(Request::Query { vector, metric: None })
         }
     }
 }
@@ -399,6 +448,66 @@ pub fn parse_probe(token: &str) -> Result<Option<Probe>, ProtocolError> {
     Err(bad())
 }
 
+/// Wire form of a metric: `l2`, `cosine`, `ip`, or `lp:P` (`P` in exact
+/// shortest-round-trip `f32` text, so [`parse_metric`] restores the same
+/// bits).
+pub fn format_metric(metric: MetricKind) -> String {
+    match metric {
+        MetricKind::L2 => "l2".to_string(),
+        MetricKind::Cosine => "cosine".to_string(),
+        MetricKind::InnerProduct => "ip".to_string(),
+        MetricKind::Lp { p } => format!("lp:{p}"),
+    }
+}
+
+/// Inverse of [`format_metric`].
+///
+/// # Errors
+///
+/// [`ProtocolError::BadMetric`] on anything else.
+pub fn parse_metric(token: &str) -> Result<MetricKind, ProtocolError> {
+    let bad = || ProtocolError::BadMetric { token: token.to_string() };
+    match token {
+        "l2" => Ok(MetricKind::L2),
+        "cosine" => Ok(MetricKind::Cosine),
+        "ip" => Ok(MetricKind::InnerProduct),
+        _ => match token.strip_prefix("lp:") {
+            Some(p) => Ok(MetricKind::Lp { p: p.parse().map_err(|_| bad())? }),
+            None => Err(bad()),
+        },
+    }
+}
+
+/// Wire form of a level-2 hash family: `pstable`, `srp`, `mips`, or
+/// `lp:P`.
+pub fn format_family(family: FamilyKind) -> String {
+    match family {
+        FamilyKind::PStable => "pstable".to_string(),
+        FamilyKind::Srp => "srp".to_string(),
+        FamilyKind::Mips => "mips".to_string(),
+        FamilyKind::LpStable { p } => format!("lp:{p}"),
+    }
+}
+
+/// Inverse of [`format_family`].
+///
+/// # Errors
+///
+/// [`ProtocolError::BadMetric`] (families share the metric spec error) on
+/// anything else.
+pub fn parse_family(token: &str) -> Result<FamilyKind, ProtocolError> {
+    let bad = || ProtocolError::BadMetric { token: token.to_string() };
+    match token {
+        "pstable" => Ok(FamilyKind::PStable),
+        "srp" => Ok(FamilyKind::Srp),
+        "mips" => Ok(FamilyKind::Mips),
+        _ => match token.strip_prefix("lp:") {
+            Some(p) => Ok(FamilyKind::LpStable { p: p.parse().map_err(|_| bad())? }),
+            None => Err(bad()),
+        },
+    }
+}
+
 /// Distance precision for [`render_response`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WirePrecision {
@@ -478,10 +587,73 @@ mod tests {
     fn bare_vectors_and_explicit_query_parse() {
         assert_eq!(
             parse_request("1.0 -2.5 3e-2").unwrap(),
-            Request::Query { vector: vec![1.0, -2.5, 3e-2] }
+            Request::Query { vector: vec![1.0, -2.5, 3e-2], metric: None }
         );
-        assert_eq!(parse_request("QUERY 1 2").unwrap(), Request::Query { vector: vec![1.0, 2.0] });
+        assert_eq!(
+            parse_request("QUERY 1 2").unwrap(),
+            Request::Query { vector: vec![1.0, 2.0], metric: None }
+        );
         assert_eq!(parse_request("query 1 2").unwrap(), parse_request("QUERY 1 2").unwrap());
+    }
+
+    #[test]
+    fn query_metric_operand_parses_and_rejects_garbage() {
+        assert_eq!(
+            parse_request("QUERY metric=cosine 1 2").unwrap(),
+            Request::Query { vector: vec![1.0, 2.0], metric: Some(MetricKind::Cosine) }
+        );
+        assert_eq!(
+            parse_request("QUERY metric=lp:1.5 0.5").unwrap(),
+            Request::Query { vector: vec![0.5], metric: Some(MetricKind::Lp { p: 1.5 }) }
+        );
+        assert!(matches!(
+            parse_request("QUERY metric=euclid 1 2"),
+            Err(ProtocolError::BadMetric { token }) if token == "euclid"
+        ));
+        // metric= without a vector is still a missing-vector error.
+        assert!(matches!(
+            parse_request("QUERY metric=l2"),
+            Err(ProtocolError::MissingArg { verb: "QUERY", .. })
+        ));
+        // A bare vector line never carries a metric.
+        assert_eq!(
+            parse_request("0.25 0.75").unwrap(),
+            Request::Query { vector: vec![0.25, 0.75], metric: None }
+        );
+    }
+
+    #[test]
+    fn config_verb_parses_strictly() {
+        assert_eq!(parse_request("CONFIG").unwrap(), Request::Config);
+        assert_eq!(parse_request("config").unwrap(), Request::Config);
+        assert!(matches!(
+            parse_request("CONFIG all"),
+            Err(ProtocolError::Trailing { verb: "CONFIG", .. })
+        ));
+    }
+
+    #[test]
+    fn metric_and_family_specs_roundtrip() {
+        for metric in [
+            MetricKind::L2,
+            MetricKind::Cosine,
+            MetricKind::InnerProduct,
+            MetricKind::Lp { p: 0.5 },
+            MetricKind::Lp { p: 1.5 },
+        ] {
+            assert_eq!(parse_metric(&format_metric(metric)).unwrap(), metric);
+        }
+        for family in [
+            FamilyKind::PStable,
+            FamilyKind::Srp,
+            FamilyKind::Mips,
+            FamilyKind::LpStable { p: 0.5 },
+        ] {
+            assert_eq!(parse_family(&format_family(family)).unwrap(), family);
+        }
+        assert!(parse_metric("lp:").is_err());
+        assert!(parse_metric("L2").is_err());
+        assert!(parse_family("gaussian").is_err());
     }
 
     #[test]

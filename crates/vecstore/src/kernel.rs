@@ -146,6 +146,74 @@ pub fn l1_batch(query: &[f32], rows: &[f32], dim: usize, out: &mut Vec<f32>) {
     }
 }
 
+/// Sum of `|a_i - b_i|^p` over two equal-length slices (4-lane blocked).
+///
+/// This is the `p`-th power of the `l_p` distance; callers that need the
+/// actual distance apply `.powf(1.0 / p)` once at the end. For `p = 1`
+/// prefer [`l1`] — same value, no `powf` per component.
+#[inline]
+pub fn lp_pow(a: &[f32], b: &[f32], p: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
+    for (ca, cb) in &mut chunks {
+        acc[0] += (ca[0] - cb[0]).abs().powf(p);
+        acc[1] += (ca[1] - cb[1]).abs().powf(p);
+        acc[2] += (ca[2] - cb[2]).abs().powf(p);
+        acc[3] += (ca[3] - cb[3]).abs().powf(p);
+    }
+    let rem = a.len() - a.len() % 4;
+    let mut tail = 0.0;
+    for i in rem..a.len() {
+        tail += (a[i] - b[i]).abs().powf(p);
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Sum of `|q_i - r_i|^p` from `query` to every `dim`-length row of `rows`,
+/// appended to `out` in row order. Bit-identical per row to
+/// `lp_pow(query, row, p)`.
+///
+/// # Panics
+///
+/// Panics if `rows.len()` is not a multiple of `dim` or `query.len() != dim`.
+#[inline]
+pub fn lp_pow_batch(query: &[f32], rows: &[f32], dim: usize, p: f32, out: &mut Vec<f32>) {
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(rows.len() % dim, 0, "rows buffer must be a multiple of dim");
+    out.reserve(rows.len() / dim);
+    for row in rows.chunks_exact(dim) {
+        out.push(lp_pow(query, row, p));
+    }
+}
+
+/// Cosine distance (`1 - cos`) from a query with precomputed Euclidean norm
+/// `query_norm` to every `dim`-length row of `rows`, appended to `out` in
+/// row order. A zero query or zero row is at distance 1 (the
+/// [`crate::metric::Cosine`] convention).
+///
+/// Each row's result is bit-identical to `Cosine::distance(query, row)`
+/// provided `query_norm == dot(query, query).sqrt()` — the row norm is
+/// recomputed here through that same expression.
+///
+/// # Panics
+///
+/// Panics if `rows.len()` is not a multiple of `dim` or `query.len() != dim`.
+#[inline]
+pub fn cosine_batch(query: &[f32], rows: &[f32], dim: usize, query_norm: f32, out: &mut Vec<f32>) {
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(rows.len() % dim, 0, "rows buffer must be a multiple of dim");
+    out.reserve(rows.len() / dim);
+    for row in rows.chunks_exact(dim) {
+        let nb = dot(row, row).sqrt();
+        if query_norm == 0.0 || nb == 0.0 {
+            out.push(1.0);
+        } else {
+            out.push(1.0 - dot(query, row) / (query_norm * nb));
+        }
+    }
+}
+
 /// Total order on distances that treats every NaN as the *worst* value.
 ///
 /// [`f32::total_cmp`] alone would order a negative-payload NaN *below*
@@ -246,7 +314,55 @@ mod tests {
             for (i, row) in rows.chunks_exact(dim).enumerate() {
                 assert_eq!(got[i].to_bits(), l1(&q, row).to_bits(), "l1 dim={dim} row={i}");
             }
+            for p in [0.5f32, 1.3, 1.7] {
+                got.clear();
+                lp_pow_batch(&q, &rows, dim, p, &mut got);
+                for (i, row) in rows.chunks_exact(dim).enumerate() {
+                    assert_eq!(
+                        got[i].to_bits(),
+                        lp_pow(&q, row, p).to_bits(),
+                        "lp p={p} dim={dim} row={i}"
+                    );
+                }
+            }
+            got.clear();
+            let nq = dot(&q, &q).sqrt();
+            cosine_batch(&q, &rows, dim, nq, &mut got);
+            for (i, row) in rows.chunks_exact(dim).enumerate() {
+                let nb = dot(row, row).sqrt();
+                let want =
+                    if nq == 0.0 || nb == 0.0 { 1.0 } else { 1.0 - dot(&q, row) / (nq * nb) };
+                assert_eq!(got[i].to_bits(), want.to_bits(), "cosine dim={dim} row={i}");
+            }
         }
+    }
+
+    #[test]
+    fn lp_pow_reduces_to_known_norms() {
+        let a = [1.0f32, -2.0, 3.0, 0.0, 4.5];
+        let b = [0.0f32, 1.0, 1.0, -2.0, 4.5];
+        // p = 1: same value as the l1 kernel (up to powf(1.0) rounding,
+        // which is exact for IEEE pow).
+        assert!((lp_pow(&a, &b, 1.0) - l1(&a, &b)).abs() < 1e-6);
+        // p = 2: same value as squared l2.
+        assert!((lp_pow(&a, &b, 2.0) - squared_l2(&a, &b)).abs() < 1e-4);
+        // p = 0.5 weights many small differences above one large one.
+        let spread = [1.0f32, 1.0, 1.0, 1.0];
+        let spike = [4.0f32, 0.0, 0.0, 0.0];
+        let zero = [0.0f32; 4];
+        assert!(lp_pow(&spread, &zero, 0.5) > lp_pow(&spike, &zero, 0.5));
+    }
+
+    #[test]
+    fn cosine_batch_zero_rows_and_queries_hit_unit_distance() {
+        let rows = [0.0f32, 0.0, 1.0, 1.0];
+        let q = [1.0f32, 0.0];
+        let mut out = Vec::new();
+        cosine_batch(&q, &rows, 2, dot(&q, &q).sqrt(), &mut out);
+        assert_eq!(out[0], 1.0, "zero row");
+        let mut out = Vec::new();
+        cosine_batch(&[0.0, 0.0], &rows, 2, 0.0, &mut out);
+        assert_eq!(out, vec![1.0, 1.0], "zero query");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use fault::{
     RetryStats, TransientFault,
 };
 pub use kernel::total_dist_cmp;
-pub use metric::{Cosine, CosineWithNorms, InnerProduct, Metric, SquaredL2, L1, L2};
+pub use metric::{Cosine, CosineWithNorms, InnerProduct, Lp, Metric, SquaredL2, L1, L2};
 pub use ooc::{OocDataset, RowSource};
 pub use quant::{PreparedQuery, QuantizedCorpus};
 pub use tombstone::Tombstones;

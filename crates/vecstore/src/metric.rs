@@ -144,6 +144,68 @@ impl Metric for Cosine {
     fn name(&self) -> &'static str {
         "cosine"
     }
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        let nq = norm(query);
+        for_each_run(data, ids, |rows| {
+            crate::kernel::cosine_batch(query, rows, data.dim(), nq, out)
+        });
+    }
+}
+
+/// Minkowski `l_p` distance, `(Σ |a_i − b_i|^p)^{1/p}`.
+///
+/// A true metric for `p ≥ 1`; for `p ∈ (0, 1)` the triangle inequality
+/// fails but the quantity is still the standard robust-distance objective
+/// the `l_p` LSH families target. `p = 1` short-circuits to the [`L1`]
+/// kernels (bit-identical to [`L1`] and much cheaper than `powf` per
+/// component).
+#[derive(Debug, Clone, Copy)]
+pub struct Lp {
+    p: f32,
+}
+
+impl Lp {
+    /// An `l_p` metric for the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is positive and finite.
+    pub fn new(p: f32) -> Self {
+        assert!(p > 0.0 && p.is_finite(), "lp order must be positive and finite, got {p}");
+        Self { p }
+    }
+
+    /// The order `p`.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Metric for Lp {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        if self.p == 1.0 {
+            l1(a, b)
+        } else {
+            crate::kernel::lp_pow(a, b, self.p).powf(1.0 / self.p)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+    fn distance_batch_into(&self, query: &[f32], data: &Dataset, ids: &[u32], out: &mut Vec<f32>) {
+        if self.p == 1.0 {
+            for_each_run(data, ids, |rows| crate::kernel::l1_batch(query, rows, data.dim(), out));
+            return;
+        }
+        let before = out.len();
+        for_each_run(data, ids, |rows| {
+            crate::kernel::lp_pow_batch(query, rows, data.dim(), self.p, out)
+        });
+        for d in &mut out[before..] {
+            *d = d.powf(1.0 / self.p);
+        }
+    }
 }
 
 impl Metric for InnerProduct {
@@ -260,6 +322,27 @@ mod tests {
     }
 
     #[test]
+    fn lp_orders_match_known_norms() {
+        let a = [1.0f32, -2.0, 3.0];
+        let b = [0.0f32, 1.0, 1.0];
+        assert_eq!(Lp::new(1.0).distance(&a, &b).to_bits(), L1.distance(&a, &b).to_bits());
+        assert!((Lp::new(2.0).distance(&a, &b) - L2.distance(&a, &b)).abs() < 1e-5);
+        // p = 0.5: many small coordinates cost more than one concentrated
+        // difference of the same l1 mass.
+        let spread = [1.0f32, 1.0, 1.0];
+        let spike = [3.0f32, 0.0, 0.0];
+        let zero = [0.0f32; 3];
+        let p_half = Lp::new(0.5);
+        assert!(p_half.distance(&spread, &zero) > p_half.distance(&spike, &zero));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn lp_rejects_nonpositive_order() {
+        let _ = Lp::new(0.0);
+    }
+
+    #[test]
     fn dot_handles_non_multiple_of_four_lengths() {
         for len in 1..10usize {
             let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
@@ -289,8 +372,18 @@ mod tests {
             vec![5, 3, 9],                 // unsorted still works (len-1 runs)
         ];
         let cos_cached = CosineWithNorms::new(&data);
-        let metrics: Vec<&dyn Metric> =
-            vec![&SquaredL2, &L1, &InnerProduct, &L2, &Cosine, &cos_cached];
+        let (lp_half, lp_one, lp_mid) = (Lp::new(0.5), Lp::new(1.0), Lp::new(1.5));
+        let metrics: Vec<&dyn Metric> = vec![
+            &SquaredL2,
+            &L1,
+            &InnerProduct,
+            &L2,
+            &Cosine,
+            &cos_cached,
+            &lp_half,
+            &lp_one,
+            &lp_mid,
+        ];
         for metric in metrics {
             for ids in &id_sets {
                 let mut got = Vec::new();

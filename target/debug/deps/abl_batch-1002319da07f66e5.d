@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_batch-1002319da07f66e5.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/debug/deps/abl_batch-1002319da07f66e5: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_batch-9624172439c8a0a8.d: crates/bench/src/bin/abl_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_batch-9624172439c8a0a8.rmeta: crates/bench/src/bin/abl_batch.rs Cargo.toml
+
+crates/bench/src/bin/abl_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_batch-96a730faae9b4bb9.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/debug/deps/abl_batch-96a730faae9b4bb9: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_curse-02a910e6440d1baa.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/debug/deps/abl_curse-02a910e6440d1baa: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_curse-52798c49f1c561c9.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/debug/deps/abl_curse-52798c49f1c561c9: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

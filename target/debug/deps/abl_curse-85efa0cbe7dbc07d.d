@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_curse-85efa0cbe7dbc07d.d: crates/bench/src/bin/abl_curse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_curse-85efa0cbe7dbc07d.rmeta: crates/bench/src/bin/abl_curse.rs Cargo.toml
+
+crates/bench/src/bin/abl_curse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

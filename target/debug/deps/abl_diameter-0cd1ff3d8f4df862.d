@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_diameter-0cd1ff3d8f4df862.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/debug/deps/abl_diameter-0cd1ff3d8f4df862: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_diameter-334e1d27c3972e1b.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/debug/deps/abl_diameter-334e1d27c3972e1b: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_diameter-84df18d0b2222d66.d: crates/bench/src/bin/abl_diameter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_diameter-84df18d0b2222d66.rmeta: crates/bench/src/bin/abl_diameter.rs Cargo.toml
+
+crates/bench/src/bin/abl_diameter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

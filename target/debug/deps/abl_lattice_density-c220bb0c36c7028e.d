@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_lattice_density-c220bb0c36c7028e.d: crates/bench/src/bin/abl_lattice_density.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_lattice_density-c220bb0c36c7028e.rmeta: crates/bench/src/bin/abl_lattice_density.rs Cargo.toml
+
+crates/bench/src/bin/abl_lattice_density.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_lattice_density-d5e36e9df4828adc.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/debug/deps/abl_lattice_density-d5e36e9df4828adc: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_lattice_density-e78e97d6b0f1d868.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/debug/deps/abl_lattice_density-e78e97d6b0f1d868: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_split_rule-77b09e03085730a8.d: crates/bench/src/bin/abl_split_rule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_split_rule-77b09e03085730a8.rmeta: crates/bench/src/bin/abl_split_rule.rs Cargo.toml
+
+crates/bench/src/bin/abl_split_rule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

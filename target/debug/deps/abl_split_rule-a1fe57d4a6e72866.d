@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split_rule-a1fe57d4a6e72866.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/debug/deps/abl_split_rule-a1fe57d4a6e72866: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

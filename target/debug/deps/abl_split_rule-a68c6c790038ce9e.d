@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split_rule-a68c6c790038ce9e.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/debug/deps/abl_split_rule-a68c6c790038ce9e: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

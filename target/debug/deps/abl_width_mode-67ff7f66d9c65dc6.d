@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_width_mode-67ff7f66d9c65dc6.d: crates/bench/src/bin/abl_width_mode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_width_mode-67ff7f66d9c65dc6.rmeta: crates/bench/src/bin/abl_width_mode.rs Cargo.toml
+
+crates/bench/src/bin/abl_width_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_width_mode-72f60425d4bbe8f5.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/debug/deps/abl_width_mode-72f60425d4bbe8f5: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

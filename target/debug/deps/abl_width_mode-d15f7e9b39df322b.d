@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_width_mode-d15f7e9b39df322b.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/debug/deps/abl_width_mode-d15f7e9b39df322b: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bench-0fb8072aa0da1f7c.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-0fb8072aa0da1f7c.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/data.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/record.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-6782ad1d3cd817e4.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/bench-6782ad1d3cd817e4: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/data.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/record.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-6c4dc53fd7ac0771.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libbench-6c4dc53fd7ac0771.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/data.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/record.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bench-837dccd81502339b.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libbench-837dccd81502339b.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libbench-837dccd81502339b.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/data.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/record.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:

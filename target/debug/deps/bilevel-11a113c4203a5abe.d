@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel-11a113c4203a5abe.d: crates/core/src/bin/bilevel.rs
+
+/root/repo/target/debug/deps/bilevel-11a113c4203a5abe: crates/core/src/bin/bilevel.rs
+
+crates/core/src/bin/bilevel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel-59d068049222ad84.d: crates/core/src/bin/bilevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel-59d068049222ad84.rmeta: crates/core/src/bin/bilevel.rs Cargo.toml
+
+crates/core/src/bin/bilevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel-aff37bdf715d7801.d: crates/core/src/bin/bilevel.rs
+
+/root/repo/target/debug/deps/bilevel-aff37bdf715d7801: crates/core/src/bin/bilevel.rs
+
+crates/core/src/bin/bilevel.rs:

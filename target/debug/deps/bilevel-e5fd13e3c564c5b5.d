@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel-e5fd13e3c564c5b5.d: crates/core/src/bin/bilevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel-e5fd13e3c564c5b5.rmeta: crates/core/src/bin/bilevel.rs Cargo.toml
+
+crates/core/src/bin/bilevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/bilevel_lsh-6c01fc9eb44675ac.d: crates/core/src/lib.rs crates/core/src/binio.rs crates/core/src/code.rs crates/core/src/compat.rs crates/core/src/config.rs crates/core/src/evaluate.rs crates/core/src/flat.rs crates/core/src/index.rs crates/core/src/interval.rs crates/core/src/jsonio.rs crates/core/src/ooc.rs crates/core/src/options.rs crates/core/src/persist.rs crates/core/src/shard.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel_lsh-6c01fc9eb44675ac.rmeta: crates/core/src/lib.rs crates/core/src/binio.rs crates/core/src/code.rs crates/core/src/compat.rs crates/core/src/config.rs crates/core/src/evaluate.rs crates/core/src/flat.rs crates/core/src/index.rs crates/core/src/interval.rs crates/core/src/jsonio.rs crates/core/src/ooc.rs crates/core/src/options.rs crates/core/src/persist.rs crates/core/src/shard.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/binio.rs:
+crates/core/src/code.rs:
+crates/core/src/compat.rs:
+crates/core/src/config.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/flat.rs:
+crates/core/src/index.rs:
+crates/core/src/interval.rs:
+crates/core/src/jsonio.rs:
+crates/core/src/ooc.rs:
+crates/core/src/options.rs:
+crates/core/src/persist.rs:
+crates/core/src/shard.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bilevel_lsh-df962bf486495dad.d: crates/core/src/lib.rs crates/core/src/binio.rs crates/core/src/code.rs crates/core/src/compat.rs crates/core/src/config.rs crates/core/src/evaluate.rs crates/core/src/flat.rs crates/core/src/index.rs crates/core/src/interval.rs crates/core/src/jsonio.rs crates/core/src/ooc.rs crates/core/src/options.rs crates/core/src/persist.rs crates/core/src/shard.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libbilevel_lsh-df962bf486495dad.rmeta: crates/core/src/lib.rs crates/core/src/binio.rs crates/core/src/code.rs crates/core/src/compat.rs crates/core/src/config.rs crates/core/src/evaluate.rs crates/core/src/flat.rs crates/core/src/index.rs crates/core/src/interval.rs crates/core/src/jsonio.rs crates/core/src/ooc.rs crates/core/src/options.rs crates/core/src/persist.rs crates/core/src/shard.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/binio.rs:
+crates/core/src/code.rs:
+crates/core/src/compat.rs:
+crates/core/src/config.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/flat.rs:
+crates/core/src/index.rs:
+crates/core/src/interval.rs:
+crates/core/src/jsonio.rs:
+crates/core/src/ooc.rs:
+crates/core/src/options.rs:
+crates/core/src/persist.rs:
+crates/core/src/shard.rs:
+crates/core/src/stats.rs:

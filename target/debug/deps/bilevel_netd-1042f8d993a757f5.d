@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel_netd-1042f8d993a757f5.d: crates/net/src/bin/bilevel-netd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel_netd-1042f8d993a757f5.rmeta: crates/net/src/bin/bilevel-netd.rs Cargo.toml
+
+crates/net/src/bin/bilevel-netd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

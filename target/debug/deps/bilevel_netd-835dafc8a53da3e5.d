@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_netd-835dafc8a53da3e5.d: crates/net/src/bin/bilevel-netd.rs
+
+/root/repo/target/debug/deps/bilevel_netd-835dafc8a53da3e5: crates/net/src/bin/bilevel-netd.rs
+
+crates/net/src/bin/bilevel-netd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_netd-bfe79f79c230c762.d: crates/net/src/bin/bilevel-netd.rs
+
+/root/repo/target/debug/deps/bilevel_netd-bfe79f79c230c762: crates/net/src/bin/bilevel-netd.rs
+
+crates/net/src/bin/bilevel-netd.rs:

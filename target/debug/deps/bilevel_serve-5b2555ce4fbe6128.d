@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel_serve-5b2555ce4fbe6128.d: crates/serve/src/bin/bilevel-serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel_serve-5b2555ce4fbe6128.rmeta: crates/serve/src/bin/bilevel-serve.rs Cargo.toml
+
+crates/serve/src/bin/bilevel-serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

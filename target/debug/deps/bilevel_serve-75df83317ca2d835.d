@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_serve-75df83317ca2d835.d: crates/serve/src/bin/bilevel-serve.rs
+
+/root/repo/target/debug/deps/bilevel_serve-75df83317ca2d835: crates/serve/src/bin/bilevel-serve.rs
+
+crates/serve/src/bin/bilevel-serve.rs:

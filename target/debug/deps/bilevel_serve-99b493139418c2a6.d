@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bilevel_serve-99b493139418c2a6.d: crates/serve/src/bin/bilevel-serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbilevel_serve-99b493139418c2a6.rmeta: crates/serve/src/bin/bilevel-serve.rs Cargo.toml
+
+crates/serve/src/bin/bilevel-serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bilevel_serve-ee014515ecf8337e.d: crates/serve/src/bin/bilevel-serve.rs
+
+/root/repo/target/debug/deps/bilevel_serve-ee014515ecf8337e: crates/serve/src/bin/bilevel-serve.rs
+
+crates/serve/src/bin/bilevel-serve.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-0a8de4862e50a56a.d: crates/serve/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-0a8de4862e50a56a: crates/serve/tests/cli.rs
+
+crates/serve/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=/root/repo/target/debug/bilevel-serve

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-23c2e59f2493c0f8.d: crates/core/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-23c2e59f2493c0f8.rmeta: crates/core/tests/cli.rs Cargo.toml
+
+crates/core/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_bilevel=placeholder:bilevel
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

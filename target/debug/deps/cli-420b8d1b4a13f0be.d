@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-420b8d1b4a13f0be.d: crates/serve/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-420b8d1b4a13f0be.rmeta: crates/serve/tests/cli.rs Cargo.toml
+
+crates/serve/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=placeholder:bilevel-serve
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

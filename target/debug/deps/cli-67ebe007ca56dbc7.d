@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-67ebe007ca56dbc7.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-67ebe007ca56dbc7: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_bilevel=/root/repo/target/debug/bilevel

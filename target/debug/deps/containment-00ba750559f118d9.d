@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-00ba750559f118d9.d: crates/serve/tests/containment.rs
+
+/root/repo/target/debug/deps/containment-00ba750559f118d9: crates/serve/tests/containment.rs
+
+crates/serve/tests/containment.rs:

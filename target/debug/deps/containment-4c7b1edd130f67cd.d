@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment-4c7b1edd130f67cd.d: crates/serve/tests/containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment-4c7b1edd130f67cd.rmeta: crates/serve/tests/containment.rs Cargo.toml
+
+crates/serve/tests/containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

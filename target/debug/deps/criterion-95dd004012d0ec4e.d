@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-95dd004012d0ec4e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-95dd004012d0ec4e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

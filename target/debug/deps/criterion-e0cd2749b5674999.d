@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e0cd2749b5674999.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e0cd2749b5674999.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e0cd2749b5674999.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

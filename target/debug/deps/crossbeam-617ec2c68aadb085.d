@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-617ec2c68aadb085.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-617ec2c68aadb085.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-617ec2c68aadb085.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

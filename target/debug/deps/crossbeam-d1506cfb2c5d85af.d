@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-d1506cfb2c5d85af.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d1506cfb2c5d85af.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cuckoo-0eaf398fe83475fa.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-0eaf398fe83475fa.rlib: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-0eaf398fe83475fa.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cuckoo-1262f29ad850526a.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-1262f29ad850526a.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

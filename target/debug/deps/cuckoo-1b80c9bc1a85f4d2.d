@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cuckoo-1b80c9bc1a85f4d2.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuckoo-1b80c9bc1a85f4d2.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs Cargo.toml
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

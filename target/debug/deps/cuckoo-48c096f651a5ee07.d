@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cuckoo-48c096f651a5ee07.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/cuckoo-48c096f651a5ee07: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cuckoo-b357e417c4330bcf.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-b357e417c4330bcf.rlib: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/debug/deps/libcuckoo-b357e417c4330bcf.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

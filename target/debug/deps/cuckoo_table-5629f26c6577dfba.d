@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cuckoo_table-5629f26c6577dfba.d: crates/bench/benches/cuckoo_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuckoo_table-5629f26c6577dfba.rmeta: crates/bench/benches/cuckoo_table.rs Cargo.toml
+
+crates/bench/benches/cuckoo_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

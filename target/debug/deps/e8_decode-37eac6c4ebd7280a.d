@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_decode-37eac6c4ebd7280a.d: crates/bench/benches/e8_decode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_decode-37eac6c4ebd7280a.rmeta: crates/bench/benches/e8_decode.rs Cargo.toml
+
+crates/bench/benches/e8_decode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

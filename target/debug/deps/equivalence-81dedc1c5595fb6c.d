@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-81dedc1c5595fb6c.d: crates/core/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-81dedc1c5595fb6c.rmeta: crates/core/tests/equivalence.rs Cargo.toml
+
+crates/core/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-87682f75ec4f4cbb.d: crates/core/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-87682f75ec4f4cbb: crates/core/tests/equivalence.rs
+
+crates/core/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_adaptive-6ae651d14eb65ab2.d: crates/bench/src/bin/ext_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_adaptive-6ae651d14eb65ab2.rmeta: crates/bench/src/bin/ext_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ext_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

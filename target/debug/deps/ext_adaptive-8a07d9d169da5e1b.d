@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_adaptive-8a07d9d169da5e1b.d: crates/bench/src/bin/ext_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_adaptive-8a07d9d169da5e1b.rmeta: crates/bench/src/bin/ext_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ext_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

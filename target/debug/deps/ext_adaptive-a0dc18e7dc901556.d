@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive-a0dc18e7dc901556.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/debug/deps/ext_adaptive-a0dc18e7dc901556: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

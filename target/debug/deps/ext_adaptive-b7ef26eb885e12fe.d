@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive-b7ef26eb885e12fe.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/debug/deps/ext_adaptive-b7ef26eb885e12fe: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

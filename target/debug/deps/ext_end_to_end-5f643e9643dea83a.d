@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_end_to_end-5f643e9643dea83a.d: crates/bench/src/bin/ext_end_to_end.rs
+
+/root/repo/target/debug/deps/ext_end_to_end-5f643e9643dea83a: crates/bench/src/bin/ext_end_to_end.rs
+
+crates/bench/src/bin/ext_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_end_to_end-9837897504c5e4bc.d: crates/bench/src/bin/ext_end_to_end.rs
+
+/root/repo/target/debug/deps/ext_end_to_end-9837897504c5e4bc: crates/bench/src/bin/ext_end_to_end.rs
+
+crates/bench/src/bin/ext_end_to_end.rs:

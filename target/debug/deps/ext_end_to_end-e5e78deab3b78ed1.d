@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_end_to_end-e5e78deab3b78ed1.d: crates/bench/src/bin/ext_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_end_to_end-e5e78deab3b78ed1.rmeta: crates/bench/src/bin/ext_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/ext_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

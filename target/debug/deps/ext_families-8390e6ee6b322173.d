@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_families-8390e6ee6b322173.d: crates/bench/src/bin/ext_families.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_families-8390e6ee6b322173.rmeta: crates/bench/src/bin/ext_families.rs Cargo.toml
+
+crates/bench/src/bin/ext_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_families-91d53d770461cfb5.d: crates/bench/src/bin/ext_families.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_families-91d53d770461cfb5.rmeta: crates/bench/src/bin/ext_families.rs Cargo.toml
+
+crates/bench/src/bin/ext_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

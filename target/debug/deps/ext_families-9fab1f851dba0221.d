@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_families-9fab1f851dba0221.d: crates/bench/src/bin/ext_families.rs
+
+/root/repo/target/debug/deps/ext_families-9fab1f851dba0221: crates/bench/src/bin/ext_families.rs
+
+crates/bench/src/bin/ext_families.rs:

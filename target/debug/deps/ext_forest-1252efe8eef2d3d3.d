@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-1252efe8eef2d3d3.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-1252efe8eef2d3d3: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-93579e8a3e1d840b.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-93579e8a3e1d840b: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

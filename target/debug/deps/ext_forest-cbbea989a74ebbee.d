@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_forest-cbbea989a74ebbee.d: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_forest-cbbea989a74ebbee.rmeta: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+crates/bench/src/bin/ext_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

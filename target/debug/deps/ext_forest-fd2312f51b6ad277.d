@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_forest-fd2312f51b6ad277.d: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_forest-fd2312f51b6ad277.rmeta: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+crates/bench/src/bin/ext_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_net-3b98c5db54bf1738.d: crates/bench/src/bin/ext_net.rs
+
+/root/repo/target/debug/deps/ext_net-3b98c5db54bf1738: crates/bench/src/bin/ext_net.rs
+
+crates/bench/src/bin/ext_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_net-5abd9d3d8e2e16bf.d: crates/bench/src/bin/ext_net.rs
+
+/root/repo/target/debug/deps/ext_net-5abd9d3d8e2e16bf: crates/bench/src/bin/ext_net.rs
+
+crates/bench/src/bin/ext_net.rs:

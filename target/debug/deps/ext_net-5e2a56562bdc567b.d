@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_net-5e2a56562bdc567b.d: crates/bench/src/bin/ext_net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_net-5e2a56562bdc567b.rmeta: crates/bench/src/bin/ext_net.rs Cargo.toml
+
+crates/bench/src/bin/ext_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

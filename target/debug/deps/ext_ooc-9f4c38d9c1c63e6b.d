@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ooc-9f4c38d9c1c63e6b.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/debug/deps/ext_ooc-9f4c38d9c1c63e6b: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ooc-bbc8b2594158d21e.d: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ooc-bbc8b2594158d21e.rmeta: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+crates/bench/src/bin/ext_ooc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ooc-e50549da43bc0b74.d: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ooc-e50549da43bc0b74.rmeta: crates/bench/src/bin/ext_ooc.rs Cargo.toml
+
+crates/bench/src/bin/ext_ooc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

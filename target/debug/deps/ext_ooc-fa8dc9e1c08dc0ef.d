@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ooc-fa8dc9e1c08dc0ef.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/debug/deps/ext_ooc-fa8dc9e1c08dc0ef: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serve-894ed8f38e5d6ffe.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/debug/deps/ext_serve-894ed8f38e5d6ffe: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serve-9087308c9f15e3f9.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/debug/deps/ext_serve-9087308c9f15e3f9: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

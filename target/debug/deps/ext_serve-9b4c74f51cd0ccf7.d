@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_serve-9b4c74f51cd0ccf7.d: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_serve-9b4c74f51cd0ccf7.rmeta: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+crates/bench/src/bin/ext_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_serve-f8d2e1ceb3354854.d: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_serve-f8d2e1ceb3354854.rmeta: crates/bench/src/bin/ext_serve.rs Cargo.toml
+
+crates/bench/src/bin/ext_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

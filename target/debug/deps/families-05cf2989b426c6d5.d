@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/families-05cf2989b426c6d5.d: crates/core/tests/families.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfamilies-05cf2989b426c6d5.rmeta: crates/core/tests/families.rs Cargo.toml
+
+crates/core/tests/families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/families-7b7157732b59341d.d: crates/core/tests/families.rs
+
+/root/repo/target/debug/deps/families-7b7157732b59341d: crates/core/tests/families.rs
+
+crates/core/tests/families.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-6adfedb1cd516956.d: crates/core/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-6adfedb1cd516956: crates/core/tests/fault_injection.rs
+
+crates/core/tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-b47bf154d8a65dc8.d: crates/core/tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-b47bf154d8a65dc8.rmeta: crates/core/tests/fault_injection.rs Cargo.toml
+
+crates/core/tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

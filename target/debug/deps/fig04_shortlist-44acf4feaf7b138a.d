@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_shortlist-44acf4feaf7b138a.d: crates/bench/src/bin/fig04_shortlist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_shortlist-44acf4feaf7b138a.rmeta: crates/bench/src/bin/fig04_shortlist.rs Cargo.toml
+
+crates/bench/src/bin/fig04_shortlist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

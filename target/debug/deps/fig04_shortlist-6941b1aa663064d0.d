@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_shortlist-6941b1aa663064d0.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/debug/deps/fig04_shortlist-6941b1aa663064d0: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_shortlist-e2cbda036d8cac9a.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/debug/deps/fig04_shortlist-e2cbda036d8cac9a: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

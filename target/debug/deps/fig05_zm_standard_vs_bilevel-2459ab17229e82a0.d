@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-2459ab17229e82a0.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-2459ab17229e82a0: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-9be2c4a81ef345ea.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_zm_standard_vs_bilevel-9be2c4a81ef345ea.rmeta: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs Cargo.toml
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

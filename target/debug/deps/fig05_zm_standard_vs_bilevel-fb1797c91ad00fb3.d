@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-fb1797c91ad00fb3.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig05_zm_standard_vs_bilevel-fb1797c91ad00fb3: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-78f40488de5e8694.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-78f40488de5e8694: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-7b1dc1c20ff9c9a7.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_e8_standard_vs_bilevel-7b1dc1c20ff9c9a7.rmeta: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs Cargo.toml
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_e8_standard_vs_bilevel-f55afbac71bb3da9.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_e8_standard_vs_bilevel-f55afbac71bb3da9.rmeta: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs Cargo.toml
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_zm_multiprobe-4d7f2f813a9f1028.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/debug/deps/fig07_zm_multiprobe-4d7f2f813a9f1028: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_zm_multiprobe-881ec2fdd186cbb1.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/debug/deps/fig07_zm_multiprobe-881ec2fdd186cbb1: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

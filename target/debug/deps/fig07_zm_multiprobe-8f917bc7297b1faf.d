@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_zm_multiprobe-8f917bc7297b1faf.d: crates/bench/src/bin/fig07_zm_multiprobe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_zm_multiprobe-8f917bc7297b1faf.rmeta: crates/bench/src/bin/fig07_zm_multiprobe.rs Cargo.toml
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_e8_multiprobe-1b21590a8a366ee8.d: crates/bench/src/bin/fig08_e8_multiprobe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_e8_multiprobe-1b21590a8a366ee8.rmeta: crates/bench/src/bin/fig08_e8_multiprobe.rs Cargo.toml
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

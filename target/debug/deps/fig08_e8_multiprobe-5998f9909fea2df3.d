@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_e8_multiprobe-5998f9909fea2df3.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/debug/deps/fig08_e8_multiprobe-5998f9909fea2df3: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

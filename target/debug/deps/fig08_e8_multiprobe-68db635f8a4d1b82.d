@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_e8_multiprobe-68db635f8a4d1b82.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/debug/deps/fig08_e8_multiprobe-68db635f8a4d1b82: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zm_hierarchy-ade678de160838bb.d: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+/root/repo/target/debug/deps/fig09_zm_hierarchy-ade678de160838bb: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:

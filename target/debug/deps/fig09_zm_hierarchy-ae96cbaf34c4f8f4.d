@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_zm_hierarchy-ae96cbaf34c4f8f4.d: crates/bench/src/bin/fig09_zm_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_zm_hierarchy-ae96cbaf34c4f8f4.rmeta: crates/bench/src/bin/fig09_zm_hierarchy.rs Cargo.toml
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

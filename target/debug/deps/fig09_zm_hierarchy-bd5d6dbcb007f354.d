@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_zm_hierarchy-bd5d6dbcb007f354.d: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+/root/repo/target/debug/deps/fig09_zm_hierarchy-bd5d6dbcb007f354: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:

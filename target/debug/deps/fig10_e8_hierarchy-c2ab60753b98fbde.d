@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_e8_hierarchy-c2ab60753b98fbde.d: crates/bench/src/bin/fig10_e8_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_e8_hierarchy-c2ab60753b98fbde.rmeta: crates/bench/src/bin/fig10_e8_hierarchy.rs Cargo.toml
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_e8_hierarchy-c3bdcc928a3ba234.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/debug/deps/fig10_e8_hierarchy-c3bdcc928a3ba234: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_e8_hierarchy-f1e5505ffe698aa6.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/debug/deps/fig10_e8_hierarchy-f1e5505ffe698aa6: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_zm_all_methods-240be44b9fb4be55.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/debug/deps/fig11_zm_all_methods-240be44b9fb4be55: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

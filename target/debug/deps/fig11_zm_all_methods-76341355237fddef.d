@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_zm_all_methods-76341355237fddef.d: crates/bench/src/bin/fig11_zm_all_methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_zm_all_methods-76341355237fddef.rmeta: crates/bench/src/bin/fig11_zm_all_methods.rs Cargo.toml
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_zm_all_methods-acf9b5eda02664d4.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/debug/deps/fig11_zm_all_methods-acf9b5eda02664d4: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_e8_all_methods-2bf8d654a6d9335a.d: crates/bench/src/bin/fig12_e8_all_methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_e8_all_methods-2bf8d654a6d9335a.rmeta: crates/bench/src/bin/fig12_e8_all_methods.rs Cargo.toml
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_e8_all_methods-6148b82ba88ff65c.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/debug/deps/fig12_e8_all_methods-6148b82ba88ff65c: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_e8_all_methods-e5411115c7bed094.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/debug/deps/fig12_e8_all_methods-e5411115c7bed094: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

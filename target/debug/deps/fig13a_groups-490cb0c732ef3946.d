@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13a_groups-490cb0c732ef3946.d: crates/bench/src/bin/fig13a_groups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13a_groups-490cb0c732ef3946.rmeta: crates/bench/src/bin/fig13a_groups.rs Cargo.toml
+
+crates/bench/src/bin/fig13a_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a_groups-9b3b7ed4338c5540.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/debug/deps/fig13a_groups-9b3b7ed4338c5540: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13a_groups-b2c853c90b794a14.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/debug/deps/fig13a_groups-b2c853c90b794a14: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b_dims-2638b624422c7606.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/debug/deps/fig13b_dims-2638b624422c7606: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13b_dims-28ad974dc58acf5e.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/debug/deps/fig13b_dims-28ad974dc58acf5e: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

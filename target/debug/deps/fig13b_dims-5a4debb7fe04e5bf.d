@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13b_dims-5a4debb7fe04e5bf.d: crates/bench/src/bin/fig13b_dims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13b_dims-5a4debb7fe04e5bf.rmeta: crates/bench/src/bin/fig13b_dims.rs Cargo.toml
+
+crates/bench/src/bin/fig13b_dims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13c_partitioner-043f7238d25c2826.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/debug/deps/fig13c_partitioner-043f7238d25c2826: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

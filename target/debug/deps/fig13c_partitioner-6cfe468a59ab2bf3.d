@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13c_partitioner-6cfe468a59ab2bf3.d: crates/bench/src/bin/fig13c_partitioner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13c_partitioner-6cfe468a59ab2bf3.rmeta: crates/bench/src/bin/fig13c_partitioner.rs Cargo.toml
+
+crates/bench/src/bin/fig13c_partitioner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13c_partitioner-a6f9d22051fabd3e.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/debug/deps/fig13c_partitioner-a6f9d22051fabd3e: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixture_snapshot-9228dbc3ac186f01.d: crates/core/tests/fixture_snapshot.rs
+
+/root/repo/target/debug/deps/fixture_snapshot-9228dbc3ac186f01: crates/core/tests/fixture_snapshot.rs
+
+crates/core/tests/fixture_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fixture_snapshot-94fbf84d9851ed5c.d: crates/core/tests/fixture_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixture_snapshot-94fbf84d9851ed5c.rmeta: crates/core/tests/fixture_snapshot.rs Cargo.toml
+
+crates/core/tests/fixture_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_persistence-93043831bf69a1ca.d: crates/core/../../tests/integration_persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_persistence-93043831bf69a1ca.rmeta: crates/core/../../tests/integration_persistence.rs Cargo.toml
+
+crates/core/../../tests/integration_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_persistence-eccab2fdbeda569b.d: crates/core/../../tests/integration_persistence.rs
+
+/root/repo/target/debug/deps/integration_persistence-eccab2fdbeda569b: crates/core/../../tests/integration_persistence.rs
+
+crates/core/../../tests/integration_persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-a6aab4fdac2a0c13.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-a6aab4fdac2a0c13: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

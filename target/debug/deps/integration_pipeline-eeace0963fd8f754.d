@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pipeline-eeace0963fd8f754.d: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pipeline-eeace0963fd8f754.rmeta: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+crates/core/../../tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

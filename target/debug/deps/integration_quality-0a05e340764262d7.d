@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_quality-0a05e340764262d7.d: crates/core/../../tests/integration_quality.rs
+
+/root/repo/target/debug/deps/integration_quality-0a05e340764262d7: crates/core/../../tests/integration_quality.rs
+
+crates/core/../../tests/integration_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_quality-485e94e864ce512f.d: crates/core/../../tests/integration_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_quality-485e94e864ce512f.rmeta: crates/core/../../tests/integration_quality.rs Cargo.toml
+
+crates/core/../../tests/integration_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_storage-827e02cdc1fb67e6.d: crates/core/../../tests/integration_storage.rs
+
+/root/repo/target/debug/deps/integration_storage-827e02cdc1fb67e6: crates/core/../../tests/integration_storage.rs
+
+crates/core/../../tests/integration_storage.rs:

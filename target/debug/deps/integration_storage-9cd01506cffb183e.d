@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_storage-9cd01506cffb183e.d: crates/core/../../tests/integration_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_storage-9cd01506cffb183e.rmeta: crates/core/../../tests/integration_storage.rs Cargo.toml
+
+crates/core/../../tests/integration_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

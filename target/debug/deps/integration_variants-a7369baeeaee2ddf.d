@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_variants-a7369baeeaee2ddf.d: crates/core/../../tests/integration_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_variants-a7369baeeaee2ddf.rmeta: crates/core/../../tests/integration_variants.rs Cargo.toml
+
+crates/core/../../tests/integration_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_variants-aa5bee91f83ab645.d: crates/core/../../tests/integration_variants.rs
+
+/root/repo/target/debug/deps/integration_variants-aa5bee91f83ab645: crates/core/../../tests/integration_variants.rs
+
+crates/core/../../tests/integration_variants.rs:

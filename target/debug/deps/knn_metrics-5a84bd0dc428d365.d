@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/knn_metrics-5a84bd0dc428d365.d: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_metrics-5a84bd0dc428d365.rlib: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_metrics-5a84bd0dc428d365.rmeta: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/curve.rs:
+crates/metrics/src/quality.rs:
+crates/metrics/src/significance.rs:
+crates/metrics/src/stats.rs:

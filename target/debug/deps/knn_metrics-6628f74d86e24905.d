@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knn_metrics-6628f74d86e24905.d: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_metrics-6628f74d86e24905.rmeta: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/curve.rs:
+crates/metrics/src/quality.rs:
+crates/metrics/src/significance.rs:
+crates/metrics/src/stats.rs:

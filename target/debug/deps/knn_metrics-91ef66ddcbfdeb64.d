@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/knn_metrics-91ef66ddcbfdeb64.d: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknn_metrics-91ef66ddcbfdeb64.rmeta: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/curve.rs:
+crates/metrics/src/quality.rs:
+crates/metrics/src/significance.rs:
+crates/metrics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

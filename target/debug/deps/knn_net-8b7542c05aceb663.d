@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/knn_net-8b7542c05aceb663.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libknn_net-8b7542c05aceb663.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/registry.rs:
+crates/net/src/remote.rs:
+crates/net/src/server.rs:

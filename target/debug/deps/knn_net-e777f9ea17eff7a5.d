@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/knn_net-e777f9ea17eff7a5.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libknn_net-e777f9ea17eff7a5.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libknn_net-e777f9ea17eff7a5.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/registry.rs:
+crates/net/src/remote.rs:
+crates/net/src/server.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/knn_serve-2357262a8e1464f5.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknn_serve-2357262a8e1464f5.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/backend.rs:
+crates/serve/src/fanout.rs:
+crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/service.rs:
+crates/serve/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/knn_serve-d6c9d086d498e8ff.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_serve-d6c9d086d498e8ff.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/backend.rs:
+crates/serve/src/fanout.rs:
+crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/service.rs:
+crates/serve/src/stats.rs:

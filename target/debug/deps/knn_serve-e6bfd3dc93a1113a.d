@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/knn_serve-e6bfd3dc93a1113a.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/knn_serve-e6bfd3dc93a1113a: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/backend.rs:
+crates/serve/src/fanout.rs:
+crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/service.rs:
+crates/serve/src/stats.rs:

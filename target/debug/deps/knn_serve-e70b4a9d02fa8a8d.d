@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/knn_serve-e70b4a9d02fa8a8d.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_serve-e70b4a9d02fa8a8d.rlib: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/libknn_serve-e70b4a9d02fa8a8d.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/backend.rs:
+crates/serve/src/fanout.rs:
+crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/service.rs:
+crates/serve/src/stats.rs:

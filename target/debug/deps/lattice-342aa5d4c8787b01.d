@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lattice-342aa5d4c8787b01.d: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/debug/deps/liblattice-342aa5d4c8787b01.rlib: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/debug/deps/liblattice-342aa5d4c8787b01.rmeta: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/density.rs:
+crates/lattice/src/e8.rs:
+crates/lattice/src/e8_hierarchy.rs:
+crates/lattice/src/morton.rs:
+crates/lattice/src/zm_hierarchy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lattice-349e581017d6488c.d: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/debug/deps/lattice-349e581017d6488c: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/density.rs:
+crates/lattice/src/e8.rs:
+crates/lattice/src/e8_hierarchy.rs:
+crates/lattice/src/morton.rs:
+crates/lattice/src/zm_hierarchy.rs:

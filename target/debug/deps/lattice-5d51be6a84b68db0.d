@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lattice-5d51be6a84b68db0.d: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/debug/deps/liblattice-5d51be6a84b68db0.rmeta: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/density.rs:
+crates/lattice/src/e8.rs:
+crates/lattice/src/e8_hierarchy.rs:
+crates/lattice/src/morton.rs:
+crates/lattice/src/zm_hierarchy.rs:

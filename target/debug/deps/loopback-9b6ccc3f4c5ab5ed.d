@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loopback-9b6ccc3f4c5ab5ed.d: crates/net/tests/loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloopback-9b6ccc3f4c5ab5ed.rmeta: crates/net/tests/loopback.rs Cargo.toml
+
+crates/net/tests/loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

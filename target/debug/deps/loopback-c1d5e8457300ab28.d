@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-c1d5e8457300ab28.d: crates/net/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-c1d5e8457300ab28: crates/net/tests/loopback.rs
+
+crates/net/tests/loopback.rs:

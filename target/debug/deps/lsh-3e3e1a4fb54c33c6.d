@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lsh-3e3e1a4fb54c33c6.d: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/level2.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/debug/deps/lsh-3e3e1a4fb54c33c6: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/level2.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/adaptive.rs:
+crates/lsh/src/family.rs:
+crates/lsh/src/forest.rs:
+crates/lsh/src/level2.rs:
+crates/lsh/src/multiprobe.rs:
+crates/lsh/src/table.rs:
+crates/lsh/src/tuning.rs:

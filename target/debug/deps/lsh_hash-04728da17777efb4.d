@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsh_hash-04728da17777efb4.d: crates/bench/benches/lsh_hash.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsh_hash-04728da17777efb4.rmeta: crates/bench/benches/lsh_hash.rs Cargo.toml
+
+crates/bench/benches/lsh_hash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/morton-80e3a9654a46f1be.d: crates/bench/benches/morton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmorton-80e3a9654a46f1be.rmeta: crates/bench/benches/morton.rs Cargo.toml
+
+crates/bench/benches/morton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

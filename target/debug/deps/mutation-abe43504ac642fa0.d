@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mutation-abe43504ac642fa0.d: crates/serve/tests/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation-abe43504ac642fa0.rmeta: crates/serve/tests/mutation.rs Cargo.toml
+
+crates/serve/tests/mutation.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=placeholder:bilevel-serve
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

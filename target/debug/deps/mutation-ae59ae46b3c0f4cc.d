@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutation-ae59ae46b3c0f4cc.d: crates/serve/tests/mutation.rs
+
+/root/repo/target/debug/deps/mutation-ae59ae46b3c0f4cc: crates/serve/tests/mutation.rs
+
+crates/serve/tests/mutation.rs:
+
+# env-dep:CARGO_BIN_EXE_bilevel-serve=/root/repo/target/debug/bilevel-serve

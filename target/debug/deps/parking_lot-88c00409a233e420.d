@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-88c00409a233e420.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-88c00409a233e420.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-88c00409a233e420.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

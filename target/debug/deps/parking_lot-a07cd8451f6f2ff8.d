@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-a07cd8451f6f2ff8.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a07cd8451f6f2ff8.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d642c8f8026a5c61.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d642c8f8026a5c61.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d642c8f8026a5c61.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

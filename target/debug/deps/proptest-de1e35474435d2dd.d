@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-de1e35474435d2dd.d: /tmp/vendor/proptest/src/lib.rs /tmp/vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-de1e35474435d2dd.rlib: /tmp/vendor/proptest/src/lib.rs /tmp/vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-de1e35474435d2dd.rmeta: /tmp/vendor/proptest/src/lib.rs /tmp/vendor/proptest/src/collection.rs
+
+/tmp/vendor/proptest/src/lib.rs:
+/tmp/vendor/proptest/src/collection.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-e5d881f4baab7e32.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-e5d881f4baab7e32.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-e5d881f4baab7e32.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

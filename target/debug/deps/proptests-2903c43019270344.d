@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2903c43019270344.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2903c43019270344: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

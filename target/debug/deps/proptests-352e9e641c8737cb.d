@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-352e9e641c8737cb.d: crates/cuckoo/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-352e9e641c8737cb: crates/cuckoo/tests/proptests.rs
+
+crates/cuckoo/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-37f1dcd899c9589f.d: crates/rptree/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-37f1dcd899c9589f.rmeta: crates/rptree/tests/proptests.rs Cargo.toml
+
+crates/rptree/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3e601659f81df9d1.d: crates/rptree/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3e601659f81df9d1: crates/rptree/tests/proptests.rs
+
+crates/rptree/tests/proptests.rs:

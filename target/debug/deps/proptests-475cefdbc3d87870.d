@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-475cefdbc3d87870.d: crates/vecstore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-475cefdbc3d87870: crates/vecstore/tests/proptests.rs
+
+crates/vecstore/tests/proptests.rs:

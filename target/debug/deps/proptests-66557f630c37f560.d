@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-66557f630c37f560.d: crates/metrics/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-66557f630c37f560: crates/metrics/tests/proptests.rs
+
+crates/metrics/tests/proptests.rs:

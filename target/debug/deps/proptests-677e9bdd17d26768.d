@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-677e9bdd17d26768.d: crates/vecstore/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-677e9bdd17d26768.rmeta: crates/vecstore/tests/proptests.rs Cargo.toml
+
+crates/vecstore/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

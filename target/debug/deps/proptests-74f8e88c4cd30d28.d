@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-74f8e88c4cd30d28.d: crates/lattice/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-74f8e88c4cd30d28: crates/lattice/tests/proptests.rs
+
+crates/lattice/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-79c3c318cda2cf6e.d: crates/metrics/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-79c3c318cda2cf6e.rmeta: crates/metrics/tests/proptests.rs Cargo.toml
+
+crates/metrics/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a67d0113e18de638.d: crates/lattice/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a67d0113e18de638.rmeta: crates/lattice/tests/proptests.rs Cargo.toml
+
+crates/lattice/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a6ce661cb1373be6.d: crates/shortlist/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a6ce661cb1373be6: crates/shortlist/tests/proptests.rs
+
+crates/shortlist/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b0ac8057b4336723.d: crates/lsh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b0ac8057b4336723: crates/lsh/tests/proptests.rs
+
+crates/lsh/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c8f4f7c53e48cb26.d: crates/cuckoo/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c8f4f7c53e48cb26.rmeta: crates/cuckoo/tests/proptests.rs Cargo.toml
+
+crates/cuckoo/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-cae0e0fd645d9546.d: crates/shortlist/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-cae0e0fd645d9546.rmeta: crates/shortlist/tests/proptests.rs Cargo.toml
+
+crates/shortlist/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-6bb24fec08eef152.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-6bb24fec08eef152.rlib: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-6bb24fec08eef152.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:

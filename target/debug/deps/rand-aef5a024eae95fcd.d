@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-aef5a024eae95fcd.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-aef5a024eae95fcd.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-c6fc291b5608cbb7.d: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-c6fc291b5608cbb7.rlib: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-c6fc291b5608cbb7.rmeta: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/rngs.rs
+
+/tmp/vendor/rand/src/lib.rs:
+/tmp/vendor/rand/src/distributions.rs:
+/tmp/vendor/rand/src/rngs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rptree-b1f2cc727885a032.d: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/debug/deps/librptree-b1f2cc727885a032.rlib: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/debug/deps/librptree-b1f2cc727885a032.rmeta: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+crates/rptree/src/lib.rs:
+crates/rptree/src/diameter.rs:
+crates/rptree/src/kdknn.rs:
+crates/rptree/src/kdpart.rs:
+crates/rptree/src/kmeans.rs:
+crates/rptree/src/partition.rs:
+crates/rptree/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rptree_build-3fe90ef1a6908bfa.d: crates/bench/benches/rptree_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/librptree_build-3fe90ef1a6908bfa.rmeta: crates/bench/benches/rptree_build.rs Cargo.toml
+
+crates/bench/benches/rptree_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

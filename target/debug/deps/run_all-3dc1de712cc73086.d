@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-3dc1de712cc73086.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-3dc1de712cc73086: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

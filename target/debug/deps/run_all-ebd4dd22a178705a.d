@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-ebd4dd22a178705a.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-ebd4dd22a178705a: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

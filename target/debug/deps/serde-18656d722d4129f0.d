@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-18656d722d4129f0.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-18656d722d4129f0.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

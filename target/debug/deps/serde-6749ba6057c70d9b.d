@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6749ba6057c70d9b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6749ba6057c70d9b.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6749ba6057c70d9b.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a96d58cda99beedf.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a96d58cda99beedf.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a96d58cda99beedf.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

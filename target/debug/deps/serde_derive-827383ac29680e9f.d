@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-827383ac29680e9f.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-827383ac29680e9f.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

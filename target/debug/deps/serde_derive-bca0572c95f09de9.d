@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-bca0572c95f09de9.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-bca0572c95f09de9.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3fb25abe5ad3d4d8.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3fb25abe5ad3d4d8.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3fb25abe5ad3d4d8.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

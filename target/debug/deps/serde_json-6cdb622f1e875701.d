@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-6cdb622f1e875701.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6cdb622f1e875701.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-6f34de94e1c974de.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6f34de94e1c974de.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6f34de94e1c974de.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shortlist-6007da64a3f63a2b.d: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-6007da64a3f63a2b.rmeta: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+crates/shortlist/src/lib.rs:
+crates/shortlist/src/engine.rs:
+crates/shortlist/src/primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shortlist-813a3031333833d7.d: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-813a3031333833d7.rlib: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-813a3031333833d7.rmeta: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+crates/shortlist/src/lib.rs:
+crates/shortlist/src/engine.rs:
+crates/shortlist/src/primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shortlist-96a0d23fa1b787c6.d: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-96a0d23fa1b787c6.rlib: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+/root/repo/target/debug/deps/libshortlist-96a0d23fa1b787c6.rmeta: crates/shortlist/src/lib.rs crates/shortlist/src/engine.rs crates/shortlist/src/primitives.rs
+
+crates/shortlist/src/lib.rs:
+crates/shortlist/src/engine.rs:
+crates/shortlist/src/primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shortlist_engines-0402c03664946695.d: crates/bench/benches/shortlist_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshortlist_engines-0402c03664946695.rmeta: crates/bench/benches/shortlist_engines.rs Cargo.toml
+
+crates/bench/benches/shortlist_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-c63a5dacd2efd24a.d: crates/serve/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-c63a5dacd2efd24a: crates/serve/tests/stress.rs
+
+crates/serve/tests/stress.rs:

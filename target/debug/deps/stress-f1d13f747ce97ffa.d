@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-f1d13f747ce97ffa.d: crates/serve/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-f1d13f747ce97ffa.rmeta: crates/serve/tests/stress.rs Cargo.toml
+
+crates/serve/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

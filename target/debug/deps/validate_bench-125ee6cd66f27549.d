@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_bench-125ee6cd66f27549.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/debug/deps/validate_bench-125ee6cd66f27549: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_bench-66cd40e478ca6e41.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/debug/deps/validate_bench-66cd40e478ca6e41: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

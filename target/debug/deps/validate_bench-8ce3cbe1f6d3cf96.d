@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_bench-8ce3cbe1f6d3cf96.d: crates/bench/src/bin/validate_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_bench-8ce3cbe1f6d3cf96.rmeta: crates/bench/src/bin/validate_bench.rs Cargo.toml
+
+crates/bench/src/bin/validate_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

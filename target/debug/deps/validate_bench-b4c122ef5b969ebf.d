@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_bench-b4c122ef5b969ebf.d: crates/bench/src/bin/validate_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_bench-b4c122ef5b969ebf.rmeta: crates/bench/src/bin/validate_bench.rs Cargo.toml
+
+crates/bench/src/bin/validate_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

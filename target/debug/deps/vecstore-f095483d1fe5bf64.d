@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/vecstore-f095483d1fe5bf64.d: crates/vecstore/src/lib.rs crates/vecstore/src/dataset.rs crates/vecstore/src/exact.rs crates/vecstore/src/fault.rs crates/vecstore/src/io.rs crates/vecstore/src/kernel.rs crates/vecstore/src/metric.rs crates/vecstore/src/ooc.rs crates/vecstore/src/preprocess.rs crates/vecstore/src/quant.rs crates/vecstore/src/stats.rs crates/vecstore/src/synth.rs crates/vecstore/src/tombstone.rs crates/vecstore/src/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecstore-f095483d1fe5bf64.rmeta: crates/vecstore/src/lib.rs crates/vecstore/src/dataset.rs crates/vecstore/src/exact.rs crates/vecstore/src/fault.rs crates/vecstore/src/io.rs crates/vecstore/src/kernel.rs crates/vecstore/src/metric.rs crates/vecstore/src/ooc.rs crates/vecstore/src/preprocess.rs crates/vecstore/src/quant.rs crates/vecstore/src/stats.rs crates/vecstore/src/synth.rs crates/vecstore/src/tombstone.rs crates/vecstore/src/topk.rs Cargo.toml
+
+crates/vecstore/src/lib.rs:
+crates/vecstore/src/dataset.rs:
+crates/vecstore/src/exact.rs:
+crates/vecstore/src/fault.rs:
+crates/vecstore/src/io.rs:
+crates/vecstore/src/kernel.rs:
+crates/vecstore/src/metric.rs:
+crates/vecstore/src/ooc.rs:
+crates/vecstore/src/preprocess.rs:
+crates/vecstore/src/quant.rs:
+crates/vecstore/src/stats.rs:
+crates/vecstore/src/synth.rs:
+crates/vecstore/src/tombstone.rs:
+crates/vecstore/src/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

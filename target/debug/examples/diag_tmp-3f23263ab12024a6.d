@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diag_tmp-3f23263ab12024a6.d: crates/core/examples/diag_tmp.rs
+
+/root/repo/target/debug/examples/diag_tmp-3f23263ab12024a6: crates/core/examples/diag_tmp.rs
+
+crates/core/examples/diag_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diag_tmp-e3b72836c88d1c44.d: crates/core/examples/diag_tmp.rs
+
+/root/repo/target/debug/examples/diag_tmp-e3b72836c88d1c44: crates/core/examples/diag_tmp.rs
+
+crates/core/examples/diag_tmp.rs:

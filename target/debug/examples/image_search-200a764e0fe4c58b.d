@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_search-200a764e0fe4c58b.d: crates/core/../../examples/image_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_search-200a764e0fe4c58b.rmeta: crates/core/../../examples/image_search.rs Cargo.toml
+
+crates/core/../../examples/image_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-a8cdaee36cdd331e.d: crates/core/../../examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-a8cdaee36cdd331e: crates/core/../../examples/image_search.rs
+
+crates/core/../../examples/image_search.rs:

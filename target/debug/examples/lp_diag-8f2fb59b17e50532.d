@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lp_diag-8f2fb59b17e50532.d: crates/core/examples/lp_diag.rs
+
+/root/repo/target/debug/examples/lp_diag-8f2fb59b17e50532: crates/core/examples/lp_diag.rs
+
+crates/core/examples/lp_diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/near_duplicates-39e1a5491bb42d5c.d: crates/core/../../examples/near_duplicates.rs
+
+/root/repo/target/debug/examples/near_duplicates-39e1a5491bb42d5c: crates/core/../../examples/near_duplicates.rs
+
+crates/core/../../examples/near_duplicates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/near_duplicates-d150476a55880129.d: crates/core/../../examples/near_duplicates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnear_duplicates-d150476a55880129.rmeta: crates/core/../../examples/near_duplicates.rs Cargo.toml
+
+crates/core/../../examples/near_duplicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

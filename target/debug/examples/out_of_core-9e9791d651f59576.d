@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/out_of_core-9e9791d651f59576.d: crates/core/../../examples/out_of_core.rs Cargo.toml
+
+/root/repo/target/debug/examples/libout_of_core-9e9791d651f59576.rmeta: crates/core/../../examples/out_of_core.rs Cargo.toml
+
+crates/core/../../examples/out_of_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core-eda4ddb783eda6d5.d: crates/core/../../examples/out_of_core.rs
+
+/root/repo/target/debug/examples/out_of_core-eda4ddb783eda6d5: crates/core/../../examples/out_of_core.rs
+
+crates/core/../../examples/out_of_core.rs:

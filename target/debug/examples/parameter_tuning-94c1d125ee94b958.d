@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parameter_tuning-94c1d125ee94b958.d: crates/core/../../examples/parameter_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparameter_tuning-94c1d125ee94b958.rmeta: crates/core/../../examples/parameter_tuning.rs Cargo.toml
+
+crates/core/../../examples/parameter_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-ad9ead4de761f556.d: crates/core/../../examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-ad9ead4de761f556: crates/core/../../examples/parameter_tuning.rs
+
+crates/core/../../examples/parameter_tuning.rs:

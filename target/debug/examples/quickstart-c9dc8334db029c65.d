@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c9dc8334db029c65.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c9dc8334db029c65: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__probe_quality-e083d83052ab83d5.d: crates/bench/src/bin/__probe_quality.rs
+
+/root/repo/target/release/deps/__probe_quality-e083d83052ab83d5: crates/bench/src/bin/__probe_quality.rs
+
+crates/bench/src/bin/__probe_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_batch-e54a646fe800a11b.d: crates/bench/src/bin/abl_batch.rs
+
+/root/repo/target/release/deps/abl_batch-e54a646fe800a11b: crates/bench/src/bin/abl_batch.rs
+
+crates/bench/src/bin/abl_batch.rs:

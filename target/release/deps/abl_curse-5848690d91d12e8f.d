@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_curse-5848690d91d12e8f.d: crates/bench/src/bin/abl_curse.rs
+
+/root/repo/target/release/deps/abl_curse-5848690d91d12e8f: crates/bench/src/bin/abl_curse.rs
+
+crates/bench/src/bin/abl_curse.rs:

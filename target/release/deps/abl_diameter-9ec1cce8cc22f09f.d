@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_diameter-9ec1cce8cc22f09f.d: crates/bench/src/bin/abl_diameter.rs
+
+/root/repo/target/release/deps/abl_diameter-9ec1cce8cc22f09f: crates/bench/src/bin/abl_diameter.rs
+
+crates/bench/src/bin/abl_diameter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_lattice_density-0846ae7b188bfbc8.d: crates/bench/src/bin/abl_lattice_density.rs
+
+/root/repo/target/release/deps/abl_lattice_density-0846ae7b188bfbc8: crates/bench/src/bin/abl_lattice_density.rs
+
+crates/bench/src/bin/abl_lattice_density.rs:

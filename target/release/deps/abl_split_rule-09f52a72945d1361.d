@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_split_rule-09f52a72945d1361.d: crates/bench/src/bin/abl_split_rule.rs
+
+/root/repo/target/release/deps/abl_split_rule-09f52a72945d1361: crates/bench/src/bin/abl_split_rule.rs
+
+crates/bench/src/bin/abl_split_rule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_width_mode-c1397d868a0a896f.d: crates/bench/src/bin/abl_width_mode.rs
+
+/root/repo/target/release/deps/abl_width_mode-c1397d868a0a896f: crates/bench/src/bin/abl_width_mode.rs
+
+crates/bench/src/bin/abl_width_mode.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bench-137807d326194a4c.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libbench-137807d326194a4c.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libbench-137807d326194a4c.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/data.rs crates/bench/src/figures.rs crates/bench/src/methods.rs crates/bench/src/record.rs crates/bench/src/report.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/data.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/record.rs:
+crates/bench/src/report.rs:
+crates/bench/src/sweep.rs:

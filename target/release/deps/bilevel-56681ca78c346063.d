@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bilevel-56681ca78c346063.d: crates/core/src/bin/bilevel.rs
+
+/root/repo/target/release/deps/bilevel-56681ca78c346063: crates/core/src/bin/bilevel.rs
+
+crates/core/src/bin/bilevel.rs:

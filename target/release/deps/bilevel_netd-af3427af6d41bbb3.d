@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bilevel_netd-af3427af6d41bbb3.d: crates/net/src/bin/bilevel-netd.rs
+
+/root/repo/target/release/deps/bilevel_netd-af3427af6d41bbb3: crates/net/src/bin/bilevel-netd.rs
+
+crates/net/src/bin/bilevel-netd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bilevel_serve-e3394d50b26f570f.d: crates/serve/src/bin/bilevel-serve.rs
+
+/root/repo/target/release/deps/bilevel_serve-e3394d50b26f570f: crates/serve/src/bin/bilevel-serve.rs
+
+crates/serve/src/bin/bilevel-serve.rs:

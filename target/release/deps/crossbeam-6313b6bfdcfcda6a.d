@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-6313b6bfdcfcda6a.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6313b6bfdcfcda6a.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6313b6bfdcfcda6a.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-953d5d6dda13b4cd.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-953d5d6dda13b4cd.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-953d5d6dda13b4cd.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

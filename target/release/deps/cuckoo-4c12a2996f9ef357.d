@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cuckoo-4c12a2996f9ef357.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/release/deps/libcuckoo-4c12a2996f9ef357.rlib: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/release/deps/libcuckoo-4c12a2996f9ef357.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cuckoo-f6984ce786172b03.d: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/release/deps/libcuckoo-f6984ce786172b03.rlib: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+/root/repo/target/release/deps/libcuckoo-f6984ce786172b03.rmeta: crates/cuckoo/src/lib.rs crates/cuckoo/src/table.rs
+
+crates/cuckoo/src/lib.rs:
+crates/cuckoo/src/table.rs:

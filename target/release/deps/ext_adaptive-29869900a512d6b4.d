@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_adaptive-29869900a512d6b4.d: crates/bench/src/bin/ext_adaptive.rs
+
+/root/repo/target/release/deps/ext_adaptive-29869900a512d6b4: crates/bench/src/bin/ext_adaptive.rs
+
+crates/bench/src/bin/ext_adaptive.rs:

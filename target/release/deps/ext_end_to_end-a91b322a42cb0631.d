@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_end_to_end-a91b322a42cb0631.d: crates/bench/src/bin/ext_end_to_end.rs
+
+/root/repo/target/release/deps/ext_end_to_end-a91b322a42cb0631: crates/bench/src/bin/ext_end_to_end.rs
+
+crates/bench/src/bin/ext_end_to_end.rs:

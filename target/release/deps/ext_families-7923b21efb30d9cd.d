@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_families-7923b21efb30d9cd.d: crates/bench/src/bin/ext_families.rs
+
+/root/repo/target/release/deps/ext_families-7923b21efb30d9cd: crates/bench/src/bin/ext_families.rs
+
+crates/bench/src/bin/ext_families.rs:

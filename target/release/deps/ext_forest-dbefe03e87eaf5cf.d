@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_forest-dbefe03e87eaf5cf.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/release/deps/ext_forest-dbefe03e87eaf5cf: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

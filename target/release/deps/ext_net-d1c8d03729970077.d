@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_net-d1c8d03729970077.d: crates/bench/src/bin/ext_net.rs
+
+/root/repo/target/release/deps/ext_net-d1c8d03729970077: crates/bench/src/bin/ext_net.rs
+
+crates/bench/src/bin/ext_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ooc-187d92f95fc20f53.d: crates/bench/src/bin/ext_ooc.rs
+
+/root/repo/target/release/deps/ext_ooc-187d92f95fc20f53: crates/bench/src/bin/ext_ooc.rs
+
+crates/bench/src/bin/ext_ooc.rs:

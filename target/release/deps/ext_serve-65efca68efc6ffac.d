@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serve-65efca68efc6ffac.d: crates/bench/src/bin/ext_serve.rs
+
+/root/repo/target/release/deps/ext_serve-65efca68efc6ffac: crates/bench/src/bin/ext_serve.rs
+
+crates/bench/src/bin/ext_serve.rs:

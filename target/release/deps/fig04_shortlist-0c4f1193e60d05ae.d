@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_shortlist-0c4f1193e60d05ae.d: crates/bench/src/bin/fig04_shortlist.rs
+
+/root/repo/target/release/deps/fig04_shortlist-0c4f1193e60d05ae: crates/bench/src/bin/fig04_shortlist.rs
+
+crates/bench/src/bin/fig04_shortlist.rs:

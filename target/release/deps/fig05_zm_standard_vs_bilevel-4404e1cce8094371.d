@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_zm_standard_vs_bilevel-4404e1cce8094371.d: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+/root/repo/target/release/deps/fig05_zm_standard_vs_bilevel-4404e1cce8094371: crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig05_zm_standard_vs_bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_e8_standard_vs_bilevel-c4d3e5ec8815e48d.d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+/root/repo/target/release/deps/fig06_e8_standard_vs_bilevel-c4d3e5ec8815e48d: crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs
+
+crates/bench/src/bin/fig06_e8_standard_vs_bilevel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_zm_multiprobe-aa4fffbdb0cdbfe0.d: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+/root/repo/target/release/deps/fig07_zm_multiprobe-aa4fffbdb0cdbfe0: crates/bench/src/bin/fig07_zm_multiprobe.rs
+
+crates/bench/src/bin/fig07_zm_multiprobe.rs:

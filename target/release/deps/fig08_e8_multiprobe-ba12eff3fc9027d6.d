@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_e8_multiprobe-ba12eff3fc9027d6.d: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+/root/repo/target/release/deps/fig08_e8_multiprobe-ba12eff3fc9027d6: crates/bench/src/bin/fig08_e8_multiprobe.rs
+
+crates/bench/src/bin/fig08_e8_multiprobe.rs:

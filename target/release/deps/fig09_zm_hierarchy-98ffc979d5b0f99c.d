@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_zm_hierarchy-98ffc979d5b0f99c.d: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+/root/repo/target/release/deps/fig09_zm_hierarchy-98ffc979d5b0f99c: crates/bench/src/bin/fig09_zm_hierarchy.rs
+
+crates/bench/src/bin/fig09_zm_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_e8_hierarchy-70a03f11654e3d5e.d: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+/root/repo/target/release/deps/fig10_e8_hierarchy-70a03f11654e3d5e: crates/bench/src/bin/fig10_e8_hierarchy.rs
+
+crates/bench/src/bin/fig10_e8_hierarchy.rs:

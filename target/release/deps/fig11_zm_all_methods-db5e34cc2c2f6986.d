@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_zm_all_methods-db5e34cc2c2f6986.d: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+/root/repo/target/release/deps/fig11_zm_all_methods-db5e34cc2c2f6986: crates/bench/src/bin/fig11_zm_all_methods.rs
+
+crates/bench/src/bin/fig11_zm_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_e8_all_methods-33f12628f222175e.d: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+/root/repo/target/release/deps/fig12_e8_all_methods-33f12628f222175e: crates/bench/src/bin/fig12_e8_all_methods.rs
+
+crates/bench/src/bin/fig12_e8_all_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13a_groups-a5b273978d927ada.d: crates/bench/src/bin/fig13a_groups.rs
+
+/root/repo/target/release/deps/fig13a_groups-a5b273978d927ada: crates/bench/src/bin/fig13a_groups.rs
+
+crates/bench/src/bin/fig13a_groups.rs:

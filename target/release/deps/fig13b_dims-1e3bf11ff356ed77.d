@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13b_dims-1e3bf11ff356ed77.d: crates/bench/src/bin/fig13b_dims.rs
+
+/root/repo/target/release/deps/fig13b_dims-1e3bf11ff356ed77: crates/bench/src/bin/fig13b_dims.rs
+
+crates/bench/src/bin/fig13b_dims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13c_partitioner-148b1789d797fc67.d: crates/bench/src/bin/fig13c_partitioner.rs
+
+/root/repo/target/release/deps/fig13c_partitioner-148b1789d797fc67: crates/bench/src/bin/fig13c_partitioner.rs
+
+crates/bench/src/bin/fig13c_partitioner.rs:

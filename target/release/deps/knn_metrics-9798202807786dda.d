@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/knn_metrics-9798202807786dda.d: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libknn_metrics-9798202807786dda.rlib: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libknn_metrics-9798202807786dda.rmeta: crates/metrics/src/lib.rs crates/metrics/src/curve.rs crates/metrics/src/quality.rs crates/metrics/src/significance.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/curve.rs:
+crates/metrics/src/quality.rs:
+crates/metrics/src/significance.rs:
+crates/metrics/src/stats.rs:

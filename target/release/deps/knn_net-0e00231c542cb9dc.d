@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/knn_net-0e00231c542cb9dc.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libknn_net-0e00231c542cb9dc.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libknn_net-0e00231c542cb9dc.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/registry.rs crates/net/src/remote.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/registry.rs:
+crates/net/src/remote.rs:
+crates/net/src/server.rs:

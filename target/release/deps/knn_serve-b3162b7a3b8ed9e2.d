@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/knn_serve-b3162b7a3b8ed9e2.d: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/libknn_serve-b3162b7a3b8ed9e2.rlib: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/libknn_serve-b3162b7a3b8ed9e2.rmeta: crates/serve/src/lib.rs crates/serve/src/backend.rs crates/serve/src/fanout.rs crates/serve/src/mutable.rs crates/serve/src/protocol.rs crates/serve/src/service.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/backend.rs:
+crates/serve/src/fanout.rs:
+crates/serve/src/mutable.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/service.rs:
+crates/serve/src/stats.rs:

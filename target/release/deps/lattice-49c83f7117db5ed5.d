@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lattice-49c83f7117db5ed5.d: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/release/deps/liblattice-49c83f7117db5ed5.rlib: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+/root/repo/target/release/deps/liblattice-49c83f7117db5ed5.rmeta: crates/lattice/src/lib.rs crates/lattice/src/density.rs crates/lattice/src/e8.rs crates/lattice/src/e8_hierarchy.rs crates/lattice/src/morton.rs crates/lattice/src/zm_hierarchy.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/density.rs:
+crates/lattice/src/e8.rs:
+crates/lattice/src/e8_hierarchy.rs:
+crates/lattice/src/morton.rs:
+crates/lattice/src/zm_hierarchy.rs:

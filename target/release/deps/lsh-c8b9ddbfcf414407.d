@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lsh-c8b9ddbfcf414407.d: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/level2.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/release/deps/liblsh-c8b9ddbfcf414407.rlib: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/level2.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/release/deps/liblsh-c8b9ddbfcf414407.rmeta: crates/lsh/src/lib.rs crates/lsh/src/adaptive.rs crates/lsh/src/family.rs crates/lsh/src/forest.rs crates/lsh/src/level2.rs crates/lsh/src/multiprobe.rs crates/lsh/src/table.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/adaptive.rs:
+crates/lsh/src/family.rs:
+crates/lsh/src/forest.rs:
+crates/lsh/src/level2.rs:
+crates/lsh/src/multiprobe.rs:
+crates/lsh/src/table.rs:
+crates/lsh/src/tuning.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2926dcfc112d832c.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2926dcfc112d832c.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2926dcfc112d832c.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-4cce2db452ea7826.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-4cce2db452ea7826.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-4cce2db452ea7826.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-54c95fea8cf12e76.d: /tmp/vendor/proptest/src/lib.rs /tmp/vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-54c95fea8cf12e76.rlib: /tmp/vendor/proptest/src/lib.rs /tmp/vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-54c95fea8cf12e76.rmeta: /tmp/vendor/proptest/src/lib.rs /tmp/vendor/proptest/src/collection.rs
+
+/tmp/vendor/proptest/src/lib.rs:
+/tmp/vendor/proptest/src/collection.rs:

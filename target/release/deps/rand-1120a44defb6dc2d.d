@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-1120a44defb6dc2d.d: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-1120a44defb6dc2d.rlib: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-1120a44defb6dc2d.rmeta: /tmp/vendor/rand/src/lib.rs /tmp/vendor/rand/src/distributions.rs /tmp/vendor/rand/src/rngs.rs
+
+/tmp/vendor/rand/src/lib.rs:
+/tmp/vendor/rand/src/distributions.rs:
+/tmp/vendor/rand/src/rngs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-a33a2f7299a43466.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-a33a2f7299a43466.rlib: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-a33a2f7299a43466.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rptree-d33c7b1d5f73b888.d: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/release/deps/librptree-d33c7b1d5f73b888.rlib: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+/root/repo/target/release/deps/librptree-d33c7b1d5f73b888.rmeta: crates/rptree/src/lib.rs crates/rptree/src/diameter.rs crates/rptree/src/kdknn.rs crates/rptree/src/kdpart.rs crates/rptree/src/kmeans.rs crates/rptree/src/partition.rs crates/rptree/src/tree.rs
+
+crates/rptree/src/lib.rs:
+crates/rptree/src/diameter.rs:
+crates/rptree/src/kdknn.rs:
+crates/rptree/src/kdpart.rs:
+crates/rptree/src/kmeans.rs:
+crates/rptree/src/partition.rs:
+crates/rptree/src/tree.rs:

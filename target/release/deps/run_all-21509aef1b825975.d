@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-21509aef1b825975.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-21509aef1b825975: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c88a05311dbb7208.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c88a05311dbb7208.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c88a05311dbb7208.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-dfc39c149695499d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-dfc39c149695499d.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-dfc39c149695499d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-32f74ff7c57058d3.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-32f74ff7c57058d3.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d3f13959041792a1.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d3f13959041792a1.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-9a822a3d4fc95376.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9a822a3d4fc95376.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9a822a3d4fc95376.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

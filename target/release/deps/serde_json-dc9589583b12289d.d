@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-dc9589583b12289d.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-dc9589583b12289d.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-dc9589583b12289d.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_bench-0f531d299e6d6d22.d: crates/bench/src/bin/validate_bench.rs
+
+/root/repo/target/release/deps/validate_bench-0f531d299e6d6d22: crates/bench/src/bin/validate_bench.rs
+
+crates/bench/src/bin/validate_bench.rs:

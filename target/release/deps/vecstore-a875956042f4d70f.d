@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/vecstore-a875956042f4d70f.d: crates/vecstore/src/lib.rs crates/vecstore/src/dataset.rs crates/vecstore/src/exact.rs crates/vecstore/src/fault.rs crates/vecstore/src/io.rs crates/vecstore/src/kernel.rs crates/vecstore/src/metric.rs crates/vecstore/src/ooc.rs crates/vecstore/src/preprocess.rs crates/vecstore/src/quant.rs crates/vecstore/src/stats.rs crates/vecstore/src/synth.rs crates/vecstore/src/tombstone.rs crates/vecstore/src/topk.rs
+
+/root/repo/target/release/deps/libvecstore-a875956042f4d70f.rlib: crates/vecstore/src/lib.rs crates/vecstore/src/dataset.rs crates/vecstore/src/exact.rs crates/vecstore/src/fault.rs crates/vecstore/src/io.rs crates/vecstore/src/kernel.rs crates/vecstore/src/metric.rs crates/vecstore/src/ooc.rs crates/vecstore/src/preprocess.rs crates/vecstore/src/quant.rs crates/vecstore/src/stats.rs crates/vecstore/src/synth.rs crates/vecstore/src/tombstone.rs crates/vecstore/src/topk.rs
+
+/root/repo/target/release/deps/libvecstore-a875956042f4d70f.rmeta: crates/vecstore/src/lib.rs crates/vecstore/src/dataset.rs crates/vecstore/src/exact.rs crates/vecstore/src/fault.rs crates/vecstore/src/io.rs crates/vecstore/src/kernel.rs crates/vecstore/src/metric.rs crates/vecstore/src/ooc.rs crates/vecstore/src/preprocess.rs crates/vecstore/src/quant.rs crates/vecstore/src/stats.rs crates/vecstore/src/synth.rs crates/vecstore/src/tombstone.rs crates/vecstore/src/topk.rs
+
+crates/vecstore/src/lib.rs:
+crates/vecstore/src/dataset.rs:
+crates/vecstore/src/exact.rs:
+crates/vecstore/src/fault.rs:
+crates/vecstore/src/io.rs:
+crates/vecstore/src/kernel.rs:
+crates/vecstore/src/metric.rs:
+crates/vecstore/src/ooc.rs:
+crates/vecstore/src/preprocess.rs:
+crates/vecstore/src/quant.rs:
+crates/vecstore/src/stats.rs:
+crates/vecstore/src/synth.rs:
+crates/vecstore/src/tombstone.rs:
+crates/vecstore/src/topk.rs:

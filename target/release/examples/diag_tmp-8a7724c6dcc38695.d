@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diag_tmp-8a7724c6dcc38695.d: crates/core/examples/diag_tmp.rs
+
+/root/repo/target/release/examples/diag_tmp-8a7724c6dcc38695: crates/core/examples/diag_tmp.rs
+
+crates/core/examples/diag_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diag_tmp-d018cc9b274f3db3.d: crates/core/examples/diag_tmp.rs
+
+/root/repo/target/release/examples/diag_tmp-d018cc9b274f3db3: crates/core/examples/diag_tmp.rs
+
+crates/core/examples/diag_tmp.rs:

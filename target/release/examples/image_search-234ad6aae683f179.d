@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_search-234ad6aae683f179.d: crates/core/../../examples/image_search.rs
+
+/root/repo/target/release/examples/image_search-234ad6aae683f179: crates/core/../../examples/image_search.rs
+
+crates/core/../../examples/image_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/near_duplicates-f259b55baa5a3e00.d: crates/core/../../examples/near_duplicates.rs
+
+/root/repo/target/release/examples/near_duplicates-f259b55baa5a3e00: crates/core/../../examples/near_duplicates.rs
+
+crates/core/../../examples/near_duplicates.rs:

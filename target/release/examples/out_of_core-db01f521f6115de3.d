@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/out_of_core-db01f521f6115de3.d: crates/core/../../examples/out_of_core.rs
+
+/root/repo/target/release/examples/out_of_core-db01f521f6115de3: crates/core/../../examples/out_of_core.rs
+
+crates/core/../../examples/out_of_core.rs:

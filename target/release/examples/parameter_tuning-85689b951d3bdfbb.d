@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parameter_tuning-85689b951d3bdfbb.d: crates/core/../../examples/parameter_tuning.rs
+
+/root/repo/target/release/examples/parameter_tuning-85689b951d3bdfbb: crates/core/../../examples/parameter_tuning.rs
+
+crates/core/../../examples/parameter_tuning.rs:

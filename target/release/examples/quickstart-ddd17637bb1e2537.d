@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ddd17637bb1e2537.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ddd17637bb1e2537: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

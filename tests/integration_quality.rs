@@ -59,14 +59,16 @@ fn more_tables_increase_recall_at_fixed_w() {
 #[test]
 fn bilevel_beats_standard_at_matched_low_selectivity() {
     // The headline claim (Figure 5) in its honest form: in the
-    // low-selectivity regime, the bi-level index extracts more recall per
-    // candidate than standard LSH on heterogeneous clustered data.
+    // low-selectivity regime (τ around 1% here — wider settings drift out
+    // of the regime the claim is about and the comparison becomes noise),
+    // the bi-level index extracts more recall per candidate than standard
+    // LSH on heterogeneous clustered data.
     let s = scenario();
-    let w = s.base_w * 3.0;
+    let w = s.base_w * 1.5;
     let (std_recall, std_sel) = mean_metrics(&s, &BiLevelConfig::standard(w));
     let bilevel = BiLevelConfig {
         width: WidthMode::Scaled { base: w, k: 10 },
-        partition: Partition::RpTree { groups: 16, rule: SplitRule::Max },
+        partition: Partition::RpTree { groups: 32, rule: SplitRule::Max },
         ..BiLevelConfig::standard(w)
     };
     let (bi_recall, bi_sel) = mean_metrics(&s, &bilevel);

@@ -29,6 +29,8 @@ fn variant(partition: bool, probe: Probe, quantizer: Quantizer, w: f32) -> BiLev
         probe,
         table_pool: None,
         projection: bilevel_lsh::Projection::Dense,
+        metric: bilevel_lsh::MetricKind::L2,
+        family: bilevel_lsh::FamilyKind::PStable,
         seed: 0x7e57,
     }
 }

@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate: the `thread::scope` subset
+//! this workspace uses, implemented over `std::thread::scope` (stabilized
+//! long after crossbeam popularized the pattern).
+
+/// Scoped threads.
+pub mod thread {
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure of [`scope`]; spawn borrows
+    /// from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing [`scope`] call. The
+        /// closure's argument is the nested-spawn handle slot of the
+        /// crossbeam API; every call site here ignores it.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&())) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all of them are joined before this returns.
+    ///
+    /// Unlike upstream crossbeam, a panicking child propagates the panic
+    /// out of `scope` (std semantics) instead of surfacing as `Err` — call
+    /// sites here treat both identically (they `expect` the result).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unjoined_spawns_still_complete_before_scope_returns() {
+        let mut out = vec![0u32; 8];
+        crate::thread::scope(|s| {
+            for slot in out.iter_mut() {
+                s.spawn(move |_| *slot = 7);
+            }
+        })
+        .unwrap();
+        assert!(out.iter().all(|&x| x == 7));
+    }
+}

@@ -1,0 +1,127 @@
+//! Collection strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Size specification for collection strategies: an exact length or a
+/// range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty collection size range");
+        Self { lo, hi: hi + 1 }
+    }
+}
+
+/// A strategy for `Vec`s of `element` values with length drawn from
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// A strategy for `HashMap`s with `size.into()` entries (duplicate keys
+/// are redrawn a bounded number of times, then collapsed).
+pub fn hash_map<K: Strategy, V: Strategy>(
+    keys: K,
+    values: V,
+    size: impl Into<SizeRange>,
+) -> HashMapStrategy<K, V> {
+    HashMapStrategy { keys, values, size: size.into() }
+}
+
+/// Strategy returned by [`hash_map`].
+pub struct HashMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: std::hash::Hash + Eq,
+    V: Strategy,
+{
+    type Value = std::collections::HashMap<K::Value, V::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        let mut map = std::collections::HashMap::with_capacity(n);
+        let mut attempts = 0usize;
+        while map.len() < n && attempts < n * 4 + 16 {
+            map.insert(self.keys.gen_value(rng), self.values.gen_value(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut rng = crate::test_rng("vec_sizes");
+        let exact = vec(0.0f32..1.0, 6);
+        let ranged = vec(0i32..5, 2..9);
+        for _ in 0..100 {
+            assert_eq!(exact.gen_value(&mut rng).len(), 6);
+            let v = ranged.gen_value(&mut rng);
+            assert!((2..9).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn hash_map_hits_requested_sizes() {
+        let mut rng = crate::test_rng("map_sizes");
+        let s = hash_map(0u64..u64::MAX - 1, crate::any::<u64>(), 0..40);
+        for _ in 0..50 {
+            assert!(s.gen_value(&mut rng).len() < 40);
+        }
+    }
+}

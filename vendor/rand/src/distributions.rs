@@ -1,0 +1,163 @@
+//! Distributions and uniform range sampling.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the entropy source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: uniform `[0, 1)` for floats, the
+/// full value range for integers, a fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 explicit mantissa bits: every value representable, none >= 1.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform range sampling.
+pub mod uniform {
+    use crate::Rng;
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// A value uniform over `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+        fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+            -> Self;
+    }
+
+    /// Range arguments accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_between(rng, lo, hi, true)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: f32, hi: f32, _incl: bool) -> f32 {
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            let v = lo + (hi - lo) * unit;
+            // Rounding can land exactly on `hi` for huge spans; clamp the
+            // half-open contract back.
+            if v >= hi && lo < hi {
+                lo.max(hi - (hi - lo) * f32::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, _incl: bool) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = lo + (hi - lo) * unit;
+            if v >= hi && lo < hi {
+                lo.max(hi - (hi - lo) * f64::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: Rng + ?Sized>(
+                    rng: &mut R,
+                    lo: $t,
+                    hi: $t,
+                    inclusive: bool,
+                ) -> $t {
+                    // i128 arithmetic sidesteps span overflow for every
+                    // 64-bit-or-smaller integer type.
+                    let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                    debug_assert!(span > 0);
+                    // Modulo bias is ~span/2^64 — irrelevant for test and
+                    // synthetic-data sampling.
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&a));
+            let b = rng.gen_range(1usize..=12);
+            assert!((1..=12).contains(&b));
+            let c = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&c));
+            let d = rng.gen_range(0u64..u64::MAX - 1);
+            assert!(d < u64::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_span() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

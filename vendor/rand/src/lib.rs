@@ -1,0 +1,79 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace builds without registry access; this stub provides the
+//! pieces it actually uses — `StdRng` (deterministic, seeded via
+//! `seed_from_u64`), the `Rng`/`RngCore`/`SeedableRng` traits, the
+//! `Distribution`/`Standard` machinery, and `gen_range` over integer and
+//! float ranges. The generator is xoshiro256** seeded through SplitMix64:
+//! not the upstream ChaCha stream, but deterministic, well-distributed, and
+//! entirely sufficient for hashing/synthetic-data use. Nothing in the repo
+//! bakes in upstream `StdRng` output; determinism tests only require that
+//! equal seeds give equal streams.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::uniform;
+
+/// Core of a random number generator: a source of `u64` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to full state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value sampled from the [`distributions::Standard`] distribution
+    /// (uniform `[0, 1)` for floats, full range for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// A value uniform over `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A value sampled from `distr`.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}

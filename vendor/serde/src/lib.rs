@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! `Serialize`/`Deserialize` are marker traits blanket-implemented for all
+//! types, so derives and trait bounds compile everywhere; the companion
+//! `serde_json` stub then fails *at runtime* with a clear error. Binary
+//! persistence in this workspace is hand-rolled and never touches serde —
+//! only the legacy JSON snapshot paths do, and their tests detect the stub
+//! and skip.
+
+/// Marker for serializable types. Blanket-implemented: every type
+/// qualifies, no structural information is recorded.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Deserialization helpers.
+pub mod de {
+    /// Marker for types deserializable without borrowing.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros matching the stub `serde` crate, whose traits are
+//! blanket-implemented — deriving them therefore needs to emit nothing.
+//! `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing (the stub trait has a
+/// blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing (the stub trait has
+/// a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `serde_json`: every entry point compiles against
+//! any type and fails at runtime with [`Error`].
+//!
+//! The workspace's product formats are hand-rolled (`core::binio` for the
+//! v2 snapshot, `core::jsonio` + `bench::record` for benchmark JSON); only
+//! the legacy v1 JSON snapshot path calls into serde_json, and its tests
+//! probe `to_vec(&1u32).is_ok()` to detect this stub and skip.
+
+use std::fmt;
+
+/// The single error this stub produces.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json backend unavailable in offline builds (stub crate)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stub result alias matching the upstream signature shapes.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails: the stub has no serializer.
+pub fn to_vec<T: ?Sized>(_value: &T) -> Result<Vec<u8>> {
+    Err(Error)
+}
+
+/// Always fails: the stub has no serializer.
+pub fn to_string<T: ?Sized>(_value: &T) -> Result<String> {
+    Err(Error)
+}
+
+/// Always fails: the stub has no serializer.
+pub fn to_writer<W, T: ?Sized>(_writer: W, _value: &T) -> Result<()> {
+    Err(Error)
+}
+
+/// Always fails: the stub has no deserializer.
+pub fn from_reader<R, T>(_reader: R) -> Result<T> {
+    Err(Error)
+}
+
+/// Always fails: the stub has no deserializer.
+pub fn from_str<T>(_s: &str) -> Result<T> {
+    Err(Error)
+}
+
+/// Always fails: the stub has no deserializer.
+pub fn from_slice<T>(_v: &[u8]) -> Result<T> {
+    Err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn backend_reports_unavailable() {
+        assert!(super::to_vec(&1u32).is_err());
+        assert!(super::from_str::<u32>("1").is_err());
+        assert!(super::to_vec(&1u32).unwrap_err().to_string().contains("offline"));
+    }
+}
